@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks: the simulated-annealing pairing search
+//! (Algorithm 2) and its energy function.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use encodings::weight::structure_weight;
+use encodings::{Encoding, LinearEncoding, MajoranaEncoding};
+use fermihedral::anneal::{anneal_pairing, AnnealConfig};
+use fermihedral_bench::pipeline::Benchmark;
+
+fn bench_energy_function(c: &mut Criterion) {
+    let monomials = Benchmark::Hubbard.monomials(12);
+    let strings = LinearEncoding::bravyi_kitaev(12).majoranas();
+    c.bench_function("anneal/structure_weight_hubbard12", |bench| {
+        bench.iter(|| black_box(structure_weight(black_box(&strings), black_box(&monomials))))
+    });
+
+    let syk = Benchmark::Syk.monomials(6);
+    let strings6 = LinearEncoding::bravyi_kitaev(6).majoranas();
+    c.bench_function("anneal/structure_weight_syk6", |bench| {
+        bench.iter(|| black_box(structure_weight(black_box(&strings6), black_box(&syk))))
+    });
+}
+
+fn bench_full_schedule(c: &mut Criterion) {
+    let monomials = Benchmark::Hubbard.monomials(8);
+    let enc =
+        MajoranaEncoding::new("bk", LinearEncoding::bravyi_kitaev(8).majoranas()).unwrap();
+    let config = AnnealConfig {
+        t0: 2.0,
+        t1: 0.1,
+        alpha: 0.1,
+        iterations: 20,
+        ..AnnealConfig::default()
+    };
+    c.bench_function("anneal/short_schedule_hubbard8", |bench| {
+        bench.iter(|| black_box(anneal_pairing(&enc, &monomials, &config)))
+    });
+}
+
+criterion_group!(benches, bench_energy_function, bench_full_schedule);
+criterion_main!(benches);

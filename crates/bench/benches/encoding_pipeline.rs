@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: encoding construction, Hamiltonian mapping,
+//! and weight metrics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use encodings::weight::{hamiltonian_weight, majorana_weight};
+use encodings::{Encoding, LinearEncoding, TernaryTreeEncoding};
+use fermihedral_bench::pipeline::{compile_evolution, hubbard_chain, Benchmark};
+use fermion::MajoranaSum;
+
+fn bench_constructions(c: &mut Criterion) {
+    c.bench_function("encoding/bravyi_kitaev_n32", |bench| {
+        bench.iter(|| black_box(LinearEncoding::bravyi_kitaev(32).majoranas()))
+    });
+    c.bench_function("encoding/ternary_tree_n32", |bench| {
+        bench.iter(|| black_box(TernaryTreeEncoding::new(32).majoranas()))
+    });
+    c.bench_function("encoding/majorana_weight_n32", |bench| {
+        let ms = LinearEncoding::bravyi_kitaev(32).majoranas();
+        bench.iter(|| black_box(majorana_weight(black_box(&ms))))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let h2 = Benchmark::Electronic.second_quantized(4).expect("H2");
+    let bk = LinearEncoding::bravyi_kitaev(4);
+    c.bench_function("encoding/map_h2_bk", |bench| {
+        bench.iter(|| black_box(encodings::map::map_hamiltonian(&bk, black_box(&h2))))
+    });
+
+    let hub = hubbard_chain(6).hamiltonian();
+    let sum = MajoranaSum::from_fermion(&hub);
+    let strings = LinearEncoding::bravyi_kitaev(12).majoranas();
+    c.bench_function("encoding/hamiltonian_weight_hubbard12", |bench| {
+        bench.iter(|| black_box(hamiltonian_weight(black_box(&strings), black_box(&sum))))
+    });
+}
+
+fn bench_compilation(c: &mut Criterion) {
+    let h = hubbard_chain(3).hamiltonian();
+    let bk = LinearEncoding::bravyi_kitaev(6);
+    c.bench_function("encoding/compile_hubbard6_trotter_optimized", |bench| {
+        bench.iter(|| black_box(compile_evolution(&bk, black_box(&h), 1.0, 1)))
+    });
+}
+
+criterion_group!(benches, bench_constructions, bench_mapping, bench_compilation);
+criterion_main!(benches);

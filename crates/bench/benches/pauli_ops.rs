@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks: Pauli algebra hot paths.
+//!
+//! String products and weight evaluations sit inside the annealing inner
+//! loop and the Hamiltonian mapping; they must stay O(1)-word-ops fast.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mathkit::Complex64;
+use pauli::{Pauli, PauliString, PauliSum, PhasedString};
+
+fn random_string(n: usize, seed: u64) -> PauliString {
+    // Deterministic pseudo-random string without pulling in rand here.
+    let mut s = PauliString::identity(n);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for q in 0..n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let op = match state % 4 {
+            0 => Pauli::I,
+            1 => Pauli::X,
+            2 => Pauli::Y,
+            _ => Pauli::Z,
+        };
+        s.set(q, op);
+    }
+    s
+}
+
+fn bench_string_ops(c: &mut Criterion) {
+    let a = random_string(64, 1);
+    let b = random_string(64, 2);
+    c.bench_function("pauli/string_mul_64q", |bench| {
+        bench.iter(|| black_box(black_box(&a).mul(black_box(&b))))
+    });
+    c.bench_function("pauli/anticommutes_64q", |bench| {
+        bench.iter(|| black_box(black_box(&a).anticommutes(black_box(&b))))
+    });
+    c.bench_function("pauli/weight_64q", |bench| {
+        bench.iter(|| black_box(black_box(&a).weight()))
+    });
+}
+
+fn bench_phased_products(c: &mut Criterion) {
+    let strings: Vec<PhasedString> = (0..16)
+        .map(|i| PhasedString::from(random_string(20, i)))
+        .collect();
+    c.bench_function("pauli/phased_product_chain_16", |bench| {
+        bench.iter(|| {
+            let mut acc = PhasedString::identity(20);
+            for s in &strings {
+                acc = &acc * s;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_sum_mul(c: &mut Criterion) {
+    let mut a = PauliSum::new(10);
+    let mut b = PauliSum::new(10);
+    for i in 0..24 {
+        a.add_term(random_string(10, i), Complex64::from_re(0.1 + i as f64));
+        b.add_term(random_string(10, 100 + i), Complex64::from_re(0.2 + i as f64));
+    }
+    c.bench_function("pauli/sum_mul_24x24_terms", |bench| {
+        bench.iter(|| black_box(black_box(&a) * black_box(&b)))
+    });
+}
+
+criterion_group!(benches, bench_string_ops, bench_phased_products, bench_sum_mul);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks: the CDCL solver on encoding instances.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fermihedral::descent::{solve_optimal, DescentConfig};
+use fermihedral::{EncodingProblem, Objective};
+use sat::{Cnf, Solver, Var};
+
+/// Pigeonhole PHP(n+1, n) — a classic hard UNSAT family.
+fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    let var = |p: usize, h: usize| Var::new(p * holes + h);
+    cnf.new_vars(pigeons * holes);
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| var(p, h).positive()));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+            }
+        }
+    }
+    cnf
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole_6_5_unsat", |bench| {
+        let cnf = pigeonhole(6, 5);
+        bench.iter(|| {
+            let mut solver = Solver::from_cnf(&cnf);
+            black_box(solver.solve())
+        })
+    });
+}
+
+fn bench_encoding_instances(c: &mut Criterion) {
+    c.bench_function("sat/full_sat_descent_n2", |bench| {
+        bench.iter(|| {
+            let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+            black_box(solve_optimal(&problem, &DescentConfig::default()))
+        })
+    });
+    c.bench_function("sat/full_sat_descent_n3", |bench| {
+        bench.iter(|| {
+            let problem = EncodingProblem::full_sat(3, Objective::MajoranaWeight);
+            black_box(solve_optimal(&problem, &DescentConfig::default()))
+        })
+    });
+    c.bench_function("sat/instance_construction_n6_full", |bench| {
+        bench.iter(|| {
+            black_box(
+                EncodingProblem::full_sat(6, Objective::MajoranaWeight)
+                    .build()
+                    .stats(),
+            )
+        })
+    });
+    c.bench_function("sat/instance_construction_n14_noalg", |bench| {
+        bench.iter(|| {
+            black_box(
+                EncodingProblem::new(14, Objective::MajoranaWeight)
+                    .build()
+                    .stats(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_encoding_instances);
+criterion_main!(benches);

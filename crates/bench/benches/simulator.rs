@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks: state-vector simulation and measurement.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use encodings::map::map_hamiltonian;
+use encodings::LinearEncoding;
+use fermihedral_bench::pipeline::{compile_qubit_hamiltonian, hubbard_grid_2x2};
+use qsim::measure::group_qubitwise;
+use qsim::noise::run_noisy;
+use qsim::{estimate_energy, NoiseModel, Statevector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup_8q() -> (pauli::PauliSum, circuit::Circuit) {
+    let h = hubbard_grid_2x2().hamiltonian();
+    let mapped = map_hamiltonian(&LinearEncoding::bravyi_kitaev(8), &h);
+    let (circuit, _) = compile_qubit_hamiltonian(&mapped, 1.0, 1);
+    (mapped, circuit)
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let (mapped, circuit) = setup_8q();
+    c.bench_function("sim/apply_circuit_8q", |bench| {
+        bench.iter(|| {
+            let mut psi = Statevector::zero(8);
+            psi.apply_circuit(black_box(&circuit));
+            black_box(psi)
+        })
+    });
+    let psi = {
+        let mut p = Statevector::zero(8);
+        p.apply_circuit(&circuit);
+        p
+    };
+    c.bench_function("sim/expectation_8q", |bench| {
+        bench.iter(|| black_box(psi.expectation(black_box(&mapped))))
+    });
+}
+
+fn bench_noisy_trajectory(c: &mut Criterion) {
+    let (_, circuit) = setup_8q();
+    let noise = NoiseModel::depolarizing(1e-4, 1e-2);
+    c.bench_function("sim/noisy_trajectory_8q", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = Statevector::zero(8);
+        bench.iter(|| black_box(run_noisy(&circuit, &init, &noise, &mut rng)))
+    });
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let (mapped, circuit) = setup_8q();
+    c.bench_function("sim/group_qubitwise_2x2_hubbard", |bench| {
+        bench.iter(|| black_box(group_qubitwise(black_box(&mapped))))
+    });
+    c.bench_function("sim/estimate_energy_100_shots_8q", |bench| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let init = Statevector::zero(8);
+        let noise = NoiseModel::depolarizing(1e-4, 1e-3);
+        bench.iter(|| {
+            black_box(estimate_energy(
+                &init, &circuit, &mapped, 100, &noise, &mut rng,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_noisy_trajectory,
+    bench_measurement
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! **Figure 11** — time to construct and solve the encoding SAT problem
+//! with vs without the algebraic-independence clauses.
+//!
+//! The paper's observation: dropping the `4^N` clause set speeds both
+//! construction (up to ~600×) and solving (up to ~50×). Times exclude the
+//! final UNSAT optimality proof (the paper excludes it too, as it usually
+//! hits the timeout).
+//!
+//! Usage: `fig11_solve_time [--max-modes 5] [--timeout 20] [--csv]`
+
+use fermihedral::descent::{solve_optimal_instance, DescentConfig};
+use fermihedral::{EncodingProblem, Objective};
+use fermihedral_bench::args::Args;
+use fermihedral_bench::report::Table;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse(&["max-modes", "timeout", "csv"]);
+    let max_modes = args.get_usize("max-modes", 5).min(8);
+    let timeout = args.get_duration_secs("timeout", 20.0);
+    let csv = args.get_bool("csv");
+
+    println!("# Figure 11: construct/solve time, with vs without algebraic independence");
+    let mut table = Table::new(&[
+        "N",
+        "construct w/ (s)",
+        "construct w/o (s)",
+        "speedup",
+        "solve w/ (s)",
+        "solve w/o (s)",
+        "speedup",
+    ]);
+
+    for n in 2..=max_modes {
+        let mut construct = [0.0f64; 2];
+        let mut solve = [0.0f64; 2];
+        for (i, full) in [true, false].into_iter().enumerate() {
+            let t0 = Instant::now();
+            let problem = EncodingProblem::new(n, Objective::MajoranaWeight)
+                .with_algebraic_independence(full);
+            let instance = problem.build();
+            construct[i] = t0.elapsed().as_secs_f64();
+
+            let config = DescentConfig {
+                solve_timeout: Some(timeout),
+                total_timeout: Some(timeout),
+                ..DescentConfig::default()
+            };
+            let t1 = Instant::now();
+            let outcome = solve_optimal_instance(&instance, &config);
+            // Exclude the UNSAT proof step, as the paper does.
+            let mut elapsed = t1.elapsed();
+            if let Some(last) = outcome.steps.last() {
+                if matches!(
+                    last.result,
+                    fermihedral::descent::StepResult::Exhausted
+                        | fermihedral::descent::StepResult::BudgetExceeded
+                ) {
+                    elapsed = elapsed.saturating_sub(last.elapsed);
+                }
+            }
+            solve[i] = elapsed.as_secs_f64().max(1e-6);
+        }
+        table.row(&[
+            n.to_string(),
+            format!("{:.4}", construct[0]),
+            format!("{:.4}", construct[1]),
+            format!("{:.1}x", construct[0] / construct[1].max(1e-9)),
+            format!("{:.4}", solve[0]),
+            format!("{:.4}", solve[1]),
+            format!("{:.1}x", solve[0] / solve[1]),
+        ]);
+    }
+    table.print(csv);
+}

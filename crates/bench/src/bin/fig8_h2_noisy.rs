@@ -1,0 +1,86 @@
+//! **Figure 8** — noisy simulation of H₂ time evolution from energy
+//! eigenstates E₀–E₃: measured energy (and its ±1σ) versus two-qubit gate
+//! error, for Jordan-Wigner vs Bravyi-Kitaev vs Full SAT.
+//!
+//! Protocol (paper Section 5.4): prepare the eigenstate of the mapped
+//! Hamiltonian, run the compiled `t = 1` evolution under depolarizing noise
+//! (1q error fixed at 10⁻⁴, 2q error swept), estimate the energy from
+//! shots. Eigenstates are stationary, so the drift away from the exact
+//! energy is pure noise — lighter circuits drift less.
+//!
+//! Usage: `fig8_h2_noisy [--shots 3000] [--states 4] [--seed 5]
+//!         [--errors 0.0001,0.001,0.01] [--timeout 20] [--csv]`
+
+use encodings::map::map_hamiltonian;
+use fermihedral_bench::args::Args;
+use fermihedral_bench::pipeline::{
+    bravyi_kitaev, compile_qubit_hamiltonian, jordan_wigner, sat_hamiltonian_encoding,
+    Benchmark, Budget,
+};
+use fermihedral_bench::report::Table;
+use fermion::MajoranaSum;
+use qsim::{eigenstate, estimate_energy, spectrum, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse(&["shots", "states", "seed", "errors", "timeout", "csv"]);
+    let shots = args.get_usize("shots", 3000);
+    let states = args.get_usize("states", 4).min(4);
+    let seed = args.get_u64("seed", 5);
+    let csv = args.get_bool("csv");
+    let budget = Budget::seconds(args.get_f64("timeout", 20.0));
+    let errors: Vec<f64> = args
+        .get_str("errors")
+        .unwrap_or("0.0001,0.001,0.01")
+        .split(',')
+        .map(|t| t.trim().parse().expect("error rates are floats"))
+        .collect();
+
+    let h2 = Benchmark::Electronic.second_quantized(4).expect("H2");
+    let monomials: Vec<_> = MajoranaSum::from_fermion(&h2)
+        .weight_structure()
+        .into_iter()
+        .cloned()
+        .collect();
+    let sat = sat_hamiltonian_encoding(4, &monomials, true, budget);
+
+    let encodings: Vec<(&str, encodings::MajoranaEncoding)> = vec![
+        ("JW", jordan_wigner(4)),
+        ("BK", bravyi_kitaev(4)),
+        ("FullSAT", sat.encoding.clone()),
+    ];
+
+    println!("# Figure 8: noisy H2 evolution from eigenstates E0..E{}", states - 1);
+    println!("# 1q error fixed at 1e-4; energy from {shots} shots per point");
+    let mut table = Table::new(&[
+        "state", "2q error", "encoding", "exact E", "measured E", "sigma", "gates",
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for (name, enc) in &encodings {
+        let mapped = map_hamiltonian(enc, &h2);
+        let eig = spectrum(&mapped);
+        let (circuit, metrics) = compile_qubit_hamiltonian(&mapped, 1.0, 1);
+        for k in 0..states {
+            let psi = eigenstate(&mapped, k);
+            for &p2 in &errors {
+                let noise = NoiseModel::depolarizing(1e-4, p2);
+                let est = estimate_energy(&psi, &circuit, &mapped, shots, &noise, &mut rng);
+                table.row(&[
+                    format!("E{k}"),
+                    format!("{p2:.0e}"),
+                    name.to_string(),
+                    format!("{:.4}", eig.values[k]),
+                    format!("{:.4}", est.energy),
+                    format!("{:.4}", est.std_dev),
+                    metrics.total.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print(csv);
+    println!();
+    println!("# paper shape: Full SAT drifts least (closest to the exact energy line)");
+    println!("# and has the smallest sigma, thanks to the smallest circuit.");
+}

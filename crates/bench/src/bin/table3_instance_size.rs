@@ -1,0 +1,92 @@
+//! **Table 3** — SAT instance sizes with and without the
+//! algebraic-independence clause set.
+//!
+//! The paper's point: the `4^N` clauses dominate; dropping them keeps both
+//! variable and clause counts polynomial. Paper reference values are shown
+//! alongside (constructions differ by small constant factors — the paper
+//! used Z3's Tseitin pass, we emit gates directly).
+//!
+//! Usage: `table3_instance_size [--max-with 7] [--max-without 18] [--csv]`
+
+use fermihedral::{EncodingProblem, Objective};
+use fermihedral_bench::args::Args;
+use fermihedral_bench::report::Table;
+
+/// Paper Table 3 values for comparison: (N, vars w/, clauses w/, vars w/o,
+/// clauses w/o); `None` = N/A (construction exceeded one hour).
+const PAPER: &[(usize, Option<(usize, usize)>, (usize, usize))] = &[
+    (2, Some((70, 459)), (46, 331)),
+    (3, Some((417, 2436)), (129, 1147)),
+    (4, Some((2224, 10926)), (352, 3014)),
+    (5, Some((10570, 46925)), (610, 5801)),
+    (6, Some((49902, 210064)), (1158, 10601)),
+    (7, Some((230503, 948732)), (1687, 16608)),
+    (8, Some((1050544, 4283375)), (2704, 25693)),
+    (9, None, (3600, 36037)),
+    (10, None, (5230, 50798)),
+    (11, None, (6589, 66593)),
+    (12, None, (8976, 88440)),
+    (13, None, (10894, 111129)),
+    (14, None, (14182, 141504)),
+    (15, None, (16755, 172132)),
+    (16, None, (21088, 211938)),
+    (17, None, (24412, 252025)),
+    (18, None, (29934, 302793)),
+];
+
+fn main() {
+    let args = Args::parse(&["max-with", "max-without", "csv"]);
+    let max_with = args.get_usize("max-with", 7).min(8);
+    let max_without = args.get_usize("max-without", 18);
+    let csv = args.get_bool("csv");
+
+    println!("# Table 3: #vars / #clauses of the generated SAT instances");
+    println!("# (paper values from Z3's Tseitin pass shown for scale)");
+    let mut table = Table::new(&[
+        "N",
+        "vars w/",
+        "clauses w/",
+        "avg-len w/",
+        "vars w/o",
+        "clauses w/o",
+        "avg-len w/o",
+        "paper vars w/",
+        "paper clauses w/",
+        "paper vars w/o",
+        "paper clauses w/o",
+    ]);
+
+    for n in 2..=max_without {
+        let with = if n <= max_with {
+            let stats = EncodingProblem::full_sat(n, Objective::MajoranaWeight)
+                .build()
+                .stats();
+            Some(stats)
+        } else {
+            None
+        };
+        let without = EncodingProblem::new(n, Objective::MajoranaWeight)
+            .build()
+            .stats();
+        let paper = PAPER.iter().find(|(pn, _, _)| *pn == n);
+        let (p_with, p_without) = match paper {
+            Some((_, w, wo)) => (*w, Some(*wo)),
+            None => (None, None),
+        };
+        let fmt_opt = |v: Option<usize>| v.map_or("N/A".to_string(), |x| x.to_string());
+        table.row(&[
+            n.to_string(),
+            fmt_opt(with.map(|s| s.num_vars)),
+            fmt_opt(with.map(|s| s.num_clauses)),
+            with.map_or("N/A".into(), |s| format!("{:.2}", s.avg_clause_len)),
+            without.num_vars.to_string(),
+            without.num_clauses.to_string(),
+            format!("{:.2}", without.avg_clause_len),
+            fmt_opt(p_with.map(|(v, _)| v)),
+            fmt_opt(p_with.map(|(_, c)| c)),
+            fmt_opt(p_without.map(|(v, _)| v)),
+            fmt_opt(p_without.map(|(_, c)| c)),
+        ]);
+    }
+    table.print(csv);
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the Fermihedral reproduction.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index), built on three shared pieces:
+//!
+//! * [`args`] — a small `--flag value` parser so every binary accepts the
+//!   same scaling knobs (`--max-modes`, `--timeout`, `--shots`, `--seed`,
+//!   `--csv`);
+//! * [`report`] — aligned-table / CSV printers producing the paper's rows;
+//! * [`pipeline`] — the end-to-end recipes: benchmark Hamiltonians by
+//!   name, the four encoding routes (JW / BK / Full SAT / SAT+Annealing),
+//!   and map→Trotter→optimize compilation.
+//!
+//! Every binary prints the paper's reference values next to the measured
+//! ones where the paper reports concrete numbers, so the *shape* claims
+//! (who wins, by how much) are visible at a glance.
+
+pub mod args;
+pub mod pipeline;
+pub mod report;

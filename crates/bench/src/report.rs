@@ -1,0 +1,142 @@
+//! Table formatting for experiment output.
+
+/// A simple column-aligned table that can also emit CSV.
+///
+/// # Example
+///
+/// ```
+/// use fermihedral_bench::report::Table;
+///
+/// let mut t = Table::new(&["N", "BK", "SAT", "reduction"]);
+/// t.row(&["4", "40", "30", "25.0%"]);
+/// let text = t.to_text();
+/// assert!(text.contains("reduction"));
+/// assert!(t.to_csv().starts_with("N,BK,SAT,reduction"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[impl AsRef<str>]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints text or CSV depending on the flag.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.to_csv());
+        } else {
+            print!("{}", self.to_text());
+        }
+    }
+}
+
+/// Percentage reduction `(from − to)/from`, formatted like the paper
+/// (negative = regression).
+pub fn reduction_pct(from: usize, to: usize) -> String {
+    if from == 0 {
+        return "n/a".to_string();
+    }
+    let pct = 100.0 * (from as f64 - to as f64) / from as f64;
+    format!("{pct:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_csv() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["long-name-here", "1"]);
+        t.row(&["x", "12345"]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.to_csv(), "name,value\nlong-name-here,1\nx,12345\n");
+    }
+
+    #[test]
+    fn reduction_formatting() {
+        assert_eq!(reduction_pct(100, 80), "20.00%");
+        assert_eq!(reduction_pct(100, 120), "-20.00%");
+        assert_eq!(reduction_pct(0, 5), "n/a");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+}

@@ -1,0 +1,230 @@
+//! The circuit container and its cost metrics.
+
+use crate::gate::Gate;
+use std::fmt;
+
+/// An ordered list of gates on a fixed qubit register.
+///
+/// # Example
+///
+/// ```
+/// use circuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cnot { control: 0, target: 1 });
+/// c.push(Gate::Cnot { control: 1, target: 2 });
+/// assert_eq!(c.depth(), 3);
+/// assert_eq!(c.counts().single, 1);
+/// assert_eq!(c.counts().cnot, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+/// Gate-count summary (the rows of the paper's Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    /// Single-qubit gates.
+    pub single: usize,
+    /// Two-qubit (CNOT) gates.
+    pub cnot: usize,
+}
+
+impl GateCounts {
+    /// Total gate count.
+    pub fn total(&self) -> usize {
+        self.single + self.cnot
+    }
+}
+
+impl Circuit {
+    /// An empty circuit on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0`.
+    pub fn new(num_qubits: usize) -> Circuit {
+        assert!(num_qubits > 0, "need at least one qubit");
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends one gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate touches a qubit outside the register, or a CNOT's
+    /// control equals its target.
+    pub fn push(&mut self, gate: Gate) {
+        for q in gate.qubits() {
+            assert!(q < self.num_qubits, "gate {gate} outside register");
+        }
+        if let Gate::Cnot { control, target } = gate {
+            assert_ne!(control, target, "CNOT control equals target");
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends all gates of another circuit (same register width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on register-width mismatch.
+    pub fn append(&mut self, other: &Circuit) {
+        assert_eq!(self.num_qubits, other.num_qubits, "register width mismatch");
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// The gates in order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterator over the gates.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Gate counts by category.
+    pub fn counts(&self) -> GateCounts {
+        let mut c = GateCounts::default();
+        for g in &self.gates {
+            if g.is_two_qubit() {
+                c.cnot += 1;
+            } else {
+                c.single += 1;
+            }
+        }
+        c
+    }
+
+    /// Circuit depth under the usual as-soon-as-possible schedule: each
+    /// gate starts after the latest of its qubits' previous gates.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut max = 0;
+        for g in &self.gates {
+            let qs = g.qubits();
+            let start = qs.iter().map(|&q| level[q]).max().unwrap_or(0);
+            for q in qs {
+                level[q] = start + 1;
+            }
+            max = max.max(start + 1);
+        }
+        max
+    }
+
+    /// The adjoint circuit: gates reversed and individually inverted.
+    pub fn adjoint(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().rev().map(Gate::adjoint).collect(),
+        }
+    }
+
+    /// Replaces the gate list (used by optimization passes).
+    pub(crate) fn set_gates(&mut self, gates: Vec<Gate>) {
+        self.gates = gates;
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]",
+            self.num_qubits,
+            self.gates.len()
+        )?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::H(0));
+        c.push(Gate::H(1));
+        c.push(Gate::H(2));
+        assert_eq!(c.depth(), 1, "independent gates run in parallel");
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        assert_eq!(c.depth(), 2);
+        c.push(Gate::Cnot { control: 1, target: 2 });
+        assert_eq!(c.depth(), 3);
+        c.push(Gate::Rz(3, 0.5));
+        assert_eq!(c.depth(), 3, "qubit 3 was idle");
+    }
+
+    #[test]
+    fn counts_partition_gates() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Rz(1, 0.3));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let counts = c.counts();
+        assert_eq!(counts.single, 2);
+        assert_eq!(counts.cnot, 1);
+        assert_eq!(counts.total(), 3);
+    }
+
+    #[test]
+    fn adjoint_reverses_order() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::S(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let adj = c.adjoint();
+        assert_eq!(adj.gates()[0], Gate::Cnot { control: 0, target: 1 });
+        assert_eq!(adj.gates()[1], Gate::Sdg(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside register")]
+    fn out_of_range_gate_rejected() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "control equals target")]
+    fn degenerate_cnot_rejected() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot { control: 1, target: 1 });
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::H(0));
+        let mut b = Circuit::new(2);
+        b.push(Gate::X(1));
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Pauli-evolution synthesis and Trotterization (paper Section 2.1.2).
+//!
+//! `exp(iλP)` compiles to:
+//!
+//! 1. a basis-change layer (`H` for `X` sites, `Rx(π/2)` for `Y` sites),
+//! 2. a CNOT fan-in from every support qubit to a target qubit,
+//! 3. `Rz(−2λ)` on the target,
+//! 4. the mirrored CNOT fan-in, and
+//! 5. the inverse basis changes.
+//!
+//! The gate count is `2·(w−1)` CNOTs plus one rotation plus two basis gates
+//! per non-`Z` site — proportional to the Pauli weight `w`, which is the
+//! premise of the paper's cost model (Section 2.1.3).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use mathkit::Complex64;
+use pauli::{Pauli, PauliString, PauliSum};
+use std::f64::consts::FRAC_PI_2;
+
+/// Compiles `exp(iλP)` into basic gates.
+///
+/// Identity strings produce an empty circuit (a global phase).
+///
+/// # Example
+///
+/// ```
+/// use circuit::evolution::pauli_evolution;
+///
+/// let zz: pauli::PauliString = "ZZ".parse().unwrap();
+/// let c = pauli_evolution(&zz, 0.5);
+/// // No basis changes for Z: CNOT, Rz, CNOT.
+/// assert_eq!(c.len(), 3);
+/// ```
+pub fn pauli_evolution(p: &PauliString, lambda: f64) -> Circuit {
+    let mut c = Circuit::new(p.num_qubits());
+    let support: Vec<(usize, Pauli)> = p.support().collect();
+    if support.is_empty() {
+        return c;
+    }
+    // 1. basis changes into the Z basis.
+    for &(q, op) in &support {
+        match op {
+            Pauli::X => c.push(Gate::H(q)),
+            Pauli::Y => c.push(Gate::Rx(q, FRAC_PI_2)),
+            _ => {}
+        }
+    }
+    // 2. CNOT fan-in to the target (the highest support qubit).
+    let target = support.last().expect("non-empty").0;
+    for &(q, _) in &support {
+        if q != target {
+            c.push(Gate::Cnot {
+                control: q,
+                target,
+            });
+        }
+    }
+    // 3. the rotation: Rz(−2λ) implements exp(iλZ) on the parity qubit.
+    c.push(Gate::Rz(target, -2.0 * lambda));
+    // 4. mirrored fan-in.
+    for &(q, _) in support.iter().rev() {
+        if q != target {
+            c.push(Gate::Cnot {
+                control: q,
+                target,
+            });
+        }
+    }
+    // 5. inverse basis changes.
+    for &(q, op) in support.iter().rev() {
+        match op {
+            Pauli::X => c.push(Gate::H(q)),
+            Pauli::Y => c.push(Gate::Rx(q, -FRAC_PI_2)),
+            _ => {}
+        }
+    }
+    c
+}
+
+/// First-order Trotter circuit for `exp(−iHt)` with the given step count.
+///
+/// The identity component of `H` only contributes a global phase and is
+/// skipped. Term order follows the canonical [`PauliSum`] order.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or a coefficient has a non-negligible imaginary
+/// part (`H` must be Hermitian).
+pub fn trotter_circuit(h: &PauliSum, time: f64, steps: usize) -> Circuit {
+    assert!(steps > 0, "need at least one Trotter step");
+    let mut c = Circuit::new(h.num_qubits());
+    let dt = time / steps as f64;
+    for _ in 0..steps {
+        for (p, w) in h.iter() {
+            assert!(
+                w.im.abs() < 1e-9,
+                "non-Hermitian coefficient {w} on {p}"
+            );
+            if p.is_identity() {
+                continue;
+            }
+            // exp(−i·w·dt·P) = exp(iλP) with λ = −w·dt.
+            c.append(&pauli_evolution(p, -w.re * dt));
+        }
+    }
+    c
+}
+
+/// Second-order (Strang-splitting) Trotter circuit for `exp(−iHt)`:
+/// each step applies the terms forward at `dt/2` and then backward at
+/// `dt/2`, cancelling the first-order commutator error.
+///
+/// Costs roughly twice the gates of [`trotter_circuit`] per step but the
+/// error scales as `O(dt²)` per step — the standard accuracy/depth
+/// trade-off knob in quantum-simulation compilers.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or a coefficient has a non-negligible imaginary
+/// part.
+pub fn trotter2_circuit(h: &PauliSum, time: f64, steps: usize) -> Circuit {
+    assert!(steps > 0, "need at least one Trotter step");
+    let mut c = Circuit::new(h.num_qubits());
+    let half = time / steps as f64 / 2.0;
+    let terms: Vec<(&PauliString, f64)> = h
+        .iter()
+        .filter(|(p, _)| !p.is_identity())
+        .map(|(p, w)| {
+            assert!(w.im.abs() < 1e-9, "non-Hermitian coefficient {w} on {p}");
+            (p, w.re)
+        })
+        .collect();
+    for _ in 0..steps {
+        for (p, w) in &terms {
+            c.append(&pauli_evolution(p, -w * half));
+        }
+        for (p, w) in terms.iter().rev() {
+            c.append(&pauli_evolution(p, -w * half));
+        }
+    }
+    c
+}
+
+/// The exact unitary `exp(−iHt)` via diagonalization — reference for tests
+/// and fidelity measurements.
+///
+/// # Panics
+///
+/// Panics if `h` is not Hermitian.
+pub fn exact_evolution(h: &PauliSum, time: f64) -> mathkit::CMatrix {
+    let m = h.to_matrix();
+    mathkit::eigen::eigh(&m).exp_i(-time)
+}
+
+/// Strips the identity component of a Hamiltonian and returns
+/// `(H − c·I, c)`; compilation pipelines call this before Trotterization.
+pub fn split_identity(h: &PauliSum) -> (PauliSum, Complex64) {
+    let mut rest = h.clone();
+    let c = rest.take_identity();
+    (rest, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unitary::circuit_unitary;
+    use mathkit::CMatrix;
+    use proptest::prelude::*;
+
+    fn exact_pauli_exp(p: &PauliString, lambda: f64) -> CMatrix {
+        // exp(iλP) = cos(λ)·I + i·sin(λ)·P for any Pauli string P.
+        let dim = 1usize << p.num_qubits();
+        let id = CMatrix::identity(dim).scale(Complex64::from_re(lambda.cos()));
+        let pm = p
+            .to_matrix()
+            .scale(Complex64::new(0.0, lambda.sin()));
+        &id + &pm
+    }
+
+    #[test]
+    fn paper_figure3_structure() {
+        // exp(iλ·XZY): q0=Y, q1=Z, q2=X → 2 basis gates each side, 4 CNOTs,
+        // 1 Rz.
+        let p: PauliString = "XZY".parse().unwrap();
+        let c = pauli_evolution(&p, 0.37);
+        let counts = c.counts();
+        assert_eq!(counts.cnot, 4);
+        assert_eq!(counts.single, 5);
+    }
+
+    #[test]
+    fn unitary_matches_exact_exponential() {
+        for (s, lambda) in [("Z", 0.3), ("XZY", -0.7), ("YY", 1.1), ("IXI", 0.25), ("ZIZ", 2.0)] {
+            let p: PauliString = s.parse().unwrap();
+            let u = circuit_unitary(&pauli_evolution(&p, lambda));
+            let exact = exact_pauli_exp(&p, lambda);
+            assert!(
+                u.approx_eq_up_to_phase(&exact, 1e-10),
+                "{s} at λ={lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_string_compiles_to_nothing() {
+        let p = PauliString::identity(3);
+        assert!(pauli_evolution(&p, 0.5).is_empty());
+    }
+
+    #[test]
+    fn trotter_single_term_is_exact() {
+        // For a single-term Hamiltonian, one Trotter step is exact.
+        let mut h = PauliSum::new(2);
+        h.add_term("XY".parse().unwrap(), Complex64::from_re(0.8));
+        let c = trotter_circuit(&h, 0.6, 1);
+        let u = circuit_unitary(&c);
+        let exact = exact_evolution(&h, 0.6);
+        assert!(u.approx_eq_up_to_phase(&exact, 1e-10));
+    }
+
+    #[test]
+    fn trotter_commuting_terms_are_exact() {
+        // ZI and IZ commute: first-order Trotter is exact.
+        let mut h = PauliSum::new(2);
+        h.add_term("ZI".parse().unwrap(), Complex64::from_re(0.5));
+        h.add_term("IZ".parse().unwrap(), Complex64::from_re(-1.1));
+        let u = circuit_unitary(&trotter_circuit(&h, 0.9, 1));
+        let exact = exact_evolution(&h, 0.9);
+        assert!(u.approx_eq_up_to_phase(&exact, 1e-10));
+    }
+
+    #[test]
+    fn trotter_error_shrinks_with_steps() {
+        let mut h = PauliSum::new(2);
+        h.add_term("XI".parse().unwrap(), Complex64::from_re(0.9));
+        h.add_term("ZZ".parse().unwrap(), Complex64::from_re(0.7));
+        let exact = exact_evolution(&h, 1.0);
+        let err = |steps: usize| {
+            let u = circuit_unitary(&trotter_circuit(&h, 1.0, steps));
+            (&u - &exact).frobenius_norm()
+        };
+        let e1 = err(1);
+        let e4 = err(4);
+        let e16 = err(16);
+        assert!(e4 < e1);
+        assert!(e16 < e4);
+        // First-order Trotter: error ∝ 1/steps (Frobenius norm here).
+        assert!(e16 < e4 / 3.0, "error must shrink ~linearly: {e4} → {e16}");
+        assert!(e16 < 0.1, "16 steps should be fairly accurate: {e16}");
+    }
+
+    #[test]
+    fn second_order_trotter_beats_first_order() {
+        let mut h = PauliSum::new(2);
+        h.add_term("XI".parse().unwrap(), Complex64::from_re(0.9));
+        h.add_term("ZZ".parse().unwrap(), Complex64::from_re(0.7));
+        h.add_term("YY".parse().unwrap(), Complex64::from_re(-0.4));
+        let exact = exact_evolution(&h, 1.0);
+        let err1 = {
+            let u = circuit_unitary(&trotter_circuit(&h, 1.0, 4));
+            (&u - &exact).frobenius_norm()
+        };
+        let err2 = {
+            let u = circuit_unitary(&super::trotter2_circuit(&h, 1.0, 4));
+            (&u - &exact).frobenius_norm()
+        };
+        assert!(
+            err2 < err1 / 3.0,
+            "second order {err2} should beat first order {err1}"
+        );
+    }
+
+    #[test]
+    fn second_order_error_scales_quadratically() {
+        // XZ and XX anticommute on qubit 0 only — genuinely non-commuting.
+        let mut h = PauliSum::new(2);
+        h.add_term("XZ".parse().unwrap(), Complex64::from_re(1.0));
+        h.add_term("XX".parse().unwrap(), Complex64::from_re(0.6));
+        let exact = exact_evolution(&h, 1.0);
+        let err = |steps: usize| {
+            let u = circuit_unitary(&super::trotter2_circuit(&h, 1.0, steps));
+            (&u - &exact).frobenius_norm()
+        };
+        let (e2, e8) = (err(2), err(8));
+        // 4x more steps → ~16x less error for a second-order formula.
+        assert!(
+            e8 < e2 / 8.0,
+            "quadratic scaling violated: {e2} → {e8}"
+        );
+    }
+
+    #[test]
+    fn gate_count_proportional_to_weight() {
+        for n in 2..6usize {
+            let p = PauliString::from_ops(&vec![Pauli::X; n]);
+            let c = pauli_evolution(&p, 0.1);
+            assert_eq!(c.counts().cnot, 2 * (n - 1));
+            assert_eq!(c.counts().single, 2 * n + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_random_strings_compile_correctly(
+            ops in proptest::collection::vec(0..4u8, 1..4),
+            lambda in -2.0..2.0f64,
+        ) {
+            let p = PauliString::from_ops(
+                &ops.iter().map(|&o| Pauli::from_xz(o & 2 != 0, o & 1 != 0)).collect::<Vec<_>>(),
+            );
+            let u = circuit_unitary(&pauli_evolution(&p, lambda));
+            let exact = exact_pauli_exp(&p, lambda);
+            prop_assert!(u.approx_eq_up_to_phase(&exact, 1e-9));
+        }
+    }
+}

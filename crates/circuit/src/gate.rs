@@ -1,0 +1,200 @@
+//! The gate set.
+
+use mathkit::{CMatrix, Complex64};
+use std::fmt;
+
+/// A basic gate: the single-qubit Cliffords + rotations the Pauli-evolution
+/// recipe emits, plus CNOT.
+///
+/// # Example
+///
+/// ```
+/// use circuit::Gate;
+///
+/// let g = Gate::Cnot { control: 0, target: 2 };
+/// assert!(g.is_two_qubit());
+/// assert_eq!(g.qubits(), vec![0, 2]);
+/// assert_eq!(g.adjoint(), g); // CNOT is self-inverse
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli X.
+    X(usize),
+    /// Pauli Y.
+    Y(usize),
+    /// Pauli Z.
+    Z(usize),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// Inverse phase gate.
+    Sdg(usize),
+    /// Rotation about X: `exp(−iθX/2)`.
+    Rx(usize, f64),
+    /// Rotation about Y: `exp(−iθY/2)`.
+    Ry(usize, f64),
+    /// Rotation about Z: `exp(−iθZ/2)`.
+    Rz(usize, f64),
+    /// Controlled-NOT.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+}
+
+impl Gate {
+    /// The qubits the gate touches, ascending.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _) => vec![q],
+            Gate::Cnot { control, target } => {
+                let mut v = vec![control, target];
+                v.sort_unstable();
+                v
+            }
+        }
+    }
+
+    /// True for CNOT.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cnot { .. })
+    }
+
+    /// The inverse gate.
+    pub fn adjoint(&self) -> Gate {
+        match *self {
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::Rx(q, t) => Gate::Rx(q, -t),
+            Gate::Ry(q, t) => Gate::Ry(q, -t),
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            g => g, // H, X, Y, Z, CNOT are self-inverse
+        }
+    }
+
+    /// The 2×2 matrix of a single-qubit gate (`None` for CNOT).
+    pub fn single_qubit_matrix(&self) -> Option<CMatrix> {
+        let i = Complex64::I;
+        let one = Complex64::ONE;
+        let zero = Complex64::ZERO;
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let m = match *self {
+            Gate::H(_) => CMatrix::from_rows(&[
+                vec![one * s, one * s],
+                vec![one * s, -one * s],
+            ]),
+            Gate::X(_) => CMatrix::from_rows(&[vec![zero, one], vec![one, zero]]),
+            Gate::Y(_) => CMatrix::from_rows(&[vec![zero, -i], vec![i, zero]]),
+            Gate::Z(_) => CMatrix::from_rows(&[vec![one, zero], vec![zero, -one]]),
+            Gate::S(_) => CMatrix::from_rows(&[vec![one, zero], vec![zero, i]]),
+            Gate::Sdg(_) => CMatrix::from_rows(&[vec![one, zero], vec![zero, -i]]),
+            Gate::Rx(_, t) => {
+                let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
+                CMatrix::from_rows(&[
+                    vec![Complex64::from_re(c), -i * sn],
+                    vec![-i * sn, Complex64::from_re(c)],
+                ])
+            }
+            Gate::Ry(_, t) => {
+                let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
+                CMatrix::from_rows(&[
+                    vec![Complex64::from_re(c), Complex64::from_re(-sn)],
+                    vec![Complex64::from_re(sn), Complex64::from_re(c)],
+                ])
+            }
+            Gate::Rz(_, t) => {
+                let phase = Complex64::from_polar(1.0, t / 2.0);
+                CMatrix::from_rows(&[vec![phase.conj(), zero], vec![zero, phase]])
+            }
+            Gate::Cnot { .. } => return None,
+        };
+        Some(m)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::H(q) => write!(f, "h q{q}"),
+            Gate::X(q) => write!(f, "x q{q}"),
+            Gate::Y(q) => write!(f, "y q{q}"),
+            Gate::Z(q) => write!(f, "z q{q}"),
+            Gate::S(q) => write!(f, "s q{q}"),
+            Gate::Sdg(q) => write!(f, "sdg q{q}"),
+            Gate::Rx(q, t) => write!(f, "rx({t}) q{q}"),
+            Gate::Ry(q, t) => write!(f, "ry({t}) q{q}"),
+            Gate::Rz(q, t) => write!(f, "rz({t}) q{q}"),
+            Gate::Cnot { control, target } => write!(f, "cx q{control}, q{target}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_matrices_are_unitary() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, -1.2),
+            Gate::Rz(0, 2.4),
+        ];
+        for g in gates {
+            let m = g.single_qubit_matrix().unwrap();
+            assert!(m.is_unitary(1e-12), "{g}");
+        }
+        assert!(Gate::Cnot { control: 0, target: 1 }.single_qubit_matrix().is_none());
+    }
+
+    #[test]
+    fn adjoint_matrices_invert() {
+        for g in [Gate::H(0), Gate::S(0), Gate::Rx(0, 0.9), Gate::Rz(0, -0.4)] {
+            let m = g.single_qubit_matrix().unwrap();
+            let madj = g.adjoint().single_qubit_matrix().unwrap();
+            assert!((&m * &madj).approx_eq(&CMatrix::identity(2), 1e-12), "{g}");
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let s = Gate::S(0).single_qubit_matrix().unwrap();
+        let z = Gate::Z(0).single_qubit_matrix().unwrap();
+        assert!((&s * &s).approx_eq(&z, 1e-12));
+    }
+
+    #[test]
+    fn rx_half_pi_maps_y_to_z() {
+        // RX(π/2)·Y·RX(−π/2) = Z — the Y-basis change the synthesizer uses.
+        let rx = Gate::Rx(0, std::f64::consts::FRAC_PI_2)
+            .single_qubit_matrix()
+            .unwrap();
+        let y = Gate::Y(0).single_qubit_matrix().unwrap();
+        let z = Gate::Z(0).single_qubit_matrix().unwrap();
+        let conj = &(&rx * &y) * &rx.adjoint();
+        assert!(conj.approx_eq(&z, 1e-12));
+    }
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(Gate::Rz(3, 0.1).qubits(), vec![3]);
+        assert_eq!(Gate::Cnot { control: 5, target: 2 }.qubits(), vec![2, 5]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Quantum circuit IR, Pauli-evolution synthesis, and peephole
+//! optimization.
+//!
+//! The downstream half of the paper's pipeline: once a Fermion-to-qubit
+//! encoding produces a qubit Hamiltonian `H = Σ wⱼ·Pⱼ`, Trotterized time
+//! evolution compiles each term `exp(−i·wⱼΔt·Pⱼ)` to basic gates using the
+//! Section 2.1.2 recipe — basis changes, a CNOT fan-in to a target qubit, an
+//! `Rz` rotation, and the mirror image. Gate count per term is roughly
+//! proportional to the term's Pauli weight, which is why minimizing weight
+//! minimizes the compiled circuit (Section 2.1.3).
+//!
+//! [`optimize`](optimize::optimize) then applies the local rewrites that
+//! account for most of a production compiler's benefit on these circuits:
+//! adjacent self-inverse cancellation (CNOT pairs, `H` pairs, basis-change
+//! pairs between consecutive Trotter terms) and rotation merging.
+//!
+//! # Example
+//!
+//! ```
+//! use circuit::evolution::pauli_evolution;
+//!
+//! let p: pauli::PauliString = "XZY".parse().unwrap();
+//! let c = pauli_evolution(&p, 0.3);
+//! // Weight-3 string: 2 basis gates + 2·(3−1) CNOTs + 1 Rz + 2 basis gates.
+//! assert_eq!(c.counts().cnot, 4);
+//! assert_eq!(c.counts().total(), 9);
+//! ```
+
+pub mod circuit;
+pub mod evolution;
+pub mod gate;
+pub mod optimize;
+pub mod unitary;
+
+pub use circuit::{Circuit, GateCounts};
+pub use evolution::{pauli_evolution, trotter2_circuit, trotter_circuit};
+pub use gate::Gate;
+pub use unitary::circuit_unitary;

@@ -1,0 +1,245 @@
+//! Peephole optimization passes.
+//!
+//! Consecutive Trotter terms leave obvious local redundancy: the inverse
+//! basis change closing one term often meets the identical basis change
+//! opening the next, and CNOT fan-ins re-enter along the same edges. These
+//! passes — the local rewrites production compilers (Qiskit L3,
+//! Paulihedral) also perform — clean that up:
+//!
+//! * **inverse-pair cancellation** — `H·H`, `S·Sdg`, `X·X`, `CNOT·CNOT`,
+//!   `Rx(θ)·Rx(−θ)` … on the same qubit(s) with nothing in between;
+//! * **rotation merging** — adjacent `Rz`/`Rx`/`Ry` on one qubit sum their
+//!   angles (dropping the gate when the sum vanishes).
+//!
+//! Passes iterate to a fixpoint. They preserve the circuit unitary exactly
+//! (tested against [`circuit_unitary`](crate::unitary::circuit_unitary)).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Angle below which a merged rotation is dropped entirely.
+const NULL_ROTATION_TOL: f64 = 1e-12;
+
+/// Runs all passes to a fixpoint and returns the optimized circuit.
+///
+/// # Example
+///
+/// ```
+/// use circuit::{Circuit, Gate};
+/// use circuit::optimize::optimize;
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Rz(1, 0.5)); // unrelated gate in between
+/// c.push(Gate::H(0));
+/// let opt = optimize(&c);
+/// assert_eq!(opt.len(), 1); // the H pair cancels across qubit 1's gate
+/// ```
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut out = circuit.clone();
+    loop {
+        let before = out.len();
+        cancel_pairs(&mut out);
+        merge_rotations(&mut out);
+        if out.len() == before {
+            return out;
+        }
+    }
+}
+
+/// Index of the next gate after `i` that shares a qubit with `gate`, if
+/// any.
+fn next_on_qubits(gates: &[Option<Gate>], i: usize, gate: &Gate) -> Option<usize> {
+    let qs = gate.qubits();
+    gates
+        .iter()
+        .enumerate()
+        .skip(i + 1)
+        .find(|(_, g)| {
+            g.as_ref()
+                .is_some_and(|g| g.qubits().iter().any(|q| qs.contains(q)))
+        })
+        .map(|(j, _)| j)
+}
+
+/// One sweep of inverse-pair cancellation.
+fn cancel_pairs(circuit: &mut Circuit) {
+    let mut gates: Vec<Option<Gate>> = circuit.gates().iter().copied().map(Some).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..gates.len() {
+            let Some(gi) = gates[i] else { continue };
+            let Some(j) = next_on_qubits(&gates, i, &gi) else {
+                continue;
+            };
+            let gj = gates[j].expect("found above");
+            // For a two-qubit pair the partner must be the *next* gate on
+            // both qubits; `next_on_qubits` guarantees exactly that because
+            // any interposed gate on either qubit would have been found
+            // first.
+            let inverse_pair = match (gi, gj) {
+                (Gate::Rx(a, t1), Gate::Rx(b, t2))
+                | (Gate::Ry(a, t1), Gate::Ry(b, t2))
+                | (Gate::Rz(a, t1), Gate::Rz(b, t2)) => a == b && (t1 + t2).abs() < NULL_ROTATION_TOL,
+                _ => gj == gi.adjoint() && gi.single_qubit_matrix().is_some() || gj == gi && gi.is_two_qubit(),
+            };
+            if inverse_pair {
+                gates[i] = None;
+                gates[j] = None;
+                changed = true;
+            }
+        }
+    }
+    circuit.set_gates(gates.into_iter().flatten().collect());
+}
+
+/// One sweep of rotation merging.
+fn merge_rotations(circuit: &mut Circuit) {
+    let mut gates: Vec<Option<Gate>> = circuit.gates().iter().copied().map(Some).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..gates.len() {
+            let Some(gi) = gates[i] else { continue };
+            let Some(j) = next_on_qubits(&gates, i, &gi) else {
+                continue;
+            };
+            let gj = gates[j].expect("found above");
+            let merged = match (gi, gj) {
+                (Gate::Rz(a, t1), Gate::Rz(b, t2)) if a == b => Some(Gate::Rz(a, t1 + t2)),
+                (Gate::Rx(a, t1), Gate::Rx(b, t2)) if a == b => Some(Gate::Rx(a, t1 + t2)),
+                (Gate::Ry(a, t1), Gate::Ry(b, t2)) if a == b => Some(Gate::Ry(a, t1 + t2)),
+                _ => None,
+            };
+            if let Some(m) = merged {
+                let drop = match m {
+                    Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => {
+                        t.abs() < NULL_ROTATION_TOL
+                    }
+                    _ => false,
+                };
+                gates[i] = if drop { None } else { Some(m) };
+                gates[j] = None;
+                changed = true;
+            }
+        }
+    }
+    circuit.set_gates(gates.into_iter().flatten().collect());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolution::{pauli_evolution, trotter_circuit};
+    use crate::unitary::circuit_unitary;
+    use mathkit::Complex64;
+    use pauli::PauliSum;
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit) {
+        let ua = circuit_unitary(a);
+        let ub = circuit_unitary(b);
+        assert!(ua.approx_eq_up_to_phase(&ub, 1e-9), "not equivalent");
+    }
+
+    #[test]
+    fn cnot_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let opt = optimize(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn cnot_pairs_blocked_by_intervening_gate() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::H(1));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 3, "H on the target blocks cancellation");
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn reversed_cnot_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot { control: 1, target: 0 });
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn h_pairs_cancel_across_other_qubits() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 1, target: 2 });
+        c.push(Gate::H(0));
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn s_sdg_cancel() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::S(0));
+        c.push(Gate::Sdg(0));
+        assert!(optimize(&c).is_empty());
+        let mut c2 = Circuit::new(1);
+        c2.push(Gate::Sdg(0));
+        c2.push(Gate::S(0));
+        assert!(optimize(&c2).is_empty());
+    }
+
+    #[test]
+    fn rotations_merge_and_null_out() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 0.3));
+        c.push(Gate::Rz(0, 0.4));
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.gates()[0], Gate::Rz(0, 0.7));
+
+        let mut c2 = Circuit::new(1);
+        c2.push(Gate::Rx(0, 1.2));
+        c2.push(Gate::Rx(0, -1.2));
+        assert!(optimize(&c2).is_empty());
+    }
+
+    #[test]
+    fn consecutive_trotter_terms_share_basis_changes() {
+        // exp(iλ·XX)·exp(iμ·XX): the inner H layers and CNOTs cancel.
+        let p: pauli::PauliString = "XX".parse().unwrap();
+        let mut c = pauli_evolution(&p, 0.4);
+        c.append(&pauli_evolution(&p, 0.8));
+        let opt = optimize(&c);
+        // Ideal result: H H | CNOT | Rz (merged) | CNOT | H H = 7 gates.
+        assert_eq!(opt.len(), 7, "{opt}");
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn optimized_trotter_is_equivalent_and_smaller() {
+        let mut h = PauliSum::new(3);
+        h.add_term("XXI".parse().unwrap(), Complex64::from_re(0.5));
+        h.add_term("IXX".parse().unwrap(), Complex64::from_re(-0.3));
+        h.add_term("ZIZ".parse().unwrap(), Complex64::from_re(0.9));
+        let c = trotter_circuit(&h, 0.7, 2);
+        let opt = optimize(&c);
+        assert!(opt.len() < c.len(), "{} vs {}", opt.len(), c.len());
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let p: pauli::PauliString = "XYZ".parse().unwrap();
+        let mut c = pauli_evolution(&p, 0.2);
+        c.append(&pauli_evolution(&p, 0.2));
+        let once = optimize(&c);
+        let twice = optimize(&once);
+        assert_eq!(once, twice);
+    }
+}

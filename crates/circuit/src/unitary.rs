@@ -1,0 +1,137 @@
+//! Exact circuit unitaries (for verification at small width).
+//!
+//! Builds the `2ⁿ × 2ⁿ` matrix of a circuit column by column, applying each
+//! gate to basis vectors. Exponential — this is the correctness oracle for
+//! the synthesizer and the optimizer, not a simulator (see the `qsim` crate
+//! for that).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use mathkit::{CMatrix, Complex64};
+
+/// Applies one gate to a dense state vector (qubit 0 = least-significant
+/// bit of the index).
+pub fn apply_gate(state: &mut [Complex64], gate: &Gate) {
+    match *gate {
+        Gate::Cnot { control, target } => {
+            let cbit = 1usize << control;
+            let tbit = 1usize << target;
+            for idx in 0..state.len() {
+                if idx & cbit != 0 && idx & tbit == 0 {
+                    state.swap(idx, idx | tbit);
+                }
+            }
+        }
+        ref g => {
+            let q = g.qubits()[0];
+            let m = g
+                .single_qubit_matrix()
+                .expect("non-CNOT gates are single-qubit");
+            let (a, b, c, d) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+            let qbit = 1usize << q;
+            for idx in 0..state.len() {
+                if idx & qbit == 0 {
+                    let hi = idx | qbit;
+                    let v0 = state[idx];
+                    let v1 = state[hi];
+                    state[idx] = a * v0 + b * v1;
+                    state[hi] = c * v0 + d * v1;
+                }
+            }
+        }
+    }
+}
+
+/// The full unitary of a circuit.
+///
+/// # Example
+///
+/// ```
+/// use circuit::{Circuit, Gate, circuit_unitary};
+/// use mathkit::CMatrix;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.push(Gate::H(0));
+/// bell.push(Gate::Cnot { control: 0, target: 1 });
+/// let u = circuit_unitary(&bell);
+/// assert!(u.is_unitary(1e-12));
+/// // |00⟩ ↦ (|00⟩ + |11⟩)/√2.
+/// assert!((u[(0, 0)].re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// assert!((u[(3, 0)].re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// ```
+pub fn circuit_unitary(circuit: &Circuit) -> CMatrix {
+    let dim = 1usize << circuit.num_qubits();
+    let mut u = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        let mut state = vec![Complex64::ZERO; dim];
+        state[col] = Complex64::ONE;
+        for g in circuit.iter() {
+            apply_gate(&mut state, g);
+        }
+        for (row, amp) in state.into_iter().enumerate() {
+            u[(row, col)] = amp;
+        }
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_circuit_is_identity() {
+        let c = Circuit::new(3);
+        assert!(circuit_unitary(&c).approx_eq(&CMatrix::identity(8), 1e-14));
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let u = circuit_unitary(&c);
+        // |00⟩→|00⟩, |01⟩→|11⟩ (control = qubit 0 = LSB), |10⟩→|10⟩, |11⟩→|01⟩.
+        assert!((u[(0b00, 0b00)].re - 1.0).abs() < 1e-14);
+        assert!((u[(0b11, 0b01)].re - 1.0).abs() < 1e-14);
+        assert!((u[(0b10, 0b10)].re - 1.0).abs() < 1e-14);
+        assert!((u[(0b01, 0b11)].re - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn composition_matches_matrix_product() {
+        let mut c1 = Circuit::new(2);
+        c1.push(Gate::H(0));
+        c1.push(Gate::Rz(1, 0.4));
+        let mut c2 = Circuit::new(2);
+        c2.push(Gate::Cnot { control: 1, target: 0 });
+        c2.push(Gate::Rx(0, -0.9));
+        let mut c12 = c1.clone();
+        c12.append(&c2);
+        let lhs = circuit_unitary(&c12);
+        // Later gates act on the left: U = U₂·U₁.
+        let rhs = &circuit_unitary(&c2) * &circuit_unitary(&c1);
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn adjoint_circuit_inverts() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::S(1));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Rx(0, 1.1));
+        let mut round_trip = c.clone();
+        round_trip.append(&c.adjoint());
+        let u = circuit_unitary(&round_trip);
+        assert!(u.approx_eq(&CMatrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn single_qubit_gate_embeds_at_position() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X(1));
+        let u = circuit_unitary(&c);
+        // X on qubit 1: |00⟩ ↦ |10⟩ (index 0 → 2).
+        assert!((u[(2, 0)].re - 1.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,137 @@
+//! SAT variable layout for encoding problems.
+//!
+//! The unknowns are `2N` Majorana Pauli strings on `N` qubits. Each site
+//! holds one Pauli operator encoded by two Boolean variables (paper Eq. 7):
+//!
+//! ```text
+//! E(I) = (0,0)   E(X) = (0,1)   E(Y) = (1,0)   E(Z) = (1,1)
+//! ```
+//!
+//! Variable indices `0 .. 4N²` are reserved for these primary variables in
+//! a fixed order; Tseitin auxiliaries come after.
+
+use pauli::{encoding::op_from_bits, PauliString};
+use sat::{Model, Var};
+
+/// Index mapping from (string, qubit, bit) to SAT variables.
+///
+/// # Example
+///
+/// ```
+/// use fermihedral::VarLayout;
+///
+/// let layout = VarLayout::new(3);
+/// assert_eq!(layout.num_primary_vars(), 36); // 2N·N·2 = 4N²
+/// assert_ne!(layout.b1(0, 0), layout.b2(0, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarLayout {
+    num_modes: usize,
+}
+
+impl VarLayout {
+    /// Layout for an `N`-mode problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_modes == 0`.
+    pub fn new(num_modes: usize) -> VarLayout {
+        assert!(num_modes > 0, "need at least one mode");
+        VarLayout { num_modes }
+    }
+
+    /// Number of modes `N`.
+    pub fn num_modes(&self) -> usize {
+        self.num_modes
+    }
+
+    /// Number of Majorana strings (`2N`).
+    pub fn num_strings(&self) -> usize {
+        2 * self.num_modes
+    }
+
+    /// Number of primary variables (`4N²`).
+    pub fn num_primary_vars(&self) -> usize {
+        self.num_strings() * self.num_modes * 2
+    }
+
+    fn base(&self, string: usize, qubit: usize) -> usize {
+        debug_assert!(string < self.num_strings(), "string index out of range");
+        debug_assert!(qubit < self.num_modes, "qubit index out of range");
+        (string * self.num_modes + qubit) * 2
+    }
+
+    /// First encoding bit `b1` of `(string, qubit)`.
+    pub fn b1(&self, string: usize, qubit: usize) -> Var {
+        Var::new(self.base(string, qubit))
+    }
+
+    /// Second encoding bit `b2` of `(string, qubit)`.
+    pub fn b2(&self, string: usize, qubit: usize) -> Var {
+        Var::new(self.base(string, qubit) + 1)
+    }
+
+    /// Decodes one Majorana string from a model.
+    pub fn decode_string(&self, model: &Model, string: usize) -> PauliString {
+        let mut s = PauliString::identity(self.num_modes);
+        for q in 0..self.num_modes {
+            let b1 = model.value(self.b1(string, q));
+            let b2 = model.value(self.b2(string, q));
+            s.set(q, op_from_bits(b1, b2));
+        }
+        s
+    }
+
+    /// Decodes all `2N` Majorana strings from a model.
+    pub fn decode_all(&self, model: &Model) -> Vec<PauliString> {
+        (0..self.num_strings())
+            .map(|s| self.decode_string(model, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat::{Cnf, SolveResult, Solver};
+
+    #[test]
+    fn variables_are_disjoint_and_dense() {
+        let layout = VarLayout::new(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in 0..6 {
+            for q in 0..3 {
+                assert!(seen.insert(layout.b1(s, q).index()));
+                assert!(seen.insert(layout.b2(s, q).index()));
+            }
+        }
+        assert_eq!(seen.len(), layout.num_primary_vars());
+        assert_eq!(*seen.iter().max().unwrap(), layout.num_primary_vars() - 1);
+    }
+
+    #[test]
+    fn decode_round_trips_paper_encoding() {
+        // Force a known assignment via unit clauses and decode.
+        let layout = VarLayout::new(2);
+        let mut cnf = Cnf::new();
+        cnf.new_vars(layout.num_primary_vars());
+        // String 0 = "ZX" (q0 = X = (0,1), q1 = Z = (1,1)).
+        cnf.add_clause([layout.b1(0, 0).negative()]);
+        cnf.add_clause([layout.b2(0, 0).positive()]);
+        cnf.add_clause([layout.b1(0, 1).positive()]);
+        cnf.add_clause([layout.b2(0, 1).positive()]);
+        // Remaining strings: all identity (force zeros).
+        for s in 1..4 {
+            for q in 0..2 {
+                cnf.add_clause([layout.b1(s, q).negative()]);
+                cnf.add_clause([layout.b2(s, q).negative()]);
+            }
+        }
+        let SolveResult::Sat(model) = Solver::from_cnf(&cnf).solve() else {
+            panic!()
+        };
+        assert_eq!(layout.decode_string(&model, 0).to_string(), "ZX");
+        assert!(layout.decode_string(&model, 1).is_identity());
+        assert_eq!(layout.decode_all(&model).len(), 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! Encodings defined by explicit Majorana strings.
+//!
+//! The SAT solver in the `fermihedral` crate produces raw Pauli strings;
+//! wrapping them in a [`MajoranaEncoding`] plugs them into the same
+//! mapping/validation/metric machinery as the classical constructions.
+
+use crate::Encoding;
+use pauli::{PauliString, PhasedString};
+use std::fmt;
+
+/// An encoding given by an explicit list of `2N` Majorana operators.
+///
+/// Construction does *not* validate the algebra — use
+/// [`validate`](crate::validate::validate) — but does enforce shape
+/// (an even, non-zero count of equal-width strings on `N = count/2`
+/// qubits).
+///
+/// # Example
+///
+/// ```
+/// use encodings::{Encoding, MajoranaEncoding};
+/// use encodings::validate::validate;
+///
+/// // The paper's JW example (Eq. 2) as explicit strings.
+/// let enc = MajoranaEncoding::from_strings(
+///     "paper-eq2",
+///     ["IX", "IY", "XZ", "YZ"].iter().map(|s| s.parse().unwrap()),
+/// ).unwrap();
+/// assert_eq!(enc.num_modes(), 2);
+/// assert!(validate(&enc).is_valid());
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct MajoranaEncoding {
+    name: String,
+    strings: Vec<PhasedString>,
+}
+
+/// Error constructing a [`MajoranaEncoding`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The string list was empty.
+    Empty,
+    /// The count was odd (Majoranas come in pairs per mode).
+    OddCount(usize),
+    /// A string's qubit count disagreed with `count / 2`.
+    WidthMismatch {
+        /// Expected qubit count (`strings.len() / 2`).
+        expected: usize,
+        /// Observed qubit count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Empty => write!(f, "no Majorana strings given"),
+            ShapeError::OddCount(n) => write!(f, "odd number of Majorana strings ({n})"),
+            ShapeError::WidthMismatch { expected, found } => write!(
+                f,
+                "string on {found} qubits in an encoding of {expected} modes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl MajoranaEncoding {
+    /// Wraps `2N` phased strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the count is zero or odd, or widths
+    /// disagree with `count / 2`.
+    pub fn new(
+        name: impl Into<String>,
+        strings: Vec<PhasedString>,
+    ) -> Result<MajoranaEncoding, ShapeError> {
+        if strings.is_empty() {
+            return Err(ShapeError::Empty);
+        }
+        if strings.len() % 2 != 0 {
+            return Err(ShapeError::OddCount(strings.len()));
+        }
+        let expected = strings.len() / 2;
+        for s in &strings {
+            if s.num_qubits() != expected {
+                return Err(ShapeError::WidthMismatch {
+                    expected,
+                    found: s.num_qubits(),
+                });
+            }
+        }
+        Ok(MajoranaEncoding {
+            name: name.into(),
+            strings,
+        })
+    }
+
+    /// Convenience constructor from plain (phase-free) strings.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn from_strings(
+        name: impl Into<String>,
+        strings: impl IntoIterator<Item = PauliString>,
+    ) -> Result<MajoranaEncoding, ShapeError> {
+        MajoranaEncoding::new(
+            name,
+            strings.into_iter().map(PhasedString::from).collect(),
+        )
+    }
+
+    /// Reorders the Majorana pairs according to `perm` (a permutation of
+    /// modes): new mode `j` takes the pair previously at mode `perm[j]`.
+    /// This is the move the simulated-annealing pairing search applies
+    /// (paper Algorithm 2 swaps pairs, preserving vacuum pairing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..N`.
+    pub fn permuted_pairs(&self, perm: &[usize]) -> MajoranaEncoding {
+        let n = self.num_modes();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut strings = Vec::with_capacity(2 * n);
+        for &src in perm {
+            strings.push(self.strings[2 * src].clone());
+            strings.push(self.strings[2 * src + 1].clone());
+        }
+        MajoranaEncoding {
+            name: self.name.clone(),
+            strings,
+        }
+    }
+}
+
+impl Encoding for MajoranaEncoding {
+    fn num_modes(&self) -> usize {
+        self.strings.len() / 2
+    }
+
+    fn majoranas(&self) -> Vec<PhasedString> {
+        self.strings.clone()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for MajoranaEncoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MajoranaEncoding({}", self.name)?;
+        for s in &self.strings {
+            write!(f, ", {s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_jw() -> MajoranaEncoding {
+        MajoranaEncoding::from_strings(
+            "jw2",
+            ["IX", "IY", "XZ", "YZ"]
+                .iter()
+                .map(|s| s.parse::<PauliString>().unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(
+            MajoranaEncoding::from_strings("e", std::iter::empty()),
+            Err(ShapeError::Empty)
+        );
+        let one: PauliString = "X".parse().unwrap();
+        assert_eq!(
+            MajoranaEncoding::from_strings("o", [one.clone()]),
+            Err(ShapeError::OddCount(1))
+        );
+        let wide: PauliString = "XY".parse().unwrap();
+        assert!(matches!(
+            MajoranaEncoding::from_strings("w", [one, wide]),
+            Err(ShapeError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn permuted_pairs_swaps_modes() {
+        let enc = paper_jw();
+        let swapped = enc.permuted_pairs(&[1, 0]);
+        let ms = swapped.majoranas();
+        assert_eq!(ms[0].string().to_string(), "XZ");
+        assert_eq!(ms[1].string().to_string(), "YZ");
+        assert_eq!(ms[2].string().to_string(), "IX");
+        assert_eq!(ms[3].string().to_string(), "IY");
+        // Identity permutation round-trips.
+        assert_eq!(swapped.permuted_pairs(&[1, 0]).majoranas(), enc.majoranas());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_permutation_panics() {
+        let _ = paper_jw().permuted_pairs(&[0, 0]);
+    }
+}

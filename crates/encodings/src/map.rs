@@ -1,0 +1,182 @@
+//! Mapping Fermionic Hamiltonians to qubit operators.
+//!
+//! Given an encoding's Majorana strings, a [`MajoranaSum`] maps term by
+//! term: each monomial `M_{i₁}·…·M_{i_k}` becomes the phased product of the
+//! corresponding strings, and coefficients multiply through exactly. A
+//! second-quantized Hamiltonian goes through its Majorana expansion first
+//! (`MajoranaSum::from_fermion`), so the whole pipeline is
+//!
+//! ```text
+//! FermionHamiltonian ──► MajoranaSum ──► PauliSum (qubit Hamiltonian)
+//! ```
+//!
+//! Correctness oracle: for a valid encoding the resulting [`PauliSum`] is
+//! isospectral to the Fock-space reference matrix (tested in the crate's
+//! integration suite).
+
+use crate::Encoding;
+use fermion::{FermionHamiltonian, MajoranaSum};
+use pauli::{PauliSum, PhasedString};
+
+/// Maps a Majorana-form Hamiltonian through an encoding.
+///
+/// # Panics
+///
+/// Panics if the encoding's mode count differs from the Hamiltonian's.
+///
+/// # Example
+///
+/// ```
+/// use encodings::{map, LinearEncoding};
+/// use fermion::{FermionHamiltonian, MajoranaSum};
+///
+/// let mut h = FermionHamiltonian::new(2);
+/// h.add_number_operator(0, 1.0);
+/// h.add_number_operator(1, 1.0);
+/// let qubit_h = map::map_majorana_sum(
+///     &LinearEncoding::jordan_wigner(2),
+///     &MajoranaSum::from_fermion(&h),
+/// );
+/// // N̂ = I − (Z₀ + Z₁)/2: three terms.
+/// assert_eq!(qubit_h.len(), 3);
+/// assert!(qubit_h.is_hermitian(1e-12));
+/// ```
+pub fn map_majorana_sum(encoding: &impl Encoding, h: &MajoranaSum) -> PauliSum {
+    map_strings(&encoding.majoranas(), h)
+}
+
+/// Maps a second-quantized Hamiltonian through an encoding.
+///
+/// # Panics
+///
+/// Panics if the encoding's mode count differs from the Hamiltonian's.
+pub fn map_hamiltonian(encoding: &impl Encoding, h: &FermionHamiltonian) -> PauliSum {
+    map_majorana_sum(encoding, &MajoranaSum::from_fermion(h))
+}
+
+/// Maps a Majorana-form Hamiltonian given the `2N` Majorana strings
+/// directly (the form the SAT pipeline works with).
+///
+/// # Panics
+///
+/// Panics if `strings.len() != 2·num_modes`.
+pub fn map_strings(strings: &[PhasedString], h: &MajoranaSum) -> PauliSum {
+    assert_eq!(
+        strings.len(),
+        h.num_majoranas(),
+        "encoding has {} Majoranas but Hamiltonian needs {}",
+        strings.len(),
+        h.num_majoranas()
+    );
+    let n = strings[0].num_qubits();
+    let mut out = PauliSum::new(n);
+    for (mono, coeff) in h.iter() {
+        let mut acc = PhasedString::identity(n);
+        for &idx in mono.indices() {
+            acc = &acc * &strings[idx as usize];
+        }
+        out.add_term(acc.string().clone(), coeff * acc.coefficient());
+    }
+    out.prune(1e-12);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearEncoding;
+    use crate::ternary_tree::TernaryTreeEncoding;
+    use fermion::fock::hamiltonian_matrix;
+    use fermion::models::{FermiHubbard, Lattice};
+    use mathkit::eigen::eigh;
+    use mathkit::Complex64;
+    use pauli::PauliString;
+
+    fn spectra_match(h: &FermionHamiltonian, enc: &impl Encoding) {
+        let reference = eigh(&hamiltonian_matrix(h)).values;
+        let mapped = map_hamiltonian(enc, h);
+        assert!(mapped.is_hermitian(1e-10), "{} not Hermitian", enc.name());
+        let got = eigh(&mapped.to_matrix()).values;
+        assert_eq!(reference.len(), got.len());
+        for (a, b) in reference.iter().zip(&got) {
+            assert!(
+                (a - b).abs() < 1e-8,
+                "{}: eigenvalue {a} vs {b}",
+                enc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_section_222_example() {
+        // h₁·a†₁a₁ + h₂·a†₂a₂ ↦ (h₁+h₂)/2·II − h₁/2·IZ − h₂/2·ZI under JW.
+        let (h1, h2) = (1.25, -0.75);
+        let mut h = FermionHamiltonian::new(2);
+        h.add_number_operator(0, h1);
+        h.add_number_operator(1, h2);
+        let mapped = map_hamiltonian(&LinearEncoding::jordan_wigner(2), &h);
+        let coeff = |s: &str| mapped.coefficient(&s.parse::<PauliString>().unwrap());
+        assert!(coeff("II").approx_eq(Complex64::from_re((h1 + h2) / 2.0), 1e-12));
+        assert!(coeff("IZ").approx_eq(Complex64::from_re(-h1 / 2.0), 1e-12));
+        assert!(coeff("ZI").approx_eq(Complex64::from_re(-h2 / 2.0), 1e-12));
+        assert_eq!(mapped.len(), 3);
+    }
+
+    #[test]
+    fn hopping_under_jw_gives_xx_plus_yy() {
+        let mut h = FermionHamiltonian::new(2);
+        h.add_hopping(0, 1, -1.0);
+        let mapped = map_hamiltonian(&LinearEncoding::jordan_wigner(2), &h);
+        let coeff = |s: &str| mapped.coefficient(&s.parse::<PauliString>().unwrap());
+        // −(a†₀a₁ + a†₁a₀) = −(X₁X₀ + Y₁Y₀)/2 under JW.
+        assert!(coeff("XX").approx_eq(Complex64::from_re(-0.5), 1e-12));
+        assert!(coeff("YY").approx_eq(Complex64::from_re(-0.5), 1e-12));
+        assert_eq!(mapped.len(), 2);
+    }
+
+    #[test]
+    fn spectra_preserved_across_encodings() {
+        let model = FermiHubbard::new(
+            Lattice::Chain {
+                sites: 2,
+                periodic: false,
+            },
+            1.0,
+            3.0,
+        );
+        let h = model.hamiltonian();
+        spectra_match(&h, &LinearEncoding::jordan_wigner(4));
+        spectra_match(&h, &LinearEncoding::parity(4));
+        spectra_match(&h, &LinearEncoding::bravyi_kitaev(4));
+        spectra_match(&h, &TernaryTreeEncoding::new(4));
+    }
+
+    #[test]
+    fn number_operator_counts_under_every_encoding() {
+        // The total-number operator has eigenvalues 0..=N under any valid
+        // encoding.
+        let n = 3;
+        let mut h = FermionHamiltonian::new(n);
+        for j in 0..n {
+            h.add_number_operator(j, 1.0);
+        }
+        for enc_eigs in [
+            eigh(&map_hamiltonian(&LinearEncoding::parity(n), &h).to_matrix()).values,
+            eigh(&map_hamiltonian(&TernaryTreeEncoding::new(n), &h).to_matrix()).values,
+        ] {
+            for v in &enc_eigs {
+                let nearest = v.round();
+                assert!((v - nearest).abs() < 1e-9);
+                assert!((0.0..=n as f64).contains(&nearest));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Majoranas")]
+    fn mode_count_mismatch_panics() {
+        let mut h = FermionHamiltonian::new(3);
+        h.add_number_operator(0, 1.0);
+        let _ = map_hamiltonian(&LinearEncoding::jordan_wigner(2), &h);
+    }
+}

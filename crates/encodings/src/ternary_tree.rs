@@ -1,0 +1,162 @@
+//! The ternary-tree encoding of Jiang, Kalev, Mruczkiewicz & Neven (2020).
+//!
+//! Qubits are nodes of a complete ternary tree (array layout: node `k` has
+//! children `3k+1`, `3k+2`, `3k+3`). Every root-to-leaf-slot path defines a
+//! Pauli string — operator `X`/`Y`/`Z` at each node according to the branch
+//! taken. A tree with `n` nodes has exactly `2n+1` leaf slots, and the
+//! resulting strings pairwise anticommute (any two share exactly one
+//! divergence node). Dropping one string (the all-`Z` spine, which is
+//! diagonal) leaves `2n` Majorana operators of depth ≤ `⌈log₃(2n+1)⌉` —
+//! the asymptotically optimal per-Majorana Pauli weight the paper cites as
+//! the best Hamiltonian-independent construction.
+
+use crate::Encoding;
+use pauli::{Pauli, PauliString, PhasedString};
+
+/// The balanced ternary-tree encoding on `n` qubits.
+///
+/// # Example
+///
+/// ```
+/// use encodings::{Encoding, TernaryTreeEncoding};
+///
+/// let tt = TernaryTreeEncoding::new(4);
+/// let ms = tt.majoranas();
+/// assert_eq!(ms.len(), 8);
+/// // Depth of a balanced ternary tree with 4 nodes is 2, so no string
+/// // weighs more than 2.
+/// assert!(ms.iter().all(|m| m.weight() <= 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TernaryTreeEncoding {
+    num_modes: usize,
+}
+
+impl TernaryTreeEncoding {
+    /// Creates the encoding for `n` modes (= qubits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> TernaryTreeEncoding {
+        assert!(n > 0, "need at least one mode");
+        TernaryTreeEncoding { num_modes: n }
+    }
+
+    /// All `2n+1` root-to-leaf-slot strings in depth-first order (the last
+    /// one is the all-`Z` spine that [`majoranas`](Encoding::majoranas)
+    /// drops).
+    pub fn all_paths(&self) -> Vec<PauliString> {
+        let mut out = Vec::with_capacity(2 * self.num_modes + 1);
+        let prefix = PauliString::identity(self.num_modes);
+        self.walk(0, &prefix, &mut out);
+        out
+    }
+
+    fn walk(&self, node: usize, prefix: &PauliString, out: &mut Vec<PauliString>) {
+        for (b, op) in [Pauli::X, Pauli::Y, Pauli::Z].into_iter().enumerate() {
+            let mut s = prefix.clone();
+            s.set(node, op);
+            let child = 3 * node + 1 + b;
+            if child < self.num_modes {
+                self.walk(child, &s, out);
+            } else {
+                out.push(s);
+            }
+        }
+    }
+}
+
+impl Encoding for TernaryTreeEncoding {
+    fn num_modes(&self) -> usize {
+        self.num_modes
+    }
+
+    fn majoranas(&self) -> Vec<PhasedString> {
+        let mut paths = self.all_paths();
+        paths.pop(); // drop the all-Z spine
+        paths.into_iter().map(PhasedString::from).collect()
+    }
+
+    fn name(&self) -> &str {
+        "ternary-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_tree_is_xyz() {
+        let tt = TernaryTreeEncoding::new(1);
+        let paths: Vec<String> = tt.all_paths().iter().map(|p| p.to_string()).collect();
+        assert_eq!(paths, ["X", "Y", "Z"]);
+        let ms = tt.majoranas();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].string().to_string(), "X");
+        assert_eq!(ms[1].string().to_string(), "Y");
+    }
+
+    #[test]
+    fn path_count_is_2n_plus_1() {
+        for n in 1..20 {
+            let tt = TernaryTreeEncoding::new(n);
+            assert_eq!(tt.all_paths().len(), 2 * n + 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn all_paths_pairwise_anticommute() {
+        for n in [1usize, 2, 4, 7, 13] {
+            let paths = TernaryTreeEncoding::new(n).all_paths();
+            for i in 0..paths.len() {
+                for j in (i + 1)..paths.len() {
+                    assert!(
+                        paths[i].anticommutes(&paths[j]),
+                        "n={n}: {} vs {}",
+                        paths[i],
+                        paths[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_path_is_z_spine() {
+        let tt = TernaryTreeEncoding::new(5);
+        let last = tt.all_paths().pop().unwrap();
+        // All non-identity sites are Z.
+        for (_, op) in last.support() {
+            assert_eq!(op, Pauli::Z);
+        }
+    }
+
+    #[test]
+    fn depth_is_log3() {
+        // With 13 nodes the complete ternary tree has depth 3.
+        let tt = TernaryTreeEncoding::new(13);
+        let max_w = tt.majoranas().iter().map(|m| m.weight()).max().unwrap();
+        assert!(max_w <= 3, "max weight {max_w}");
+        // Beats Jordan-Wigner's maximum weight (N) by a wide margin.
+        assert!(max_w < 13);
+    }
+
+    #[test]
+    fn weight_beats_bk_at_moderate_size() {
+        use crate::linear::LinearEncoding;
+        let n = 9;
+        let tt: usize = TernaryTreeEncoding::new(n)
+            .majoranas()
+            .iter()
+            .map(|m| m.weight())
+            .sum();
+        let bk: usize = LinearEncoding::bravyi_kitaev(n)
+            .majoranas()
+            .iter()
+            .map(|m| m.weight())
+            .sum();
+        assert!(tt <= bk, "ternary tree {tt} vs BK {bk}");
+    }
+}

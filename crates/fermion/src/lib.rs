@@ -1,0 +1,41 @@
+//! Second-quantized Fermionic systems.
+//!
+//! Everything the Fermihedral pipeline needs *before* choosing a
+//! Fermion-to-qubit encoding lives here:
+//!
+//! * [`ops`] — creation/annihilation operators, terms, and Hamiltonians in
+//!   second quantization (paper Section 2.2).
+//! * [`majorana`] — the Majorana-operator picture: expansion of Fermionic
+//!   terms into Majorana monomials with exact signs, and the de-duplicated
+//!   monomial structure that drives the Hamiltonian-dependent Pauli-weight
+//!   objective (Sections 3.7 and 4.2).
+//! * [`fock`] — exact dense matrices in the Fock occupation basis. These are
+//!   encoding-independent references: a correct Fermion-to-qubit encoding
+//!   must produce an isospectral qubit Hamiltonian.
+//! * [`models`] — the paper's three benchmark families (Figure 5):
+//!   molecular electronic structure (embedded H₂/STO-3G integrals plus a
+//!   synthetic generator), the 1-D/2-D Fermi-Hubbard model with periodic
+//!   boundaries, and the four-body SYK model.
+//!
+//! # Example
+//!
+//! ```
+//! use fermion::ops::FermionHamiltonian;
+//! use fermion::majorana::MajoranaSum;
+//! use mathkit::Complex64;
+//!
+//! // H = a†₀a₀ (a number operator on one mode)
+//! let mut h = FermionHamiltonian::new(1);
+//! h.add_number_operator(0, 1.0);
+//! let m = MajoranaSum::from_fermion(&h);
+//! // a†a = (1 + i·M₀M₁)/2: identity monomial + one quadratic monomial.
+//! assert_eq!(m.len(), 2);
+//! ```
+
+pub mod fock;
+pub mod majorana;
+pub mod models;
+pub mod ops;
+
+pub use majorana::{MajoranaMonomial, MajoranaSum};
+pub use ops::{FermionHamiltonian, FermionOp, FermionTerm};

@@ -1,0 +1,438 @@
+//! The Majorana-operator picture.
+//!
+//! Every Fermionic mode `j` splits into two Hermitian Majorana operators
+//! (paper Section 2.2.2, 0-based here):
+//!
+//! ```text
+//! M_{2j}   = a†_j + a_j          a_j  = (M_{2j} + i·M_{2j+1}) / 2
+//! M_{2j+1} = i(a†_j − a_j)       a†_j = (M_{2j} − i·M_{2j+1}) / 2
+//! ```
+//!
+//! with `{M_i, M_j} = 2δ_ij`. A product of creation/annihilation operators
+//! expands into `2^k` Majorana *monomials*; each monomial normal-orders to a
+//! sign times a product over a *set* of distinct Majorana indices (`M² = I`
+//! cancels repeats, transpositions contribute −1).
+//!
+//! The set structure of those monomials — independent of coefficients — is
+//! exactly what the Hamiltonian-dependent Pauli-weight objective consumes
+//! (paper Eq. 14): under an encoding that assigns a Pauli string to each
+//! Majorana operator, the weight of a monomial is the weight of the XOR
+//! (phase-free product) of its strings.
+
+use crate::ops::{FermionHamiltonian, FermionTerm};
+use mathkit::Complex64;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A normal-ordered product of distinct Majorana operators, stored as a
+/// sorted index set. The empty monomial is the identity.
+///
+/// # Example
+///
+/// ```
+/// use fermion::MajoranaMonomial;
+///
+/// let (sign, m) = MajoranaMonomial::reduce(&[3, 1, 1, 0]);
+/// // M₃M₁M₁M₀ = M₃M₀ (M₁² = I), and sorting M₃M₀ → M₀M₃ costs one swap.
+/// assert_eq!(m.indices(), &[0, 3]);
+/// assert_eq!(sign, -1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MajoranaMonomial {
+    indices: Vec<u32>,
+}
+
+impl MajoranaMonomial {
+    /// The identity monomial.
+    pub fn identity() -> MajoranaMonomial {
+        MajoranaMonomial { indices: vec![] }
+    }
+
+    /// Builds from a set of distinct, sorted indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are not strictly increasing.
+    pub fn from_sorted(indices: Vec<u32>) -> MajoranaMonomial {
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        MajoranaMonomial { indices }
+    }
+
+    /// Normal-orders an arbitrary index sequence: returns the sign from
+    /// anticommutation swaps and the reduced monomial after `M² = I`
+    /// cancellation.
+    pub fn reduce(seq: &[u32]) -> (i32, MajoranaMonomial) {
+        let mut v = seq.to_vec();
+        let mut sign = 1i32;
+        // Insertion sort, counting swaps of *distinct* neighbours. Equal
+        // neighbours never swap, so they end up adjacent and cancel below.
+        for i in 1..v.len() {
+            let mut j = i;
+            while j > 0 && v[j - 1] > v[j] {
+                v.swap(j - 1, j);
+                sign = -sign;
+                j -= 1;
+            }
+        }
+        let mut out = Vec::with_capacity(v.len());
+        let mut i = 0;
+        while i < v.len() {
+            if i + 1 < v.len() && v[i] == v[i + 1] {
+                i += 2; // M·M = I
+            } else {
+                out.push(v[i]);
+                i += 1;
+            }
+        }
+        (sign, MajoranaMonomial { indices: out })
+    }
+
+    /// The sorted distinct Majorana indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Number of Majorana factors.
+    pub fn degree(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True for the identity monomial.
+    pub fn is_identity(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Product of two monomials: symmetric-difference of index sets with
+    /// the anticommutation sign.
+    pub fn mul(&self, other: &MajoranaMonomial) -> (i32, MajoranaMonomial) {
+        let mut seq: Vec<u32> = self.indices.clone();
+        seq.extend_from_slice(&other.indices);
+        MajoranaMonomial::reduce(&seq)
+    }
+
+    /// Sign `(-1)^{k(k-1)/2}` picked up by reversing the product — the
+    /// monomial is Hermitian iff this is `+1` (degrees 0, 1 mod 4).
+    pub fn adjoint_sign(&self) -> i32 {
+        let k = self.indices.len();
+        if (k * k.saturating_sub(1) / 2) % 2 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl fmt::Display for MajoranaMonomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.indices.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, idx) in self.indices.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "M{idx}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A Hamiltonian expressed over Majorana monomials: `Σ c_m · Π M_i`.
+///
+/// # Example
+///
+/// ```
+/// use fermion::{FermionHamiltonian, MajoranaSum};
+///
+/// let mut h = FermionHamiltonian::new(2);
+/// h.add_hopping(0, 1, -1.0);
+/// let m = MajoranaSum::from_fermion(&h);
+/// assert!(m.is_hermitian(1e-12));
+/// // Hopping between two modes yields two quadratic monomials.
+/// assert!(m.monomials().all(|mono| mono.degree() == 2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MajoranaSum {
+    num_modes: usize,
+    terms: BTreeMap<MajoranaMonomial, Complex64>,
+}
+
+/// Coefficients below this magnitude are dropped.
+const PRUNE_TOL: f64 = 1e-12;
+
+impl MajoranaSum {
+    /// An empty sum over `num_modes` Fermionic modes (`2·num_modes`
+    /// Majorana operators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_modes == 0`.
+    pub fn new(num_modes: usize) -> MajoranaSum {
+        assert!(num_modes > 0, "need at least one mode");
+        MajoranaSum {
+            num_modes,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// Number of Fermionic modes.
+    pub fn num_modes(&self) -> usize {
+        self.num_modes
+    }
+
+    /// Number of Majorana operators (`2 × modes`).
+    pub fn num_majoranas(&self) -> usize {
+        2 * self.num_modes
+    }
+
+    /// Number of distinct monomials with non-negligible coefficient.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no monomial is present.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `coeff · monomial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monomial mentions an index `≥ 2·num_modes`.
+    pub fn add_monomial(&mut self, monomial: MajoranaMonomial, coeff: Complex64) {
+        if let Some(&max) = monomial.indices().last() {
+            assert!(
+                (max as usize) < self.num_majoranas(),
+                "Majorana index {max} out of range"
+            );
+        }
+        let e = self.terms.entry(monomial).or_insert(Complex64::ZERO);
+        *e += coeff;
+        if e.is_zero(PRUNE_TOL) {
+            self.terms.retain(|_, c| !c.is_zero(PRUNE_TOL));
+        }
+    }
+
+    /// Expands a second-quantized Hamiltonian into Majorana monomials with
+    /// exact signs.
+    pub fn from_fermion(h: &FermionHamiltonian) -> MajoranaSum {
+        let mut sum = MajoranaSum::new(h.num_modes());
+        for term in h.terms() {
+            sum.accumulate_term(term);
+        }
+        sum
+    }
+
+    fn accumulate_term(&mut self, term: &FermionTerm) {
+        // Partial expansions: (coefficient, Majorana index sequence).
+        let mut partial: Vec<(Complex64, Vec<u32>)> = vec![(term.coeff, Vec::new())];
+        for op in &term.ops {
+            let j = op.mode() as u32;
+            // a_j = (M_{2j} + i·M_{2j+1})/2 ; a†_j flips the sign of i.
+            let i_factor = if op.is_creation() {
+                Complex64::new(0.0, -0.5)
+            } else {
+                Complex64::new(0.0, 0.5)
+            };
+            let mut next = Vec::with_capacity(partial.len() * 2);
+            for (c, seq) in partial {
+                let mut even = seq.clone();
+                even.push(2 * j);
+                next.push((c * 0.5, even));
+                let mut odd = seq;
+                odd.push(2 * j + 1);
+                next.push((c * i_factor, odd));
+            }
+            partial = next;
+        }
+        for (c, seq) in partial {
+            let (sign, mono) = MajoranaMonomial::reduce(&seq);
+            self.add_monomial(mono, c * sign as f64);
+        }
+    }
+
+    /// Iterator over the monomials (the Hamiltonian "structure" used by the
+    /// weight objective), in canonical order.
+    pub fn monomials(&self) -> impl Iterator<Item = &MajoranaMonomial> + '_ {
+        self.terms.keys()
+    }
+
+    /// Iterator over `(monomial, coefficient)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&MajoranaMonomial, Complex64)> + '_ {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// The coefficient of a monomial (zero when absent).
+    pub fn coefficient(&self, m: &MajoranaMonomial) -> Complex64 {
+        self.terms.get(m).copied().unwrap_or(Complex64::ZERO)
+    }
+
+    /// The de-duplicated non-identity monomials — the input to the
+    /// Hamiltonian-dependent weight objective (paper Section 3.7; identity
+    /// contributes no gates, duplicates are one Pauli string).
+    pub fn weight_structure(&self) -> Vec<&MajoranaMonomial> {
+        self.terms.keys().filter(|m| !m.is_identity()).collect()
+    }
+
+    /// True when the operator is Hermitian: each monomial's coefficient
+    /// matches its adjoint requirement (`c·(±1) = c*`).
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.terms.iter().all(|(m, c)| {
+            let expected = c.conj() * m.adjoint_sign() as f64;
+            c.approx_eq(expected, tol)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::FermionOp;
+
+    fn re(x: f64) -> Complex64 {
+        Complex64::from_re(x)
+    }
+
+    #[test]
+    fn reduce_handles_cancellation_and_sign() {
+        let (s, m) = MajoranaMonomial::reduce(&[]);
+        assert_eq!((s, m.degree()), (1, 0));
+        let (s, m) = MajoranaMonomial::reduce(&[2, 2]);
+        assert!(m.is_identity());
+        assert_eq!(s, 1);
+        // M₁M₀ = −M₀M₁.
+        let (s, m) = MajoranaMonomial::reduce(&[1, 0]);
+        assert_eq!(s, -1);
+        assert_eq!(m.indices(), &[0, 1]);
+        // M₂M₁M₂ = −M₂M₂M₁ = −M₁.
+        let (s, m) = MajoranaMonomial::reduce(&[2, 1, 2]);
+        assert_eq!(s, -1);
+        assert_eq!(m.indices(), &[1]);
+    }
+
+    #[test]
+    fn monomial_product_is_symmetric_difference() {
+        let a = MajoranaMonomial::from_sorted(vec![0, 2]);
+        let b = MajoranaMonomial::from_sorted(vec![2, 3]);
+        let (sign, p) = a.mul(&b);
+        assert_eq!(p.indices(), &[0, 3]);
+        // M₀M₂M₂M₃ = M₀M₃, no swaps of distinct indices needed… check sign
+        // by explicit reduction.
+        assert_eq!(sign, 1);
+    }
+
+    #[test]
+    fn adjoint_sign_mod_four() {
+        assert_eq!(MajoranaMonomial::identity().adjoint_sign(), 1);
+        assert_eq!(MajoranaMonomial::from_sorted(vec![1]).adjoint_sign(), 1);
+        assert_eq!(MajoranaMonomial::from_sorted(vec![1, 2]).adjoint_sign(), -1);
+        assert_eq!(
+            MajoranaMonomial::from_sorted(vec![1, 2, 3]).adjoint_sign(),
+            -1
+        );
+        assert_eq!(
+            MajoranaMonomial::from_sorted(vec![1, 2, 3, 4]).adjoint_sign(),
+            1
+        );
+    }
+
+    #[test]
+    fn number_operator_expansion() {
+        // a†a = (M₀ − iM₁)(M₀ + iM₁)/4 = (I + i·M₀M₁)/2.
+        // (Check against matrices: M₀ = X, M₁ = Y, M₀M₁ = iZ, so the
+        // expansion is (I − Z)/2 = diag(0, 1) = n. ✓)
+        let mut h = FermionHamiltonian::new(1);
+        h.add_number_operator(0, 1.0);
+        let m = MajoranaSum::from_fermion(&h);
+        assert_eq!(m.len(), 2);
+        assert!(m
+            .coefficient(&MajoranaMonomial::identity())
+            .approx_eq(re(0.5), 1e-12));
+        assert!(m
+            .coefficient(&MajoranaMonomial::from_sorted(vec![0, 1]))
+            .approx_eq(Complex64::new(0.0, 0.5), 1e-12));
+        assert!(m.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn hopping_expansion_is_quadratic_and_hermitian() {
+        // a†₀a₁ + a†₁a₀ = (−i/2)(M₀M₃ ... ) — two quadratic monomials.
+        let mut h = FermionHamiltonian::new(2);
+        h.add_hopping(0, 1, 1.0);
+        let m = MajoranaSum::from_fermion(&h);
+        assert!(m.is_hermitian(1e-12));
+        let structure = m.weight_structure();
+        assert_eq!(structure.len(), 2);
+        for mono in structure {
+            assert_eq!(mono.degree(), 2);
+            // One Majorana from mode 0 (index < 2), one from mode 1.
+            assert!(mono.indices()[0] < 2 && mono.indices()[1] >= 2);
+        }
+    }
+
+    #[test]
+    fn anticommutator_identity_via_monomials() {
+        // {a†₀, a₀} = I: expand a†a + aa† and check only identity remains.
+        let mut h = FermionHamiltonian::new(1);
+        h.add_term(FermionTerm::new(
+            Complex64::ONE,
+            vec![FermionOp::creation(0), FermionOp::annihilation(0)],
+        ));
+        h.add_term(FermionTerm::new(
+            Complex64::ONE,
+            vec![FermionOp::annihilation(0), FermionOp::creation(0)],
+        ));
+        let m = MajoranaSum::from_fermion(&h);
+        assert_eq!(m.len(), 1);
+        assert!(m
+            .coefficient(&MajoranaMonomial::identity())
+            .approx_eq(re(1.0), 1e-12));
+    }
+
+    #[test]
+    fn pauli_exclusion_squares_to_zero() {
+        // (a†₀)² = 0.
+        let mut h = FermionHamiltonian::new(1);
+        h.add_term(FermionTerm::new(
+            Complex64::ONE,
+            vec![FermionOp::creation(0), FermionOp::creation(0)],
+        ));
+        let m = MajoranaSum::from_fermion(&h);
+        assert!(m.is_empty(), "{m:?}");
+    }
+
+    #[test]
+    fn two_body_term_degree() {
+        // a†₀a†₁a₂a₃ expands into monomials of degree 4 only.
+        let mut h = FermionHamiltonian::new(4);
+        h.add_term(FermionTerm::new(
+            re(1.0),
+            vec![
+                FermionOp::creation(0),
+                FermionOp::creation(1),
+                FermionOp::annihilation(2),
+                FermionOp::annihilation(3),
+            ],
+        ));
+        let m = MajoranaSum::from_fermion(&h);
+        assert_eq!(m.len(), 16);
+        assert!(m.monomials().all(|mono| mono.degree() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_monomial_rejected() {
+        let _ = MajoranaMonomial::from_sorted(vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn monomial_index_range_checked() {
+        let mut s = MajoranaSum::new(1);
+        s.add_monomial(MajoranaMonomial::from_sorted(vec![5]), re(1.0));
+    }
+}

@@ -1,0 +1,17 @@
+//! The paper's benchmark Hamiltonian families (Figure 5).
+//!
+//! * [`molecular`] — molecular electronic structure (quantum chemistry):
+//!   embedded H₂/STO-3G integrals plus a synthetic generator reproducing the
+//!   O(N⁴) term structure at arbitrary size.
+//! * [`hubbard`] — the 1-D/2-D Fermi-Hubbard model with periodic boundary
+//!   conditions (condensed matter).
+//! * [`syk`] — the four-body Sachdev-Ye-Kitaev model (quantum field
+//!   theory), expressed directly over Majorana operators.
+
+pub mod hubbard;
+pub mod molecular;
+pub mod syk;
+
+pub use hubbard::{FermiHubbard, Lattice, SpinLayout};
+pub use molecular::MolecularIntegrals;
+pub use syk::SykModel;

@@ -1,0 +1,187 @@
+//! The four-body Sachdev-Ye-Kitaev (SYK) model.
+//!
+//! The paper's quantum-field-theory benchmark (Figure 5):
+//!
+//! ```text
+//! H = (1 / (4·4!)) Σ_{ijkl} g_ijkl · M_i M_j M_k M_l
+//! ```
+//!
+//! over `2N` Majorana operators with independent Gaussian couplings. Summing
+//! over ordered index quadruples `i<j<k<l` absorbs the combinatorial
+//! prefactor; the couplings then have variance `3!·J²/(2N)³`.
+//!
+//! SYK is *strongly interacting*: every quadruple of Majorana operators
+//! appears, which is why it stresses Hamiltonian-dependent encodings the
+//! most (largest Table 4 reductions in the paper).
+
+use crate::majorana::{MajoranaMonomial, MajoranaSum};
+use mathkit::Complex64;
+use rand::Rng;
+
+/// A four-body SYK model over `2·num_modes` Majorana operators.
+///
+/// # Example
+///
+/// ```
+/// use fermion::models::SykModel;
+/// use rand::SeedableRng;
+///
+/// let model = SykModel::new(3, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let h = model.sample(&mut rng);
+/// // C(6,4) = 15 quadruples over 6 Majorana operators.
+/// assert_eq!(h.len(), 15);
+/// assert!(h.is_hermitian(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SykModel {
+    num_modes: usize,
+    coupling: f64,
+}
+
+impl SykModel {
+    /// Creates a model with `num_modes` Fermionic modes (`2·num_modes`
+    /// Majorana operators) and coupling scale `J`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_modes < 2` (fewer than 4 Majorana operators admit no
+    /// quadruple).
+    pub fn new(num_modes: usize, coupling: f64) -> SykModel {
+        assert!(num_modes >= 2, "SYK needs at least 4 Majorana operators");
+        SykModel {
+            num_modes,
+            coupling,
+        }
+    }
+
+    /// Number of Fermionic modes.
+    pub fn num_modes(&self) -> usize {
+        self.num_modes
+    }
+
+    /// Number of Majorana operators (`2 × modes`).
+    pub fn num_majoranas(&self) -> usize {
+        2 * self.num_modes
+    }
+
+    /// Number of interaction terms, `C(2N, 4)`.
+    pub fn num_terms(&self) -> usize {
+        let m = self.num_majoranas();
+        m * (m - 1) * (m - 2) * (m - 3) / 24
+    }
+
+    /// The de-duplicated monomial structure (all quadruples) without
+    /// sampling couplings — sufficient for the Pauli-weight objective, which
+    /// ignores coefficients.
+    pub fn monomials(&self) -> Vec<MajoranaMonomial> {
+        let m = self.num_majoranas() as u32;
+        let mut out = Vec::with_capacity(self.num_terms());
+        for i in 0..m {
+            for j in (i + 1)..m {
+                for k in (j + 1)..m {
+                    for l in (k + 1)..m {
+                        out.push(MajoranaMonomial::from_sorted(vec![i, j, k, l]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Samples Gaussian couplings and returns the full Hamiltonian.
+    pub fn sample(&self, rng: &mut impl Rng) -> MajoranaSum {
+        let m = self.num_majoranas();
+        // Var(J_ijkl) = 3!·J²/(2N)³ for the i<j<k<l normalization.
+        let sigma = (6.0 * self.coupling * self.coupling / (m * m * m) as f64).sqrt();
+        let mut sum = MajoranaSum::new(self.num_modes);
+        for mono in self.monomials() {
+            let g = sigma * standard_normal(rng);
+            sum.add_monomial(mono, Complex64::from_re(g));
+        }
+        sum
+    }
+}
+
+/// Standard normal sample via the Box-Muller transform (`rand` 0.8 has no
+/// Gaussian distribution without the `rand_distr` crate).
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fock::majorana_sum_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn term_count_is_binomial() {
+        assert_eq!(SykModel::new(2, 1.0).num_terms(), 1); // C(4,4)
+        assert_eq!(SykModel::new(3, 1.0).num_terms(), 15); // C(6,4)
+        assert_eq!(SykModel::new(4, 1.0).num_terms(), 70); // C(8,4)
+        assert_eq!(SykModel::new(5, 1.0).num_terms(), 210); // C(10,4)
+    }
+
+    #[test]
+    fn monomials_are_distinct_quadruples() {
+        let model = SykModel::new(3, 1.0);
+        let monos = model.monomials();
+        assert_eq!(monos.len(), model.num_terms());
+        for m in &monos {
+            assert_eq!(m.degree(), 4);
+        }
+        let set: std::collections::BTreeSet<_> = monos.iter().collect();
+        assert_eq!(set.len(), monos.len());
+    }
+
+    #[test]
+    fn sampled_hamiltonian_is_hermitian_matrix() {
+        let model = SykModel::new(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = model.sample(&mut rng);
+        assert!(h.is_hermitian(1e-12));
+        let m = majorana_sum_matrix(&h);
+        assert!(m.is_hermitian(1e-9));
+        // SYK is traceless (no identity monomial).
+        assert!(m.trace().abs() < 1e-9);
+    }
+
+    #[test]
+    fn coupling_statistics_roughly_gaussian() {
+        let model = SykModel::new(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut values = Vec::new();
+        for _ in 0..30 {
+            let h = model.sample(&mut rng);
+            for (_, c) in h.iter() {
+                values.push(c.re);
+            }
+        }
+        let mean = mathkit::stats::mean(&values);
+        let sd = mathkit::stats::stddev(&values);
+        let expect_sd = (6.0f64 / 512.0).sqrt();
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!(
+            (sd - expect_sd).abs() < 0.2 * expect_sd,
+            "sd {sd} vs {expect_sd}"
+        );
+    }
+
+    #[test]
+    fn samples_differ_across_seeds() {
+        let model = SykModel::new(2, 1.0);
+        let h1 = model.sample(&mut StdRng::seed_from_u64(1));
+        let h2 = model.sample(&mut StdRng::seed_from_u64(2));
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_model_rejected() {
+        let _ = SykModel::new(1, 1.0);
+    }
+}

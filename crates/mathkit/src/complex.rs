@@ -1,0 +1,337 @@
+//! Double-precision complex numbers.
+//!
+//! A minimal, dependency-free replacement for `num_complex::Complex64`
+//! covering exactly what the quantum-simulation stack needs: field
+//! arithmetic, conjugation, modulus/argument, and the exponential map.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::Complex64;
+///
+/// let i = Complex64::I;
+/// assert_eq!(i * i, -Complex64::ONE);
+/// assert!((Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2) - 2.0 * i).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a pure-real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `i^k` for any integer `k` (the four fourth-roots of unity).
+    ///
+    /// Pauli-string arithmetic only ever produces phases of this form, so the
+    /// workspace threads phases around as exponents and converts late.
+    #[inline]
+    pub fn i_pow(k: i64) -> Self {
+        match k.rem_euclid(4) {
+            0 => Complex64::ONE,
+            1 => Complex64::I,
+            2 => -Complex64::ONE,
+            _ => -Complex64::I,
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²` (avoids the square root of [`abs`](Self::abs)).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic, but returns non-finite parts when `z == 0`, matching
+    /// IEEE-754 division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// True when both parts are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+
+    /// True when the modulus is within `tol` of zero.
+    #[inline]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.norm_sqr() <= tol * tol
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::from_re(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+        assert_eq!(Complex64::i_pow(0), Complex64::ONE);
+        assert_eq!(Complex64::i_pow(1), Complex64::I);
+        assert_eq!(Complex64::i_pow(2), -Complex64::ONE);
+        assert_eq!(Complex64::i_pow(3), -Complex64::I);
+        assert_eq!(Complex64::i_pow(-1), -Complex64::I);
+        assert_eq!(Complex64::i_pow(7), -Complex64::I);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::new(-3.0, 4.0);
+        let w = Complex64::from_polar(z.abs(), z.arg());
+        assert!(z.approx_eq(w, TOL));
+        assert!((z.abs() - 5.0).abs() < TOL);
+    }
+
+    #[test]
+    fn exponential_of_imaginary_is_rotation() {
+        let z = Complex64::new(0.0, std::f64::consts::PI);
+        assert!(z.exp().approx_eq(-Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(2.5, -1.5);
+        let b = Complex64::new(-0.25, 3.0);
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((b.inv() * b).approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let zs = [Complex64::ONE, Complex64::I, -Complex64::ONE];
+        let s: Complex64 = zs.iter().copied().sum();
+        assert!(s.approx_eq(Complex64::I, TOL));
+    }
+
+    fn finite_complex() -> impl Strategy<Value = Complex64> {
+        (-1e6..1e6f64, -1e6..1e6f64).prop_map(|(re, im)| Complex64::new(re, im))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutes(a in finite_complex(), b in finite_complex()) {
+            prop_assert!((a * b).approx_eq(b * a, 1e-6 * (1.0 + (a*b).abs())));
+        }
+
+        #[test]
+        fn prop_conj_is_involution(a in finite_complex()) {
+            prop_assert_eq!(a.conj().conj(), a);
+        }
+
+        #[test]
+        fn prop_norm_multiplicative(a in finite_complex(), b in finite_complex()) {
+            let lhs = (a * b).abs();
+            let rhs = a.abs() * b.abs();
+            prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs));
+        }
+
+        #[test]
+        fn prop_distributive(a in finite_complex(), b in finite_complex(), c in finite_complex()) {
+            let lhs = a * (b + c);
+            let rhs = a * b + a * c;
+            prop_assert!(lhs.approx_eq(rhs, 1e-5 * (1.0 + lhs.abs())));
+        }
+    }
+}

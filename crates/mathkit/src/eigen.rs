@@ -1,0 +1,289 @@
+//! Hermitian eigendecomposition via the cyclic Jacobi method.
+//!
+//! The reproduction needs exact spectra of qubit Hamiltonians (≤ 2⁸ × 2⁸ in
+//! the paper's end-to-end experiments) for two purposes:
+//!
+//! 1. verifying that a Fermion-to-qubit encoding is correct (the mapped
+//!    Hamiltonian must be isospectral to the Fock-space reference), and
+//! 2. preparing energy eigenstates `E₀ … E₃` as the initial states of the
+//!    noisy simulations (Figures 8–10).
+//!
+//! Jacobi is slow compared to Householder+QR but is simple, numerically
+//! robust, and trivially correct to validate — the right trade-off for a
+//! self-contained research artifact.
+
+use crate::{CMatrix, Complex64};
+
+/// Result of a Hermitian eigendecomposition: `A = V · diag(values) · V†`.
+#[derive(Debug, Clone)]
+pub struct Eigh {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose `k`-th *column* is the eigenvector of
+    /// `values[k]`.
+    pub vectors: CMatrix,
+}
+
+impl Eigh {
+    /// The eigenvector for `values[k]` as an owned vector.
+    pub fn vector(&self, k: usize) -> Vec<Complex64> {
+        (0..self.vectors.rows())
+            .map(|i| self.vectors[(i, k)])
+            .collect()
+    }
+
+    /// Reconstructs `V · diag(e^{i·values·t}) · V†`, i.e. the unitary
+    /// `exp(iAt)` of the decomposed Hermitian matrix.
+    pub fn exp_i(&self, t: f64) -> CMatrix {
+        let n = self.values.len();
+        let d: Vec<Complex64> = self
+            .values
+            .iter()
+            .map(|&l| Complex64::from_polar(1.0, l * t))
+            .collect();
+        let mut vd = CMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                vd[(i, j)] = self.vectors[(i, j)] * d[j];
+            }
+        }
+        &vd * &self.vectors.adjoint()
+    }
+}
+
+/// Default off-diagonal convergence threshold, relative to the Frobenius
+/// norm of the input.
+const REL_TOL: f64 = 1e-13;
+/// Hard cap on full Jacobi sweeps; converges in < 15 for our sizes.
+const MAX_SWEEPS: usize = 60;
+
+/// Eigendecomposition of a Hermitian matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian to `1e-9` (catching callers
+/// that hand in a non-Hermitian operator is far more valuable here than
+/// supporting them).
+///
+/// # Example
+///
+/// ```
+/// use mathkit::{CMatrix, Complex64, eigen};
+///
+/// // Pauli X has eigenvalues ±1.
+/// let x = CMatrix::from_rows(&[
+///     vec![Complex64::ZERO, Complex64::ONE],
+///     vec![Complex64::ONE, Complex64::ZERO],
+/// ]);
+/// let e = eigen::eigh(&x);
+/// assert!((e.values[0] + 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn eigh(a: &CMatrix) -> Eigh {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    assert!(
+        a.is_hermitian(1e-9),
+        "eigh requires a Hermitian matrix (‖A−A†‖ too large)"
+    );
+    let n = a.rows();
+    let mut h = a.clone();
+    let mut v = CMatrix::identity(n);
+    let scale = h.frobenius_norm().max(1e-300);
+    let tol = REL_TOL * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += h[(p, q)].norm_sqr();
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                jacobi_rotate(&mut h, &mut v, p, q);
+            }
+        }
+    }
+
+    // Extract, sort ascending, and permute the eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| h[(i, i)].re).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("non-NaN eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = CMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    Eigh { values, vectors }
+}
+
+/// Applies one complex Jacobi rotation zeroing `h[(p, q)]`, accumulating the
+/// rotation into `v`.
+fn jacobi_rotate(h: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize) {
+    let b = h[(p, q)];
+    let absb = b.abs();
+    if absb < 1e-300 {
+        return;
+    }
+    let app = h[(p, p)].re;
+    let aqq = h[(q, q)].re;
+    let phi = b.arg();
+
+    // Choose the rotation angle exactly as in the real Jacobi method, using
+    // |b| in place of the off-diagonal element; the phase phi is absorbed
+    // into the complex sine.
+    let tau = (aqq - app) / (2.0 * absb);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let sigma = t * c;
+    let s = Complex64::from_polar(sigma, phi);
+
+    let n = h.rows();
+    // Row update: row_p ← c·row_p − s·row_q ; row_q ← s̄·row_p + c·row_q.
+    for k in 0..n {
+        let hpk = h[(p, k)];
+        let hqk = h[(q, k)];
+        h[(p, k)] = hpk * c - s * hqk;
+        h[(q, k)] = s.conj() * hpk + hqk * c;
+    }
+    // Column update: col_p ← c·col_p − s̄·col_q ; col_q ← s·col_p + c·col_q.
+    for k in 0..n {
+        let hkp = h[(k, p)];
+        let hkq = h[(k, q)];
+        h[(k, p)] = hkp * c - s.conj() * hkq;
+        h[(k, q)] = s * hkp + hkq * c;
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = vkp * c - s.conj() * vkq;
+        v[(k, q)] = s * vkp + vkq * c;
+    }
+    // Clean up the numerically tiny residue so convergence checks are exact.
+    h[(p, q)] = Complex64::ZERO;
+    h[(q, p)] = Complex64::ZERO;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn random_hermitian(n: usize, rng: &mut StdRng) -> CMatrix {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = c(rng.gen_range(-2.0..2.0), 0.0);
+            for j in (i + 1)..n {
+                let z = c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                m[(i, j)] = z;
+                m[(j, i)] = z.conj();
+            }
+        }
+        m
+    }
+
+    fn check_decomposition(a: &CMatrix, e: &Eigh, tol: f64) {
+        // A·v_k = λ_k·v_k for every k.
+        let n = a.rows();
+        for k in 0..n {
+            let vk = e.vector(k);
+            let av = a.mul_vec(&vk);
+            for i in 0..n {
+                assert!(
+                    av[i].approx_eq(vk[i] * e.values[k], tol),
+                    "eigenpair {k} violated at row {i}: {} vs {}",
+                    av[i],
+                    vk[i] * e.values[k]
+                );
+            }
+        }
+        assert!(e.vectors.is_unitary(1e-8), "eigenvector matrix not unitary");
+        // Ascending order.
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pauli_z_eigensystem() {
+        let z = CMatrix::from_diag(&[Complex64::ONE, -Complex64::ONE]);
+        let e = eigh(&z);
+        assert!((e.values[0] + 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 1.0).abs() < 1e-14);
+        check_decomposition(&z, &e, 1e-12);
+    }
+
+    #[test]
+    fn pauli_y_eigensystem() {
+        let y = CMatrix::from_rows(&[
+            vec![Complex64::ZERO, c(0.0, -1.0)],
+            vec![c(0.0, 1.0), Complex64::ZERO],
+        ]);
+        let e = eigh(&y);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        check_decomposition(&y, &e, 1e-10);
+    }
+
+    #[test]
+    fn random_matrices_decompose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [3usize, 8, 16, 32] {
+            let a = random_hermitian(n, &mut rng);
+            let e = eigh(&a);
+            check_decomposition(&a, &e, 1e-7);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sum_to_trace() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_hermitian(12, &mut rng);
+        let e = eigh(&a);
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace().re).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_spectrum_handled() {
+        // diag(1, 1, -1) has a two-fold degenerate eigenvalue.
+        let a = CMatrix::from_diag(&[Complex64::ONE, Complex64::ONE, -Complex64::ONE]);
+        let e = eigh(&a);
+        assert!((e.values[0] + 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 1.0).abs() < 1e-14);
+        assert!((e.values[2] - 1.0).abs() < 1e-14);
+        check_decomposition(&a, &e, 1e-12);
+    }
+
+    #[test]
+    fn exp_i_gives_unitary_evolution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_hermitian(6, &mut rng);
+        let e = eigh(&a);
+        let u = e.exp_i(0.37);
+        assert!(u.is_unitary(1e-8));
+        // exp(iA·0) = I.
+        assert!(e.exp_i(0.0).approx_eq(&CMatrix::identity(6), 1e-9));
+        // exp(iAt)·exp(-iAt) = I.
+        let back = e.exp_i(-0.37);
+        assert!((&u * &back).approx_eq(&CMatrix::identity(6), 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn rejects_non_hermitian() {
+        let m = CMatrix::from_rows(&[
+            vec![Complex64::ZERO, Complex64::ONE],
+            vec![Complex64::ZERO, Complex64::ZERO],
+        ]);
+        let _ = eigh(&m);
+    }
+}

@@ -1,0 +1,42 @@
+//! Self-contained numeric kernel for the Fermihedral reproduction.
+//!
+//! The crates in this workspace deliberately avoid external numeric
+//! dependencies: everything the paper's evaluation pipeline needs from
+//! NumPy/SciPy is rebuilt here.
+//!
+//! * [`Complex64`] — double-precision complex arithmetic.
+//! * [`CMatrix`] — dense complex matrices (Hermitian checks, Kronecker
+//!   products, adjoints, …).
+//! * [`eigen`] — a cyclic Jacobi eigensolver for Hermitian matrices, used for
+//!   exact diagonalization of qubit Hamiltonians and for eigenstate
+//!   preparation in the noisy-simulation experiments.
+//! * [`gf2`] — bit-packed GF(2) vectors and matrices with Gaussian
+//!   elimination; algebraic independence of Majorana operator sets reduces to
+//!   GF(2) linear independence of their symplectic rows.
+//! * [`stats`] — summary statistics and least-squares line fits (the paper
+//!   reports `a·log2(N) + b` regressions in Figures 6 and 7).
+//!
+//! # Example
+//!
+//! ```
+//! use mathkit::{Complex64, CMatrix};
+//!
+//! let h = CMatrix::from_rows(&[
+//!     vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, -1.0)],
+//!     vec![Complex64::new(0.0, 1.0), Complex64::new(-1.0, 0.0)],
+//! ]);
+//! assert!(h.is_hermitian(1e-12));
+//! let eig = mathkit::eigen::eigh(&h);
+//! assert!((eig.values[0] + 2f64.sqrt()).abs() < 1e-10);
+//! ```
+
+pub mod complex;
+pub mod eigen;
+pub mod gf2;
+pub mod matrix;
+pub mod stats;
+
+pub use complex::Complex64;
+pub use eigen::Eigh;
+pub use gf2::{BitMatrix, BitVec};
+pub use matrix::CMatrix;

@@ -1,0 +1,436 @@
+//! Dense complex matrices.
+//!
+//! Row-major storage, sized for the exact-diagonalization workloads in this
+//! reproduction (≤ 2¹⁰ × 2¹⁰). The API favours clarity over cache blocking;
+//! the hot paths of the simulator live in `qsim`, not here.
+
+use crate::Complex64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense complex matrix.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::{CMatrix, Complex64};
+///
+/// let x = CMatrix::from_rows(&[
+///     vec![Complex64::ZERO, Complex64::ONE],
+///     vec![Complex64::ONE, Complex64::ZERO],
+/// ]);
+/// let z = CMatrix::from_rows(&[
+///     vec![Complex64::ONE, Complex64::ZERO],
+///     vec![Complex64::ZERO, -Complex64::ONE],
+/// ]);
+/// // XZ = -iY, so XZ + ZX = 0: the anticommutator of X and Z vanishes.
+/// let anti = &(&x * &z) + &(&z * &x);
+/// assert!(anti.frobenius_norm() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all the same length or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<Complex64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        CMatrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut m = CMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a diagonal matrix from the given entries.
+    pub fn from_diag(diag: &[Complex64]) -> Self {
+        let mut m = CMatrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// A single row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Complex64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose `Aᵀ`.
+    pub fn transpose(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: Complex64) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        out[(i * other.rows + k, j * other.cols + l)] = a * other[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = self.row(i);
+            let mut acc = Complex64::ZERO;
+            for (a, b) in row.iter().zip(v) {
+                acc += *a * *b;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Frobenius norm `sqrt(Σ|aᵢⱼ|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry modulus (max norm).
+    pub fn max_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// True when `‖A − A†‖∞ ≤ tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in i..self.cols {
+                if !self[(i, j)].approx_eq(self[(j, i)].conj(), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True when `‖A†A − I‖∞ ≤ tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = &self.adjoint() * self;
+        let eye = CMatrix::identity(self.rows);
+        (&prod - &eye).max_norm() <= tol
+    }
+
+    /// True when every entry is within `tol` of the corresponding entry of
+    /// `other`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// True when the two matrices are equal up to a global phase: there is a
+    /// unit-modulus `λ` with `‖A − λB‖∞ ≤ tol`.
+    ///
+    /// Used to compare compiled circuit unitaries with reference matrices.
+    pub fn approx_eq_up_to_phase(&self, other: &CMatrix, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        // Find the largest entry of `other` to estimate the phase robustly.
+        let mut best = 0usize;
+        let mut best_mag = 0.0;
+        for (idx, z) in other.data.iter().enumerate() {
+            if z.abs() > best_mag {
+                best_mag = z.abs();
+                best = idx;
+            }
+        }
+        if best_mag <= tol {
+            return self.max_norm() <= tol;
+        }
+        let lambda = self.data[best] / other.data[best];
+        if (lambda.abs() - 1.0).abs() > 1e-6 {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| a.approx_eq(*b * lambda, tol))
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:.4}  ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn pauli_y() -> CMatrix {
+        CMatrix::from_rows(&[
+            vec![Complex64::ZERO, c(0.0, -1.0)],
+            vec![c(0.0, 1.0), Complex64::ZERO],
+        ])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let y = pauli_y();
+        let eye = CMatrix::identity(2);
+        assert!((&y * &eye).approx_eq(&y, 1e-15));
+        assert!((&eye * &y).approx_eq(&y, 1e-15));
+    }
+
+    #[test]
+    fn pauli_y_squares_to_identity() {
+        let y = pauli_y();
+        assert!((&y * &y).approx_eq(&CMatrix::identity(2), 1e-15));
+        assert!(y.is_hermitian(1e-15));
+        assert!(y.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let y = pauli_y();
+        let eye = CMatrix::identity(2);
+        let m = y.kron(&eye);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m[(0, 2)], c(0.0, -1.0));
+        assert_eq!(m[(1, 3)], c(0.0, -1.0));
+        assert_eq!(m[(0, 1)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn trace_of_identity() {
+        assert_eq!(CMatrix::identity(5).trace(), c(5.0, 0.0));
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let a = CMatrix::from_rows(&[vec![c(1.0, 2.0), c(0.0, 1.0)], vec![c(3.0, 0.0), c(1.0, -1.0)]]);
+        let b = CMatrix::from_rows(&[vec![c(0.5, 0.0), c(2.0, 1.0)], vec![c(0.0, -2.0), c(1.0, 0.0)]]);
+        let lhs = (&a * &b).adjoint();
+        let rhs = &b.adjoint() * &a.adjoint();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_product() {
+        let a = CMatrix::from_rows(&[vec![c(1.0, 0.0), c(0.0, 1.0)], vec![c(2.0, 0.0), c(0.0, 0.0)]]);
+        let v = vec![c(1.0, 1.0), c(2.0, 0.0)];
+        let got = a.mul_vec(&v);
+        assert!(got[0].approx_eq(c(1.0, 3.0), 1e-12));
+        assert!(got[1].approx_eq(c(2.0, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn phase_equivalence_detects_global_phase() {
+        let y = pauli_y();
+        let rotated = y.scale(Complex64::from_polar(1.0, 0.7));
+        assert!(rotated.approx_eq_up_to_phase(&y, 1e-12));
+        assert!(!rotated.approx_eq(&y, 1e-12));
+        let not_phase = y.scale(c(2.0, 0.0));
+        assert!(!not_phase.approx_eq_up_to_phase(&y, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn product_dimension_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+}

@@ -1,0 +1,148 @@
+//! Summary statistics and least-squares fits.
+//!
+//! The paper reports per-Majorana Pauli weights with `a·log₂(N) + b`
+//! regression lines (Figures 6 and 7) and energy measurements with standard
+//! deviations (Figures 8–10); this module provides those reductions.
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (dividing by `n`). Returns `0.0` for fewer than two
+/// samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Result of a one-dimensional least-squares line fit `y ≈ slope·x +
+/// intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares fit of `y = slope·x + intercept`.
+///
+/// Returns `None` when fewer than two points are given or all `x` are equal.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::stats::fit_line;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [3.1, 5.0, 6.9, 9.0];
+/// let fit = fit_line(&xs, &ys).unwrap();
+/// assert!((fit.slope - 1.97).abs() < 0.05);
+/// assert!(fit.r_squared > 0.99);
+/// ```
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
+    assert_eq!(xs.len(), ys.len(), "fit_line needs equal-length slices");
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits `y = a·log₂(x) + b`, the model the paper uses for per-Majorana
+/// Pauli weight versus mode count.
+///
+/// Returns `None` under the same conditions as [`fit_line`], or when any
+/// `x ≤ 0`.
+pub fn fit_log2(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
+    if xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.log2()).collect();
+    fit_line(&lx, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0]), 2.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        let v = variance(&[1.0, 3.0]);
+        assert!((v - 1.0).abs() < 1e-12);
+        assert!((stddev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -0.5 * x + 4.0).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!((fit.slope + 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 4.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_model_recovered() {
+        // y = 0.73·log2(x) + 0.94 — the paper's BK regression in Figure 6.
+        let xs: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.73 * x.log2() + 0.94).collect();
+        let fit = fit_log2(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.73).abs() < 1e-12);
+        assert!((fit.intercept - 0.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(fit_line(&[1.0], &[2.0]).is_none());
+        assert!(fit_line(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(fit_log2(&[0.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = fit_line(&[1.0, 2.0], &[1.0]);
+    }
+}

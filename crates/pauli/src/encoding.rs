@@ -1,0 +1,224 @@
+//! The paper's Boolean encoding of Pauli operators and strings (Section 3.2).
+//!
+//! Fermihedral encodes each Pauli operator as a pair of Boolean variables
+//! (Eq. 7):
+//!
+//! ```text
+//! E(I) = (0,0)   E(X) = (0,1)   E(Y) = (1,0)   E(Z) = (1,1)
+//! ```
+//!
+//! Under this encoding, operator multiplication is bitwise XOR (Table 1),
+//! per-site anticommutativity is `(b1·b2′) ⊕ (b2·b1′)` (equivalent to the
+//! Eq. 9 disjunction), and a string's *bit-sequence form* interleaves
+//! `b1, b2` site by site. This module converts between [`PauliString`]s and
+//! those bit forms; the `fermihedral` crate builds its SAT constraints on
+//! top of them.
+
+use crate::{Pauli, PauliString};
+
+/// Bits per encoded Pauli operator.
+pub const BITS_PER_OP: usize = 2;
+
+/// The paper's `(b1, b2)` encoding of a single operator (Eq. 7).
+pub fn op_to_bits(op: Pauli) -> (bool, bool) {
+    match op {
+        Pauli::I => (false, false),
+        Pauli::X => (false, true),
+        Pauli::Y => (true, false),
+        Pauli::Z => (true, true),
+    }
+}
+
+/// Inverse of [`op_to_bits`].
+pub fn op_from_bits(b1: bool, b2: bool) -> Pauli {
+    match (b1, b2) {
+        (false, false) => Pauli::I,
+        (false, true) => Pauli::X,
+        (true, false) => Pauli::Y,
+        (true, true) => Pauli::Z,
+    }
+}
+
+/// Per-site anticommutativity in terms of encoded bits:
+/// `acomm(σ, τ) = (b1(σ)·b2(τ)) ⊕ (b2(σ)·b1(τ))`.
+///
+/// This closed form is exactly the truth table of the paper's Table 2 /
+/// Eq. 9, but needs two AND gates and one XOR instead of a four-term DNF —
+/// the constraint generator emits it directly.
+pub fn acomm_bits(a: (bool, bool), b: (bool, bool)) -> bool {
+    (a.0 & b.1) ^ (a.1 & b.0)
+}
+
+/// The paper's *XY pair* predicate used by the vacuum-state constraint
+/// (Section 3.5): true iff `σ1 = X` and `σ2 = Y`.
+pub fn xy_pair_bits(a: (bool, bool), b: (bool, bool)) -> bool {
+    !a.0 & a.1 & b.0 & !b.1
+}
+
+/// A Pauli string in the paper's bit-sequence form `E_bit`.
+///
+/// Bit `2k` is `b1` of the operator on qubit `k`; bit `2k+1` is `b2`.
+/// (The paper indexes sites from 1 and writes the odd/even split the other
+/// way around; the content is identical.)
+///
+/// # Example
+///
+/// ```
+/// use pauli::{PauliBits, PauliString};
+///
+/// let p: PauliString = "ZX".parse().unwrap(); // q0 = X, q1 = Z
+/// let bits = PauliBits::from_string(&p);
+/// assert_eq!(bits.bits(), &[false, true, true, true]); // X=(0,1), Z=(1,1)
+/// assert_eq!(bits.to_string_form().unwrap(), p);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliBits {
+    bits: Vec<bool>,
+}
+
+impl PauliBits {
+    /// Encodes a string into bit-sequence form.
+    pub fn from_string(p: &PauliString) -> Self {
+        let mut bits = Vec::with_capacity(p.num_qubits() * BITS_PER_OP);
+        for q in 0..p.num_qubits() {
+            let (b1, b2) = op_to_bits(p.get(q));
+            bits.push(b1);
+            bits.push(b2);
+        }
+        PauliBits { bits }
+    }
+
+    /// Wraps raw bits (length must be even and non-zero).
+    pub fn from_bits(bits: Vec<bool>) -> Option<Self> {
+        if bits.is_empty() || bits.len() % BITS_PER_OP != 0 {
+            return None;
+        }
+        Some(PauliBits { bits })
+    }
+
+    /// The raw interleaved bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of encoded qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.bits.len() / BITS_PER_OP
+    }
+
+    /// Decodes back to operator form.
+    ///
+    /// Returns `None` if the width exceeds
+    /// [`MAX_QUBITS`](crate::MAX_QUBITS).
+    pub fn to_string_form(&self) -> Option<PauliString> {
+        let n = self.num_qubits();
+        if n > crate::MAX_QUBITS {
+            return None;
+        }
+        let mut s = PauliString::identity(n);
+        for q in 0..n {
+            s.set(q, op_from_bits(self.bits[2 * q], self.bits[2 * q + 1]));
+        }
+        Some(s)
+    }
+
+    /// XOR of two bit forms — the encoded (phase-free) string product
+    /// (paper Eq. 8 extended site-wise).
+    pub fn xor(&self, other: &PauliBits) -> PauliBits {
+        assert_eq!(self.bits.len(), other.bits.len(), "width mismatch");
+        PauliBits {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encoding_matches_paper_eq7() {
+        assert_eq!(op_to_bits(Pauli::I), (false, false));
+        assert_eq!(op_to_bits(Pauli::X), (false, true));
+        assert_eq!(op_to_bits(Pauli::Y), (true, false));
+        assert_eq!(op_to_bits(Pauli::Z), (true, true));
+        for p in Pauli::ALL {
+            let (b1, b2) = op_to_bits(p);
+            assert_eq!(op_from_bits(b1, b2), p);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_xor_in_encoding() {
+        // Paper Table 1 / Eq. 8: E(σ3) = E(σ1) ⊕ E(σ2) bitwise.
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (c, _) = a.mul(b);
+                let (a1, a2) = op_to_bits(a);
+                let (b1, b2) = op_to_bits(b);
+                assert_eq!(op_to_bits(c), (a1 ^ b1, a2 ^ b2), "{a}·{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn acomm_bits_matches_operator_anticommutation() {
+        // Paper Table 2 exhaustively.
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                assert_eq!(
+                    acomm_bits(op_to_bits(a), op_to_bits(b)),
+                    a.anticommutes(b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xy_pair_detects_exactly_xy() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let expect = a == Pauli::X && b == Pauli::Y;
+                assert_eq!(xy_pair_bits(op_to_bits(a), op_to_bits(b)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn from_bits_validates_shape() {
+        assert!(PauliBits::from_bits(vec![]).is_none());
+        assert!(PauliBits::from_bits(vec![true]).is_none());
+        assert!(PauliBits::from_bits(vec![true, false]).is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bit_form_round_trips(ops in proptest::collection::vec(0..4u8, 1..20)) {
+            let s = PauliString::from_ops(
+                &ops.iter().map(|&o| Pauli::from_xz(o & 2 != 0, o & 1 != 0)).collect::<Vec<_>>(),
+            );
+            let bits = PauliBits::from_string(&s);
+            prop_assert_eq!(bits.to_string_form().unwrap(), s);
+        }
+
+        #[test]
+        fn prop_xor_is_unphased_product(a_ops in proptest::collection::vec(0..4u8, 1..12),
+                                        b_ops in proptest::collection::vec(0..4u8, 1..12)) {
+            let n = a_ops.len().min(b_ops.len());
+            let to_string = |ops: &[u8]| PauliString::from_ops(
+                &ops[..n].iter().map(|&o| Pauli::from_xz(o & 2 != 0, o & 1 != 0)).collect::<Vec<_>>(),
+            );
+            let a = to_string(&a_ops);
+            let b = to_string(&b_ops);
+            let via_bits = PauliBits::from_string(&a).xor(&PauliBits::from_string(&b));
+            prop_assert_eq!(via_bits.to_string_form().unwrap(), a.mul_unphased(&b));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Pauli algebra for Fermion-to-qubit encoding.
+//!
+//! This crate implements the operator language of the Fermihedral paper's
+//! Section 2.1: Pauli operators, Pauli strings with exact `i^k` phase
+//! tracking, weighted sums of strings (qubit Hamiltonians), and the paper's
+//! two-bit Boolean encoding of Pauli operators (Eq. 7) that the SAT
+//! formulation is built on.
+//!
+//! # Conventions
+//!
+//! * Qubits are indexed `0..n`. The **display** convention follows the
+//!   paper: a string prints as `σ_{n-1} … σ_0`, i.e. the *rightmost*
+//!   character is qubit 0. `"IY"` is `Y` on qubit 0 of a 2-qubit system.
+//! * Strings are stored in the symplectic form (an `x` mask and a `z` mask,
+//!   `X = (1,0)`, `Y = (1,1)`, `Z = (0,1)`), so products, commutation checks
+//!   and Pauli weight are word-level bit operations. Up to 128 qubits.
+//! * Phases are exact powers of `i` ([`Phase`]); converting to
+//!   floating-point happens only at the boundary ([`PauliSum`]).
+//!
+//! # Example: the paper's Jordan-Wigner warm-up (Section 2.2.2)
+//!
+//! ```
+//! use pauli::{PauliString, PauliSum};
+//! use mathkit::Complex64;
+//!
+//! // a†₁ = (IX - i·IY)/2,  a₁ = (IX + i·IY)/2   (2 Fermionic modes)
+//! let ix: PauliString = "IX".parse().unwrap();
+//! let iy: PauliString = "IY".parse().unwrap();
+//! let mut a_dag = PauliSum::new(2);
+//! a_dag.add_term(ix.clone(), Complex64::new(0.5, 0.0));
+//! a_dag.add_term(iy.clone(), Complex64::new(0.0, -0.5));
+//! let mut a = PauliSum::new(2);
+//! a.add_term(ix, Complex64::new(0.5, 0.0));
+//! a.add_term(iy, Complex64::new(0.0, 0.5));
+//!
+//! // {a†₁, a₁} = a†₁a₁ + a₁a†₁ = I
+//! let anti = &(&a_dag * &a) + &(&a * &a_dag);
+//! let id = PauliSum::identity(2);
+//! assert!(anti.approx_eq(&id, 1e-12));
+//! ```
+
+pub mod encoding;
+pub mod op;
+pub mod phase;
+pub mod phased;
+pub mod string;
+pub mod sum;
+
+pub use encoding::{PauliBits, BITS_PER_OP};
+pub use op::Pauli;
+pub use phase::Phase;
+pub use phased::PhasedString;
+pub use string::{ParsePauliError, PauliString, MAX_QUBITS};
+pub use sum::PauliSum;

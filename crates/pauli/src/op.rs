@@ -1,0 +1,204 @@
+//! Single-qubit Pauli operators.
+
+use crate::Phase;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// The discriminants are the symplectic bit pair packed as `x·2 + z`
+/// (`X = (x=1, z=0)`, `Y = (1,1)`, `Z = (0,1)`), which is what
+/// [`PauliString`](crate::PauliString) stores internally.
+///
+/// # Example
+///
+/// ```
+/// use pauli::{Pauli, Phase};
+///
+/// let (prod, phase) = Pauli::X.mul(Pauli::Y);
+/// assert_eq!(prod, Pauli::Z);
+/// assert_eq!(phase, Phase::PlusI); // XY = iZ
+/// assert!(Pauli::X.anticommutes(Pauli::Y));
+/// assert!(!Pauli::X.anticommutes(Pauli::I));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Pauli {
+    /// Identity.
+    I = 0b00,
+    /// Pauli Z (`z = 1`).
+    Z = 0b01,
+    /// Pauli X (`x = 1`).
+    X = 0b10,
+    /// Pauli Y (`x = z = 1`).
+    Y = 0b11,
+}
+
+impl Pauli {
+    /// All four operators, in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The symplectic `x` bit.
+    #[inline]
+    pub fn x_bit(self) -> bool {
+        (self as u8) & 0b10 != 0
+    }
+
+    /// The symplectic `z` bit.
+    #[inline]
+    pub fn z_bit(self) -> bool {
+        (self as u8) & 0b01 != 0
+    }
+
+    /// Reconstructs an operator from symplectic bits.
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (false, true) => Pauli::Z,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+        }
+    }
+
+    /// Operator product `self · other`, returning the resulting operator and
+    /// the phase `i^k` it carries (`XY = iZ`, `YX = -iZ`, …).
+    pub fn mul(self, other: Pauli) -> (Pauli, Phase) {
+        let x1 = self.x_bit() as i64;
+        let z1 = self.z_bit() as i64;
+        let x2 = other.x_bit() as i64;
+        let z2 = other.z_bit() as i64;
+        let x3 = x1 ^ x2;
+        let z3 = z1 ^ z2;
+        // Each operator is canonically i^{xz}·X^x·Z^z; commuting Z^{z1} past
+        // X^{x2} contributes (-1)^{z1·x2}. See `string.rs` for the same
+        // formula applied mask-wise.
+        let k = x1 * z1 + x2 * z2 - x3 * z3 + 2 * z1 * x2;
+        (Pauli::from_xz(x3 == 1, z3 == 1), Phase::from_exponent(k))
+    }
+
+    /// True when `self` and `other` anticommute. The identity commutes with
+    /// everything; two equal operators commute; two distinct non-identity
+    /// operators anticommute.
+    #[inline]
+    pub fn anticommutes(self, other: Pauli) -> bool {
+        let s = (self.x_bit() & other.z_bit()) ^ (self.z_bit() & other.x_bit());
+        s
+    }
+
+    /// Pauli weight of the single operator: 1 unless identity.
+    #[inline]
+    pub fn weight(self) -> usize {
+        usize::from(self != Pauli::I)
+    }
+
+    /// The character representation used in string form.
+    pub fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+
+    /// Parses one character (case-insensitive).
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::{CMatrix, Complex64};
+
+    fn matrix(p: Pauli) -> CMatrix {
+        let i = Complex64::I;
+        let one = Complex64::ONE;
+        let zero = Complex64::ZERO;
+        match p {
+            Pauli::I => CMatrix::identity(2),
+            Pauli::X => CMatrix::from_rows(&[vec![zero, one], vec![one, zero]]),
+            Pauli::Y => CMatrix::from_rows(&[vec![zero, -i], vec![i, zero]]),
+            Pauli::Z => CMatrix::from_rows(&[vec![one, zero], vec![zero, -one]]),
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_matrices_exhaustively() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (c, phase) = a.mul(b);
+                let lhs = &matrix(a) * &matrix(b);
+                let rhs = matrix(c).scale(phase.to_complex());
+                assert!(
+                    lhs.approx_eq(&rhs, 1e-14),
+                    "{a}·{b} gave {c} with phase {phase:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_products_have_plus_i() {
+        assert_eq!(Pauli::X.mul(Pauli::Y), (Pauli::Z, Phase::PlusI));
+        assert_eq!(Pauli::Y.mul(Pauli::Z), (Pauli::X, Phase::PlusI));
+        assert_eq!(Pauli::Z.mul(Pauli::X), (Pauli::Y, Phase::PlusI));
+        assert_eq!(Pauli::Y.mul(Pauli::X), (Pauli::Z, Phase::MinusI));
+    }
+
+    #[test]
+    fn squares_are_identity() {
+        for p in Pauli::ALL {
+            assert_eq!(p.mul(p), (Pauli::I, Phase::PlusOne));
+        }
+    }
+
+    #[test]
+    fn anticommutation_matches_paper_table2() {
+        // Table 2 of the paper: I row/column all 0; off-diagonal non-identity
+        // pairs 1; diagonal 0.
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let expect = a != Pauli::I && b != Pauli::I && a != b;
+                assert_eq!(a.anticommutes(b), expect, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()), Some(p));
+            assert_eq!(Pauli::from_char(p.to_char().to_ascii_lowercase()), Some(p));
+        }
+        assert_eq!(Pauli::from_char('Q'), None);
+    }
+
+    #[test]
+    fn xz_bits_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_xz(p.x_bit(), p.z_bit()), p);
+        }
+    }
+
+    #[test]
+    fn weight_counts_non_identity() {
+        assert_eq!(Pauli::I.weight(), 0);
+        assert_eq!(Pauli::X.weight(), 1);
+        assert_eq!(Pauli::Y.weight(), 1);
+        assert_eq!(Pauli::Z.weight(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Exact phases: the four fourth-roots of unity `i^k`.
+
+use mathkit::Complex64;
+use std::fmt;
+use std::ops::{Mul, MulAssign, Neg};
+
+/// A phase factor `i^k`, `k ∈ {0,1,2,3}`.
+///
+/// Pauli-string products only ever generate these phases, so tracking the
+/// exponent exactly avoids floating-point drift in long operator products
+/// (the Hamiltonian mapping multiplies hundreds of strings).
+///
+/// # Example
+///
+/// ```
+/// use pauli::Phase;
+///
+/// assert_eq!(Phase::PlusI * Phase::PlusI, Phase::MinusOne);
+/// assert_eq!(-Phase::PlusI, Phase::MinusI);
+/// assert_eq!(Phase::MinusI.conj(), Phase::PlusI);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum Phase {
+    /// `+1` (`i⁰`).
+    #[default]
+    PlusOne = 0,
+    /// `+i` (`i¹`).
+    PlusI = 1,
+    /// `−1` (`i²`).
+    MinusOne = 2,
+    /// `−i` (`i³`).
+    MinusI = 3,
+}
+
+impl Phase {
+    /// Builds a phase from any integer exponent of `i`.
+    #[inline]
+    pub fn from_exponent(k: i64) -> Phase {
+        match k.rem_euclid(4) {
+            0 => Phase::PlusOne,
+            1 => Phase::PlusI,
+            2 => Phase::MinusOne,
+            _ => Phase::MinusI,
+        }
+    }
+
+    /// The exponent `k` with `self = i^k`, in `0..4`.
+    #[inline]
+    pub fn exponent(self) -> u8 {
+        self as u8
+    }
+
+    /// Complex conjugate (`i^k → i^{-k}`).
+    #[inline]
+    pub fn conj(self) -> Phase {
+        Phase::from_exponent(-(self as i64))
+    }
+
+    /// True for `±1` (no imaginary part).
+    #[inline]
+    pub fn is_real(self) -> bool {
+        matches!(self, Phase::PlusOne | Phase::MinusOne)
+    }
+
+    /// Converts to a floating-point complex number.
+    #[inline]
+    pub fn to_complex(self) -> Complex64 {
+        Complex64::i_pow(self as i64)
+    }
+}
+
+impl Mul for Phase {
+    type Output = Phase;
+    #[inline]
+    fn mul(self, rhs: Phase) -> Phase {
+        Phase::from_exponent(self as i64 + rhs as i64)
+    }
+}
+
+impl MulAssign for Phase {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Phase) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Phase {
+    type Output = Phase;
+    #[inline]
+    fn neg(self) -> Phase {
+        Phase::from_exponent(self as i64 + 2)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::PlusOne => "+1",
+            Phase::PlusI => "+i",
+            Phase::MinusOne => "-1",
+            Phase::MinusI => "-i",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_structure() {
+        // Z4 under multiplication of i^k: exhaustive Cayley-table check.
+        let all = [Phase::PlusOne, Phase::PlusI, Phase::MinusOne, Phase::MinusI];
+        for a in all {
+            for b in all {
+                let expect = Phase::from_exponent(a.exponent() as i64 + b.exponent() as i64);
+                assert_eq!(a * b, expect);
+                // Multiplication agrees with complex arithmetic.
+                assert!(
+                    (a * b)
+                        .to_complex()
+                        .approx_eq(a.to_complex() * b.to_complex(), 1e-15)
+                );
+            }
+            assert_eq!(a * a.conj(), Phase::PlusOne);
+        }
+    }
+
+    #[test]
+    fn negation_adds_two() {
+        assert_eq!(-Phase::PlusOne, Phase::MinusOne);
+        assert_eq!(-Phase::PlusI, Phase::MinusI);
+        assert_eq!(-Phase::MinusOne, Phase::PlusOne);
+        assert_eq!(-Phase::MinusI, Phase::PlusI);
+    }
+
+    #[test]
+    fn realness() {
+        assert!(Phase::PlusOne.is_real());
+        assert!(Phase::MinusOne.is_real());
+        assert!(!Phase::PlusI.is_real());
+        assert!(!Phase::MinusI.is_real());
+    }
+
+    #[test]
+    fn from_exponent_wraps_negatives() {
+        assert_eq!(Phase::from_exponent(-1), Phase::MinusI);
+        assert_eq!(Phase::from_exponent(-4), Phase::PlusOne);
+        assert_eq!(Phase::from_exponent(6), Phase::MinusOne);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Phase::PlusI.to_string(), "+i");
+        assert_eq!(Phase::MinusOne.to_string(), "-1");
+    }
+}

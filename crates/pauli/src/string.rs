@@ -1,0 +1,497 @@
+//! Pauli strings: tensor products of single-qubit Pauli operators.
+
+use crate::{Pauli, Phase};
+use mathkit::gf2::BitVec;
+use mathkit::{CMatrix, Complex64};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum number of qubits a [`PauliString`] can hold (mask width).
+pub const MAX_QUBITS: usize = 128;
+
+/// A Pauli string `σ_{n-1} ⊗ … ⊗ σ_0` on `n` qubits, without a phase.
+///
+/// Stored symplectically as an `x` mask and a `z` mask (`X = (1,0)`,
+/// `Y = (1,1)`, `Z = (0,1)`), making products, (anti)commutation checks and
+/// [Pauli weight](Self::weight) O(1) word operations. Use
+/// [`PhasedString`](crate::PhasedString) when the phase of a product
+/// matters.
+///
+/// # Example
+///
+/// ```
+/// use pauli::PauliString;
+///
+/// // Strings display with qubit 0 rightmost, as in the paper.
+/// let p: PauliString = "XZY".parse().unwrap();
+/// assert_eq!(p.get(0), pauli::Pauli::Y);
+/// assert_eq!(p.get(2), pauli::Pauli::X);
+/// assert_eq!(p.weight(), 3);
+///
+/// // XXX and YYY share three anticommuting sites -> strings anticommute.
+/// let a: PauliString = "XXX".parse().unwrap();
+/// let b: PauliString = "YYY".parse().unwrap();
+/// assert!(a.anticommutes(&b));
+/// // XX and YY share two -> they commute (paper Section 3.3).
+/// let c: PauliString = "XX".parse().unwrap();
+/// let d: PauliString = "YY".parse().unwrap();
+/// assert!(!c.anticommutes(&d));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PauliString {
+    n: u32,
+    x: u128,
+    z: u128,
+}
+
+impl PauliString {
+    /// The all-identity string on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_QUBITS`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0 && n <= MAX_QUBITS, "qubit count {n} out of range");
+        PauliString {
+            n: n as u32,
+            x: 0,
+            z: 0,
+        }
+    }
+
+    /// Builds a string from an operator per qubit, `ops[i]` acting on qubit
+    /// `i` (note: *reverse* of display order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or longer than [`MAX_QUBITS`].
+    pub fn from_ops(ops: &[Pauli]) -> Self {
+        let mut s = PauliString::identity(ops.len());
+        for (i, &op) in ops.iter().enumerate() {
+            s.set(i, op);
+        }
+        s
+    }
+
+    /// Builds a string that applies `op` on `qubit` and identity elsewhere.
+    pub fn single(n: usize, qubit: usize, op: Pauli) -> Self {
+        let mut s = PauliString::identity(n);
+        s.set(qubit, op);
+        s
+    }
+
+    /// Builds directly from symplectic masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if masks have bits above `n` or `n` is out of range.
+    pub fn from_masks(n: usize, x: u128, z: u128) -> Self {
+        assert!(n > 0 && n <= MAX_QUBITS, "qubit count {n} out of range");
+        let valid = if n == MAX_QUBITS { !0u128 } else { (1u128 << n) - 1 };
+        assert!(x & !valid == 0 && z & !valid == 0, "mask bits above n");
+        PauliString { n: n as u32, x, z }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The symplectic `x` mask (bit `i` ↦ qubit `i`).
+    #[inline]
+    pub fn x_mask(&self) -> u128 {
+        self.x
+    }
+
+    /// The symplectic `z` mask.
+    #[inline]
+    pub fn z_mask(&self) -> u128 {
+        self.z
+    }
+
+    /// The operator on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= num_qubits()`.
+    #[inline]
+    pub fn get(&self, qubit: usize) -> Pauli {
+        assert!(qubit < self.n as usize, "qubit {qubit} out of range");
+        Pauli::from_xz(self.x >> qubit & 1 == 1, self.z >> qubit & 1 == 1)
+    }
+
+    /// Sets the operator on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= num_qubits()`.
+    #[inline]
+    pub fn set(&mut self, qubit: usize, op: Pauli) {
+        assert!(qubit < self.n as usize, "qubit {qubit} out of range");
+        let bit = 1u128 << qubit;
+        if op.x_bit() {
+            self.x |= bit;
+        } else {
+            self.x &= !bit;
+        }
+        if op.z_bit() {
+            self.z |= bit;
+        } else {
+            self.z &= !bit;
+        }
+    }
+
+    /// Pauli weight: the number of non-identity sites (paper Section 2.1.3).
+    #[inline]
+    pub fn weight(&self) -> usize {
+        (self.x | self.z).count_ones() as usize
+    }
+
+    /// True when every site is the identity.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.x == 0 && self.z == 0
+    }
+
+    /// Iterator over `(qubit, op)` for the non-identity sites, ascending.
+    pub fn support(&self) -> impl Iterator<Item = (usize, Pauli)> + '_ {
+        let mask = self.x | self.z;
+        (0..self.n as usize)
+            .filter(move |i| mask >> i & 1 == 1)
+            .map(move |i| (i, self.get(i)))
+    }
+
+    /// Iterator over all sites `(qubit, op)`, ascending by qubit.
+    pub fn iter(&self) -> impl Iterator<Item = Pauli> + '_ {
+        (0..self.n as usize).map(move |i| self.get(i))
+    }
+
+    /// Phase-free product: the resulting string is the site-wise product,
+    /// ignoring the accumulated `i^k` factor. This is the operation the SAT
+    /// encoding models (coefficients "can be ignored", paper Section 3.2).
+    #[inline]
+    pub fn mul_unphased(&self, other: &PauliString) -> PauliString {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        PauliString {
+            n: self.n,
+            x: self.x ^ other.x,
+            z: self.z ^ other.z,
+        }
+    }
+
+    /// Full product `self · other = i^k · result`.
+    pub fn mul(&self, other: &PauliString) -> (PauliString, Phase) {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        let x3 = self.x ^ other.x;
+        let z3 = self.z ^ other.z;
+        // Σ_sites [x1z1 + x2z2 − x3z3 + 2·z1x2]  (see `Pauli::mul`).
+        let k = (self.x & self.z).count_ones() as i64
+            + (other.x & other.z).count_ones() as i64
+            - (x3 & z3).count_ones() as i64
+            + 2 * (self.z & other.x).count_ones() as i64;
+        (
+            PauliString {
+                n: self.n,
+                x: x3,
+                z: z3,
+            },
+            Phase::from_exponent(k),
+        )
+    }
+
+    /// True when the two strings anticommute: an odd number of sites hold
+    /// anticommuting operator pairs (paper Section 3.3).
+    #[inline]
+    pub fn anticommutes(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        let s = (self.x & other.z).count_ones() + (self.z & other.x).count_ones();
+        s % 2 == 1
+    }
+
+    /// True when the two strings commute.
+    #[inline]
+    pub fn commutes(&self, other: &PauliString) -> bool {
+        !self.anticommutes(other)
+    }
+
+    /// True when the strings commute *qubit-wise*: every site pair commutes.
+    /// Qubit-wise commuting Hamiltonian terms can be measured in one shared
+    /// basis, which the measurement pipeline exploits.
+    pub fn qubitwise_commutes(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        // Sites where both are non-identity must carry equal operators.
+        let both = (self.x | self.z) & (other.x | other.z);
+        (self.x ^ other.x) & both == 0 && (self.z ^ other.z) & both == 0
+    }
+
+    /// The symplectic row `[x_bits | z_bits]` of length `2n`, used for GF(2)
+    /// rank checks (algebraic independence).
+    pub fn symplectic_row(&self) -> BitVec {
+        let n = self.n as usize;
+        let mut v = BitVec::zeros(2 * n);
+        for i in 0..n {
+            if self.x >> i & 1 == 1 {
+                v.set(i, true);
+            }
+            if self.z >> i & 1 == 1 {
+                v.set(n + i, true);
+            }
+        }
+        v
+    }
+
+    /// Dense `2ⁿ × 2ⁿ` matrix of the string, with qubit 0 as the least
+    /// significant bit of the basis index.
+    ///
+    /// Exponential in `n`; intended for validation at small sizes.
+    pub fn to_matrix(&self) -> CMatrix {
+        let mut m = CMatrix::identity(1);
+        for q in (0..self.n as usize).rev() {
+            m = m.kron(&op_matrix(self.get(q)));
+        }
+        m
+    }
+}
+
+fn op_matrix(p: Pauli) -> CMatrix {
+    let i = Complex64::I;
+    let one = Complex64::ONE;
+    let zero = Complex64::ZERO;
+    match p {
+        Pauli::I => CMatrix::identity(2),
+        Pauli::X => CMatrix::from_rows(&[vec![zero, one], vec![one, zero]]),
+        Pauli::Y => CMatrix::from_rows(&[vec![zero, -i], vec![i, zero]]),
+        Pauli::Z => CMatrix::from_rows(&[vec![one, zero], vec![zero, -one]]),
+    }
+}
+
+/// Error parsing a [`PauliString`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePauliError {
+    /// The input was empty.
+    Empty,
+    /// The input exceeded [`MAX_QUBITS`] characters.
+    TooLong(usize),
+    /// A character was not one of `I`, `X`, `Y`, `Z` (case-insensitive).
+    BadChar(char),
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePauliError::Empty => write!(f, "empty Pauli string"),
+            ParsePauliError::TooLong(n) => {
+                write!(f, "Pauli string of length {n} exceeds {MAX_QUBITS} qubits")
+            }
+            ParsePauliError::BadChar(c) => write!(f, "invalid Pauli character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    /// Parses display order: leftmost character = highest qubit.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.is_empty() {
+            return Err(ParsePauliError::Empty);
+        }
+        if chars.len() > MAX_QUBITS {
+            return Err(ParsePauliError::TooLong(chars.len()));
+        }
+        let n = chars.len();
+        let mut out = PauliString::identity(n);
+        for (pos, &c) in chars.iter().enumerate() {
+            let op = Pauli::from_char(c).ok_or(ParsePauliError::BadChar(c))?;
+            out.set(n - 1 - pos, op);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for q in (0..self.n as usize).rev() {
+            write!(f, "{}", self.get(q))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PauliString(\"{self}\")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in ["I", "XYZ", "IIXX", "ZZZZZ", "YIXZY"] {
+            let p: PauliString = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert_eq!("".parse::<PauliString>(), Err(ParsePauliError::Empty));
+        assert_eq!(
+            "XQZ".parse::<PauliString>(),
+            Err(ParsePauliError::BadChar('Q'))
+        );
+        let long = "X".repeat(MAX_QUBITS + 1);
+        assert_eq!(
+            long.parse::<PauliString>(),
+            Err(ParsePauliError::TooLong(MAX_QUBITS + 1))
+        );
+    }
+
+    #[test]
+    fn display_order_matches_paper() {
+        // Paper example: M1 ↦ IY is Y on qubit 1 (1-based), i.e. qubit 0 here.
+        let p: PauliString = "IY".parse().unwrap();
+        assert_eq!(p.get(0), Pauli::Y);
+        assert_eq!(p.get(1), Pauli::I);
+    }
+
+    #[test]
+    fn weight_examples() {
+        let p: PauliString = "IIXX".parse().unwrap();
+        assert_eq!(p.weight(), 2); // paper Section 2.1.3 example
+        assert_eq!(PauliString::identity(7).weight(), 0);
+    }
+
+    #[test]
+    fn anticommutation_parity_rule() {
+        // Shared anticommuting site counts decide string anticommutation.
+        let xx: PauliString = "XX".parse().unwrap();
+        let yy: PauliString = "YY".parse().unwrap();
+        assert!(!xx.anticommutes(&yy)); // 2 sites -> commute
+        let xxx: PauliString = "XXX".parse().unwrap();
+        let yyy: PauliString = "YYY".parse().unwrap();
+        assert!(xxx.anticommutes(&yyy)); // 3 sites -> anticommute
+    }
+
+    #[test]
+    fn multiplication_phase_small_cases() {
+        let x: PauliString = "X".parse().unwrap();
+        let y: PauliString = "Y".parse().unwrap();
+        let (p, ph) = x.mul(&y);
+        assert_eq!(p.to_string(), "Z");
+        assert_eq!(ph, Phase::PlusI);
+        let (p2, ph2) = y.mul(&x);
+        assert_eq!(p2.to_string(), "Z");
+        assert_eq!(ph2, Phase::MinusI);
+    }
+
+    #[test]
+    fn jordan_wigner_majoranas_anticommute() {
+        // Paper Eq. (2): the four JW Majorana strings for N=2.
+        let ms: Vec<PauliString> = ["IY", "IX", "YZ", "XZ"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(ms[i].anticommutes(&ms[j]), "{} vs {}", ms[i], ms[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qubitwise_commutation() {
+        let a: PauliString = "XIZ".parse().unwrap();
+        let b: PauliString = "XZI".parse().unwrap();
+        assert!(a.qubitwise_commutes(&b));
+        let c: PauliString = "ZIZ".parse().unwrap();
+        assert!(!a.qubitwise_commutes(&c)); // X vs Z on qubit 2
+        // Qubit-wise commuting implies commuting.
+        assert!(a.commutes(&b));
+    }
+
+    #[test]
+    fn symplectic_row_layout() {
+        let p: PauliString = "ZYX".parse().unwrap(); // q0=X, q1=Y, q2=Z
+        let row = p.symplectic_row();
+        // x bits at 0..3: X(1), Y(1), Z(0) → [1,1,0]; z bits at 3..6: [0,1,1].
+        assert!(row.get(0) && row.get(1) && !row.get(2));
+        assert!(!row.get(3) && row.get(4) && row.get(5));
+    }
+
+    #[test]
+    fn matrix_of_string_is_kron_of_ops() {
+        let p: PauliString = "ZX".parse().unwrap();
+        let m = p.to_matrix();
+        let z = PauliString::single(1, 0, Pauli::Z).to_matrix();
+        let x = PauliString::single(1, 0, Pauli::X).to_matrix();
+        assert!(m.approx_eq(&z.kron(&x), 1e-15));
+    }
+
+    fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
+        proptest::collection::vec(0..4u8, n).prop_map(|ops| {
+            PauliString::from_ops(
+                &ops.iter()
+                    .map(|&o| Pauli::from_xz(o & 2 != 0, o & 1 != 0))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_matches_matrices(a in arb_string(4), b in arb_string(4)) {
+            let (c, phase) = a.mul(&b);
+            let lhs = &a.to_matrix() * &b.to_matrix();
+            let rhs = c.to_matrix().scale(phase.to_complex());
+            prop_assert!(lhs.approx_eq(&rhs, 1e-12));
+        }
+
+        #[test]
+        fn prop_anticommute_matches_matrices(a in arb_string(3), b in arb_string(3)) {
+            let am = a.to_matrix();
+            let bm = b.to_matrix();
+            let anti = &(&am * &bm) + &(&bm * &am);
+            let is_zero = anti.max_norm() < 1e-12;
+            prop_assert_eq!(a.anticommutes(&b), is_zero);
+        }
+
+        #[test]
+        fn prop_mul_unphased_is_projection_of_mul(a in arb_string(6), b in arb_string(6)) {
+            let (c, _) = a.mul(&b);
+            prop_assert_eq!(c, a.mul_unphased(&b));
+        }
+
+        #[test]
+        fn prop_product_associates(a in arb_string(5), b in arb_string(5), c in arb_string(5)) {
+            let (ab, p1) = a.mul(&b);
+            let (abc1, p2) = ab.mul(&c);
+            let (bc, q1) = b.mul(&c);
+            let (abc2, q2) = a.mul(&bc);
+            prop_assert_eq!(&abc1, &abc2);
+            prop_assert_eq!(p1 * p2, q1 * q2);
+        }
+
+        #[test]
+        fn prop_self_product_is_identity(a in arb_string(8)) {
+            let (sq, phase) = a.mul(&a);
+            prop_assert!(sq.is_identity());
+            prop_assert_eq!(phase, Phase::PlusOne);
+        }
+
+        #[test]
+        fn prop_weight_equals_support_len(a in arb_string(9)) {
+            prop_assert_eq!(a.weight(), a.support().count());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Exact diagonalization of qubit Hamiltonians.
+//!
+//! The noisy-simulation experiments (Figures 8–10) start from energy
+//! eigenstates `E₀ … E₃` of the *mapped* Hamiltonian — stationary states
+//! whose measured energy should stay put under noiseless evolution, so any
+//! drift is attributable to gate noise.
+
+use crate::state::Statevector;
+use mathkit::eigen::{eigh, Eigh};
+use pauli::PauliSum;
+
+/// Full spectrum of a Hamiltonian (eigenvalues ascending).
+///
+/// # Panics
+///
+/// Panics if `h` is not Hermitian.
+///
+/// # Example
+///
+/// ```
+/// use pauli::PauliSum;
+/// use mathkit::Complex64;
+///
+/// let mut h = PauliSum::new(1);
+/// h.add_term("X".parse().unwrap(), Complex64::ONE);
+/// let eig = qsim::spectrum(&h);
+/// assert!((eig.values[0] + 1.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn spectrum(h: &PauliSum) -> Eigh {
+    eigh(&h.to_matrix())
+}
+
+/// The `k`-th energy eigenstate (0 = ground state) as a state vector.
+///
+/// # Panics
+///
+/// Panics if `h` is not Hermitian or `k` exceeds the dimension.
+pub fn eigenstate(h: &PauliSum, k: usize) -> Statevector {
+    let eig = spectrum(h);
+    assert!(k < eig.values.len(), "eigenstate index out of range");
+    Statevector::from_amplitudes(eig.vector(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::Complex64;
+
+    fn tfim() -> PauliSum {
+        // A 2-qubit transverse-field Ising model: ZZ + 0.5(XI + IX).
+        let mut h = PauliSum::new(2);
+        h.add_term("ZZ".parse().unwrap(), Complex64::ONE);
+        h.add_term("XI".parse().unwrap(), Complex64::from_re(0.5));
+        h.add_term("IX".parse().unwrap(), Complex64::from_re(0.5));
+        h
+    }
+
+    #[test]
+    fn eigenstate_expectation_equals_eigenvalue() {
+        let h = tfim();
+        let eig = spectrum(&h);
+        for k in 0..4 {
+            let psi = eigenstate(&h, k);
+            let e = psi.expectation(&h);
+            assert!(
+                (e.re - eig.values[k]).abs() < 1e-9,
+                "k={k}: {} vs {}",
+                e.re,
+                eig.values[k]
+            );
+            assert!(e.im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ground_state_minimizes_energy() {
+        let h = tfim();
+        let ground = eigenstate(&h, 0);
+        let e0 = ground.expectation(&h).re;
+        // Any basis state has at least the ground energy.
+        for idx in 0..4 {
+            let e = Statevector::basis(2, idx).expectation(&h).re;
+            assert!(e >= e0 - 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigenstates_are_stationary_under_exact_evolution() {
+        let h = tfim();
+        let psi = eigenstate(&h, 1);
+        // exp(−iHt)|E₁⟩ = e^{−iE₁t}|E₁⟩: fidelity 1 with the original.
+        let u = circuit::evolution::exact_evolution(&h, 0.9);
+        let evolved = Statevector::from_amplitudes(u.mul_vec(psi.amplitudes()));
+        assert!((psi.fidelity(&evolved) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn eigenstate_index_checked() {
+        let _ = eigenstate(&tfim(), 4);
+    }
+}

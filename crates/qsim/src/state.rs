@@ -1,0 +1,307 @@
+//! Dense state vectors.
+
+use circuit::unitary::apply_gate;
+use circuit::{Circuit, Gate};
+use mathkit::Complex64;
+use pauli::{PauliString, PauliSum};
+use rand::Rng;
+
+/// A pure state of `n` qubits; qubit 0 is the least-significant bit of the
+/// basis index.
+///
+/// # Example
+///
+/// ```
+/// use qsim::Statevector;
+/// use circuit::{Circuit, Gate};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.push(Gate::H(0));
+/// bell.push(Gate::Cnot { control: 0, target: 1 });
+/// let mut psi = Statevector::zero(2);
+/// psi.apply_circuit(&bell);
+/// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    num_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl Statevector {
+    /// The computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is 0 or large enough to overflow memory
+    /// (> 30).
+    pub fn zero(num_qubits: usize) -> Statevector {
+        Statevector::basis(num_qubits, 0)
+    }
+
+    /// The computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_qubits` or `num_qubits` is out of range.
+    pub fn basis(num_qubits: usize, index: usize) -> Statevector {
+        assert!(num_qubits > 0 && num_qubits <= 30, "qubit count out of range");
+        let dim = 1usize << num_qubits;
+        assert!(index < dim, "basis index out of range");
+        let mut amps = vec![Complex64::ZERO; dim];
+        amps[index] = Complex64::ONE;
+        Statevector { num_qubits, amps }
+    }
+
+    /// Wraps raw amplitudes, normalizing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two ≥ 2 or the vector has
+    /// (numerically) zero norm.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Statevector {
+        let dim = amps.len();
+        assert!(dim >= 2 && dim.is_power_of_two(), "length must be 2^n");
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm > 1e-12, "cannot normalize the zero vector");
+        let amps = amps.iter().map(|&a| a / norm).collect();
+        Statevector {
+            num_qubits: dim.trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitudes (length `2^n`).
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// `|⟨index|ψ⟩|²`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// The squared norm (1 for a valid state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch.
+    pub fn inner(&self, other: &Statevector) -> Complex64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &Statevector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Applies a single gate in place.
+    pub fn apply(&mut self, gate: &Gate) {
+        apply_gate(&mut self.amps, gate);
+    }
+
+    /// Applies a whole circuit in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on register-width mismatch.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "register width mismatch"
+        );
+        for g in circuit.iter() {
+            self.apply(g);
+        }
+    }
+
+    /// Applies a Pauli string (a unitary) in place.
+    ///
+    /// `P|b⟩ = i^{#Y} (−1)^{|b ∧ z|} |b ⊕ x⟩` in the symplectic form.
+    pub fn apply_pauli(&mut self, p: &PauliString) {
+        assert_eq!(p.num_qubits(), self.num_qubits, "qubit count mismatch");
+        let x = p.x_mask() as usize;
+        let z = p.z_mask() as usize;
+        let y_phase = Complex64::i_pow((p.x_mask() & p.z_mask()).count_ones() as i64);
+        let dim = self.amps.len();
+        let mut out = vec![Complex64::ZERO; dim];
+        for (b, &amp) in self.amps.iter().enumerate() {
+            let sign = if ((b & z).count_ones()) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            out[b ^ x] = amp * y_phase * sign;
+        }
+        self.amps = out;
+    }
+
+    /// `⟨ψ|P|ψ⟩` for one Pauli string, in O(2ⁿ).
+    pub fn expectation_pauli(&self, p: &PauliString) -> Complex64 {
+        assert_eq!(p.num_qubits(), self.num_qubits, "qubit count mismatch");
+        let x = p.x_mask() as usize;
+        let z = p.z_mask() as usize;
+        let y_phase = Complex64::i_pow((p.x_mask() & p.z_mask()).count_ones() as i64);
+        let mut acc = Complex64::ZERO;
+        for (b, &amp) in self.amps.iter().enumerate() {
+            let sign = if ((b & z).count_ones()) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            // ⟨b ⊕ x| gets amplitude y_phase·sign·amp.
+            acc += self.amps[b ^ x].conj() * amp * y_phase * sign;
+        }
+        acc
+    }
+
+    /// `⟨ψ|H|ψ⟩` for a Pauli sum.
+    pub fn expectation(&self, h: &PauliSum) -> Complex64 {
+        h.iter()
+            .map(|(p, w)| w * self.expectation_pauli(p))
+            .sum()
+    }
+
+    /// Samples a basis state according to `|ψ|²`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (idx, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return idx;
+            }
+        }
+        self.amps.len() - 1 // numerical tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::circuit_unitary;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basis_state_probabilities() {
+        let psi = Statevector::basis(3, 0b101);
+        assert!((psi.probability(0b101) - 1.0).abs() < 1e-15);
+        assert!((psi.norm_sqr() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let psi = Statevector::from_amplitudes(vec![
+            Complex64::from_re(3.0),
+            Complex64::from_re(4.0),
+        ]);
+        assert!((psi.probability(0) - 9.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_application_matches_unitary() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Rz(1, 0.7));
+        let u = circuit_unitary(&c);
+        for col in 0..4 {
+            let mut psi = Statevector::basis(2, col);
+            psi.apply_circuit(&c);
+            for row in 0..4 {
+                assert!(psi.amplitudes()[row].approx_eq(u[(row, col)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_pauli_matches_matrix() {
+        let p: PauliString = "YZ".parse().unwrap();
+        let m = p.to_matrix();
+        for col in 0..4 {
+            let mut psi = Statevector::basis(2, col);
+            psi.apply_pauli(&p);
+            for row in 0..4 {
+                assert!(
+                    psi.amplitudes()[row].approx_eq(m[(row, col)], 1e-12),
+                    "row {row} col {col}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut bell = Circuit::new(2);
+        bell.push(Gate::H(0));
+        bell.push(Gate::Cnot { control: 0, target: 1 });
+        let mut psi = Statevector::zero(2);
+        psi.apply_circuit(&bell);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[psi.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0b01], 0);
+        assert_eq!(counts[0b10], 0);
+        let frac = counts[0b00] as f64 / 4000.0;
+        assert!((frac - 0.5).abs() < 0.05, "{frac}");
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states() {
+        let a = Statevector::basis(2, 0);
+        let b = Statevector::basis(2, 3);
+        assert!(a.fidelity(&b) < 1e-15);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-15);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_expectation_matches_matrix(ops in proptest::collection::vec(0..4u8, 2..4),
+                                           seed in 0u64..1000) {
+            let p = PauliString::from_ops(
+                &ops.iter().map(|&o| pauli::Pauli::from_xz(o & 2 != 0, o & 1 != 0)).collect::<Vec<_>>(),
+            );
+            let n = p.num_qubits();
+            // Random state from a few gates.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                c.push(Gate::Ry(q, rand::Rng::gen_range(&mut rng, -3.0..3.0)));
+            }
+            for q in 1..n {
+                c.push(Gate::Cnot { control: q - 1, target: q });
+            }
+            let mut psi = Statevector::zero(n);
+            psi.apply_circuit(&c);
+            // Reference: ⟨ψ|P|ψ⟩ via dense matrix.
+            let pv = p.to_matrix().mul_vec(psi.amplitudes());
+            let mut reference = Complex64::ZERO;
+            for (a, b) in psi.amplitudes().iter().zip(&pv) {
+                reference += a.conj() * *b;
+            }
+            prop_assert!(psi.expectation_pauli(&p).approx_eq(reference, 1e-10));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The standard interchange format for SAT instances. Fermihedral instances
+//! exported here can be cross-checked with external solvers (Kissat,
+//! CaDiCaL), mirroring the paper's toolchain.
+
+use crate::cnf::Cnf;
+use crate::types::Lit;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error from [`parse`].
+#[derive(Debug)]
+pub enum DimacsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content, with a human-readable description.
+    Parse(String),
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::Io(e) => write!(f, "i/o error reading DIMACS: {e}"),
+            DimacsError::Parse(msg) => write!(f, "invalid DIMACS: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DimacsError::Io(e) => Some(e),
+            DimacsError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DimacsError {
+    fn from(e: io::Error) -> Self {
+        DimacsError::Io(e)
+    }
+}
+
+/// Writes `cnf` in DIMACS format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use sat::{Cnf, dimacs};
+///
+/// let mut cnf = Cnf::new();
+/// let a = cnf.new_var();
+/// let b = cnf.new_var();
+/// cnf.add_clause([a.positive(), b.negative()]);
+/// let mut out = Vec::new();
+/// dimacs::write(&cnf, &mut out)?;
+/// assert_eq!(String::from_utf8(out).unwrap(), "p cnf 2 1\n1 -2 0\n");
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write(cnf: &Cnf, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for lit in clause {
+            write!(w, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(w, "0")?;
+    }
+    Ok(())
+}
+
+/// Parses a DIMACS CNF file.
+///
+/// Comment lines (`c …`) are skipped; the `p cnf <vars> <clauses>` header is
+/// required before any clause. Extra declared variables are allocated even
+/// if unused.
+///
+/// # Errors
+///
+/// Returns [`DimacsError::Parse`] on malformed input and
+/// [`DimacsError::Io`] on reader failure.
+pub fn parse(r: impl BufRead) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut declared_clauses: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+
+    for line in r.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('p') {
+            if declared_vars.is_some() {
+                return Err(DimacsError::Parse("duplicate problem line".into()));
+            }
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 3 || fields[0] != "cnf" {
+                return Err(DimacsError::Parse(format!(
+                    "bad problem line: {trimmed:?}"
+                )));
+            }
+            let nv: usize = fields[1]
+                .parse()
+                .map_err(|_| DimacsError::Parse(format!("bad var count {:?}", fields[1])))?;
+            let nc: usize = fields[2]
+                .parse()
+                .map_err(|_| DimacsError::Parse(format!("bad clause count {:?}", fields[2])))?;
+            cnf.new_vars(nv);
+            declared_vars = Some(nv);
+            declared_clauses = Some(nc);
+            continue;
+        }
+        let Some(nv) = declared_vars else {
+            return Err(DimacsError::Parse(
+                "clause before problem line".into(),
+            ));
+        };
+        for tok in trimmed.split_whitespace() {
+            let val: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::Parse(format!("bad literal {tok:?}")))?;
+            if val == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                if val.unsigned_abs() as usize > nv {
+                    return Err(DimacsError::Parse(format!(
+                        "literal {val} exceeds declared variable count {nv}"
+                    )));
+                }
+                current.push(Lit::from_dimacs(val));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::Parse(
+            "unterminated clause at end of file".into(),
+        ));
+    }
+    if let Some(nc) = declared_clauses {
+        if cnf.num_clauses() != nc {
+            return Err(DimacsError::Parse(format!(
+                "declared {nc} clauses but found {}",
+                cnf.num_clauses()
+            )));
+        }
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+    use crate::types::Var;
+
+    fn roundtrip(cnf: &Cnf) -> Cnf {
+        let mut buf = Vec::new();
+        write(cnf, &mut buf).unwrap();
+        parse(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_clauses() {
+        let mut cnf = Cnf::new();
+        let vars = cnf.new_vars(4);
+        cnf.add_clause([vars[0].positive(), vars[1].negative()]);
+        cnf.add_clause([vars[2].positive(), vars[3].positive(), vars[0].negative()]);
+        let back = roundtrip(&cnf);
+        assert_eq!(back.num_vars(), 4);
+        assert_eq!(back.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "c a comment\n\np cnf 2 2\nc another\n1 2 0\n-1 0\n";
+        let cnf = parse(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 2);
+        let result = Solver::from_cnf(&cnf).solve();
+        let m = result.model().unwrap();
+        assert!(!m.value(Var::new(0)));
+        assert!(m.value(Var::new(1)));
+    }
+
+    #[test]
+    fn multi_clause_single_line() {
+        let text = "p cnf 2 2\n1 0 -2 0\n";
+        let cnf = parse(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(matches!(
+            parse("1 2 0\n".as_bytes()),
+            Err(DimacsError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("p cnf x 1\n1 0\n".as_bytes()),
+            Err(DimacsError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("p cnf 1 1\n2 0\n".as_bytes()),
+            Err(DimacsError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("p cnf 1 1\n1\n".as_bytes()),
+            Err(DimacsError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("p cnf 1 2\n1 0\n".as_bytes()),
+            Err(DimacsError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("p cnf 1 1\np cnf 1 1\n".as_bytes()),
+            Err(DimacsError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn empty_clause_round_trips() {
+        let mut cnf = Cnf::new();
+        cnf.new_var();
+        cnf.add_clause([]);
+        let back = roundtrip(&cnf);
+        assert_eq!(back.num_clauses(), 1);
+        assert!(back.clauses()[0].is_empty());
+        assert!(Solver::from_cnf(&back).solve().is_unsat());
+    }
+}

@@ -1,0 +1,177 @@
+//! Indexed binary max-heap ordered by variable activity (VSIDS).
+//!
+//! The solver needs `pop-max`, `insert`, and — crucially — `increase-key`
+//! when a variable's activity is bumped while it sits in the heap, so the
+//! heap tracks each variable's position.
+
+/// Max-heap over variable indices, keyed by an external activity array.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ActivityHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `NONE`.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl ActivityHeap {
+    pub(crate) fn new() -> Self {
+        ActivityHeap::default()
+    }
+
+    /// Ensures capacity for variables `0..n`.
+    pub(crate) fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, NONE);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(crate) fn contains(&self, v: usize) -> bool {
+        self.pos.get(v).is_some_and(|&p| p != NONE)
+    }
+
+    /// Inserts `v` if absent.
+    pub(crate) fn insert(&mut self, v: usize, activity: &[f64]) {
+        self.grow(v + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v] = self.heap.len() as u32;
+        self.heap.push(v as u32);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Pops the variable with maximal activity.
+    pub(crate) fn pop(&mut self, activity: &[f64]) -> Option<usize> {
+        let top = *self.heap.first()? as usize;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `activity[v]` increased.
+    pub(crate) fn update(&mut self, v: usize, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v) {
+            if p != NONE {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..4 {
+            h.insert(v, &activity);
+        }
+        assert_eq!(h.pop(&activity), Some(1));
+        assert_eq!(h.pop(&activity), Some(3));
+        assert_eq!(h.pop(&activity), Some(2));
+        assert_eq!(h.pop(&activity), Some(0));
+        assert_eq!(h.pop(&activity), None);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.insert(0, &activity);
+        h.insert(0, &activity);
+        h.insert(1, &activity);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn update_after_bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        h.update(0, &activity);
+        assert_eq!(h.pop(&activity), Some(0));
+    }
+
+    #[test]
+    fn randomized_against_sort() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..40);
+            let activity: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+            let mut h = ActivityHeap::new();
+            for v in 0..n {
+                h.insert(v, &activity);
+            }
+            let mut got = Vec::new();
+            while let Some(v) = h.pop(&activity) {
+                got.push(v);
+            }
+            let mut expect: Vec<usize> = (0..n).collect();
+            expect.sort_by(|&a, &b| activity[b].partial_cmp(&activity[a]).unwrap());
+            // Equal activities may tie-break arbitrarily; compare activities.
+            let got_act: Vec<f64> = got.iter().map(|&v| activity[v]).collect();
+            let expect_act: Vec<f64> = expect.iter().map(|&v| activity[v]).collect();
+            assert_eq!(got_act, expect_act);
+        }
+    }
+}

@@ -1,0 +1,1067 @@
+//! Conflict-driven clause-learning SAT solver.
+//!
+//! Architecture follows MiniSat [Eén & Sörensson 2003] with the now-standard
+//! refinements the paper's solvers (Kissat/CaDiCaL) also build on:
+//!
+//! * two-watched-literal propagation with blocking literals,
+//! * first-UIP conflict analysis with clause minimization,
+//! * exponential VSIDS variable activities with an indexed max-heap,
+//! * phase saving,
+//! * Luby-sequence restarts,
+//! * glue-(LBD-)aware learnt-clause database reduction, and
+//! * incremental solving under assumptions, which the Fermihedral descent
+//!   loop (Algorithm 1) uses to tighten the Pauli-weight bound without
+//!   rebuilding the formula.
+
+use crate::cnf::Cnf;
+use crate::heap::ActivityHeap;
+use crate::types::{LBool, Lit, Var};
+use std::time::{Duration, Instant};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone)]
+pub enum SolveResult {
+    /// A satisfying assignment was found.
+    Sat(Model),
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+    /// The conflict budget or timeout was exhausted first.
+    Unknown,
+}
+
+impl SolveResult {
+    /// The model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for [`SolveResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// True for [`SolveResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+}
+
+/// A satisfying assignment.
+#[derive(Debug, Clone)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Value of a variable (false for variables beyond the model, which can
+    /// only be variables never mentioned in any clause).
+    pub fn value(&self, v: Var) -> bool {
+        self.values.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Value of a literal under the model.
+    pub fn lit_value(&self, l: Lit) -> bool {
+        l.eval(self.value(l.var()))
+    }
+
+    /// The raw assignment, indexed by variable.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+/// Cumulative solver statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by database reductions.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    lbd: u32,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const LUBY_UNIT: u64 = 128;
+
+/// The CDCL solver.
+///
+/// # Example
+///
+/// ```
+/// use sat::{Solver, Var, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([a.positive(), b.positive()]);
+/// s.add_clause([a.negative()]);
+/// let SolveResult::Sat(m) = s.solve() else { panic!() };
+/// assert!(!m.value(a));
+/// assert!(m.value(b));
+///
+/// // Incremental: the same solver answers under assumptions.
+/// assert!(s.solve_with_assumptions(&[b.negative()]).is_unsat());
+/// assert!(s.solve().is_sat());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: ActivityHeap,
+    saved_phase: Vec<bool>,
+
+    clause_inc: f64,
+    max_learnts: f64,
+
+    seen: Vec<bool>,
+    unsat: bool,
+
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+    timeout: Option<Duration>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: ActivityHeap::new(),
+            saved_phase: Vec::new(),
+            clause_inc: 1.0,
+            max_learnts: 0.0,
+            seen: Vec::new(),
+            unsat: false,
+            stats: SolverStats::default(),
+            conflict_budget: None,
+            timeout: None,
+        }
+    }
+
+    /// Builds a solver holding all clauses of `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Solver {
+        let mut s = Solver::new();
+        s.reserve_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assign.len());
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.assign.len());
+        v
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.assign.len() < n {
+            self.new_var();
+        }
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem (non-learnt) clauses currently stored.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt).count()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits each subsequent [`solve`](Self::solve) call to roughly this
+    /// many conflicts; `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Limits each subsequent [`solve`](Self::solve) call to this much wall
+    /// time; `None` removes the limit. Checked every few hundred conflicts.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// Seeds the saved phase of a variable: branching decisions will first
+    /// try this polarity. Seeding all variables with a known-good
+    /// assignment (e.g. Bravyi-Kitaev in the Fermihedral descent) steers
+    /// the first solution search toward it.
+    pub fn set_phase(&mut self, v: Var, phase: bool) {
+        assert!(v.index() < self.num_vars(), "unallocated variable");
+        self.saved_phase[v.index()] = phase;
+    }
+
+    /// Adds `amount` to a variable's branching activity. Combined with
+    /// [`set_phase`](Self::set_phase) this front-loads decisions on a
+    /// chosen variable set (e.g. the Fermihedral primary variables), after
+    /// which pure Tseitin auxiliaries follow by unit propagation.
+    pub fn boost_activity(&mut self, v: Var, amount: f64) {
+        assert!(v.index() < self.num_vars(), "unallocated variable");
+        self.activity[v.index()] += amount;
+        self.heap.update(v.index(), &self.activity);
+        if !self.heap.contains(v.index()) {
+            self.heap.insert(v.index(), &self.activity);
+        }
+    }
+
+    /// Adds a clause. Root-level-false literals are dropped, duplicates
+    /// merged, and tautologies ignored. Automatically allocates any
+    /// variables mentioned.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at root");
+        if self.unsat {
+            return;
+        }
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        if let Some(max_var) = c.iter().map(|l| l.var().index()).max() {
+            self.reserve_vars(max_var + 1);
+        }
+        c.sort_unstable();
+        c.dedup();
+        // Tautology / root simplification.
+        let mut simplified = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return; // contains l and ¬l
+            }
+            match self.value(l) {
+                LBool::True => return,     // satisfied at root
+                LBool::False => continue,  // drop root-false literal
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => self.unsat = true,
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                self.attach_clause(Clause {
+                    lits: simplified,
+                    learnt: false,
+                    lbd: 0,
+                    activity: 0.0,
+                });
+            }
+        }
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. [`SolveResult::Unsat`]
+    /// then means "unsatisfiable together with the assumptions".
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let start = Instant::now();
+        let budget_end = self.conflict_budget.map(|b| self.stats.conflicts + b);
+        self.cancel_until(0);
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        for a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption references unallocated variable"
+            );
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        }
+
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = luby(restart_count) * LUBY_UNIT;
+        let result = loop {
+            if let Some(confl) = self.propagate() {
+                // Conflict.
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    break SolveResult::Unsat;
+                }
+                let (learnt, bt_level, lbd) = self.analyze(confl);
+                self.cancel_until(bt_level);
+                self.record_learnt(learnt, lbd);
+                self.decay_activities();
+
+                if conflicts_until_restart > 0 {
+                    conflicts_until_restart -= 1;
+                }
+                if let Some(end) = budget_end {
+                    if self.stats.conflicts >= end {
+                        break SolveResult::Unknown;
+                    }
+                }
+                if self.stats.conflicts % 256 == 0 {
+                    if let Some(t) = self.timeout {
+                        if start.elapsed() >= t {
+                            break SolveResult::Unknown;
+                        }
+                    }
+                }
+            } else {
+                // No conflict.
+                if conflicts_until_restart == 0 {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = luby(restart_count) * LUBY_UNIT;
+                    self.cancel_until(0);
+                    continue;
+                }
+                if self.learnt_count() as f64 > self.max_learnts {
+                    self.reduce_db();
+                }
+                // Re-assert assumptions, then branch.
+                match self.pick_next(assumptions) {
+                    PickResult::Decision(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                    PickResult::DummyLevel => {
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    PickResult::AssumptionConflict => break SolveResult::Unsat,
+                    PickResult::AllAssigned => {
+                        let values = self
+                            .assign
+                            .iter()
+                            .zip(&self.saved_phase)
+                            .map(|(a, &ph)| match a {
+                                LBool::True => true,
+                                LBool::False => false,
+                                LBool::Undef => ph,
+                            })
+                            .collect();
+                        break SolveResult::Sat(Model { values });
+                    }
+                }
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    // ----- internal machinery -------------------------------------------
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        self.assign[l.var().index()].under(l)
+    }
+
+    #[inline]
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn learnt_count(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    fn attach_clause(&mut self, clause: Clause) -> u32 {
+        debug_assert!(clause.lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        let w0 = clause.lits[0];
+        let w1 = clause.lits[1];
+        self.watches[(!w0).code()].push(Watcher {
+            cref,
+            blocker: w1,
+        });
+        self.watches[(!w1).code()].push(Watcher {
+            cref,
+            blocker: w0,
+        });
+        self.clauses.push(clause);
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<u32>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assign[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = from;
+        self.saved_phase[v] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause reference if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept = 0usize;
+            let mut i = 0usize;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already true.
+                if self.value(w.blocker) == LBool::True {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                let false_lit = !p;
+                // Normalize: watched false literal at position 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[kept] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Search replacement watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    if self.value(self.clauses[cref].lits[k]) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        let new_watch = self.clauses[cref].lits[1];
+                        self.watches[(!new_watch).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No replacement: unit or conflict.
+                ws[kept] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                kept += 1;
+                if self.value(first) == LBool::False {
+                    // Conflict: keep remaining watchers and bail out.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+                if conflict.is_some() {
+                    break;
+                }
+            }
+            ws.truncate(kept);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause with asserting
+    /// literal first, backtrack level, LBD).
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize, u32) {
+        let mut learnt: Vec<Lit> = Vec::with_capacity(8);
+        let mut to_clear: Vec<usize> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl as usize;
+        let mut index = self.trail.len();
+        let current_level = self.decision_level() as u32;
+
+        loop {
+            {
+                self.bump_clause(confl);
+                let start = usize::from(p.is_some());
+                for pos in start..self.clauses[confl].lits.len() {
+                    let q = self.clauses[confl].lits[pos];
+                    let v = q.var().index();
+                    if !self.seen[v] && self.level[v] > 0 {
+                        self.seen[v] = true;
+                        to_clear.push(v);
+                        self.bump_var(v);
+                        if self.level[v] >= current_level {
+                            counter += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            p = Some(pl);
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision has a reason") as usize;
+        }
+        let uip = !p.expect("conflict analysis found a UIP");
+
+        // Cheap clause minimization: drop literals implied by the rest.
+        let minimized: Vec<Lit> = learnt
+            .iter()
+            .copied()
+            .filter(|&q| !self.literal_redundant(q))
+            .collect();
+        let mut clause = Vec::with_capacity(minimized.len() + 1);
+        clause.push(uip);
+        clause.extend(minimized);
+
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+
+        // Backtrack level: highest level among non-UIP literals.
+        let bt_level = if clause.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..clause.len() {
+                if self.level[clause[i].var().index()] > self.level[clause[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            clause.swap(1, max_i);
+            self.level[clause[1].var().index()] as usize
+        };
+
+        // LBD: number of distinct decision levels.
+        let mut levels: Vec<u32> = clause
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        (clause, bt_level, lbd)
+    }
+
+    /// A literal of the learnt clause is redundant when its reason clause's
+    /// other literals are all already marked `seen` (self-subsumption).
+    fn literal_redundant(&self, q: Lit) -> bool {
+        let v = q.var().index();
+        let Some(r) = self.reason[v] else {
+            return false;
+        };
+        let clause = &self.clauses[r as usize];
+        clause.lits.iter().skip(1).all(|&l| {
+            let lv = l.var().index();
+            self.level[lv] == 0 || self.seen[lv]
+        })
+    }
+
+    fn record_learnt(&mut self, clause: Vec<Lit>, lbd: u32) {
+        self.stats.learnt_clauses += 1;
+        if clause.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            if self.value(clause[0]) == LBool::Undef {
+                self.unchecked_enqueue(clause[0], None);
+            }
+            return;
+        }
+        let asserting = clause[0];
+        let cref = self.attach_clause(Clause {
+            lits: clause,
+            learnt: true,
+            lbd,
+            activity: self.clause_inc,
+        });
+        self.unchecked_enqueue(asserting, Some(cref));
+    }
+
+    fn cancel_until(&mut self, target: usize) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let limit = self.trail_lim[target];
+        for idx in (limit..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var().index();
+            self.assign[v] = LBool::Undef;
+            self.reason[v] = None;
+            if !self.heap.contains(v) {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(limit);
+        self.trail_lim.truncate(target);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        let c = &mut self.clauses[cref];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.clause_inc;
+        if c.activity > RESCALE_LIMIT {
+            for cl in &mut self.clauses {
+                cl.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.clause_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.clause_inc /= CLAUSE_DECAY;
+    }
+
+    /// Deletes roughly half of the learnt clauses, preferring high-LBD,
+    /// low-activity ones. Clauses that are reasons for current assignments
+    /// are kept.
+    fn reduce_db(&mut self) {
+        self.max_learnts *= 1.15;
+
+        // Rank learnt clauses.
+        let mut ranked: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && self.clauses[i].lits.len() > 2)
+            .collect();
+        ranked.sort_by(|&a, &b| {
+            let ca = &self.clauses[a];
+            let cb = &self.clauses[b];
+            ca.lbd
+                .cmp(&cb.lbd)
+                .then(cb.activity.partial_cmp(&ca.activity).unwrap())
+        });
+        let keep_from_ranked = ranked.len() / 2;
+        let mut drop_flags = vec![false; self.clauses.len()];
+        for &i in ranked.iter().skip(keep_from_ranked) {
+            if !self.is_locked(i) {
+                drop_flags[i] = true;
+                self.stats.deleted_clauses += 1;
+            }
+        }
+
+        // Compact, remapping references.
+        let mut remap: Vec<u32> = vec![u32::MAX; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if !drop_flags[i] {
+                remap[i] = new_clauses.len() as u32;
+                new_clauses.push(c);
+            }
+        }
+        self.clauses = new_clauses;
+        for r in self.reason.iter_mut() {
+            if let Some(old) = *r {
+                *r = Some(remap[old as usize]);
+                debug_assert_ne!(remap[old as usize], u32::MAX, "reason clause deleted");
+            }
+        }
+        // Rebuild watches.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            let (w0, w1) = (c.lits[0], c.lits[1]);
+            self.watches[(!w0).code()].push(Watcher {
+                cref: i as u32,
+                blocker: w1,
+            });
+            self.watches[(!w1).code()].push(Watcher {
+                cref: i as u32,
+                blocker: w0,
+            });
+        }
+    }
+
+    fn is_locked(&self, cref: usize) -> bool {
+        let first = self.clauses[cref].lits[0];
+        self.value(first) == LBool::True && self.reason[first.var().index()] == Some(cref as u32)
+    }
+
+    fn pick_next(&mut self, assumptions: &[Lit]) -> PickResult {
+        // Re-assert assumptions in order, one decision level each.
+        while self.decision_level() < assumptions.len() {
+            let a = assumptions[self.decision_level()];
+            match self.value(a) {
+                LBool::True => return PickResult::DummyLevel,
+                LBool::False => return PickResult::AssumptionConflict,
+                LBool::Undef => return PickResult::Decision(a),
+            }
+        }
+        // Heuristic decision.
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v] == LBool::Undef {
+                return PickResult::Decision(Var::new(v).lit(self.saved_phase[v]));
+            }
+        }
+        // Nothing left in the heap: confirm all variables assigned.
+        if self.assign.iter().any(|&a| a == LBool::Undef) {
+            // Repopulate (can happen when vars were added after a solve).
+            for v in 0..self.assign.len() {
+                if self.assign[v] == LBool::Undef {
+                    self.heap.insert(v, &self.activity);
+                }
+            }
+            let v = self
+                .heap
+                .pop(&self.activity)
+                .expect("unassigned variable exists");
+            return PickResult::Decision(Var::new(v).lit(self.saved_phase[v]));
+        }
+        PickResult::AllAssigned
+    }
+}
+
+enum PickResult {
+    Decision(Lit),
+    DummyLevel,
+    AssumptionConflict,
+    AllAssigned,
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+fn luby(mut x: u64) -> u64 {
+    // Find the finite subsequence containing index x.
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn lit(i: i64) -> Lit {
+        Lit::from_dimacs(i)
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(Solver::new().solve().is_sat());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+        let SolveResult::Sat(m) = s.solve() else {
+            panic!()
+        };
+        assert!(m.lit_value(lit(1)) && m.lit_value(lit(2)) && m.lit_value(lit(3)));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1)]);
+        assert!(s.solve().is_unsat());
+        // Stays UNSAT on re-solve.
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(-1)]);
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.solve().is_sat());
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): unsatisfiable.
+    fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+        let mut cnf = Cnf::new();
+        let var = |p: usize, h: usize| Var::new(p * holes + h);
+        for _ in 0..pigeons * holes {
+            cnf.new_var();
+        }
+        // Every pigeon sits somewhere.
+        for p in 0..pigeons {
+            cnf.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..6usize {
+            let cnf = pigeonhole(n + 1, n);
+            assert!(Solver::from_cnf(&cnf).solve().is_unsat(), "PHP({},{n})", n + 1);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let cnf = pigeonhole(4, 4);
+        let SolveResult::Sat(m) = Solver::from_cnf(&cnf).solve() else {
+            panic!()
+        };
+        assert!(cnf.eval(m.values()));
+    }
+
+    #[test]
+    fn assumptions_are_incremental() {
+        let mut s = Solver::new();
+        // x1 xor x2 (as CNF)
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(-2)]);
+        let r1 = s.solve_with_assumptions(&[lit(1)]);
+        assert!(r1.model().unwrap().lit_value(lit(-2)));
+        let r2 = s.solve_with_assumptions(&[lit(2)]);
+        assert!(r2.model().unwrap().lit_value(lit(-1)));
+        assert!(s
+            .solve_with_assumptions(&[lit(1), lit(2)])
+            .is_unsat());
+        // Solver unaffected afterwards.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn conflicting_assumptions_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        assert!(s.solve_with_assumptions(&[lit(-1), lit(1)]).is_unsat());
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A hard instance with a tiny budget must return Unknown.
+        let cnf = pigeonhole(8, 7);
+        let mut s = Solver::from_cnf(&cnf);
+        s.set_conflict_budget(Some(5));
+        assert!(matches!(s.solve(), SolveResult::Unknown));
+        // Removing the budget solves it.
+        s.set_conflict_budget(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn model_satisfies_formula_on_random_3sat() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..60 {
+            let nvars = rng.gen_range(5..22);
+            let nclauses = rng.gen_range(1..nvars * 4);
+            let mut cnf = Cnf::new();
+            cnf.new_vars(nvars);
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(0..nvars);
+                    c.push(Var::new(v).lit(rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(c);
+            }
+            let result = Solver::from_cnf(&cnf).solve();
+            // Cross-check against brute force.
+            let brute = (0u64..1 << nvars).any(|mask| {
+                let assignment: Vec<bool> = (0..nvars).map(|i| mask >> i & 1 == 1).collect();
+                cnf.eval(&assignment)
+            });
+            match result {
+                SolveResult::Sat(m) => {
+                    assert!(cnf.eval(m.values()), "round {round}: bad model");
+                    assert!(brute, "round {round}: solver SAT but brute UNSAT");
+                }
+                SolveResult::Unsat => assert!(!brute, "round {round}: solver UNSAT but brute SAT"),
+                SolveResult::Unknown => panic!("round {round}: unexpected Unknown"),
+            }
+        }
+    }
+
+    #[test]
+    fn clause_database_reduction_is_sound() {
+        // A formula family needing many conflicts: random XOR chains.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cnf = Cnf::new();
+        let vars = cnf.new_vars(40);
+        for _ in 0..70 {
+            let a = vars[rng.gen_range(0..40)].positive();
+            let b = vars[rng.gen_range(0..40)].positive();
+            let c = vars[rng.gen_range(0..40)].positive();
+            let g1 = cnf.xor_gate(a, b);
+            let g2 = cnf.xor_gate(g1, c);
+            cnf.add_clause([g2]);
+        }
+        let mut s = Solver::from_cnf(&cnf);
+        if let SolveResult::Sat(m) = s.solve() {
+            assert!(cnf.eval(m.values()));
+        }
+        // Either answer is legitimate; soundness is what we checked above.
+    }
+
+    #[test]
+    fn variables_added_after_solve() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.positive()]);
+        assert!(s.solve().is_sat());
+        let b = s.new_var();
+        s.add_clause([b.negative()]);
+        let SolveResult::Sat(m) = s.solve() else {
+            panic!()
+        };
+        assert!(m.value(a));
+        assert!(!m.value(b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_agrees_with_brute_force(
+            nvars in 3usize..10,
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((0usize..10, any::<bool>()), 1..4), 0..30)
+        ) {
+            let mut cnf = Cnf::new();
+            cnf.new_vars(nvars);
+            for c in &clauses {
+                cnf.add_clause(c.iter().map(|&(v, pol)| Var::new(v % nvars).lit(pol)));
+            }
+            let result = Solver::from_cnf(&cnf).solve();
+            let brute = (0u64..1 << nvars).any(|mask| {
+                let assignment: Vec<bool> = (0..nvars).map(|i| mask >> i & 1 == 1).collect();
+                cnf.eval(&assignment)
+            });
+            match result {
+                SolveResult::Sat(m) => {
+                    prop_assert!(cnf.eval(m.values()));
+                    prop_assert!(brute);
+                }
+                SolveResult::Unsat => prop_assert!(!brute),
+                SolveResult::Unknown => prop_assert!(false, "unexpected Unknown"),
+            }
+        }
+    }
+}

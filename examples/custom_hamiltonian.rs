@@ -1,0 +1,73 @@
+//! Bring your own Hamiltonian and your own encoding.
+//!
+//! Demonstrates the extension points a downstream user needs: building a
+//! second-quantized Hamiltonian term by term, wrapping hand-written
+//! Majorana strings as an encoding, validating them against the paper's
+//! constraints, and checking spectral equivalence against the exact
+//! Fock-space reference.
+//!
+//! ```sh
+//! cargo run --release --example custom_hamiltonian
+//! ```
+
+use fermihedral_repro::encodings::map::map_hamiltonian;
+use fermihedral_repro::encodings::validate::validate;
+use fermihedral_repro::encodings::{LinearEncoding, MajoranaEncoding};
+use fermihedral_repro::fermion::fock::hamiltonian_matrix;
+use fermihedral_repro::fermion::{FermionHamiltonian, FermionOp, FermionTerm};
+use fermihedral_repro::mathkit::eigen::eigh;
+use fermihedral_repro::mathkit::Complex64;
+use fermihedral_repro::pauli::PauliString;
+
+fn main() {
+    // A 3-mode toy: a triangle of hopping plus pair interaction.
+    let mut h = FermionHamiltonian::new(3);
+    h.add_hopping(0, 1, -1.0);
+    h.add_hopping(1, 2, -1.0);
+    h.add_hopping(0, 2, -0.5);
+    h.add_term(FermionTerm::new(
+        Complex64::from_re(2.0),
+        vec![
+            FermionOp::creation(0),
+            FermionOp::annihilation(0),
+            FermionOp::creation(1),
+            FermionOp::annihilation(1),
+        ],
+    ));
+    assert!(h.is_hermitian());
+    println!("custom Hamiltonian: {} terms on {} modes", h.terms().len(), h.num_modes());
+
+    // Exact reference spectrum in Fock space (encoding-independent).
+    let reference = eigh(&hamiltonian_matrix(&h)).values;
+    println!("reference ground energy: {:.6}\n", reference[0]);
+
+    // A hand-written encoding: Jordan-Wigner with modes relabeled 2,1,0 —
+    // still a valid encoding, just a different qubit assignment.
+    let strings: Vec<PauliString> = ["ZZX", "ZZY", "ZXI", "ZYI", "XII", "YII"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let custom = MajoranaEncoding::from_strings("reversed-jw", strings).unwrap();
+    let report = validate(&custom);
+    println!("custom encoding validation: {report:?}");
+    assert!(report.is_valid());
+
+    // Both the custom encoding and stock JW must reproduce the spectrum.
+    for (name, mapped) in [
+        ("custom", map_hamiltonian(&custom, &h)),
+        ("jordan-wigner", map_hamiltonian(&LinearEncoding::jordan_wigner(3), &h)),
+    ] {
+        let eigs = eigh(&mapped.to_matrix()).values;
+        let max_dev = reference
+            .iter()
+            .zip(&eigs)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{name:>14}: {} Pauli terms, max eigenvalue deviation {max_dev:.2e}",
+            mapped.len()
+        );
+        assert!(max_dev < 1e-8);
+    }
+    println!("\nSpectral equivalence verified — any valid Majorana set is a faithful encoding.");
+}

