@@ -23,8 +23,7 @@ fn bench_energy_function(c: &mut Criterion) {
 
 fn bench_full_schedule(c: &mut Criterion) {
     let monomials = Benchmark::Hubbard.monomials(8);
-    let enc =
-        MajoranaEncoding::new("bk", LinearEncoding::bravyi_kitaev(8).majoranas()).unwrap();
+    let enc = MajoranaEncoding::new("bk", LinearEncoding::bravyi_kitaev(8).majoranas()).unwrap();
     let config = AnnealConfig {
         t0: 2.0,
         t1: 0.1,

@@ -43,5 +43,10 @@ fn bench_compilation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_constructions, bench_mapping, bench_compilation);
+criterion_group!(
+    benches,
+    bench_constructions,
+    bench_mapping,
+    bench_compilation
+);
 criterion_main!(benches);

@@ -60,12 +60,20 @@ fn bench_sum_mul(c: &mut Criterion) {
     let mut b = PauliSum::new(10);
     for i in 0..24 {
         a.add_term(random_string(10, i), Complex64::from_re(0.1 + i as f64));
-        b.add_term(random_string(10, 100 + i), Complex64::from_re(0.2 + i as f64));
+        b.add_term(
+            random_string(10, 100 + i),
+            Complex64::from_re(0.2 + i as f64),
+        );
     }
     c.bench_function("pauli/sum_mul_24x24_terms", |bench| {
         bench.iter(|| black_box(black_box(&a) * black_box(&b)))
     });
 }
 
-criterion_group!(benches, bench_string_ops, bench_phased_products, bench_sum_mul);
+criterion_group!(
+    benches,
+    bench_string_ops,
+    bench_phased_products,
+    bench_sum_mul
+);
 criterion_main!(benches);

@@ -72,7 +72,10 @@ impl Args {
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -80,7 +83,10 @@ impl Args {
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -88,7 +94,10 @@ impl Args {
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -137,7 +146,10 @@ mod tests {
         );
         assert_eq!(a.get_usize("shots", 1), 500);
         assert!((a.get_f64("timeout", 0.0) - 2.5).abs() < 1e-12);
-        assert_eq!(a.get_duration_secs("timeout", 0.0), Duration::from_millis(2500));
+        assert_eq!(
+            a.get_duration_secs("timeout", 0.0),
+            Duration::from_millis(2500)
+        );
         assert!(a.get_bool("csv"));
         assert!(!a.get_bool("verbose"));
     }
@@ -145,10 +157,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown flag")]
     fn rejects_unknown() {
-        let _ = Args::parse_from(
-            ["--bogus", "1"].iter().map(|s| s.to_string()),
-            &["shots"],
-        );
+        let _ = Args::parse_from(["--bogus", "1"].iter().map(|s| s.to_string()), &["shots"]);
     }
 
     #[test]

@@ -45,7 +45,13 @@ fn main() {
 
     // --- 1. vacuum constraint ------------------------------------------
     println!("## Ablation 1: vacuum XY-pair constraint (paper: optional, no optimality impact)");
-    let mut t1 = Table::new(&["N", "weight w/ vacuum", "weight w/o vacuum", "time w/ (s)", "time w/o (s)"]);
+    let mut t1 = Table::new(&[
+        "N",
+        "weight w/ vacuum",
+        "weight w/o vacuum",
+        "time w/ (s)",
+        "time w/o (s)",
+    ]);
     for n in 2..=4 {
         let (w_on, s_on) = descent_time(n, true, true, timeout);
         let (w_off, s_off) = descent_time(n, false, true, timeout);
@@ -61,7 +67,13 @@ fn main() {
 
     // --- 2. BK phase hint ----------------------------------------------
     println!("\n## Ablation 2: Bravyi-Kitaev phase hint (descent warm start)");
-    let mut t2 = Table::new(&["N", "weight hinted", "weight cold", "time hinted (s)", "time cold (s)"]);
+    let mut t2 = Table::new(&[
+        "N",
+        "weight hinted",
+        "weight cold",
+        "time hinted (s)",
+        "time cold (s)",
+    ]);
     for n in [6usize, 8, 10] {
         let (w_h, s_h) = descent_time(n, true, true, timeout);
         let (w_c, s_c) = descent_time(n, true, false, timeout);

@@ -1,0 +1,191 @@
+//! **Engine benchmark** — the portfolio compilation engine vs every single
+//! strategy run alone, across mode counts, with machine-readable output.
+//!
+//! For each `N` this runs:
+//!
+//! * each single strategy by itself (three diversified SAT-descent lanes
+//!   and the classical baselines),
+//! * the full portfolio (all lanes racing one incumbent),
+//! * the portfolio again on a warm cache (the repeated-traffic case).
+//!
+//! and writes a JSON trajectory file (default `BENCH_engine.json`) with
+//! wall time, achieved weight, and optimality status per (modes, strategy)
+//! cell, so perf changes across commits are diffable.
+//!
+//! Usage: `engine_portfolio [--max-modes 4] [--timeout 30] [--out BENCH_engine.json] [--csv]`
+
+use engine::json::{obj, Value};
+use engine::{compile, BaselineKind, EngineConfig, Strategy};
+use fermihedral::{EncodingProblem, Objective};
+use fermihedral_bench::args::Args;
+use fermihedral_bench::report::Table;
+use std::time::Instant;
+
+fn descent_lanes() -> Vec<Strategy> {
+    vec![
+        Strategy::SatDescent {
+            seed: 1,
+            random_branch: 0.0,
+            bk_phase_hint: true,
+        },
+        Strategy::SatDescent {
+            seed: 2,
+            random_branch: 0.02,
+            bk_phase_hint: false,
+        },
+        Strategy::SatDescent {
+            seed: 3,
+            random_branch: 0.1,
+            bk_phase_hint: false,
+        },
+    ]
+}
+
+struct Cell {
+    modes: usize,
+    strategy: String,
+    seconds: f64,
+    weight: Option<usize>,
+    optimal: bool,
+    from_cache: bool,
+}
+
+fn run(problem: &EncodingProblem, config: &EngineConfig, label: &str, modes: usize) -> Cell {
+    let started = Instant::now();
+    let outcome = compile(problem, config);
+    Cell {
+        modes,
+        strategy: label.to_string(),
+        seconds: started.elapsed().as_secs_f64(),
+        weight: outcome.weight(),
+        optimal: outcome.optimal_proved,
+        from_cache: outcome.from_cache,
+    }
+}
+
+fn main() {
+    let args = Args::parse(&["max-modes", "timeout", "out", "csv"]);
+    let max_modes = args.get_usize("max-modes", 4).min(8);
+    let timeout = args.get_duration_secs("timeout", 30.0);
+    let out_path = args
+        .get_str("out")
+        .unwrap_or("BENCH_engine.json")
+        .to_string();
+    let csv = args.get_bool("csv");
+
+    println!("# Portfolio engine: single strategies vs the full race, per mode count");
+    let mut table = Table::new(&["N", "strategy", "time (s)", "weight", "optimal", "cache"]);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    let cache_dir =
+        std::env::temp_dir().join(format!("fermihedral-engine-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    for modes in 2..=max_modes {
+        let problem = EncodingProblem::full_sat(modes, Objective::MajoranaWeight);
+
+        // Single lanes, each alone.
+        let mut singles: Vec<(String, Vec<Strategy>)> = descent_lanes()
+            .into_iter()
+            .map(|lane| (lane.name(), vec![lane]))
+            .collect();
+        singles.push((
+            "baseline[ternary-tree]".into(),
+            vec![Strategy::Baseline(BaselineKind::TernaryTree)],
+        ));
+        singles.push((
+            "baseline[bravyi-kitaev]".into(),
+            vec![Strategy::Baseline(BaselineKind::BravyiKitaev)],
+        ));
+        for (label, strategies) in singles {
+            let config = EngineConfig {
+                strategies,
+                total_timeout: Some(timeout),
+                ..EngineConfig::default()
+            };
+            cells.push(run(&problem, &config, &label, modes));
+        }
+
+        // The full portfolio (cold cache, then warm).
+        let portfolio = EngineConfig {
+            strategies: Vec::new(), // default portfolio
+            total_timeout: Some(timeout),
+            cache_dir: Some(cache_dir.clone()),
+            ..EngineConfig::default()
+        };
+        cells.push(run(&problem, &portfolio, "portfolio", modes));
+        cells.push(run(&problem, &portfolio, "portfolio-cached", modes));
+    }
+
+    for cell in &cells {
+        table.row(&[
+            cell.modes.to_string(),
+            cell.strategy.clone(),
+            format!("{:.4}", cell.seconds),
+            cell.weight.map_or("-".into(), |w| w.to_string()),
+            cell.optimal.to_string(),
+            if cell.from_cache { "hit" } else { "-" }.to_string(),
+        ]);
+    }
+    table.print(csv);
+
+    // Machine-readable trajectory file.
+    let doc = obj([
+        ("benchmark", Value::Str("engine_portfolio".into())),
+        ("version", Value::Num(1.0)),
+        ("max_modes", Value::Num(max_modes as f64)),
+        ("timeout_seconds", Value::Num(timeout.as_secs_f64())),
+        (
+            "cells",
+            Value::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        obj([
+                            ("modes", Value::Num(c.modes as f64)),
+                            ("strategy", Value::Str(c.strategy.clone())),
+                            ("seconds", Value::Num(c.seconds)),
+                            (
+                                "weight",
+                                c.weight.map_or(Value::Null, |w| Value::Num(w as f64)),
+                            ),
+                            ("optimal", Value::Bool(c.optimal)),
+                            ("from_cache", Value::Bool(c.from_cache)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_json()).expect("write benchmark output");
+    println!("\nwrote {out_path}");
+
+    // Sanity summary: the portfolio must not trail the fastest single
+    // strategy that proved optimality by more than 20% (+ scheduling
+    // slack) — the acceptance bar for incumbent sharing + cancellation.
+    for modes in 2..=max_modes {
+        let fastest_single = cells
+            .iter()
+            .filter(|c| c.modes == modes && c.optimal && !c.strategy.starts_with("portfolio"))
+            .map(|c| c.seconds)
+            .fold(f64::INFINITY, f64::min);
+        let portfolio = cells
+            .iter()
+            .find(|c| c.modes == modes && c.strategy == "portfolio")
+            .unwrap();
+        if fastest_single.is_finite() {
+            let slack = fastest_single * 1.2 + 0.05;
+            let verdict = if portfolio.seconds <= slack {
+                "ok"
+            } else {
+                "SLOW"
+            };
+            println!(
+                "N={modes}: portfolio {:.4}s vs fastest optimal single {:.4}s [{verdict}]",
+                portfolio.seconds, fastest_single
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

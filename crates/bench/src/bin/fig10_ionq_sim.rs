@@ -13,8 +13,8 @@
 use encodings::map::map_hamiltonian;
 use fermihedral_bench::args::Args;
 use fermihedral_bench::pipeline::{
-    bravyi_kitaev, compile_qubit_hamiltonian, jordan_wigner, sat_hamiltonian_encoding,
-    Benchmark, Budget,
+    bravyi_kitaev, compile_qubit_hamiltonian, jordan_wigner, sat_hamiltonian_encoding, Benchmark,
+    Budget,
 };
 use fermihedral_bench::report::Table;
 use fermion::MajoranaSum;

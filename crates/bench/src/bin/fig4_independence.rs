@@ -20,7 +20,6 @@ use pauli::{Pauli, PauliString};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-
 /// Estimates `P(A_1 ∧ … ∧ A_n)` for each `n`, over random non-empty
 /// subsets of each encoding's strings.
 fn estimate(
@@ -46,10 +45,14 @@ fn estimate(
             trials += 1;
             // A_k holds at index k when the product is identity there;
             // count how many of the first `max_n` indices hold.
-            for n in 1..=max_n.min(n_qubits) {
-                let all = (0..n).all(|k| product.get(k) == Pauli::I);
-                if all {
-                    hits[n] += 1;
+            for (n, hit) in hits
+                .iter_mut()
+                .enumerate()
+                .take(max_n.min(n_qubits) + 1)
+                .skip(1)
+            {
+                if (0..n).all(|k| product.get(k) == Pauli::I) {
+                    *hit += 1;
                 }
             }
         }
@@ -60,7 +63,14 @@ fn estimate(
 }
 
 fn main() {
-    let args = Args::parse(&["max-modes", "encodings", "subsets", "seed", "timeout", "csv"]);
+    let args = Args::parse(&[
+        "max-modes",
+        "encodings",
+        "subsets",
+        "seed",
+        "timeout",
+        "csv",
+    ]);
     let max_modes = args.get_usize("max-modes", 4).min(8);
     let max_encodings = args.get_usize("encodings", 50);
     let subsets = args.get_usize("subsets", 4000);
@@ -106,11 +116,7 @@ fn main() {
             },
         );
         let probs = estimate(&sols, 5, subsets, &mut rng);
-        let fmt = |i: usize| {
-            probs
-                .get(i)
-                .map_or("-".to_string(), |p| format!("{p:.4}"))
-        };
+        let fmt = |i: usize| probs.get(i).map_or("-".to_string(), |p| format!("{p:.4}"));
         table.row(&[
             n.to_string(),
             sols.len().to_string(),

@@ -49,7 +49,12 @@ fn main() {
             format!("{:.3}", bk as f64 / ops as f64),
             result.weight.to_string(),
             format!("{:.3}", result.weight as f64 / ops as f64),
-            if result.optimal { "yes" } else { "best-in-budget" }.to_string(),
+            if result.optimal {
+                "yes"
+            } else {
+                "best-in-budget"
+            }
+            .to_string(),
             reduction_pct(bk, result.weight),
         ]);
     }

@@ -14,8 +14,8 @@
 use encodings::map::map_hamiltonian;
 use fermihedral_bench::args::Args;
 use fermihedral_bench::pipeline::{
-    bravyi_kitaev, compile_qubit_hamiltonian, jordan_wigner, sat_hamiltonian_encoding,
-    Benchmark, Budget,
+    bravyi_kitaev, compile_qubit_hamiltonian, jordan_wigner, sat_hamiltonian_encoding, Benchmark,
+    Budget,
 };
 use fermihedral_bench::report::Table;
 use fermion::MajoranaSum;
@@ -51,10 +51,19 @@ fn main() {
         ("FullSAT", sat.encoding.clone()),
     ];
 
-    println!("# Figure 8: noisy H2 evolution from eigenstates E0..E{}", states - 1);
+    println!(
+        "# Figure 8: noisy H2 evolution from eigenstates E0..E{}",
+        states - 1
+    );
     println!("# 1q error fixed at 1e-4; energy from {shots} shots per point");
     let mut table = Table::new(&[
-        "state", "2q error", "encoding", "exact E", "measured E", "sigma", "gates",
+        "state",
+        "2q error",
+        "encoding",
+        "exact E",
+        "measured E",
+        "sigma",
+        "gates",
     ]);
     let mut rng = StdRng::seed_from_u64(seed);
 

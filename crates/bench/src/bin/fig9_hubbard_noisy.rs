@@ -43,7 +43,13 @@ fn main() {
     println!("# Figure 9: noisy Fermi-Hubbard evolution from the ground state E0");
     println!("# 1q error fixed at 1e-4; energy from {shots} shots per point");
     let mut table = Table::new(&[
-        "model", "2q error", "encoding", "exact E0", "measured E", "sigma", "gates",
+        "model",
+        "2q error",
+        "encoding",
+        "exact E0",
+        "measured E",
+        "sigma",
+        "gates",
     ]);
     let mut rng = StdRng::seed_from_u64(seed);
 

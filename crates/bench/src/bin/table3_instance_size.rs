@@ -14,7 +14,8 @@ use fermihedral_bench::report::Table;
 
 /// Paper Table 3 values for comparison: (N, vars w/, clauses w/, vars w/o,
 /// clauses w/o); `None` = N/A (construction exceeded one hour).
-const PAPER: &[(usize, Option<(usize, usize)>, (usize, usize))] = &[
+type PaperRow = (usize, Option<(usize, usize)>, (usize, usize));
+const PAPER: &[PaperRow] = &[
     (2, Some((70, 459)), (46, 331)),
     (3, Some((417, 2436)), (129, 1147)),
     (4, Some((2224, 10926)), (352, 3014)),

@@ -77,7 +77,12 @@ fn main() {
             reduction_pct(bk, annealed.weight),
             full.weight.to_string(),
             reduction_pct(bk, full.weight),
-            if full.optimal { "yes" } else { "best-in-budget" }.to_string(),
+            if full.optimal {
+                "yes"
+            } else {
+                "best-in-budget"
+            }
+            .to_string(),
         ]);
     }
     table.print(csv);

@@ -9,9 +9,7 @@
 use encodings::weight::structure_weight;
 use encodings::Encoding;
 use fermihedral_bench::args::Args;
-use fermihedral_bench::pipeline::{
-    bravyi_kitaev, sat_annealing_encoding, Benchmark, Budget,
-};
+use fermihedral_bench::pipeline::{bravyi_kitaev, sat_annealing_encoding, Benchmark, Budget};
 use fermihedral_bench::report::{reduction_pct, Table};
 
 fn main() {

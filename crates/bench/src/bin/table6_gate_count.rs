@@ -16,8 +16,8 @@
 
 use fermihedral_bench::args::Args;
 use fermihedral_bench::pipeline::{
-    bravyi_kitaev, compile_evolution, hubbard_grid_2x2, jordan_wigner,
-    sat_hamiltonian_encoding, Benchmark, Budget,
+    bravyi_kitaev, compile_evolution, hubbard_grid_2x2, jordan_wigner, sat_hamiltonian_encoding,
+    Benchmark, Budget,
 };
 use fermihedral_bench::report::{reduction_pct, Table};
 use fermion::{FermionHamiltonian, MajoranaSum};
@@ -49,9 +49,7 @@ fn main() {
     ];
 
     println!("# Table 6: compiled circuit gate counts (t = 1, 1 Trotter step, optimized)");
-    let mut table = Table::new(&[
-        "case", "metric", "JW", "BK", "Full SAT", "red. vs BK",
-    ]);
+    let mut table = Table::new(&["case", "metric", "JW", "BK", "Full SAT", "red. vs BK"]);
 
     for case in cases {
         let n = case.hamiltonian.num_modes();

@@ -63,7 +63,10 @@ impl Benchmark {
     pub fn second_quantized(&self, num_modes: usize) -> Option<FermionHamiltonian> {
         match self {
             Benchmark::Electronic => {
-                assert!(num_modes % 2 == 0, "electronic structure needs even modes");
+                assert!(
+                    num_modes.is_multiple_of(2),
+                    "electronic structure needs even modes"
+                );
                 let ints = if num_modes == 4 {
                     MolecularIntegrals::h2_sto3g()
                 } else {
@@ -74,7 +77,7 @@ impl Benchmark {
                 Some(ints.to_hamiltonian(Default::default()))
             }
             Benchmark::Hubbard => {
-                assert!(num_modes % 2 == 0, "Hubbard needs even modes");
+                assert!(num_modes.is_multiple_of(2), "Hubbard needs even modes");
                 Some(hubbard_chain(num_modes / 2).hamiltonian())
             }
             Benchmark::Syk => None,
@@ -114,14 +117,20 @@ pub fn hubbard_grid_2x2() -> FermiHubbard {
 
 /// Jordan-Wigner as a [`MajoranaEncoding`].
 pub fn jordan_wigner(n: usize) -> MajoranaEncoding {
-    MajoranaEncoding::new("jordan-wigner", LinearEncoding::jordan_wigner(n).majoranas())
-        .expect("well-formed")
+    MajoranaEncoding::new(
+        "jordan-wigner",
+        LinearEncoding::jordan_wigner(n).majoranas(),
+    )
+    .expect("well-formed")
 }
 
 /// Bravyi-Kitaev as a [`MajoranaEncoding`].
 pub fn bravyi_kitaev(n: usize) -> MajoranaEncoding {
-    MajoranaEncoding::new("bravyi-kitaev", LinearEncoding::bravyi_kitaev(n).majoranas())
-        .expect("well-formed")
+    MajoranaEncoding::new(
+        "bravyi-kitaev",
+        LinearEncoding::bravyi_kitaev(n).majoranas(),
+    )
+    .expect("well-formed")
 }
 
 /// Ternary tree as a [`MajoranaEncoding`].
@@ -177,8 +186,8 @@ pub struct SatEncodingResult {
 /// Falls back to Bravyi-Kitaev when the budget expires before any model is
 /// found (matching the paper's use of BK as the known-feasible warm start).
 pub fn sat_majorana_encoding(n: usize, full: bool, budget: Budget) -> SatEncodingResult {
-    let problem = EncodingProblem::new(n, Objective::MajoranaWeight)
-        .with_algebraic_independence(full);
+    let problem =
+        EncodingProblem::new(n, Objective::MajoranaWeight).with_algebraic_independence(full);
     let outcome = solve_optimal(&problem, &budget.descent_config());
     match outcome.best {
         Some(best) => SatEncodingResult {
@@ -209,15 +218,18 @@ pub fn sat_majorana_encoding_relaxed(n: usize, budget: Budget) -> SatEncodingRes
     let tt = ternary_tree(n);
     let bk_w = majorana_weight(&bk.majoranas());
     let tt_w = majorana_weight(&tt.majoranas());
-    let (seed_enc, seed_w) = if tt_w <= bk_w { (&tt, tt_w) } else { (&bk, bk_w) };
+    let (seed_enc, seed_w) = if tt_w <= bk_w {
+        (&tt, tt_w)
+    } else {
+        (&bk, bk_w)
+    };
     let hint: Vec<pauli::PauliString> = seed_enc
         .majoranas()
         .iter()
         .map(|p| p.string().clone())
         .collect();
 
-    let problem = EncodingProblem::new(n, Objective::MajoranaWeight)
-        .with_vacuum_condition(false);
+    let problem = EncodingProblem::new(n, Objective::MajoranaWeight).with_vacuum_condition(false);
     let mut config = budget.descent_config();
     config.initial_weight = Some(seed_w + 1);
     config.phase_hint = Some(hint);
@@ -441,8 +453,7 @@ mod tests {
     fn annealing_route_returns_consistent_weight() {
         let monomials = Benchmark::Hubbard.monomials(4);
         let r = sat_annealing_encoding(4, &monomials, Budget::seconds(3.0), 7);
-        let direct =
-            encodings::weight::structure_weight(&r.encoding.majoranas(), &monomials);
+        let direct = encodings::weight::structure_weight(&r.encoding.majoranas(), &monomials);
         assert_eq!(r.weight, direct);
     }
 }

@@ -174,9 +174,15 @@ mod tests {
         c.push(Gate::H(1));
         c.push(Gate::H(2));
         assert_eq!(c.depth(), 1, "independent gates run in parallel");
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(c.depth(), 2);
-        c.push(Gate::Cnot { control: 1, target: 2 });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 2,
+        });
         assert_eq!(c.depth(), 3);
         c.push(Gate::Rz(3, 0.5));
         assert_eq!(c.depth(), 3, "qubit 3 was idle");
@@ -187,7 +193,10 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
         c.push(Gate::Rz(1, 0.3));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let counts = c.counts();
         assert_eq!(counts.single, 2);
         assert_eq!(counts.cnot, 1);
@@ -198,9 +207,18 @@ mod tests {
     fn adjoint_reverses_order() {
         let mut c = Circuit::new(2);
         c.push(Gate::S(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let adj = c.adjoint();
-        assert_eq!(adj.gates()[0], Gate::Cnot { control: 0, target: 1 });
+        assert_eq!(
+            adj.gates()[0],
+            Gate::Cnot {
+                control: 0,
+                target: 1
+            }
+        );
         assert_eq!(adj.gates()[1], Gate::Sdg(0));
     }
 
@@ -215,7 +233,10 @@ mod tests {
     #[should_panic(expected = "control equals target")]
     fn degenerate_cnot_rejected() {
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 1, target: 1 });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 1,
+        });
     }
 
     #[test]

@@ -50,10 +50,7 @@ pub fn pauli_evolution(p: &PauliString, lambda: f64) -> Circuit {
     let target = support.last().expect("non-empty").0;
     for &(q, _) in &support {
         if q != target {
-            c.push(Gate::Cnot {
-                control: q,
-                target,
-            });
+            c.push(Gate::Cnot { control: q, target });
         }
     }
     // 3. the rotation: Rz(−2λ) implements exp(iλZ) on the parity qubit.
@@ -61,10 +58,7 @@ pub fn pauli_evolution(p: &PauliString, lambda: f64) -> Circuit {
     // 4. mirrored fan-in.
     for &(q, _) in support.iter().rev() {
         if q != target {
-            c.push(Gate::Cnot {
-                control: q,
-                target,
-            });
+            c.push(Gate::Cnot { control: q, target });
         }
     }
     // 5. inverse basis changes.
@@ -93,10 +87,7 @@ pub fn trotter_circuit(h: &PauliSum, time: f64, steps: usize) -> Circuit {
     let dt = time / steps as f64;
     for _ in 0..steps {
         for (p, w) in h.iter() {
-            assert!(
-                w.im.abs() < 1e-9,
-                "non-Hermitian coefficient {w} on {p}"
-            );
+            assert!(w.im.abs() < 1e-9, "non-Hermitian coefficient {w} on {p}");
             if p.is_identity() {
                 continue;
             }
@@ -172,9 +163,7 @@ mod tests {
         // exp(iλP) = cos(λ)·I + i·sin(λ)·P for any Pauli string P.
         let dim = 1usize << p.num_qubits();
         let id = CMatrix::identity(dim).scale(Complex64::from_re(lambda.cos()));
-        let pm = p
-            .to_matrix()
-            .scale(Complex64::new(0.0, lambda.sin()));
+        let pm = p.to_matrix().scale(Complex64::new(0.0, lambda.sin()));
         &id + &pm
     }
 
@@ -191,14 +180,17 @@ mod tests {
 
     #[test]
     fn unitary_matches_exact_exponential() {
-        for (s, lambda) in [("Z", 0.3), ("XZY", -0.7), ("YY", 1.1), ("IXI", 0.25), ("ZIZ", 2.0)] {
+        for (s, lambda) in [
+            ("Z", 0.3),
+            ("XZY", -0.7),
+            ("YY", 1.1),
+            ("IXI", 0.25),
+            ("ZIZ", 2.0),
+        ] {
             let p: PauliString = s.parse().unwrap();
             let u = circuit_unitary(&pauli_evolution(&p, lambda));
             let exact = exact_pauli_exp(&p, lambda);
-            assert!(
-                u.approx_eq_up_to_phase(&exact, 1e-10),
-                "{s} at λ={lambda}"
-            );
+            assert!(u.approx_eq_up_to_phase(&exact, 1e-10), "{s} at λ={lambda}");
         }
     }
 
@@ -284,10 +276,7 @@ mod tests {
         };
         let (e2, e8) = (err(2), err(8));
         // 4x more steps → ~16x less error for a second-order formula.
-        assert!(
-            e8 < e2 / 8.0,
-            "quadratic scaling violated: {e2} → {e8}"
-        );
+        assert!(e8 < e2 / 8.0, "quadratic scaling violated: {e2} → {e8}");
     }
 
     #[test]

@@ -90,10 +90,7 @@ impl Gate {
         let zero = Complex64::ZERO;
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let m = match *self {
-            Gate::H(_) => CMatrix::from_rows(&[
-                vec![one * s, one * s],
-                vec![one * s, -one * s],
-            ]),
+            Gate::H(_) => CMatrix::from_rows(&[vec![one * s, one * s], vec![one * s, -one * s]]),
             Gate::X(_) => CMatrix::from_rows(&[vec![zero, one], vec![one, zero]]),
             Gate::Y(_) => CMatrix::from_rows(&[vec![zero, -i], vec![i, zero]]),
             Gate::Z(_) => CMatrix::from_rows(&[vec![one, zero], vec![zero, -one]]),
@@ -161,7 +158,12 @@ mod tests {
             let m = g.single_qubit_matrix().unwrap();
             assert!(m.is_unitary(1e-12), "{g}");
         }
-        assert!(Gate::Cnot { control: 0, target: 1 }.single_qubit_matrix().is_none());
+        assert!(Gate::Cnot {
+            control: 0,
+            target: 1
+        }
+        .single_qubit_matrix()
+        .is_none());
     }
 
     #[test]
@@ -195,6 +197,13 @@ mod tests {
     #[test]
     fn qubit_lists() {
         assert_eq!(Gate::Rz(3, 0.1).qubits(), vec![3]);
-        assert_eq!(Gate::Cnot { control: 5, target: 2 }.qubits(), vec![2, 5]);
+        assert_eq!(
+            Gate::Cnot {
+                control: 5,
+                target: 2
+            }
+            .qubits(),
+            vec![2, 5]
+        );
     }
 }

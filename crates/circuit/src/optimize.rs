@@ -81,8 +81,13 @@ fn cancel_pairs(circuit: &mut Circuit) {
             let inverse_pair = match (gi, gj) {
                 (Gate::Rx(a, t1), Gate::Rx(b, t2))
                 | (Gate::Ry(a, t1), Gate::Ry(b, t2))
-                | (Gate::Rz(a, t1), Gate::Rz(b, t2)) => a == b && (t1 + t2).abs() < NULL_ROTATION_TOL,
-                _ => gj == gi.adjoint() && gi.single_qubit_matrix().is_some() || gj == gi && gi.is_two_qubit(),
+                | (Gate::Rz(a, t1), Gate::Rz(b, t2)) => {
+                    a == b && (t1 + t2).abs() < NULL_ROTATION_TOL
+                }
+                _ => {
+                    gj == gi.adjoint() && gi.single_qubit_matrix().is_some()
+                        || gj == gi && gi.is_two_qubit()
+                }
             };
             if inverse_pair {
                 gates[i] = None;
@@ -114,9 +119,7 @@ fn merge_rotations(circuit: &mut Circuit) {
             };
             if let Some(m) = merged {
                 let drop = match m {
-                    Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => {
-                        t.abs() < NULL_ROTATION_TOL
-                    }
+                    Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => t.abs() < NULL_ROTATION_TOL,
                     _ => false,
                 };
                 gates[i] = if drop { None } else { Some(m) };
@@ -145,8 +148,14 @@ mod tests {
     #[test]
     fn cnot_pairs_cancel() {
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 0, target: 1 });
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let opt = optimize(&c);
         assert!(opt.is_empty());
     }
@@ -154,9 +163,15 @@ mod tests {
     #[test]
     fn cnot_pairs_blocked_by_intervening_gate() {
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c.push(Gate::H(1));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let opt = optimize(&c);
         assert_eq!(opt.len(), 3, "H on the target blocks cancellation");
         assert_equivalent(&c, &opt);
@@ -165,8 +180,14 @@ mod tests {
     #[test]
     fn reversed_cnot_does_not_cancel() {
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 0, target: 1 });
-        c.push(Gate::Cnot { control: 1, target: 0 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 0,
+        });
         let opt = optimize(&c);
         assert_eq!(opt.len(), 2);
     }
@@ -175,7 +196,10 @@ mod tests {
     fn h_pairs_cancel_across_other_qubits() {
         let mut c = Circuit::new(3);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 1, target: 2 });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 2,
+        });
         c.push(Gate::H(0));
         let opt = optimize(&c);
         assert_eq!(opt.len(), 1);

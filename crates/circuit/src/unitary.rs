@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn cnot_truth_table() {
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let u = circuit_unitary(&c);
         // |00⟩→|00⟩, |01⟩→|11⟩ (control = qubit 0 = LSB), |10⟩→|10⟩, |11⟩→|01⟩.
         assert!((u[(0b00, 0b00)].re - 1.0).abs() < 1e-14);
@@ -103,7 +106,10 @@ mod tests {
         c1.push(Gate::H(0));
         c1.push(Gate::Rz(1, 0.4));
         let mut c2 = Circuit::new(2);
-        c2.push(Gate::Cnot { control: 1, target: 0 });
+        c2.push(Gate::Cnot {
+            control: 1,
+            target: 0,
+        });
         c2.push(Gate::Rx(0, -0.9));
         let mut c12 = c1.clone();
         c12.append(&c2);
@@ -118,7 +124,10 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
         c.push(Gate::S(1));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c.push(Gate::Rx(0, 1.1));
         let mut round_trip = c.clone();
         round_trip.append(&c.adjoint());

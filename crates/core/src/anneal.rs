@@ -13,9 +13,10 @@ use encodings::{Encoding, MajoranaEncoding};
 use fermion::MajoranaMonomial;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sat::CancelToken;
 
 /// Annealing-schedule parameters (paper Algorithm 2).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AnnealConfig {
     /// Initial temperature `T₀`.
     pub t0: f64,
@@ -29,6 +30,10 @@ pub struct AnnealConfig {
     pub k: f64,
     /// RNG seed (runs are deterministic given a seed).
     pub seed: u64,
+    /// Cooperative cancellation: when raised, the schedule stops at the
+    /// next swap and the best pairing so far is returned with
+    /// [`AnnealOutcome::cancelled`] set.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for AnnealConfig {
@@ -40,6 +45,7 @@ impl Default for AnnealConfig {
             iterations: 60,
             k: 1.0,
             seed: 0xF00D,
+            cancel: None,
         }
     }
 }
@@ -57,6 +63,8 @@ pub struct AnnealOutcome {
     pub accepted_moves: usize,
     /// Total energy evaluations.
     pub evaluations: usize,
+    /// True when the schedule was stopped early by its cancellation token.
+    pub cancelled: bool,
 }
 
 /// Runs Algorithm 2: anneals the mode-to-pair assignment of `encoding`
@@ -86,7 +94,10 @@ pub fn anneal_pairing(
     monomials: &[MajoranaMonomial],
     config: &AnnealConfig,
 ) -> AnnealOutcome {
-    assert!(config.t0 > 0.0 && config.t1 > 0.0, "temperatures must be positive");
+    assert!(
+        config.t0 > 0.0 && config.t1 > 0.0,
+        "temperatures must be positive"
+    );
     assert!(config.alpha > 0.0, "temperature step must be positive");
 
     let n = encoding.num_modes();
@@ -123,9 +134,18 @@ pub fn anneal_pairing(
     let mut accepted = 0usize;
     let mut evaluations = 1usize;
 
+    let mut cancelled = false;
     let mut temp = config.t0;
-    while temp >= config.t1 && n > 1 {
+    'schedule: while temp >= config.t1 && n > 1 {
         for _ in 0..config.iterations {
+            if config
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+            {
+                cancelled = true;
+                break 'schedule;
+            }
             let x = rng.gen_range(0..n);
             let y = rng.gen_range(0..n);
             if x == y {
@@ -162,6 +182,7 @@ pub fn anneal_pairing(
         initial_weight,
         accepted_moves: accepted,
         evaluations,
+        cancelled,
     }
 }
 
@@ -191,8 +212,7 @@ mod tests {
             2.0,
         );
         let h = MajoranaSum::from_fermion(&model.hamiltonian());
-        let monomials: Vec<MajoranaMonomial> =
-            h.weight_structure().into_iter().cloned().collect();
+        let monomials: Vec<MajoranaMonomial> = h.weight_structure().into_iter().cloned().collect();
         let out = anneal_pairing(&enc, &monomials, &AnnealConfig::default());
         let direct = hamiltonian_weight(&out.encoding.majoranas(), &h);
         assert_eq!(out.weight, direct);
@@ -219,8 +239,7 @@ mod tests {
                 ..AnnealConfig::default()
             };
             let out = anneal_pairing(&enc, &monomials, &cfg);
-            let direct =
-                encodings::weight::structure_weight(&out.encoding.majoranas(), &monomials);
+            let direct = encodings::weight::structure_weight(&out.encoding.majoranas(), &monomials);
             assert_eq!(out.weight, direct, "seed {seed}");
         }
     }

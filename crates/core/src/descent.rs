@@ -18,7 +18,57 @@ use crate::instance::{EncodingInstance, EncodingProblem, Objective};
 use encodings::weight::{majorana_weight, structure_weight};
 use encodings::{Encoding, LinearEncoding, MajoranaEncoding};
 use pauli::{PauliString, PhasedString};
+use sat::CancelToken;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A weight bound shared between concurrent searches of the *same*
+/// problem (the portfolio engine's incumbent weight).
+///
+/// All clones share one atomic `usize` holding the best (lowest) objective
+/// weight any cooperating worker has achieved so far. A descent
+/// configured with a shared bound starts each step from
+/// `min(own bound, shared bound)`, so one worker's improvement immediately
+/// tightens every other worker's next assumption, and publishes its own
+/// improvements back with [`tighten`](SharedBound::tighten).
+#[derive(Debug, Clone)]
+pub struct SharedBound {
+    best: Arc<AtomicUsize>,
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        SharedBound::new()
+    }
+}
+
+impl SharedBound {
+    /// An unconstrained bound (`usize::MAX`).
+    pub fn new() -> SharedBound {
+        SharedBound {
+            best: Arc::new(AtomicUsize::new(usize::MAX)),
+        }
+    }
+
+    /// A bound primed with a known-feasible weight.
+    pub fn with_weight(weight: usize) -> SharedBound {
+        SharedBound {
+            best: Arc::new(AtomicUsize::new(weight)),
+        }
+    }
+
+    /// The current best weight (`usize::MAX` when nothing was published).
+    pub fn get(&self) -> usize {
+        self.best.load(Ordering::Relaxed)
+    }
+
+    /// Publishes an achieved weight; keeps the minimum. Returns `true`
+    /// when `weight` improved the shared value.
+    pub fn tighten(&self, weight: usize) -> bool {
+        self.best.fetch_min(weight, Ordering::Relaxed) > weight
+    }
+}
 
 /// Budgets and options for [`solve_optimal`].
 #[derive(Debug, Clone)]
@@ -32,6 +82,26 @@ pub struct DescentConfig {
     pub conflict_budget: Option<u64>,
     /// Overall wall-clock limit for the descent.
     pub total_timeout: Option<Duration>,
+    /// Cooperative cancellation: when raised, the descent stops at the next
+    /// checkpoint (including *inside* a running solver call) and returns
+    /// best-so-far with [`DescentOutcome::cancelled`] set.
+    pub cancel: Option<CancelToken>,
+    /// Incumbent weight shared with concurrent searches of the same
+    /// problem; see [`SharedBound`].
+    pub shared_bound: Option<SharedBound>,
+    /// When a *per-call* budget (`conflict_budget`/`solve_timeout`) runs
+    /// out, keep descending with a fresh call — re-reading the shared bound
+    /// — instead of terminating. The learnt-clause database persists across
+    /// calls. Termination then comes from `total_timeout`, `cancel`, or an
+    /// UNSAT certificate; configure at least one, or the descent can spin
+    /// on an unsolvable step forever.
+    pub persist_on_budget: bool,
+    /// Seed for the solver's branching randomization (portfolio
+    /// diversity). `None` leaves the solver deterministic.
+    pub solver_seed: Option<u64>,
+    /// Fraction of solver decisions made on a random variable
+    /// ([`sat::Solver::set_random_branch`]). Ignored without effect when 0.
+    pub random_branch: f64,
     /// Check GF(2) algebraic independence of every model and reject
     /// dependent ones with a blocking clause. This is the safety net for
     /// the *SAT w/o Alg.* mode (Section 4.1): invalid models occur with
@@ -59,6 +129,11 @@ impl Default for DescentConfig {
             validate_independence: true,
             bk_phase_hint: true,
             phase_hint: None,
+            cancel: None,
+            shared_bound: None,
+            persist_on_budget: false,
+            solver_seed: None,
+            random_branch: 0.0,
         }
     }
 }
@@ -83,6 +158,8 @@ pub enum StepResult {
     Exhausted,
     /// The per-call budget ran out.
     BudgetExceeded,
+    /// The cancellation token was raised during this call.
+    Cancelled,
 }
 
 /// The best encoding found by a descent.
@@ -112,6 +189,14 @@ pub struct DescentOutcome {
     pub optimal_proved: bool,
     /// Per-call log.
     pub steps: Vec<DescentStep>,
+    /// When an UNSAT certificate was obtained: the bound it refuted — no
+    /// encoding of the problem has objective weight below this value. Set
+    /// even when this worker holds no (or a worse) encoding itself, which
+    /// happens under a [`SharedBound`] when *another* worker owns the
+    /// incumbent; the portfolio engine combines the two facts.
+    pub proved_floor: Option<usize>,
+    /// True when the descent was stopped by its cancellation token.
+    pub cancelled: bool,
 }
 
 impl DescentOutcome {
@@ -188,6 +273,15 @@ pub fn solve_optimal_instance(
     let started = Instant::now();
     let mut solver = instance.solver();
     solver.set_conflict_budget(config.conflict_budget);
+    if let Some(cancel) = &config.cancel {
+        solver.set_stop_flag(Some(cancel.flag()));
+    }
+    if let Some(seed) = config.solver_seed {
+        solver.set_random_seed(seed);
+    }
+    if config.random_branch > 0.0 {
+        solver.set_random_branch(config.random_branch);
+    }
     if let Some(hint) = &config.phase_hint {
         let phased: Vec<PhasedString> = hint.iter().cloned().map(PhasedString::from).collect();
         apply_phase_hint(&mut solver, instance, &phased);
@@ -202,6 +296,8 @@ pub fn solve_optimal_instance(
     let mut best: Option<BestEncoding> = None;
     let mut steps = Vec::new();
     let mut optimal_proved = false;
+    let mut proved_floor = None;
+    let mut cancelled = false;
 
     // Initial bound: BK + 1 so the first call admits BK itself; clamp to
     // the totalizer width + 1 (anything above is a free pass).
@@ -211,6 +307,17 @@ pub fn solve_optimal_instance(
         .min(instance.weight_upper_bound() + 1);
 
     loop {
+        if let Some(cancel) = &config.cancel {
+            if cancel.is_cancelled() {
+                cancelled = true;
+                break;
+            }
+        }
+        // Another worker's incumbent tightens our next assumption: only
+        // strictly better encodings are worth finding.
+        if let Some(shared) = &config.shared_bound {
+            bound = bound.min(shared.get());
+        }
         if bound == 0 {
             // A weight-0 encoding is impossible (strings would be identity);
             // reaching 0 means weight 1 was achieved... which cannot happen
@@ -268,6 +375,9 @@ pub fn solve_optimal_instance(
                 });
                 bound = weight;
                 best = Some(BestEncoding { strings, weight });
+                if let Some(shared) = &config.shared_bound {
+                    shared.tighten(weight);
+                }
             }
             sat::SolveResult::Unsat => {
                 steps.push(DescentStep {
@@ -275,7 +385,11 @@ pub fn solve_optimal_instance(
                     result: StepResult::Exhausted,
                     elapsed,
                 });
-                optimal_proved = best.is_some();
+                proved_floor = Some(bound);
+                // The certificate proves *our* best optimal only when it is
+                // the encoding sitting exactly at the refuted bound; under a
+                // shared bound the incumbent may live in another worker.
+                optimal_proved = best.as_ref().is_some_and(|b| b.weight == bound);
                 break;
             }
             sat::SolveResult::Unknown => {
@@ -284,6 +398,21 @@ pub fn solve_optimal_instance(
                     result: StepResult::BudgetExceeded,
                     elapsed,
                 });
+                if config.persist_on_budget {
+                    // Keep grinding at the same step (learnt clauses are
+                    // retained); the loop head re-checks cancellation, the
+                    // shared bound, and the total timeout.
+                    continue;
+                }
+                break;
+            }
+            sat::SolveResult::Interrupted => {
+                steps.push(DescentStep {
+                    bound,
+                    result: StepResult::Cancelled,
+                    elapsed,
+                });
+                cancelled = true;
                 break;
             }
         }
@@ -293,6 +422,8 @@ pub fn solve_optimal_instance(
         best,
         optimal_proved,
         steps,
+        proved_floor,
+        cancelled,
     }
 }
 
@@ -311,8 +442,12 @@ mod tests {
         assert_eq!(outcome.weight(), Some(2));
         assert!(outcome.optimal_proved);
         let best = outcome.best.unwrap();
-        let phased: Vec<PhasedString> =
-            best.strings.iter().cloned().map(PhasedString::from).collect();
+        let phased: Vec<PhasedString> = best
+            .strings
+            .iter()
+            .cloned()
+            .map(PhasedString::from)
+            .collect();
         assert!(validate_strings(&phased).is_valid());
     }
 
@@ -352,12 +487,90 @@ mod tests {
             conflict_budget: Some(1),
             ..DescentConfig::default()
         };
-        let outcome = solve_optimal(
-            &EncodingProblem::new(4, Objective::MajoranaWeight),
-            &config,
-        );
+        let outcome = solve_optimal(&EncodingProblem::new(4, Objective::MajoranaWeight), &config);
         assert!(!outcome.optimal_proved);
         assert!(!outcome.steps.is_empty());
+    }
+
+    #[test]
+    fn shared_bound_tightens_the_search() {
+        // Prime the shared bound with the known N=2 optimum (6): the
+        // descent must then *start* below BK, prove UNSAT at 6 in one
+        // step, and return no encoding of its own (6 is not beatable).
+        let shared = SharedBound::with_weight(6);
+        let config = DescentConfig {
+            shared_bound: Some(shared.clone()),
+            ..DescentConfig::default()
+        };
+        let outcome = solve_optimal(
+            &EncodingProblem::full_sat(2, Objective::MajoranaWeight),
+            &config,
+        );
+        assert!(outcome.best.is_none(), "nothing below 6 exists");
+        assert!(!outcome.optimal_proved, "this worker holds no incumbent");
+        assert_eq!(outcome.proved_floor, Some(6));
+        assert_eq!(shared.get(), 6);
+    }
+
+    #[test]
+    fn improvements_are_published_to_the_shared_bound() {
+        let shared = SharedBound::new();
+        let config = DescentConfig {
+            shared_bound: Some(shared.clone()),
+            ..DescentConfig::default()
+        };
+        let outcome = solve_optimal(
+            &EncodingProblem::full_sat(2, Objective::MajoranaWeight),
+            &config,
+        );
+        assert_eq!(outcome.weight(), Some(6));
+        assert!(outcome.optimal_proved);
+        assert_eq!(shared.get(), 6);
+        assert_eq!(outcome.proved_floor, Some(6));
+    }
+
+    #[test]
+    fn pre_cancelled_descent_returns_immediately() {
+        let cancel = sat::CancelToken::new();
+        cancel.cancel();
+        let config = DescentConfig {
+            cancel: Some(cancel),
+            ..DescentConfig::default()
+        };
+        let outcome = solve_optimal(
+            &EncodingProblem::full_sat(3, Objective::MajoranaWeight),
+            &config,
+        );
+        assert!(outcome.cancelled);
+        assert!(outcome.best.is_none());
+        assert!(outcome.steps.is_empty());
+    }
+
+    #[test]
+    fn persist_on_budget_keeps_descending() {
+        // A 1-conflict budget would normally terminate the descent almost
+        // immediately; with persist_on_budget it must still reach and
+        // prove the N=2 optimum (budget exhaustion only splits the work
+        // into many solver calls).
+        let config = DescentConfig {
+            conflict_budget: Some(1),
+            persist_on_budget: true,
+            total_timeout: Some(Duration::from_secs(60)),
+            ..DescentConfig::default()
+        };
+        let outcome = solve_optimal(
+            &EncodingProblem::full_sat(2, Objective::MajoranaWeight),
+            &config,
+        );
+        assert_eq!(outcome.weight(), Some(6));
+        assert!(outcome.optimal_proved);
+        assert!(
+            outcome
+                .steps
+                .iter()
+                .any(|s| s.result == StepResult::BudgetExceeded),
+            "the tiny budget must have been exceeded at least once"
+        );
     }
 
     #[test]

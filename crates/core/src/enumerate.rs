@@ -108,7 +108,7 @@ pub fn enumerate_encodings(
                 solver.add_clause(blocking);
                 out.push(strings);
             }
-            SolveResult::Unsat | SolveResult::Unknown => break,
+            SolveResult::Unsat | SolveResult::Unknown | SolveResult::Interrupted => break,
         }
     }
     out

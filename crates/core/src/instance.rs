@@ -296,7 +296,7 @@ fn add_algebraic_independence(cnf: &mut Cnf, layout: &VarLayout) {
     // bit j of string s: (qubit j/2, b1/b2 by parity).
     let bit_lit = |layout: &VarLayout, s: usize, j: usize| -> Lit {
         let q = j / 2;
-        if j % 2 == 0 {
+        if j.is_multiple_of(2) {
             layout.b1(s, q).positive()
         } else {
             layout.b2(s, q).positive()
@@ -412,7 +412,10 @@ mod tests {
     use encodings::validate::validate_strings;
     use sat::SolveResult;
 
-    fn solve_instance(instance: &EncodingInstance, bound: Option<usize>) -> Option<Vec<PauliString>> {
+    fn solve_instance(
+        instance: &EncodingInstance,
+        bound: Option<usize>,
+    ) -> Option<Vec<PauliString>> {
         let mut solver = instance.solver();
         let assumptions: Vec<Lit> = bound
             .and_then(|w| instance.assume_weight_less_than(w))
@@ -421,7 +424,7 @@ mod tests {
         match solver.solve_with_assumptions(&assumptions) {
             SolveResult::Sat(m) => Some(instance.decode(&m)),
             SolveResult::Unsat => None,
-            SolveResult::Unknown => panic!("no budget configured"),
+            SolveResult::Unknown | SolveResult::Interrupted => panic!("no budget configured"),
         }
     }
 
@@ -434,7 +437,10 @@ mod tests {
         assert!(report.is_valid(), "{report:?} for {strings:?}");
         assert!(report.xy_pair_condition);
         // Optimal weight for one mode is 2 (e.g. X and Y).
-        assert!(solve_instance(&instance, Some(2)).is_none(), "weight < 2 impossible");
+        assert!(
+            solve_instance(&instance, Some(2)).is_none(),
+            "weight < 2 impossible"
+        );
         let at_two = solve_instance(&instance, Some(3)).expect("weight ≤ 2 achievable");
         assert_eq!(instance.measure_weight(&at_two), 2);
     }
@@ -482,7 +488,10 @@ mod tests {
         let monomials = vec![MajoranaMonomial::from_sorted(vec![0, 1])];
         let instance =
             EncodingProblem::full_sat(1, Objective::HamiltonianWeight(monomials)).build();
-        assert!(solve_instance(&instance, Some(1)).is_none(), "weight 0 impossible");
+        assert!(
+            solve_instance(&instance, Some(1)).is_none(),
+            "weight 0 impossible"
+        );
         let s = solve_instance(&instance, Some(2)).expect("weight 1 achievable");
         assert_eq!(instance.measure_weight(&s), 1);
     }

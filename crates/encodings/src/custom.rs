@@ -80,7 +80,7 @@ impl MajoranaEncoding {
         if strings.is_empty() {
             return Err(ShapeError::Empty);
         }
-        if strings.len() % 2 != 0 {
+        if !strings.len().is_multiple_of(2) {
             return Err(ShapeError::OddCount(strings.len()));
         }
         let expected = strings.len() / 2;
@@ -107,10 +107,7 @@ impl MajoranaEncoding {
         name: impl Into<String>,
         strings: impl IntoIterator<Item = PauliString>,
     ) -> Result<MajoranaEncoding, ShapeError> {
-        MajoranaEncoding::new(
-            name,
-            strings.into_iter().map(PhasedString::from).collect(),
-        )
+        MajoranaEncoding::new(name, strings.into_iter().map(PhasedString::from).collect())
     }
 
     /// Reorders the Majorana pairs according to `perm` (a permutation of

@@ -111,8 +111,7 @@ pub fn xy_pair_condition(strings: &[PhasedString]) -> bool {
     strings.chunks_exact(2).all(|pair| {
         let even = pair[0].string();
         let odd = pair[1].string();
-        (0..even.num_qubits())
-            .any(|k| even.get(k) == Pauli::X && odd.get(k) == Pauli::Y)
+        (0..even.num_qubits()).any(|k| even.get(k) == Pauli::X && odd.get(k) == Pauli::Y)
     })
 }
 

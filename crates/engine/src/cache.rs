@@ -1,0 +1,335 @@
+//! Persistent, content-addressed solution cache.
+//!
+//! Solved encodings are stored as one JSON file per problem fingerprint
+//! (`<sha256>.json` under the cache directory), so a repeated compilation
+//! of the same model is served in microseconds instead of re-running the
+//! SAT portfolio. Entries record their optimality status: an *optimal*
+//! entry is final, a *best-so-far* entry (budget-terminated run) is still
+//! useful as a warm start and upgraded in place when a later run does
+//! better.
+//!
+//! Writes go through a temp file + rename, so a crashed writer never
+//! leaves a torn entry; a corrupt or unreadable entry is treated as a miss.
+
+use crate::fingerprint::Fingerprint;
+use crate::json::{self, obj, Value};
+use pauli::PauliString;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Schema version; bump to invalidate all existing entries.
+const CACHE_VERSION: usize = 1;
+
+/// A cached solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The `2N` Majorana strings of the encoding.
+    pub strings: Vec<PauliString>,
+    /// Objective weight of the encoding.
+    pub weight: usize,
+    /// True when an UNSAT certificate proved this weight optimal.
+    pub optimal: bool,
+    /// Name of the strategy that produced the encoding (provenance only).
+    pub strategy: String,
+}
+
+/// A directory of cached solutions keyed by problem fingerprint.
+#[derive(Debug, Clone)]
+pub struct SolutionCache {
+    dir: PathBuf,
+}
+
+impl SolutionCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SolutionCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SolutionCache { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, fp: &Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}.json", fp.to_hex()))
+    }
+
+    /// Looks up a fingerprint. Missing, torn, or schema-mismatched entries
+    /// are all misses.
+    pub fn lookup(&self, fp: &Fingerprint) -> Option<CacheEntry> {
+        let text = fs::read_to_string(self.path_for(fp)).ok()?;
+        let doc = json::parse(&text).ok()?;
+        if doc.get("version")?.as_usize()? != CACHE_VERSION {
+            return None;
+        }
+        let weight = doc.get("weight")?.as_usize()?;
+        let optimal = doc.get("optimal")?.as_bool()?;
+        let strategy = doc.get("strategy")?.as_str()?.to_string();
+        let strings = doc
+            .get("strings")?
+            .as_arr()?
+            .iter()
+            .map(|v| PauliString::from_str(v.as_str()?).ok())
+            .collect::<Option<Vec<_>>>()?;
+        if strings.is_empty() {
+            return None;
+        }
+        Some(CacheEntry {
+            strings,
+            weight,
+            optimal,
+            strategy,
+        })
+    }
+
+    /// Stores an entry, atomically replacing any previous one.
+    ///
+    /// Safe against concurrent writers in other threads *and* processes:
+    /// each write goes through a writer-unique temp file, and the final
+    /// rename is atomic, so readers never observe a torn entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, fp: &Fingerprint, entry: &CacheEntry) -> io::Result<()> {
+        let doc = obj([
+            ("version", Value::Num(CACHE_VERSION as f64)),
+            ("fingerprint", Value::Str(fp.to_hex())),
+            ("weight", Value::Num(entry.weight as f64)),
+            ("optimal", Value::Bool(entry.optimal)),
+            ("strategy", Value::Str(entry.strategy.clone())),
+            (
+                "strings",
+                Value::Arr(
+                    entry
+                        .strings
+                        .iter()
+                        .map(|s| Value::Str(s.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        // Writer-unique temp name: two concurrent writers of the same
+        // fingerprint must never interleave writes into one file.
+        let nonce = WRITE_NONCE.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            fp.to_hex(),
+            std::process::id(),
+            nonce
+        ));
+        fs::write(&tmp, doc.to_json())?;
+        fs::rename(&tmp, self.path_for(fp))
+    }
+
+    /// Stores only when `entry` improves on the current content: better
+    /// weight, or equal weight with optimality newly proved. Returns
+    /// whether a write happened.
+    ///
+    /// The compare-and-store runs under a per-fingerprint advisory file
+    /// lock, so a concurrent writer cannot sneak a *better* entry in
+    /// between the comparison and the rename (which would downgrade the
+    /// cache, e.g. losing an UNSAT certificate). Locks abandoned by a
+    /// crashed process are stolen after [`LOCK_STALE`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures from the write path.
+    pub fn store_if_better(&self, fp: &Fingerprint, entry: &CacheEntry) -> io::Result<bool> {
+        let _lock = LockFile::acquire(self.dir.join(format!(".{}.lock", fp.to_hex())))?;
+        match self.lookup(fp) {
+            Some(existing)
+                if existing.weight < entry.weight
+                    || (existing.weight == entry.weight && existing.optimal >= entry.optimal) =>
+            {
+                Ok(false)
+            }
+            _ => {
+                self.store(fp, entry)?;
+                Ok(true)
+            }
+        }
+    }
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static WRITE_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A lock abandoned for longer than this (holder crashed between create
+/// and delete) is stolen. Compare-and-store holds the lock for
+/// microseconds, so seconds of age can only mean a dead holder.
+const LOCK_STALE: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// Advisory create-exclusive file lock, released on drop.
+struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    fn acquire(path: PathBuf) -> io::Result<LockFile> {
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(LockFile { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    // Steal stale locks; otherwise wait briefly and retry.
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .map(|t| t.elapsed().unwrap_or_default() > LOCK_STALE)
+                        .unwrap_or(false);
+                    if stale {
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+    use fermihedral::{EncodingProblem, Objective};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fermihedral-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(weight: usize, optimal: bool) -> CacheEntry {
+        CacheEntry {
+            strings: ["XZ", "YZ", "IX", "IY"]
+                .iter()
+                .map(|s| PauliString::from_str(s).unwrap())
+                .collect(),
+            weight,
+            optimal,
+            strategy: "test".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_after_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let fp = fingerprint(&EncodingProblem::new(2, Objective::MajoranaWeight));
+        {
+            let cache = SolutionCache::open(&dir).unwrap();
+            assert!(cache.lookup(&fp).is_none());
+            cache.store(&fp, &entry(6, true)).unwrap();
+        }
+        // A fresh handle (≈ process restart) sees the entry.
+        let cache = SolutionCache::open(&dir).unwrap();
+        assert_eq!(cache.lookup(&fp), Some(entry(6, true)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn different_objectives_do_not_collide() {
+        let dir = tmp_dir("objectives");
+        let cache = SolutionCache::open(&dir).unwrap();
+        let maj = fingerprint(&EncodingProblem::new(2, Objective::MajoranaWeight));
+        let ham = fingerprint(&EncodingProblem::new(
+            2,
+            Objective::HamiltonianWeight(vec![fermion::MajoranaMonomial::from_sorted(vec![0, 1])]),
+        ));
+        cache.store(&maj, &entry(6, true)).unwrap();
+        assert!(
+            cache.lookup(&ham).is_none(),
+            "changing the objective must miss"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmp_dir("corrupt");
+        let cache = SolutionCache::open(&dir).unwrap();
+        let fp = fingerprint(&EncodingProblem::new(3, Objective::MajoranaWeight));
+        cache.store(&fp, &entry(10, false)).unwrap();
+        fs::write(cache.path_for(&fp), "{ not json").unwrap();
+        assert!(cache.lookup(&fp).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_never_downgrade_the_entry() {
+        // Threads racing mixed-quality entries on one fingerprint: the
+        // surviving entry must be the best one (weight 10, optimal), and
+        // it must never be torn. Catches both the shared-temp-file
+        // clobbering and the lookup-then-store race.
+        let dir = tmp_dir("concurrent");
+        let fp = fingerprint(&EncodingProblem::new(5, Objective::MajoranaWeight));
+        let cache = SolutionCache::open(&dir).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for round in 0..30u64 {
+                        let weight = 10 + ((t + round) % 4) as usize;
+                        let optimal = weight == 10;
+                        cache.store_if_better(&fp, &entry(weight, optimal)).unwrap();
+                    }
+                });
+            }
+        });
+        let survivor = cache.lookup(&fp).expect("entry must parse (not torn)");
+        assert_eq!(survivor.weight, 10);
+        assert!(survivor.optimal);
+        // No temp or lock litter left behind.
+        let litter: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().to_string();
+                name.ends_with(".tmp") || name.ends_with(".lock")
+            })
+            .collect();
+        assert!(litter.is_empty(), "leftover files: {litter:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_if_better_upgrades_and_refuses() {
+        let dir = tmp_dir("upgrade");
+        let cache = SolutionCache::open(&dir).unwrap();
+        let fp = fingerprint(&EncodingProblem::new(4, Objective::MajoranaWeight));
+
+        assert!(cache.store_if_better(&fp, &entry(20, false)).unwrap());
+        // Worse weight: refused.
+        assert!(!cache.store_if_better(&fp, &entry(22, false)).unwrap());
+        // Same weight, optimality proved: upgraded.
+        assert!(cache.store_if_better(&fp, &entry(20, true)).unwrap());
+        // Same again: refused (no downgrade of the optimal flag either).
+        assert!(!cache.store_if_better(&fp, &entry(20, false)).unwrap());
+        // Strictly better weight: accepted.
+        assert!(cache.store_if_better(&fp, &entry(18, true)).unwrap());
+        assert_eq!(cache.lookup(&fp), Some(entry(18, true)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! `fermihedral-engine`: the parallel portfolio compilation engine.
+//!
+//! The Fermihedral paper finds optimal Fermion-to-qubit encodings by a
+//! single-threaded SAT descent that it terminates on wall-clock budgets at
+//! scale (Section 4). This crate turns that loop into a *production
+//! service core*:
+//!
+//! * [`compile`] races a **portfolio** of strategies in worker threads —
+//!   diversified SAT weight-descent lanes, simulated-annealing pair
+//!   assignment, and classical baselines — against one shared incumbent
+//!   ([`fermihedral::descent::SharedBound`]). Any lane's improvement
+//!   immediately tightens every other lane's bound; the first UNSAT
+//!   certificate proves the incumbent optimal and cancels the rest
+//!   ([`sat::CancelToken`]), so wall clock tracks the fastest lane.
+//! * [`cache::SolutionCache`] persists solved encodings content-addressed
+//!   by a SHA-256 [`fingerprint`](fingerprint::fingerprint) of the problem
+//!   (modes, constraints, objective, Hamiltonian-term multiset). Repeat
+//!   compilations of the same model are served in microseconds; budget-
+//!   terminated best-so-far entries warm-start the next attempt.
+//! * [`report::EngineReport`] records a per-worker timeline of every run
+//!   (who improved what, when; who proved the floor; who got cancelled),
+//!   serializable to JSON for the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{compile, EngineConfig};
+//! use fermihedral::{EncodingProblem, Objective};
+//!
+//! let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+//! let outcome = compile(&problem, &EngineConfig::default());
+//! assert_eq!(outcome.weight(), Some(6)); // same optimum as solve_optimal
+//! assert!(outcome.optimal_proved);
+//! println!("winner: {:?}", outcome.report.winner);
+//! ```
+
+pub mod cache;
+pub mod fingerprint;
+pub mod json;
+pub mod portfolio;
+pub mod report;
+
+pub use cache::{CacheEntry, SolutionCache};
+pub use fingerprint::{fingerprint, Fingerprint};
+pub use portfolio::{
+    compile, default_portfolio, BaselineKind, EngineConfig, EngineOutcome, Strategy,
+};
+pub use report::{CacheStatus, EngineReport, EventKind, WorkerEvent, WorkerReport};

@@ -1,0 +1,698 @@
+//! The portfolio compilation engine.
+//!
+//! [`compile`] races several strategies in worker threads against one
+//! shared incumbent:
+//!
+//! * **SAT weight descent** (`fermihedral::descent`) with distinct solver
+//!   seeds, random-branching fractions, and warm-start hints — the paper's
+//!   Algorithm 1, diversified;
+//! * **simulated annealing** (`fermihedral::anneal`) of the pair
+//!   assignment on top of a classical base encoding (Hamiltonian-dependent
+//!   objective only — pair permutations cannot change the
+//!   Hamiltonian-independent weight);
+//! * **classical baselines** (Jordan-Wigner / Bravyi-Kitaev / ternary
+//!   tree), which are instant and give the SAT workers a feasible bound to
+//!   beat.
+//!
+//! Every worker publishes improvements to a [`SharedBound`], so any
+//! worker's find immediately tightens every other worker's next
+//! assumption. The first UNSAT certificate proves the incumbent optimal
+//! and cancels the remaining workers through a [`CancelToken`] — wall
+//! clock tracks the *fastest* strategy, not the slowest.
+//!
+//! Heavy lanes are bounded by [`EngineConfig::max_concurrency`] (default:
+//! the machine's available parallelism), so oversubscribing a small host
+//! never makes the race slower than a single lane: excess lanes queue,
+//! and a queued lane whose race was decided exits without work.
+
+use crate::cache::{CacheEntry, SolutionCache};
+use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::report::{CacheStatus, EngineReport, EventKind, WorkerEvent, WorkerReport};
+use encodings::validate::validate_strings;
+use encodings::weight::structure_weight;
+use encodings::{Encoding, LinearEncoding, MajoranaEncoding, TernaryTreeEncoding};
+use fermihedral::descent::{
+    solve_optimal_instance, BestEncoding, DescentConfig, SharedBound, StepResult,
+};
+use fermihedral::{anneal_pairing, AnnealConfig, EncodingInstance, EncodingProblem, Objective};
+use pauli::{PauliString, PhasedString};
+use sat::CancelToken;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The classical constructions available as baseline/annealing-base
+/// strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Jordan-Wigner.
+    JordanWigner,
+    /// Bravyi-Kitaev (the paper's warm start).
+    BravyiKitaev,
+    /// The ternary tree of Jiang et al. (optimal average weight).
+    TernaryTree,
+}
+
+impl BaselineKind {
+    fn name(self) -> &'static str {
+        match self {
+            BaselineKind::JordanWigner => "jordan-wigner",
+            BaselineKind::BravyiKitaev => "bravyi-kitaev",
+            BaselineKind::TernaryTree => "ternary-tree",
+        }
+    }
+
+    fn build(self, n: usize) -> MajoranaEncoding {
+        let (name, strings) = match self {
+            BaselineKind::JordanWigner => ("jw", LinearEncoding::jordan_wigner(n).majoranas()),
+            BaselineKind::BravyiKitaev => ("bk", LinearEncoding::bravyi_kitaev(n).majoranas()),
+            BaselineKind::TernaryTree => ("tt", TernaryTreeEncoding::new(n).majoranas()),
+        };
+        MajoranaEncoding::new(name, strings).expect("classical constructions are well-formed")
+    }
+}
+
+/// One lane of the portfolio.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// SAT weight descent (Algorithm 1) with portfolio diversification.
+    SatDescent {
+        /// Solver branching-randomization seed.
+        seed: u64,
+        /// Fraction of random branching decisions (0 = pure EVSIDS).
+        random_branch: f64,
+        /// Seed solver phases with the Bravyi-Kitaev assignment.
+        bk_phase_hint: bool,
+    },
+    /// Simulated-annealing pair assignment on a classical base encoding.
+    /// Falls back to publishing the base encoding itself under the
+    /// Hamiltonian-independent objective.
+    Anneal {
+        /// The base encoding whose pair assignment is annealed.
+        base: BaselineKind,
+        /// Annealing schedule (its `cancel` field is overridden by the
+        /// engine's shared token).
+        schedule: AnnealConfig,
+    },
+    /// A classical construction published as-is.
+    Baseline(BaselineKind),
+}
+
+impl Strategy {
+    /// Human-readable lane name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::SatDescent {
+                seed,
+                random_branch,
+                bk_phase_hint,
+            } => format!(
+                "sat-descent[seed={seed},rb={random_branch},bk={}]",
+                *bk_phase_hint as u8
+            ),
+            Strategy::Anneal { base, .. } => format!("anneal[{}]", base.name()),
+            Strategy::Baseline(kind) => format!("baseline[{}]", kind.name()),
+        }
+    }
+}
+
+/// The portfolio used when the caller does not specify one: three
+/// diversified SAT-descent lanes plus the ternary-tree and Bravyi-Kitaev
+/// baselines, and — for the Hamiltonian-dependent objective — an annealing
+/// lane (the paper's Section 4.2 route).
+pub fn default_portfolio(problem: &EncodingProblem) -> Vec<Strategy> {
+    let mut lanes = vec![
+        Strategy::SatDescent {
+            seed: 1,
+            random_branch: 0.0,
+            bk_phase_hint: true,
+        },
+        Strategy::SatDescent {
+            seed: 2,
+            random_branch: 0.02,
+            bk_phase_hint: false,
+        },
+        Strategy::SatDescent {
+            seed: 3,
+            random_branch: 0.1,
+            bk_phase_hint: false,
+        },
+        Strategy::Baseline(BaselineKind::TernaryTree),
+        Strategy::Baseline(BaselineKind::BravyiKitaev),
+    ];
+    if matches!(problem.objective(), Objective::HamiltonianWeight(_)) {
+        lanes.push(Strategy::Anneal {
+            base: BaselineKind::BravyiKitaev,
+            schedule: AnnealConfig::default(),
+        });
+    }
+    lanes
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// The lanes to race. Empty = [`default_portfolio`].
+    pub strategies: Vec<Strategy>,
+    /// Overall wall-clock limit for the run.
+    pub total_timeout: Option<Duration>,
+    /// Conflict limit per solver call inside descent lanes. Smaller values
+    /// make lanes re-read the shared bound more often; `None` lets each
+    /// call run to completion.
+    pub conflict_budget_per_call: Option<u64>,
+    /// Keep descent lanes running through per-call budget exhaustion
+    /// (requires `total_timeout` or an eventual UNSAT to terminate).
+    pub persist_on_budget: bool,
+    /// Directory of the persistent solution cache; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Maximum *heavy* lanes (SAT descent, annealing) running
+    /// concurrently; `None` sizes to [`std::thread::available_parallelism`].
+    /// Instant lanes (baselines) always run immediately. Excess heavy
+    /// lanes queue, and a queued lane whose race was decided while it
+    /// waited exits without doing any work — so on a single-core host the
+    /// portfolio costs one lane's wall time, not the sum of all lanes.
+    pub max_concurrency: Option<usize>,
+}
+
+/// Counting semaphore bounding concurrent heavy lanes.
+struct Slots {
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Slots {
+    fn new(n: usize) -> Slots {
+        Slots {
+            available: Mutex::new(n.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Waits for a slot. Returns `false` (without acquiring) when the race
+    /// was decided first.
+    fn acquire(&self, cancel: &CancelToken) -> bool {
+        let mut avail = self.available.lock().unwrap();
+        loop {
+            if cancel.is_cancelled() {
+                return false;
+            }
+            if *avail > 0 {
+                *avail -= 1;
+                return true;
+            }
+            // Bounded wait so cancellation is polled even if a release
+            // signal is missed.
+            let (guard, _) = self
+                .freed
+                .wait_timeout(avail, Duration::from_millis(10))
+                .unwrap();
+            avail = guard;
+        }
+    }
+
+    fn release(&self) {
+        *self.available.lock().unwrap() += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Result of a portfolio compilation.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// The best encoding found across all lanes (and the cache).
+    pub best: Option<BestEncoding>,
+    /// True when an UNSAT certificate (this run's or a cached one) proves
+    /// `best` optimal.
+    pub optimal_proved: bool,
+    /// True when the result was served from the cache without running any
+    /// solver.
+    pub from_cache: bool,
+    /// What every worker did, and when.
+    pub report: EngineReport,
+}
+
+impl EngineOutcome {
+    /// The best weight, if any encoding was found.
+    pub fn weight(&self) -> Option<usize> {
+        self.best.as_ref().map(|b| b.weight)
+    }
+}
+
+/// Shared state the workers race on.
+struct Incumbent {
+    bound: SharedBound,
+    best: Mutex<Option<(BestEncoding, String)>>,
+    /// Strongest UNSAT floor proved so far (0 = none: a weight-0 encoding
+    /// is impossible, so floor 0 carries no information).
+    floor: AtomicUsize,
+    cancel: CancelToken,
+}
+
+impl Incumbent {
+    fn new() -> Incumbent {
+        Incumbent {
+            bound: SharedBound::new(),
+            best: Mutex::new(None),
+            floor: AtomicUsize::new(0),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Publishes an encoding; keeps the lightest. Ties keep the first
+    /// publisher (it finished first).
+    fn publish(&self, encoding: BestEncoding, strategy: &str) {
+        self.bound.tighten(encoding.weight);
+        let mut slot = self.best.lock().unwrap();
+        let better = slot
+            .as_ref()
+            .is_none_or(|(cur, _)| encoding.weight < cur.weight);
+        if better {
+            *slot = Some((encoding, strategy.to_string()));
+        }
+        drop(slot);
+        self.check_optimal();
+    }
+
+    /// Records an UNSAT floor and cancels the race when it pins the
+    /// incumbent.
+    fn prove_floor(&self, floor: usize) {
+        self.floor.fetch_max(floor, Ordering::Relaxed);
+        self.check_optimal();
+    }
+
+    fn check_optimal(&self) {
+        let floor = self.floor.load(Ordering::Relaxed);
+        if floor == 0 {
+            return;
+        }
+        let slot = self.best.lock().unwrap();
+        if let Some((best, _)) = slot.as_ref() {
+            // No encoding below `floor` exists, and we hold one *at* it:
+            // the race is decided.
+            if best.weight == floor {
+                self.cancel.cancel();
+            }
+        }
+    }
+
+    fn snapshot(&self) -> (Option<(BestEncoding, String)>, usize) {
+        (
+            self.best.lock().unwrap().clone(),
+            self.floor.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Compiles a problem with the portfolio engine. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use engine::{compile, EngineConfig};
+/// use fermihedral::{EncodingProblem, Objective};
+///
+/// let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+/// let outcome = compile(&problem, &EngineConfig::default());
+/// assert_eq!(outcome.weight(), Some(6)); // N=2 optimum
+/// assert!(outcome.optimal_proved);
+/// ```
+pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcome {
+    let started = Instant::now();
+    let fp = fingerprint(problem);
+
+    // ---- Cache probe -----------------------------------------------------
+    let cache = config
+        .cache_dir
+        .as_ref()
+        .and_then(|dir| SolutionCache::open(dir).ok());
+    let mut cache_status = if cache.is_some() {
+        CacheStatus::Miss
+    } else {
+        CacheStatus::Disabled
+    };
+    let mut warm_start: Option<CacheEntry> = None;
+    if let Some(cache) = &cache {
+        if let Some(entry) = cache.lookup(&fp) {
+            if entry.optimal {
+                return serve_from_cache(fp, entry, started);
+            }
+            cache_status = CacheStatus::HitWarmStart;
+            warm_start = Some(entry);
+        }
+    }
+
+    // ---- Race ------------------------------------------------------------
+    let strategies = if config.strategies.is_empty() {
+        default_portfolio(problem)
+    } else {
+        config.strategies.clone()
+    };
+    let needs_instance = strategies
+        .iter()
+        .any(|s| matches!(s, Strategy::SatDescent { .. }));
+    let instance = if needs_instance {
+        Some(problem.build())
+    } else {
+        None
+    };
+
+    let incumbent = Incumbent::new();
+    if let Some(entry) = &warm_start {
+        incumbent.publish(
+            BestEncoding {
+                strings: entry.strings.clone(),
+                weight: entry.weight,
+            },
+            &format!("cache[{}]", entry.strategy),
+        );
+    }
+
+    let slots = Slots::new(
+        config
+            .max_concurrency
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+    );
+    let deadline_cancel = incumbent.cancel.clone();
+    let workers: Vec<WorkerReport> = std::thread::scope(|scope| {
+        // Watchdog enforcing the total timeout even on lanes that poll
+        // nothing else (it also exits early once the race is decided).
+        if let Some(total) = config.total_timeout {
+            let cancel = deadline_cancel.clone();
+            scope.spawn(move || {
+                let step = Duration::from_millis(10);
+                while started.elapsed() < total && !cancel.is_cancelled() {
+                    std::thread::sleep(step.min(total.saturating_sub(started.elapsed())));
+                }
+                cancel.cancel();
+            });
+        }
+
+        let handles: Vec<_> = strategies
+            .iter()
+            .map(|strategy| {
+                let incumbent = &incumbent;
+                let instance = instance.as_ref();
+                let slots = &slots;
+                let warm = warm_start.as_ref().map(|e| e.strings.clone());
+                scope.spawn(move || match strategy {
+                    Strategy::SatDescent {
+                        seed,
+                        random_branch,
+                        bk_phase_hint,
+                    } => {
+                        if !slots.acquire(&incumbent.cancel) {
+                            return skipped_lane(strategy.name(), started);
+                        }
+                        let report = run_descent_lane(
+                            instance.expect("instance built for descent lanes"),
+                            config,
+                            *seed,
+                            *random_branch,
+                            *bk_phase_hint,
+                            warm,
+                            incumbent,
+                            started,
+                            strategy.name(),
+                        );
+                        slots.release();
+                        report
+                    }
+                    Strategy::Anneal { base, schedule } => {
+                        // Pair permutation cannot change the summed
+                        // Majorana weight, so under that objective the
+                        // lane degenerates to its base encoding — instant
+                        // work that should not occupy a heavy slot.
+                        if !matches!(problem.objective(), Objective::HamiltonianWeight(_)) {
+                            return run_baseline_lane(
+                                problem,
+                                *base,
+                                incumbent,
+                                started,
+                                strategy.name(),
+                            );
+                        }
+                        if !slots.acquire(&incumbent.cancel) {
+                            return skipped_lane(strategy.name(), started);
+                        }
+                        let report = run_anneal_lane(
+                            problem,
+                            *base,
+                            schedule.clone(),
+                            incumbent,
+                            started,
+                            strategy.name(),
+                        );
+                        slots.release();
+                        report
+                    }
+                    Strategy::Baseline(kind) => {
+                        run_baseline_lane(problem, *kind, incumbent, started, strategy.name())
+                    }
+                })
+            })
+            .collect();
+        let reports = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        // Release the watchdog (if the timeout never fired).
+        deadline_cancel.cancel();
+        reports
+    });
+
+    // ---- Collect ---------------------------------------------------------
+    let (best_slot, floor) = incumbent.snapshot();
+    let (best, winner) = match best_slot {
+        Some((encoding, strategy)) => (Some(encoding), Some(strategy)),
+        None => (None, None),
+    };
+    let optimal_proved = floor != 0 && best.as_ref().is_some_and(|b| b.weight == floor);
+
+    if let (Some(cache), Some(best)) = (&cache, &best) {
+        let entry = CacheEntry {
+            strings: best.strings.clone(),
+            weight: best.weight,
+            optimal: optimal_proved,
+            strategy: winner.clone().unwrap_or_default(),
+        };
+        // Cache write failure must not fail the compilation.
+        let _ = cache.store_if_better(&fp, &entry);
+    }
+
+    EngineOutcome {
+        best,
+        optimal_proved,
+        from_cache: false,
+        report: EngineReport {
+            fingerprint: fp.to_hex(),
+            total_elapsed: started.elapsed(),
+            cache: cache_status,
+            winner,
+            workers,
+        },
+    }
+}
+
+/// Report for a heavy lane whose race was decided before it got a slot.
+fn skipped_lane(name: String, engine_start: Instant) -> WorkerReport {
+    let now = engine_start.elapsed();
+    WorkerReport {
+        strategy: name,
+        started_at: now,
+        finished_at: now,
+        events: vec![WorkerEvent {
+            at: now,
+            kind: EventKind::Cancelled,
+        }],
+        final_weight: None,
+        proved_floor: None,
+        cancelled: true,
+    }
+}
+
+fn serve_from_cache(fp: Fingerprint, entry: CacheEntry, started: Instant) -> EngineOutcome {
+    EngineOutcome {
+        best: Some(BestEncoding {
+            strings: entry.strings,
+            weight: entry.weight,
+        }),
+        optimal_proved: true,
+        from_cache: true,
+        report: EngineReport {
+            fingerprint: fp.to_hex(),
+            total_elapsed: started.elapsed(),
+            cache: CacheStatus::HitOptimal,
+            winner: Some(format!("cache[{}]", entry.strategy)),
+            workers: Vec::new(),
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_descent_lane(
+    instance: &EncodingInstance,
+    config: &EngineConfig,
+    seed: u64,
+    random_branch: f64,
+    bk_phase_hint: bool,
+    warm_start: Option<Vec<PauliString>>,
+    incumbent: &Incumbent,
+    engine_start: Instant,
+    name: String,
+) -> WorkerReport {
+    let started_at = engine_start.elapsed();
+    let descent_config = DescentConfig {
+        conflict_budget: config.conflict_budget_per_call,
+        persist_on_budget: config.persist_on_budget,
+        total_timeout: config.total_timeout.map(|t| t.saturating_sub(started_at)),
+        cancel: Some(incumbent.cancel.clone()),
+        shared_bound: Some(incumbent.bound.clone()),
+        solver_seed: Some(seed),
+        random_branch,
+        bk_phase_hint,
+        phase_hint: warm_start,
+        ..DescentConfig::default()
+    };
+    let outcome = solve_optimal_instance(instance, &descent_config);
+
+    // Publish results and reconstruct the timeline from the step log.
+    if let Some(best) = outcome.best.clone() {
+        incumbent.publish(best, &name);
+    }
+    if let Some(floor) = outcome.proved_floor {
+        incumbent.prove_floor(floor);
+    }
+    let mut events = Vec::with_capacity(outcome.steps.len());
+    let mut clock = started_at;
+    for step in &outcome.steps {
+        clock += step.elapsed;
+        let kind = match step.result {
+            StepResult::Improved(w) => EventKind::Improved(w),
+            StepResult::Exhausted => EventKind::ProvedFloor(step.bound),
+            StepResult::BudgetExceeded => EventKind::BudgetExhausted,
+            StepResult::Cancelled => EventKind::Cancelled,
+        };
+        events.push(WorkerEvent { at: clock, kind });
+    }
+    WorkerReport {
+        strategy: name,
+        started_at,
+        finished_at: engine_start.elapsed(),
+        events,
+        final_weight: outcome.weight(),
+        proved_floor: outcome.proved_floor,
+        cancelled: outcome.cancelled,
+    }
+}
+
+/// Checks a classical encoding against the problem's enabled constraints;
+/// publishing an encoding from outside the SAT search space would corrupt
+/// the shared bound (an UNSAT certificate at its weight would "prove
+/// optimal" something the constrained search could never reach).
+fn satisfies_problem(problem: &EncodingProblem, strings: &[PhasedString]) -> bool {
+    let report = validate_strings(strings);
+    report.anticommuting
+        && report.algebraically_independent
+        && (!problem.has_vacuum_condition() || report.xy_pair_condition)
+}
+
+fn measure(problem: &EncodingProblem, strings: &[PhasedString]) -> usize {
+    match problem.objective() {
+        Objective::MajoranaWeight => encodings::weight::majorana_weight(strings),
+        Objective::HamiltonianWeight(monomials) => structure_weight(strings, monomials),
+    }
+}
+
+fn plain_strings(strings: &[PhasedString]) -> Vec<PauliString> {
+    strings.iter().map(|p| p.string().clone()).collect()
+}
+
+fn run_baseline_lane(
+    problem: &EncodingProblem,
+    kind: BaselineKind,
+    incumbent: &Incumbent,
+    engine_start: Instant,
+    name: String,
+) -> WorkerReport {
+    let started_at = engine_start.elapsed();
+    let encoding = kind.build(problem.num_modes());
+    let strings = encoding.majoranas();
+    let mut events = Vec::new();
+    let mut final_weight = None;
+    if satisfies_problem(problem, &strings) {
+        let weight = measure(problem, &strings);
+        incumbent.publish(
+            BestEncoding {
+                strings: plain_strings(&strings),
+                weight,
+            },
+            &name,
+        );
+        events.push(WorkerEvent {
+            at: engine_start.elapsed(),
+            kind: EventKind::Improved(weight),
+        });
+        final_weight = Some(weight);
+    }
+    WorkerReport {
+        strategy: name,
+        started_at,
+        finished_at: engine_start.elapsed(),
+        events,
+        final_weight,
+        proved_floor: None,
+        cancelled: false,
+    }
+}
+
+fn run_anneal_lane(
+    problem: &EncodingProblem,
+    base: BaselineKind,
+    mut schedule: AnnealConfig,
+    incumbent: &Incumbent,
+    engine_start: Instant,
+    name: String,
+) -> WorkerReport {
+    // Annealing only optimizes the Hamiltonian-dependent objective;
+    // `compile` routes other objectives to the baseline lane first, this
+    // is just the defensive fallback.
+    let Objective::HamiltonianWeight(monomials) = problem.objective() else {
+        return run_baseline_lane(problem, base, incumbent, engine_start, name);
+    };
+    let started_at = engine_start.elapsed();
+    let encoding = base.build(problem.num_modes());
+    let mut events = Vec::new();
+    let mut final_weight = None;
+    let mut cancelled = false;
+
+    if satisfies_problem(problem, &encoding.majoranas()) {
+        schedule.cancel = Some(incumbent.cancel.clone());
+        let outcome = anneal_pairing(&encoding, monomials, &schedule);
+        cancelled = outcome.cancelled;
+        // Pair swaps preserve the XY-pair structure, so the annealed
+        // encoding satisfies whatever the base satisfied.
+        let annealed = outcome.encoding.majoranas();
+        incumbent.publish(
+            BestEncoding {
+                strings: plain_strings(&annealed),
+                weight: outcome.weight,
+            },
+            &name,
+        );
+        events.push(WorkerEvent {
+            at: engine_start.elapsed(),
+            kind: EventKind::Improved(outcome.weight),
+        });
+        final_weight = Some(outcome.weight);
+    }
+    WorkerReport {
+        strategy: name,
+        started_at,
+        finished_at: engine_start.elapsed(),
+        events,
+        final_weight,
+        proved_floor: None,
+        cancelled,
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-run reporting: what every portfolio worker did, and when.
+
+use crate::json::{obj, Value};
+use std::time::Duration;
+
+/// How the solution cache participated in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No cache directory was configured.
+    Disabled,
+    /// The problem was not in the cache.
+    Miss,
+    /// An optimal entry was found: the run was served without solving.
+    HitOptimal,
+    /// A best-so-far (non-optimal) entry was found and used as the
+    /// portfolio's warm start; the solvers still ran.
+    HitWarmStart,
+}
+
+impl CacheStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Disabled => "disabled",
+            CacheStatus::Miss => "miss",
+            CacheStatus::HitOptimal => "hit-optimal",
+            CacheStatus::HitWarmStart => "hit-warm-start",
+        }
+    }
+}
+
+/// One timestamped event in a worker's life.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerEvent {
+    /// Offset from the engine's start.
+    pub at: Duration,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event kinds a worker can log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Found an encoding of this weight (and published it to the shared
+    /// incumbent).
+    Improved(usize),
+    /// Produced an UNSAT certificate: no encoding below this weight exists.
+    ProvedFloor(usize),
+    /// A per-call solver budget ran out (the worker may continue).
+    BudgetExhausted,
+    /// The worker was cancelled by the shared token.
+    Cancelled,
+}
+
+impl EventKind {
+    fn name(self) -> &'static str {
+        match self {
+            EventKind::Improved(_) => "improved",
+            EventKind::ProvedFloor(_) => "proved-floor",
+            EventKind::BudgetExhausted => "budget-exhausted",
+            EventKind::Cancelled => "cancelled",
+        }
+    }
+
+    fn weight(self) -> Option<usize> {
+        match self {
+            EventKind::Improved(w) | EventKind::ProvedFloor(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// One worker's timeline.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Strategy name (e.g. `sat-descent[seed=2,rb=0.05]`).
+    pub strategy: String,
+    /// Offset of the worker's start from the engine's start.
+    pub started_at: Duration,
+    /// Offset of the worker's exit from the engine's start.
+    pub finished_at: Duration,
+    /// Timestamped events.
+    pub events: Vec<WorkerEvent>,
+    /// The best weight this worker itself achieved.
+    pub final_weight: Option<usize>,
+    /// The strongest UNSAT floor this worker proved.
+    pub proved_floor: Option<usize>,
+    /// True when the worker exited through cancellation.
+    pub cancelled: bool,
+}
+
+/// The full run report.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Hex fingerprint of the compiled problem.
+    pub fingerprint: String,
+    /// Wall-clock time of the whole run.
+    pub total_elapsed: Duration,
+    /// How the cache participated.
+    pub cache: CacheStatus,
+    /// Strategy name that produced the returned encoding.
+    pub winner: Option<String>,
+    /// Per-worker timelines (empty on a cache hit).
+    pub workers: Vec<WorkerReport>,
+}
+
+impl EngineReport {
+    /// Machine-readable form (the benchmark harness writes these into
+    /// `BENCH_engine.json`).
+    pub fn to_json(&self) -> Value {
+        obj([
+            ("fingerprint", Value::Str(self.fingerprint.clone())),
+            (
+                "total_seconds",
+                Value::Num(self.total_elapsed.as_secs_f64()),
+            ),
+            ("cache", Value::Str(self.cache.as_str().to_string())),
+            (
+                "winner",
+                self.winner.clone().map_or(Value::Null, Value::Str),
+            ),
+            (
+                "workers",
+                Value::Arr(self.workers.iter().map(worker_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn worker_json(w: &WorkerReport) -> Value {
+    obj([
+        ("strategy", Value::Str(w.strategy.clone())),
+        ("started_seconds", Value::Num(w.started_at.as_secs_f64())),
+        ("finished_seconds", Value::Num(w.finished_at.as_secs_f64())),
+        (
+            "final_weight",
+            w.final_weight.map_or(Value::Null, |v| Value::Num(v as f64)),
+        ),
+        (
+            "proved_floor",
+            w.proved_floor.map_or(Value::Null, |v| Value::Num(v as f64)),
+        ),
+        ("cancelled", Value::Bool(w.cancelled)),
+        (
+            "events",
+            Value::Arr(
+                w.events
+                    .iter()
+                    .map(|e| {
+                        obj([
+                            ("at_seconds", Value::Num(e.at.as_secs_f64())),
+                            ("kind", Value::Str(e.kind.name().to_string())),
+                            (
+                                "weight",
+                                e.kind
+                                    .weight()
+                                    .map_or(Value::Null, |v| Value::Num(v as f64)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let report = EngineReport {
+            fingerprint: "ab".repeat(32),
+            total_elapsed: Duration::from_millis(1500),
+            cache: CacheStatus::Miss,
+            winner: Some("sat-descent[seed=1]".into()),
+            workers: vec![WorkerReport {
+                strategy: "sat-descent[seed=1]".into(),
+                started_at: Duration::ZERO,
+                finished_at: Duration::from_millis(900),
+                events: vec![
+                    WorkerEvent {
+                        at: Duration::from_millis(100),
+                        kind: EventKind::Improved(8),
+                    },
+                    WorkerEvent {
+                        at: Duration::from_millis(800),
+                        kind: EventKind::ProvedFloor(6),
+                    },
+                ],
+                final_weight: Some(6),
+                proved_floor: Some(6),
+                cancelled: false,
+            }],
+        };
+        let text = report.to_json().to_json();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("cache").unwrap().as_str(), Some("miss"));
+        let workers = parsed.get("workers").unwrap().as_arr().unwrap();
+        assert_eq!(workers.len(), 1);
+        let events = workers[0].get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events[0].get("weight").unwrap().as_usize(), Some(8));
+        assert_eq!(
+            events[1].get("kind").unwrap().as_str(),
+            Some("proved-floor")
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end tests of the portfolio engine: parity with the sequential
+//! descent, incumbent sharing, cancellation, and the persistent cache.
+
+use engine::{compile, BaselineKind, EngineConfig, EngineOutcome, Strategy};
+use fermihedral::descent::{solve_optimal, DescentConfig};
+use fermihedral::{AnnealConfig, EncodingProblem, Objective};
+use fermion::MajoranaMonomial;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn tmp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fermihedral-engine-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn three_descent_lanes() -> Vec<Strategy> {
+    vec![
+        Strategy::SatDescent {
+            seed: 1,
+            random_branch: 0.0,
+            bk_phase_hint: true,
+        },
+        Strategy::SatDescent {
+            seed: 7,
+            random_branch: 0.05,
+            bk_phase_hint: false,
+        },
+        Strategy::SatDescent {
+            seed: 13,
+            random_branch: 0.15,
+            bk_phase_hint: false,
+        },
+    ]
+}
+
+fn assert_valid(outcome: &EngineOutcome, problem: &EncodingProblem) {
+    let best = outcome.best.as_ref().expect("an encoding was found");
+    let phased: Vec<pauli::PhasedString> = best
+        .strings
+        .iter()
+        .cloned()
+        .map(pauli::PhasedString::from)
+        .collect();
+    let report = encodings::validate::validate_strings(&phased);
+    assert!(report.anticommuting);
+    assert!(report.algebraically_independent);
+    if problem.has_vacuum_condition() {
+        assert!(report.xy_pair_condition);
+    }
+}
+
+#[test]
+fn portfolio_matches_sequential_optimum_on_small_modes() {
+    // The acceptance bar: ≥ 3 workers, identical optimal weights to the
+    // sequential solve_optimal on 2–4 modes.
+    for modes in 2..=4usize {
+        let problem = EncodingProblem::full_sat(modes, Objective::MajoranaWeight);
+        let sequential = solve_optimal(&problem, &DescentConfig::default());
+        let config = EngineConfig {
+            strategies: three_descent_lanes(),
+            ..EngineConfig::default()
+        };
+        let parallel = compile(&problem, &config);
+        assert_eq!(
+            parallel.weight(),
+            sequential.weight(),
+            "{modes} modes: portfolio and sequential disagree"
+        );
+        assert!(parallel.optimal_proved, "{modes} modes: no certificate");
+        assert!(!parallel.from_cache);
+        assert_eq!(parallel.report.workers.len(), 3);
+        assert_valid(&parallel, &problem);
+    }
+}
+
+#[test]
+fn default_portfolio_includes_baselines_and_wins() {
+    let problem = EncodingProblem::full_sat(3, Objective::MajoranaWeight);
+    let outcome = compile(&problem, &EngineConfig::default());
+    // N=3 full-SAT optimum from the paper's tables: strictly below BK.
+    let sequential = solve_optimal(&problem, &DescentConfig::default());
+    assert_eq!(outcome.weight(), sequential.weight());
+    assert!(outcome.optimal_proved);
+    assert!(
+        outcome.report.workers.len() >= 5,
+        "default portfolio races SAT lanes and baselines"
+    );
+    assert_valid(&outcome, &problem);
+}
+
+#[test]
+fn hamiltonian_objective_runs_annealing_lane() {
+    let monomials = vec![
+        MajoranaMonomial::from_sorted(vec![0, 1]),
+        MajoranaMonomial::from_sorted(vec![2, 3]),
+        MajoranaMonomial::from_sorted(vec![0, 1, 2, 3]),
+    ];
+    let problem = EncodingProblem::full_sat(2, Objective::HamiltonianWeight(monomials));
+    let sequential = solve_optimal(&problem, &DescentConfig::default());
+    let outcome = compile(&problem, &EngineConfig::default());
+    assert_eq!(outcome.weight(), sequential.weight());
+    assert!(outcome.optimal_proved);
+    assert!(
+        outcome
+            .report
+            .workers
+            .iter()
+            .any(|w| w.strategy.starts_with("anneal[")),
+        "hamiltonian objective must add an annealing lane"
+    );
+}
+
+#[test]
+fn second_run_is_served_from_cache_without_solving() {
+    let dir = tmp_cache("serve");
+    let problem = EncodingProblem::full_sat(3, Objective::MajoranaWeight);
+    let config = EngineConfig {
+        strategies: three_descent_lanes(),
+        cache_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    };
+
+    let first = compile(&problem, &config);
+    assert!(!first.from_cache);
+    assert!(first.optimal_proved);
+
+    let started = Instant::now();
+    let second = compile(&problem, &config);
+    let elapsed = started.elapsed();
+    assert!(second.from_cache, "second run must hit the cache");
+    assert_eq!(second.weight(), first.weight());
+    assert!(second.optimal_proved);
+    assert!(
+        second.report.workers.is_empty(),
+        "no solver ran on the cache hit"
+    );
+    assert!(
+        elapsed < Duration::from_millis(100),
+        "cache hit took {elapsed:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cache_misses_when_the_objective_changes() {
+    let dir = tmp_cache("objective");
+    let config = EngineConfig {
+        strategies: three_descent_lanes(),
+        cache_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    };
+    let maj = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+    let ham = EncodingProblem::full_sat(
+        2,
+        Objective::HamiltonianWeight(vec![MajoranaMonomial::from_sorted(vec![0, 1])]),
+    );
+    assert!(!compile(&maj, &config).from_cache);
+    let ham_run = compile(&ham, &config);
+    assert!(
+        !ham_run.from_cache,
+        "different objective must not reuse the majorana entry"
+    );
+    // Both entries coexist afterwards.
+    assert!(compile(&maj, &config).from_cache);
+    assert!(compile(&ham, &config).from_cache);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cache_survives_process_restart_shape() {
+    // A fresh SolutionCache handle over the same directory (what a process
+    // restart amounts to) still hits.
+    let dir = tmp_cache("restart");
+    let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+    {
+        let config = EngineConfig {
+            strategies: three_descent_lanes(),
+            cache_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        };
+        assert!(!compile(&problem, &config).from_cache);
+    }
+    let fresh_config = EngineConfig {
+        strategies: three_descent_lanes(),
+        cache_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    };
+    assert!(compile(&problem, &fresh_config).from_cache);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn total_timeout_cancels_a_hopeless_run_promptly() {
+    // 7 modes without algebraic independence is far beyond what a few
+    // hundred milliseconds can prove optimal; the engine must stop on its
+    // deadline (through the solver stop flag) and still return the best
+    // incumbent (at worst the BK baseline).
+    let problem = EncodingProblem::new(7, Objective::MajoranaWeight);
+    let config = EngineConfig {
+        strategies: vec![
+            Strategy::SatDescent {
+                seed: 1,
+                random_branch: 0.0,
+                bk_phase_hint: true,
+            },
+            Strategy::SatDescent {
+                seed: 2,
+                random_branch: 0.1,
+                bk_phase_hint: false,
+            },
+            Strategy::Baseline(BaselineKind::BravyiKitaev),
+        ],
+        total_timeout: Some(Duration::from_millis(300)),
+        persist_on_budget: true,
+        conflict_budget_per_call: Some(2_000),
+        ..EngineConfig::default()
+    };
+    let started = Instant::now();
+    let outcome = compile(&problem, &config);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "deadline ignored: {elapsed:?}"
+    );
+    assert!(outcome.best.is_some(), "baseline incumbent must survive");
+    assert!(!outcome.optimal_proved);
+}
+
+#[test]
+fn anneal_lane_respects_cancellation() {
+    // An enormous annealing schedule would run for minutes; the total
+    // timeout must cut it off.
+    let monomials = vec![MajoranaMonomial::from_sorted(vec![0, 3])];
+    let problem = EncodingProblem::new(6, Objective::HamiltonianWeight(monomials));
+    let config = EngineConfig {
+        strategies: vec![Strategy::Anneal {
+            base: BaselineKind::BravyiKitaev,
+            schedule: AnnealConfig {
+                iterations: 50_000_000,
+                ..AnnealConfig::default()
+            },
+        }],
+        total_timeout: Some(Duration::from_millis(200)),
+        ..EngineConfig::default()
+    };
+    let started = Instant::now();
+    let outcome = compile(&problem, &config);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "annealing ignored the deadline"
+    );
+    let worker = &outcome.report.workers[0];
+    assert!(worker.cancelled, "the lane must report its cancellation");
+}
+
+#[test]
+fn report_json_round_trips() {
+    let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+    let outcome = compile(&problem, &EngineConfig::default());
+    let text = outcome.report.to_json().to_json();
+    let parsed = engine::json::parse(&text).unwrap();
+    assert_eq!(
+        parsed.get("fingerprint").unwrap().as_str().unwrap().len(),
+        64
+    );
+    assert_eq!(
+        parsed.get("workers").unwrap().as_arr().unwrap().len(),
+        outcome.report.workers.len()
+    );
+}

@@ -27,7 +27,11 @@ fn apply_op(op: FermionOp, x: u64) -> Option<(f64, u64)> {
         return None; // create on occupied / annihilate on empty
     }
     let below = x & ((1u64 << j) - 1);
-    let sign = if below.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+    let sign = if below.count_ones().is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    };
     Some((sign, x ^ (1 << j)))
 }
 

@@ -117,7 +117,7 @@ impl MajoranaMonomial {
     /// monomial is Hermitian iff this is `+1` (degrees 0, 1 mod 4).
     pub fn adjoint_sign(&self) -> i32 {
         let k = self.indices.len();
-        if (k * k.saturating_sub(1) / 2) % 2 == 0 {
+        if (k * k.saturating_sub(1) / 2).is_multiple_of(2) {
             1
         } else {
             -1

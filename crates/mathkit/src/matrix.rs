@@ -400,8 +400,14 @@ mod tests {
 
     #[test]
     fn adjoint_reverses_products() {
-        let a = CMatrix::from_rows(&[vec![c(1.0, 2.0), c(0.0, 1.0)], vec![c(3.0, 0.0), c(1.0, -1.0)]]);
-        let b = CMatrix::from_rows(&[vec![c(0.5, 0.0), c(2.0, 1.0)], vec![c(0.0, -2.0), c(1.0, 0.0)]]);
+        let a = CMatrix::from_rows(&[
+            vec![c(1.0, 2.0), c(0.0, 1.0)],
+            vec![c(3.0, 0.0), c(1.0, -1.0)],
+        ]);
+        let b = CMatrix::from_rows(&[
+            vec![c(0.5, 0.0), c(2.0, 1.0)],
+            vec![c(0.0, -2.0), c(1.0, 0.0)],
+        ]);
         let lhs = (&a * &b).adjoint();
         let rhs = &b.adjoint() * &a.adjoint();
         assert!(lhs.approx_eq(&rhs, 1e-12));
@@ -409,7 +415,10 @@ mod tests {
 
     #[test]
     fn mul_vec_matches_matrix_product() {
-        let a = CMatrix::from_rows(&[vec![c(1.0, 0.0), c(0.0, 1.0)], vec![c(2.0, 0.0), c(0.0, 0.0)]]);
+        let a = CMatrix::from_rows(&[
+            vec![c(1.0, 0.0), c(0.0, 1.0)],
+            vec![c(2.0, 0.0), c(0.0, 0.0)],
+        ]);
         let v = vec![c(1.0, 1.0), c(2.0, 0.0)];
         let got = a.mul_vec(&v);
         assert!(got[0].approx_eq(c(1.0, 3.0), 1e-12));

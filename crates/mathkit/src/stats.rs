@@ -77,7 +77,11 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some(LineFit {
         slope,
         intercept,

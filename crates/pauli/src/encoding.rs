@@ -90,7 +90,7 @@ impl PauliBits {
 
     /// Wraps raw bits (length must be even and non-zero).
     pub fn from_bits(bits: Vec<bool>) -> Option<Self> {
-        if bits.is_empty() || bits.len() % BITS_PER_OP != 0 {
+        if bits.is_empty() || !bits.len().is_multiple_of(BITS_PER_OP) {
             return None;
         }
         Some(PauliBits { bits })

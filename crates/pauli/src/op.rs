@@ -62,6 +62,7 @@ impl Pauli {
 
     /// Operator product `self · other`, returning the resulting operator and
     /// the phase `i^k` it carries (`XY = iZ`, `YX = -iZ`, …).
+    #[allow(clippy::should_implement_trait)] // returns a phase too, unlike Mul
     pub fn mul(self, other: Pauli) -> (Pauli, Phase) {
         let x1 = self.x_bit() as i64;
         let z1 = self.z_bit() as i64;
@@ -81,8 +82,7 @@ impl Pauli {
     /// operators anticommute.
     #[inline]
     pub fn anticommutes(self, other: Pauli) -> bool {
-        let s = (self.x_bit() & other.z_bit()) ^ (self.z_bit() & other.x_bit());
-        s
+        (self.x_bit() & other.z_bit()) ^ (self.z_bit() & other.x_bit())
     }
 
     /// Pauli weight of the single operator: 1 unless identity.

@@ -73,6 +73,7 @@ impl Phase {
 impl Mul for Phase {
     type Output = Phase;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // phases multiply by adding exponents of i
     fn mul(self, rhs: Phase) -> Phase {
         Phase::from_exponent(self as i64 + rhs as i64)
     }
@@ -118,11 +119,9 @@ mod tests {
                 let expect = Phase::from_exponent(a.exponent() as i64 + b.exponent() as i64);
                 assert_eq!(a * b, expect);
                 // Multiplication agrees with complex arithmetic.
-                assert!(
-                    (a * b)
-                        .to_complex()
-                        .approx_eq(a.to_complex() * b.to_complex(), 1e-15)
-                );
+                assert!((a * b)
+                    .to_complex()
+                    .approx_eq(a.to_complex() * b.to_complex(), 1e-15));
             }
             assert_eq!(a * a.conj(), Phase::PlusOne);
         }

@@ -87,7 +87,11 @@ impl PauliString {
     /// Panics if masks have bits above `n` or `n` is out of range.
     pub fn from_masks(n: usize, x: u128, z: u128) -> Self {
         assert!(n > 0 && n <= MAX_QUBITS, "qubit count {n} out of range");
-        let valid = if n == MAX_QUBITS { !0u128 } else { (1u128 << n) - 1 };
+        let valid = if n == MAX_QUBITS {
+            !0u128
+        } else {
+            (1u128 << n) - 1
+        };
         assert!(x & !valid == 0 && z & !valid == 0, "mask bits above n");
         PauliString { n: n as u32, x, z }
     }
@@ -186,8 +190,7 @@ impl PauliString {
         let x3 = self.x ^ other.x;
         let z3 = self.z ^ other.z;
         // Σ_sites [x1z1 + x2z2 − x3z3 + 2·z1x2]  (see `Pauli::mul`).
-        let k = (self.x & self.z).count_ones() as i64
-            + (other.x & other.z).count_ones() as i64
+        let k = (self.x & self.z).count_ones() as i64 + (other.x & other.z).count_ones() as i64
             - (x3 & z3).count_ones() as i64
             + 2 * (self.z & other.x).count_ones() as i64;
         (
@@ -416,7 +419,7 @@ mod tests {
         assert!(a.qubitwise_commutes(&b));
         let c: PauliString = "ZIZ".parse().unwrap();
         assert!(!a.qubitwise_commutes(&c)); // X vs Z on qubit 2
-        // Qubit-wise commuting implies commuting.
+                                            // Qubit-wise commuting implies commuting.
         assert!(a.commutes(&b));
     }
 

@@ -243,7 +243,9 @@ mod tests {
         s.add_term("XZ".parse().unwrap(), re(1.0));
         s.add_term("XZ".parse().unwrap(), re(0.5));
         assert_eq!(s.len(), 1);
-        assert!(s.coefficient(&"XZ".parse().unwrap()).approx_eq(re(1.5), 1e-15));
+        assert!(s
+            .coefficient(&"XZ".parse().unwrap())
+            .approx_eq(re(1.5), 1e-15));
         s.add_term("XZ".parse().unwrap(), re(-1.5));
         assert!(s.is_empty());
     }

@@ -109,17 +109,12 @@ pub fn group_qubitwise(h: &PauliSum) -> (Vec<MeasurementGroup>, f64) {
     let mut groups: Vec<MeasurementGroup> = Vec::new();
     let mut offset = 0.0;
     for (p, w) in h.iter() {
-        assert!(
-            w.im.abs() < 1e-9,
-            "non-Hermitian coefficient {w} on {p}"
-        );
+        assert!(w.im.abs() < 1e-9, "non-Hermitian coefficient {w} on {p}");
         if p.is_identity() {
             offset += w.re;
             continue;
         }
-        let slot = groups
-            .iter_mut()
-            .find(|g| g.basis.qubitwise_commutes(p));
+        let slot = groups.iter_mut().find(|g| g.basis.qubitwise_commutes(p));
         match slot {
             Some(g) => {
                 // Merge the term into the basis: non-I sites agree already.

@@ -105,7 +105,7 @@ fn inject_1q(state: &mut Statevector, q: usize, rng: &mut impl Rng) {
 /// Injects a uniformly random non-II two-qubit Pauli pair.
 fn inject_2q(state: &mut Statevector, a: usize, b: usize, rng: &mut impl Rng) {
     // 15 of the 16 pairs; 0 = II excluded.
-    let k = rng.gen_range(1..16);
+    let k = rng.gen_range(1usize..16);
     let apply = |state: &mut Statevector, q: usize, code: usize| match code {
         1 => state.apply(&Gate::X(q)),
         2 => state.apply(&Gate::Y(q)),
@@ -147,11 +147,7 @@ pub fn run_noisy(
 }
 
 /// Samples a measured bitstring with readout error applied.
-pub fn sample_with_readout(
-    state: &Statevector,
-    noise: &NoiseModel,
-    rng: &mut impl Rng,
-) -> usize {
+pub fn sample_with_readout(state: &Statevector, noise: &NoiseModel, rng: &mut impl Rng) -> usize {
     let mut outcome = state.sample(rng);
     if noise.readout_flip > 0.0 {
         for q in 0..state.num_qubits() {
@@ -185,7 +181,12 @@ mod tests {
     fn noiseless_trajectory_is_pure_circuit() {
         let c = ghz(3);
         let mut rng = StdRng::seed_from_u64(5);
-        let traj = run_noisy(&c, &Statevector::zero(3), &NoiseModel::noiseless(), &mut rng);
+        let traj = run_noisy(
+            &c,
+            &Statevector::zero(3),
+            &NoiseModel::noiseless(),
+            &mut rng,
+        );
         let mut direct = Statevector::zero(3);
         direct.apply_circuit(&c);
         assert!((traj.fidelity(&direct) - 1.0).abs() < 1e-12);

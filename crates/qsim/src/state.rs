@@ -46,7 +46,10 @@ impl Statevector {
     ///
     /// Panics if `index >= 2^num_qubits` or `num_qubits` is out of range.
     pub fn basis(num_qubits: usize, index: usize) -> Statevector {
-        assert!(num_qubits > 0 && num_qubits <= 30, "qubit count out of range");
+        assert!(
+            num_qubits > 0 && num_qubits <= 30,
+            "qubit count out of range"
+        );
         let dim = 1usize << num_qubits;
         assert!(index < dim, "basis index out of range");
         let mut amps = vec![Complex64::ZERO; dim];
@@ -143,7 +146,7 @@ impl Statevector {
         let dim = self.amps.len();
         let mut out = vec![Complex64::ZERO; dim];
         for (b, &amp) in self.amps.iter().enumerate() {
-            let sign = if ((b & z).count_ones()) % 2 == 0 {
+            let sign = if (b & z).count_ones().is_multiple_of(2) {
                 1.0
             } else {
                 -1.0
@@ -161,7 +164,7 @@ impl Statevector {
         let y_phase = Complex64::i_pow((p.x_mask() & p.z_mask()).count_ones() as i64);
         let mut acc = Complex64::ZERO;
         for (b, &amp) in self.amps.iter().enumerate() {
-            let sign = if ((b & z).count_ones()) % 2 == 0 {
+            let sign = if (b & z).count_ones().is_multiple_of(2) {
                 1.0
             } else {
                 -1.0
@@ -174,9 +177,7 @@ impl Statevector {
 
     /// `⟨ψ|H|ψ⟩` for a Pauli sum.
     pub fn expectation(&self, h: &PauliSum) -> Complex64 {
-        h.iter()
-            .map(|(p, w)| w * self.expectation_pauli(p))
-            .sum()
+        h.iter().map(|(p, w)| w * self.expectation_pauli(p)).sum()
     }
 
     /// Samples a basis state according to `|ψ|²`.
@@ -210,10 +211,8 @@ mod tests {
 
     #[test]
     fn from_amplitudes_normalizes() {
-        let psi = Statevector::from_amplitudes(vec![
-            Complex64::from_re(3.0),
-            Complex64::from_re(4.0),
-        ]);
+        let psi =
+            Statevector::from_amplitudes(vec![Complex64::from_re(3.0), Complex64::from_re(4.0)]);
         assert!((psi.probability(0) - 9.0 / 25.0).abs() < 1e-12);
     }
 
@@ -221,7 +220,10 @@ mod tests {
     fn circuit_application_matches_unitary() {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c.push(Gate::Rz(1, 0.7));
         let u = circuit_unitary(&c);
         for col in 0..4 {
@@ -253,7 +255,10 @@ mod tests {
     fn sampling_respects_distribution() {
         let mut bell = Circuit::new(2);
         bell.push(Gate::H(0));
-        bell.push(Gate::Cnot { control: 0, target: 1 });
+        bell.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let mut psi = Statevector::zero(2);
         psi.apply_circuit(&bell);
         let mut rng = StdRng::seed_from_u64(17);

@@ -1,0 +1,80 @@
+//! Cooperative cancellation shared across solver threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation token.
+///
+/// All clones share one flag. Raising it makes every [`Solver`] holding the
+/// token's flag (via [`Solver::set_stop_flag`]) return
+/// [`SolveResult::Interrupted`] promptly, and makes cooperative loops
+/// (weight descent, annealing, portfolio workers) exit at their next
+/// checkpoint. The flag is level-triggered and never auto-reset.
+///
+/// [`Solver`]: crate::Solver
+/// [`Solver::set_stop_flag`]: crate::Solver::set_stop_flag
+/// [`SolveResult::Interrupted`]: crate::SolveResult::Interrupted
+///
+/// # Example
+///
+/// ```
+/// use sat::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let clone = token.clone();
+/// assert!(!clone.is_cancelled());
+/// token.cancel();
+/// assert!(clone.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once any clone has cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The underlying flag, in the form [`Solver::set_stop_flag`] accepts.
+    ///
+    /// [`Solver::set_stop_flag`]: crate::Solver::set_stop_flag
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        self.flag.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn distinct_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -189,6 +189,7 @@ pub fn add_at_most_seq(cnf: &mut Cnf, inputs: &[Lit], k: usize) {
         .map(|_| (0..k).map(|_| cnf.new_var().positive()).collect())
         .collect();
     cnf.add_implies(inputs[0], s[0][0]);
+    #[allow(clippy::needless_range_loop)] // j indexes two zipped roles
     for j in 1..k {
         cnf.add_clause([!s[0][j]]);
     }
@@ -214,11 +215,7 @@ mod tests {
 
     /// Checks by brute force that (formula restricted to input assignment)
     /// is satisfiable exactly when the predicate holds.
-    fn check_bound<F: Fn(usize) -> bool>(
-        n: usize,
-        bound: impl Fn(&Totalizer) -> Vec<Lit>,
-        ok: F,
-    ) {
+    fn check_bound<F: Fn(usize) -> bool>(n: usize, bound: impl Fn(&Totalizer) -> Vec<Lit>, ok: F) {
         let mut cnf = Cnf::new();
         let vars: Vec<Var> = cnf.new_vars(n);
         let inputs: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
@@ -240,11 +237,7 @@ mod tests {
     fn totalizer_at_most_exact() {
         for n in 1..=6usize {
             for k in 0..=n {
-                check_bound(
-                    n,
-                    |t| t.at_most(k).into_iter().collect(),
-                    |ones| ones <= k,
-                );
+                check_bound(n, |t| t.at_most(k).into_iter().collect(), |ones| ones <= k);
             }
         }
     }
@@ -253,11 +246,7 @@ mod tests {
     fn totalizer_at_least_exact() {
         for n in 1..=5usize {
             for k in 0..=n {
-                check_bound(
-                    n,
-                    |t| t.at_least(k).into_iter().collect(),
-                    |ones| ones >= k,
-                );
+                check_bound(n, |t| t.at_least(k).into_iter().collect(), |ones| ones >= k);
             }
         }
     }
@@ -341,7 +330,7 @@ mod tests {
                     w = count; // descend to "strictly better"
                 }
                 SolveResult::Unsat => break,
-                SolveResult::Unknown => panic!("no budget set"),
+                SolveResult::Unknown | SolveResult::Interrupted => panic!("no budget set"),
             }
         }
         assert_eq!(best, Some(2));

@@ -101,9 +101,7 @@ pub fn parse(r: impl BufRead) -> Result<Cnf, DimacsError> {
             }
             let fields: Vec<&str> = rest.split_whitespace().collect();
             if fields.len() != 3 || fields[0] != "cnf" {
-                return Err(DimacsError::Parse(format!(
-                    "bad problem line: {trimmed:?}"
-                )));
+                return Err(DimacsError::Parse(format!("bad problem line: {trimmed:?}")));
             }
             let nv: usize = fields[1]
                 .parse()
@@ -117,9 +115,7 @@ pub fn parse(r: impl BufRead) -> Result<Cnf, DimacsError> {
             continue;
         }
         let Some(nv) = declared_vars else {
-            return Err(DimacsError::Parse(
-                "clause before problem line".into(),
-            ));
+            return Err(DimacsError::Parse("clause before problem line".into()));
         };
         for tok in trimmed.split_whitespace() {
             let val: i64 = tok

@@ -35,6 +35,7 @@
 //! }
 //! ```
 
+pub mod cancel;
 pub mod card;
 pub mod cnf;
 pub mod dimacs;
@@ -42,6 +43,7 @@ mod heap;
 pub mod solver;
 pub mod types;
 
+pub use cancel::CancelToken;
 pub use card::Totalizer;
 pub use cnf::Cnf;
 pub use solver::{Model, SolveResult, Solver, SolverStats};

@@ -16,6 +16,8 @@
 use crate::cnf::Cnf;
 use crate::heap::ActivityHeap;
 use crate::types::{LBool, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Result of a [`Solver::solve`] call.
@@ -27,6 +29,10 @@ pub enum SolveResult {
     Unsat,
     /// The conflict budget or timeout was exhausted first.
     Unknown,
+    /// The external stop flag ([`Solver::set_stop_flag`]) was raised — a
+    /// cooperating thread (e.g. a portfolio engine whose incumbent became
+    /// optimal) cancelled the search.
+    Interrupted,
 }
 
 impl SolveResult {
@@ -155,6 +161,9 @@ pub struct Solver {
     stats: SolverStats,
     conflict_budget: Option<u64>,
     timeout: Option<Duration>,
+    stop: Option<Arc<AtomicBool>>,
+    rng_state: u64,
+    random_branch: f64,
 }
 
 impl Default for Solver {
@@ -186,6 +195,9 @@ impl Solver {
             stats: SolverStats::default(),
             conflict_budget: None,
             timeout: None,
+            stop: None,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+            random_branch: 0.0,
         }
     }
 
@@ -248,6 +260,64 @@ impl Solver {
         self.timeout = timeout;
     }
 
+    /// Installs a cooperative stop flag. When another thread stores `true`
+    /// (with any ordering), the running [`solve`](Self::solve) call returns
+    /// [`SolveResult::Interrupted`] within a few dozen conflicts/decisions.
+    /// The flag is level-triggered: it is never cleared by the solver, so a
+    /// raised flag also aborts *future* solve calls until the owner resets
+    /// it.
+    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
+    }
+
+    /// Seeds the solver's internal branching randomness. Together with
+    /// [`set_random_branch`](Self::set_random_branch) this diversifies
+    /// otherwise-identical solvers in a portfolio: different seeds explore
+    /// the search space in different orders.
+    pub fn set_random_seed(&mut self, seed: u64) {
+        self.rng_state = scramble_seed(seed);
+    }
+
+    /// Sets the fraction of branching decisions made on a uniformly random
+    /// unassigned variable instead of the activity-heap maximum (MiniSat's
+    /// `random_var_freq`, default 0 = pure EVSIDS).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ freq ≤ 1`.
+    pub fn set_random_branch(&mut self, freq: f64) {
+        assert!((0.0..=1.0).contains(&freq), "freq={freq} not a probability");
+        self.random_branch = freq;
+    }
+
+    /// Randomizes every variable's saved phase from `seed`. Combined with
+    /// [`set_random_branch`](Self::set_random_branch), this gives portfolio
+    /// workers genuinely different initial trajectories.
+    pub fn randomize_phases(&mut self, seed: u64) {
+        let mut state = scramble_seed(seed);
+        for ph in &mut self.saved_phase {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *ph = state & 1 == 1;
+        }
+    }
+
+    #[inline]
+    fn next_random(&mut self) -> u64 {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        self.rng_state
+    }
+
+    #[inline]
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
     /// Seeds the saved phase of a variable: branching decisions will first
     /// try this polarity. Seeding all variables with a known-good
     /// assignment (e.g. Bravyi-Kitaev in the Fermihedral descent) steers
@@ -291,8 +361,8 @@ impl Solver {
                 return; // contains l and ¬l
             }
             match self.value(l) {
-                LBool::True => return,     // satisfied at root
-                LBool::False => continue,  // drop root-false literal
+                LBool::True => return,    // satisfied at root
+                LBool::False => continue, // drop root-false literal
                 LBool::Undef => simplified.push(l),
             }
         }
@@ -329,6 +399,9 @@ impl Solver {
         if self.unsat {
             return SolveResult::Unsat;
         }
+        if self.stop_requested() {
+            return SolveResult::Interrupted;
+        }
         for a in assumptions {
             assert!(
                 a.var().index() < self.num_vars(),
@@ -358,15 +431,16 @@ impl Solver {
                 self.record_learnt(learnt, lbd);
                 self.decay_activities();
 
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 if let Some(end) = budget_end {
                     if self.stats.conflicts >= end {
                         break SolveResult::Unknown;
                     }
                 }
-                if self.stats.conflicts % 256 == 0 {
+                if self.stats.conflicts.is_multiple_of(64) && self.stop_requested() {
+                    break SolveResult::Interrupted;
+                }
+                if self.stats.conflicts.is_multiple_of(256) {
                     if let Some(t) = self.timeout {
                         if start.elapsed() >= t {
                             break SolveResult::Unknown;
@@ -386,6 +460,9 @@ impl Solver {
                     self.reduce_db();
                 }
                 // Re-assert assumptions, then branch.
+                if self.stats.decisions.is_multiple_of(512) && self.stop_requested() {
+                    break SolveResult::Interrupted;
+                }
                 match self.pick_next(assumptions) {
                     PickResult::Decision(l) => {
                         self.stats.decisions += 1;
@@ -437,14 +514,8 @@ impl Solver {
         let cref = self.clauses.len() as u32;
         let w0 = clause.lits[0];
         let w1 = clause.lits[1];
-        self.watches[(!w0).code()].push(Watcher {
-            cref,
-            blocker: w1,
-        });
-        self.watches[(!w1).code()].push(Watcher {
-            cref,
-            blocker: w0,
-        });
+        self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
         self.clauses.push(clause);
         cref
     }
@@ -616,10 +687,7 @@ impl Solver {
         };
 
         // LBD: number of distinct decision levels.
-        let mut levels: Vec<u32> = clause
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = clause.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         let lbd = levels.len() as u32;
@@ -775,12 +843,27 @@ impl Solver {
 
     fn pick_next(&mut self, assumptions: &[Lit]) -> PickResult {
         // Re-assert assumptions in order, one decision level each.
-        while self.decision_level() < assumptions.len() {
+        if self.decision_level() < assumptions.len() {
             let a = assumptions[self.decision_level()];
-            match self.value(a) {
-                LBool::True => return PickResult::DummyLevel,
-                LBool::False => return PickResult::AssumptionConflict,
-                LBool::Undef => return PickResult::Decision(a),
+            return match self.value(a) {
+                LBool::True => PickResult::DummyLevel,
+                LBool::False => PickResult::AssumptionConflict,
+                LBool::Undef => PickResult::Decision(a),
+            };
+        }
+        // Occasional random decision for portfolio diversity (MiniSat's
+        // random_var_freq): pick a uniformly random unassigned variable.
+        if self.random_branch > 0.0 {
+            let draw = (self.next_random() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if draw < self.random_branch && !self.assign.is_empty() {
+                for _ in 0..8 {
+                    let v = (self.next_random() % self.assign.len() as u64) as usize;
+                    if self.assign[v] == LBool::Undef {
+                        return PickResult::Decision(Var::new(v).lit(self.saved_phase[v]));
+                    }
+                }
+                // All eight draws hit assigned variables; fall through to
+                // the heap.
             }
         }
         // Heuristic decision.
@@ -790,7 +873,7 @@ impl Solver {
             }
         }
         // Nothing left in the heap: confirm all variables assigned.
-        if self.assign.iter().any(|&a| a == LBool::Undef) {
+        if self.assign.contains(&LBool::Undef) {
             // Repopulate (can happen when vars were added after a solve).
             for v in 0..self.assign.len() {
                 if self.assign[v] == LBool::Undef {
@@ -804,6 +887,22 @@ impl Solver {
             return PickResult::Decision(Var::new(v).lit(self.saved_phase[v]));
         }
         PickResult::AllAssigned
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates adjacent seeds (1,2,3,... are the
+/// common portfolio inputs) and guarantees the non-zero state xorshift
+/// needs. A plain `seed | 1` would alias every even seed onto the next
+/// odd one.
+fn scramble_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    if z == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        z
     }
 }
 
@@ -918,7 +1017,11 @@ mod tests {
     fn pigeonhole_unsat() {
         for n in 2..6usize {
             let cnf = pigeonhole(n + 1, n);
-            assert!(Solver::from_cnf(&cnf).solve().is_unsat(), "PHP({},{n})", n + 1);
+            assert!(
+                Solver::from_cnf(&cnf).solve().is_unsat(),
+                "PHP({},{n})",
+                n + 1
+            );
         }
     }
 
@@ -941,9 +1044,7 @@ mod tests {
         assert!(r1.model().unwrap().lit_value(lit(-2)));
         let r2 = s.solve_with_assumptions(&[lit(2)]);
         assert!(r2.model().unwrap().lit_value(lit(-1)));
-        assert!(s
-            .solve_with_assumptions(&[lit(1), lit(2)])
-            .is_unsat());
+        assert!(s.solve_with_assumptions(&[lit(1), lit(2)]).is_unsat());
         // Solver unaffected afterwards.
         assert!(s.solve().is_sat());
     }
@@ -995,7 +1096,9 @@ mod tests {
                     assert!(brute, "round {round}: solver SAT but brute UNSAT");
                 }
                 SolveResult::Unsat => assert!(!brute, "round {round}: solver UNSAT but brute SAT"),
-                SolveResult::Unknown => panic!("round {round}: unexpected Unknown"),
+                SolveResult::Unknown | SolveResult::Interrupted => {
+                    panic!("round {round}: unexpected Unknown/Interrupted")
+                }
             }
         }
     }
@@ -1007,9 +1110,9 @@ mod tests {
         let mut cnf = Cnf::new();
         let vars = cnf.new_vars(40);
         for _ in 0..70 {
-            let a = vars[rng.gen_range(0..40)].positive();
-            let b = vars[rng.gen_range(0..40)].positive();
-            let c = vars[rng.gen_range(0..40)].positive();
+            let a = vars[rng.gen_range(0usize..40)].positive();
+            let b = vars[rng.gen_range(0usize..40)].positive();
+            let c = vars[rng.gen_range(0usize..40)].positive();
             let g1 = cnf.xor_gate(a, b);
             let g2 = cnf.xor_gate(g1, c);
             cnf.add_clause([g2]);
@@ -1036,6 +1139,114 @@ mod tests {
         assert!(!m.value(b));
     }
 
+    #[test]
+    fn pre_raised_stop_flag_interrupts_immediately() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut s = Solver::from_cnf(&pigeonhole(8, 7));
+        let stop = Arc::new(AtomicBool::new(true));
+        s.set_stop_flag(Some(stop.clone()));
+        assert!(matches!(s.solve(), SolveResult::Interrupted));
+        // Clearing the flag lets the solve proceed to the real answer.
+        stop.store(false, Ordering::Relaxed);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn stop_flag_terminates_long_solve_promptly() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+        // PHP(10,9) takes far longer than the test budget to refute; the
+        // stop flag must cut it short.
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker_stop = stop.clone();
+        let worker = std::thread::spawn(move || {
+            let mut s = Solver::from_cnf(&pigeonhole(10, 9));
+            s.set_stop_flag(Some(worker_stop));
+            let start = Instant::now();
+            let result = s.solve();
+            (result, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        let (result, elapsed) = worker.join().unwrap();
+        assert!(matches!(result, SolveResult::Interrupted), "{result:?}");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "interrupt took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn random_branching_is_sound() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..30 {
+            let nvars = rng.gen_range(5usize..18);
+            let nclauses = rng.gen_range(1..nvars * 4);
+            let mut cnf = Cnf::new();
+            cnf.new_vars(nvars);
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(0..nvars);
+                    c.push(Var::new(v).lit(rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(c);
+            }
+            let brute = (0u64..1 << nvars).any(|mask| {
+                let assignment: Vec<bool> = (0..nvars).map(|i| mask >> i & 1 == 1).collect();
+                cnf.eval(&assignment)
+            });
+            let mut s = Solver::from_cnf(&cnf);
+            s.set_random_seed(round as u64 + 1);
+            s.set_random_branch(0.5);
+            s.randomize_phases(round as u64 + 99);
+            match s.solve() {
+                SolveResult::Sat(m) => {
+                    assert!(cnf.eval(m.values()), "round {round}: bad model");
+                    assert!(brute, "round {round}: solver SAT but brute UNSAT");
+                }
+                SolveResult::Unsat => assert!(!brute, "round {round}: solver UNSAT but brute SAT"),
+                other => panic!("round {round}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diversify_search() {
+        // Two solvers on the same satisfiable formula with different seeds
+        // and heavy random branching should (almost surely) take different
+        // decision trajectories. Statistical, but with 40 variables the
+        // collision probability is negligible.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut cnf = Cnf::new();
+        cnf.new_vars(40);
+        for _ in 0..80 {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                c.push(Var::new(rng.gen_range(0usize..40)).lit(rng.gen_bool(0.5)));
+            }
+            cnf.add_clause(c);
+        }
+        let run = |seed: u64| {
+            let mut s = Solver::from_cnf(&cnf);
+            s.set_random_seed(seed);
+            s.set_random_branch(0.9);
+            s.randomize_phases(seed);
+            let result = s.solve();
+            (
+                result.model().map(|m| m.values().to_vec()),
+                s.stats().decisions,
+            )
+        };
+        // Seeds 2 and 3 specifically: a naive `seed | 1` state fix-up
+        // aliases this adjacent even/odd pair onto one stream.
+        let (m1, d1) = run(2);
+        let (m2, d2) = run(3);
+        assert!(m1 != m2 || d1 != d2, "seeds 2 and 3 were indistinguishable");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
@@ -1060,7 +1271,9 @@ mod tests {
                     prop_assert!(brute);
                 }
                 SolveResult::Unsat => prop_assert!(!brute),
-                SolveResult::Unknown => prop_assert!(false, "unexpected Unknown"),
+                SolveResult::Unknown | SolveResult::Interrupted => {
+                    prop_assert!(false, "unexpected Unknown/Interrupted")
+                }
             }
         }
     }

@@ -35,7 +35,11 @@ fn main() {
         ],
     ));
     assert!(h.is_hermitian());
-    println!("custom Hamiltonian: {} terms on {} modes", h.terms().len(), h.num_modes());
+    println!(
+        "custom Hamiltonian: {} terms on {} modes",
+        h.terms().len(),
+        h.num_modes()
+    );
 
     // Exact reference spectrum in Fock space (encoding-independent).
     let reference = eigh(&hamiltonian_matrix(&h)).values;
@@ -55,7 +59,10 @@ fn main() {
     // Both the custom encoding and stock JW must reproduce the spectrum.
     for (name, mapped) in [
         ("custom", map_hamiltonian(&custom, &h)),
-        ("jordan-wigner", map_hamiltonian(&LinearEncoding::jordan_wigner(3), &h)),
+        (
+            "jordan-wigner",
+            map_hamiltonian(&LinearEncoding::jordan_wigner(3), &h),
+        ),
     ] {
         let eigs = eigh(&mapped.to_matrix()).values;
         let max_dev = reference

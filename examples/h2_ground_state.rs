@@ -10,14 +10,14 @@
 //! cargo run --release --example h2_ground_state
 //! ```
 
+use fermihedral_repro::circuit::optimize::optimize;
+use fermihedral_repro::circuit::{evolution, trotter_circuit};
 use fermihedral_repro::encodings::map::map_hamiltonian;
 use fermihedral_repro::encodings::{Encoding, LinearEncoding};
 use fermihedral_repro::fermihedral::descent::{solve_optimal, DescentConfig};
 use fermihedral_repro::fermihedral::{EncodingProblem, Objective};
 use fermihedral_repro::fermion::models::MolecularIntegrals;
 use fermihedral_repro::fermion::MajoranaSum;
-use fermihedral_repro::circuit::optimize::optimize;
-use fermihedral_repro::circuit::{evolution, trotter_circuit};
 use fermihedral_repro::qsim::{eigenstate, estimate_energy, spectrum, NoiseModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,8 +26,14 @@ use std::time::Duration;
 fn main() {
     let ints = MolecularIntegrals::h2_sto3g();
     let h = ints.to_hamiltonian(Default::default());
-    println!("=== H2 / STO-3G at 0.7414 Å ({} spin orbitals) ===", h.num_modes());
-    println!("nuclear repulsion: {:.6} Ha (constant, excluded below)\n", ints.nuclear_repulsion());
+    println!(
+        "=== H2 / STO-3G at 0.7414 Å ({} spin orbitals) ===",
+        h.num_modes()
+    );
+    println!(
+        "nuclear repulsion: {:.6} Ha (constant, excluded below)\n",
+        ints.nuclear_repulsion()
+    );
 
     // SAT-optimal encoding for THIS Hamiltonian (Hamiltonian-dependent).
     let monomials: Vec<_> = MajoranaSum::from_fermion(&h)
@@ -49,7 +55,10 @@ fn main() {
         .to_encoding("full-sat");
 
     let mut rng = StdRng::seed_from_u64(42);
-    println!("{:>10} {:>12} {:>8} {:>8} {:>12} {:>12}", "encoding", "E0 (Ha)", "gates", "depth", "noisy E", "σ");
+    println!(
+        "{:>10} {:>12} {:>8} {:>8} {:>12} {:>12}",
+        "encoding", "E0 (Ha)", "gates", "depth", "noisy E", "σ"
+    );
     for (name, strings) in [
         ("JW", LinearEncoding::jordan_wigner(4).majoranas()),
         ("BK", LinearEncoding::bravyi_kitaev(4).majoranas()),

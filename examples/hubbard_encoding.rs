@@ -9,6 +9,8 @@
 //! cargo run --release --example hubbard_encoding
 //! ```
 
+use fermihedral_repro::circuit::optimize::optimize;
+use fermihedral_repro::circuit::trotter_circuit;
 use fermihedral_repro::encodings::map::map_hamiltonian;
 use fermihedral_repro::encodings::weight::structure_weight;
 use fermihedral_repro::encodings::{Encoding, LinearEncoding, MajoranaEncoding};
@@ -17,8 +19,6 @@ use fermihedral_repro::fermihedral::descent::{solve_optimal, DescentConfig};
 use fermihedral_repro::fermihedral::{EncodingProblem, Objective};
 use fermihedral_repro::fermion::models::{FermiHubbard, Lattice};
 use fermihedral_repro::fermion::MajoranaSum;
-use fermihedral_repro::circuit::optimize::optimize;
-use fermihedral_repro::circuit::trotter_circuit;
 use std::time::Duration;
 
 fn main() {

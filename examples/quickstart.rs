@@ -18,8 +18,14 @@ fn main() {
 
     // 1. The classical baselines.
     for (name, strings) in [
-        ("Jordan-Wigner", LinearEncoding::jordan_wigner(n).majoranas()),
-        ("Bravyi-Kitaev", LinearEncoding::bravyi_kitaev(n).majoranas()),
+        (
+            "Jordan-Wigner",
+            LinearEncoding::jordan_wigner(n).majoranas(),
+        ),
+        (
+            "Bravyi-Kitaev",
+            LinearEncoding::bravyi_kitaev(n).majoranas(),
+        ),
         ("ternary tree", TernaryTreeEncoding::new(n).majoranas()),
     ] {
         println!(
@@ -49,7 +55,11 @@ fn main() {
     );
     println!(
         "               optimality {} by UNSAT certificate after {} solver calls",
-        if outcome.optimal_proved { "PROVED" } else { "not proved" },
+        if outcome.optimal_proved {
+            "PROVED"
+        } else {
+            "not proved"
+        },
         outcome.steps.len()
     );
 

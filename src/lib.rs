@@ -13,12 +13,15 @@
 //! * [`encodings`] — Jordan-Wigner / parity / Bravyi-Kitaev / ternary-tree
 //!   baselines, Hamiltonian mapping, and validation.
 //! * [`fermihedral`] — the paper's contribution: SAT-optimal encodings.
+//! * [`engine`] — the parallel portfolio compilation engine with incumbent
+//!   sharing and a persistent solution cache.
 //! * [`circuit`] — Pauli-evolution circuit synthesis and optimization.
 //! * [`qsim`] — noisy state-vector simulation and energy measurement.
 //! * [`mathkit`] — the numeric kernel underneath all of the above.
 
 pub use circuit;
 pub use encodings;
+pub use engine;
 pub use fermihedral;
 pub use fermion;
 pub use mathkit;

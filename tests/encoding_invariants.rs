@@ -66,7 +66,10 @@ fn optimal_weight_monotone_and_below_baselines() {
         let jw = majorana_weight(&LinearEncoding::jordan_wigner(n).majoranas());
         let bk = majorana_weight(&LinearEncoding::bravyi_kitaev(n).majoranas());
         let tt = majorana_weight(&TernaryTreeEncoding::new(n).majoranas());
-        assert!(w <= jw.min(bk).min(tt), "n={n}: optimal {w} vs {jw}/{bk}/{tt}");
+        assert!(
+            w <= jw.min(bk).min(tt),
+            "n={n}: optimal {w} vs {jw}/{bk}/{tt}"
+        );
         assert!(w >= last, "weight should not decrease with size");
         last = w;
     }

@@ -48,12 +48,14 @@ fn hubbard_annealing_beats_identity_pairing_for_jw() {
     let h = chain(4).hamiltonian();
     let sum = MajoranaSum::from_fermion(&h);
     let monomials: Vec<_> = sum.weight_structure().into_iter().cloned().collect();
-    let jw =
-        MajoranaEncoding::new("jw", LinearEncoding::jordan_wigner(8).majoranas()).unwrap();
+    let jw = MajoranaEncoding::new("jw", LinearEncoding::jordan_wigner(8).majoranas()).unwrap();
     let out = anneal_pairing(&jw, &monomials, &AnnealConfig::default());
     assert!(out.weight <= out.initial_weight);
     // Cross-check the reported weight.
-    assert_eq!(out.weight, hamiltonian_weight(&out.encoding.majoranas(), &sum));
+    assert_eq!(
+        out.weight,
+        hamiltonian_weight(&out.encoding.majoranas(), &sum)
+    );
 }
 
 #[test]
@@ -107,8 +109,7 @@ fn syk_structure_weight_invariant_under_pairing_permutation() {
     // diversity, not just pairing, on SYK (see pipeline docs).
     let model = SykModel::new(4, 1.0);
     let monomials = model.monomials();
-    let enc =
-        MajoranaEncoding::new("bk", LinearEncoding::bravyi_kitaev(4).majoranas()).unwrap();
+    let enc = MajoranaEncoding::new("bk", LinearEncoding::bravyi_kitaev(4).majoranas()).unwrap();
     let base = structure_weight(&enc.majoranas(), &monomials);
     for perm in [[1usize, 0, 2, 3], [3, 2, 1, 0], [1, 2, 3, 0]] {
         let permuted = enc.permuted_pairs(&perm);

@@ -157,10 +157,7 @@ fn noise_monotonically_degrades_h2_energy() {
         drifts.push((est.energy - H2_FCI).abs());
     }
     // Strong noise must drift more than weak noise (the Figure 8 trend).
-    assert!(
-        drifts[2] > drifts[0],
-        "drifts not increasing: {drifts:?}"
-    );
+    assert!(drifts[2] > drifts[0], "drifts not increasing: {drifts:?}");
 }
 
 #[test]
@@ -177,9 +174,6 @@ fn vacuum_state_is_zero_electron_sector() {
     ] {
         let vac = Statevector::zero(4);
         let e = vac.expectation(&enc_mapped);
-        assert!(
-            e.abs() < 1e-9,
-            "vacuum energy should vanish, got {e}"
-        );
+        assert!(e.abs() < 1e-9, "vacuum energy should vanish, got {e}");
     }
 }

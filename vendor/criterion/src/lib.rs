@@ -1,0 +1,145 @@
+//! Offline drop-in subset of the [`criterion`] benchmark harness.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice of the `criterion 0.5` API its benches use: [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Methodology is simplified but honest: each benchmark is warmed up, then
+//! timed over enough iterations to fill a measurement window, and the mean,
+//! minimum, and iteration count are printed. There are no HTML reports,
+//! statistical regressions, or outlier analysis.
+//!
+//! Set `CRITERION_MEASURE_MS` to change the per-benchmark measurement
+//! window (default 300 ms; CI can lower it to smoke-test benches quickly).
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to the closure of
+/// [`bench_function`](Criterion::bench_function).
+pub struct Bencher {
+    measure_window: Duration,
+    /// Filled by [`iter`](Self::iter): (total elapsed, iterations, min per-iter).
+    result: Option<(Duration, u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also gives a duration estimate).
+        let warm_start = Instant::now();
+        black_box(f());
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+
+        let target_iters =
+            (self.measure_window.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..target_iters {
+            let start = Instant::now();
+            black_box(f());
+            let d = start.elapsed();
+            total += d;
+            min = min.min(d);
+        }
+        self.result = Some((total, target_iters, min));
+    }
+}
+
+/// The benchmark runner.
+pub struct Criterion {
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measure_window: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            measure_window: self.measure_window,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((total, iters, min)) => {
+                let mean = total / iters.max(1) as u32;
+                println!(
+                    "{name:<50} mean {:>12?}  min {:>12?}  ({iters} iters)",
+                    mean, min
+                );
+            }
+            None => println!("{name:<50} (no iter() call)"),
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, fn1, fn2, …)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(group1, group2, …)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("test/quick", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn runs_a_benchmark() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        quick(&mut c);
+    }
+
+    criterion_group!(group_under_test, quick);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        group_under_test();
+    }
+}

@@ -1,0 +1,24 @@
+//! `any::<T>()` for primitives (`proptest::arbitrary`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+use rand::{Rng, Standard};
+
+/// Strategy returned by [`any`], sampling the type's whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// A strategy over all values of `T` (floats: uniform in `[0,1)`, unlike
+/// real proptest — the workspace only calls this for `bool`).
+pub fn any<T: Standard>() -> Any<T> {
+    Any(PhantomData)
+}

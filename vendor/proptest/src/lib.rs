@@ -1,0 +1,149 @@
+//! Offline drop-in subset of the [`proptest`] crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice of the `proptest 1.x` surface its tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`strategy::Strategy`] with `prop_map`, numeric-range and tuple
+//!   strategies, [`strategy::Just`],
+//! * [`collection::vec`] with exact or ranged sizes,
+//! * [`arbitrary::any`] for primitives.
+//!
+//! **No shrinking**: a failing case panics with the generated inputs via the
+//! assertion message (every strategy value in this workspace is `Debug`-able
+//! and small). Generation is deterministic — each test function runs the
+//! same case sequence every time, so failures reproduce without persistence
+//! files.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```no_run
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        #[test]
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(x in 1usize..10, (a, b) in (0u8..4, -1.0..1.0f64)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u8..4, 3..7), w in crate::collection::vec(any::<bool>(), 5)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert_eq!(w.len(), 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let s = (0u8..4).prop_map(|v| v as usize * 10);
+        let mut rng = TestRng::deterministic("prop_map_transforms");
+        for _ in 0..50 {
+            let v = s.new_value(&mut rng);
+            assert!(v % 10 == 0 && v < 40);
+        }
+    }
+
+    #[test]
+    fn just_returns_value() {
+        let mut rng = TestRng::deterministic("just");
+        assert_eq!(Just(17).new_value(&mut rng), 17);
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let s = 0u64..1_000_000;
+        assert_eq!(s.clone().new_value(&mut a), s.new_value(&mut b));
+    }
+}
