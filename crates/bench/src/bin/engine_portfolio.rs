@@ -5,20 +5,29 @@
 //!
 //! * each single strategy by itself (three diversified SAT-descent lanes
 //!   and the classical baselines),
-//! * the full portfolio (all lanes racing one incumbent),
+//! * the full portfolio with clause sharing *disabled* (the incumbent-only
+//!   baseline),
+//! * the full portfolio with clause sharing *enabled* (the default),
 //! * the portfolio again on a warm cache (the repeated-traffic case).
 //!
 //! and writes a JSON trajectory file (default `BENCH_engine.json`) with
-//! wall time, achieved weight, and optimality status per (modes, strategy)
-//! cell, so perf changes across commits are diffable.
+//! wall time, achieved weight, optimality status, total conflicts, and
+//! clause-exchange traffic per (modes, strategy) cell, so perf changes
+//! across commits are diffable. The sharing acceptance bar: the sharing
+//! portfolio must certify optimality in no more total conflicts (summed
+//! across lanes) than the incumbent-only portfolio, within slack.
 //!
-//! Usage: `engine_portfolio [--max-modes 4] [--timeout 30] [--out BENCH_engine.json] [--csv]`
+//! Usage: `engine_portfolio [--max-modes 4] [--timeout 30] [--out BENCH_engine.json] [--csv] [--check]`
+//!
+//! `--check` exits non-zero when any portfolio run fails to produce the
+//! optimality certificate (the CI smoke gate).
 
 use engine::json::{obj, Value};
-use engine::{compile, BaselineKind, EngineConfig, Strategy};
+use engine::{compile, BaselineKind, ClauseSharing, EngineConfig, Strategy};
 use fermihedral::{EncodingProblem, Objective};
 use fermihedral_bench::args::Args;
 use fermihedral_bench::report::Table;
+use sat::RestartPolicyKind;
 use std::time::Instant;
 
 fn descent_lanes() -> Vec<Strategy> {
@@ -27,16 +36,22 @@ fn descent_lanes() -> Vec<Strategy> {
             seed: 1,
             random_branch: 0.0,
             bk_phase_hint: true,
+            restart: RestartPolicyKind::Luby { unit: 128 },
         },
         Strategy::SatDescent {
             seed: 2,
             random_branch: 0.02,
             bk_phase_hint: false,
+            restart: RestartPolicyKind::Geometric {
+                initial: 100,
+                factor: 1.5,
+            },
         },
         Strategy::SatDescent {
             seed: 3,
             random_branch: 0.1,
             bk_phase_hint: false,
+            restart: RestartPolicyKind::Fixed { interval: 512 },
         },
     ]
 }
@@ -48,6 +63,9 @@ struct Cell {
     weight: Option<usize>,
     optimal: bool,
     from_cache: bool,
+    conflicts: u64,
+    clauses_exported: u64,
+    clauses_imported: u64,
 }
 
 fn run(problem: &EncodingProblem, config: &EngineConfig, label: &str, modes: usize) -> Cell {
@@ -60,11 +78,24 @@ fn run(problem: &EncodingProblem, config: &EngineConfig, label: &str, modes: usi
         weight: outcome.weight(),
         optimal: outcome.optimal_proved,
         from_cache: outcome.from_cache,
+        conflicts: outcome.report.workers.iter().map(|w| w.conflicts).sum(),
+        clauses_exported: outcome
+            .report
+            .workers
+            .iter()
+            .map(|w| w.clauses_exported)
+            .sum(),
+        clauses_imported: outcome
+            .report
+            .workers
+            .iter()
+            .map(|w| w.clauses_imported)
+            .sum(),
     }
 }
 
 fn main() {
-    let args = Args::parse(&["max-modes", "timeout", "out", "csv"]);
+    let args = Args::parse(&["max-modes", "timeout", "out", "csv", "check"]);
     let max_modes = args.get_usize("max-modes", 4).min(8);
     let timeout = args.get_duration_secs("timeout", 30.0);
     let out_path = args
@@ -72,9 +103,20 @@ fn main() {
         .unwrap_or("BENCH_engine.json")
         .to_string();
     let csv = args.get_bool("csv");
+    let check = args.get_bool("check");
 
     println!("# Portfolio engine: single strategies vs the full race, per mode count");
-    let mut table = Table::new(&["N", "strategy", "time (s)", "weight", "optimal", "cache"]);
+    let mut table = Table::new(&[
+        "N",
+        "strategy",
+        "time (s)",
+        "weight",
+        "optimal",
+        "cache",
+        "conflicts",
+        "exp",
+        "imp",
+    ]);
     let mut cells: Vec<Cell> = Vec::new();
 
     let cache_dir =
@@ -106,10 +148,32 @@ fn main() {
             cells.push(run(&problem, &config, &label, modes));
         }
 
-        // The full portfolio (cold cache, then warm).
+        // Both portfolio variants force one slot per SAT lane: on a host
+        // with fewer cores the default concurrency bound would serialize
+        // the lanes (the first one decides the race alone), making the
+        // sharing-vs-incumbent-only comparison measure scheduler luck
+        // instead of clause traffic. Time-sliced racing keeps it honest.
+        let racing_slots = Some(descent_lanes().len());
+
+        // The incumbent-only portfolio (sharing off): the baseline the
+        // acceptance criterion compares total conflicts against.
+        let no_sharing = EngineConfig {
+            strategies: Vec::new(), // default portfolio
+            total_timeout: Some(timeout),
+            max_concurrency: racing_slots,
+            clause_sharing: ClauseSharing {
+                enabled: false,
+                ..ClauseSharing::default()
+            },
+            ..EngineConfig::default()
+        };
+        cells.push(run(&problem, &no_sharing, "portfolio-noshare", modes));
+
+        // The full portfolio with clause sharing (cold cache, then warm).
         let portfolio = EngineConfig {
             strategies: Vec::new(), // default portfolio
             total_timeout: Some(timeout),
+            max_concurrency: racing_slots,
             cache_dir: Some(cache_dir.clone()),
             ..EngineConfig::default()
         };
@@ -125,6 +189,9 @@ fn main() {
             cell.weight.map_or("-".into(), |w| w.to_string()),
             cell.optimal.to_string(),
             if cell.from_cache { "hit" } else { "-" }.to_string(),
+            cell.conflicts.to_string(),
+            cell.clauses_exported.to_string(),
+            cell.clauses_imported.to_string(),
         ]);
     }
     table.print(csv);
@@ -151,6 +218,9 @@ fn main() {
                             ),
                             ("optimal", Value::Bool(c.optimal)),
                             ("from_cache", Value::Bool(c.from_cache)),
+                            ("conflicts", Value::Num(c.conflicts as f64)),
+                            ("clauses_exported", Value::Num(c.clauses_exported as f64)),
+                            ("clauses_imported", Value::Num(c.clauses_imported as f64)),
                         ])
                     })
                     .collect(),
@@ -185,7 +255,43 @@ fn main() {
                 portfolio.seconds, fastest_single
             );
         }
+        // Clause-sharing bar: certifying with sharing must not cost more
+        // total conflicts (summed across lanes) than incumbent-only
+        // racing. Scheduling noise gets a small multiplicative slack.
+        let noshare = cells
+            .iter()
+            .find(|c| c.modes == modes && c.strategy == "portfolio-noshare")
+            .unwrap();
+        if portfolio.optimal && noshare.optimal {
+            let verdict = if portfolio.conflicts as f64 <= noshare.conflicts as f64 * 1.1 + 50.0 {
+                "ok"
+            } else {
+                "MORE-CONFLICTS"
+            };
+            println!(
+                "N={modes}: sharing {} conflicts (exp {}, imp {}) vs incumbent-only {} [{verdict}]",
+                portfolio.conflicts,
+                portfolio.clauses_exported,
+                portfolio.clauses_imported,
+                noshare.conflicts
+            );
+        }
     }
 
     let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // CI gate: every portfolio run (sharing on and off) must have reached
+    // the optimality certificate.
+    if check {
+        let failures: Vec<String> = cells
+            .iter()
+            .filter(|c| c.strategy.starts_with("portfolio") && !c.optimal)
+            .map(|c| format!("N={} {}", c.modes, c.strategy))
+            .collect();
+        if !failures.is_empty() {
+            eprintln!("CHECK FAILED: no optimality certificate for: {failures:?}");
+            std::process::exit(1);
+        }
+        println!("check: all portfolio runs certified optimal");
+    }
 }

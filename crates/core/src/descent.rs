@@ -117,6 +117,18 @@ pub struct DescentConfig {
     /// SAT+annealing solution when descending the Hamiltonian-dependent
     /// objective). Must be `2N` strings on `N` qubits.
     pub phase_hint: Option<Vec<PauliString>>,
+    /// Restart schedule for the lane's solver (`None` = the solver
+    /// default, Luby with unit 128). Portfolio lanes diversify restart
+    /// behavior through this.
+    pub restart_policy: Option<sat::RestartPolicyKind>,
+    /// Membership in a portfolio clause exchange
+    /// ([`sat::SharedContext`]): the lane's solver exports its short
+    /// learnt clauses and imports the peers' at restart boundaries. The
+    /// one solver persists across all descent steps, so clauses learned
+    /// at weight bound `k` seed the `k−1` round; exports are tagged with
+    /// the bound they assumed and importers defer looser-bound clauses
+    /// until their own descent catches up.
+    pub clause_exchange: Option<sat::LaneHandle>,
 }
 
 impl Default for DescentConfig {
@@ -134,6 +146,8 @@ impl Default for DescentConfig {
             persist_on_budget: false,
             solver_seed: None,
             random_branch: 0.0,
+            restart_policy: None,
+            clause_exchange: None,
         }
     }
 }
@@ -197,6 +211,10 @@ pub struct DescentOutcome {
     pub proved_floor: Option<usize>,
     /// True when the descent was stopped by its cancellation token.
     pub cancelled: bool,
+    /// Final statistics of the lane's solver — conflicts/decisions plus
+    /// the clause-exchange traffic (exported/imported/promoted) when the
+    /// descent ran inside a portfolio context.
+    pub solver_stats: sat::SolverStats,
 }
 
 impl DescentOutcome {
@@ -282,6 +300,12 @@ pub fn solve_optimal_instance(
     if config.random_branch > 0.0 {
         solver.set_random_branch(config.random_branch);
     }
+    if let Some(kind) = &config.restart_policy {
+        solver.set_restart_policy(kind.build());
+    }
+    if let Some(handle) = &config.clause_exchange {
+        solver.set_clause_exchange(Some(handle.clone()));
+    }
     if let Some(hint) = &config.phase_hint {
         let phased: Vec<PhasedString> = hint.iter().cloned().map(PhasedString::from).collect();
         apply_phase_hint(&mut solver, instance, &phased);
@@ -340,6 +364,10 @@ pub fn solve_optimal_instance(
             .assume_weight_less_than(bound)
             .into_iter()
             .collect();
+        // Tag this call's clause exports with the bound it assumes (no
+        // assumption literal — a bound beyond the totalizer — exports
+        // unconditionally valid clauses).
+        solver.set_bound_tag((!assumptions.is_empty()).then_some(bound));
         let call_start = Instant::now();
         let result = solver.solve_with_assumptions(&assumptions);
         let elapsed = call_start.elapsed();
@@ -424,6 +452,7 @@ pub fn solve_optimal_instance(
         steps,
         proved_floor,
         cancelled,
+        solver_stats: solver.stats(),
     }
 }
 
@@ -570,6 +599,53 @@ mod tests {
                 .iter()
                 .any(|s| s.result == StepResult::BudgetExceeded),
             "the tiny budget must have been exceeded at least once"
+        );
+    }
+
+    #[test]
+    fn descent_lanes_exchange_clauses_across_bounds() {
+        // Lane 0 runs the whole descent first, exporting everything it
+        // learns (no LBD filter). Lane 1 then repeats the descent in the
+        // same context: it must import lane 0's clauses — promoting the
+        // bound-tagged ones as its own bound catches up — and reach the
+        // identical certified optimum.
+        let ctx = sat::SharedContext::new(
+            2,
+            sat::ExchangeConfig {
+                lbd_threshold: u32::MAX,
+                max_shared_len: usize::MAX,
+                capacity_per_lane: 1 << 14,
+            },
+        );
+        let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+        let lane0 = solve_optimal(
+            &problem,
+            &DescentConfig {
+                clause_exchange: Some(ctx.handle(0)),
+                ..DescentConfig::default()
+            },
+        );
+        assert_eq!(lane0.weight(), Some(6));
+        assert!(lane0.optimal_proved);
+        assert!(
+            lane0.solver_stats.exported_clauses > 0,
+            "the UNSAT certificate at bound 6 must learn exportable clauses"
+        );
+
+        let lane1 = solve_optimal(
+            &problem,
+            &DescentConfig {
+                clause_exchange: Some(ctx.handle(1)),
+                restart_policy: Some(sat::RestartPolicyKind::Fixed { interval: 8 }),
+                ..DescentConfig::default()
+            },
+        );
+        assert_eq!(lane1.weight(), Some(6));
+        assert!(lane1.optimal_proved);
+        assert!(
+            lane1.solver_stats.imported_clauses > 0,
+            "lane 1 must consume lane 0's exports: {:?}",
+            lane1.solver_stats
         );
     }
 

@@ -18,9 +18,36 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::Arc;
+use std::time::SystemTime;
 
 /// Schema version; bump to invalidate all existing entries.
 const CACHE_VERSION: usize = 1;
+
+/// Snapshot of a cache handle's traffic counters (cumulative over the
+/// handle's lifetime; clones share counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found an optimal (final) entry.
+    pub hit_optimal: u64,
+    /// Lookups that found a best-so-far entry usable as a warm start.
+    pub hit_warm_start: u64,
+    /// Lookups that found nothing (or a torn/mismatched entry).
+    pub misses: u64,
+    /// Entries written (including upgrades of existing entries).
+    pub stores: u64,
+    /// Entries deleted by the byte-cap LRU eviction.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct CounterCells {
+    hit_optimal: AtomicU64,
+    hit_warm_start: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
 
 /// A cached solution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +66,8 @@ pub struct CacheEntry {
 #[derive(Debug, Clone)]
 pub struct SolutionCache {
     dir: PathBuf,
+    byte_cap: Option<u64>,
+    counters: Arc<CounterCells>,
 }
 
 impl SolutionCache {
@@ -50,7 +79,21 @@ impl SolutionCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<SolutionCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SolutionCache { dir })
+        Ok(SolutionCache {
+            dir,
+            byte_cap: None,
+            counters: Arc::new(CounterCells::default()),
+        })
+    }
+
+    /// Bounds the cache directory to roughly `max_bytes` of entry files;
+    /// every store then evicts least-recently-written entries (oldest
+    /// file mtime first) until the total fits. The newest entry is never
+    /// evicted, so a cap smaller than one entry degrades to "keep only
+    /// the latest". `None` disables eviction.
+    pub fn with_byte_cap(mut self, max_bytes: Option<u64>) -> SolutionCache {
+        self.byte_cap = max_bytes;
+        self
     }
 
     /// The backing directory.
@@ -58,13 +101,42 @@ impl SolutionCache {
         &self.dir
     }
 
+    /// Traffic counters of this handle (and all of its clones).
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hit_optimal: self.counters.hit_optimal.load(Ordering::Relaxed),
+            hit_warm_start: self.counters.hit_warm_start.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
     fn path_for(&self, fp: &Fingerprint) -> PathBuf {
         self.dir.join(format!("{}.json", fp.to_hex()))
     }
 
     /// Looks up a fingerprint. Missing, torn, or schema-mismatched entries
-    /// are all misses.
+    /// are all misses. Updates the hit/miss counters.
     pub fn lookup(&self, fp: &Fingerprint) -> Option<CacheEntry> {
+        match self.read_entry(fp) {
+            Some(entry) => {
+                if entry.optimal {
+                    self.counters.hit_optimal.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.counters.hit_warm_start.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(entry)
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// `lookup` without touching the counters (internal compare paths).
+    fn read_entry(&self, fp: &Fingerprint) -> Option<CacheEntry> {
         let text = fs::read_to_string(self.path_for(fp)).ok()?;
         let doc = json::parse(&text).ok()?;
         if doc.get("version")?.as_usize()? != CACHE_VERSION {
@@ -127,7 +199,57 @@ impl SolutionCache {
             nonce
         ));
         fs::write(&tmp, doc.to_json())?;
-        fs::rename(&tmp, self.path_for(fp))
+        let dest = self.path_for(fp);
+        fs::rename(&tmp, &dest)?;
+        self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        // Eviction failure must not fail the store.
+        self.enforce_byte_cap(&dest);
+        Ok(())
+    }
+
+    /// Deletes least-recently-written entries until the directory's entry
+    /// files fit the byte cap (no-op without one). The just-written entry
+    /// (`spare`) is never evicted — mtime order alone cannot guarantee
+    /// that on filesystems with coarse timestamp granularity.
+    fn enforce_byte_cap(&self, spare: &Path) {
+        let Some(cap) = self.byte_cap else {
+            return;
+        };
+        let Ok(listing) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut entries: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        let mut total = 0u64;
+        for item in listing.flatten() {
+            let path = item.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue; // locks and temp files are not entries
+            }
+            let Ok(meta) = item.metadata() else {
+                continue;
+            };
+            total += meta.len();
+            if path != spare {
+                entries.push((
+                    meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                    meta.len(),
+                    path,
+                ));
+            }
+        }
+        if total <= cap {
+            return;
+        }
+        entries.sort_by_key(|(mtime, _, _)| *mtime);
+        for (_, size, path) in &entries {
+            if total <= cap {
+                break;
+            }
+            if fs::remove_file(path).is_ok() {
+                total = total.saturating_sub(*size);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Stores only when `entry` improves on the current content: better
@@ -145,7 +267,7 @@ impl SolutionCache {
     /// Propagates filesystem failures from the write path.
     pub fn store_if_better(&self, fp: &Fingerprint, entry: &CacheEntry) -> io::Result<bool> {
         let _lock = LockFile::acquire(self.dir.join(format!(".{}.lock", fp.to_hex())))?;
-        match self.lookup(fp) {
+        match self.read_entry(fp) {
             Some(existing)
                 if existing.weight < entry.weight
                     || (existing.weight == entry.weight && existing.optimal >= entry.optimal) =>
@@ -311,6 +433,78 @@ mod tests {
             })
             .collect();
         assert!(litter.is_empty(), "leftover files: {litter:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_stores() {
+        let dir = tmp_dir("counters");
+        let cache = SolutionCache::open(&dir).unwrap();
+        let fp = fingerprint(&EncodingProblem::new(6, Objective::MajoranaWeight));
+        assert_eq!(cache.counters(), CacheCounters::default());
+
+        assert!(cache.lookup(&fp).is_none());
+        cache.store(&fp, &entry(12, false)).unwrap();
+        assert!(cache.lookup(&fp).is_some());
+        cache.store(&fp, &entry(10, true)).unwrap();
+        assert!(cache.lookup(&fp).is_some());
+
+        let c = cache.counters();
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.hit_warm_start, 1);
+        assert_eq!(c.hit_optimal, 1);
+        assert_eq!(c.stores, 2);
+        assert_eq!(c.evictions, 0);
+        // Clones share the cells.
+        assert_eq!(cache.clone().counters(), c);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_cap_evicts_oldest_entries_first() {
+        let dir = tmp_dir("evict");
+        // One entry serializes to a few hundred bytes; cap to roughly two.
+        let probe = SolutionCache::open(&dir).unwrap();
+        let fingerprints: Vec<_> = (1..=4usize)
+            .map(|n| fingerprint(&EncodingProblem::new(n, Objective::MajoranaWeight)))
+            .collect();
+        probe.store(&fingerprints[0], &entry(9, true)).unwrap();
+        let entry_size = fs::metadata(probe.path_for(&fingerprints[0]))
+            .unwrap()
+            .len();
+        fs::remove_dir_all(&dir).unwrap();
+
+        let cache = SolutionCache::open(&dir)
+            .unwrap()
+            .with_byte_cap(Some(entry_size * 2 + entry_size / 2));
+        for fp in &fingerprints {
+            cache.store(fp, &entry(9, true)).unwrap();
+            // Distinct mtimes (LRU order is by file modification time).
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        // The two oldest entries were evicted, the two newest survive.
+        assert!(cache.read_entry(&fingerprints[0]).is_none());
+        assert!(cache.read_entry(&fingerprints[1]).is_none());
+        assert!(cache.read_entry(&fingerprints[2]).is_some());
+        assert!(cache.read_entry(&fingerprints[3]).is_some());
+        assert_eq!(cache.counters().evictions, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_byte_cap_always_keeps_the_newest_entry() {
+        let dir = tmp_dir("evict-newest");
+        let cache = SolutionCache::open(&dir).unwrap().with_byte_cap(Some(1));
+        let a = fingerprint(&EncodingProblem::new(2, Objective::MajoranaWeight));
+        let b = fingerprint(&EncodingProblem::new(3, Objective::MajoranaWeight));
+        cache.store(&a, &entry(9, true)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store(&b, &entry(9, true)).unwrap();
+        assert!(
+            cache.read_entry(&b).is_some(),
+            "the just-written entry must survive any cap"
+        );
+        assert!(cache.read_entry(&a).is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -6,12 +6,18 @@
 //! service core*:
 //!
 //! * [`compile`] races a **portfolio** of strategies in worker threads —
-//!   diversified SAT weight-descent lanes, simulated-annealing pair
-//!   assignment, and classical baselines — against one shared incumbent
+//!   SAT weight-descent lanes diversified by seed, random branching, and
+//!   restart schedule, simulated-annealing pair assignment, and classical
+//!   baselines — against one shared incumbent
 //!   ([`fermihedral::descent::SharedBound`]). Any lane's improvement
 //!   immediately tightens every other lane's bound; the first UNSAT
 //!   certificate proves the incumbent optimal and cancels the rest
 //!   ([`sat::CancelToken`]), so wall clock tracks the fastest lane.
+//! * Descent lanes additionally exchange **learnt clauses** through a
+//!   [`sat::SharedContext`]: units, binaries, and low-LBD clauses one lane
+//!   paid conflicts for prune the same subtrees in every other lane.
+//!   Toggleable via [`ClauseSharing`]; per-lane import/export/promotion
+//!   counters land in the [`report::EngineReport`].
 //! * [`cache::SolutionCache`] persists solved encodings content-addressed
 //!   by a SHA-256 [`fingerprint`](fingerprint::fingerprint) of the problem
 //!   (modes, constraints, objective, Hamiltonian-term multiset). Repeat
@@ -40,9 +46,9 @@ pub mod json;
 pub mod portfolio;
 pub mod report;
 
-pub use cache::{CacheEntry, SolutionCache};
+pub use cache::{CacheCounters, CacheEntry, SolutionCache};
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use portfolio::{
-    compile, default_portfolio, BaselineKind, EngineConfig, EngineOutcome, Strategy,
+    compile, default_portfolio, BaselineKind, ClauseSharing, EngineConfig, EngineOutcome, Strategy,
 };
 pub use report::{CacheStatus, EngineReport, EventKind, WorkerEvent, WorkerReport};

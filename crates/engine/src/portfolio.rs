@@ -25,7 +25,7 @@
 //! never makes the race slower than a single lane: excess lanes queue,
 //! and a queued lane whose race was decided exits without work.
 
-use crate::cache::{CacheEntry, SolutionCache};
+use crate::cache::{CacheCounters, CacheEntry, SolutionCache};
 use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::report::{CacheStatus, EngineReport, EventKind, WorkerEvent, WorkerReport};
 use encodings::validate::validate_strings;
@@ -36,7 +36,7 @@ use fermihedral::descent::{
 };
 use fermihedral::{anneal_pairing, AnnealConfig, EncodingInstance, EncodingProblem, Objective};
 use pauli::{PauliString, PhasedString};
-use sat::CancelToken;
+use sat::{CancelToken, ExchangeConfig, LaneHandle, RestartPolicyKind, SharedContext};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -84,6 +84,8 @@ pub enum Strategy {
         random_branch: f64,
         /// Seed solver phases with the Bravyi-Kitaev assignment.
         bk_phase_hint: bool,
+        /// The lane's restart schedule (also its clause-import cadence).
+        restart: RestartPolicyKind,
     },
     /// Simulated-annealing pair assignment on a classical base encoding.
     /// Falls back to publishing the base encoding itself under the
@@ -107,9 +109,11 @@ impl Strategy {
                 seed,
                 random_branch,
                 bk_phase_hint,
+                restart,
             } => format!(
-                "sat-descent[seed={seed},rb={random_branch},bk={}]",
-                *bk_phase_hint as u8
+                "sat-descent[seed={seed},rb={random_branch},bk={},rs={}]",
+                *bk_phase_hint as u8,
+                restart.label()
             ),
             Strategy::Anneal { base, .. } => format!("anneal[{}]", base.name()),
             Strategy::Baseline(kind) => format!("baseline[{}]", kind.name()),
@@ -117,26 +121,34 @@ impl Strategy {
     }
 }
 
-/// The portfolio used when the caller does not specify one: three
-/// diversified SAT-descent lanes plus the ternary-tree and Bravyi-Kitaev
-/// baselines, and — for the Hamiltonian-dependent objective — an annealing
-/// lane (the paper's Section 4.2 route).
+/// The portfolio used when the caller does not specify one: three SAT
+/// descent lanes diversified by seed, random-branching fraction, *and*
+/// restart schedule (Luby / geometric / fixed interval), plus the
+/// ternary-tree and Bravyi-Kitaev baselines, and — for the
+/// Hamiltonian-dependent objective — an annealing lane (the paper's
+/// Section 4.2 route).
 pub fn default_portfolio(problem: &EncodingProblem) -> Vec<Strategy> {
     let mut lanes = vec![
         Strategy::SatDescent {
             seed: 1,
             random_branch: 0.0,
             bk_phase_hint: true,
+            restart: RestartPolicyKind::Luby { unit: 128 },
         },
         Strategy::SatDescent {
             seed: 2,
             random_branch: 0.02,
             bk_phase_hint: false,
+            restart: RestartPolicyKind::Geometric {
+                initial: 100,
+                factor: 1.5,
+            },
         },
         Strategy::SatDescent {
             seed: 3,
             random_branch: 0.1,
             bk_phase_hint: false,
+            restart: RestartPolicyKind::Fixed { interval: 512 },
         },
         Strategy::Baseline(BaselineKind::TernaryTree),
         Strategy::Baseline(BaselineKind::BravyiKitaev),
@@ -148,6 +160,30 @@ pub fn default_portfolio(problem: &EncodingProblem) -> Vec<Strategy> {
         });
     }
     lanes
+}
+
+/// Learnt-clause sharing between the portfolio's SAT-descent lanes.
+///
+/// With `enabled` (the default), a [`sat::SharedContext`] connects every
+/// descent lane: each exports its units, binaries, and low-LBD learnt
+/// clauses, and imports the peers' at restart boundaries. Disabled, lanes
+/// share only the incumbent weight — the pre-clause-sharing engine
+/// behavior, byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClauseSharing {
+    /// Master switch.
+    pub enabled: bool,
+    /// Export eligibility and inbox capacity.
+    pub exchange: ExchangeConfig,
+}
+
+impl Default for ClauseSharing {
+    fn default() -> Self {
+        ClauseSharing {
+            enabled: true,
+            exchange: ExchangeConfig::default(),
+        }
+    }
 }
 
 /// Engine configuration.
@@ -164,8 +200,14 @@ pub struct EngineConfig {
     /// Keep descent lanes running through per-call budget exhaustion
     /// (requires `total_timeout` or an eventual UNSAT to terminate).
     pub persist_on_budget: bool,
+    /// Learnt-clause exchange between descent lanes (default: enabled).
+    pub clause_sharing: ClauseSharing,
     /// Directory of the persistent solution cache; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Byte cap for the solution cache directory: every store evicts the
+    /// least-recently-written entries down to this size. `None` = grow
+    /// without bound.
+    pub cache_byte_cap: Option<u64>,
     /// Maximum *heavy* lanes (SAT descent, annealing) running
     /// concurrently; `None` sizes to [`std::thread::available_parallelism`].
     /// Instant lanes (baselines) always run immediately. Excess heavy
@@ -325,7 +367,8 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
     let cache = config
         .cache_dir
         .as_ref()
-        .and_then(|dir| SolutionCache::open(dir).ok());
+        .and_then(|dir| SolutionCache::open(dir).ok())
+        .map(|c| c.with_byte_cap(config.cache_byte_cap));
     let mut cache_status = if cache.is_some() {
         CacheStatus::Miss
     } else {
@@ -335,7 +378,7 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
     if let Some(cache) = &cache {
         if let Some(entry) = cache.lookup(&fp) {
             if entry.optimal {
-                return serve_from_cache(fp, entry, started);
+                return serve_from_cache(fp, entry, started, cache.counters());
             }
             cache_status = CacheStatus::HitWarmStart;
             warm_start = Some(entry);
@@ -355,6 +398,30 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
         Some(problem.build())
     } else {
         None
+    };
+
+    // Clause exchange between the descent lanes (they all solve the same
+    // instance under the same variable numbering). One lane alone has no
+    // peers — skip the context so the off-path stays allocation-free.
+    let descent_lanes = strategies
+        .iter()
+        .filter(|s| matches!(s, Strategy::SatDescent { .. }))
+        .count();
+    let exchange = (config.clause_sharing.enabled && descent_lanes >= 2)
+        .then(|| SharedContext::new(descent_lanes, config.clause_sharing.exchange));
+    let lane_handles: Vec<Option<LaneHandle>> = {
+        let mut next_lane = 0usize;
+        strategies
+            .iter()
+            .map(|s| match s {
+                Strategy::SatDescent { .. } => {
+                    let handle = exchange.as_ref().map(|ctx| ctx.handle(next_lane));
+                    next_lane += 1;
+                    handle
+                }
+                _ => None,
+            })
+            .collect()
     };
 
     let incumbent = Incumbent::new();
@@ -390,16 +457,19 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
 
         let handles: Vec<_> = strategies
             .iter()
-            .map(|strategy| {
+            .zip(&lane_handles)
+            .map(|(strategy, lane_handle)| {
                 let incumbent = &incumbent;
                 let instance = instance.as_ref();
                 let slots = &slots;
                 let warm = warm_start.as_ref().map(|e| e.strings.clone());
+                let lane_handle = lane_handle.clone();
                 scope.spawn(move || match strategy {
                     Strategy::SatDescent {
                         seed,
                         random_branch,
                         bk_phase_hint,
+                        restart,
                     } => {
                         if !slots.acquire(&incumbent.cancel) {
                             return skipped_lane(strategy.name(), started);
@@ -407,9 +477,13 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
                         let report = run_descent_lane(
                             instance.expect("instance built for descent lanes"),
                             config,
-                            *seed,
-                            *random_branch,
-                            *bk_phase_hint,
+                            DescentLaneSpec {
+                                seed: *seed,
+                                random_branch: *random_branch,
+                                bk_phase_hint: *bk_phase_hint,
+                                restart: *restart,
+                                clause_exchange: lane_handle,
+                            },
                             warm,
                             incumbent,
                             started,
@@ -488,6 +562,10 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
             fingerprint: fp.to_hex(),
             total_elapsed: started.elapsed(),
             cache: cache_status,
+            cache_counters: cache
+                .as_ref()
+                .map(SolutionCache::counters)
+                .unwrap_or_default(),
             winner,
             workers,
         },
@@ -508,10 +586,19 @@ fn skipped_lane(name: String, engine_start: Instant) -> WorkerReport {
         final_weight: None,
         proved_floor: None,
         cancelled: true,
+        conflicts: 0,
+        clauses_exported: 0,
+        clauses_imported: 0,
+        clauses_promoted: 0,
     }
 }
 
-fn serve_from_cache(fp: Fingerprint, entry: CacheEntry, started: Instant) -> EngineOutcome {
+fn serve_from_cache(
+    fp: Fingerprint,
+    entry: CacheEntry,
+    started: Instant,
+    cache_counters: CacheCounters,
+) -> EngineOutcome {
     EngineOutcome {
         best: Some(BestEncoding {
             strings: entry.strings,
@@ -523,19 +610,26 @@ fn serve_from_cache(fp: Fingerprint, entry: CacheEntry, started: Instant) -> Eng
             fingerprint: fp.to_hex(),
             total_elapsed: started.elapsed(),
             cache: CacheStatus::HitOptimal,
+            cache_counters,
             winner: Some(format!("cache[{}]", entry.strategy)),
             workers: Vec::new(),
         },
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_descent_lane(
-    instance: &EncodingInstance,
-    config: &EngineConfig,
+/// The diversification knobs of one SAT-descent lane.
+struct DescentLaneSpec {
     seed: u64,
     random_branch: f64,
     bk_phase_hint: bool,
+    restart: RestartPolicyKind,
+    clause_exchange: Option<LaneHandle>,
+}
+
+fn run_descent_lane(
+    instance: &EncodingInstance,
+    config: &EngineConfig,
+    spec: DescentLaneSpec,
     warm_start: Option<Vec<PauliString>>,
     incumbent: &Incumbent,
     engine_start: Instant,
@@ -548,9 +642,11 @@ fn run_descent_lane(
         total_timeout: config.total_timeout.map(|t| t.saturating_sub(started_at)),
         cancel: Some(incumbent.cancel.clone()),
         shared_bound: Some(incumbent.bound.clone()),
-        solver_seed: Some(seed),
-        random_branch,
-        bk_phase_hint,
+        solver_seed: Some(spec.seed),
+        random_branch: spec.random_branch,
+        bk_phase_hint: spec.bk_phase_hint,
+        restart_policy: Some(spec.restart),
+        clause_exchange: spec.clause_exchange,
         phase_hint: warm_start,
         ..DescentConfig::default()
     };
@@ -583,6 +679,10 @@ fn run_descent_lane(
         final_weight: outcome.weight(),
         proved_floor: outcome.proved_floor,
         cancelled: outcome.cancelled,
+        conflicts: outcome.solver_stats.conflicts,
+        clauses_exported: outcome.solver_stats.exported_clauses,
+        clauses_imported: outcome.solver_stats.imported_clauses,
+        clauses_promoted: outcome.solver_stats.promoted_clauses,
     }
 }
 
@@ -643,6 +743,10 @@ fn run_baseline_lane(
         final_weight,
         proved_floor: None,
         cancelled: false,
+        conflicts: 0,
+        clauses_exported: 0,
+        clauses_imported: 0,
+        clauses_promoted: 0,
     }
 }
 
@@ -694,5 +798,9 @@ fn run_anneal_lane(
         final_weight,
         proved_floor: None,
         cancelled,
+        conflicts: 0,
+        clauses_exported: 0,
+        clauses_imported: 0,
+        clauses_promoted: 0,
     }
 }

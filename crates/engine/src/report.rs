@@ -1,5 +1,6 @@
 //! Per-run reporting: what every portfolio worker did, and when.
 
+use crate::cache::CacheCounters;
 use crate::json::{obj, Value};
 use std::time::Duration;
 
@@ -86,6 +87,14 @@ pub struct WorkerReport {
     pub proved_floor: Option<usize>,
     /// True when the worker exited through cancellation.
     pub cancelled: bool,
+    /// Solver conflicts this lane spent (0 for non-SAT lanes).
+    pub conflicts: u64,
+    /// Learnt clauses this lane exported to the exchange.
+    pub clauses_exported: u64,
+    /// Foreign clauses this lane imported from the exchange.
+    pub clauses_imported: u64,
+    /// Imports first deferred by their bound tag, admitted later.
+    pub clauses_promoted: u64,
 }
 
 /// The full run report.
@@ -97,6 +106,9 @@ pub struct EngineReport {
     pub total_elapsed: Duration,
     /// How the cache participated.
     pub cache: CacheStatus,
+    /// Hit/miss/store/eviction counters of the cache handle this run used
+    /// (all zero when caching is disabled).
+    pub cache_counters: CacheCounters,
     /// Strategy name that produced the returned encoding.
     pub winner: Option<String>,
     /// Per-worker timelines (empty on a cache hit).
@@ -114,6 +126,25 @@ impl EngineReport {
                 Value::Num(self.total_elapsed.as_secs_f64()),
             ),
             ("cache", Value::Str(self.cache.as_str().to_string())),
+            (
+                "cache_counters",
+                obj([
+                    (
+                        "hit_optimal",
+                        Value::Num(self.cache_counters.hit_optimal as f64),
+                    ),
+                    (
+                        "hit_warm_start",
+                        Value::Num(self.cache_counters.hit_warm_start as f64),
+                    ),
+                    ("misses", Value::Num(self.cache_counters.misses as f64)),
+                    ("stores", Value::Num(self.cache_counters.stores as f64)),
+                    (
+                        "evictions",
+                        Value::Num(self.cache_counters.evictions as f64),
+                    ),
+                ]),
+            ),
             (
                 "winner",
                 self.winner.clone().map_or(Value::Null, Value::Str),
@@ -140,6 +171,10 @@ fn worker_json(w: &WorkerReport) -> Value {
             w.proved_floor.map_or(Value::Null, |v| Value::Num(v as f64)),
         ),
         ("cancelled", Value::Bool(w.cancelled)),
+        ("conflicts", Value::Num(w.conflicts as f64)),
+        ("clauses_exported", Value::Num(w.clauses_exported as f64)),
+        ("clauses_imported", Value::Num(w.clauses_imported as f64)),
+        ("clauses_promoted", Value::Num(w.clauses_promoted as f64)),
         (
             "events",
             Value::Arr(
@@ -173,6 +208,11 @@ mod tests {
             fingerprint: "ab".repeat(32),
             total_elapsed: Duration::from_millis(1500),
             cache: CacheStatus::Miss,
+            cache_counters: CacheCounters {
+                misses: 1,
+                stores: 1,
+                ..CacheCounters::default()
+            },
             winner: Some("sat-descent[seed=1]".into()),
             workers: vec![WorkerReport {
                 strategy: "sat-descent[seed=1]".into(),
@@ -191,13 +231,29 @@ mod tests {
                 final_weight: Some(6),
                 proved_floor: Some(6),
                 cancelled: false,
+                conflicts: 420,
+                clauses_exported: 17,
+                clauses_imported: 5,
+                clauses_promoted: 2,
             }],
         };
         let text = report.to_json().to_json();
         let parsed = crate::json::parse(&text).unwrap();
         assert_eq!(parsed.get("cache").unwrap().as_str(), Some("miss"));
+        let counters = parsed.get("cache_counters").unwrap();
+        assert_eq!(counters.get("misses").unwrap().as_usize(), Some(1));
+        assert_eq!(counters.get("evictions").unwrap().as_usize(), Some(0));
         let workers = parsed.get("workers").unwrap().as_arr().unwrap();
         assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].get("conflicts").unwrap().as_usize(), Some(420));
+        assert_eq!(
+            workers[0].get("clauses_exported").unwrap().as_usize(),
+            Some(17)
+        );
+        assert_eq!(
+            workers[0].get("clauses_imported").unwrap().as_usize(),
+            Some(5)
+        );
         let events = workers[0].get("events").unwrap().as_arr().unwrap();
         assert_eq!(events[0].get("weight").unwrap().as_usize(), Some(8));
         assert_eq!(

@@ -1,10 +1,11 @@
 //! End-to-end tests of the portfolio engine: parity with the sequential
 //! descent, incumbent sharing, cancellation, and the persistent cache.
 
-use engine::{compile, BaselineKind, EngineConfig, EngineOutcome, Strategy};
+use engine::{compile, BaselineKind, ClauseSharing, EngineConfig, EngineOutcome, Strategy};
 use fermihedral::descent::{solve_optimal, DescentConfig};
 use fermihedral::{AnnealConfig, EncodingProblem, Objective};
 use fermion::MajoranaMonomial;
+use sat::{ExchangeConfig, RestartPolicyKind};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -23,16 +24,22 @@ fn three_descent_lanes() -> Vec<Strategy> {
             seed: 1,
             random_branch: 0.0,
             bk_phase_hint: true,
+            restart: RestartPolicyKind::default(),
         },
         Strategy::SatDescent {
             seed: 7,
             random_branch: 0.05,
             bk_phase_hint: false,
+            restart: RestartPolicyKind::Geometric {
+                initial: 64,
+                factor: 1.3,
+            },
         },
         Strategy::SatDescent {
             seed: 13,
             random_branch: 0.15,
             bk_phase_hint: false,
+            restart: RestartPolicyKind::Fixed { interval: 128 },
         },
     ]
 }
@@ -206,11 +213,13 @@ fn total_timeout_cancels_a_hopeless_run_promptly() {
                 seed: 1,
                 random_branch: 0.0,
                 bk_phase_hint: true,
+                restart: RestartPolicyKind::default(),
             },
             Strategy::SatDescent {
                 seed: 2,
                 random_branch: 0.1,
                 bk_phase_hint: false,
+                restart: RestartPolicyKind::Fixed { interval: 256 },
             },
             Strategy::Baseline(BaselineKind::BravyiKitaev),
         ],
@@ -255,6 +264,97 @@ fn anneal_lane_respects_cancellation() {
     );
     let worker = &outcome.report.workers[0];
     assert!(worker.cancelled, "the lane must report its cancellation");
+}
+
+#[test]
+fn clause_sharing_off_reproduces_incumbent_only_racing() {
+    // The off-path must behave like the pre-clause-sharing engine: same
+    // certified optimum, and zero exchange traffic in every lane.
+    let problem = EncodingProblem::full_sat(3, Objective::MajoranaWeight);
+    let sequential = solve_optimal(&problem, &DescentConfig::default());
+    let config = EngineConfig {
+        strategies: three_descent_lanes(),
+        clause_sharing: ClauseSharing {
+            enabled: false,
+            ..ClauseSharing::default()
+        },
+        ..EngineConfig::default()
+    };
+    let outcome = compile(&problem, &config);
+    assert_eq!(outcome.weight(), sequential.weight());
+    assert!(outcome.optimal_proved);
+    for w in &outcome.report.workers {
+        assert_eq!(
+            (w.clauses_exported, w.clauses_imported, w.clauses_promoted),
+            (0, 0, 0),
+            "lane {} exchanged clauses with sharing disabled",
+            w.strategy
+        );
+    }
+}
+
+#[test]
+fn clause_sharing_on_exchanges_clauses_and_stays_optimal() {
+    // Unfiltered sharing between three racing lanes: the certificate must
+    // match the sequential optimum and real traffic must flow.
+    let problem = EncodingProblem::full_sat(3, Objective::MajoranaWeight);
+    let sequential = solve_optimal(&problem, &DescentConfig::default());
+    let config = EngineConfig {
+        strategies: three_descent_lanes(),
+        clause_sharing: ClauseSharing {
+            enabled: true,
+            exchange: ExchangeConfig {
+                lbd_threshold: u32::MAX,
+                max_shared_len: usize::MAX,
+                capacity_per_lane: 1 << 14,
+            },
+        },
+        ..EngineConfig::default()
+    };
+    let outcome = compile(&problem, &config);
+    assert_eq!(outcome.weight(), sequential.weight());
+    assert!(outcome.optimal_proved);
+    assert_valid(&outcome, &problem);
+    let exported: u64 = outcome
+        .report
+        .workers
+        .iter()
+        .map(|w| w.clauses_exported)
+        .sum();
+    assert!(
+        exported > 0,
+        "three lanes refuting the optimum must export clauses: {:?}",
+        outcome
+            .report
+            .workers
+            .iter()
+            .map(|w| (&w.strategy, w.conflicts, w.clauses_exported))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn default_config_enables_sharing() {
+    assert!(EngineConfig::default().clause_sharing.enabled);
+}
+
+#[test]
+fn cache_counters_surface_in_the_report() {
+    let dir = tmp_cache("report-counters");
+    let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+    let config = EngineConfig {
+        strategies: three_descent_lanes(),
+        cache_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    };
+    let first = compile(&problem, &config);
+    assert_eq!(first.report.cache_counters.misses, 1);
+    assert_eq!(first.report.cache_counters.stores, 1);
+    let second = compile(&problem, &config);
+    assert!(second.from_cache);
+    assert_eq!(second.report.cache_counters.hit_optimal, 1);
+    assert_eq!(second.report.cache_counters.misses, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

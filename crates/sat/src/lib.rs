@@ -40,11 +40,17 @@ pub mod card;
 pub mod cnf;
 pub mod dimacs;
 mod heap;
+pub mod restart;
+pub mod shared;
 pub mod solver;
 pub mod types;
 
 pub use cancel::CancelToken;
 pub use card::Totalizer;
 pub use cnf::Cnf;
+pub use restart::{
+    FixedRestarts, GeometricRestarts, LubyRestarts, RestartPolicy, RestartPolicyKind,
+};
+pub use shared::{ExchangeConfig, LaneHandle, SharedClause, SharedContext};
 pub use solver::{Model, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};

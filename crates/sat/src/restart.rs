@@ -1,0 +1,319 @@
+//! Pluggable restart policies.
+//!
+//! The solver's run loop asks its policy for the next restart interval (a
+//! number of conflicts) and restarts when the interval is exhausted.
+//! Portfolio lanes diversify by schedule: Luby restarts with different
+//! units explore shallowly-but-broadly, geometric schedules commit to
+//! progressively deeper dives, and a fixed interval keeps a lane draining
+//! its clause-exchange inbox at a steady cadence (imports happen at
+//! restart boundaries, so the restart schedule doubles as the lane's
+//! import clock).
+
+use std::fmt;
+
+/// A restart schedule: a stateful generator of conflict intervals.
+///
+/// The solver calls [`reset`](RestartPolicy::reset) at the start of every
+/// `solve` call (so repeated incremental calls see identical schedules)
+/// and [`next_interval`](RestartPolicy::next_interval) once at the start
+/// and once after each restart.
+pub trait RestartPolicy: fmt::Debug + Send {
+    /// Number of conflicts to run before the next restart.
+    fn next_interval(&mut self) -> u64;
+
+    /// Rewinds the schedule to its beginning.
+    fn reset(&mut self);
+
+    /// Clones the policy behind the trait object (the solver itself is
+    /// cloneable).
+    fn clone_box(&self) -> Box<dyn RestartPolicy>;
+}
+
+impl Clone for Box<dyn RestartPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The Luby sequence scaled by a unit: 1,1,2,1,1,2,4,… × `unit`.
+///
+/// This is the classical default (MiniSat's schedule); varying `unit`
+/// across portfolio lanes shifts where each lane spends its conflicts.
+#[derive(Debug, Clone)]
+pub struct LubyRestarts {
+    unit: u64,
+    index: u64,
+}
+
+impl LubyRestarts {
+    /// A Luby schedule with the given unit (conflicts per sequence step).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `unit` is 0.
+    pub fn new(unit: u64) -> LubyRestarts {
+        assert!(unit > 0, "luby unit must be positive");
+        LubyRestarts { unit, index: 0 }
+    }
+}
+
+impl RestartPolicy for LubyRestarts {
+    fn next_interval(&mut self) -> u64 {
+        let interval = luby(self.index) * self.unit;
+        self.index += 1;
+        interval
+    }
+
+    fn reset(&mut self) {
+        self.index = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn RestartPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Geometrically growing intervals: `initial`, `initial·factor`, … —
+/// each restart commits to a longer dive than the last.
+#[derive(Debug, Clone)]
+pub struct GeometricRestarts {
+    initial: u64,
+    factor: f64,
+    current: f64,
+}
+
+impl GeometricRestarts {
+    /// A geometric schedule starting at `initial` conflicts and growing by
+    /// `factor` per restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial` is 0 or `factor < 1`.
+    pub fn new(initial: u64, factor: f64) -> GeometricRestarts {
+        assert!(initial > 0, "initial interval must be positive");
+        assert!(factor >= 1.0, "factor must not shrink the interval");
+        GeometricRestarts {
+            initial,
+            factor,
+            current: initial as f64,
+        }
+    }
+}
+
+impl RestartPolicy for GeometricRestarts {
+    fn next_interval(&mut self) -> u64 {
+        let interval = self.current as u64;
+        self.current = (self.current * self.factor).min(u64::MAX as f64 / 2.0);
+        interval.max(1)
+    }
+
+    fn reset(&mut self) {
+        self.current = self.initial as f64;
+    }
+
+    fn clone_box(&self) -> Box<dyn RestartPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// A constant restart interval — the steadiest import cadence for
+/// clause-sharing lanes.
+#[derive(Debug, Clone)]
+pub struct FixedRestarts {
+    interval: u64,
+}
+
+impl FixedRestarts {
+    /// A fixed schedule restarting every `interval` conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interval` is 0.
+    pub fn new(interval: u64) -> FixedRestarts {
+        assert!(interval > 0, "restart interval must be positive");
+        FixedRestarts { interval }
+    }
+}
+
+impl RestartPolicy for FixedRestarts {
+    fn next_interval(&mut self) -> u64 {
+        self.interval
+    }
+
+    fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn RestartPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Declarative policy choice, for configs that must be `Clone + PartialEq`
+/// (lane descriptions, benchmark tables).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RestartPolicyKind {
+    /// [`LubyRestarts`] with this unit.
+    Luby {
+        /// Conflicts per Luby step.
+        unit: u64,
+    },
+    /// [`GeometricRestarts`].
+    Geometric {
+        /// First interval, in conflicts.
+        initial: u64,
+        /// Per-restart growth factor (≥ 1).
+        factor: f64,
+    },
+    /// [`FixedRestarts`] every `interval` conflicts.
+    Fixed {
+        /// The constant interval, in conflicts.
+        interval: u64,
+    },
+}
+
+/// The solver's historical default schedule (Luby, unit 128).
+pub const DEFAULT_RESTARTS: RestartPolicyKind = RestartPolicyKind::Luby { unit: 128 };
+
+impl Default for RestartPolicyKind {
+    fn default() -> Self {
+        DEFAULT_RESTARTS
+    }
+}
+
+impl RestartPolicyKind {
+    /// Instantiates the schedule.
+    pub fn build(&self) -> Box<dyn RestartPolicy> {
+        match *self {
+            RestartPolicyKind::Luby { unit } => Box::new(LubyRestarts::new(unit)),
+            RestartPolicyKind::Geometric { initial, factor } => {
+                Box::new(GeometricRestarts::new(initial, factor))
+            }
+            RestartPolicyKind::Fixed { interval } => Box::new(FixedRestarts::new(interval)),
+        }
+    }
+
+    /// Short human-readable label (`luby128`, `geo100x1.5`, `fixed512`),
+    /// used in lane names and benchmark tables.
+    pub fn label(&self) -> String {
+        match *self {
+            RestartPolicyKind::Luby { unit } => format!("luby{unit}"),
+            RestartPolicyKind::Geometric { initial, factor } => format!("geo{initial}x{factor}"),
+            RestartPolicyKind::Fixed { interval } => format!("fixed{interval}"),
+        }
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+pub(crate) fn luby(mut x: u64) -> u64 {
+    // Find the finite subsequence containing index x.
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take(policy: &mut dyn RestartPolicy, n: usize) -> Vec<u64> {
+        (0..n).map(|_| policy.next_interval()).collect()
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn luby_policy_scales_by_unit() {
+        let mut p = LubyRestarts::new(64);
+        assert_eq!(take(&mut p, 7), vec![64, 64, 128, 64, 64, 128, 256]);
+        // Reset rewinds the sequence.
+        p.reset();
+        assert_eq!(take(&mut p, 3), vec![64, 64, 128]);
+    }
+
+    #[test]
+    fn default_kind_matches_historical_schedule() {
+        // The pre-refactor solver hard-coded Luby with unit 128; the
+        // default policy must reproduce that schedule exactly.
+        let mut p = RestartPolicyKind::default().build();
+        let expect: Vec<u64> = [1u64, 1, 2, 1, 1, 2, 4].iter().map(|x| x * 128).collect();
+        assert_eq!(take(p.as_mut(), 7), expect);
+    }
+
+    #[test]
+    fn geometric_growth() {
+        let mut p = GeometricRestarts::new(100, 2.0);
+        assert_eq!(take(&mut p, 4), vec![100, 200, 400, 800]);
+        p.reset();
+        assert_eq!(p.next_interval(), 100);
+        // Factor 1 degenerates to a fixed schedule.
+        let mut flat = GeometricRestarts::new(50, 1.0);
+        assert_eq!(take(&mut flat, 3), vec![50, 50, 50]);
+    }
+
+    #[test]
+    fn geometric_does_not_overflow() {
+        let mut p = GeometricRestarts::new(u64::MAX / 4, 1000.0);
+        for _ in 0..100 {
+            assert!(p.next_interval() >= 1);
+        }
+    }
+
+    #[test]
+    fn fixed_interval_is_constant() {
+        let mut p = FixedRestarts::new(512);
+        assert_eq!(take(&mut p, 5), vec![512; 5]);
+        p.reset();
+        assert_eq!(p.next_interval(), 512);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(RestartPolicyKind::Luby { unit: 128 }.label(), "luby128");
+        assert_eq!(
+            RestartPolicyKind::Geometric {
+                initial: 100,
+                factor: 1.5
+            }
+            .label(),
+            "geo100x1.5"
+        );
+        assert_eq!(
+            RestartPolicyKind::Fixed { interval: 512 }.label(),
+            "fixed512"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_luby_unit_panics() {
+        let _ = LubyRestarts::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink")]
+    fn shrinking_geometric_panics() {
+        let _ = GeometricRestarts::new(10, 0.5);
+    }
+
+    #[test]
+    fn boxed_policies_clone() {
+        let mut a: Box<dyn RestartPolicy> = Box::new(GeometricRestarts::new(10, 2.0));
+        let _ = a.next_interval();
+        let mut b = a.clone();
+        // Clones carry the schedule position.
+        assert_eq!(a.next_interval(), b.next_interval());
+    }
+}

@@ -1,0 +1,442 @@
+//! Learnt-clause exchange between cooperating portfolio solvers.
+//!
+//! A [`SharedContext`] connects the diversified CDCL lanes of one portfolio
+//! race over the *same* CNF (identical variable numbering). Each lane
+//! exports its short/low-LBD learnt clauses — and every unit and binary —
+//! into the other lanes' bounded, lock-free inboxes, and drains foreign
+//! clauses at its restart boundaries. A clause one lane paid conflicts to
+//! derive prunes the same dead subtree in every other lane for free; for
+//! the Fermihedral weight descent this is the classic portfolio-SAT win on
+//! the Hamiltonian-dependent instances (PAPER.md §5).
+//!
+//! # Bound tags
+//!
+//! Descent lanes solve under a *weight-bound assumption* (`weight < k`).
+//! Clauses learnt by this solver are derived by resolution over database
+//! clauses only — assumptions enter as decisions, never as resolution
+//! inputs — so every export is implied by the shared formula and is sound
+//! for any importer. Exports still carry the bound their producer was
+//! assuming ([`SharedClause::bound_tag`]) and an importer defers clauses
+//! tagged with a *looser* bound than its own until its descent catches up
+//! (a "promotion"): belt-and-braces against any future learning scheme
+//! whose derivations do absorb assumption literals, and a useful filter —
+//! a clause conditioned on `weight < k` can only propagate once the
+//! importer assumes at most `k` anyway.
+//!
+//! # Lock-freedom and loss tolerance
+//!
+//! Each lane owns a fixed ring of [`AtomicPtr`] slots. Producers claim a
+//! slot index with a relaxed `fetch_add` and `swap` their clause in;
+//! consumers `swap` slots out. Every transfer of a heap clause is a single
+//! atomic pointer swap, so the exchange never blocks a solver thread and
+//! ownership is unambiguous (whoever swaps a non-null pointer out owns
+//! it). A full inbox overwrites the oldest entry — clause sharing is an
+//! optimization, never a correctness dependency, so losing an overwritten
+//! clause only costs the importer the conflicts to re-derive it.
+
+use crate::types::Lit;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Eligibility and capacity knobs for a [`SharedContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeConfig {
+    /// Clauses with LBD (glue) at most this are exported. Units and
+    /// binaries are always exported regardless.
+    pub lbd_threshold: u32,
+    /// Clauses longer than this are never exported, whatever their LBD.
+    pub max_shared_len: usize,
+    /// Ring-buffer slots per lane inbox; a full inbox overwrites oldest.
+    pub capacity_per_lane: usize,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            lbd_threshold: 4,
+            max_shared_len: 32,
+            capacity_per_lane: 512,
+        }
+    }
+}
+
+/// A clause in flight between lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedClause {
+    /// The literals (in the shared variable numbering).
+    pub lits: Vec<Lit>,
+    /// The producer's LBD at learn time (importers file it under this
+    /// glue for database-reduction ranking).
+    pub lbd: u32,
+    /// The weight bound the producer was assuming, if any; see the module
+    /// docs. `None` = unconditional.
+    pub bound_tag: Option<usize>,
+    /// Producer lane index (importers skip nothing by it today; kept for
+    /// diagnostics and future cross-process bridging).
+    pub source: usize,
+}
+
+/// Per-lane traffic counters (snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeCounters {
+    /// Clauses this lane exported (once per clause, not per recipient).
+    pub exported: u64,
+    /// Clauses overwritten unread in this lane's inbox (inbox full).
+    pub overwritten: u64,
+}
+
+struct LaneInbox {
+    slots: Box<[AtomicPtr<SharedClause>]>,
+    tail: AtomicUsize,
+}
+
+impl LaneInbox {
+    fn new(capacity: usize) -> LaneInbox {
+        LaneInbox {
+            slots: (0..capacity.max(1)).map(|_| AtomicPtr::default()).collect(),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes a clause, returning `true` when it displaced an unread one.
+    fn push(&self, clause: SharedClause) -> bool {
+        let idx = self.tail.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let fresh = Box::into_raw(Box::new(clause));
+        let old = self.slots[idx].swap(fresh, Ordering::AcqRel);
+        if old.is_null() {
+            false
+        } else {
+            // SAFETY: a non-null pointer swapped out of a slot is owned
+            // exclusively by this thread (all slot access is by swap).
+            drop(unsafe { Box::from_raw(old) });
+            true
+        }
+    }
+
+    /// Takes every pending clause (order unspecified).
+    fn drain_into(&self, out: &mut Vec<SharedClause>) {
+        for slot in self.slots.iter() {
+            let ptr = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !ptr.is_null() {
+                // SAFETY: as in `push` — the swap transferred ownership.
+                out.push(*unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl Drop for LaneInbox {
+    fn drop(&mut self) {
+        for slot in self.slots.iter_mut() {
+            let ptr = std::mem::replace(slot.get_mut(), std::ptr::null_mut());
+            if !ptr.is_null() {
+                // SAFETY: `&mut self` — no concurrent access remains.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+struct ContextInner {
+    config: ExchangeConfig,
+    lanes: Vec<LaneInbox>,
+    exported: Vec<AtomicU64>,
+    overwritten: Vec<AtomicU64>,
+}
+
+impl std::fmt::Debug for ContextInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedContext")
+            .field("config", &self.config)
+            .field("num_lanes", &self.lanes.len())
+            .finish()
+    }
+}
+
+/// The clause-exchange hub of one portfolio race. Cloneable; all clones
+/// share the same inboxes. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use sat::shared::{ExchangeConfig, SharedContext};
+/// use sat::Var;
+///
+/// let ctx = SharedContext::new(2, ExchangeConfig::default());
+/// let (a, b) = (ctx.handle(0), ctx.handle(1));
+/// // Lane 0 learns a binary clause and exports it; lane 1 receives it.
+/// let clause = [Var::new(0).positive(), Var::new(1).negative()];
+/// assert!(a.export(&clause, 2, None));
+/// let mut got = Vec::new();
+/// b.drain_into(&mut got);
+/// assert_eq!(got.len(), 1);
+/// assert_eq!(got[0].lits, clause);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedContext {
+    inner: Arc<ContextInner>,
+}
+
+impl SharedContext {
+    /// A context for `num_lanes` cooperating solvers.
+    pub fn new(num_lanes: usize, config: ExchangeConfig) -> SharedContext {
+        SharedContext {
+            inner: Arc::new(ContextInner {
+                config,
+                lanes: (0..num_lanes)
+                    .map(|_| LaneInbox::new(config.capacity_per_lane))
+                    .collect(),
+                exported: (0..num_lanes).map(|_| AtomicU64::new(0)).collect(),
+                overwritten: (0..num_lanes).map(|_| AtomicU64::new(0)).collect(),
+            }),
+        }
+    }
+
+    /// Number of participating lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.inner.lanes.len()
+    }
+
+    /// The eligibility/capacity configuration.
+    pub fn config(&self) -> ExchangeConfig {
+        self.inner.config
+    }
+
+    /// The handle lane `lane` plugs into its solver
+    /// ([`Solver::set_clause_exchange`](crate::Solver::set_clause_exchange)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn handle(&self, lane: usize) -> LaneHandle {
+        assert!(lane < self.num_lanes(), "lane {lane} out of range");
+        LaneHandle {
+            inner: self.inner.clone(),
+            lane,
+        }
+    }
+
+    /// Traffic counters of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn counters(&self, lane: usize) -> ExchangeCounters {
+        ExchangeCounters {
+            exported: self.inner.exported[lane].load(Ordering::Relaxed),
+            overwritten: self.inner.overwritten[lane].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One lane's membership in a [`SharedContext`]: exports go to every
+/// *other* lane, drains read this lane's own inbox.
+#[derive(Debug, Clone)]
+pub struct LaneHandle {
+    inner: Arc<ContextInner>,
+    lane: usize,
+}
+
+impl LaneHandle {
+    /// This handle's lane index.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Whether a clause of this size and glue qualifies for export.
+    pub fn eligible(&self, len: usize, lbd: u32) -> bool {
+        let cfg = &self.inner.config;
+        len >= 1 && (len <= 2 || (lbd <= cfg.lbd_threshold && len <= cfg.max_shared_len))
+    }
+
+    /// Exports a learnt clause to every other lane (a copy per recipient).
+    /// Returns `false` — without publishing — when the clause is
+    /// ineligible or there are no peers.
+    pub fn export(&self, lits: &[Lit], lbd: u32, bound_tag: Option<usize>) -> bool {
+        if !self.eligible(lits.len(), lbd) || self.inner.lanes.len() < 2 {
+            return false;
+        }
+        for (peer, inbox) in self.inner.lanes.iter().enumerate() {
+            if peer == self.lane {
+                continue;
+            }
+            let displaced = inbox.push(SharedClause {
+                lits: lits.to_vec(),
+                lbd,
+                bound_tag,
+                source: self.lane,
+            });
+            if displaced {
+                self.inner.overwritten[peer].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inner.exported[self.lane].fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Takes every clause pending in this lane's inbox.
+    pub fn drain_into(&self, out: &mut Vec<SharedClause>) {
+        self.inner.lanes[self.lane].drain_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(ids: &[i64]) -> Vec<Lit> {
+        ids.iter().map(|&i| Lit::from_dimacs(i)).collect()
+    }
+
+    #[test]
+    fn export_reaches_every_peer_but_not_self() {
+        let ctx = SharedContext::new(3, ExchangeConfig::default());
+        let a = ctx.handle(0);
+        assert!(a.export(&lits(&[1, -2]), 2, None));
+        for (lane, expect) in [(0, 0), (1, 1), (2, 1)] {
+            let mut got = Vec::new();
+            ctx.handle(lane).drain_into(&mut got);
+            assert_eq!(got.len(), expect, "lane {lane}");
+            for c in &got {
+                assert_eq!(c.source, 0);
+            }
+        }
+        assert_eq!(ctx.counters(0).exported, 1);
+    }
+
+    #[test]
+    fn eligibility_rules() {
+        let ctx = SharedContext::new(
+            2,
+            ExchangeConfig {
+                lbd_threshold: 3,
+                max_shared_len: 4,
+                capacity_per_lane: 8,
+            },
+        );
+        let h = ctx.handle(0);
+        // Units and binaries always pass, whatever the LBD.
+        assert!(h.eligible(1, 99));
+        assert!(h.eligible(2, 99));
+        // Longer clauses need low LBD and bounded length.
+        assert!(h.eligible(3, 3));
+        assert!(!h.eligible(3, 4));
+        assert!(!h.eligible(5, 1));
+        // Empty clauses are never exchanged.
+        assert!(!h.eligible(0, 0));
+    }
+
+    #[test]
+    fn solo_context_exports_nothing() {
+        let ctx = SharedContext::new(1, ExchangeConfig::default());
+        assert!(!ctx.handle(0).export(&lits(&[1]), 1, None));
+        assert_eq!(ctx.counters(0).exported, 0);
+    }
+
+    #[test]
+    fn full_inbox_overwrites_oldest() {
+        let ctx = SharedContext::new(
+            2,
+            ExchangeConfig {
+                capacity_per_lane: 2,
+                ..ExchangeConfig::default()
+            },
+        );
+        let a = ctx.handle(0);
+        for i in 1..=5i64 {
+            assert!(a.export(&lits(&[i]), 1, None));
+        }
+        let mut got = Vec::new();
+        ctx.handle(1).drain_into(&mut got);
+        assert_eq!(got.len(), 2, "inbox is bounded");
+        // The survivors are the newest two exports.
+        let mut survivors: Vec<i64> = got.iter().map(|c| c.lits[0].to_dimacs()).collect();
+        survivors.sort_unstable();
+        assert_eq!(survivors, vec![4, 5]);
+        assert_eq!(ctx.counters(1).overwritten, 3);
+    }
+
+    #[test]
+    fn bound_tags_travel_with_the_clause() {
+        let ctx = SharedContext::new(2, ExchangeConfig::default());
+        ctx.handle(0).export(&lits(&[1, 2]), 2, Some(17));
+        let mut got = Vec::new();
+        ctx.handle(1).drain_into(&mut got);
+        assert_eq!(got[0].bound_tag, Some(17));
+    }
+
+    #[test]
+    fn drain_is_destructive() {
+        let ctx = SharedContext::new(2, ExchangeConfig::default());
+        ctx.handle(0).export(&lits(&[1, 2]), 2, None);
+        let b = ctx.handle(1);
+        let mut first = Vec::new();
+        b.drain_into(&mut first);
+        assert_eq!(first.len(), 1);
+        let mut second = Vec::new();
+        b.drain_into(&mut second);
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn dropping_the_context_frees_pending_clauses() {
+        // Exercises LaneInbox::drop with unread entries (run under Miri or
+        // a leak checker to be meaningful; here it asserts no panic).
+        let ctx = SharedContext::new(2, ExchangeConfig::default());
+        for i in 1..=10i64 {
+            ctx.handle(0).export(&lits(&[i, -i - 1]), 2, None);
+        }
+        drop(ctx);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumer_agree_on_ownership() {
+        // 4 producer threads flood one consumer lane while it drains;
+        // every drained clause must be intact (lits match its seed).
+        let ctx = SharedContext::new(5, ExchangeConfig::default());
+        let (total_sent, mut received) = std::thread::scope(|scope| {
+            let mut senders = Vec::new();
+            for lane in 1..5usize {
+                let h = ctx.handle(lane);
+                senders.push(scope.spawn(move || {
+                    let mut sent = 0u64;
+                    for round in 0..500i64 {
+                        let a = Var::new((round % 40) as usize).positive();
+                        let b = Var::new(((round + lane as i64) % 40 + 1) as usize).negative();
+                        if h.export(&[a, b], 2, Some(round as usize)) {
+                            sent += 1;
+                        }
+                    }
+                    sent
+                }));
+            }
+            let consumer = ctx.handle(0);
+            let mut received = 0u64;
+            let mut buf = Vec::new();
+            for _ in 0..200 {
+                consumer.drain_into(&mut buf);
+                for c in buf.drain(..) {
+                    assert_eq!(c.lits.len(), 2);
+                    assert!(c.source >= 1 && c.source < 5);
+                    received += 1;
+                }
+                std::thread::yield_now();
+            }
+            let sent = senders.into_iter().map(|s| s.join().unwrap()).sum::<u64>();
+            (sent, received)
+        });
+        // Everything sent is received, still pending, or counted as
+        // overwritten (conservation — nothing vanishes, nothing is forged).
+        let mut leftover = Vec::new();
+        ctx.handle(0).drain_into(&mut leftover);
+        received += leftover.len() as u64;
+        let overwritten = ctx.counters(0).overwritten;
+        assert_eq!(total_sent, 4 * 500);
+        assert_eq!(
+            received + overwritten,
+            total_sent,
+            "received {received} + overwritten {overwritten} != sent {total_sent}"
+        );
+    }
+}

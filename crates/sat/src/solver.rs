@@ -8,13 +8,20 @@
 //! * exponential VSIDS variable activities with an indexed max-heap,
 //! * phase saving,
 //! * Luby-sequence restarts,
-//! * glue-(LBD-)aware learnt-clause database reduction, and
+//! * glue-(LBD-)aware learnt-clause database reduction,
 //! * incremental solving under assumptions, which the Fermihedral descent
 //!   loop (Algorithm 1) uses to tighten the Pauli-weight bound without
-//!   rebuilding the formula.
+//!   rebuilding the formula,
+//! * pluggable restart schedules ([`crate::restart`]) — Luby by default,
+//!   geometric/fixed for portfolio diversity — and
+//! * learnt-clause exchange with portfolio peers ([`crate::shared`]):
+//!   eligible clauses are exported as they are learnt, and foreign
+//!   clauses are imported at solve-call starts and restart boundaries.
 
 use crate::cnf::Cnf;
 use crate::heap::ActivityHeap;
+use crate::restart::{RestartPolicy, DEFAULT_RESTARTS};
+use crate::shared::{LaneHandle, SharedClause};
 use crate::types::{LBool, Lit, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -94,6 +101,14 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Learnt clauses deleted by database reductions.
     pub deleted_clauses: u64,
+    /// Learnt clauses exported to the clause exchange
+    /// ([`Solver::set_clause_exchange`]).
+    pub exported_clauses: u64,
+    /// Foreign clauses imported from the clause exchange.
+    pub imported_clauses: u64,
+    /// Imports that were first deferred by their bound tag and admitted
+    /// once this solver's own bound caught up.
+    pub promoted_clauses: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -113,7 +128,9 @@ struct Watcher {
 const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
-const LUBY_UNIT: u64 = 128;
+/// Imports deferred by their bound tag are parked here; beyond the cap the
+/// oldest are discarded (sharing is best-effort).
+const PENDING_IMPORT_CAP: usize = 4096;
 
 /// The CDCL solver.
 ///
@@ -158,12 +175,22 @@ pub struct Solver {
     seen: Vec<bool>,
     unsat: bool,
 
+    // Incremental clause-population counters (the database filter scans
+    // they replace were O(db) per conflict).
+    n_problem_clauses: usize,
+    n_learnt_clauses: usize,
+
     stats: SolverStats,
     conflict_budget: Option<u64>,
     timeout: Option<Duration>,
     stop: Option<Arc<AtomicBool>>,
     rng_state: u64,
     random_branch: f64,
+
+    restart: Box<dyn RestartPolicy>,
+    shared: Option<LaneHandle>,
+    bound_tag: Option<usize>,
+    pending_imports: Vec<SharedClause>,
 }
 
 impl Default for Solver {
@@ -192,12 +219,18 @@ impl Solver {
             max_learnts: 0.0,
             seen: Vec::new(),
             unsat: false,
+            n_problem_clauses: 0,
+            n_learnt_clauses: 0,
             stats: SolverStats::default(),
             conflict_budget: None,
             timeout: None,
             stop: None,
             rng_state: 0x9E37_79B9_7F4A_7C15,
             random_branch: 0.0,
+            restart: DEFAULT_RESTARTS.build(),
+            shared: None,
+            bound_tag: None,
+            pending_imports: Vec::new(),
         }
     }
 
@@ -240,7 +273,7 @@ impl Solver {
 
     /// Number of problem (non-learnt) clauses currently stored.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt).count()
+        self.n_problem_clauses
     }
 
     /// Cumulative statistics.
@@ -258,6 +291,39 @@ impl Solver {
     /// time; `None` removes the limit. Checked every few hundred conflicts.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) {
         self.timeout = timeout;
+    }
+
+    /// Replaces the restart schedule (default: Luby, unit 128). The
+    /// schedule is rewound at the start of every [`solve`](Self::solve)
+    /// call. Portfolio lanes diversify by handing each solver a different
+    /// [`RestartPolicy`]; restarts are also when foreign clauses are
+    /// imported, so the schedule sets the lane's import cadence.
+    pub fn set_restart_policy(&mut self, policy: Box<dyn RestartPolicy>) {
+        self.restart = policy;
+    }
+
+    /// Plugs this solver into a clause exchange
+    /// ([`SharedContext`](crate::shared::SharedContext)) as the lane the
+    /// handle was created for. While connected, eligible learnt clauses
+    /// are exported as they are learnt, and foreign clauses are imported
+    /// at every solve-call start and restart boundary. `None` disconnects.
+    ///
+    /// All participating solvers must be loaded with the *same formula
+    /// under the same variable numbering*; imported clauses join the
+    /// learnt database (and are subject to its reduction policy).
+    pub fn set_clause_exchange(&mut self, handle: Option<LaneHandle>) {
+        self.shared = handle;
+        self.pending_imports.clear();
+    }
+
+    /// Declares the assumption context for exported clauses: descent
+    /// callers set `Some(bound)` before a call that assumes
+    /// `weight < bound`, and `None` for unconditional calls. Exports carry
+    /// the tag; imports tagged with a *looser* bound than this solver's
+    /// current tag are deferred until the local descent catches up. See
+    /// [`shared`](crate::shared) for the soundness discussion.
+    pub fn set_bound_tag(&mut self, tag: Option<usize>) {
+        self.bound_tag = tag;
     }
 
     /// Installs a cooperative stop flag. When another thread stores `true`
@@ -408,16 +474,22 @@ impl Solver {
                 "assumption references unallocated variable"
             );
         }
+        // Foreign clauses published since the last call join here, before
+        // the initial propagation (imports may include units).
+        self.import_shared_clauses();
         if self.propagate().is_some() {
             self.unsat = true;
+            return SolveResult::Unsat;
+        }
+        if self.unsat {
             return SolveResult::Unsat;
         }
         if self.max_learnts == 0.0 {
             self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
         }
 
-        let mut restart_count = 0u64;
-        let mut conflicts_until_restart = luby(restart_count) * LUBY_UNIT;
+        self.restart.reset();
+        let mut conflicts_until_restart = self.restart.next_interval();
         let result = loop {
             if let Some(confl) = self.propagate() {
                 // Conflict.
@@ -450,10 +522,14 @@ impl Solver {
             } else {
                 // No conflict.
                 if conflicts_until_restart == 0 {
-                    restart_count += 1;
                     self.stats.restarts += 1;
-                    conflicts_until_restart = luby(restart_count) * LUBY_UNIT;
+                    conflicts_until_restart = self.restart.next_interval();
                     self.cancel_until(0);
+                    // Restart boundary: drain the clause-exchange inbox.
+                    self.import_shared_clauses();
+                    if self.unsat {
+                        break SolveResult::Unsat;
+                    }
                     continue;
                 }
                 if self.learnt_count() as f64 > self.max_learnts {
@@ -506,11 +582,16 @@ impl Solver {
     }
 
     fn learnt_count(&self) -> usize {
-        self.clauses.iter().filter(|c| c.learnt).count()
+        self.n_learnt_clauses
     }
 
     fn attach_clause(&mut self, clause: Clause) -> u32 {
         debug_assert!(clause.lits.len() >= 2);
+        if clause.learnt {
+            self.n_learnt_clauses += 1;
+        } else {
+            self.n_problem_clauses += 1;
+        }
         let cref = self.clauses.len() as u32;
         let w0 = clause.lits[0];
         let w1 = clause.lits[1];
@@ -518,6 +599,103 @@ impl Solver {
         self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
         self.clauses.push(clause);
         cref
+    }
+
+    // ----- clause exchange ----------------------------------------------
+
+    /// Drains the exchange inbox (and the locally deferred backlog) into
+    /// the learnt database. Must be called at decision level 0.
+    fn import_shared_clauses(&mut self) {
+        if self.shared.is_none() && self.pending_imports.is_empty() {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        // Deferred clauses first: the bound may have caught up since.
+        let pending = std::mem::take(&mut self.pending_imports);
+        for clause in pending {
+            self.integrate_import(clause, true);
+        }
+        let Some(handle) = self.shared.clone() else {
+            return;
+        };
+        let mut fresh = Vec::new();
+        handle.drain_into(&mut fresh);
+        for clause in fresh {
+            self.integrate_import(clause, false);
+        }
+    }
+
+    /// Files one foreign clause: defers it when its bound tag is looser
+    /// than ours, otherwise simplifies it against the root assignment and
+    /// attaches it as a learnt clause (or enqueues it as a root unit).
+    fn integrate_import(&mut self, clause: SharedClause, was_deferred: bool) {
+        if self.unsat {
+            return;
+        }
+        if !self.bound_admits(clause.bound_tag) {
+            if self.pending_imports.len() >= PENDING_IMPORT_CAP {
+                // Discard the stalest deferred clause (its bound is the
+                // least likely to ever be reached).
+                self.pending_imports.remove(0);
+            }
+            self.pending_imports.push(clause);
+            return;
+        }
+        if let Some(max_var) = clause.lits.iter().map(|l| l.var().index()).max() {
+            self.reserve_vars(max_var + 1);
+        }
+        // Root-level simplification (we are at decision level 0, so every
+        // assigned variable is root-fixed).
+        let mut lits: Vec<Lit> = Vec::with_capacity(clause.lits.len());
+        for &l in &clause.lits {
+            match self.value(l) {
+                LBool::True => return,    // already satisfied forever
+                LBool::False => continue, // root-false literal drops out
+                LBool::Undef => lits.push(l),
+            }
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        for i in 0..lits.len().saturating_sub(1) {
+            if lits[i + 1] == !lits[i] {
+                return; // tautology (defensive; learnt clauses aren't)
+            }
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => self.unchecked_enqueue(lits[0], None),
+            _ => {
+                self.attach_clause(Clause {
+                    lits,
+                    learnt: true,
+                    lbd: clause.lbd,
+                    activity: self.clause_inc,
+                });
+            }
+        }
+        self.stats.imported_clauses += 1;
+        if was_deferred {
+            self.stats.promoted_clauses += 1;
+        }
+    }
+
+    /// Whether a clause derived under `tag` is admissible under our own
+    /// current bound assumption: untagged clauses always are; tagged ones
+    /// need our assumption to be at least as tight as the producer's.
+    fn bound_admits(&self, tag: Option<usize>) -> bool {
+        match tag {
+            None => true,
+            Some(k) => self.bound_tag.is_some_and(|own| own <= k),
+        }
+    }
+
+    /// Offers a freshly learnt clause to the exchange.
+    fn export_learnt(&mut self, lits: &[Lit], lbd: u32) {
+        if let Some(handle) = &self.shared {
+            if handle.export(lits, lbd, self.bound_tag) {
+                self.stats.exported_clauses += 1;
+            }
+        }
     }
 
     fn unchecked_enqueue(&mut self, l: Lit, from: Option<u32>) {
@@ -711,6 +889,7 @@ impl Solver {
 
     fn record_learnt(&mut self, clause: Vec<Lit>, lbd: u32) {
         self.stats.learnt_clauses += 1;
+        self.export_learnt(&clause, lbd);
         if clause.len() == 1 {
             debug_assert_eq!(self.decision_level(), 0);
             if self.value(clause[0]) == LBool::Undef {
@@ -800,6 +979,7 @@ impl Solver {
             if !self.is_locked(i) {
                 drop_flags[i] = true;
                 self.stats.deleted_clauses += 1;
+                self.n_learnt_clauses -= 1;
             }
         }
 
@@ -913,23 +1093,6 @@ enum PickResult {
     AllAssigned,
 }
 
-/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
-fn luby(mut x: u64) -> u64 {
-    // Find the finite subsequence containing index x.
-    let mut size: u64 = 1;
-    let mut seq: u32 = 0;
-    while size < x + 1 {
-        seq += 1;
-        size = 2 * size + 1;
-    }
-    while size - 1 != x {
-        size = (size - 1) / 2;
-        seq -= 1;
-        x %= size;
-    }
-    1 << seq
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -940,13 +1103,6 @@ mod tests {
 
     fn lit(i: i64) -> Lit {
         Lit::from_dimacs(i)
-    }
-
-    #[test]
-    fn luby_prefix() {
-        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
-        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
-        assert_eq!(got, expect);
     }
 
     #[test]
@@ -1245,6 +1401,178 @@ mod tests {
         let (m1, d1) = run(2);
         let (m2, d2) = run(3);
         assert!(m1 != m2 || d1 != d2, "seeds 2 and 3 were indistinguishable");
+    }
+
+    #[test]
+    fn clause_counters_stay_incremental() {
+        // num_clauses/learnt_count must match a full database scan after
+        // heavy learning and reductions (they are now O(1) counters).
+        let cnf = pigeonhole(7, 6);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.num_clauses(), cnf.num_clauses());
+        assert!(s.solve().is_unsat());
+        let problem = s.clauses.iter().filter(|c| !c.learnt).count();
+        let learnt = s.clauses.iter().filter(|c| c.learnt).count();
+        assert_eq!(s.num_clauses(), problem);
+        assert_eq!(s.learnt_count(), learnt);
+    }
+
+    #[test]
+    fn restart_policy_is_pluggable_and_sound() {
+        use crate::restart::{FixedRestarts, GeometricRestarts};
+        // The same UNSAT instance under aggressive fixed restarts and
+        // a slow geometric schedule: identical verdicts, and the fixed
+        // schedule must actually restart more.
+        let cnf = pigeonhole(6, 5);
+        let mut fixed = Solver::from_cnf(&cnf);
+        fixed.set_restart_policy(Box::new(FixedRestarts::new(8)));
+        assert!(fixed.solve().is_unsat());
+        let mut geo = Solver::from_cnf(&cnf);
+        geo.set_restart_policy(Box::new(GeometricRestarts::new(10_000, 2.0)));
+        assert!(geo.solve().is_unsat());
+        if fixed.stats().conflicts >= 16 {
+            assert!(fixed.stats().restarts > geo.stats().restarts);
+        }
+    }
+
+    #[test]
+    fn exchange_imports_foreign_units_and_binaries() {
+        use crate::shared::{ExchangeConfig, SharedContext};
+        let ctx = SharedContext::new(2, ExchangeConfig::default());
+        // Lane 0 "learns" x0 and (x1 ∨ x2) out of band.
+        ctx.handle(0).export(&[lit(1)], 1, None);
+        ctx.handle(0).export(&[lit(2), lit(3)], 2, None);
+        // Lane 1's formula: ¬x1 ∨ ¬x2 — alone SAT with everything free.
+        let mut s = Solver::new();
+        s.reserve_vars(3);
+        s.add_clause([lit(-2), lit(-3)]);
+        s.set_clause_exchange(Some(ctx.handle(1)));
+        let SolveResult::Sat(m) = s.solve() else {
+            panic!()
+        };
+        // The imported unit forces x0; the imported binary + own clause
+        // force exactly one of x1/x2.
+        assert!(m.lit_value(lit(1)));
+        assert!(m.lit_value(lit(2)) ^ m.lit_value(lit(3)));
+        assert_eq!(s.stats().imported_clauses, 2);
+        assert_eq!(s.learnt_count(), 1, "the binary joins the learnt db");
+    }
+
+    #[test]
+    fn contradictory_imports_prove_unsat() {
+        use crate::shared::{ExchangeConfig, SharedContext};
+        let ctx = SharedContext::new(2, ExchangeConfig::default());
+        ctx.handle(0).export(&[lit(1)], 1, None);
+        ctx.handle(0).export(&[lit(-1)], 1, None);
+        let mut s = Solver::new();
+        s.reserve_vars(1);
+        s.set_clause_exchange(Some(ctx.handle(1)));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn bound_tagged_imports_defer_until_promotion() {
+        use crate::shared::{ExchangeConfig, SharedContext};
+        let ctx = SharedContext::new(2, ExchangeConfig::default());
+        // A unit derived under "weight < 5".
+        ctx.handle(0).export(&[lit(1)], 1, Some(5));
+        let mut s = Solver::new();
+        s.reserve_vars(1);
+        s.set_clause_exchange(Some(ctx.handle(1)));
+        // Unbounded solve: the clause must be parked, not applied.
+        assert!(s.solve().is_sat());
+        assert_eq!(s.stats().imported_clauses, 0);
+        // A *looser* own bound still defers.
+        s.set_bound_tag(Some(9));
+        assert!(s.solve().is_sat());
+        assert_eq!(s.stats().imported_clauses, 0);
+        // Once our bound is at least as tight, the clause is promoted.
+        s.set_bound_tag(Some(5));
+        let SolveResult::Sat(m) = s.solve() else {
+            panic!()
+        };
+        assert!(m.lit_value(lit(1)));
+        assert_eq!(s.stats().imported_clauses, 1);
+        assert_eq!(s.stats().promoted_clauses, 1);
+    }
+
+    #[test]
+    fn lanes_racing_one_unsat_instance_share_clauses() {
+        use crate::restart::FixedRestarts;
+        use crate::shared::{ExchangeConfig, SharedContext};
+        // Two solvers on one PHP instance, sequentially: lane 0 refutes it
+        // and exports its short learnt clauses; lane 1 then imports them
+        // and must reach the same verdict (typically in fewer conflicts,
+        // but only the verdict is asserted — determinism is not).
+        let cnf = pigeonhole(7, 6);
+        let ctx = SharedContext::new(
+            2,
+            ExchangeConfig {
+                lbd_threshold: u32::MAX,
+                max_shared_len: usize::MAX,
+                capacity_per_lane: 1 << 14,
+            },
+        );
+        let mut a = Solver::from_cnf(&cnf);
+        a.set_clause_exchange(Some(ctx.handle(0)));
+        a.set_restart_policy(Box::new(FixedRestarts::new(16)));
+        assert!(a.solve().is_unsat());
+        assert!(
+            a.stats().exported_clauses > 0,
+            "refuting PHP(7,6) must learn exportable clauses"
+        );
+        let mut b = Solver::from_cnf(&cnf);
+        b.set_clause_exchange(Some(ctx.handle(1)));
+        assert!(b.solve().is_unsat());
+        assert!(b.stats().imported_clauses > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        // Clause exchange preserves satisfiability: a solver importing
+        // another lane's exported clauses reaches the same SAT/UNSAT
+        // verdict as a solo solver on the same random CNF, and its models
+        // still satisfy the formula.
+        #[test]
+        fn prop_clause_exchange_preserves_satisfiability(
+            nvars in 3usize..12,
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((0usize..12, any::<bool>()), 1..4), 1..40)
+        ) {
+            use crate::restart::FixedRestarts;
+            use crate::shared::{ExchangeConfig, SharedContext};
+            let mut cnf = Cnf::new();
+            cnf.new_vars(nvars);
+            for c in &clauses {
+                cnf.add_clause(c.iter().map(|&(v, pol)| Var::new(v % nvars).lit(pol)));
+            }
+            let solo = Solver::from_cnf(&cnf).solve();
+
+            // Share everything: no LBD/length filter, aggressive restarts
+            // so the exporter drains/learns at every opportunity.
+            let ctx = SharedContext::new(2, ExchangeConfig {
+                lbd_threshold: u32::MAX,
+                max_shared_len: usize::MAX,
+                capacity_per_lane: 4096,
+            });
+            let mut exporter = Solver::from_cnf(&cnf);
+            exporter.set_clause_exchange(Some(ctx.handle(0)));
+            exporter.set_restart_policy(Box::new(FixedRestarts::new(1)));
+            let exporter_verdict = exporter.solve();
+            let mut importer = Solver::from_cnf(&cnf);
+            importer.set_clause_exchange(Some(ctx.handle(1)));
+            let importer_verdict = importer.solve();
+
+            for (label, verdict) in [("exporter", &exporter_verdict), ("importer", &importer_verdict)] {
+                match (verdict, &solo) {
+                    (SolveResult::Sat(m), SolveResult::Sat(_)) => {
+                        prop_assert!(cnf.eval(m.values()), "{label}: bad model");
+                    }
+                    (SolveResult::Unsat, SolveResult::Unsat) => {}
+                    other => prop_assert!(false, "{label}: verdict mismatch {other:?}"),
+                }
+            }
+        }
     }
 
     proptest! {

@@ -59,7 +59,7 @@ fn main() {
     );
     for worker in &first.report.workers {
         println!(
-            "  lane {:<34} finished at {:>8.1?}  weight {:<4} floor {:<4} {}",
+            "  lane {:<44} finished at {:>8.1?}  weight {:<4} floor {:<4} {}",
             worker.strategy,
             worker.finished_at,
             worker
@@ -70,6 +70,15 @@ fn main() {
                 .map_or("-".to_string(), |w| w.to_string()),
             if worker.cancelled { "(cancelled)" } else { "" },
         );
+        if worker.conflicts > 0 {
+            println!(
+                "       {} conflicts; clause exchange: {} exported, {} imported ({} promoted)",
+                worker.conflicts,
+                worker.clauses_exported,
+                worker.clauses_imported,
+                worker.clauses_promoted,
+            );
+        }
     }
 
     // Second compilation: served from the content-addressed cache.
