@@ -1,0 +1,239 @@
+//! **Server load generator** — drives a `fermihedral-serve` instance with
+//! concurrent keep-alive TCP clients and records throughput and latency
+//! percentiles into a machine-readable trajectory file.
+//!
+//! The server is started in-process on an ephemeral port with a fresh
+//! cache directory, so runs are self-contained and comparable across
+//! commits. The request mix mirrors the expected production shape:
+//! a small set of popular problems hit over and over — the first requests
+//! pay for real portfolio solves, everything after rides the coalescer and
+//! the solution cache.
+//!
+//! Usage: `serve_loadgen [--clients 8] [--requests 40] [--workers 2] [--out BENCH_serve.json] [--check]`
+//!
+//! `--check` exits non-zero unless every request succeeded (2xx) and the
+//! returned encodings validate — the CI smoke gate.
+
+use engine::json::{obj, Value};
+use fermihedral_bench::args::Args;
+use serve::client::Client;
+use serve::ServeConfig;
+use std::time::{Duration, Instant};
+
+struct Sample {
+    status: u16,
+    from_cache: bool,
+    coalesced: bool,
+    elapsed: Duration,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn validate_strings(doc: &Value, modes: usize) -> Result<(), String> {
+    let strings = doc
+        .get("strings")
+        .and_then(Value::as_arr)
+        .ok_or("response has no strings")?;
+    if strings.len() != 2 * modes {
+        return Err(format!(
+            "expected {} strings, got {}",
+            2 * modes,
+            strings.len()
+        ));
+    }
+    let phased: Vec<pauli::PhasedString> = strings
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .ok_or("non-string entry")?
+                .parse::<pauli::PauliString>()
+                .map(Into::into)
+                .map_err(|e| format!("{e:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let report = encodings::validate::validate_strings(&phased);
+    if !report.anticommuting || !report.algebraically_independent {
+        return Err("returned encoding fails validation".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = Args::parse(&[
+        "clients",
+        "requests",
+        "workers",
+        "queue-capacity",
+        "out",
+        "check",
+    ]);
+    let clients = args.get_usize("clients", 8);
+    let requests = args.get_usize("requests", 40);
+    let workers = args.get_usize("workers", 2);
+    let queue_capacity = args.get_usize("queue-capacity", 64);
+    let out_path = args
+        .get_str("out")
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+    let check = args.get_bool("check");
+
+    let cache_dir =
+        std::env::temp_dir().join(format!("fermihedral-serve-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let handle = serve::start(ServeConfig {
+        solve_workers: workers,
+        queue_capacity,
+        engine: engine::EngineConfig {
+            cache_dir: Some(cache_dir.clone()),
+            ..engine::EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let addr = handle.local_addr();
+    println!("loadgen: {clients} clients x {requests} requests against {addr}");
+
+    // The popular-problem mix: mostly N=2, a slice of N=3 (both certify
+    // fast and then serve from cache), occasionally a Hamiltonian-shaped
+    // request to exercise the annealing path.
+    let bodies: [(usize, &str); 3] = [
+        (
+            2,
+            r#"{"modes": 2, "algebraic_independence": true, "deadline_ms": 60000}"#,
+        ),
+        (
+            3,
+            r#"{"modes": 3, "algebraic_independence": true, "deadline_ms": 60000}"#,
+        ),
+        (
+            2,
+            r#"{"modes": 2, "objective": {"hamiltonian": [[0, 1], [2, 3]]}, "deadline_ms": 60000}"#,
+        ),
+    ];
+    let pick = |client: usize, request: usize| -> (usize, &'static str) {
+        match (client + request) % 8 {
+            0 => bodies[1],
+            1 => bodies[2],
+            _ => bodies[0],
+        }
+    };
+
+    let bench_started = Instant::now();
+    let results: Vec<Vec<Sample>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut conn = Client::connect(addr).expect("connect");
+                    let mut samples = Vec::with_capacity(requests);
+                    for r in 0..requests {
+                        let (modes, body) = pick(c, r);
+                        let t0 = Instant::now();
+                        let (status, doc) = conn
+                            .request("POST", "/v1/compile", Some(body))
+                            .expect("request");
+                        let elapsed = t0.elapsed();
+                        if check && status == 200 {
+                            if let Err(why) = validate_strings(&doc, modes) {
+                                eprintln!("client {c} request {r}: {why}");
+                                std::process::exit(1);
+                            }
+                        }
+                        samples.push(Sample {
+                            status,
+                            from_cache: doc
+                                .get("from_cache")
+                                .and_then(Value::as_bool)
+                                .unwrap_or(false),
+                            coalesced: doc
+                                .get("coalesced")
+                                .and_then(Value::as_bool)
+                                .unwrap_or(false),
+                            elapsed,
+                        });
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = bench_started.elapsed();
+
+    // Final server-side metrics snapshot over HTTP.
+    let (_, server_metrics) = Client::connect(addr)
+        .expect("metrics connect")
+        .request("GET", "/metrics", None)
+        .expect("metrics");
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // ---- Aggregate -------------------------------------------------------
+    let samples: Vec<&Sample> = results.iter().flatten().collect();
+    let total = samples.len();
+    let ok = samples.iter().filter(|s| s.status == 200).count();
+    let from_cache = samples.iter().filter(|s| s.from_cache).count();
+    let coalesced = samples.iter().filter(|s| s.coalesced).count();
+    let mut latencies: Vec<Duration> = samples.iter().map(|s| s.elapsed).collect();
+    latencies.sort_unstable();
+    let ms = |d: Duration| d.as_secs_f64() * 1_000.0;
+    let throughput = total as f64 / wall.as_secs_f64();
+
+    println!(
+        "loadgen: {ok}/{total} ok in {:.2}s — {throughput:.0} req/s, p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms max {:.2}ms ({from_cache} cached, {coalesced} coalesced)",
+        wall.as_secs_f64(),
+        ms(percentile(&latencies, 0.50)),
+        ms(percentile(&latencies, 0.90)),
+        ms(percentile(&latencies, 0.99)),
+        ms(*latencies.last().unwrap_or(&Duration::ZERO)),
+    );
+
+    let doc = obj([
+        (
+            "config",
+            obj([
+                ("clients", Value::Num(clients as f64)),
+                ("requests_per_client", Value::Num(requests as f64)),
+                ("solve_workers", Value::Num(workers as f64)),
+                ("queue_capacity", Value::Num(queue_capacity as f64)),
+            ]),
+        ),
+        ("wall_seconds", Value::Num(wall.as_secs_f64())),
+        ("throughput_rps", Value::Num(throughput)),
+        (
+            "requests",
+            obj([
+                ("total", Value::Num(total as f64)),
+                ("ok", Value::Num(ok as f64)),
+                ("from_cache", Value::Num(from_cache as f64)),
+                ("coalesced", Value::Num(coalesced as f64)),
+            ]),
+        ),
+        (
+            "latency_ms",
+            obj([
+                ("p50", Value::Num(ms(percentile(&latencies, 0.50)))),
+                ("p90", Value::Num(ms(percentile(&latencies, 0.90)))),
+                ("p99", Value::Num(ms(percentile(&latencies, 0.99)))),
+                (
+                    "max",
+                    Value::Num(ms(*latencies.last().unwrap_or(&Duration::ZERO))),
+                ),
+            ]),
+        ),
+        ("server_metrics", server_metrics),
+    ]);
+    std::fs::write(&out_path, doc.to_json()).expect("write trajectory file");
+    println!("loadgen: wrote {out_path}");
+
+    if check && ok != total {
+        eprintln!("loadgen --check: {} of {total} requests failed", total - ok);
+        std::process::exit(1);
+    }
+}

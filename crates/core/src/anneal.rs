@@ -34,6 +34,14 @@ pub struct AnnealConfig {
     /// next swap and the best pairing so far is returned with
     /// [`AnnealOutcome::cancelled`] set.
     pub cancel: Option<CancelToken>,
+    /// Initial temperature for *re-seeded* schedules. The portfolio
+    /// engine's annealing lane does not only start from a classical base:
+    /// whenever a concurrent lane publishes a strictly better incumbent,
+    /// the lane re-anneals from that incumbent. Those restarts begin from
+    /// an already-good assignment, so they cool from this (lower)
+    /// temperature instead of [`t0`](AnnealConfig::t0). `None` disables
+    /// mid-race re-seeding (the lane anneals its base once and exits).
+    pub reseed_t0: Option<f64>,
 }
 
 impl Default for AnnealConfig {
@@ -46,6 +54,7 @@ impl Default for AnnealConfig {
             k: 1.0,
             seed: 0xF00D,
             cancel: None,
+            reseed_t0: Some(1.0),
         }
     }
 }

@@ -135,6 +135,13 @@ impl SolutionCache {
         }
     }
 
+    /// [`lookup`](Self::lookup) without touching the hit/miss counters —
+    /// for serving-path probes that would otherwise double-count a request
+    /// the engine's own cache probe already counts.
+    pub fn peek(&self, fp: &Fingerprint) -> Option<CacheEntry> {
+        self.read_entry(fp)
+    }
+
     /// `lookup` without touching the counters (internal compare paths).
     fn read_entry(&self, fp: &Fingerprint) -> Option<CacheEntry> {
         let text = fs::read_to_string(self.path_for(fp)).ok()?;
@@ -286,27 +293,96 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static WRITE_NONCE: AtomicU64 = AtomicU64::new(0);
 
-/// A lock abandoned for longer than this (holder crashed between create
-/// and delete) is stolen. Compare-and-store holds the lock for
-/// microseconds, so seconds of age can only mean a dead holder.
-const LOCK_STALE: std::time::Duration = std::time::Duration::from_secs(5);
-
-/// Advisory create-exclusive file lock, released on drop.
+/// Advisory per-fingerprint file lock, released on drop.
+///
+/// On Unix this is a kernel `flock(2)` on the lock file's open descriptor.
+/// That closes every hole the earlier create-exclusive scheme had:
+///
+/// * **No staleness.** The kernel drops the lock when the holder's
+///   descriptor closes — including on crash — so a leftover lock *file*
+///   is inert litter, not a held lock. The old scheme had to age-out
+///   "stale" files, which (a) made every writer behind a crashed one wait
+///   out the staleness window, and (b) let two stealers both remove-and-
+///   recreate the file and *both* enter the critical section, so a slower
+///   writer could clobber a just-stored optimal entry with a worse one.
+/// * **Atomic handoff.** Release is the kernel's, not an `unlink` by path
+///   that could delete a lock file some third writer had just created.
+///
+/// One subtlety remains because `Drop` unlinks the lock file (the
+/// concurrency tests assert the directory ends clean): a waiter may have
+/// opened the old inode before it was unlinked and then acquire a lock
+/// that guards nothing. [`acquire`](LockFile::acquire) therefore re-checks
+/// after locking that the path still names its inode, and retries if not.
 struct LockFile {
     path: PathBuf,
+    // Held for the flock; dropped (= unlocked) after the unlink in `Drop`.
+    _file: fs::File,
+}
+
+#[cfg(unix)]
+mod lock_sys {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    // Directly against the libc std already links; the container has no
+    // crates.io access for the `libc` crate.
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    const LOCK_EX: i32 = 2;
+
+    pub fn lock_exclusive(file: &File) -> io::Result<()> {
+        loop {
+            if unsafe { flock(file.as_raw_fd(), LOCK_EX) } == 0 {
+                return Ok(());
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        }
+    }
 }
 
 impl LockFile {
+    #[cfg(unix)]
     fn acquire(path: PathBuf) -> io::Result<LockFile> {
+        use std::os::unix::fs::MetadataExt;
+        loop {
+            let file = fs::OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)?;
+            lock_sys::lock_exclusive(&file)?;
+            // The previous holder may have unlinked the path between our
+            // open and our lock; a lock on an unlinked inode excludes
+            // nobody who opens the path afresh. Re-verify and retry.
+            let held = file.metadata()?;
+            match fs::metadata(&path) {
+                Ok(cur) if cur.ino() == held.ino() && cur.dev() == held.dev() => {
+                    return Ok(LockFile { path, _file: file });
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Portable fallback: create-exclusive spin lock. Weaker than the Unix
+    /// path (a crashed holder blocks successors until the stale age-out),
+    /// kept only for non-Unix builds.
+    #[cfg(not(unix))]
+    fn acquire(path: PathBuf) -> io::Result<LockFile> {
+        const LOCK_STALE: std::time::Duration = std::time::Duration::from_secs(5);
         loop {
             match fs::OpenOptions::new()
                 .write(true)
                 .create_new(true)
                 .open(&path)
             {
-                Ok(_) => return Ok(LockFile { path }),
+                Ok(file) => return Ok(LockFile { path, _file: file }),
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    // Steal stale locks; otherwise wait briefly and retry.
                     let stale = fs::metadata(&path)
                         .and_then(|m| m.modified())
                         .map(|t| t.elapsed().unwrap_or_default() > LOCK_STALE)
@@ -325,6 +401,9 @@ impl LockFile {
 
 impl Drop for LockFile {
     fn drop(&mut self) {
+        // Unlink *while still holding* the lock: a waiter blocked on our
+        // inode will acquire it, notice the path no longer matches, and
+        // retry on the fresh path (see `acquire`).
         let _ = fs::remove_file(&self.path);
     }
 }
@@ -505,6 +584,75 @@ mod tests {
             "the just-written entry must survive any cap"
         );
         assert!(cache.read_entry(&a).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn leftover_lock_litter_neither_blocks_nor_breaks_exclusion() {
+        // Regression test for the create-exclusive locking scheme. A lock
+        // file abandoned by a crashed writer used to (a) stall every later
+        // writer for the 5 s staleness window, and (b) open a steal race:
+        // two writers could both remove-and-recreate the "stale" file,
+        // both enter the compare-and-store critical section, and the
+        // slower one could clobber a just-stored optimal entry with a
+        // worse best-so-far one. With flock-based locking the litter file
+        // is inert: nobody holds a kernel lock on it.
+        use std::sync::Barrier;
+        let dir = tmp_dir("lock-litter");
+        let fp = fingerprint(&EncodingProblem::new(4, Objective::MajoranaWeight));
+        let cache = SolutionCache::open(&dir).unwrap();
+        let lock_path = dir.join(format!(".{}.lock", fp.to_hex()));
+
+        let started = std::time::Instant::now();
+        for round in 0..25u64 {
+            let _ = fs::remove_file(cache.path_for(&fp));
+            // Simulate the crashed holder: litter present, aged past the
+            // old staleness window (so the old code would steal — racily —
+            // rather than merely stall).
+            fs::write(&lock_path, b"crashed-holder").unwrap();
+            let _ = fs::File::options()
+                .write(true)
+                .open(&lock_path)
+                .unwrap()
+                .set_modified(SystemTime::now() - std::time::Duration::from_secs(60));
+
+            // One fast optimal writer races one slower, worse writer.
+            let barrier = Barrier::new(2);
+            std::thread::scope(|scope| {
+                let optimal_writer = cache.clone();
+                let worse_writer = cache.clone();
+                let b1 = &barrier;
+                let b2 = &barrier;
+                scope.spawn(move || {
+                    b1.wait();
+                    optimal_writer
+                        .store_if_better(&fp, &entry(10, true))
+                        .unwrap();
+                });
+                scope.spawn(move || {
+                    b2.wait();
+                    if round % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(50 * round));
+                    }
+                    worse_writer
+                        .store_if_better(&fp, &entry(12, false))
+                        .unwrap();
+                });
+            });
+
+            let survivor = cache.read_entry(&fp).expect("entry must exist");
+            assert_eq!(
+                (survivor.weight, survivor.optimal),
+                (10, true),
+                "round {round}: worse writer clobbered the optimal entry"
+            );
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "writers stalled on inert lock litter: {:?}",
+            started.elapsed()
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -19,6 +19,23 @@ impl Fingerprint {
     pub fn to_hex(&self) -> String {
         self.0.iter().map(|b| format!("{b:02x}")).collect()
     }
+
+    /// Parses the 64-character hex form (case-insensitive). `None` on any
+    /// other length or a non-hex character — the compilation server feeds
+    /// URL path segments through this.
+    pub fn from_hex(hex: &str) -> Option<Fingerprint> {
+        let bytes = hex.as_bytes();
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Fingerprint(out))
+    }
 }
 
 impl std::fmt::Display for Fingerprint {
@@ -234,5 +251,23 @@ mod tests {
         let hex = fingerprint(&p).to_hex();
         assert_eq!(hex.len(), 64);
         assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let fp = fingerprint(&EncodingProblem::new(
+            3,
+            fermihedral::Objective::MajoranaWeight,
+        ));
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(
+            Fingerprint::from_hex(&fp.to_hex().to_uppercase()),
+            Some(fp),
+            "case-insensitive"
+        );
+        assert_eq!(Fingerprint::from_hex(""), None);
+        assert_eq!(Fingerprint::from_hex("abc"), None);
+        assert_eq!(Fingerprint::from_hex(&"g".repeat(64)), None);
+        assert_eq!(Fingerprint::from_hex(&"ab".repeat(33)), None);
     }
 }

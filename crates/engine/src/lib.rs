@@ -42,9 +42,13 @@
 
 pub mod cache;
 pub mod fingerprint;
-pub mod json;
 pub mod portfolio;
 pub mod report;
+pub mod service;
+
+/// The workspace-shared JSON module (tree, writer, hardened parser),
+/// re-exported under its historical `engine::json` path.
+pub use jsonkit as json;
 
 pub use cache::{CacheCounters, CacheEntry, SolutionCache};
 pub use fingerprint::{fingerprint, Fingerprint};
@@ -52,3 +56,4 @@ pub use portfolio::{
     compile, default_portfolio, BaselineKind, ClauseSharing, EngineConfig, EngineOutcome, Strategy,
 };
 pub use report::{CacheStatus, EngineReport, EventKind, WorkerEvent, WorkerReport};
+pub use service::Engine;

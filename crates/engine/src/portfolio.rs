@@ -289,15 +289,22 @@ struct Incumbent {
     /// is impossible, so floor 0 carries no information).
     floor: AtomicUsize,
     cancel: CancelToken,
+    /// Lanes still running. Lets a lane that *waits* on the others (the
+    /// re-seeding annealer) stop waiting once it is the last one standing,
+    /// instead of idling out the whole timeout.
+    active_lanes: AtomicUsize,
 }
 
 impl Incumbent {
-    fn new() -> Incumbent {
+    /// A fresh incumbent racing on `cancel` (the engine raises it when the
+    /// race is decided; an external holder may raise it to abort the run).
+    fn new(cancel: CancelToken, lanes: usize) -> Incumbent {
         Incumbent {
             bound: SharedBound::new(),
             best: Mutex::new(None),
             floor: AtomicUsize::new(0),
-            cancel: CancelToken::new(),
+            cancel,
+            active_lanes: AtomicUsize::new(lanes),
         }
     }
 
@@ -360,15 +367,33 @@ impl Incumbent {
 /// assert!(outcome.optimal_proved);
 /// ```
 pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcome {
-    let started = Instant::now();
-    let fp = fingerprint(problem);
-
-    // ---- Cache probe -----------------------------------------------------
     let cache = config
         .cache_dir
         .as_ref()
         .and_then(|dir| SolutionCache::open(dir).ok())
         .map(|c| c.with_byte_cap(config.cache_byte_cap));
+    compile_with(problem, config, cache.as_ref(), None)
+}
+
+/// [`compile`] against an externally managed cache handle and cancellation
+/// token — the re-entrant form the [`crate::Engine`] service handle uses.
+///
+/// * `cache` — a pre-opened [`SolutionCache`] shared across calls (its
+///   counters accumulate over the handle's lifetime); `None` disables
+///   caching regardless of `config.cache_dir`, which this function ignores.
+/// * `external_cancel` — raised by the caller to abort the run and get
+///   best-so-far back promptly. The engine also raises it itself once the
+///   race is decided, so pass a token dedicated to this run.
+pub(crate) fn compile_with(
+    problem: &EncodingProblem,
+    config: &EngineConfig,
+    cache: Option<&SolutionCache>,
+    external_cancel: Option<&CancelToken>,
+) -> EngineOutcome {
+    let started = Instant::now();
+    let fp = fingerprint(problem);
+
+    // ---- Cache probe -----------------------------------------------------
     let mut cache_status = if cache.is_some() {
         CacheStatus::Miss
     } else {
@@ -424,7 +449,10 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
             .collect()
     };
 
-    let incumbent = Incumbent::new();
+    let incumbent = Incumbent::new(
+        external_cancel.cloned().unwrap_or_default(),
+        strategies.len(),
+    );
     if let Some(entry) = &warm_start {
         incumbent.publish(
             BestEncoding {
@@ -464,65 +492,52 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
                 let slots = &slots;
                 let warm = warm_start.as_ref().map(|e| e.strings.clone());
                 let lane_handle = lane_handle.clone();
-                scope.spawn(move || match strategy {
-                    Strategy::SatDescent {
-                        seed,
-                        random_branch,
-                        bk_phase_hint,
-                        restart,
-                    } => {
-                        if !slots.acquire(&incumbent.cancel) {
-                            return skipped_lane(strategy.name(), started);
-                        }
-                        let report = run_descent_lane(
-                            instance.expect("instance built for descent lanes"),
-                            config,
-                            DescentLaneSpec {
-                                seed: *seed,
-                                random_branch: *random_branch,
-                                bk_phase_hint: *bk_phase_hint,
-                                restart: *restart,
-                                clause_exchange: lane_handle,
-                            },
-                            warm,
-                            incumbent,
-                            started,
-                            strategy.name(),
-                        );
-                        slots.release();
-                        report
-                    }
-                    Strategy::Anneal { base, schedule } => {
-                        // Pair permutation cannot change the summed
-                        // Majorana weight, so under that objective the
-                        // lane degenerates to its base encoding — instant
-                        // work that should not occupy a heavy slot.
-                        if !matches!(problem.objective(), Objective::HamiltonianWeight(_)) {
-                            return run_baseline_lane(
-                                problem,
-                                *base,
+                scope.spawn(move || {
+                    let report = match strategy {
+                        Strategy::SatDescent {
+                            seed,
+                            random_branch,
+                            bk_phase_hint,
+                            restart,
+                        } => {
+                            if !slots.acquire(&incumbent.cancel) {
+                                incumbent.active_lanes.fetch_sub(1, Ordering::Relaxed);
+                                return skipped_lane(strategy.name(), started);
+                            }
+                            let report = run_descent_lane(
+                                instance.expect("instance built for descent lanes"),
+                                config,
+                                DescentLaneSpec {
+                                    seed: *seed,
+                                    random_branch: *random_branch,
+                                    bk_phase_hint: *bk_phase_hint,
+                                    restart: *restart,
+                                    clause_exchange: lane_handle,
+                                },
+                                warm,
                                 incumbent,
                                 started,
                                 strategy.name(),
                             );
+                            slots.release();
+                            report
                         }
-                        if !slots.acquire(&incumbent.cancel) {
-                            return skipped_lane(strategy.name(), started);
-                        }
-                        let report = run_anneal_lane(
+                        Strategy::Anneal { base, schedule } => run_anneal_lane(
                             problem,
                             *base,
                             schedule.clone(),
                             incumbent,
+                            slots,
+                            config.total_timeout.map(|t| started + t),
                             started,
                             strategy.name(),
-                        );
-                        slots.release();
-                        report
-                    }
-                    Strategy::Baseline(kind) => {
-                        run_baseline_lane(problem, *kind, incumbent, started, strategy.name())
-                    }
+                        ),
+                        Strategy::Baseline(kind) => {
+                            run_baseline_lane(problem, *kind, incumbent, started, strategy.name())
+                        }
+                    };
+                    incumbent.active_lanes.fetch_sub(1, Ordering::Relaxed);
+                    report
                 })
             })
             .collect();
@@ -562,10 +577,7 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
             fingerprint: fp.to_hex(),
             total_elapsed: started.elapsed(),
             cache: cache_status,
-            cache_counters: cache
-                .as_ref()
-                .map(SolutionCache::counters)
-                .unwrap_or_default(),
+            cache_counters: cache.map(SolutionCache::counters).unwrap_or_default(),
             winner,
             workers,
         },
@@ -750,32 +762,89 @@ fn run_baseline_lane(
     }
 }
 
+/// Polls the shared incumbent for an encoding strictly better than
+/// `my_best` to re-anneal from. Waits until `deadline` (the race's absolute
+/// end) when one is set; without a deadline only an *already available*
+/// improvement is taken. Either way the wait ends as soon as no *other*
+/// lane is still running — nobody is left to produce an improvement, and
+/// idling out the rest of the timeout would pin the engine's wall clock
+/// (and a server worker) to the full deadline on every uncertified run.
+fn wait_for_better_incumbent(
+    incumbent: &Incumbent,
+    my_best: usize,
+    deadline: Option<Instant>,
+) -> Option<(Vec<PauliString>, usize)> {
+    loop {
+        if incumbent.cancel.is_cancelled() {
+            return None;
+        }
+        // Cheap atomic pre-check before cloning the encoding.
+        if incumbent.bound.get() < my_best {
+            let (slot, _) = incumbent.snapshot();
+            if let Some((best, _)) = slot {
+                if best.weight < my_best {
+                    return Some((best.strings, best.weight));
+                }
+            }
+        }
+        if incumbent.active_lanes.load(Ordering::Relaxed) <= 1 {
+            return None; // only this lane is left — nothing to wait for
+        }
+        match deadline {
+            None => return None,
+            Some(d) if Instant::now() >= d => return None,
+            Some(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_anneal_lane(
     problem: &EncodingProblem,
     base: BaselineKind,
     mut schedule: AnnealConfig,
     incumbent: &Incumbent,
+    slots: &Slots,
+    deadline: Option<Instant>,
     engine_start: Instant,
     name: String,
 ) -> WorkerReport {
-    // Annealing only optimizes the Hamiltonian-dependent objective;
-    // `compile` routes other objectives to the baseline lane first, this
-    // is just the defensive fallback.
+    // Pair permutation cannot change the summed Majorana weight, so under
+    // that objective the lane degenerates to its base encoding — instant
+    // work that does not occupy a heavy slot.
     let Objective::HamiltonianWeight(monomials) = problem.objective() else {
         return run_baseline_lane(problem, base, incumbent, engine_start, name);
     };
+    if !slots.acquire(&incumbent.cancel) {
+        return skipped_lane(name, engine_start);
+    }
     let started_at = engine_start.elapsed();
-    let encoding = base.build(problem.num_modes());
     let mut events = Vec::new();
-    let mut final_weight = None;
+    let mut final_weight: Option<usize> = None;
     let mut cancelled = false;
+    schedule.cancel = Some(incumbent.cancel.clone());
 
-    if satisfies_problem(problem, &encoding.majoranas()) {
-        schedule.cancel = Some(incumbent.cancel.clone());
-        let outcome = anneal_pairing(&encoding, monomials, &schedule);
+    let base_encoding = base.build(problem.num_modes());
+    let mut next = satisfies_problem(problem, &base_encoding.majoranas())
+        .then_some((base_encoding, /* reseeded: */ false));
+    let mut holding_slot = true;
+    let mut round = 0u64;
+
+    while let Some((encoding, reseeded)) = next.take() {
+        let mut round_schedule = schedule.clone();
+        if reseeded {
+            // Re-seeded rounds start from an already-good assignment:
+            // cool from the configured (lower) re-seed temperature, and
+            // vary the seed so repeated re-anneals explore new swaps.
+            if let Some(t0) = schedule.reseed_t0 {
+                round_schedule.t0 = t0.max(schedule.t1);
+            }
+            round_schedule.seed = schedule.seed.wrapping_add(round);
+        }
+        let outcome = anneal_pairing(&encoding, monomials, &round_schedule);
         cancelled = outcome.cancelled;
         // Pair swaps preserve the XY-pair structure, so the annealed
-        // encoding satisfies whatever the base satisfied.
+        // encoding satisfies whatever its starting point satisfied.
         let annealed = outcome.encoding.majoranas();
         incumbent.publish(
             BestEncoding {
@@ -788,8 +857,44 @@ fn run_anneal_lane(
             at: engine_start.elapsed(),
             kind: EventKind::Improved(outcome.weight),
         });
-        final_weight = Some(outcome.weight);
+        final_weight = Some(final_weight.map_or(outcome.weight, |w| w.min(outcome.weight)));
+        round += 1;
+        if cancelled || schedule.reseed_t0.is_none() {
+            break;
+        }
+
+        // Mid-race re-seed (ROADMAP item): adopt a strictly better shared
+        // incumbent — typically a SAT lane's find — as the next starting
+        // point instead of only ever annealing the classical base. The
+        // heavy slot is released while waiting so queued SAT lanes are not
+        // starved by an idle annealer.
+        slots.release();
+        holding_slot = false;
+        if let Some((strings, weight)) =
+            wait_for_better_incumbent(incumbent, final_weight.unwrap_or(usize::MAX), deadline)
+        {
+            if !slots.acquire(&incumbent.cancel) {
+                cancelled = true;
+                events.push(WorkerEvent {
+                    at: engine_start.elapsed(),
+                    kind: EventKind::Cancelled,
+                });
+                break;
+            }
+            holding_slot = true;
+            events.push(WorkerEvent {
+                at: engine_start.elapsed(),
+                kind: EventKind::Reseeded(weight),
+            });
+            next = MajoranaEncoding::from_strings("incumbent", strings)
+                .ok()
+                .map(|e| (e, true));
+        }
     }
+    if holding_slot {
+        slots.release();
+    }
+
     WorkerReport {
         strategy: name,
         started_at,

@@ -50,6 +50,9 @@ pub enum EventKind {
     BudgetExhausted,
     /// The worker was cancelled by the shared token.
     Cancelled,
+    /// An annealing lane adopted a strictly better shared incumbent (of
+    /// this weight) as its next starting point.
+    Reseeded(usize),
 }
 
 impl EventKind {
@@ -59,12 +62,13 @@ impl EventKind {
             EventKind::ProvedFloor(_) => "proved-floor",
             EventKind::BudgetExhausted => "budget-exhausted",
             EventKind::Cancelled => "cancelled",
+            EventKind::Reseeded(_) => "reseeded",
         }
     }
 
     fn weight(self) -> Option<usize> {
         match self {
-            EventKind::Improved(w) | EventKind::ProvedFloor(w) => Some(w),
+            EventKind::Improved(w) | EventKind::ProvedFloor(w) | EventKind::Reseeded(w) => Some(w),
             _ => None,
         }
     }

@@ -240,6 +240,134 @@ fn total_timeout_cancels_a_hopeless_run_promptly() {
 }
 
 #[test]
+fn anneal_lane_reseeds_from_a_better_incumbent() {
+    // Structure γ₃γ₅: the ternary tree encodes it at weight 1, but the
+    // best *pair permutation* of Bravyi-Kitaev only reaches weight 2
+    // (verified by brute force over all 3! permutations). Annealing is a
+    // pure pair-permutation search, so a BK-based annealing lane can never
+    // reach weight 1 from its own base — it must adopt the ternary-tree
+    // baseline's incumbent mid-race and re-anneal from there.
+    // Vacuum condition off: the ternary tree does not satisfy the XY-pair
+    // constraint, and the lane under test needs it as a publishable
+    // incumbent.
+    let monomials = vec![MajoranaMonomial::from_sorted(vec![3, 5])];
+    let problem = EncodingProblem::new(3, Objective::HamiltonianWeight(monomials))
+        .with_vacuum_condition(false);
+    let strategies = vec![
+        Strategy::Baseline(BaselineKind::TernaryTree),
+        Strategy::Anneal {
+            base: BaselineKind::BravyiKitaev,
+            schedule: AnnealConfig::default(),
+        },
+    ];
+
+    let outcome = compile(
+        &problem,
+        &EngineConfig {
+            strategies: strategies.clone(),
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(outcome.weight(), Some(1), "ternary tree optimum must win");
+    let anneal = outcome
+        .report
+        .workers
+        .iter()
+        .find(|w| w.strategy.starts_with("anneal"))
+        .expect("anneal lane report");
+    assert!(
+        anneal
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, engine::EventKind::Reseeded(1))),
+        "lane must record adopting the weight-1 incumbent: {:?}",
+        anneal.events
+    );
+    assert_eq!(
+        anneal.final_weight,
+        Some(1),
+        "re-annealing the adopted incumbent must retain its weight"
+    );
+
+    // Control: with re-seeding disabled the lane is stuck at the best BK
+    // pair permutation (weight 2, always found — the search space has 6
+    // points).
+    let outcome = compile(
+        &problem,
+        &EngineConfig {
+            strategies: vec![
+                strategies[0].clone(),
+                Strategy::Anneal {
+                    base: BaselineKind::BravyiKitaev,
+                    schedule: AnnealConfig {
+                        reseed_t0: None,
+                        ..AnnealConfig::default()
+                    },
+                },
+            ],
+            ..EngineConfig::default()
+        },
+    );
+    let anneal = outcome
+        .report
+        .workers
+        .iter()
+        .find(|w| w.strategy.starts_with("anneal"))
+        .expect("anneal lane report");
+    assert_eq!(
+        anneal.final_weight,
+        Some(2),
+        "BK permutations bottom out at 2"
+    );
+    assert!(
+        !anneal
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, engine::EventKind::Reseeded(_))),
+        "re-seeding disabled must record no Reseeded event"
+    );
+}
+
+#[test]
+fn anneal_lane_does_not_idle_out_the_timeout() {
+    // Re-seeding waits for other lanes' improvements — but once every
+    // other lane has exhausted its budget without a certificate, nobody is
+    // left to improve the incumbent and the annealer must exit instead of
+    // sleeping out the whole (here: enormous) total_timeout.
+    let monomials = vec![MajoranaMonomial::from_sorted(vec![0, 3])];
+    let problem = EncodingProblem::new(5, Objective::HamiltonianWeight(monomials));
+    let config = EngineConfig {
+        strategies: vec![
+            Strategy::SatDescent {
+                seed: 1,
+                random_branch: 0.0,
+                bk_phase_hint: true,
+                restart: RestartPolicyKind::default(),
+            },
+            Strategy::Baseline(BaselineKind::BravyiKitaev),
+            Strategy::Anneal {
+                base: BaselineKind::BravyiKitaev,
+                schedule: AnnealConfig::default(),
+            },
+        ],
+        total_timeout: Some(Duration::from_secs(300)),
+        // The SAT lane exhausts its (tiny) budget almost immediately and
+        // exits without a certificate.
+        conflict_budget_per_call: Some(50),
+        persist_on_budget: false,
+        ..EngineConfig::default()
+    };
+    let started = Instant::now();
+    let outcome = compile(&problem, &config);
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "anneal lane idled out the timeout: {:?}",
+        started.elapsed()
+    );
+    assert!(outcome.best.is_some(), "baseline incumbent must survive");
+}
+
+#[test]
 fn anneal_lane_respects_cancellation() {
     // An enormous annealing schedule would run for minutes; the total
     // timeout must cut it off.

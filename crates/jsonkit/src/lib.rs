@@ -1,14 +1,28 @@
-//! Minimal JSON reading/writing for the solution cache and benchmark
-//! reports.
+//! Minimal JSON reading/writing shared by the solution cache, the benchmark
+//! harness, and the compilation server.
 //!
 //! The container has no crates.io access, so `serde` is unavailable; this
-//! module implements the small subset the engine needs: a [`Value`] tree,
+//! crate implements the small subset the workspace needs: a [`Value`] tree,
 //! a writer with deterministic field order, and a recursive-descent parser.
-//! Numbers are `f64` (every number the engine stores — weights, timings,
+//! Numbers are `f64` (every number the workspace stores — weights, timings,
 //! mode counts — fits exactly).
+//!
+//! Because the compilation server feeds *untrusted network input* into
+//! [`parse`], the parser is hardened:
+//!
+//! * nesting beyond [`MAX_PARSE_DEPTH`] is rejected (no stack overflow from
+//!   a `[[[[…]]]]` bomb);
+//! * non-finite numbers are rejected (`NaN`/`Infinity` are not JSON, and
+//!   `1e999`-style overflow to `∞` is refused rather than absorbed);
+//! * the writer renders a non-finite [`Value::Num`] as `null`, so a
+//!   serialized document always re-parses.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Maximum container nesting depth [`parse`] accepts. Deeper documents fail
+/// with a `ParseError` instead of risking a parser stack overflow.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +103,7 @@ impl Value {
             Value::Bool(b) => {
                 let _ = write!(out, "{b}");
             }
+            Value::Num(n) if !n.is_finite() => out.push_str("null"),
             Value::Num(n) => {
                 if n.fract() == 0.0 && n.abs() < 9e15 {
                     let _ = write!(out, "{}", *n as i64);
@@ -185,10 +200,15 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, nesting deeper than
+/// [`MAX_PARSE_DEPTH`], or numbers outside the finite `f64` range.
 pub fn parse(text: &str) -> Result<Value, ParseError> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err(pos, "trailing characters"));
@@ -218,7 +238,10 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), ParseError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, ParseError> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(err(*pos, "nesting too deep"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
@@ -235,7 +258,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
                 return Ok(Value::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -260,7 +283,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 fields.insert(key, value);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -349,14 +372,22 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
-    text.parse::<f64>()
-        .map(Value::Num)
-        .map_err(|_| err(start, "bad number"))
+    let n: f64 = text.parse().map_err(|_| err(start, "bad number"))?;
+    if !n.is_finite() {
+        // `1e999` parses to `inf` under `str::parse`; JSON has no such
+        // value, and letting it through would poison later arithmetic.
+        return Err(err(start, "number out of range"));
+    }
+    Ok(Value::Num(n))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+    use rand::Rng;
 
     #[test]
     fn round_trips_nested_document() {
@@ -394,5 +425,161 @@ mod tests {
     fn integers_render_without_fraction() {
         assert_eq!(Value::Num(6.0).to_json(), "6");
         assert_eq!(Value::Num(2.5).to_json(), "2.5");
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        // The literals are not JSON at all…
+        for bad in ["NaN", "Infinity", "-Infinity", "[NaN]", "{\"a\": inf}"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // …and syntactically valid numbers that overflow f64 are refused
+        // rather than silently becoming ∞.
+        for overflow in ["1e999", "-1e999", "[1, 1e309]"] {
+            assert!(parse(overflow).is_err(), "{overflow:?} should fail");
+        }
+        // Large-but-finite still parses.
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+    }
+
+    #[test]
+    fn writer_renders_non_finite_as_null() {
+        // A programmatically constructed NaN/∞ must still serialize to a
+        // valid document (the server never emits these, but a torn metric
+        // must not produce unparseable output).
+        let doc = Value::Arr(vec![
+            Value::Num(f64::NAN),
+            Value::Num(f64::INFINITY),
+            Value::Num(f64::NEG_INFINITY),
+            Value::Num(1.5),
+        ]);
+        let text = doc.to_json();
+        let back = parse(&text).unwrap();
+        assert_eq!(
+            back,
+            Value::Arr(vec![Value::Null, Value::Null, Value::Null, Value::Num(1.5)])
+        );
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Depth just under the limit parses…
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(parse(&ok).is_ok());
+        // …one past it fails cleanly…
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("deep"), "{e}");
+        // …and a 100k-bracket bomb is an error, not a stack overflow.
+        let bomb = "[".repeat(100_000);
+        assert!(parse(&bomb).is_err());
+        // Mixed object/array nesting counts every level.
+        let mixed = format!("{}1{}", "{\"k\":[".repeat(70), "]}".repeat(70));
+        assert!(parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn escape_sequences_round_trip() {
+        let tricky = "quote\" backslash\\ newline\n tab\t cr\r ctrl\u{1} bell\u{7} é 日本 🦀";
+        let doc = obj([("s", Value::Str(tricky.into()))]);
+        let back = parse(&doc.to_json()).unwrap();
+        assert_eq!(back.get("s").unwrap().as_str(), Some(tricky));
+        // Parser-side escapes our writer never emits.
+        let v = parse(r#""A\b\f\/é""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\u{8}\u{c}/é"));
+    }
+
+    // ---- Property tests ---------------------------------------------------
+
+    /// Hand-rolled generator of arbitrary finite [`Value`] trees (the
+    /// vendored proptest shim has no recursive or string strategies).
+    struct ArbValue {
+        max_depth: usize,
+    }
+
+    impl Strategy for ArbValue {
+        type Value = Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Value {
+            gen_value(rng, self.max_depth)
+        }
+    }
+
+    fn gen_value(rng: &mut TestRng, depth: usize) -> Value {
+        let pick = if depth == 0 {
+            rng.gen_range(0..4)
+        } else {
+            rng.gen_range(0..6)
+        };
+        match pick {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen_range(0..2) == 0),
+            2 => Value::Num(gen_number(rng)),
+            3 => Value::Str(gen_string(rng)),
+            4 => {
+                let len = rng.gen_range(0..5);
+                Value::Arr((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+            }
+            _ => {
+                let len = rng.gen_range(0..5);
+                Value::Obj(
+                    (0..len)
+                        .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn gen_number(rng: &mut TestRng) -> f64 {
+        match rng.gen_range(0..5) {
+            // Small integers (the common case: weights, counts).
+            0 => rng.gen_range(-1_000i64..1_000) as f64,
+            // Integers near the exact-i64-rendering cutoff.
+            1 => rng.gen_range(8_999_999_999_999_000i64..9_000_000_999_999_999) as f64,
+            // Plain fractions.
+            2 => rng.gen_range(-1.0e6..1.0e6),
+            // Tiny magnitudes.
+            3 => rng.gen_range(-1.0..1.0) * 1e-200,
+            // Huge-but-finite magnitudes.
+            _ => rng.gen_range(-1.0..1.0) * 1e300,
+        }
+    }
+
+    fn gen_string(rng: &mut TestRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'B', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{8}', '\u{c}', '\u{1f}',
+            '/', 'é', 'ß', '日', '🦀', '\u{FFFD}', ':', ',', '{', '}', '[', ']',
+        ];
+        let len = rng.gen_range(0..12);
+        (0..len)
+            .map(|_| POOL[rng.gen_range(0..POOL.len())])
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn serialize_parse_round_trips(value in ArbValue { max_depth: 4 }) {
+            let text = value.to_json();
+            let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+            prop_assert_eq!(back, value);
+        }
+
+        #[test]
+        fn reparse_is_idempotent(value in ArbValue { max_depth: 3 }) {
+            // serialize → parse → serialize must be a fixed point.
+            let once = value.to_json();
+            let twice = parse(&once).unwrap().to_json();
+            prop_assert_eq!(once, twice);
+        }
     }
 }

@@ -1,0 +1,351 @@
+//! The JSON request/response schema of the compile API.
+//!
+//! Request (`POST /v1/compile`):
+//!
+//! ```json
+//! {
+//!   "modes": 4,
+//!   "objective": "majorana",
+//!   "algebraic_independence": false,
+//!   "vacuum_condition": true,
+//!   "deadline_ms": 5000
+//! }
+//! ```
+//!
+//! `objective` is either the string `"majorana"` (Hamiltonian-independent,
+//! the default) or `{"hamiltonian": [[0,1],[2,3]]}` — a list of Majorana
+//! monomials, each a list of distinct indices `< 2 * modes`. Unknown fields
+//! are rejected: a typo'd knob silently ignored would compile the wrong
+//! problem.
+//!
+//! Response: see [`compile_response`].
+
+use engine::{CacheEntry, EngineOutcome};
+use fermihedral::{EncodingProblem, Objective};
+use fermion::MajoranaMonomial;
+use jsonkit::{obj, Value};
+use std::time::Duration;
+
+/// A parsed compile request.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// The problem to compile.
+    pub problem: EncodingProblem,
+    /// Requested deadline; `None` uses the server default.
+    pub deadline: Option<Duration>,
+}
+
+/// The fields `POST /v1/compile` accepts.
+const KNOWN_FIELDS: [&str; 5] = [
+    "modes",
+    "objective",
+    "algebraic_independence",
+    "vacuum_condition",
+    "deadline_ms",
+];
+
+/// Parses and validates a compile request body.
+///
+/// # Errors
+///
+/// A human-readable message (answered as 400) naming the offending field.
+pub fn parse_compile_request(body: &[u8], max_modes: usize) -> Result<CompileRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = jsonkit::parse(text).map_err(|e| e.to_string())?;
+    let Value::Obj(fields) = &doc else {
+        return Err("body must be a JSON object".into());
+    };
+    for key in fields.keys() {
+        if !KNOWN_FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+
+    let modes = doc
+        .get("modes")
+        .ok_or("missing field \"modes\"")?
+        .as_usize()
+        .ok_or("\"modes\" must be a non-negative integer")?;
+    if modes == 0 {
+        return Err("\"modes\" must be at least 1".into());
+    }
+    if modes > max_modes {
+        return Err(format!(
+            "\"modes\" exceeds this server's limit of {max_modes}"
+        ));
+    }
+
+    let objective = match doc.get("objective") {
+        None => Objective::MajoranaWeight,
+        Some(Value::Str(s)) if s == "majorana" => Objective::MajoranaWeight,
+        Some(Value::Str(s)) => {
+            return Err(format!(
+                "unknown objective {s:?} (use \"majorana\" or {{\"hamiltonian\": [[..]]}})"
+            ))
+        }
+        Some(v) => {
+            let monomials = v
+                .get("hamiltonian")
+                .ok_or("\"objective\" must be \"majorana\" or {\"hamiltonian\": [[..]]}")?
+                .as_arr()
+                .ok_or("\"hamiltonian\" must be an array of monomials")?;
+            if monomials.is_empty() {
+                return Err("\"hamiltonian\" must name at least one monomial".into());
+            }
+            let mut parsed = Vec::with_capacity(monomials.len());
+            for (i, monomial) in monomials.iter().enumerate() {
+                let indices = monomial
+                    .as_arr()
+                    .ok_or_else(|| format!("monomial {i} must be an array of Majorana indices"))?;
+                if indices.is_empty() {
+                    return Err(format!("monomial {i} is empty"));
+                }
+                let mut idx = Vec::with_capacity(indices.len());
+                for v in indices {
+                    let n = v
+                        .as_usize()
+                        .ok_or_else(|| format!("monomial {i} has a non-integer index"))?;
+                    if n >= 2 * modes {
+                        return Err(format!(
+                            "monomial {i} index {n} out of range (< {})",
+                            2 * modes
+                        ));
+                    }
+                    idx.push(n as u32);
+                }
+                idx.sort_unstable();
+                if idx.windows(2).any(|w| w[0] == w[1]) {
+                    return Err(format!("monomial {i} repeats an index"));
+                }
+                parsed.push(MajoranaMonomial::from_sorted(idx));
+            }
+            Objective::HamiltonianWeight(parsed)
+        }
+    };
+
+    let get_bool = |name: &str| -> Result<Option<bool>, String> {
+        match doc.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .as_bool()
+                .map(Some)
+                .ok_or_else(|| format!("{name:?} must be a boolean")),
+        }
+    };
+    let mut problem = EncodingProblem::new(modes, objective);
+    if let Some(on) = get_bool("algebraic_independence")? {
+        if on && modes > 8 {
+            return Err("\"algebraic_independence\" is limited to 8 modes".into());
+        }
+        problem = problem.with_algebraic_independence(on);
+    }
+    if let Some(on) = get_bool("vacuum_condition")? {
+        problem = problem.with_vacuum_condition(on);
+    }
+
+    let deadline = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => {
+            let ms = v
+                .as_usize()
+                .filter(|&ms| ms > 0)
+                .ok_or("\"deadline_ms\" must be a positive integer")?;
+            Some(Duration::from_millis(ms as u64))
+        }
+    };
+
+    Ok(CompileRequest { problem, deadline })
+}
+
+/// Terminal status of a compile request, serialized into the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileStatus {
+    /// An UNSAT certificate proves the returned encoding optimal.
+    Optimal,
+    /// The deadline fired first; the returned encoding is best-so-far.
+    DeadlineExceeded,
+    /// Server shutdown cancelled the solve; best-so-far returned.
+    Cancelled,
+    /// The engine finished its budgets without a certificate.
+    BestEffort,
+}
+
+impl CompileStatus {
+    /// Wire form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompileStatus::Optimal => "optimal",
+            CompileStatus::DeadlineExceeded => "deadline-exceeded",
+            CompileStatus::Cancelled => "cancelled",
+            CompileStatus::BestEffort => "best-effort",
+        }
+    }
+}
+
+/// The `POST /v1/compile` response body.
+pub fn compile_response(
+    fingerprint_hex: &str,
+    status: CompileStatus,
+    outcome: Option<&EngineOutcome>,
+    coalesced: bool,
+    elapsed: Duration,
+) -> Value {
+    let (weight, strings, winner, from_cache) = match outcome {
+        Some(o) => (
+            o.weight().map_or(Value::Null, |w| Value::Num(w as f64)),
+            o.best.as_ref().map_or(Value::Null, |b| {
+                Value::Arr(
+                    b.strings
+                        .iter()
+                        .map(|s| Value::Str(s.to_string()))
+                        .collect(),
+                )
+            }),
+            o.report.winner.clone().map_or(Value::Null, Value::Str),
+            o.from_cache,
+        ),
+        None => (Value::Null, Value::Null, Value::Null, false),
+    };
+    obj([
+        ("fingerprint", Value::Str(fingerprint_hex.to_string())),
+        ("status", Value::Str(status.as_str().to_string())),
+        (
+            "optimal",
+            Value::Bool(matches!(status, CompileStatus::Optimal)),
+        ),
+        ("weight", weight),
+        ("strings", strings),
+        ("winner", winner),
+        ("from_cache", Value::Bool(from_cache)),
+        ("coalesced", Value::Bool(coalesced)),
+        (
+            "elapsed_ms",
+            Value::Num((elapsed.as_micros() as f64) / 1_000.0),
+        ),
+    ])
+}
+
+/// The `GET /v1/solution/<fingerprint>` response body.
+pub fn solution_response(fingerprint_hex: &str, entry: &CacheEntry) -> Value {
+    obj([
+        ("fingerprint", Value::Str(fingerprint_hex.to_string())),
+        ("weight", Value::Num(entry.weight as f64)),
+        ("optimal", Value::Bool(entry.optimal)),
+        (
+            "strings",
+            Value::Arr(
+                entry
+                    .strings
+                    .iter()
+                    .map(|s| Value::Str(s.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("strategy", Value::Str(entry.strategy.clone())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<CompileRequest, String> {
+        parse_compile_request(body.as_bytes(), 8)
+    }
+
+    #[test]
+    fn parses_minimal_and_full_requests() {
+        let minimal = parse(r#"{"modes": 3}"#).unwrap();
+        assert_eq!(minimal.problem.num_modes(), 3);
+        assert!(matches!(
+            minimal.problem.objective(),
+            Objective::MajoranaWeight
+        ));
+        assert!(minimal.deadline.is_none());
+        assert!(minimal.problem.has_vacuum_condition());
+        assert!(!minimal.problem.has_algebraic_independence());
+
+        let full = parse(
+            r#"{
+                "modes": 2,
+                "objective": {"hamiltonian": [[1, 0], [2, 3]]},
+                "algebraic_independence": true,
+                "vacuum_condition": false,
+                "deadline_ms": 1500
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(full.deadline, Some(Duration::from_millis(1500)));
+        assert!(full.problem.has_algebraic_independence());
+        assert!(!full.problem.has_vacuum_condition());
+        match full.problem.objective() {
+            Objective::HamiltonianWeight(ms) => {
+                assert_eq!(ms.len(), 2);
+                // Unsorted input was normalized.
+                assert_eq!(ms[0].indices(), &[0, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_field_naming_messages() {
+        for (body, needle) in [
+            ("", "parse error"),
+            ("[]", "must be a JSON object"),
+            ("{}", "missing field \"modes\""),
+            (r#"{"modes": 0}"#, "at least 1"),
+            (r#"{"modes": 99}"#, "limit"),
+            (r#"{"modes": 2.5}"#, "non-negative integer"),
+            (
+                r#"{"modes": 2, "objective": "frobnicate"}"#,
+                "unknown objective",
+            ),
+            (
+                r#"{"modes": 2, "objective": {"hamiltonian": []}}"#,
+                "at least one",
+            ),
+            (
+                r#"{"modes": 2, "objective": {"hamiltonian": [[]]}}"#,
+                "empty",
+            ),
+            (
+                r#"{"modes": 2, "objective": {"hamiltonian": [[4]]}}"#,
+                "out of range",
+            ),
+            (
+                r#"{"modes": 2, "objective": {"hamiltonian": [[1, 1]]}}"#,
+                "repeats",
+            ),
+            (r#"{"modes": 2, "deadline_ms": 0}"#, "positive"),
+            (r#"{"modes": 2, "deadline_ms": -5}"#, "positive"),
+            (r#"{"modes": 2, "vacuum_condition": 1}"#, "boolean"),
+            (r#"{"modes": 2, "frobnicate": true}"#, "unknown field"),
+        ] {
+            let err = parse(body).expect_err(body);
+            assert!(
+                err.contains(needle),
+                "{body}: error {err:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_serialize_and_parse() {
+        let doc = compile_response(
+            &"ab".repeat(32),
+            CompileStatus::DeadlineExceeded,
+            None,
+            true,
+            Duration::from_millis(1250),
+        );
+        let parsed = jsonkit::parse(&doc.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("status").unwrap().as_str(),
+            Some("deadline-exceeded")
+        );
+        assert_eq!(parsed.get("optimal").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("coalesced").unwrap().as_bool(), Some(true));
+        assert!(parsed.get("weight").unwrap().as_f64().is_none());
+    }
+}

@@ -1,0 +1,576 @@
+//! `fermihedral-serve`: a long-running compilation server over the
+//! portfolio engine.
+//!
+//! The ROADMAP's north star is serving fermion-to-qubit compilation as a
+//! production service. The engine half exists (portfolio racing,
+//! cancellation, the content-addressed solution cache); this crate is the
+//! service half — a dependency-free HTTP/1.1 server (std `TcpListener` +
+//! worker threads; the container offers no async runtime) that turns
+//! [`engine::Engine`] into shared infrastructure:
+//!
+//! * **Admission queue with load shedding** — compile jobs flow through a
+//!   bounded [`queue::JobQueue`]; a full queue answers `429` immediately
+//!   instead of building unbounded backlog ([`metrics`] exports the depth).
+//! * **Per-request deadlines** — `deadline_ms` maps onto
+//!   [`engine::EngineConfig::total_timeout`] via
+//!   [`engine::Engine::compile_with_deadline`]; a request whose deadline
+//!   fires still gets the best-so-far encoding, marked
+//!   `"status": "deadline-exceeded"`.
+//! * **Request coalescing** — concurrent identical problems (same
+//!   fingerprint) attach to one in-flight solve ([`coalesce::Coalescer`]);
+//!   one SAT race answers them all, and finished solves land in the cache
+//!   so repeats are served in microseconds.
+//! * **Graceful shutdown** — [`ServerHandle::shutdown`] stops accepting,
+//!   cancels every in-flight solve through its [`sat::CancelToken`], drains
+//!   the queue (shedding unstarted jobs with `503`), and joins every
+//!   thread.
+//!
+//! Endpoints: `POST /v1/compile`, `GET /v1/solution/<fingerprint>`,
+//! `GET /healthz`, `GET /metrics`. See [`api`] for the JSON schema and the
+//! README for `curl` examples.
+
+pub mod api;
+pub mod client;
+pub mod coalesce;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+
+use crate::api::{CompileRequest, CompileStatus};
+use crate::coalesce::{Coalescer, SolveResult};
+use crate::http::{HttpConn, ReadError, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{Job, JobQueue, PushError};
+use engine::{fingerprint, Engine, EngineConfig, Fingerprint};
+use jsonkit::{obj, Value};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Extra wall-clock a connection thread waits beyond its request deadline
+/// for the solve worker to hand back the (deadline-bounded) outcome.
+const RESULT_GRACE: Duration = Duration::from_millis(500);
+
+/// Poll interval of the non-blocking accept loop and of idle keep-alive
+/// connections (both check the shutdown flag at this cadence).
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:7979"`; port 0 picks an ephemeral
+    /// port (read it back from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Solve worker threads (each runs one engine race at a time).
+    pub solve_workers: usize,
+    /// Admission-queue capacity; beyond it compile requests get `429`.
+    pub queue_capacity: usize,
+    /// Maximum live connections; beyond it new connections get `503`.
+    pub max_connections: usize,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Hard ceiling on any request's deadline.
+    pub max_deadline: Duration,
+    /// Maximum accepted `Content-Length`.
+    pub max_body_bytes: usize,
+    /// Maximum accepted `modes` (compile cost grows super-exponentially).
+    pub max_modes: usize,
+    /// Keep-alive idle timeout before the server closes a connection.
+    pub keep_alive_idle: Duration,
+    /// Engine template: portfolio, budgets, cache directory.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            solve_workers: 2,
+            queue_capacity: 64,
+            max_connections: 64,
+            default_deadline: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(120),
+            max_body_bytes: 1024 * 1024,
+            max_modes: 8,
+            keep_alive_idle: Duration::from_secs(30),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads, and solve workers.
+struct Shared {
+    config: ServeConfig,
+    engine: Engine,
+    metrics: Metrics,
+    queue: JobQueue,
+    coalescer: Coalescer,
+    shutdown: AtomicBool,
+    started: Instant,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`shutdown`](ServerHandle::shutdown) then [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The server's metrics (tests and the load generator read these
+    /// in-process; HTTP clients use `GET /metrics`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Initiates graceful shutdown: stop accepting, close the admission
+    /// queue, cancel in-flight solves. Idempotent; returns immediately —
+    /// call [`join`](ServerHandle::join) to wait for completion.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+        self.shared.coalescer.cancel_all();
+    }
+
+    /// Waits for the accept loop, every worker, and every connection to
+    /// finish. Call after [`shutdown`](ServerHandle::shutdown).
+    pub fn join(&self) {
+        for handle in self.threads.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+        // Connection threads are detached; wait for their counted exits.
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while self
+            .shared
+            .metrics
+            .connections_active
+            .load(Ordering::Relaxed)
+            > 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Binds and starts a server.
+///
+/// # Errors
+///
+/// Propagates bind failures and cache-directory failures.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    let engine = Engine::new(config.engine.clone())?;
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_capacity),
+        coalescer: Coalescer::default(),
+        metrics: Metrics::default(),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        local_addr,
+        engine,
+        config,
+    });
+
+    let mut threads = Vec::new();
+    for worker in 0..shared.config.solve_workers.max(1) {
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{worker}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    {
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&shared, listener))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        shared,
+        threads: Mutex::new(threads),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop and connection handling
+// ---------------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    while !shared.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _peer)) => dispatch_connection(shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn dispatch_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let metrics = &shared.metrics;
+    let active = metrics.connections_active.load(Ordering::Relaxed);
+    if active >= shared.config.max_connections as u64 {
+        // Over the connection cap: shed with 503 without spawning. The
+        // write runs under the socket timeout, so a slow client cannot
+        // stall the accept loop for long.
+        metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+        metrics.record_response(503);
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let mut conn = HttpConn::new(stream);
+        let mut response = Response::error(503, "connection limit reached").with_retry_after(1);
+        response.keep_alive = false; // the socket is dropped right here
+        let _ = conn.write_response(&response);
+        return;
+    }
+    metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+    let conn_shared = shared.clone();
+    let result = std::thread::Builder::new()
+        .name("serve-conn".into())
+        .spawn(move || {
+            connection_loop(&conn_shared, stream);
+            conn_shared
+                .metrics
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+        });
+    if result.is_err() {
+        shared
+            .metrics
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    // Some platforms (BSD/macOS) hand accepted sockets the listener's
+    // O_NONBLOCK; this loop relies on the read *timeout* for its idle
+    // tick, so force blocking mode first.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut conn = HttpConn::new(stream);
+    let mut idle_since = Instant::now();
+
+    loop {
+        if shared.is_shutdown() {
+            return;
+        }
+        match conn.read_request(shared.config.max_body_bytes) {
+            Ok(request) => {
+                idle_since = Instant::now();
+                shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                let mut response = handle_request(shared, &request);
+                response.keep_alive &= request.keep_alive && !shared.is_shutdown();
+                shared.metrics.record_response(response.status);
+                if conn.write_response(&response).is_err() || !response.keep_alive {
+                    return;
+                }
+            }
+            Err(ReadError::IdleTick) => {
+                if idle_since.elapsed() > shared.config.keep_alive_idle {
+                    return;
+                }
+            }
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+            Err(fatal) => {
+                if let Some(response) = fatal.response() {
+                    shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.record_response(response.status);
+                    let mut response = response;
+                    response.keep_alive = false;
+                    let _ = conn.write_response(&response);
+                }
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("POST", "/v1/compile") => handle_compile(shared, &request.body),
+        ("GET", path) if path.starts_with("/v1/solution/") => {
+            handle_solution(shared, &path["/v1/solution/".len()..])
+        }
+        (_, "/healthz" | "/metrics") => {
+            Response::error(405, "method not allowed").with_allow("GET")
+        }
+        (_, "/v1/compile") => Response::error(405, "method not allowed").with_allow("POST"),
+        (_, path) if path.starts_with("/v1/solution/") => {
+            Response::error(405, "method not allowed").with_allow("GET")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn handle_healthz(shared: &Arc<Shared>) -> Response {
+    Response::json(
+        200,
+        &obj([
+            ("status", Value::Str("ok".into())),
+            (
+                "uptime_ms",
+                Value::Num(shared.started.elapsed().as_millis() as f64),
+            ),
+            ("shutting_down", Value::Bool(shared.is_shutdown())),
+        ]),
+    )
+}
+
+fn handle_metrics(shared: &Arc<Shared>) -> Response {
+    let doc = shared.metrics.to_json(
+        shared.started.elapsed(),
+        shared.is_shutdown(),
+        shared.queue.len(),
+        shared.queue.capacity(),
+        shared.coalescer.len(),
+        shared.engine.cache_counters(),
+    );
+    Response::json(200, &doc)
+}
+
+fn handle_solution(shared: &Arc<Shared>, fingerprint_hex: &str) -> Response {
+    let t0 = Instant::now();
+    let Some(fp) = Fingerprint::from_hex(fingerprint_hex) else {
+        return Response::error(400, "fingerprint must be 64 hex characters");
+    };
+    let response = match shared.engine.lookup(&fp) {
+        Some(entry) => Response::json(200, &api::solution_response(&fp.to_hex(), &entry)),
+        None => Response::error(404, "no cached solution for this fingerprint"),
+    };
+    shared.metrics.lookup_latency.record(t0.elapsed());
+    response
+}
+
+// ---------------------------------------------------------------------------
+// The compile flow
+// ---------------------------------------------------------------------------
+
+fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let t0 = Instant::now();
+    let parsed = match api::parse_compile_request(body, shared.config.max_modes) {
+        Ok(parsed) => parsed,
+        Err(message) => return Response::error(400, &message),
+    };
+    let CompileRequest { problem, deadline } = parsed;
+    let deadline = deadline
+        .unwrap_or(shared.config.default_deadline)
+        .min(shared.config.max_deadline);
+    let deadline_at = t0 + deadline;
+    let fp = fingerprint(&problem);
+    let key = fp.to_hex();
+    let metrics = &shared.metrics;
+
+    // Fast path: a proven-optimal cache entry answers without queueing —
+    // this is what keeps repeat traffic in the sub-millisecond range even
+    // while every solve worker is busy. `peek` (not `lookup`): the cache
+    // traffic counters track the engine's own probes, and counting this
+    // pre-probe too would double-count every request that goes on to
+    // solve. Fast-path hits are surfaced as `solves.cache_fast_path`.
+    if let Some(entry) = shared.engine.peek(&fp) {
+        if entry.optimal {
+            metrics.cache_fast_path.fetch_add(1, Ordering::Relaxed);
+            let doc = cache_entry_response(&key, &entry, CompileStatus::Optimal, t0.elapsed());
+            metrics.compile_latency.record(t0.elapsed());
+            return Response::json(200, &doc);
+        }
+    }
+    if shared.is_shutdown() {
+        return Response::error(503, "shutting down").with_retry_after(1);
+    }
+
+    // Coalesce: one in-flight solve per fingerprint. The leader enqueues;
+    // followers just wait on the cell (extending its deadline to cover
+    // their own).
+    let (cell, leader) = shared.coalescer.join(&key, deadline_at);
+    if leader {
+        let job = Job {
+            key: key.clone(),
+            problem,
+            deadline_at,
+            cell: cell.clone(),
+        };
+        match shared.queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full(_)) => {
+                metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                // Unregister and fail any follower that joined the cell in
+                // the window — they asked for the same overloaded queue.
+                shared.coalescer.finish(
+                    &key,
+                    SolveResult::Shed {
+                        status: 429,
+                        reason: "compile queue full".into(),
+                    },
+                );
+            }
+            Err(PushError::Closed(_)) => {
+                shared.coalescer.finish(
+                    &key,
+                    SolveResult::Shed {
+                        status: 503,
+                        reason: "shutting down".into(),
+                    },
+                );
+            }
+        }
+    } else {
+        metrics.coalesced_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let response = match cell.wait_until(deadline_at + RESULT_GRACE) {
+        Some(SolveResult::Done {
+            outcome,
+            timed_out,
+            cancelled,
+        }) => {
+            let status = if outcome.optimal_proved {
+                CompileStatus::Optimal
+            } else if cancelled {
+                CompileStatus::Cancelled
+            } else if timed_out {
+                CompileStatus::DeadlineExceeded
+            } else {
+                CompileStatus::BestEffort
+            };
+            let doc = api::compile_response(&key, status, Some(&outcome), !leader, t0.elapsed());
+            Response::json(200, &doc)
+        }
+        Some(SolveResult::Shed { status, reason }) => {
+            Response::error(status, &reason).with_retry_after(1)
+        }
+        None => {
+            // Own deadline passed while the (longer-deadlined) solve is
+            // still running: answer timeout now with whatever the cache
+            // holds as best-so-far.
+            let doc = match shared.engine.peek(&fp) {
+                Some(entry) => cache_entry_response(
+                    &key,
+                    &entry,
+                    CompileStatus::DeadlineExceeded,
+                    t0.elapsed(),
+                ),
+                None => api::compile_response(
+                    &key,
+                    CompileStatus::DeadlineExceeded,
+                    None,
+                    !leader,
+                    t0.elapsed(),
+                ),
+            };
+            Response::json(200, &doc)
+        }
+    };
+    metrics.compile_latency.record(t0.elapsed());
+    response
+}
+
+/// Compile-response body built from a cache entry instead of a live
+/// engine outcome (the optimal fast path, or best-so-far on a timed-out
+/// wait).
+fn cache_entry_response(
+    key: &str,
+    entry: &engine::CacheEntry,
+    status: CompileStatus,
+    elapsed: Duration,
+) -> Value {
+    let mut doc = api::solution_response(key, entry);
+    if let Value::Obj(fields) = &mut doc {
+        fields.insert("status".into(), Value::Str(status.as_str().into()));
+        fields.insert(
+            "optimal".into(),
+            Value::Bool(entry.optimal && matches!(status, CompileStatus::Optimal)),
+        );
+        fields.insert("from_cache".into(), Value::Bool(true));
+        fields.insert("coalesced".into(), Value::Bool(false));
+        fields.insert(
+            "elapsed_ms".into(),
+            Value::Num((elapsed.as_micros() as f64) / 1_000.0),
+        );
+    }
+    doc
+}
+
+// ---------------------------------------------------------------------------
+// Solve workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let metrics = &shared.metrics;
+    while let Some(job) = shared.queue.pop() {
+        if shared.is_shutdown() {
+            metrics.solves_shed.fetch_add(1, Ordering::Relaxed);
+            shared.coalescer.finish(
+                &job.key,
+                SolveResult::Shed {
+                    status: 503,
+                    reason: "shutting down".into(),
+                },
+            );
+            continue;
+        }
+        metrics.solves_started.fetch_add(1, Ordering::Relaxed);
+        metrics.active_solves.fetch_add(1, Ordering::Relaxed);
+        // Followers that attached before this point may have extended the
+        // cell's deadline beyond the admitting request's. A job that sat
+        // in the queue past its deadline still runs, but with the minimum
+        // budget: the engine's baseline lanes produce a feasible
+        // best-so-far in microseconds, which is exactly what the waiting
+        // client should get back.
+        let deadline_at = job.cell.deadline_at().max(job.deadline_at);
+        let remaining = deadline_at
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        let outcome = shared.engine.compile_with_deadline(
+            &job.problem,
+            Some(remaining),
+            Some(&job.cell.cancel),
+        );
+        let timed_out = !outcome.optimal_proved && Instant::now() >= deadline_at;
+        let cancelled = !outcome.optimal_proved && shared.is_shutdown();
+        if timed_out {
+            metrics.solves_timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+        metrics.solves_completed.fetch_add(1, Ordering::Relaxed);
+        metrics.active_solves.fetch_sub(1, Ordering::Relaxed);
+        shared.coalescer.finish(
+            &job.key,
+            SolveResult::Done {
+                outcome: Arc::new(outcome),
+                timed_out,
+                cancelled,
+            },
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! The `serve` binary: a long-running fermion-to-qubit compilation server.
+//!
+//! ```text
+//! serve --addr 127.0.0.1:7979 --cache-dir ./solution-cache
+//! ```
+//!
+//! Shuts down gracefully — cancelling in-flight solves and draining the
+//! admission queue — on SIGTERM or SIGINT, or (with `--watch-stdin`) when
+//! stdin reaches EOF, then exits 0. `--watch-stdin` is opt-in because
+//! detached/background invocations often run with stdin already closed.
+
+use engine::EngineConfig;
+use serve::ServeConfig;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a relaxed atomic store only.
+        SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+    }
+    // Bind `signal(2)` from the libc std already links (no crates.io
+    // access for the `libc` crate in this container).
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+const USAGE: &str = "\
+fermihedral-serve: long-running fermion-to-qubit compilation server
+
+USAGE:
+    serve [--addr HOST:PORT] [--cache-dir PATH] [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT          bind address (default 127.0.0.1:7979; port 0 = ephemeral)
+    --cache-dir PATH          persistent solution cache directory (default: caching off)
+    --cache-byte-cap BYTES    LRU-evict the cache directory down to this size
+    --workers N               solve worker threads (default 2)
+    --queue-capacity N        admission queue capacity (default 64)
+    --max-connections N       concurrent connection cap (default 64)
+    --default-deadline-ms MS  deadline for requests that name none (default 10000)
+    --max-deadline-ms MS      ceiling on any request deadline (default 120000)
+    --max-modes N             largest accepted problem (default 8)
+    --watch-stdin             also shut down when stdin reaches EOF
+    --help                    this text
+";
+
+struct Flags {
+    values: Vec<(String, String)>,
+    watch_stdin: bool,
+}
+
+fn parse_flags() -> Flags {
+    let mut values = Vec::new();
+    let mut watch_stdin = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--watch-stdin" => watch_stdin = true,
+            name if name.starts_with("--") => {
+                let known = [
+                    "--addr",
+                    "--cache-dir",
+                    "--cache-byte-cap",
+                    "--workers",
+                    "--queue-capacity",
+                    "--max-connections",
+                    "--default-deadline-ms",
+                    "--max-deadline-ms",
+                    "--max-modes",
+                ];
+                if !known.contains(&name) {
+                    eprintln!("unknown flag {name}\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+                let Some(value) = args.next() else {
+                    eprintln!("flag {name} needs a value\n\n{USAGE}");
+                    std::process::exit(2);
+                };
+                values.push((name.trim_start_matches("--").to_string(), value));
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Flags {
+        values,
+        watch_stdin,
+    }
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_num(&self, name: &str, default: u64) -> u64 {
+        self.get(name).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} expects an integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    }
+}
+
+fn main() {
+    install_signal_handlers();
+    let flags = parse_flags();
+
+    let engine = EngineConfig {
+        cache_dir: flags.get("cache-dir").map(Into::into),
+        cache_byte_cap: flags.get("cache-byte-cap").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--cache-byte-cap expects an integer, got {v:?}");
+                std::process::exit(2);
+            })
+        }),
+        ..EngineConfig::default()
+    };
+    let config = ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7979").to_string(),
+        solve_workers: flags.get_num("workers", 2) as usize,
+        queue_capacity: flags.get_num("queue-capacity", 64) as usize,
+        max_connections: flags.get_num("max-connections", 64) as usize,
+        default_deadline: Duration::from_millis(flags.get_num("default-deadline-ms", 10_000)),
+        max_deadline: Duration::from_millis(flags.get_num("max-deadline-ms", 120_000)),
+        max_modes: flags.get_num("max-modes", 8) as usize,
+        engine,
+        ..ServeConfig::default()
+    };
+
+    let handle = match serve::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The CI smoke test and scripts parse this line; keep it stable.
+    println!(
+        "fermihedral-serve listening on http://{}",
+        handle.local_addr()
+    );
+
+    if flags.watch_stdin {
+        std::thread::spawn(|| {
+            let mut sink = [0u8; 1024];
+            let mut stdin = std::io::stdin().lock();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+        });
+    }
+
+    while !SHUTDOWN_REQUESTED.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutting down: cancelling in-flight solves, draining the queue");
+    handle.shutdown();
+    handle.join();
+    eprintln!("shut down cleanly");
+}

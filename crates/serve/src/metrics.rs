@@ -1,0 +1,253 @@
+//! Server-lifetime counters and latency histograms for `GET /metrics`.
+//!
+//! Everything is lock-free atomics: the metrics endpoint must stay cheap
+//! and safe to hit while every worker is busy.
+
+use engine::CacheCounters;
+use jsonkit::{obj, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in milliseconds. The final implicit
+/// bucket is `+inf`.
+pub const LATENCY_BUCKETS_MS: [u64; 14] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000,
+];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let ms = elapsed.as_millis() as u64;
+        let bucket = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Cumulative-bucket JSON form (`le` bounds like Prometheus).
+    pub fn to_json(&self) -> Value {
+        let mut cumulative = 0u64;
+        let mut buckets = Vec::new();
+        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            buckets.push(obj([
+                ("le_ms", Value::Num(*bound as f64)),
+                ("count", Value::Num(cumulative as f64)),
+            ]));
+        }
+        cumulative += self.counts[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        buckets.push(obj([
+            ("le_ms", Value::Str("inf".into())),
+            ("count", Value::Num(cumulative as f64)),
+        ]));
+        obj([
+            ("buckets", Value::Arr(buckets)),
+            ("count", Value::Num(cumulative as f64)),
+            (
+                "sum_ms",
+                Value::Num(self.sum_us.load(Ordering::Relaxed) as f64 / 1_000.0),
+            ),
+        ])
+    }
+}
+
+/// All server counters. Gauges that belong to other subsystems (queue
+/// depth, in-flight groups, cache counters) are passed into
+/// [`Metrics::to_json`] by the caller.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests read off connections (any endpoint).
+    pub http_requests: AtomicU64,
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses.
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses.
+    pub responses_5xx: AtomicU64,
+    /// Compile requests rejected because the admission queue was full.
+    pub queue_rejections: AtomicU64,
+    /// Connections turned away at the accept loop (connection cap).
+    pub connections_shed: AtomicU64,
+    /// Live connection count.
+    pub connections_active: AtomicU64,
+    /// Compile requests that attached to an identical in-flight solve.
+    pub coalesced_requests: AtomicU64,
+    /// Compile requests answered from the optimal-entry cache fast path.
+    pub cache_fast_path: AtomicU64,
+    /// Engine solves started by workers.
+    pub solves_started: AtomicU64,
+    /// Engine solves finished (any status).
+    pub solves_completed: AtomicU64,
+    /// Solves that hit their request deadline before proving optimality.
+    pub solves_timed_out: AtomicU64,
+    /// Queued jobs dropped by shutdown draining.
+    pub solves_shed: AtomicU64,
+    /// Solves currently running in a worker.
+    pub active_solves: AtomicU64,
+    /// End-to-end latency of `POST /v1/compile` requests.
+    pub compile_latency: Histogram,
+    /// Latency of `GET /v1/solution/<fp>` lookups.
+    pub lookup_latency: Histogram,
+}
+
+impl Metrics {
+    /// Classifies a response status into the class counters.
+    pub fn record_response(&self, status: u16) {
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The full `/metrics` document. Externally owned gauges are arguments.
+    pub fn to_json(
+        &self,
+        uptime: Duration,
+        shutting_down: bool,
+        queue_depth: usize,
+        queue_capacity: usize,
+        inflight_groups: usize,
+        cache: CacheCounters,
+    ) -> Value {
+        let n = |a: &AtomicU64| Value::Num(a.load(Ordering::Relaxed) as f64);
+        obj([
+            ("uptime_ms", Value::Num(uptime.as_millis() as f64)),
+            ("shutting_down", Value::Bool(shutting_down)),
+            (
+                "queue",
+                obj([
+                    ("depth", Value::Num(queue_depth as f64)),
+                    ("capacity", Value::Num(queue_capacity as f64)),
+                    ("rejections", n(&self.queue_rejections)),
+                ]),
+            ),
+            (
+                "connections",
+                obj([
+                    ("active", n(&self.connections_active)),
+                    ("shed", n(&self.connections_shed)),
+                ]),
+            ),
+            (
+                "http",
+                obj([
+                    ("requests", n(&self.http_requests)),
+                    ("responses_2xx", n(&self.responses_2xx)),
+                    ("responses_4xx", n(&self.responses_4xx)),
+                    ("responses_5xx", n(&self.responses_5xx)),
+                ]),
+            ),
+            (
+                "solves",
+                obj([
+                    ("started", n(&self.solves_started)),
+                    ("completed", n(&self.solves_completed)),
+                    ("timed_out", n(&self.solves_timed_out)),
+                    ("shed", n(&self.solves_shed)),
+                    ("active", n(&self.active_solves)),
+                    ("inflight_groups", Value::Num(inflight_groups as f64)),
+                    ("coalesced_requests", n(&self.coalesced_requests)),
+                    ("cache_fast_path", n(&self.cache_fast_path)),
+                ]),
+            ),
+            (
+                "cache",
+                obj([
+                    ("hit_optimal", Value::Num(cache.hit_optimal as f64)),
+                    ("hit_warm_start", Value::Num(cache.hit_warm_start as f64)),
+                    ("misses", Value::Num(cache.misses as f64)),
+                    ("stores", Value::Num(cache.stores as f64)),
+                    ("evictions", Value::Num(cache.evictions as f64)),
+                ]),
+            ),
+            (
+                "latency",
+                obj([
+                    ("compile_ms", self.compile_latency.to_json()),
+                    ("lookup_ms", self.lookup_latency.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.record(Duration::from_millis(0));
+        h.record(Duration::from_millis(3));
+        h.record(Duration::from_millis(40));
+        h.record(Duration::from_secs(120)); // +inf bucket
+        assert_eq!(h.count(), 4);
+        let json = h.to_json();
+        let buckets = json.get("buckets").unwrap().as_arr().unwrap();
+        // le=1 holds only the 0ms sample.
+        assert_eq!(buckets[0].get("count").unwrap().as_usize(), Some(1));
+        // le=5 adds the 3ms sample.
+        assert_eq!(buckets[2].get("count").unwrap().as_usize(), Some(2));
+        // The final (inf) bucket sees everything.
+        assert_eq!(
+            buckets.last().unwrap().get("count").unwrap().as_usize(),
+            Some(4)
+        );
+        assert_eq!(json.get("count").unwrap().as_usize(), Some(4));
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let m = Metrics::default();
+        m.http_requests.fetch_add(3, Ordering::Relaxed);
+        m.record_response(200);
+        m.record_response(429);
+        m.record_response(503);
+        let doc = m.to_json(
+            Duration::from_secs(1),
+            false,
+            2,
+            64,
+            1,
+            CacheCounters::default(),
+        );
+        let text = doc.to_json();
+        let parsed = jsonkit::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .get("queue")
+                .unwrap()
+                .get("depth")
+                .unwrap()
+                .as_usize(),
+            Some(2)
+        );
+        assert_eq!(
+            parsed
+                .get("http")
+                .unwrap()
+                .get("responses_5xx")
+                .unwrap()
+                .as_usize(),
+            Some(1)
+        );
+    }
+}

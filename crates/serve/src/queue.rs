@@ -1,0 +1,174 @@
+//! Bounded admission queue between connection threads and solve workers.
+//!
+//! Admission control is the server's back-pressure story: the queue has a
+//! hard capacity, and a full queue rejects instantly (the connection thread
+//! answers 429) instead of blocking the accept path behind an unbounded
+//! backlog. Closing the queue (shutdown) wakes blocked workers; jobs still
+//! queued at close time are drained by the workers and shed with 503.
+
+use crate::coalesce::InFlight;
+use fermihedral::EncodingProblem;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One admitted compile job.
+#[derive(Debug)]
+pub struct Job {
+    /// The problem fingerprint (hex) — the coalescing key.
+    pub key: String,
+    /// The parsed problem.
+    pub problem: EncodingProblem,
+    /// Absolute deadline of the admitting request.
+    pub deadline_at: Instant,
+    /// The coalescing cell to complete.
+    pub cell: Arc<InFlight>,
+}
+
+/// Why a push was refused. The job is handed back so the caller can
+/// complete its cell with the matching error.
+#[derive(Debug)]
+pub enum PushError {
+    /// Queue at capacity: load-shed with 429.
+    Full(Job),
+    /// Queue closed (shutdown): 503.
+    Closed(Job),
+}
+
+#[derive(Debug)]
+struct Inner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded queue.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (pending jobs not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    /// True when no jobs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](JobQueue::close); both return the job.
+    pub fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(job));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job. Returns `None` only once the queue is
+    /// closed *and* drained — pending jobs are still handed out after
+    /// close so shutdown can shed them deliberately.
+    pub fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: new pushes fail, blocked `pop`s drain and return.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fermihedral::Objective;
+    use std::time::Duration;
+
+    fn job(key: &str) -> Job {
+        Job {
+            key: key.into(),
+            problem: EncodingProblem::new(2, Objective::MajoranaWeight),
+            deadline_at: Instant::now() + Duration::from_secs(1),
+            cell: crate::coalesce::Coalescer::default()
+                .join("x", Instant::now() + Duration::from_secs(1))
+                .0,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = JobQueue::new(2);
+        q.try_push(job("a")).unwrap();
+        q.try_push(job("b")).unwrap();
+        match q.try_push(job("c")) {
+            Err(PushError::Full(j)) => assert_eq!(j.key, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().key, "a");
+        q.try_push(job("c")).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(job("pending")).unwrap();
+        q.close();
+        // Pushes now fail…
+        assert!(matches!(q.try_push(job("late")), Err(PushError::Closed(_))));
+        // …but the pending job still drains before workers see None.
+        assert_eq!(q.pop().unwrap().key, "pending");
+        assert!(q.pop().is_none());
+
+        // A worker blocked on an empty queue is woken by close.
+        let q2 = Arc::new(JobQueue::new(4));
+        let popper = q2.clone();
+        let t = std::thread::spawn(move || popper.pop().is_none());
+        std::thread::sleep(Duration::from_millis(30));
+        q2.close();
+        assert!(t.join().unwrap(), "blocked pop must return None on close");
+    }
+}

@@ -1,0 +1,404 @@
+//! Integration tests driving the compilation server over real TCP.
+//!
+//! The acceptance test runs eight concurrent clients against one server
+//! and checks the full service contract: identical requests coalesce to a
+//! single engine solve, cache hits answer in under 50 ms, an exceeded
+//! deadline yields a timeout response carrying the best-so-far encoding,
+//! and queue overflow sheds load with 429 while the accept loop stays
+//! responsive. Graceful shutdown and the HTTP error surface get their own
+//! servers.
+
+use jsonkit::Value;
+use serve::client::Client;
+use serve::{start, ServeConfig, ServerHandle};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect(addr).expect("connect")
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Value) {
+    connect(addr).request("GET", path, None).expect("GET")
+}
+
+fn post_compile(addr: SocketAddr, body: &str) -> (u16, Value) {
+    connect(addr)
+        .request("POST", "/v1/compile", Some(body))
+        .expect("POST")
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+fn tmp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fermihedral-serve-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_valid_encoding(doc: &Value, modes: usize) {
+    let strings = doc
+        .get("strings")
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| panic!("response carries no strings: {}", doc.to_json()));
+    assert_eq!(strings.len(), 2 * modes, "2N Majorana strings");
+    let phased: Vec<pauli::PhasedString> = strings
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .unwrap()
+                .parse::<pauli::PauliString>()
+                .expect("parseable Pauli string")
+                .into()
+        })
+        .collect();
+    let report = encodings::validate::validate_strings(&phased);
+    assert!(report.anticommuting, "returned encoding must anticommute");
+    assert!(
+        report.algebraically_independent,
+        "returned encoding must be independent"
+    );
+}
+
+fn shutdown_and_join(handle: &ServerHandle) {
+    handle.shutdown();
+    let t0 = Instant::now();
+    handle.join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(15),
+        "join hung: {:?}",
+        t0.elapsed()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance test: ≥ 8 concurrent TCP clients, one server
+// ---------------------------------------------------------------------------
+
+#[test]
+fn acceptance_eight_concurrent_clients() {
+    let cache_dir = tmp_cache("acceptance");
+    let handle = start(ServeConfig {
+        solve_workers: 1,
+        queue_capacity: 1,
+        engine: engine::EngineConfig {
+            cache_dir: Some(cache_dir.clone()),
+            ..engine::EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // ---- Phase A: 8 identical concurrent requests → one engine solve ----
+    let body = r#"{"modes": 3, "algebraic_independence": true, "deadline_ms": 60000}"#;
+    let barrier = Barrier::new(8);
+    let responses: Vec<(u16, Value)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    post_compile(addr, body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut weights = Vec::new();
+    for (status, doc) in &responses {
+        assert_eq!(*status, 200, "{}", doc.to_json());
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("optimal"));
+        assert_valid_encoding(doc, 3);
+        weights.push(doc.get("weight").unwrap().as_usize().unwrap());
+    }
+    assert!(
+        weights.windows(2).all(|w| w[0] == w[1]),
+        "all clients must see the same optimum: {weights:?}"
+    );
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let solves = metrics.get("solves").unwrap();
+    assert_eq!(
+        solves.get("started").unwrap().as_usize(),
+        Some(1),
+        "identical requests must coalesce to one solve: {}",
+        metrics.to_json()
+    );
+    let coalesced = solves
+        .get("coalesced_requests")
+        .unwrap()
+        .as_usize()
+        .unwrap();
+    let fast_path = solves.get("cache_fast_path").unwrap().as_usize().unwrap();
+    assert_eq!(
+        coalesced + fast_path,
+        7,
+        "the other 7 clients attach to the leader or hit the cache"
+    );
+
+    // ---- Phase B: repeat request is a sub-50 ms cache hit ---------------
+    let fingerprint = responses[0]
+        .1
+        .get("fingerprint")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let cached_latency = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let (status, doc) = post_compile(addr, body);
+            let elapsed = t0.elapsed();
+            assert_eq!(status, 200);
+            assert_eq!(doc.get("from_cache").unwrap().as_bool(), Some(true));
+            assert_eq!(doc.get("status").unwrap().as_str(), Some("optimal"));
+            elapsed
+        })
+        .min()
+        .unwrap();
+    assert!(
+        cached_latency < Duration::from_millis(50),
+        "cache hit took {cached_latency:?}"
+    );
+    let (status, doc) = get(addr, &format!("/v1/solution/{fingerprint}"));
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("optimal").unwrap().as_bool(), Some(true));
+    let (status, _) = get(addr, &format!("/v1/solution/{}", "0".repeat(64)));
+    assert_eq!(status, 404, "unknown fingerprint");
+
+    // ---- Phase C: exceeded deadline → timeout response with best-so-far -
+    let t0 = Instant::now();
+    let (status, doc) = post_compile(addr, r#"{"modes": 6, "deadline_ms": 1200}"#);
+    let elapsed = t0.elapsed();
+    assert_eq!(status, 200, "{}", doc.to_json());
+    assert_eq!(
+        doc.get("status").unwrap().as_str(),
+        Some("deadline-exceeded"),
+        "{}",
+        doc.to_json()
+    );
+    assert_eq!(doc.get("optimal").unwrap().as_bool(), Some(false));
+    assert_valid_encoding(&doc, 6);
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "deadline ignored: {elapsed:?}"
+    );
+
+    // ---- Phase D: queue overflow sheds with 429, accept loop stays live -
+    let occupier =
+        std::thread::spawn(move || post_compile(addr, r#"{"modes": 7, "deadline_ms": 5000}"#));
+    std::thread::sleep(Duration::from_millis(400)); // let it reach the worker
+    let distinct_bodies = [
+        r#"{"modes": 4, "deadline_ms": 5000}"#,
+        r#"{"modes": 5, "deadline_ms": 5000}"#,
+        r#"{"modes": 4, "vacuum_condition": false, "deadline_ms": 5000}"#,
+        r#"{"modes": 5, "vacuum_condition": false, "deadline_ms": 5000}"#,
+    ];
+    let flood: Vec<(u16, Value)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = distinct_bodies
+            .iter()
+            .map(|b| scope.spawn(move || post_compile(addr, b)))
+            .collect();
+        // While the worker is occupied and the queue overflows, the accept
+        // loop must still answer instantly.
+        std::thread::sleep(Duration::from_millis(200));
+        let t0 = Instant::now();
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "healthz stalled behind the queue: {:?}",
+            t0.elapsed()
+        );
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let shed = flood.iter().filter(|(s, _)| *s == 429).count();
+    assert!(
+        shed >= 1,
+        "queue overflow must shed with 429: {:?}",
+        flood.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+    );
+    for (status, doc) in &flood {
+        assert!(
+            [200, 429].contains(status),
+            "unexpected status {status}: {}",
+            doc.to_json()
+        );
+    }
+    let (status, doc) = occupier.join().unwrap();
+    assert_eq!(status, 200);
+    assert_valid_encoding(&doc, 7);
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics
+            .get("queue")
+            .unwrap()
+            .get("rejections")
+            .unwrap()
+            .as_usize()
+            .unwrap()
+            >= 1
+    );
+    assert!(
+        metrics
+            .get("latency")
+            .unwrap()
+            .get("compile_ms")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_usize()
+            .unwrap()
+            >= 8
+    );
+
+    shutdown_and_join(&handle);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown
+// ---------------------------------------------------------------------------
+
+#[test]
+fn graceful_shutdown_cancels_inflight_and_sheds_queued() {
+    let handle = start(ServeConfig {
+        solve_workers: 1,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // A long solve occupies the worker; a second distinct job sits queued.
+    let inflight =
+        std::thread::spawn(move || post_compile(addr, r#"{"modes": 7, "deadline_ms": 60000}"#));
+    std::thread::sleep(Duration::from_millis(400));
+    let queued =
+        std::thread::spawn(move || post_compile(addr, r#"{"modes": 6, "deadline_ms": 60000}"#));
+    std::thread::sleep(Duration::from_millis(300));
+
+    shutdown_and_join(&handle);
+
+    // The in-flight solve was cancelled and still answered best-so-far.
+    let (status, doc) = inflight.join().unwrap();
+    assert_eq!(status, 200, "{}", doc.to_json());
+    assert!(
+        matches!(
+            doc.get("status").unwrap().as_str(),
+            Some("cancelled") | Some("best-effort")
+        ),
+        "{}",
+        doc.to_json()
+    );
+    assert_valid_encoding(&doc, 7);
+
+    // The queued job was shed with 503 (it never reached a worker).
+    let (status, doc) = queued.join().unwrap();
+    assert!(
+        status == 503 || (status == 200 && doc.get("status").is_some()),
+        "queued job must be shed or cancelled, got {status}: {}",
+        doc.to_json()
+    );
+
+    // The listener is gone.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after join"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// HTTP protocol surface
+// ---------------------------------------------------------------------------
+
+#[test]
+fn http_error_surface() {
+    let handle = start(ServeConfig {
+        max_body_bytes: 2048,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // 404 off-path; 405 wrong method (with Allow).
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(
+        connect(addr)
+            .request("DELETE", "/v1/compile", Some("{}"))
+            .expect("DELETE")
+            .0,
+        405
+    );
+    assert_eq!(
+        connect(addr)
+            .request("POST", "/healthz", Some(""))
+            .expect("POST")
+            .0,
+        405
+    );
+
+    // 400s: malformed JSON, schema violations, bad fingerprint path.
+    assert_eq!(post_compile(addr, "{not json").0, 400);
+    assert_eq!(post_compile(addr, r#"{"modes": 0}"#).0, 400);
+    assert_eq!(post_compile(addr, r#"{"modes": 3, "bogus": 1}"#).0, 400);
+    assert_eq!(get(addr, "/v1/solution/not-hex").0, 400);
+
+    // 413 for oversized declared bodies.
+    let huge = format!(r#"{{"modes": 3, "pad": "{}"}}"#, "x".repeat(4096));
+    assert_eq!(post_compile(addr, &huge).0, 413);
+
+    // 411 for a POST without Content-Length.
+    let (status, _) = connect(addr)
+        .raw(b"POST /v1/compile HTTP/1.1\r\nHost: test\r\n\r\n")
+        .expect("raw");
+    assert_eq!(status, 411);
+
+    // 400 for garbage request lines.
+    let (status, _) = connect(addr).raw(b"NONSENSE\r\n\r\n").expect("raw");
+    assert_eq!(status, 400);
+
+    shutdown_and_join(&handle);
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let handle = start(ServeConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+
+    let mut client = connect(addr);
+    let (status, doc) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    let (status, _) = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let (status, doc) = client
+        .request("POST", "/v1/compile", Some(r#"{"modes": 2}"#))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("optimal"));
+    assert_valid_encoding(&doc, 2);
+
+    // Metrics saw all three requests on the single connection.
+    let (_, metrics) = client.request("GET", "/metrics", None).unwrap();
+    assert!(
+        metrics
+            .get("http")
+            .unwrap()
+            .get("requests")
+            .unwrap()
+            .as_usize()
+            .unwrap()
+            >= 4
+    );
+    shutdown_and_join(&handle);
+}

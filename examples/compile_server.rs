@@ -1,0 +1,80 @@
+//! The compilation server end-to-end: start `fermihedral-serve`
+//! in-process on an ephemeral port, compile a problem over real TCP, hit
+//! the cache, read the metrics, and shut down gracefully.
+//!
+//! Run with: `cargo run --release --example compile_server`
+
+use fermihedral_repro::serve::{self, client::Client, ServeConfig};
+use std::time::Instant;
+
+fn main() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("fermihedral-example-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let handle = serve::start(ServeConfig {
+        engine: fermihedral_repro::engine::EngineConfig {
+            cache_dir: Some(cache_dir.clone()),
+            ..Default::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let addr = handle.local_addr();
+    println!("server listening on http://{addr}\n");
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // First compilation: a real portfolio solve.
+    let body = r#"{"modes": 3, "algebraic_independence": true, "deadline_ms": 60000}"#;
+    let t0 = Instant::now();
+    let (status, doc) = client
+        .request("POST", "/v1/compile", Some(body))
+        .expect("compile");
+    println!(
+        "POST /v1/compile          -> {status} in {:?}\n  status={} weight={} strings={}",
+        t0.elapsed(),
+        doc.get("status").unwrap().as_str().unwrap(),
+        doc.get("weight").unwrap().as_usize().unwrap(),
+        doc.get("strings").unwrap().to_json().replace('\n', " "),
+    );
+
+    // Second compilation of the same problem: served from the cache.
+    let t0 = Instant::now();
+    let (status, doc) = client
+        .request("POST", "/v1/compile", Some(body))
+        .expect("compile again");
+    println!(
+        "POST /v1/compile (again)  -> {status} in {:?} (from_cache={})",
+        t0.elapsed(),
+        doc.get("from_cache").unwrap().as_bool().unwrap(),
+    );
+
+    // The cache read endpoint, addressed by fingerprint.
+    let fingerprint = doc
+        .get("fingerprint")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let (status, _) = client
+        .request("GET", &format!("/v1/solution/{fingerprint}"), None)
+        .expect("solution");
+    println!("GET /v1/solution/<fp>     -> {status}");
+
+    // Metrics: queue, coalescing, cache counters, latency histograms.
+    let (_, metrics) = client.request("GET", "/metrics", None).expect("metrics");
+    let solves = metrics.get("solves").unwrap();
+    let cache = metrics.get("cache").unwrap();
+    println!(
+        "GET /metrics              -> solves started={} cache fast-path={} stores={}",
+        solves.get("started").unwrap().as_usize().unwrap(),
+        solves.get("cache_fast_path").unwrap().as_usize().unwrap(),
+        cache.get("stores").unwrap().as_usize().unwrap(),
+    );
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!("\nserver shut down cleanly");
+}

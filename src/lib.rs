@@ -15,6 +15,9 @@
 //! * [`fermihedral`] — the paper's contribution: SAT-optimal encodings.
 //! * [`engine`] — the parallel portfolio compilation engine with incumbent
 //!   sharing and a persistent solution cache.
+//! * [`serve`] — the long-running compilation server: HTTP endpoints,
+//!   request queueing and coalescing, deadlines, graceful shutdown.
+//! * [`jsonkit`] — the dependency-free JSON tree/writer/parser they share.
 //! * [`circuit`] — Pauli-evolution circuit synthesis and optimization.
 //! * [`qsim`] — noisy state-vector simulation and energy measurement.
 //! * [`mathkit`] — the numeric kernel underneath all of the above.
@@ -24,7 +27,9 @@ pub use encodings;
 pub use engine;
 pub use fermihedral;
 pub use fermion;
+pub use jsonkit;
 pub use mathkit;
 pub use pauli;
 pub use qsim;
 pub use sat;
+pub use serve;
