@@ -17,10 +17,16 @@
 //! portfolio must certify optimality in no more total conflicts (summed
 //! across lanes) than the incumbent-only portfolio, within slack.
 //!
-//! Usage: `engine_portfolio [--max-modes 4] [--timeout 30] [--out BENCH_engine.json] [--csv] [--check]`
+//! Usage: `engine_portfolio [--max-modes 4] [--timeout 30] [--out BENCH_engine.json] [--csv] [--check] [--shards N]`
+//!
+//! `--shards N` (N ≥ 2) adds a `portfolio-sharded<N>` cell per mode
+//! count: the same default portfolio raced across N `fermihedral-shard`
+//! worker processes, with the cross-process bridge traffic recorded in
+//! the `bridge_clauses` column.
 //!
 //! `--check` exits non-zero when any portfolio run fails to produce the
-//! optimality certificate (the CI smoke gate).
+//! optimality certificate (the CI smoke gate); with `--shards` it also
+//! requires live cross-process clause traffic and zero dead workers.
 
 use engine::json::{obj, Value};
 use engine::{compile, BaselineKind, ClauseSharing, EngineConfig, Strategy};
@@ -66,15 +72,18 @@ struct Cell {
     conflicts: u64,
     clauses_exported: u64,
     clauses_imported: u64,
+    /// Learnt clauses that crossed the coordinator's process bridge
+    /// (nonzero only for sharded runs).
+    bridge_clauses: u64,
+    /// Worker processes that died mid-race (sharded runs).
+    dead_shards: u64,
 }
 
-fn run(problem: &EncodingProblem, config: &EngineConfig, label: &str, modes: usize) -> Cell {
-    let started = Instant::now();
-    let outcome = compile(problem, config);
+fn cell_of(outcome: &engine::EngineOutcome, label: &str, modes: usize, seconds: f64) -> Cell {
     Cell {
         modes,
         strategy: label.to_string(),
-        seconds: started.elapsed().as_secs_f64(),
+        seconds,
         weight: outcome.weight(),
         optimal: outcome.optimal_proved,
         from_cache: outcome.from_cache,
@@ -91,11 +100,35 @@ fn run(problem: &EncodingProblem, config: &EngineConfig, label: &str, modes: usi
             .iter()
             .map(|w| w.clauses_imported)
             .sum(),
+        bridge_clauses: outcome
+            .report
+            .shards
+            .iter()
+            .map(|s| s.clauses_received)
+            .sum(),
+        dead_shards: outcome.report.shards.iter().filter(|s| s.dead).count() as u64,
     }
 }
 
+fn run(problem: &EncodingProblem, config: &EngineConfig, label: &str, modes: usize) -> Cell {
+    let started = Instant::now();
+    let outcome = compile(problem, config);
+    cell_of(&outcome, label, modes, started.elapsed().as_secs_f64())
+}
+
+fn run_sharded(
+    problem: &EncodingProblem,
+    config: &EngineConfig,
+    label: &str,
+    modes: usize,
+) -> Cell {
+    let started = Instant::now();
+    let outcome = shard::compile_sharded(problem, config);
+    cell_of(&outcome, label, modes, started.elapsed().as_secs_f64())
+}
+
 fn main() {
-    let args = Args::parse(&["max-modes", "timeout", "out", "csv", "check"]);
+    let args = Args::parse(&["max-modes", "timeout", "out", "csv", "check", "shards"]);
     let max_modes = args.get_usize("max-modes", 4).min(8);
     let timeout = args.get_duration_secs("timeout", 30.0);
     let out_path = args
@@ -104,6 +137,7 @@ fn main() {
         .to_string();
     let csv = args.get_bool("csv");
     let check = args.get_bool("check");
+    let shards = args.get_usize("shards", 0);
 
     println!("# Portfolio engine: single strategies vs the full race, per mode count");
     let mut table = Table::new(&[
@@ -116,6 +150,7 @@ fn main() {
         "conflicts",
         "exp",
         "imp",
+        "bridge",
     ]);
     let mut cells: Vec<Cell> = Vec::new();
 
@@ -179,6 +214,26 @@ fn main() {
         };
         cells.push(run(&problem, &portfolio, "portfolio", modes));
         cells.push(run(&problem, &portfolio, "portfolio-cached", modes));
+
+        // The multi-process race: same default portfolio, lanes sharded
+        // across `--shards` worker processes bridged by the coordinator
+        // (cold cache — a separate directory, so the in-process runs
+        // above cannot pre-answer it).
+        if shards >= 2 {
+            let sharded = EngineConfig {
+                strategies: Vec::new(),
+                total_timeout: Some(timeout),
+                max_concurrency: racing_slots,
+                shards,
+                ..EngineConfig::default()
+            };
+            cells.push(run_sharded(
+                &problem,
+                &sharded,
+                &format!("portfolio-sharded{shards}"),
+                modes,
+            ));
+        }
     }
 
     for cell in &cells {
@@ -192,6 +247,7 @@ fn main() {
             cell.conflicts.to_string(),
             cell.clauses_exported.to_string(),
             cell.clauses_imported.to_string(),
+            cell.bridge_clauses.to_string(),
         ]);
     }
     table.print(csv);
@@ -221,6 +277,8 @@ fn main() {
                             ("conflicts", Value::Num(c.conflicts as f64)),
                             ("clauses_exported", Value::Num(c.clauses_exported as f64)),
                             ("clauses_imported", Value::Num(c.clauses_imported as f64)),
+                            ("bridge_clauses", Value::Num(c.bridge_clauses as f64)),
+                            ("dead_shards", Value::Num(c.dead_shards as f64)),
                         ])
                     })
                     .collect(),
@@ -280,16 +338,30 @@ fn main() {
 
     let _ = std::fs::remove_dir_all(&cache_dir);
 
-    // CI gate: every portfolio run (sharing on and off) must have reached
-    // the optimality certificate.
+    // CI gate: every portfolio run (sharing on, off, and sharded) must
+    // have reached the optimality certificate; sharded runs big enough
+    // to generate conflicts (N ≥ 3) must also show real cross-process
+    // clause traffic and no dead workers.
     if check {
-        let failures: Vec<String> = cells
+        let mut failures: Vec<String> = cells
             .iter()
             .filter(|c| c.strategy.starts_with("portfolio") && !c.optimal)
-            .map(|c| format!("N={} {}", c.modes, c.strategy))
+            .map(|c| format!("N={} {} uncertified", c.modes, c.strategy))
             .collect();
+        failures.extend(
+            cells
+                .iter()
+                .filter(|c| c.strategy.starts_with("portfolio-sharded"))
+                .filter(|c| c.dead_shards > 0 || (c.modes >= 3 && c.bridge_clauses == 0))
+                .map(|c| {
+                    format!(
+                        "N={} {}: bridge_clauses={} dead_shards={}",
+                        c.modes, c.strategy, c.bridge_clauses, c.dead_shards
+                    )
+                }),
+        );
         if !failures.is_empty() {
-            eprintln!("CHECK FAILED: no optimality certificate for: {failures:?}");
+            eprintln!("CHECK FAILED: {failures:?}");
             std::process::exit(1);
         }
         println!("check: all portfolio runs certified optimal");

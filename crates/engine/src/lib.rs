@@ -43,6 +43,7 @@
 pub mod cache;
 pub mod fingerprint;
 pub mod portfolio;
+pub mod problemio;
 pub mod report;
 pub mod service;
 
@@ -53,7 +54,9 @@ pub use jsonkit as json;
 pub use cache::{CacheCounters, CacheEntry, SolutionCache};
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use portfolio::{
-    compile, default_portfolio, BaselineKind, ClauseSharing, EngineConfig, EngineOutcome, Strategy,
+    compile, compile_bridged, compile_with, default_portfolio, partition_strategies, BaselineKind,
+    ClauseSharing, EngineConfig, EngineOutcome, RaceBridge, Strategy,
 };
-pub use report::{CacheStatus, EngineReport, EventKind, WorkerEvent, WorkerReport};
+pub use problemio::{problem_from_json, problem_to_json};
+pub use report::{CacheStatus, EngineReport, EventKind, ShardReport, WorkerEvent, WorkerReport};
 pub use service::Engine;

@@ -36,10 +36,12 @@ use fermihedral::descent::{
 };
 use fermihedral::{anneal_pairing, AnnealConfig, EncodingInstance, EncodingProblem, Objective};
 use pauli::{PauliString, PhasedString};
-use sat::{CancelToken, ExchangeConfig, LaneHandle, RestartPolicyKind, SharedContext};
+use sat::{
+    CancelToken, ExchangeConfig, LaneHandle, RemoteExchange, RestartPolicyKind, SharedContext,
+};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// The classical constructions available as baseline/annealing-base
@@ -215,6 +217,13 @@ pub struct EngineConfig {
     /// waited exits without doing any work — so on a single-core host the
     /// portfolio costs one lane's wall time, not the sum of all lanes.
     pub max_concurrency: Option<usize>,
+    /// Worker *processes* to shard the lanes across (ROADMAP multi-process
+    /// sharding). `0` or `1` races every lane in this process. This field
+    /// is data: [`compile`] itself always runs in-process; the shard
+    /// coordinator (`fermihedral-shard`), the compilation server
+    /// (`serve --shards N`), and the benches read it and spawn worker
+    /// processes connected by the [`sat::wire`] clause/bound bridge.
+    pub shards: usize,
 }
 
 /// Counting semaphore bounding concurrent heavy lanes.
@@ -286,8 +295,9 @@ struct Incumbent {
     bound: SharedBound,
     best: Mutex<Option<(BestEncoding, String)>>,
     /// Strongest UNSAT floor proved so far (0 = none: a weight-0 encoding
-    /// is impossible, so floor 0 carries no information).
-    floor: AtomicUsize,
+    /// is impossible, so floor 0 carries no information). Shared with the
+    /// [`RaceBridge`] so a cross-process pump can forward floor proofs.
+    floor: Arc<AtomicUsize>,
     cancel: CancelToken,
     /// Lanes still running. Lets a lane that *waits* on the others (the
     /// re-seeding annealer) stop waiting once it is the last one standing,
@@ -302,7 +312,7 @@ impl Incumbent {
         Incumbent {
             bound: SharedBound::new(),
             best: Mutex::new(None),
-            floor: AtomicUsize::new(0),
+            floor: Arc::new(AtomicUsize::new(0)),
             cancel,
             active_lanes: AtomicUsize::new(lanes),
         }
@@ -353,6 +363,64 @@ impl Incumbent {
     }
 }
 
+/// The handles a cross-process bridge uses to participate in one race
+/// (ROADMAP multi-process sharding). Obtained through [`compile_bridged`];
+/// every handle is a clone of the race's own shared state, so a bridge
+/// thread in the same process can:
+///
+/// * tighten [`bound`](RaceBridge::bound) with incumbent weights arriving
+///   from other shards (and poll it for local improvements to send out);
+/// * watch [`floor`](RaceBridge::floor) for locally proved UNSAT floors
+///   (an UNSAT certificate is a property of the shared formula — valid in
+///   every shard);
+/// * raise [`cancel`](RaceBridge::cancel) when the coordinator reports
+///   the race decided elsewhere;
+/// * move learnt clauses in and out through
+///   [`remote`](RaceBridge::remote).
+#[derive(Debug, Clone)]
+pub struct RaceBridge {
+    /// The race's shared incumbent weight.
+    pub bound: SharedBound,
+    /// The race's cancellation token (also raised by the race itself once
+    /// it is decided locally).
+    pub cancel: CancelToken,
+    /// Strongest UNSAT floor proved by local lanes (0 = none yet).
+    pub floor: Arc<AtomicUsize>,
+    /// Clause bridge into the local exchange. `None` when the race has no
+    /// descent lane or clause sharing is disabled.
+    pub remote: Option<RemoteExchange>,
+}
+
+/// [`compile`] with a cross-process bridge attached: `on_start` receives
+/// the race's [`RaceBridge`] after the shared state exists but before any
+/// lane runs. The shard worker uses this to pump clauses and bounds
+/// between its race and the coordinator; see `fermihedral-shard`.
+///
+/// Caching is intentionally absent here — the *coordinator* owns the
+/// cache in a sharded run (workers of one race would all probe and store
+/// the same fingerprint).
+pub fn compile_bridged(
+    problem: &EncodingProblem,
+    config: &EngineConfig,
+    on_start: impl FnOnce(RaceBridge) + Send,
+) -> EngineOutcome {
+    compile_inner(problem, config, None, None, Some(Box::new(on_start)))
+}
+
+/// Splits `strategies` round-robin across `shards` worker processes, so
+/// lane diversity (seeds, restart schedules, baselines) spreads instead
+/// of clustering in one shard. Shards beyond the lane count are dropped:
+/// every returned partition is non-empty.
+pub fn partition_strategies(strategies: &[Strategy], shards: usize) -> Vec<Vec<Strategy>> {
+    let shards = shards.clamp(1, strategies.len().max(1));
+    let mut parts: Vec<Vec<Strategy>> = vec![Vec::new(); shards];
+    for (i, strategy) in strategies.iter().enumerate() {
+        parts[i % shards].push(strategy.clone());
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
 /// Compiles a problem with the portfolio engine. See the module docs.
 ///
 /// # Example
@@ -376,7 +444,8 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
 }
 
 /// [`compile`] against an externally managed cache handle and cancellation
-/// token — the re-entrant form the [`crate::Engine`] service handle uses.
+/// token — the re-entrant form the [`crate::Engine`] service handle and
+/// the shard coordinator's degradation paths use.
 ///
 /// * `cache` — a pre-opened [`SolutionCache`] shared across calls (its
 ///   counters accumulate over the handle's lifetime); `None` disables
@@ -384,11 +453,21 @@ pub fn compile(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcom
 /// * `external_cancel` — raised by the caller to abort the run and get
 ///   best-so-far back promptly. The engine also raises it itself once the
 ///   race is decided, so pass a token dedicated to this run.
-pub(crate) fn compile_with(
+pub fn compile_with(
     problem: &EncodingProblem,
     config: &EngineConfig,
     cache: Option<&SolutionCache>,
     external_cancel: Option<&CancelToken>,
+) -> EngineOutcome {
+    compile_inner(problem, config, cache, external_cancel, None)
+}
+
+fn compile_inner(
+    problem: &EncodingProblem,
+    config: &EngineConfig,
+    cache: Option<&SolutionCache>,
+    external_cancel: Option<&CancelToken>,
+    bridge_hook: Option<Box<dyn FnOnce(RaceBridge) + Send + '_>>,
 ) -> EngineOutcome {
     let started = Instant::now();
     let fp = fingerprint(problem);
@@ -427,13 +506,30 @@ pub(crate) fn compile_with(
 
     // Clause exchange between the descent lanes (they all solve the same
     // instance under the same variable numbering). One lane alone has no
-    // peers — skip the context so the off-path stays allocation-free.
+    // peers — skip the context so the off-path stays allocation-free —
+    // unless a cross-process bridge is attached, in which case even a
+    // single lane has remote peers to trade with.
     let descent_lanes = strategies
         .iter()
         .filter(|s| matches!(s, Strategy::SatDescent { .. }))
         .count();
-    let exchange = (config.clause_sharing.enabled && descent_lanes >= 2)
-        .then(|| SharedContext::new(descent_lanes, config.clause_sharing.exchange));
+    let mut remote_exchange = None;
+    let exchange = if bridge_hook.is_some() {
+        (config.clause_sharing.enabled && descent_lanes >= 1).then(|| {
+            let (ctx, remote) =
+                SharedContext::with_bridge(descent_lanes, config.clause_sharing.exchange);
+            if let Some(instance) = &instance {
+                // The CNF's variable count (totalizer included) bounds
+                // every literal a remote clause may legally reference.
+                remote.set_var_limit(instance.cnf().num_vars());
+            }
+            remote_exchange = Some(remote);
+            ctx
+        })
+    } else {
+        (config.clause_sharing.enabled && descent_lanes >= 2)
+            .then(|| SharedContext::new(descent_lanes, config.clause_sharing.exchange))
+    };
     let lane_handles: Vec<Option<LaneHandle>> = {
         let mut next_lane = 0usize;
         strategies
@@ -461,6 +557,15 @@ pub(crate) fn compile_with(
             },
             &format!("cache[{}]", entry.strategy),
         );
+    }
+
+    if let Some(hook) = bridge_hook {
+        hook(RaceBridge {
+            bound: incumbent.bound.clone(),
+            cancel: incumbent.cancel.clone(),
+            floor: incumbent.floor.clone(),
+            remote: remote_exchange,
+        });
     }
 
     let slots = Slots::new(
@@ -580,6 +685,7 @@ pub(crate) fn compile_with(
             cache_counters: cache.map(SolutionCache::counters).unwrap_or_default(),
             winner,
             workers,
+            shards: Vec::new(),
         },
     }
 }
@@ -602,6 +708,7 @@ fn skipped_lane(name: String, engine_start: Instant) -> WorkerReport {
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
+        shard: None,
     }
 }
 
@@ -625,6 +732,7 @@ fn serve_from_cache(
             cache_counters,
             winner: Some(format!("cache[{}]", entry.strategy)),
             workers: Vec::new(),
+            shards: Vec::new(),
         },
     }
 }
@@ -695,6 +803,7 @@ fn run_descent_lane(
         clauses_exported: outcome.solver_stats.exported_clauses,
         clauses_imported: outcome.solver_stats.imported_clauses,
         clauses_promoted: outcome.solver_stats.promoted_clauses,
+        shard: None,
     }
 }
 
@@ -759,6 +868,7 @@ fn run_baseline_lane(
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
+        shard: None,
     }
 }
 
@@ -907,5 +1017,6 @@ fn run_anneal_lane(
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
+        shard: None,
     }
 }

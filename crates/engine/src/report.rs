@@ -72,10 +72,22 @@ impl EventKind {
             _ => None,
         }
     }
+
+    /// Inverse of the JSON form ([`name`](Self::name) + optional weight).
+    fn from_parts(name: &str, weight: Option<usize>) -> Option<EventKind> {
+        Some(match (name, weight) {
+            ("improved", Some(w)) => EventKind::Improved(w),
+            ("proved-floor", Some(w)) => EventKind::ProvedFloor(w),
+            ("reseeded", Some(w)) => EventKind::Reseeded(w),
+            ("budget-exhausted", _) => EventKind::BudgetExhausted,
+            ("cancelled", _) => EventKind::Cancelled,
+            _ => return None,
+        })
+    }
 }
 
 /// One worker's timeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkerReport {
     /// Strategy name (e.g. `sat-descent[seed=2,rb=0.05]`).
     pub strategy: String,
@@ -99,6 +111,46 @@ pub struct WorkerReport {
     pub clauses_imported: u64,
     /// Imports first deferred by their bound tag, admitted later.
     pub clauses_promoted: u64,
+    /// Worker process this lane ran in, for sharded runs (`None` = the
+    /// coordinating process itself).
+    pub shard: Option<usize>,
+}
+
+/// Bridge traffic and liveness of one worker process in a sharded run.
+/// Counters are coordinator-side observations, so they stay meaningful
+/// even when the worker was killed mid-race.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Lanes assigned to this shard.
+    pub lanes: usize,
+    /// Learnt clauses this shard sent over the bridge.
+    pub clauses_sent: u64,
+    /// Remote learnt clauses forwarded into this shard.
+    pub clauses_received: u64,
+    /// Incumbent-bound frames this shard sent.
+    pub bounds_sent: u64,
+    /// Incumbent-bound frames forwarded into this shard.
+    pub bounds_received: u64,
+    /// True when the worker process died (or broke protocol) before
+    /// reporting a result; the race degrades to the surviving shards.
+    pub dead: bool,
+}
+
+impl ShardReport {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Value {
+        obj([
+            ("shard", Value::Num(self.shard as f64)),
+            ("lanes", Value::Num(self.lanes as f64)),
+            ("clauses_sent", Value::Num(self.clauses_sent as f64)),
+            ("clauses_received", Value::Num(self.clauses_received as f64)),
+            ("bounds_sent", Value::Num(self.bounds_sent as f64)),
+            ("bounds_received", Value::Num(self.bounds_received as f64)),
+            ("dead", Value::Bool(self.dead)),
+        ])
+    }
 }
 
 /// The full run report.
@@ -117,6 +169,9 @@ pub struct EngineReport {
     pub winner: Option<String>,
     /// Per-worker timelines (empty on a cache hit).
     pub workers: Vec<WorkerReport>,
+    /// Per-worker-process bridge traffic for sharded runs (empty for
+    /// in-process races).
+    pub shards: Vec<ShardReport>,
 }
 
 impl EngineReport {
@@ -155,51 +210,103 @@ impl EngineReport {
             ),
             (
                 "workers",
-                Value::Arr(self.workers.iter().map(worker_json).collect()),
+                Value::Arr(self.workers.iter().map(WorkerReport::to_json).collect()),
+            ),
+            (
+                "shards",
+                Value::Arr(self.shards.iter().map(ShardReport::to_json).collect()),
             ),
         ])
     }
 }
 
-fn worker_json(w: &WorkerReport) -> Value {
-    obj([
-        ("strategy", Value::Str(w.strategy.clone())),
-        ("started_seconds", Value::Num(w.started_at.as_secs_f64())),
-        ("finished_seconds", Value::Num(w.finished_at.as_secs_f64())),
-        (
-            "final_weight",
-            w.final_weight.map_or(Value::Null, |v| Value::Num(v as f64)),
-        ),
-        (
-            "proved_floor",
-            w.proved_floor.map_or(Value::Null, |v| Value::Num(v as f64)),
-        ),
-        ("cancelled", Value::Bool(w.cancelled)),
-        ("conflicts", Value::Num(w.conflicts as f64)),
-        ("clauses_exported", Value::Num(w.clauses_exported as f64)),
-        ("clauses_imported", Value::Num(w.clauses_imported as f64)),
-        ("clauses_promoted", Value::Num(w.clauses_promoted as f64)),
-        (
-            "events",
-            Value::Arr(
-                w.events
-                    .iter()
-                    .map(|e| {
-                        obj([
-                            ("at_seconds", Value::Num(e.at.as_secs_f64())),
-                            ("kind", Value::Str(e.kind.name().to_string())),
-                            (
-                                "weight",
-                                e.kind
-                                    .weight()
-                                    .map_or(Value::Null, |v| Value::Num(v as f64)),
-                            ),
-                        ])
-                    })
-                    .collect(),
+impl WorkerReport {
+    /// Machine-readable form (also the wire form a shard worker reports
+    /// its lane timelines in).
+    pub fn to_json(&self) -> Value {
+        let w = self;
+        obj([
+            ("strategy", Value::Str(w.strategy.clone())),
+            ("started_seconds", Value::Num(w.started_at.as_secs_f64())),
+            ("finished_seconds", Value::Num(w.finished_at.as_secs_f64())),
+            (
+                "final_weight",
+                w.final_weight.map_or(Value::Null, |v| Value::Num(v as f64)),
             ),
-        ),
-    ])
+            (
+                "proved_floor",
+                w.proved_floor.map_or(Value::Null, |v| Value::Num(v as f64)),
+            ),
+            ("cancelled", Value::Bool(w.cancelled)),
+            ("conflicts", Value::Num(w.conflicts as f64)),
+            ("clauses_exported", Value::Num(w.clauses_exported as f64)),
+            ("clauses_imported", Value::Num(w.clauses_imported as f64)),
+            ("clauses_promoted", Value::Num(w.clauses_promoted as f64)),
+            (
+                "shard",
+                w.shard.map_or(Value::Null, |v| Value::Num(v as f64)),
+            ),
+            (
+                "events",
+                Value::Arr(
+                    w.events
+                        .iter()
+                        .map(|e| {
+                            obj([
+                                ("at_seconds", Value::Num(e.at.as_secs_f64())),
+                                ("kind", Value::Str(e.kind.name().to_string())),
+                                (
+                                    "weight",
+                                    e.kind
+                                        .weight()
+                                        .map_or(Value::Null, |v| Value::Num(v as f64)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json) — the shard coordinator
+    /// merges worker-process reports through this. `None` when required
+    /// fields are missing or mistyped (a worker that died mid-write).
+    pub fn from_json(doc: &Value) -> Option<WorkerReport> {
+        let seconds = |v: &Value| {
+            let s = v.as_f64()?;
+            (s.is_finite() && s >= 0.0).then(|| Duration::from_secs_f64(s))
+        };
+        let events = doc
+            .get("events")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let kind = EventKind::from_parts(
+                    e.get("kind")?.as_str()?,
+                    e.get("weight").and_then(Value::as_usize),
+                )?;
+                Some(WorkerEvent {
+                    at: seconds(e.get("at_seconds")?)?,
+                    kind,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(WorkerReport {
+            strategy: doc.get("strategy")?.as_str()?.to_string(),
+            started_at: seconds(doc.get("started_seconds")?)?,
+            finished_at: seconds(doc.get("finished_seconds")?)?,
+            events,
+            final_weight: doc.get("final_weight").and_then(Value::as_usize),
+            proved_floor: doc.get("proved_floor").and_then(Value::as_usize),
+            cancelled: doc.get("cancelled")?.as_bool()?,
+            conflicts: doc.get("conflicts")?.as_usize()? as u64,
+            clauses_exported: doc.get("clauses_exported")?.as_usize()? as u64,
+            clauses_imported: doc.get("clauses_imported")?.as_usize()? as u64,
+            clauses_promoted: doc.get("clauses_promoted")?.as_usize()? as u64,
+            shard: doc.get("shard").and_then(Value::as_usize),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +346,16 @@ mod tests {
                 clauses_exported: 17,
                 clauses_imported: 5,
                 clauses_promoted: 2,
+                shard: Some(1),
+            }],
+            shards: vec![ShardReport {
+                shard: 1,
+                lanes: 3,
+                clauses_sent: 11,
+                clauses_received: 7,
+                bounds_sent: 2,
+                bounds_received: 1,
+                dead: false,
             }],
         };
         let text = report.to_json().to_json();
@@ -264,5 +381,51 @@ mod tests {
             events[1].get("kind").unwrap().as_str(),
             Some("proved-floor")
         );
+        let shards = parsed.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards[0].get("clauses_sent").unwrap().as_usize(), Some(11));
+        assert_eq!(shards[0].get("dead").unwrap().as_bool(), Some(false));
+
+        // The worker report round-trips through its JSON form — the shard
+        // coordinator depends on this to merge cross-process timelines.
+        let worker = WorkerReport::from_json(&workers[0]).expect("parses back");
+        assert_eq!(worker, report.workers[0]);
+    }
+
+    #[test]
+    fn worker_report_from_json_rejects_torn_documents() {
+        assert!(WorkerReport::from_json(&Value::Null).is_none());
+        assert!(WorkerReport::from_json(&obj([("strategy", Value::Str("x".into()))])).is_none());
+        // A negative timestamp must not panic Duration construction.
+        let mut good = EngineReport {
+            fingerprint: String::new(),
+            total_elapsed: Duration::ZERO,
+            cache: CacheStatus::Disabled,
+            cache_counters: CacheCounters::default(),
+            winner: None,
+            workers: vec![WorkerReport {
+                strategy: "s".into(),
+                started_at: Duration::ZERO,
+                finished_at: Duration::ZERO,
+                events: Vec::new(),
+                final_weight: None,
+                proved_floor: None,
+                cancelled: false,
+                conflicts: 0,
+                clauses_exported: 0,
+                clauses_imported: 0,
+                clauses_promoted: 0,
+                shard: None,
+            }],
+            shards: Vec::new(),
+        }
+        .to_json();
+        if let Value::Obj(fields) = &mut good {
+            if let Some(Value::Arr(workers)) = fields.get_mut("workers") {
+                if let Value::Obj(w) = &mut workers[0] {
+                    w.insert("started_seconds".into(), Value::Num(-4.0));
+                }
+                assert!(WorkerReport::from_json(&workers[0]).is_none());
+            }
+        }
     }
 }

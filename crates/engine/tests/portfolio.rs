@@ -500,3 +500,58 @@ fn report_json_round_trips() {
         outcome.report.workers.len()
     );
 }
+
+#[test]
+fn partition_spreads_lanes_round_robin() {
+    let problem = EncodingProblem::full_sat(3, Objective::MajoranaWeight);
+    let lanes = engine::default_portfolio(&problem);
+    let parts = engine::partition_strategies(&lanes, 2);
+    assert_eq!(parts.len(), 2);
+    assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), lanes.len());
+    // Round-robin: consecutive lanes land in different shards, so seed
+    // and restart diversity spreads instead of clustering.
+    assert_eq!(parts[0][0].name(), lanes[0].name());
+    assert_eq!(parts[1][0].name(), lanes[1].name());
+    // More shards than lanes: every partition stays non-empty.
+    let many = engine::partition_strategies(&lanes, lanes.len() + 5);
+    assert_eq!(many.len(), lanes.len());
+    assert!(many.iter().all(|p| p.len() == 1));
+    // Degenerate inputs do not panic.
+    assert!(engine::partition_strategies(&[], 3).is_empty());
+}
+
+#[test]
+fn compile_bridged_exposes_live_race_handles() {
+    // The shard worker attaches to a race through these handles; assert
+    // they observe the real shared state: the final incumbent weight,
+    // the proved floor, the decided cancel, and a live clause bridge.
+    let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+    let captured: std::sync::Mutex<Option<engine::RaceBridge>> = std::sync::Mutex::new(None);
+    let outcome = engine::compile_bridged(&problem, &EngineConfig::default(), |bridge| {
+        *captured.lock().unwrap() = Some(bridge);
+    });
+    let bridge = captured.into_inner().unwrap().expect("hook ran");
+    assert_eq!(outcome.weight(), Some(6));
+    assert!(outcome.optimal_proved);
+    assert_eq!(bridge.bound.get(), 6, "bound handle tracks the incumbent");
+    assert_eq!(
+        bridge.floor.load(std::sync::atomic::Ordering::Relaxed),
+        6,
+        "floor handle saw the UNSAT certificate"
+    );
+    assert!(bridge.cancel.is_cancelled(), "decided race raised cancel");
+    let remote = bridge.remote.expect("descent lanes get a bridge lane");
+    let mut outgoing = Vec::new();
+    remote.drain_outgoing(&mut outgoing);
+    // Whatever the lanes exported was also routed to the bridge inbox.
+    let exported: u64 = outcome
+        .report
+        .workers
+        .iter()
+        .map(|w| w.clauses_exported)
+        .sum();
+    assert!(
+        exported == 0 || !outgoing.is_empty(),
+        "exports must reach the bridge (exported {exported})"
+    );
+}

@@ -44,6 +44,7 @@ pub mod restart;
 pub mod shared;
 pub mod solver;
 pub mod types;
+pub mod wire;
 
 pub use cancel::CancelToken;
 pub use card::Totalizer;
@@ -51,6 +52,7 @@ pub use cnf::Cnf;
 pub use restart::{
     FixedRestarts, GeometricRestarts, LubyRestarts, RestartPolicy, RestartPolicyKind,
 };
-pub use shared::{ExchangeConfig, LaneHandle, SharedClause, SharedContext};
+pub use shared::{ExchangeConfig, LaneHandle, RemoteExchange, SharedClause, SharedContext};
 pub use solver::{Model, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};
+pub use wire::{Frame, FrameIoError, RemoteClause, WireError};

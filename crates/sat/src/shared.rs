@@ -192,6 +192,27 @@ impl SharedContext {
         }
     }
 
+    /// A context for `local_lanes` solvers plus one *bridge lane* that
+    /// relays clauses to and from other processes (ROADMAP multi-process
+    /// sharding). The bridge lane is an ordinary lane to the exchange —
+    /// local exports land in its inbox like any peer's — but no solver
+    /// drains it; the returned [`RemoteExchange`] does, and feeds remote
+    /// clauses back into the local lanes. Give solvers the handles
+    /// `0..local_lanes` only.
+    pub fn with_bridge(
+        local_lanes: usize,
+        config: ExchangeConfig,
+    ) -> (SharedContext, RemoteExchange) {
+        let ctx = SharedContext::new(local_lanes + 1, config);
+        let remote = RemoteExchange {
+            inner: ctx.inner.clone(),
+            bridge: local_lanes,
+            injected: Arc::new(AtomicU64::new(0)),
+            var_limit: Arc::new(AtomicUsize::new(0)),
+        };
+        (ctx, remote)
+    }
+
     /// Number of participating lanes.
     pub fn num_lanes(&self) -> usize {
         self.inner.lanes.len()
@@ -277,6 +298,98 @@ impl LaneHandle {
     /// Takes every clause pending in this lane's inbox.
     pub fn drain_into(&self, out: &mut Vec<SharedClause>) {
         self.inner.lanes[self.lane].drain_into(out);
+    }
+}
+
+/// The bridge end of a [`SharedContext::with_bridge`] context: the
+/// adapter a cross-process bridge thread uses to move clauses over the
+/// existing inbox machinery.
+///
+/// *Outgoing*: every local lane's exports land in the bridge lane's inbox
+/// (the bridge is just another peer); [`drain_outgoing`] takes them for
+/// serialization. *Incoming*: [`inject`] files a remote clause into every
+/// local lane's inbox, tagged with the bridge lane as its `source`.
+/// Injected clauses never enter the bridge's own inbox, so nothing a
+/// bridge receives can be drained back out of it — the in-process half of
+/// the no-echo guarantee (the coordinator's shard-indexed forwarding is
+/// the cross-process half).
+///
+/// [`drain_outgoing`]: RemoteExchange::drain_outgoing
+/// [`inject`]: RemoteExchange::inject
+#[derive(Debug, Clone)]
+pub struct RemoteExchange {
+    inner: Arc<ContextInner>,
+    bridge: usize,
+    injected: Arc<AtomicU64>,
+    /// Exclusive upper bound on variable indices accepted by `inject`
+    /// (0 = not configured). See [`set_var_limit`].
+    ///
+    /// [`set_var_limit`]: RemoteExchange::set_var_limit
+    var_limit: Arc<AtomicUsize>,
+}
+
+impl RemoteExchange {
+    /// The bridge's lane index (= the number of local lanes). Remote
+    /// clauses carry it as their `source`.
+    pub fn bridge_lane(&self) -> usize {
+        self.bridge
+    }
+
+    /// Declares the shared formula's variable count. Once set,
+    /// [`inject`](RemoteExchange::inject) rejects any clause referencing
+    /// a variable at or above it: remote clauses are only meaningful in
+    /// the shared numbering, and a corrupt frame with a huge literal
+    /// would otherwise make every importing solver allocate watch/
+    /// assignment state for billions of variables — one bad peer taking
+    /// down every healthy worker.
+    pub fn set_var_limit(&self, num_vars: usize) {
+        self.var_limit.store(num_vars, Ordering::Relaxed);
+    }
+
+    /// Takes every clause local lanes have exported since the last drain,
+    /// for forwarding to other processes.
+    pub fn drain_outgoing(&self, out: &mut Vec<SharedClause>) {
+        self.inner.lanes[self.bridge].drain_into(out);
+    }
+
+    /// Delivers a clause received from another process to every local
+    /// lane. Applies the local eligibility filter (a misconfigured peer
+    /// cannot flood the lanes with clauses they would never export) and
+    /// returns `false` without publishing when the clause fails it.
+    pub fn inject(&self, lits: &[Lit], lbd: u32, bound_tag: Option<usize>) -> bool {
+        let cfg = &self.inner.config;
+        let len = lits.len();
+        let eligible =
+            len >= 1 && (len <= 2 || (lbd <= cfg.lbd_threshold && len <= cfg.max_shared_len));
+        if !eligible {
+            return false;
+        }
+        let var_limit = self.var_limit.load(Ordering::Relaxed);
+        if var_limit != 0 && lits.iter().any(|l| l.var().index() >= var_limit) {
+            return false;
+        }
+        for (lane, inbox) in self.inner.lanes.iter().enumerate() {
+            if lane == self.bridge {
+                continue;
+            }
+            let displaced = inbox.push(SharedClause {
+                lits: lits.to_vec(),
+                lbd,
+                bound_tag,
+                source: self.bridge,
+            });
+            if displaced {
+                self.inner.overwritten[lane].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Number of clauses accepted by [`inject`](RemoteExchange::inject)
+    /// over this exchange's lifetime.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
     }
 }
 
@@ -377,6 +490,70 @@ mod tests {
         let mut second = Vec::new();
         b.drain_into(&mut second);
         assert!(second.is_empty());
+    }
+
+    #[test]
+    fn bridge_relays_without_echo() {
+        let (ctx, remote) = SharedContext::with_bridge(2, ExchangeConfig::default());
+        assert_eq!(remote.bridge_lane(), 2);
+
+        // A local export reaches the other local lane AND the bridge.
+        ctx.handle(0).export(&lits(&[1, -2]), 2, None);
+        let mut outgoing = Vec::new();
+        remote.drain_outgoing(&mut outgoing);
+        assert_eq!(outgoing.len(), 1);
+        assert_eq!(outgoing[0].source, 0);
+        let mut peer = Vec::new();
+        ctx.handle(1).drain_into(&mut peer);
+        assert_eq!(peer.len(), 1);
+
+        // An injected remote clause reaches every local lane, tagged with
+        // the bridge as its source — and never the bridge inbox itself.
+        assert!(remote.inject(&lits(&[3, 4]), 2, Some(9)));
+        assert_eq!(remote.injected(), 1);
+        for lane in 0..2 {
+            let mut got = Vec::new();
+            ctx.handle(lane).drain_into(&mut got);
+            let injected: Vec<_> = got.iter().filter(|c| c.source == 2).collect();
+            assert_eq!(injected.len(), 1, "lane {lane}");
+            assert_eq!(injected[0].bound_tag, Some(9));
+        }
+        let mut echo = Vec::new();
+        remote.drain_outgoing(&mut echo);
+        assert!(echo.is_empty(), "injected clauses must not echo back out");
+    }
+
+    #[test]
+    fn bridge_inject_applies_the_eligibility_filter() {
+        let (_ctx, remote) = SharedContext::with_bridge(
+            1,
+            ExchangeConfig {
+                lbd_threshold: 2,
+                max_shared_len: 4,
+                capacity_per_lane: 8,
+            },
+        );
+        assert!(!remote.inject(&lits(&[1, 2, 3]), 99, None), "high LBD");
+        assert!(!remote.inject(&lits(&[1, 2, 3, 4, 5]), 1, None), "too long");
+        assert!(!remote.inject(&[], 0, None), "empty");
+        assert!(remote.inject(&lits(&[1, 2]), 99, None), "binaries always");
+        assert_eq!(remote.injected(), 1);
+    }
+
+    #[test]
+    fn bridge_inject_rejects_out_of_range_variables() {
+        // A corrupt remote frame with a huge literal must not reach the
+        // lanes — importing it would make every solver reserve variable
+        // state up to that index.
+        let (_ctx, remote) = SharedContext::with_bridge(1, ExchangeConfig::default());
+        // Before the limit is declared, anything in-range goes through.
+        assert!(remote.inject(&lits(&[1, 2]), 1, None));
+        remote.set_var_limit(10);
+        assert!(remote.inject(&lits(&[9, -10]), 1, None), "vars 8,9 < 10");
+        let huge = vec![Var::new(2_000_000_000).positive()];
+        assert!(!remote.inject(&huge, 1, None), "var 2e9 >= limit 10");
+        assert!(!remote.inject(&lits(&[11]), 1, None), "var 10 >= limit 10");
+        assert_eq!(remote.injected(), 2);
     }
 
     #[test]

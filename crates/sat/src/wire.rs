@@ -1,0 +1,544 @@
+//! Length-prefixed binary frames for cross-process clause/bound exchange.
+//!
+//! The portfolio engine shards its lanes across OS processes (ROADMAP:
+//! multi-process sharding); the coordinator and its workers talk over
+//! pipes in the frame format defined here. The protocol carries exactly
+//! the traffic [`SharedContext`](crate::shared::SharedContext) moves
+//! between in-process lanes — learnt clauses, incumbent bounds, UNSAT
+//! floors, cancellation — plus opaque job/result payloads whose schema
+//! belongs to the shard crate, not to this one.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! [u32 LE body length][u8 tag][payload ...]
+//! ```
+//!
+//! The length counts the tag byte plus the payload. All integers are
+//! little-endian, literals travel as their [`Lit::code`] (`u32`). A frame
+//! body is capped at [`MAX_FRAME_LEN`]; a longer declared length is
+//! rejected *before* any allocation, so a corrupt length prefix cannot
+//! OOM the reader.
+//!
+//! # Error behavior
+//!
+//! Decoding never panics. Truncated input yields
+//! [`WireError::Truncated`], an unknown tag [`WireError::BadTag`], and
+//! any malformed payload (zero-length clause, flag byte out of range)
+//! [`WireError::Malformed`] — all structured, so a bridge can log and
+//! drop a bad peer instead of taking the coordinator down with it.
+
+use crate::shared::SharedClause;
+use crate::types::Lit;
+use std::io::{self, Read, Write};
+
+/// Protocol version; bump on any incompatible frame change. A worker
+/// whose [`Frame::Hello`] names a different version is rejected.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame body (tag + payload), chosen to fit any
+/// realistic job/result payload while keeping a corrupt length prefix
+/// harmless.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Structured decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the declared frame did.
+    Truncated {
+        /// Bytes the decoder needed.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The declared body length exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared length.
+        len: usize,
+    },
+    /// The tag byte names no known frame type.
+    BadTag(u8),
+    /// A payload field violates its invariant.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: needed {expected} bytes, got {got}")
+            }
+            WireError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame body of {len} bytes exceeds cap of {MAX_FRAME_LEN}"
+                )
+            }
+            WireError::BadTag(tag) => write!(f, "unknown frame tag {tag:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A clause crossing the process boundary: the in-process
+/// [`SharedClause`] plus the shard that produced it, so the coordinator
+/// can forward it to every shard *except* its origin (no echo loops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteClause {
+    /// Index of the shard whose lane learnt the clause.
+    pub shard: u32,
+    /// The clause (its `source` is the producer's *lane* within that
+    /// shard — diagnostics only once it crosses the boundary).
+    pub clause: SharedClause,
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → coordinator, first frame: identifies the shard and the
+    /// protocol version it speaks.
+    Hello {
+        /// The worker's shard index.
+        shard: u32,
+        /// [`PROTOCOL_VERSION`] of the worker binary.
+        protocol: u32,
+    },
+    /// Coordinator → worker: the problem and lane assignment, as an
+    /// opaque payload (the shard crate owns the schema).
+    Job(Vec<u8>),
+    /// A learnt clause, either direction.
+    Clause(RemoteClause),
+    /// An incumbent weight (a feasible encoding of this weight exists
+    /// somewhere in the race), either direction.
+    Bound(u64),
+    /// An UNSAT floor (no encoding strictly below this weight exists);
+    /// worker → coordinator.
+    Floor(u64),
+    /// Coordinator → worker: the race is decided, stop and report.
+    Cancel,
+    /// Worker → coordinator, terminal frame: the shard's outcome, as an
+    /// opaque payload (the shard crate owns the schema).
+    Result(Vec<u8>),
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_JOB: u8 = 2;
+const TAG_CLAUSE: u8 = 3;
+const TAG_BOUND: u8 = 4;
+const TAG_FLOOR: u8 = 5;
+const TAG_CANCEL: u8 = 6;
+const TAG_RESULT: u8 = 7;
+
+/// `bound_tag` presence flags in a clause payload.
+const BOUND_TAG_ABSENT: u8 = 0;
+const BOUND_TAG_PRESENT: u8 = 1;
+
+impl Frame {
+    /// Appends the encoded frame (length prefix included) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; 4]); // length back-patched below
+        match self {
+            Frame::Hello { shard, protocol } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&protocol.to_le_bytes());
+            }
+            Frame::Job(payload) => {
+                out.push(TAG_JOB);
+                out.extend_from_slice(payload);
+            }
+            Frame::Clause(remote) => {
+                out.push(TAG_CLAUSE);
+                out.extend_from_slice(&remote.shard.to_le_bytes());
+                out.extend_from_slice(&(remote.clause.source as u32).to_le_bytes());
+                out.extend_from_slice(&remote.clause.lbd.to_le_bytes());
+                match remote.clause.bound_tag {
+                    None => out.push(BOUND_TAG_ABSENT),
+                    Some(tag) => {
+                        out.push(BOUND_TAG_PRESENT);
+                        out.extend_from_slice(&(tag as u64).to_le_bytes());
+                    }
+                }
+                out.extend_from_slice(&(remote.clause.lits.len() as u32).to_le_bytes());
+                for lit in &remote.clause.lits {
+                    out.extend_from_slice(&(lit.code() as u32).to_le_bytes());
+                }
+            }
+            Frame::Bound(weight) => {
+                out.push(TAG_BOUND);
+                out.extend_from_slice(&weight.to_le_bytes());
+            }
+            Frame::Floor(floor) => {
+                out.push(TAG_FLOOR);
+                out.extend_from_slice(&floor.to_le_bytes());
+            }
+            Frame::Cancel => out.push(TAG_CANCEL),
+            Frame::Result(payload) => {
+                out.push(TAG_RESULT);
+                out.extend_from_slice(payload);
+            }
+        }
+        let body_len = (out.len() - start - 4) as u32;
+        out[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+    }
+
+    /// The encoded byte form (length prefix included).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the front of `input`.
+    ///
+    /// Returns the frame and the number of bytes consumed, so a reader
+    /// holding a buffer of concatenated frames can iterate.
+    ///
+    /// # Errors
+    ///
+    /// See the module docs; never panics on any input.
+    pub fn decode(input: &[u8]) -> Result<(Frame, usize), WireError> {
+        if input.len() < 4 {
+            return Err(WireError::Truncated {
+                expected: 4,
+                got: input.len(),
+            });
+        }
+        let body_len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+        if body_len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized { len: body_len });
+        }
+        if body_len == 0 {
+            return Err(WireError::Malformed("zero-length frame body"));
+        }
+        let total = 4 + body_len;
+        if input.len() < total {
+            return Err(WireError::Truncated {
+                expected: total,
+                got: input.len(),
+            });
+        }
+        let body = &input[4..total];
+        let frame = Frame::decode_body(body)?;
+        Ok((frame, total))
+    }
+
+    /// Decodes a frame body (tag + payload, no length prefix).
+    fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+        let tag = body[0];
+        let mut r = Cursor {
+            buf: &body[1..],
+            at: 0,
+        };
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello {
+                shard: r.u32()?,
+                protocol: r.u32()?,
+            },
+            TAG_JOB => return Ok(Frame::Job(body[1..].to_vec())),
+            TAG_CLAUSE => {
+                let shard = r.u32()?;
+                let source = r.u32()? as usize;
+                let lbd = r.u32()?;
+                let bound_tag = match r.u8()? {
+                    BOUND_TAG_ABSENT => None,
+                    BOUND_TAG_PRESENT => Some(r.u64()? as usize),
+                    _ => return Err(WireError::Malformed("bound-tag flag out of range")),
+                };
+                let count = r.u32()? as usize;
+                if count == 0 {
+                    return Err(WireError::Malformed("empty clause"));
+                }
+                // A corrupt count must not drive a huge allocation: the
+                // remaining payload bounds the real literal count.
+                if count > r.remaining() / 4 {
+                    return Err(WireError::Truncated {
+                        expected: 4 + body.len() - r.remaining() + 4 * count,
+                        got: 4 + body.len(),
+                    });
+                }
+                let mut lits = Vec::with_capacity(count);
+                for _ in 0..count {
+                    lits.push(Lit::from_code(r.u32()? as usize));
+                }
+                Frame::Clause(RemoteClause {
+                    shard,
+                    clause: SharedClause {
+                        lits,
+                        lbd,
+                        bound_tag,
+                        source,
+                    },
+                })
+            }
+            TAG_BOUND => Frame::Bound(r.u64()?),
+            TAG_FLOOR => Frame::Floor(r.u64()?),
+            TAG_CANCEL => Frame::Cancel,
+            TAG_RESULT => return Ok(Frame::Result(body[1..].to_vec())),
+            other => return Err(WireError::BadTag(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes after payload"));
+        }
+        Ok(frame)
+    }
+}
+
+/// Bounds-checked little-endian reader over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                expected: self.at + n,
+                got: self.buf.len(),
+            });
+        }
+        let slice = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Failures of the blocking [`read_frame`] / [`write_frame`] helpers.
+#[derive(Debug)]
+pub enum FrameIoError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The stream delivered a malformed frame.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameIoError::Io(e) => write!(f, "frame I/O: {e}"),
+            FrameIoError::Wire(e) => write!(f, "frame decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameIoError {}
+
+impl From<io::Error> for FrameIoError {
+    fn from(e: io::Error) -> Self {
+        FrameIoError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameIoError {
+    fn from(e: WireError) -> Self {
+        FrameIoError::Wire(e)
+    }
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// Returns `Ok(None)` on a clean EOF *between* frames (the peer closed
+/// its end); EOF in the middle of a frame is an
+/// [`io::ErrorKind::UnexpectedEof`] error.
+///
+/// # Errors
+///
+/// Stream failures and malformed frames; see [`FrameIoError`].
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<Frame>, FrameIoError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameIoError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            // A stray signal must not look like a dead peer.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let body_len = u32::from_le_bytes(prefix) as usize;
+    if body_len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len: body_len }.into());
+    }
+    if body_len == 0 {
+        return Err(WireError::Malformed("zero-length frame body").into());
+    }
+    let mut body = vec![0u8; body_len];
+    stream.read_exact(&mut body)?;
+    Ok(Some(Frame::decode_body(&body)?))
+}
+
+/// Writes one frame to a blocking stream (no flush; callers batch).
+///
+/// # Errors
+///
+/// Propagates stream failures.
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    stream.write_all(&frame.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(ids: &[i64]) -> Vec<Lit> {
+        ids.iter().map(|&i| Lit::from_dimacs(i)).collect()
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                shard: 3,
+                protocol: PROTOCOL_VERSION,
+            },
+            Frame::Job(b"{\"modes\":4}".to_vec()),
+            Frame::Clause(RemoteClause {
+                shard: 1,
+                clause: SharedClause {
+                    lits: lits(&[1, -2, 17]),
+                    lbd: 2,
+                    bound_tag: Some(40),
+                    source: 2,
+                },
+            }),
+            Frame::Clause(RemoteClause {
+                shard: 0,
+                clause: SharedClause {
+                    lits: lits(&[-9]),
+                    lbd: 1,
+                    bound_tag: None,
+                    source: 0,
+                },
+            }),
+            Frame::Bound(66),
+            Frame::Floor(64),
+            Frame::Cancel,
+            Frame::Result(b"{\"weight\":64}".to_vec()),
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            let (decoded, used) = Frame::decode(&bytes).expect("decodes");
+            assert_eq!(decoded, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.encode(&mut buf);
+        }
+        let mut at = 0;
+        for expected in &frames {
+            let (got, used) = Frame::decode(&buf[at..]).expect("decodes");
+            assert_eq!(&got, expected);
+            at += used;
+        }
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn every_truncation_is_a_structured_error() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            for cut in 0..bytes.len() {
+                match Frame::decode(&bytes[..cut]) {
+                    Err(WireError::Truncated { .. }) => {}
+                    other => panic!("truncation at {cut} of {frame:?} gave {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut bytes = Frame::Cancel.to_bytes();
+        bytes[4] = 0xEE;
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let mut bytes = vec![0u8; 8];
+        bytes[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::Oversized {
+                len: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_clause_count_cannot_drive_allocation() {
+        let frame = Frame::Clause(RemoteClause {
+            shard: 0,
+            clause: SharedClause {
+                lits: lits(&[1, 2]),
+                lbd: 2,
+                bound_tag: None,
+                source: 0,
+            },
+        });
+        let mut bytes = frame.to_bytes();
+        // The literal count sits 13 bytes into the body (tag + shard +
+        // source + lbd + flag); blow it up without growing the payload.
+        let count_at = 4 + 1 + 4 + 4 + 4 + 1;
+        bytes[count_at..count_at + 4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        match Frame::decode(&bytes) {
+            Err(WireError::Truncated { .. }) => {}
+            other => panic!("corrupt count gave {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_frame_handles_eof_positions() {
+        let bytes = Frame::Bound(9).to_bytes();
+        // Clean EOF between frames.
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+        // EOF inside a frame.
+        let mut torn: &[u8] = &bytes[..5];
+        assert!(matches!(read_frame(&mut torn), Err(FrameIoError::Io(_))));
+        // A full frame then EOF.
+        let mut whole: &[u8] = &bytes;
+        assert_eq!(read_frame(&mut whole).unwrap(), Some(Frame::Bound(9)));
+        assert!(matches!(read_frame(&mut whole), Ok(None)));
+    }
+}

@@ -21,8 +21,7 @@
 //! Response: see [`compile_response`].
 
 use engine::{CacheEntry, EngineOutcome};
-use fermihedral::{EncodingProblem, Objective};
-use fermion::MajoranaMonomial;
+use fermihedral::EncodingProblem;
 use jsonkit::{obj, Value};
 use std::time::Duration;
 
@@ -61,87 +60,10 @@ pub fn parse_compile_request(body: &[u8], max_modes: usize) -> Result<CompileReq
         }
     }
 
-    let modes = doc
-        .get("modes")
-        .ok_or("missing field \"modes\"")?
-        .as_usize()
-        .ok_or("\"modes\" must be a non-negative integer")?;
-    if modes == 0 {
-        return Err("\"modes\" must be at least 1".into());
-    }
-    if modes > max_modes {
-        return Err(format!(
-            "\"modes\" exceeds this server's limit of {max_modes}"
-        ));
-    }
-
-    let objective = match doc.get("objective") {
-        None => Objective::MajoranaWeight,
-        Some(Value::Str(s)) if s == "majorana" => Objective::MajoranaWeight,
-        Some(Value::Str(s)) => {
-            return Err(format!(
-                "unknown objective {s:?} (use \"majorana\" or {{\"hamiltonian\": [[..]]}})"
-            ))
-        }
-        Some(v) => {
-            let monomials = v
-                .get("hamiltonian")
-                .ok_or("\"objective\" must be \"majorana\" or {\"hamiltonian\": [[..]]}")?
-                .as_arr()
-                .ok_or("\"hamiltonian\" must be an array of monomials")?;
-            if monomials.is_empty() {
-                return Err("\"hamiltonian\" must name at least one monomial".into());
-            }
-            let mut parsed = Vec::with_capacity(monomials.len());
-            for (i, monomial) in monomials.iter().enumerate() {
-                let indices = monomial
-                    .as_arr()
-                    .ok_or_else(|| format!("monomial {i} must be an array of Majorana indices"))?;
-                if indices.is_empty() {
-                    return Err(format!("monomial {i} is empty"));
-                }
-                let mut idx = Vec::with_capacity(indices.len());
-                for v in indices {
-                    let n = v
-                        .as_usize()
-                        .ok_or_else(|| format!("monomial {i} has a non-integer index"))?;
-                    if n >= 2 * modes {
-                        return Err(format!(
-                            "monomial {i} index {n} out of range (< {})",
-                            2 * modes
-                        ));
-                    }
-                    idx.push(n as u32);
-                }
-                idx.sort_unstable();
-                if idx.windows(2).any(|w| w[0] == w[1]) {
-                    return Err(format!("monomial {i} repeats an index"));
-                }
-                parsed.push(MajoranaMonomial::from_sorted(idx));
-            }
-            Objective::HamiltonianWeight(parsed)
-        }
-    };
-
-    let get_bool = |name: &str| -> Result<Option<bool>, String> {
-        match doc.get(name) {
-            None => Ok(None),
-            Some(v) => v
-                .as_bool()
-                .map(Some)
-                .ok_or_else(|| format!("{name:?} must be a boolean")),
-        }
-    };
-    let mut problem = EncodingProblem::new(modes, objective);
-    if let Some(on) = get_bool("algebraic_independence")? {
-        if on && modes > 8 {
-            return Err("\"algebraic_independence\" is limited to 8 modes".into());
-        }
-        problem = problem.with_algebraic_independence(on);
-    }
-    if let Some(on) = get_bool("vacuum_condition")? {
-        problem = problem.with_vacuum_condition(on);
-    }
+    // The problem itself parses through the schema shared with the shard
+    // wire ([`engine::problemio`]), so the HTTP surface and the worker
+    // protocol accept exactly the same documents.
+    let problem = engine::problem_from_json(&doc, Some(max_modes))?;
 
     let deadline = match doc.get("deadline_ms") {
         None => None,
@@ -248,6 +170,7 @@ pub fn solution_response(fingerprint_hex: &str, entry: &CacheEntry) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fermihedral::Objective;
 
     fn parse(body: &str) -> Result<CompileRequest, String> {
         parse_compile_request(body.as_bytes(), 8)

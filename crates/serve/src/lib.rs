@@ -422,9 +422,13 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
             cell: cell.clone(),
         };
         match shared.queue.try_push(job) {
-            Ok(()) => {}
+            Ok(()) => {
+                metrics.jobs_enqueued.fetch_add(1, Ordering::Relaxed);
+                metrics.bump();
+            }
             Err(PushError::Full(_)) => {
                 metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                metrics.bump();
                 // Unregister and fail any follower that joined the cell in
                 // the window — they asked for the same overloaded queue.
                 shared.coalescer.finish(
@@ -531,6 +535,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         if shared.is_shutdown() {
             metrics.solves_shed.fetch_add(1, Ordering::Relaxed);
+            metrics.bump();
             shared.coalescer.finish(
                 &job.key,
                 SolveResult::Shed {
@@ -542,6 +547,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         metrics.solves_started.fetch_add(1, Ordering::Relaxed);
         metrics.active_solves.fetch_add(1, Ordering::Relaxed);
+        metrics.bump();
         // Followers that attached before this point may have extended the
         // cell's deadline beyond the admitting request's. A job that sat
         // in the queue past its deadline still runs, but with the minimum
@@ -552,11 +558,27 @@ fn worker_loop(shared: &Arc<Shared>) {
         let remaining = deadline_at
             .saturating_duration_since(Instant::now())
             .max(Duration::from_millis(1));
-        let outcome = shared.engine.compile_with_deadline(
-            &job.problem,
-            Some(remaining),
-            Some(&job.cell.cancel),
-        );
+        let outcome = if shared.config.engine.shards >= 2 {
+            // Sharded compilation: the same deadline and cancellation
+            // semantics, but lanes race in `fermihedral-shard worker`
+            // processes bridged by the coordinator (see crates/shard).
+            let mut config = shared.engine.config().clone();
+            config.total_timeout =
+                Some(config.total_timeout.map_or(remaining, |t| t.min(remaining)));
+            shard::compile_sharded_with(
+                &job.problem,
+                &config,
+                shared.engine.cache(),
+                Some(&job.cell.cancel),
+                &shard::ShardOptions::default(),
+            )
+        } else {
+            shared.engine.compile_with_deadline(
+                &job.problem,
+                Some(remaining),
+                Some(&job.cell.cancel),
+            )
+        };
         let timed_out = !outcome.optimal_proved && Instant::now() >= deadline_at;
         let cancelled = !outcome.optimal_proved && shared.is_shutdown();
         if timed_out {
@@ -564,6 +586,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         metrics.solves_completed.fetch_add(1, Ordering::Relaxed);
         metrics.active_solves.fetch_sub(1, Ordering::Relaxed);
+        metrics.bump();
         shared.coalescer.finish(
             &job.key,
             SolveResult::Done {

@@ -56,6 +56,9 @@ OPTIONS:
     --default-deadline-ms MS  deadline for requests that name none (default 10000)
     --max-deadline-ms MS      ceiling on any request deadline (default 120000)
     --max-modes N             largest accepted problem (default 8)
+    --shards N                shard each solve across N worker processes
+                              (default 0 = in-process; needs the
+                              fermihedral-shard binary on the usual paths)
     --watch-stdin             also shut down when stdin reaches EOF
     --help                    this text
 ";
@@ -87,6 +90,7 @@ fn parse_flags() -> Flags {
                     "--default-deadline-ms",
                     "--max-deadline-ms",
                     "--max-modes",
+                    "--shards",
                 ];
                 if !known.contains(&name) {
                     eprintln!("unknown flag {name}\n\n{USAGE}");
@@ -133,6 +137,7 @@ fn main() {
     let flags = parse_flags();
 
     let engine = EngineConfig {
+        shards: flags.get_num("shards", 0) as usize,
         cache_dir: flags.get("cache-dir").map(Into::into),
         cache_byte_cap: flags.get("cache-byte-cap").map(|v| {
             v.parse().unwrap_or_else(|_| {

@@ -6,7 +6,8 @@
 use engine::CacheCounters;
 use jsonkit::{obj, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Histogram bucket upper bounds, in milliseconds. The final implicit
 /// bucket is `+inf`.
@@ -99,13 +100,59 @@ pub struct Metrics {
     pub solves_shed: AtomicU64,
     /// Solves currently running in a worker.
     pub active_solves: AtomicU64,
+    /// Compile jobs admitted to the queue (leaders only).
+    pub jobs_enqueued: AtomicU64,
     /// End-to-end latency of `POST /v1/compile` requests.
     pub compile_latency: Histogram,
     /// Latency of `GET /v1/solution/<fp>` lookups.
     pub lookup_latency: Histogram,
+    /// Change signal backing [`wait_for`](Metrics::wait_for).
+    change: ChangeSignal,
+}
+
+/// Generation counter + condvar pair: every counter transition the
+/// server considers observable calls [`Metrics::bump`], and state-waiters
+/// block on the condvar instead of polling wall-clock sleeps.
+#[derive(Debug, Default)]
+struct ChangeSignal {
+    generation: Mutex<u64>,
+    changed: Condvar,
 }
 
 impl Metrics {
+    /// Signals that observable server state changed, waking every
+    /// [`wait_for`](Metrics::wait_for) caller to re-evaluate.
+    pub fn bump(&self) {
+        let mut generation = self.change.generation.lock().unwrap();
+        *generation = generation.wrapping_add(1);
+        self.change.changed.notify_all();
+    }
+
+    /// Blocks until `pred` holds or `timeout` elapses; returns whether
+    /// the predicate held. Wakes on every [`bump`](Metrics::bump), so
+    /// tests (and shutdown paths) can wait for a condition — "a solve is
+    /// running", "a job is queued" — instead of sleeping fixed intervals
+    /// that go flaky under load.
+    pub fn wait_for(&self, timeout: Duration, pred: impl Fn(&Metrics) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut generation = self.change.generation.lock().unwrap();
+        loop {
+            if pred(self) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return pred(self);
+            }
+            let (guard, _) = self
+                .change
+                .changed
+                .wait_timeout(generation, deadline - now)
+                .unwrap();
+            generation = guard;
+        }
+    }
+
     /// Classifies a response status into the class counters.
     pub fn record_response(&self, status: u16) {
         match status {
@@ -135,6 +182,7 @@ impl Metrics {
                 obj([
                     ("depth", Value::Num(queue_depth as f64)),
                     ("capacity", Value::Num(queue_capacity as f64)),
+                    ("enqueued", n(&self.jobs_enqueued)),
                     ("rejections", n(&self.queue_rejections)),
                 ]),
             ),

@@ -13,6 +13,7 @@ use serve::client::Client;
 use serve::{start, ServeConfig, ServerHandle};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -64,6 +65,16 @@ fn assert_valid_encoding(doc: &Value, modes: usize) {
     assert!(
         report.algebraically_independent,
         "returned encoding must be independent"
+    );
+}
+
+/// Condition-variable wait on the server's metrics: tests block on the
+/// actual state transition ("a solve is running", "a job was admitted")
+/// instead of sleeping fixed intervals that go flaky under load.
+fn wait_metric(handle: &ServerHandle, what: &str, pred: impl Fn(&serve::metrics::Metrics) -> bool) {
+    assert!(
+        handle.metrics().wait_for(Duration::from_secs(20), pred),
+        "timed out waiting for: {what}"
     );
 }
 
@@ -193,9 +204,14 @@ fn acceptance_eight_concurrent_clients() {
     );
 
     // ---- Phase D: queue overflow sheds with 429, accept loop stays live -
+    let solves_before = handle.metrics().solves_started.load(Ordering::Relaxed);
     let occupier =
         std::thread::spawn(move || post_compile(addr, r#"{"modes": 7, "deadline_ms": 5000}"#));
-    std::thread::sleep(Duration::from_millis(400)); // let it reach the worker
+    // Block until the occupier actually holds the (only) solve worker.
+    wait_metric(&handle, "occupier reaches the worker", |m| {
+        m.solves_started.load(Ordering::Relaxed) > solves_before
+            && m.active_solves.load(Ordering::Relaxed) >= 1
+    });
     let distinct_bodies = [
         r#"{"modes": 4, "deadline_ms": 5000}"#,
         r#"{"modes": 5, "deadline_ms": 5000}"#,
@@ -208,8 +224,11 @@ fn acceptance_eight_concurrent_clients() {
             .map(|b| scope.spawn(move || post_compile(addr, b)))
             .collect();
         // While the worker is occupied and the queue overflows, the accept
-        // loop must still answer instantly.
-        std::thread::sleep(Duration::from_millis(200));
+        // loop must still answer instantly. Wait for the overflow itself
+        // (first 429 recorded), not a guessed interval.
+        wait_metric(&handle, "queue overflow sheds a request", |m| {
+            m.queue_rejections.load(Ordering::Relaxed) >= 1
+        });
         let t0 = Instant::now();
         let (status, _) = get(addr, "/healthz");
         assert_eq!(status, 200);
@@ -282,10 +301,14 @@ fn graceful_shutdown_cancels_inflight_and_sheds_queued() {
     // A long solve occupies the worker; a second distinct job sits queued.
     let inflight =
         std::thread::spawn(move || post_compile(addr, r#"{"modes": 7, "deadline_ms": 60000}"#));
-    std::thread::sleep(Duration::from_millis(400));
+    wait_metric(&handle, "in-flight solve occupies the worker", |m| {
+        m.active_solves.load(Ordering::Relaxed) >= 1
+    });
     let queued =
         std::thread::spawn(move || post_compile(addr, r#"{"modes": 6, "deadline_ms": 60000}"#));
-    std::thread::sleep(Duration::from_millis(300));
+    wait_metric(&handle, "second job admitted to the queue", |m| {
+        m.jobs_enqueued.load(Ordering::Relaxed) >= 2
+    });
 
     shutdown_and_join(&handle);
 
@@ -399,6 +422,56 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
             .as_usize()
             .unwrap()
             >= 4
+    );
+    shutdown_and_join(&handle);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded compilation behind the server front-end
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_server_certifies_like_the_in_process_one() {
+    // The front-end drives `fermihedral-shard` worker processes when
+    // `EngineConfig::shards >= 2` (the `--shards N` flag). Same HTTP
+    // contract, same certificates — only the lane placement changes.
+    if shard::default_worker_bin().is_none() {
+        eprintln!("skipping: fermihedral-shard binary not built yet");
+        return;
+    }
+    let handle = start(ServeConfig {
+        solve_workers: 1,
+        engine: engine::EngineConfig {
+            shards: 2,
+            ..engine::EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let (status, doc) = post_compile(
+        addr,
+        r#"{"modes": 3, "algebraic_independence": true, "deadline_ms": 60000}"#,
+    );
+    assert_eq!(status, 200, "{}", doc.to_json());
+    assert_eq!(
+        doc.get("status").unwrap().as_str(),
+        Some("optimal"),
+        "{}",
+        doc.to_json()
+    );
+    assert_valid_encoding(&doc, 3);
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert_eq!(
+        metrics
+            .get("solves")
+            .unwrap()
+            .get("started")
+            .unwrap()
+            .as_usize(),
+        Some(1)
     );
     shutdown_and_join(&handle);
 }

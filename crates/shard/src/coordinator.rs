@@ -1,0 +1,736 @@
+//! The coordinator half of a sharded race: spawns `fermihedral-shard
+//! worker` processes, partitions the portfolio's lanes across them, and
+//! bridges their [`sat::SharedContext`]s — incumbent bounds, learnt
+//! clauses, UNSAT floors, and cancellation all travel as [`sat::wire`]
+//! frames over the workers' stdin/stdout pipes.
+//!
+//! # Echo-free clause forwarding
+//!
+//! A clause arriving from shard `s` is forwarded to every *other* live
+//! shard, never back to `s` ([`sat::wire::RemoteClause::shard`] is
+//! overwritten with the observed sender, so even a confused worker
+//! cannot loop its own clauses). Inside each worker the injected clause
+//! lands with the bridge lane as its `source`, which the bridge never
+//! drains back out — the two halves of the no-echo guarantee.
+//!
+//! # Certification across processes
+//!
+//! An UNSAT certificate is a property of the shared formula, so a
+//! `Floor(f)` from any shard bounds every shard. The coordinator merges
+//! floors (max) and incumbent weights (min); the moment they meet, the
+//! race is decided and every worker gets `Cancel`. The winning strings
+//! arrive with the terminal `Result` frames.
+//!
+//! # Crash containment
+//!
+//! A worker that dies (EOF without a `Result`), breaks protocol, or
+//! reports an encoding that fails validation is marked **dead** in
+//! [`engine::ShardReport`] and the race degrades to the survivors — a
+//! SIGKILL'd worker must never take the whole compilation down.
+
+use crate::proto::{Job, ShardResult};
+use engine::{
+    compile_with, default_portfolio, fingerprint, partition_strategies, CacheEntry, CacheStatus,
+    EngineConfig, EngineOutcome, EngineReport, ShardReport, SolutionCache, Strategy, WorkerReport,
+};
+use fermihedral::descent::BestEncoding;
+use fermihedral::{EncodingProblem, Objective};
+use pauli::PhasedString;
+use sat::wire::{read_frame, write_frame, Frame, RemoteClause};
+use sat::CancelToken;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The worker binary's file name.
+pub const WORKER_BIN: &str = "fermihedral-shard";
+
+/// Extra wall-clock past the configured timeout before the coordinator
+/// broadcasts `Cancel` itself (workers enforce the timeout first).
+const CANCEL_GRACE: Duration = Duration::from_millis(500);
+
+/// Extra wall-clock past the cancel broadcast before surviving workers
+/// are killed outright.
+const KILL_GRACE: Duration = Duration::from_secs(5);
+
+/// Process-management options for a sharded run.
+#[derive(Clone, Default)]
+pub struct ShardOptions {
+    /// Path to the worker binary; `None` resolves via
+    /// [`default_worker_bin`].
+    pub worker_bin: Option<PathBuf>,
+    /// Called with `(shard, pid)` for every spawned worker — the
+    /// fault-injection tests use this to SIGKILL a worker mid-race.
+    pub spawn_hook: Option<Arc<dyn Fn(usize, u32) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ShardOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardOptions")
+            .field("worker_bin", &self.worker_bin)
+            .field("spawn_hook", &self.spawn_hook.is_some())
+            .finish()
+    }
+}
+
+/// Locates the worker binary: the `FERMIHEDRAL_SHARD_BIN` environment
+/// variable, then `fermihedral-shard` next to the current executable,
+/// then in its parent directory (where cargo puts workspace binaries
+/// relative to test executables in `deps/`).
+pub fn default_worker_bin() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("FERMIHEDRAL_SHARD_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Some(path);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    let name = format!("{WORKER_BIN}{}", std::env::consts::EXE_SUFFIX);
+    [dir.join(&name), dir.parent()?.join(&name)]
+        .into_iter()
+        .find(|c| c.is_file())
+}
+
+/// Compiles with lanes sharded across [`EngineConfig::shards`] worker
+/// processes. With fewer than 2 shards (or when no worker can be
+/// spawned) this degrades to the in-process [`engine::compile`].
+pub fn compile_sharded(problem: &EncodingProblem, config: &EngineConfig) -> EngineOutcome {
+    let cache = config
+        .cache_dir
+        .as_ref()
+        .and_then(|dir| SolutionCache::open(dir).ok())
+        .map(|c| c.with_byte_cap(config.cache_byte_cap));
+    compile_sharded_with(
+        problem,
+        config,
+        cache.as_ref(),
+        None,
+        &ShardOptions::default(),
+    )
+}
+
+/// [`compile_sharded`] against an externally managed cache handle and
+/// cancellation token — the form the compilation server uses (mirrors
+/// the in-process engine's service entry point).
+pub fn compile_sharded_with(
+    problem: &EncodingProblem,
+    config: &EngineConfig,
+    cache: Option<&SolutionCache>,
+    external_cancel: Option<&CancelToken>,
+    options: &ShardOptions,
+) -> EngineOutcome {
+    if config.shards < 2 {
+        // Keep the caller's cache handle and cancellation token: a
+        // degraded run must stay cancellable (server shutdown!) and its
+        // cache traffic must land on the shared counters.
+        return compile_with(problem, config, cache, external_cancel);
+    }
+    let started = Instant::now();
+    let fp = fingerprint(problem);
+
+    // ---- Cache probe (the coordinator owns the cache) -------------------
+    let mut cache_status = if cache.is_some() {
+        CacheStatus::Miss
+    } else {
+        CacheStatus::Disabled
+    };
+    let mut warm_start: Option<CacheEntry> = None;
+    if let Some(cache) = cache {
+        if let Some(entry) = cache.lookup(&fp) {
+            if entry.optimal {
+                return EngineOutcome {
+                    best: Some(BestEncoding {
+                        strings: entry.strings.clone(),
+                        weight: entry.weight,
+                    }),
+                    optimal_proved: true,
+                    from_cache: true,
+                    report: EngineReport {
+                        fingerprint: fp.to_hex(),
+                        total_elapsed: started.elapsed(),
+                        cache: CacheStatus::HitOptimal,
+                        cache_counters: cache.counters(),
+                        winner: Some(format!("cache[{}]", entry.strategy)),
+                        workers: Vec::new(),
+                        shards: Vec::new(),
+                    },
+                };
+            }
+            cache_status = CacheStatus::HitWarmStart;
+            warm_start = Some(entry);
+        }
+    }
+
+    // ---- Partition lanes and spawn workers ------------------------------
+    let strategies = if config.strategies.is_empty() {
+        default_portfolio(problem)
+    } else {
+        config.strategies.clone()
+    };
+    let parts = partition_strategies(&strategies, config.shards);
+    let Some(worker_bin) = options.worker_bin.clone().or_else(default_worker_bin) else {
+        eprintln!("fermihedral-shard: worker binary not found; racing in-process instead");
+        return compile_with(problem, config, cache, external_cancel);
+    };
+
+    let race = Race::launch(
+        problem,
+        config,
+        &parts,
+        &fp.to_hex(),
+        &worker_bin,
+        options,
+        warm_start.as_ref(),
+    );
+    let (mut outcome, floor) = race.run(started, config.total_timeout, external_cancel, problem);
+
+    // Total-loss containment: every worker died (or never spawned — a
+    // missing binary lands here too) before reporting anything. The user
+    // asked for a compilation, not an obituary: race in-process instead,
+    // keeping the dead-shard forensics in the report.
+    if outcome.best.is_none() && outcome.report.shards.iter().all(|s| s.dead) {
+        eprintln!("fermihedral-shard: every worker died; racing in-process instead");
+        let dead_shards = std::mem::take(&mut outcome.report.shards);
+        // No cache handle: this function's tail owns the probe/store;
+        // the external cancel still aborts the fallback race promptly.
+        outcome = compile_with(problem, config, None, external_cancel);
+        outcome.report.shards = dead_shards;
+    }
+
+    // ---- Cache store and warm-start fallback ----------------------------
+    if let Some(entry) = &warm_start {
+        let cached_better = outcome
+            .best
+            .as_ref()
+            .is_none_or(|b| entry.weight < b.weight);
+        if cached_better {
+            // The race never beat the cached best-so-far; keep it. It may
+            // even be optimal now: the warm-start weight was broadcast as
+            // the opening bound, so a run whose lanes all went UNSAT has
+            // proved a floor *at* the cached weight.
+            outcome.best = Some(BestEncoding {
+                strings: entry.strings.clone(),
+                weight: entry.weight,
+            });
+            outcome.report.winner = Some(format!("cache[{}]", entry.strategy));
+            outcome.optimal_proved = floor != 0 && entry.weight == floor;
+        }
+    }
+    outcome.report.fingerprint = fp.to_hex();
+    outcome.report.cache = cache_status;
+    outcome.report.total_elapsed = started.elapsed();
+    if let (Some(cache), Some(best)) = (cache, &outcome.best) {
+        let entry = CacheEntry {
+            strings: best.strings.clone(),
+            weight: best.weight,
+            optimal: outcome.optimal_proved,
+            strategy: outcome.report.winner.clone().unwrap_or_default(),
+        };
+        let _ = cache.store_if_better(&fp, &entry);
+        outcome.report.cache_counters = cache.counters();
+    }
+    outcome
+}
+
+/// One event from a worker's reader thread.
+enum Event {
+    Frame(usize, Frame),
+    /// EOF or a read error: the worker is gone (clean or not).
+    Gone(usize),
+}
+
+/// Per-worker outgoing queue depth. Frames beyond it are dropped
+/// (clause/bound sharing is best-effort); `Job` is always the first
+/// frame into an empty queue, and the kill path never needs the pipe.
+const WRITER_QUEUE: usize = 1024;
+
+struct Worker {
+    /// `None` when the spawn itself failed.
+    child: Option<Child>,
+    /// Bounded queue into the worker's dedicated writer thread. Writes
+    /// to a worker that stops draining its stdin back up *here* (and
+    /// get dropped), never in a blocking `write` on the event loop — a
+    /// frozen worker must not be able to wedge the whole race.
+    tx: Option<mpsc::SyncSender<Frame>>,
+    report: ShardReport,
+    result: Option<ShardResult>,
+    /// Hello seen and Job sent.
+    jobbed: bool,
+    /// The worker's stdout reached EOF (clean exit or crash).
+    gone: bool,
+}
+
+impl Worker {
+    fn kill(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+        }
+        self.report.dead = true;
+        self.tx = None;
+    }
+}
+
+struct Race {
+    workers: Vec<Worker>,
+    events: mpsc::Receiver<Event>,
+    jobs: Vec<Job>,
+    /// Cache warm-start weight, broadcast as the opening bound.
+    initial_bound: Option<usize>,
+}
+
+impl Race {
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        problem: &EncodingProblem,
+        config: &EngineConfig,
+        parts: &[Vec<Strategy>],
+        fp_hex: &str,
+        worker_bin: &PathBuf,
+        options: &ShardOptions,
+        warm_start: Option<&CacheEntry>,
+    ) -> Race {
+        let (tx, events) = mpsc::channel();
+        let mut workers = Vec::with_capacity(parts.len());
+        let mut jobs = Vec::with_capacity(parts.len());
+        for (shard, lanes) in parts.iter().enumerate() {
+            jobs.push(Job {
+                shard,
+                total_shards: parts.len(),
+                fingerprint: fp_hex.to_string(),
+                problem: problem.clone(),
+                strategies: lanes.clone(),
+                total_timeout: config.total_timeout,
+                conflict_budget_per_call: config.conflict_budget_per_call,
+                persist_on_budget: config.persist_on_budget,
+                clause_sharing: config.clause_sharing,
+                max_concurrency: config.max_concurrency,
+            });
+            let mut report = ShardReport {
+                shard,
+                lanes: lanes.len(),
+                ..ShardReport::default()
+            };
+            let spawned = Command::new(worker_bin)
+                .arg("worker")
+                .arg("--shard")
+                .arg(shard.to_string())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn();
+            match spawned {
+                Ok(mut child) => {
+                    if let Some(hook) = &options.spawn_hook {
+                        hook(shard, child.id());
+                    }
+                    let stdin = child.stdin.take().expect("stdin was piped");
+                    let stdout = child.stdout.take().expect("stdout was piped");
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        let mut stdout = stdout;
+                        loop {
+                            match read_frame(&mut stdout) {
+                                Ok(Some(frame)) => {
+                                    if tx.send(Event::Frame(shard, frame)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Ok(None) | Err(_) => {
+                                    let _ = tx.send(Event::Gone(shard));
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                    // Writer thread: the only place that blocks on the
+                    // worker's stdin. Exits when the queue sender drops
+                    // (EOF for the worker) or the pipe breaks.
+                    let (wtx, wrx) = mpsc::sync_channel::<Frame>(WRITER_QUEUE);
+                    std::thread::spawn(move || {
+                        let mut stdin = stdin;
+                        while let Ok(frame) = wrx.recv() {
+                            if write_frame(&mut stdin, &frame)
+                                .and_then(|()| stdin.flush())
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                    });
+                    workers.push(Worker {
+                        child: Some(child),
+                        tx: Some(wtx),
+                        report,
+                        result: None,
+                        jobbed: false,
+                        gone: false,
+                    });
+                }
+                Err(e) => {
+                    eprintln!("fermihedral-shard: spawning worker {shard}: {e}");
+                    report.dead = true;
+                    workers.push(Worker {
+                        child: None,
+                        tx: None,
+                        report,
+                        result: None,
+                        jobbed: false,
+                        gone: true,
+                    });
+                }
+            }
+        }
+        Race {
+            workers,
+            events,
+            jobs,
+            initial_bound: warm_start.map(|e| e.weight),
+        }
+    }
+
+    /// Queues a frame for one worker's writer thread. Returns whether
+    /// the frame was accepted: a full queue (worker not draining) drops
+    /// best-effort traffic instead of blocking the event loop, and a
+    /// disconnected one (writer saw a broken pipe) drops the sender.
+    fn send(&mut self, shard: usize, frame: &Frame) -> bool {
+        let worker = &mut self.workers[shard];
+        let Some(tx) = worker.tx.as_ref() else {
+            return false;
+        };
+        match tx.try_send(frame.clone()) {
+            Ok(()) => true,
+            Err(mpsc::TrySendError::Full(_)) => false,
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                worker.tx = None;
+                false
+            }
+        }
+    }
+
+    fn broadcast(&mut self, frame: &Frame, except: Option<usize>) {
+        for shard in 0..self.workers.len() {
+            if Some(shard) != except {
+                self.send(shard, frame);
+            }
+        }
+    }
+
+    fn alive(&self, shard: usize) -> bool {
+        let w = &self.workers[shard];
+        !w.report.dead && !w.gone && w.result.is_none()
+    }
+
+    fn run(
+        mut self,
+        started: Instant,
+        total_timeout: Option<Duration>,
+        external_cancel: Option<&CancelToken>,
+        problem: &EncodingProblem,
+    ) -> (EngineOutcome, usize) {
+        // Lightest weight any shard (or the warm-start cache entry)
+        // established; strictly-better updates are forwarded to peers.
+        let mut best_bound = self.initial_bound.unwrap_or(usize::MAX);
+        // Raw floor claims steer the race (early cancel); the *final*
+        // certificate only trusts claims consistent with a validated
+        // encoding — see `merge`.
+        let mut floor = 0usize;
+        let mut floor_claims: Vec<usize> = Vec::new();
+        let mut cancel_sent_at: Option<Instant> = None;
+
+        loop {
+            // All workers accounted for (result, death, or clean exit)?
+            if self
+                .workers
+                .iter()
+                .all(|w| w.result.is_some() || w.report.dead || w.gone)
+            {
+                break;
+            }
+
+            // Deadline and external-cancel management.
+            let now = Instant::now();
+            let overdue = total_timeout.is_some_and(|t| now >= started + t + CANCEL_GRACE);
+            let externally_cancelled = external_cancel.is_some_and(CancelToken::is_cancelled);
+            if (overdue || externally_cancelled) && cancel_sent_at.is_none() {
+                self.broadcast(&Frame::Cancel, None);
+                cancel_sent_at = Some(now);
+            }
+            if cancel_sent_at.is_some_and(|at| now >= at + KILL_GRACE) {
+                // Workers that ignored Cancel long past grace: kill them.
+                for shard in 0..self.workers.len() {
+                    if self.alive(shard) {
+                        self.workers[shard].kill();
+                    }
+                }
+                break;
+            }
+
+            let event = match self.events.recv_timeout(Duration::from_millis(20)) {
+                Ok(event) => event,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            match event {
+                Event::Frame(shard, Frame::Hello { protocol, .. }) => {
+                    if protocol != sat::wire::PROTOCOL_VERSION {
+                        eprintln!(
+                            "fermihedral-shard: worker {shard} speaks protocol {protocol}, \
+                             coordinator speaks {}; dropping it",
+                            sat::wire::PROTOCOL_VERSION
+                        );
+                        self.workers[shard].kill();
+                        continue;
+                    }
+                    if !self.workers[shard].jobbed {
+                        self.workers[shard].jobbed = true;
+                        let job = Frame::Job(self.jobs[shard].to_bytes());
+                        self.send(shard, &job);
+                        // A warm-start (or earlier shard's) bound primes
+                        // the newcomer's descent immediately.
+                        if best_bound != usize::MAX {
+                            self.send(shard, &Frame::Bound(best_bound as u64));
+                        }
+                    }
+                }
+                Event::Frame(shard, Frame::Clause(RemoteClause { clause, .. })) => {
+                    self.workers[shard].report.clauses_sent += 1;
+                    // After Cancel, workers stop reading their stdin;
+                    // forwarding into an undrained pipe could stall this
+                    // loop once the buffer fills. The race is decided —
+                    // drop wind-down traffic instead.
+                    if cancel_sent_at.is_some() {
+                        continue;
+                    }
+                    let forwarded = Frame::Clause(RemoteClause {
+                        shard: shard as u32, // trust the pipe, not the tag
+                        clause,
+                    });
+                    for target in 0..self.workers.len() {
+                        if target != shard && self.alive(target) && self.send(target, &forwarded) {
+                            self.workers[target].report.clauses_received += 1;
+                        }
+                    }
+                }
+                Event::Frame(shard, Frame::Bound(weight)) => {
+                    self.workers[shard].report.bounds_sent += 1;
+                    let weight = weight as usize;
+                    if weight < best_bound {
+                        best_bound = weight;
+                        for target in 0..self.workers.len() {
+                            if target != shard
+                                && self.alive(target)
+                                && cancel_sent_at.is_none()
+                                && self.send(target, &Frame::Bound(weight as u64))
+                            {
+                                self.workers[target].report.bounds_received += 1;
+                            }
+                        }
+                        if floor != 0 && best_bound <= floor && cancel_sent_at.is_none() {
+                            self.broadcast(&Frame::Cancel, None);
+                            cancel_sent_at = Some(Instant::now());
+                        }
+                    }
+                }
+                Event::Frame(_, Frame::Floor(f)) => {
+                    floor = floor.max(f as usize);
+                    floor_claims.push(f as usize);
+                    if floor != 0 && best_bound <= floor && cancel_sent_at.is_none() {
+                        // The incumbent meets the proven floor: decided.
+                        self.broadcast(&Frame::Cancel, None);
+                        cancel_sent_at = Some(Instant::now());
+                    }
+                }
+                Event::Frame(shard, Frame::Result(payload)) => {
+                    match ShardResult::from_bytes(&payload) {
+                        Ok(result) => {
+                            if let Some(f) = result.proved_floor {
+                                floor = floor.max(f);
+                                floor_claims.push(f);
+                            }
+                            if let Some(w) = result.weight {
+                                best_bound = best_bound.min(w);
+                            }
+                            let decided = result.optimal || (floor != 0 && best_bound <= floor);
+                            self.workers[shard].result = Some(result);
+                            // Let the worker exit: dropping its queue
+                            // sender ends the writer thread, which drops
+                            // the pipe — EOF on the worker's stdin.
+                            self.workers[shard].tx = None;
+                            if decided && cancel_sent_at.is_none() {
+                                self.broadcast(&Frame::Cancel, None);
+                                cancel_sent_at = Some(Instant::now());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("fermihedral-shard: worker {shard} sent a bad result: {e}");
+                            self.workers[shard].report.dead = true;
+                        }
+                    }
+                }
+                Event::Frame(_, _) => {} // Job/Cancel from a worker: ignore
+                Event::Gone(shard) => {
+                    self.workers[shard].gone = true;
+                    self.workers[shard].tx = None;
+                    // EOF without a result before any Cancel is always a
+                    // death. After Cancel it is ambiguous — a no-work
+                    // worker winds down resultless by design — so the
+                    // verdict is deferred to its exit status at reap
+                    // time (clean 0 = wind-down, anything else = death).
+                    if self.workers[shard].result.is_none() && cancel_sent_at.is_none() {
+                        self.workers[shard].report.dead = true;
+                    }
+                }
+            }
+        }
+
+        // Reap every child (bounded: anything still alive gets killed),
+        // and settle the deferred death verdicts from the Gone handler.
+        for worker in &mut self.workers {
+            worker.tx = None; // EOF lets a lingering worker exit
+            let Some(child) = &mut worker.child else {
+                continue;
+            };
+            let deadline = Instant::now() + Duration::from_secs(2);
+            let status = loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => break Some(status),
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10))
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        break child.wait().ok();
+                    }
+                }
+            };
+            // No result and not a clean exit 0: the worker died (was
+            // signalled, crashed, or had to be killed), whenever that
+            // happened relative to the Cancel broadcast.
+            if worker.result.is_none() && !status.is_some_and(|s| s.success()) {
+                worker.report.dead = true;
+            }
+        }
+
+        self.merge(started, &floor_claims, problem)
+    }
+
+    /// Merges shard results into one engine outcome plus the *accepted*
+    /// UNSAT floor. Validates any claimed best encoding, and only trusts
+    /// floor claims consistent with it — a corrupt worker must not be
+    /// able to poison the cache or the caller. (A floor *equal* to the
+    /// validated optimum is accepted on the worker's word: an UNSAT
+    /// proof cannot be cheaply re-checked, and workers are this
+    /// repository's own binary — the same trust extended to an
+    /// in-process thread. The defense here is against corruption and
+    /// provable lies, not a fully Byzantine peer.)
+    fn merge(
+        self,
+        started: Instant,
+        floor_claims: &[usize],
+        problem: &EncodingProblem,
+    ) -> (EngineOutcome, usize) {
+        let mut best: Option<(BestEncoding, String)> = None;
+        let mut workers: Vec<WorkerReport> = Vec::new();
+        let mut shards: Vec<ShardReport> = Vec::new();
+        for (shard, worker) in self.workers.into_iter().enumerate() {
+            shards.push(worker.report);
+            let Some(result) = worker.result else {
+                continue;
+            };
+            for mut lane in result.workers {
+                lane.shard = Some(shard);
+                workers.push(lane);
+            }
+            if let (Some(claimed), Some(strings)) = (result.weight, result.strings) {
+                let valid =
+                    strings.len() == 2 * problem.num_modes() && validates(problem, &strings);
+                if !valid {
+                    eprintln!(
+                        "fermihedral-shard: worker {shard} claimed an invalid encoding; \
+                         marking it dead"
+                    );
+                    shards[shard].dead = true;
+                    continue;
+                }
+                // Trust the strings, not the claim: re-measure locally so
+                // a corrupt weight can neither steal the win nor fake an
+                // optimality certificate.
+                let weight = measure_weight(problem, &strings);
+                if weight != claimed {
+                    eprintln!(
+                        "fermihedral-shard: worker {shard} claimed weight {claimed}, \
+                         measured {weight}; using the measurement"
+                    );
+                }
+                let better = best.as_ref().is_none_or(|(b, _)| weight < b.weight);
+                if better {
+                    best = Some((
+                        BestEncoding { strings, weight },
+                        result.winner.unwrap_or_else(|| format!("shard-{shard}")),
+                    ));
+                }
+            }
+        }
+        let (best, winner) = match best {
+            Some((b, w)) => (Some(b), Some(w)),
+            None => (None, None),
+        };
+        // A floor strictly above a known-feasible weight — the race's
+        // validated best, or failing that the warm-start cache entry —
+        // claims a real encoding is impossible: a provable lie; discard
+        // it. The strongest remaining claim is the accepted floor.
+        let reference = best.as_ref().map(|b| b.weight).or(self.initial_bound);
+        let floor = reference
+            .map(|r| {
+                floor_claims
+                    .iter()
+                    .copied()
+                    .filter(|&f| f <= r)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        let optimal_proved = floor != 0 && best.as_ref().is_some_and(|b| b.weight == floor);
+        let outcome = EngineOutcome {
+            best,
+            optimal_proved,
+            from_cache: false,
+            report: EngineReport {
+                fingerprint: String::new(), // filled by the caller
+                total_elapsed: started.elapsed(),
+                cache: CacheStatus::Disabled, // filled by the caller
+                cache_counters: Default::default(),
+                winner,
+                workers,
+                shards,
+            },
+        };
+        (outcome, floor)
+    }
+}
+
+/// Full validation of a worker-claimed encoding against the problem's
+/// constraints and objective (weight must match the claim's).
+fn validates(problem: &EncodingProblem, strings: &[pauli::PauliString]) -> bool {
+    let phased: Vec<PhasedString> = strings.iter().map(|s| s.clone().into()).collect();
+    let report = encodings::validate::validate_strings(&phased);
+    report.anticommuting
+        && report.algebraically_independent
+        && (!problem.has_vacuum_condition() || report.xy_pair_condition)
+}
+
+/// Objective-aware weight of an encoding (used by the differential
+/// tests; mirrors the engine's internal measure).
+pub fn measure_weight(problem: &EncodingProblem, strings: &[pauli::PauliString]) -> usize {
+    let phased: Vec<PhasedString> = strings.iter().map(|s| s.clone().into()).collect();
+    match problem.objective() {
+        Objective::MajoranaWeight => encodings::weight::majorana_weight(&phased),
+        Objective::HamiltonianWeight(monomials) => {
+            encodings::weight::structure_weight(&phased, monomials)
+        }
+    }
+}

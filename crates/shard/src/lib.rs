@@ -1,0 +1,49 @@
+//! `fermihedral-shard`: multi-process lane sharding for the portfolio
+//! engine.
+//!
+//! The engine races its portfolio lanes as threads of one process; the
+//! heavy Hamiltonian-dependent instances (hours-scale SAT runs in the
+//! paper) want more hardware than one process can address. This crate
+//! shards the lanes across OS **worker processes** joined by a small
+//! length-prefixed binary protocol ([`sat::wire`]) over stdin/stdout
+//! pipes:
+//!
+//! ```text
+//!            ┌────────────────────────── coordinator ───────────────────────┐
+//!            │  cache probe/store · lane partition · frame router · merge   │
+//!            └──┬───────────────────────┬───────────────────────┬───────────┘
+//!        Job ┆ Clause ┆ Bound ┆ Cancel  │ (length-prefixed frames, pipes)
+//!            ▼                          ▼                       ▼
+//!      worker 0 (lanes 0,2,4)     worker 1 (lanes 1,3,5)   worker k …
+//!      race + RemoteExchange      race + RemoteExchange
+//! ```
+//!
+//! * **Clause exchange**: each worker's [`sat::SharedContext`] gets a
+//!   bridge lane ([`sat::RemoteExchange`]); exported clauses stream to
+//!   the coordinator, which forwards them to every shard except their
+//!   origin — no echo loops.
+//! * **Bound sharing**: any shard's incumbent improvement tightens every
+//!   other shard's next descent assumption within milliseconds.
+//! * **Certification**: UNSAT floors are properties of the shared
+//!   formula; the coordinator cancels the whole race the moment any
+//!   shard's floor meets the global incumbent ([`engine`'s semantics,
+//!   across processes).
+//! * **Crash containment**: a killed or misbehaving worker is flagged
+//!   `dead` in [`engine::ShardReport`] and the race degrades to the
+//!   survivors.
+//!
+//! Entry points: [`compile_sharded`] (mirrors [`engine::compile`]),
+//! [`compile_sharded_with`] (server form: shared cache + external
+//! cancellation), and [`run_worker`] (the child-process protocol loop,
+//! exposed for the `fermihedral-shard worker` subcommand).
+
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{
+    compile_sharded, compile_sharded_with, default_worker_bin, measure_weight, ShardOptions,
+    WORKER_BIN,
+};
+pub use proto::{Job, ShardResult};
+pub use worker::run_worker;

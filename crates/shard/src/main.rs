@@ -1,0 +1,94 @@
+//! The `fermihedral-shard` binary.
+//!
+//! Two modes:
+//!
+//! * `fermihedral-shard worker --shard N` — the worker protocol on
+//!   stdin/stdout. Spawned by a coordinator (the library, `serve
+//!   --shards N`, or the bench harness); not meant for direct use.
+//! * `fermihedral-shard --modes N --shards S [...]` — a coordinator CLI
+//!   that compiles one problem sharded and prints a JSON summary.
+
+use engine::EngineConfig;
+use fermihedral::{EncodingProblem, Objective};
+use jsonkit::{obj, Value};
+use shard::{compile_sharded, run_worker};
+use std::time::Duration;
+
+const USAGE: &str = "\
+fermihedral-shard: multi-process sharded compilation
+
+USAGE:
+    fermihedral-shard worker --shard N      (internal: worker protocol on stdin/stdout)
+    fermihedral-shard [OPTIONS]             (coordinator CLI)
+
+OPTIONS:
+    --modes N        problem size (default 4)
+    --shards S       worker processes (default 2)
+    --timeout SECS   wall-clock budget (default 60)
+    --no-full-sat    drop the algebraic-independence clause set
+    --cache-dir P    persistent solution cache directory
+    --help           this text
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("worker") {
+        let shard = flag_value(&args, "--shard")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0usize);
+        let code = run_worker(shard, std::io::stdin(), std::io::stdout().lock());
+        std::process::exit(code);
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+
+    let modes: usize = flag_value(&args, "--modes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let shards: usize = flag_value(&args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let timeout: f64 = flag_value(&args, "--timeout")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60.0);
+    let full_sat = !args.iter().any(|a| a == "--no-full-sat");
+
+    let problem = if full_sat {
+        EncodingProblem::full_sat(modes, Objective::MajoranaWeight)
+    } else {
+        EncodingProblem::new(modes, Objective::MajoranaWeight)
+    };
+    let config = EngineConfig {
+        total_timeout: Some(Duration::from_secs_f64(timeout)),
+        shards,
+        cache_dir: flag_value(&args, "--cache-dir").map(Into::into),
+        ..EngineConfig::default()
+    };
+    let outcome = compile_sharded(&problem, &config);
+    let doc = obj([
+        ("modes", Value::Num(modes as f64)),
+        ("shards", Value::Num(shards as f64)),
+        (
+            "weight",
+            outcome
+                .weight()
+                .map_or(Value::Null, |w| Value::Num(w as f64)),
+        ),
+        ("optimal", Value::Bool(outcome.optimal_proved)),
+        ("from_cache", Value::Bool(outcome.from_cache)),
+        ("report", outcome.report.to_json()),
+    ]);
+    println!("{}", doc.to_json());
+    if !outcome.optimal_proved && !outcome.from_cache {
+        std::process::exit(1);
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

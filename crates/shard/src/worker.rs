@@ -1,0 +1,259 @@
+//! The worker half of a sharded race: one process, a subset of the
+//! portfolio's lanes, and a frame bridge to the coordinator on
+//! stdin/stdout.
+//!
+//! Protocol (worker's view):
+//!
+//! 1. send `Hello { shard, protocol }`;
+//! 2. receive `Job` (problem + lane assignment); verify the problem
+//!    fingerprint — clause frames are only sound between processes
+//!    solving the identical CNF;
+//! 3. race via [`engine::compile_bridged`], while
+//!    * a **reader** thread applies incoming frames (`Clause` →
+//!      [`sat::RemoteExchange::inject`], `Bound` → tighten the shared
+//!      incumbent, `Cancel` → raise the race's token), and
+//!    * a **pump** loop streams outgoing traffic (drained exports as
+//!      `Clause` frames, incumbent improvements as `Bound`, UNSAT floors
+//!      as `Floor`);
+//! 4. send a terminal `Result` and exit.
+//!
+//! Coordinator death is handled like cancellation: stdin EOF (or any
+//! broken-pipe write) raises the race's cancel token, so an orphaned
+//! worker never burns CPU for a race nobody is waiting on.
+
+use crate::proto::{Job, ShardResult};
+use engine::{compile_bridged, RaceBridge};
+use sat::wire::{read_frame, write_frame, Frame, RemoteClause, PROTOCOL_VERSION};
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Pump tick: how often outgoing clauses/bounds are flushed.
+const PUMP_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Runs the worker protocol over arbitrary streams (the binary passes
+/// stdin/stdout; tests can pass pipes in-process). Returns a process
+/// exit code: `0` on a clean run — including a cancelled one — and
+/// nonzero on protocol violations.
+pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: impl Write) -> i32 {
+    let hello = Frame::Hello {
+        shard: shard as u32,
+        protocol: PROTOCOL_VERSION,
+    };
+    if write_frame(&mut output, &hello)
+        .and_then(|()| output.flush())
+        .is_err()
+    {
+        return 1;
+    }
+
+    // The Job must arrive before anything else.
+    let mut input = input;
+    let job = match read_frame(&mut input) {
+        Ok(Some(Frame::Job(payload))) => match Job::from_bytes(&payload) {
+            Ok(job) => job,
+            Err(e) => {
+                eprintln!("[shard {shard}] bad job: {e}");
+                return 2;
+            }
+        },
+        // The race can be decided (or externally cancelled) before this
+        // worker was ever assigned work — a clean no-work exit, not a
+        // protocol violation.
+        Ok(Some(Frame::Cancel)) | Ok(None) => return 0,
+        Ok(Some(other)) => {
+            eprintln!("[shard {shard}] expected Job, got {other:?}");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("[shard {shard}] reading job: {e}");
+            return 2;
+        }
+    };
+    let local_fp = engine::fingerprint(&job.problem).to_hex();
+    if local_fp != job.fingerprint {
+        eprintln!(
+            "[shard {shard}] fingerprint mismatch: job says {}, parsed problem is {local_fp}",
+            job.fingerprint
+        );
+        return 3;
+    }
+
+    let config = job.engine_config();
+    let problem = job.problem.clone();
+    let (bridge_tx, bridge_rx) = mpsc::channel::<RaceBridge>();
+    let (done_tx, done_rx) = mpsc::channel::<engine::EngineOutcome>();
+
+    // Lowest bound the coordinator delivered; the pump skips "echoing"
+    // it back (it would be counted as this shard's own improvement).
+    let remote_bound = Arc::new(AtomicUsize::new(usize::MAX));
+
+    std::thread::scope(|scope| {
+        // ---- Race thread ------------------------------------------------
+        scope.spawn(move || {
+            let outcome = compile_bridged(&problem, &config, |bridge| {
+                // The hook runs before any lane starts; the pump below
+                // picks the handles up immediately.
+                let _ = bridge_tx.send(bridge);
+            });
+            let _ = done_tx.send(outcome);
+        });
+
+        let bridge = bridge_rx
+            .recv()
+            .expect("compile_bridged always invokes its hook");
+
+        // ---- Reader thread: coordinator → race --------------------------
+        // Deliberately *detached* (not scoped): it blocks in read_frame
+        // until the coordinator closes our stdin, which only happens
+        // after we send a Result. If the race thread panics, no Result
+        // is ever sent — a scoped reader would then deadlock the scope
+        // join; detached, it simply dies with the process.
+        {
+            let bridge = bridge.clone();
+            let remote_bound = remote_bound.clone();
+            std::thread::spawn(move || {
+                let mut input = input;
+                loop {
+                    match read_frame(&mut input) {
+                        Ok(Some(Frame::Clause(remote))) => {
+                            if let Some(exchange) = &bridge.remote {
+                                exchange.inject(
+                                    &remote.clause.lits,
+                                    remote.clause.lbd,
+                                    remote.clause.bound_tag,
+                                );
+                            }
+                        }
+                        Ok(Some(Frame::Bound(weight))) => {
+                            remote_bound.fetch_min(weight as usize, Ordering::Relaxed);
+                            bridge.bound.tighten(weight as usize);
+                        }
+                        Ok(Some(Frame::Cancel)) | Ok(None) => break,
+                        Ok(Some(_)) => {} // unexpected but harmless
+                        Err(_) => break,
+                    }
+                }
+                // Cancellation and coordinator death end the race the
+                // same way: stop promptly, report best-so-far.
+                bridge.cancel.cancel();
+            });
+        }
+
+        // ---- Pump loop: race → coordinator ------------------------------
+        let mut last_bound_sent = usize::MAX;
+        let mut last_floor_sent = 0usize;
+        let mut outbox: Vec<sat::SharedClause> = Vec::new();
+        let outcome = loop {
+            match done_rx.recv_timeout(PUMP_INTERVAL) {
+                Ok(outcome) => break outcome,
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // The race thread panicked. The scope will re-raise
+                    // its panic on exit; the coordinator sees the
+                    // non-zero death and degrades.
+                    return 4;
+                }
+            }
+            if pump_once(
+                &bridge,
+                shard,
+                &remote_bound,
+                &mut last_bound_sent,
+                &mut last_floor_sent,
+                &mut outbox,
+                &mut output,
+            )
+            .is_err()
+            {
+                // Coordinator gone: cancel and wait for the race to wind
+                // down so the scope can join.
+                bridge.cancel.cancel();
+            }
+        };
+
+        // Final flush (bounds/floors the race published on its way out),
+        // then the terminal result.
+        let _ = pump_once(
+            &bridge,
+            shard,
+            &remote_bound,
+            &mut last_bound_sent,
+            &mut last_floor_sent,
+            &mut outbox,
+            &mut output,
+        );
+        let result = ShardResult {
+            weight: outcome.weight(),
+            strings: outcome.best.as_ref().map(|b| b.strings.clone()),
+            proved_floor: outcome
+                .report
+                .workers
+                .iter()
+                .filter_map(|w| w.proved_floor)
+                .max()
+                .or_else(|| {
+                    let f = bridge.floor.load(Ordering::Relaxed);
+                    (f != 0).then_some(f)
+                }),
+            optimal: outcome.optimal_proved,
+            winner: outcome.report.winner.clone(),
+            workers: outcome.report.workers.clone(),
+        };
+        let frame = Frame::Result(result.to_bytes());
+        if write_frame(&mut output, &frame)
+            .and_then(|()| output.flush())
+            .is_err()
+        {
+            return 1;
+        }
+        0
+    })
+}
+
+/// One pump tick: forward drained clauses, a tightened bound, and a
+/// strengthened floor. Any write error means the coordinator is gone.
+#[allow(clippy::too_many_arguments)]
+fn pump_once(
+    bridge: &RaceBridge,
+    shard: usize,
+    remote_bound: &AtomicUsize,
+    last_bound_sent: &mut usize,
+    last_floor_sent: &mut usize,
+    outbox: &mut Vec<sat::SharedClause>,
+    output: &mut impl Write,
+) -> io::Result<()> {
+    let mut wrote = false;
+    if let Some(exchange) = &bridge.remote {
+        exchange.drain_outgoing(outbox);
+        for clause in outbox.drain(..) {
+            write_frame(
+                output,
+                &Frame::Clause(RemoteClause {
+                    shard: shard as u32,
+                    clause,
+                }),
+            )?;
+            wrote = true;
+        }
+    }
+    // Only report bounds this shard *improved*: a bound at or above the
+    // coordinator's own delivery would echo straight back.
+    let bound = bridge.bound.get();
+    if bound < *last_bound_sent && bound < remote_bound.load(Ordering::Relaxed) {
+        *last_bound_sent = bound;
+        write_frame(output, &Frame::Bound(bound as u64))?;
+        wrote = true;
+    }
+    let floor = bridge.floor.load(Ordering::Relaxed);
+    if floor > *last_floor_sent {
+        *last_floor_sent = floor;
+        write_frame(output, &Frame::Floor(floor as u64))?;
+        wrote = true;
+    }
+    if wrote {
+        output.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! Cross-process integration tests: real `fermihedral-shard worker`
+//! children, real pipes, real SIGKILL.
+//!
+//! * **Differential**: the 2-process sharded engine and the in-process
+//!   portfolio must certify the same optimal total Pauli weight on the
+//!   full-SAT instances (N = 3..=4 inline; N = 5 is hours-scale and
+//!   lives behind `#[ignore]`).
+//! * **Fault injection**: one worker is frozen at spawn (SIGSTOP — it
+//!   can never report a result) and SIGKILL'd 300 ms into the race; the
+//!   coordinator must still certify the optimum from the surviving
+//!   shards and flag the dead one in the report.
+
+use engine::{compile, EngineConfig};
+use fermihedral::{EncodingProblem, Objective};
+use shard::{compile_sharded_with, measure_weight, ShardOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_fermihedral-shard"))
+}
+
+fn options() -> ShardOptions {
+    ShardOptions {
+        worker_bin: Some(worker_bin()),
+        spawn_hook: None,
+    }
+}
+
+fn sharded_config(shards: usize, timeout: Duration) -> EngineConfig {
+    EngineConfig {
+        shards,
+        total_timeout: Some(timeout),
+        ..EngineConfig::default()
+    }
+}
+
+fn assert_valid_optimum(problem: &EncodingProblem, outcome: &engine::EngineOutcome, label: &str) {
+    assert!(outcome.optimal_proved, "{label}: no certificate");
+    let best = outcome.best.as_ref().unwrap_or_else(|| {
+        panic!("{label}: optimal without an encoding");
+    });
+    assert_eq!(best.strings.len(), 2 * problem.num_modes(), "{label}");
+    assert_eq!(
+        measure_weight(problem, &best.strings),
+        best.weight,
+        "{label}: reported weight must match the strings"
+    );
+}
+
+#[test]
+fn differential_sharded_matches_in_process_on_full_sat() {
+    for modes in 3..=4usize {
+        let problem = EncodingProblem::full_sat(modes, Objective::MajoranaWeight);
+        let in_process = compile(&problem, &sharded_config(0, Duration::from_secs(120)));
+        assert_valid_optimum(&problem, &in_process, &format!("in-process N={modes}"));
+
+        let sharded = compile_sharded_with(
+            &problem,
+            &sharded_config(2, Duration::from_secs(120)),
+            None,
+            None,
+            &options(),
+        );
+        assert_valid_optimum(&problem, &sharded, &format!("sharded N={modes}"));
+        assert_eq!(
+            sharded.weight(),
+            in_process.weight(),
+            "N={modes}: sharded and in-process optima disagree"
+        );
+
+        // Two real worker processes participated and stayed alive.
+        let report = &sharded.report;
+        assert_eq!(report.shards.len(), 2, "N={modes}");
+        assert!(report.shards.iter().all(|s| !s.dead), "N={modes}");
+        assert!(
+            report.workers.iter().all(|w| w.shard.is_some()),
+            "N={modes}: every lane must be attributed to a shard"
+        );
+        let distinct: std::collections::BTreeSet<_> =
+            report.workers.iter().filter_map(|w| w.shard).collect();
+        assert_eq!(distinct.len(), 2, "N={modes}: lanes ran in both shards");
+    }
+}
+
+#[test]
+fn sharded_race_exchanges_clauses_across_the_bridge() {
+    // N=4 is the acceptance instance: enough conflicts that both shards'
+    // descent lanes demonstrably trade clauses through the coordinator.
+    let problem = EncodingProblem::full_sat(4, Objective::MajoranaWeight);
+    let outcome = compile_sharded_with(
+        &problem,
+        &sharded_config(2, Duration::from_secs(120)),
+        None,
+        None,
+        &options(),
+    );
+    assert_valid_optimum(&problem, &outcome, "sharded N=4");
+    let shards = &outcome.report.shards;
+    assert!(
+        shards.iter().any(|s| s.clauses_sent > 0),
+        "no clauses crossed the bridge: {shards:?}"
+    );
+    assert!(
+        shards.iter().any(|s| s.clauses_received > 0),
+        "no clauses were forwarded: {shards:?}"
+    );
+    assert!(
+        shards.iter().any(|s| s.bounds_sent > 0),
+        "no incumbent bounds crossed the bridge: {shards:?}"
+    );
+    // Coordinator-side conservation: with 2 shards every forwarded
+    // clause was sent by the other one. Clauses that arrive after the
+    // peer already reported its result are dropped, so `received` may
+    // trail `sent` — but can never exceed it.
+    let sent: u64 = shards.iter().map(|s| s.clauses_sent).sum();
+    let received: u64 = shards.iter().map(|s| s.clauses_received).sum();
+    assert!(
+        received <= sent,
+        "forwarding cannot mint clauses: sent {sent}, received {received}"
+    );
+}
+
+#[test]
+fn sigkilled_worker_degrades_the_race_not_the_result() {
+    let problem = EncodingProblem::full_sat(4, Objective::MajoranaWeight);
+    // Freeze shard 2 the instant it spawns: SIGSTOP guarantees it never
+    // reports a result, making the later SIGKILL deterministically
+    // "mid-race" regardless of scheduling. 300 ms later — while the
+    // surviving shards are deep in the descent — it is SIGKILL'd.
+    let victim = 2usize;
+    let hook = Arc::new(move |shard: usize, pid: u32| {
+        if shard != victim {
+            return;
+        }
+        let _ = std::process::Command::new("kill")
+            .args(["-STOP", &pid.to_string()])
+            .status();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            let _ = std::process::Command::new("kill")
+                .args(["-KILL", &pid.to_string()])
+                .status();
+        });
+    });
+    let outcome = compile_sharded_with(
+        &problem,
+        &sharded_config(3, Duration::from_secs(120)),
+        None,
+        None,
+        &ShardOptions {
+            worker_bin: Some(worker_bin()),
+            spawn_hook: Some(hook),
+        },
+    );
+
+    // The survivors certify the true optimum…
+    let reference = compile(&problem, &sharded_config(0, Duration::from_secs(120)));
+    assert_valid_optimum(&problem, &outcome, "degraded race");
+    assert_eq!(outcome.weight(), reference.weight());
+
+    // …and the corpse is flagged.
+    let report = &outcome.report;
+    assert_eq!(report.shards.len(), 3);
+    assert!(
+        report.shards[victim].dead,
+        "killed worker must be flagged dead: {:?}",
+        report.shards
+    );
+    assert!(
+        report
+            .shards
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.dead == (i == victim)),
+        "survivors must not be flagged: {:?}",
+        report.shards
+    );
+    assert!(
+        report.workers.iter().all(|w| w.shard != Some(victim)),
+        "a dead shard reports no lane timelines"
+    );
+}
+
+/// The N=5 full-SAT certificate takes hours-scale SAT time (the paper
+/// solves it offline); run explicitly with
+/// `cargo test -p fermihedral-shard -- --ignored differential_full_sat_n5`.
+#[test]
+#[ignore = "N=5 full-SAT certification is hours-scale; run explicitly"]
+fn differential_full_sat_n5() {
+    let problem = EncodingProblem::full_sat(5, Objective::MajoranaWeight);
+    let budget = Duration::from_secs(4 * 3600);
+    let in_process = compile(&problem, &sharded_config(0, budget));
+    assert_valid_optimum(&problem, &in_process, "in-process N=5");
+    let sharded =
+        compile_sharded_with(&problem, &sharded_config(2, budget), None, None, &options());
+    assert_valid_optimum(&problem, &sharded, "sharded N=5");
+    assert_eq!(sharded.weight(), in_process.weight());
+}
+
+#[test]
+fn coordinator_survives_a_missing_worker_binary() {
+    // Spawn failures must degrade to the in-process engine, not abort.
+    let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+    let outcome = compile_sharded_with(
+        &problem,
+        &sharded_config(2, Duration::from_secs(60)),
+        None,
+        None,
+        &ShardOptions {
+            worker_bin: Some(PathBuf::from("/nonexistent/fermihedral-shard")),
+            spawn_hook: None,
+        },
+    );
+    assert!(outcome.optimal_proved, "degraded run must still certify");
+    assert_eq!(outcome.weight(), Some(6)); // the N=2 optimum
+}

@@ -1,0 +1,46 @@
+//! Multi-process sharded compilation: race the default portfolio across
+//! two `fermihedral-shard` worker processes bridged by the coordinator's
+//! clause/bound protocol, and compare against the in-process race.
+//!
+//! Run with: `cargo run --release --example sharded_compile`
+//! (build the worker first: `cargo build --release -p fermihedral-shard`)
+
+use fermihedral_repro::engine::EngineConfig;
+use fermihedral_repro::fermihedral::{EncodingProblem, Objective};
+use fermihedral_repro::shard::compile_sharded;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let problem = EncodingProblem::full_sat(4, Objective::MajoranaWeight);
+    let config = EngineConfig {
+        shards: 2,
+        total_timeout: Some(Duration::from_secs(120)),
+        ..EngineConfig::default()
+    };
+
+    let started = Instant::now();
+    let outcome = compile_sharded(&problem, &config);
+    println!(
+        "sharded N=4: weight {:?}, optimal {}, {:.3}s",
+        outcome.weight(),
+        outcome.optimal_proved,
+        started.elapsed().as_secs_f64()
+    );
+    for shard in &outcome.report.shards {
+        println!(
+            "  shard {}: {} lanes, {} clauses out / {} in, {} bounds out{}",
+            shard.shard,
+            shard.lanes,
+            shard.clauses_sent,
+            shard.clauses_received,
+            shard.bounds_sent,
+            if shard.dead { " [DEAD]" } else { "" }
+        );
+    }
+    for worker in &outcome.report.workers {
+        println!(
+            "  lane {:45} shard {:?}: {} conflicts, {} imported",
+            worker.strategy, worker.shard, worker.conflicts, worker.clauses_imported
+        );
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`fermihedral`] — the paper's contribution: SAT-optimal encodings.
 //! * [`engine`] — the parallel portfolio compilation engine with incumbent
 //!   sharing and a persistent solution cache.
+//! * [`shard`] — multi-process lane sharding: a coordinator and worker
+//!   processes bridged by the `sat::wire` clause/bound protocol.
 //! * [`serve`] — the long-running compilation server: HTTP endpoints,
 //!   request queueing and coalescing, deadlines, graceful shutdown.
 //! * [`jsonkit`] — the dependency-free JSON tree/writer/parser they share.
@@ -33,3 +35,4 @@ pub use pauli;
 pub use qsim;
 pub use sat;
 pub use serve;
+pub use shard;
