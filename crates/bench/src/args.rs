@@ -56,7 +56,7 @@ impl Args {
                     .join(" ")
             );
             // Boolean-style flags take no value.
-            if name == "csv" || name == "verbose" || name == "check" {
+            if matches!(name, "csv" | "verbose" | "check" | "warm-start") {
                 flags.push(name.to_string());
                 continue;
             }

@@ -17,16 +17,25 @@
 //! portfolio must certify optimality in no more total conflicts (summed
 //! across lanes) than the incumbent-only portfolio, within slack.
 //!
-//! Usage: `engine_portfolio [--max-modes 4] [--timeout 30] [--out BENCH_engine.json] [--csv] [--check] [--shards N]`
+//! Usage: `engine_portfolio [--max-modes 4] [--timeout 30] [--out BENCH_engine.json] [--csv] [--check] [--shards N] [--warm-start]`
 //!
 //! `--shards N` (N ≥ 2) adds a `portfolio-sharded<N>` cell per mode
 //! count: the same default portfolio raced across N `fermihedral-shard`
 //! worker processes, with the cross-process bridge traffic recorded in
 //! the `bridge_clauses` column.
 //!
+//! `--warm-start` adds a `portfolio-warm` cell per mode count: the same
+//! portfolio over a cache that accumulates across mode counts, so each
+//! `N ≥ 3` run finds the `N − 1` optimum in the cross-size index and
+//! opens from its embedding — the warm-vs-cold conflict comparison the
+//! warm-start transfer acceptance bar reads.
+//!
 //! `--check` exits non-zero when any portfolio run fails to produce the
 //! optimality certificate (the CI smoke gate); with `--shards` it also
-//! requires live cross-process clause traffic and zero dead workers.
+//! requires live cross-process clause traffic and zero dead workers, and
+//! with `--warm-start` it requires every `N ≥ 3` warm run to report a
+//! cross-size hit and every `N ≥ 4` one to spend strictly fewer
+//! conflicts than the recorded cold portfolio baseline.
 
 use engine::json::{obj, Value};
 use engine::{compile, BaselineKind, ClauseSharing, EngineConfig, Strategy};
@@ -77,6 +86,11 @@ struct Cell {
     bridge_clauses: u64,
     /// Worker processes that died mid-race (sharded runs).
     dead_shards: u64,
+    /// Mode count of the embedded cross-size warm start, when the run
+    /// opened from one (`portfolio-warm` cells).
+    warm_from_modes: Option<usize>,
+    /// Weight of the run's opening warm-start incumbent, if any.
+    warm_weight: Option<usize>,
 }
 
 fn cell_of(outcome: &engine::EngineOutcome, label: &str, modes: usize, seconds: f64) -> Cell {
@@ -107,6 +121,13 @@ fn cell_of(outcome: &engine::EngineOutcome, label: &str, modes: usize, seconds: 
             .map(|s| s.clauses_received)
             .sum(),
         dead_shards: outcome.report.shards.iter().filter(|s| s.dead).count() as u64,
+        warm_from_modes: outcome
+            .report
+            .warm_start
+            .as_ref()
+            .filter(|w| w.source == "cross-size")
+            .and_then(|w| w.from_modes),
+        warm_weight: outcome.report.warm_start.as_ref().map(|w| w.weight),
     }
 }
 
@@ -128,7 +149,15 @@ fn run_sharded(
 }
 
 fn main() {
-    let args = Args::parse(&["max-modes", "timeout", "out", "csv", "check", "shards"]);
+    let args = Args::parse(&[
+        "max-modes",
+        "timeout",
+        "out",
+        "csv",
+        "check",
+        "shards",
+        "warm-start",
+    ]);
     let max_modes = args.get_usize("max-modes", 4).min(8);
     let timeout = args.get_duration_secs("timeout", 30.0);
     let out_path = args
@@ -138,6 +167,7 @@ fn main() {
     let csv = args.get_bool("csv");
     let check = args.get_bool("check");
     let shards = args.get_usize("shards", 0);
+    let warm_start = args.get_bool("warm-start");
 
     println!("# Portfolio engine: single strategies vs the full race, per mode count");
     let mut table = Table::new(&[
@@ -151,6 +181,7 @@ fn main() {
         "exp",
         "imp",
         "bridge",
+        "warm",
     ]);
     let mut cells: Vec<Cell> = Vec::new();
 
@@ -204,16 +235,51 @@ fn main() {
         };
         cells.push(run(&problem, &no_sharing, "portfolio-noshare", modes));
 
-        // The full portfolio with clause sharing (cold cache, then warm).
+        // The full portfolio with clause sharing (cold cache, then a
+        // same-size repeat). The directory is fresh *per mode count*:
+        // entries left by a smaller N would otherwise answer through the
+        // cross-size index and silently warm this cell — the dedicated
+        // `portfolio-warm` cell below measures exactly that.
         let portfolio = EngineConfig {
             strategies: Vec::new(), // default portfolio
             total_timeout: Some(timeout),
             max_concurrency: racing_slots,
-            cache_dir: Some(cache_dir.clone()),
+            cache_dir: Some(cache_dir.join(format!("cold-{modes}"))),
             ..EngineConfig::default()
         };
         cells.push(run(&problem, &portfolio, "portfolio", modes));
         cells.push(run(&problem, &portfolio, "portfolio-cached", modes));
+
+        // Cross-size warm-start transfer: cache directories accumulate
+        // across the mode loop, so at N ≥ 3 the same-size lookup misses
+        // but the N − 1 optimum is found in the size index, embedded, and
+        // raced from.
+        //
+        // Two cells: `portfolio-warm` measures the realistic racing
+        // configuration (its conflict totals carry scheduling noise — the
+        // race cancels lanes at nondeterministic points), and
+        // `descent-warm` repeats the seed-1 single lane over the warm
+        // cache — fully deterministic, so its conflict count vs the cold
+        // seed-1 single cell is the strict warm-vs-cold acceptance
+        // comparison `--check` gates on.
+        if warm_start {
+            let warm = EngineConfig {
+                strategies: Vec::new(),
+                total_timeout: Some(timeout),
+                max_concurrency: racing_slots,
+                cache_dir: Some(cache_dir.join("warm")),
+                ..EngineConfig::default()
+            };
+            cells.push(run(&problem, &warm, "portfolio-warm", modes));
+
+            let warm_single = EngineConfig {
+                strategies: vec![descent_lanes().swap_remove(0)],
+                total_timeout: Some(timeout),
+                cache_dir: Some(cache_dir.join("warm-descent")),
+                ..EngineConfig::default()
+            };
+            cells.push(run(&problem, &warm_single, "descent-warm", modes));
+        }
 
         // The multi-process race: same default portfolio, lanes sharded
         // across `--shards` worker processes bridged by the coordinator
@@ -248,6 +314,8 @@ fn main() {
             cell.clauses_exported.to_string(),
             cell.clauses_imported.to_string(),
             cell.bridge_clauses.to_string(),
+            cell.warm_from_modes
+                .map_or("-".into(), |m| format!("embed{m}")),
         ]);
     }
     table.print(csv);
@@ -279,6 +347,15 @@ fn main() {
                             ("clauses_imported", Value::Num(c.clauses_imported as f64)),
                             ("bridge_clauses", Value::Num(c.bridge_clauses as f64)),
                             ("dead_shards", Value::Num(c.dead_shards as f64)),
+                            (
+                                "warm_from_modes",
+                                c.warm_from_modes
+                                    .map_or(Value::Null, |m| Value::Num(m as f64)),
+                            ),
+                            (
+                                "warm_weight",
+                                c.warm_weight.map_or(Value::Null, |w| Value::Num(w as f64)),
+                            ),
                         ])
                     })
                     .collect(),
@@ -311,6 +388,44 @@ fn main() {
             println!(
                 "N={modes}: portfolio {:.4}s vs fastest optimal single {:.4}s [{verdict}]",
                 portfolio.seconds, fastest_single
+            );
+        }
+        // Warm-start bar: a cross-size-warmed run must beat the cold one
+        // on total conflicts (it opens at the embedded incumbent instead
+        // of descending from Bravyi-Kitaev). The portfolio pair is shown
+        // for context; the deterministic single-lane pair is the strict
+        // comparison.
+        if let Some(warm) = cells
+            .iter()
+            .find(|c| c.modes == modes && c.strategy == "portfolio-warm")
+        {
+            println!(
+                "N={modes}: warm portfolio {} conflicts (embedded from {:?} at weight {:?}) vs cold {}",
+                warm.conflicts, warm.warm_from_modes, warm.warm_weight, portfolio.conflicts
+            );
+        }
+        let cold_single_label = descent_lanes()[0].name();
+        if let (Some(warm), Some(cold)) = (
+            cells
+                .iter()
+                .find(|c| c.modes == modes && c.strategy == "descent-warm"),
+            cells
+                .iter()
+                .find(|c| c.modes == modes && c.strategy == cold_single_label),
+        ) {
+            let verdict = match warm.warm_from_modes {
+                Some(_) if warm.conflicts < cold.conflicts => "ok",
+                // At small N the BK bound is near-optimal and the engine
+                // withholds the embedded phase hint, so parity with cold
+                // is the expected outcome there.
+                Some(_) if warm.conflicts == cold.conflicts && modes < 4 => "ok (parity)",
+                Some(_) => "NO-SAVINGS",
+                None if modes == 2 => "ok (nothing smaller cached)",
+                None => "NO-HIT",
+            };
+            println!(
+                "N={modes}: warm single-lane {} conflicts vs cold {} [{verdict}]",
+                warm.conflicts, cold.conflicts
             );
         }
         // Clause-sharing bar: certifying with sharing must not cost more
@@ -360,6 +475,40 @@ fn main() {
                     )
                 }),
         );
+        // Warm-start gate: every N ≥ 3 warm run (portfolio and
+        // single-lane) must have opened from a cross-size embedding and
+        // certified the optimum, and the deterministic single-lane warm
+        // run must beat its cold twin on conflicts strictly.
+        let cold_single_label = descent_lanes()[0].name();
+        for warm in cells
+            .iter()
+            .filter(|c| matches!(c.strategy.as_str(), "portfolio-warm" | "descent-warm"))
+        {
+            if !warm.optimal {
+                failures.push(format!("N={} {} uncertified", warm.modes, warm.strategy));
+            }
+            if warm.modes >= 3 && warm.warm_from_modes.is_none() {
+                failures.push(format!(
+                    "N={} {}: no cross-size warm-start hit",
+                    warm.modes, warm.strategy
+                ));
+            }
+            // Strictly-fewer-conflicts bar at N ≥ 4 only: below that the
+            // BK bound is already (near-)optimal, the engine withholds
+            // the embedded phase hint, and parity with cold is correct.
+            if warm.strategy == "descent-warm" && warm.modes >= 4 {
+                let cold = cells
+                    .iter()
+                    .find(|c| c.modes == warm.modes && c.strategy == cold_single_label)
+                    .expect("the seed-1 single cell runs for every mode count");
+                if warm.conflicts >= cold.conflicts {
+                    failures.push(format!(
+                        "N={} descent-warm: {} conflicts, not fewer than cold's {}",
+                        warm.modes, warm.conflicts, cold.conflicts
+                    ));
+                }
+            }
+        }
         if !failures.is_empty() {
             eprintln!("CHECK FAILED: {failures:?}");
             std::process::exit(1);

@@ -113,9 +113,16 @@ pub struct DescentConfig {
     /// 10+ modes the anticommutativity XOR system is otherwise hard to
     /// satisfy from a cold start.
     pub bk_phase_hint: bool,
-    /// Explicit warm-start strings overriding the BK hint (e.g. a
-    /// SAT+annealing solution when descending the Hamiltonian-dependent
-    /// objective). Must be `2N` strings on `N` qubits.
+    /// Explicit warm-start strings (e.g. a cached best-so-far solution,
+    /// or a smaller optimum lifted through `encodings::embed`).
+    ///
+    /// Precedence over `bk_phase_hint` is explicit: a *valid* hint —
+    /// `2N` strings on `N` qubits forming an anticommuting, GF(2)-
+    /// independent encoding — always wins. An invalid hint is **rejected**
+    /// (recorded as [`DescentOutcome::hint_rejected`], so callers can
+    /// surface the event) and the descent falls back to the Bravyi-Kitaev
+    /// hint when `bk_phase_hint` is set, rather than silently seeding the
+    /// solver with phases no feasible model has.
     pub phase_hint: Option<Vec<PauliString>>,
     /// Restart schedule for the lane's solver (`None` = the solver
     /// default, Luby with unit 128). Portfolio lanes diversify restart
@@ -211,6 +218,10 @@ pub struct DescentOutcome {
     pub proved_floor: Option<usize>,
     /// True when the descent was stopped by its cancellation token.
     pub cancelled: bool,
+    /// True when [`DescentConfig::phase_hint`] was supplied but failed
+    /// validation and was rejected (the Bravyi-Kitaev fallback applied
+    /// instead, when configured).
+    pub hint_rejected: bool,
     /// Final statistics of the lane's solver — conflicts/decisions plus
     /// the clause-exchange traffic (exported/imported/promoted) when the
     /// descent ran inside a portfolio context.
@@ -228,6 +239,22 @@ impl DescentOutcome {
 fn independent(strings: &[PauliString]) -> bool {
     let phased: Vec<PhasedString> = strings.iter().cloned().map(PhasedString::from).collect();
     encodings::validate::algebraically_independent(&phased)
+}
+
+/// Whether an explicit phase hint is usable for this instance: the right
+/// shape (`2N` strings on `N` qubits) and a genuinely valid encoding
+/// (pairwise anticommuting, GF(2) independent). Phases from anything
+/// weaker would steer the solver toward assignments no model has.
+fn hint_usable(instance: &EncodingInstance, strings: &[PauliString]) -> bool {
+    let layout = instance.layout();
+    if strings.len() != layout.num_strings()
+        || strings.iter().any(|s| s.num_qubits() != layout.num_modes())
+    {
+        return false;
+    }
+    let phased: Vec<PhasedString> = strings.iter().cloned().map(PhasedString::from).collect();
+    encodings::validate::all_anticommute(&phased)
+        && encodings::validate::algebraically_independent(&phased)
 }
 
 /// Seeds the solver's saved phases with an encoding's primary-variable
@@ -306,7 +333,16 @@ pub fn solve_optimal_instance(
     if let Some(handle) = &config.clause_exchange {
         solver.set_clause_exchange(Some(handle.clone()));
     }
-    if let Some(hint) = &config.phase_hint {
+    // Hint precedence: an explicit, *validated* hint beats the BK hint;
+    // an invalid explicit hint is rejected (and reported) rather than
+    // silently applied or silently shadowing the BK fallback.
+    let mut hint_rejected = false;
+    let explicit_hint = config.phase_hint.as_deref().filter(|hint| {
+        let usable = hint_usable(instance, hint);
+        hint_rejected = !usable;
+        usable
+    });
+    if let Some(hint) = explicit_hint {
         let phased: Vec<PhasedString> = hint.iter().cloned().map(PhasedString::from).collect();
         apply_phase_hint(&mut solver, instance, &phased);
     } else if config.bk_phase_hint {
@@ -452,6 +488,7 @@ pub fn solve_optimal_instance(
         steps,
         proved_floor,
         cancelled,
+        hint_rejected,
         solver_stats: solver.stats(),
     }
 }
@@ -647,6 +684,69 @@ mod tests {
             "lane 1 must consume lane 0's exports: {:?}",
             lane1.solver_stats
         );
+    }
+
+    #[test]
+    fn valid_explicit_hint_wins_over_bk_and_is_not_rejected() {
+        // Hint the N=2 descent with the known optimum (JW): the hint must
+        // be accepted (not rejected) and the optimum still certified.
+        let jw: Vec<PauliString> = LinearEncoding::jordan_wigner(2)
+            .majoranas()
+            .iter()
+            .map(|p| p.string().clone())
+            .collect();
+        let config = DescentConfig {
+            phase_hint: Some(jw),
+            bk_phase_hint: true,
+            ..DescentConfig::default()
+        };
+        let outcome = solve_optimal(
+            &EncodingProblem::full_sat(2, Objective::MajoranaWeight),
+            &config,
+        );
+        assert!(!outcome.hint_rejected);
+        assert_eq!(outcome.weight(), Some(6));
+        assert!(outcome.optimal_proved);
+    }
+
+    #[test]
+    fn invalid_explicit_hint_is_rejected_and_bk_fallback_applies() {
+        // Regression: a deliberately-invalid hint used to be applied
+        // silently, shadowing `bk_phase_hint` with phases no feasible
+        // model has. It must now be rejected (flagged) and the descent
+        // must still certify the optimum from the BK fallback.
+        let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+        let bad_hints: Vec<Vec<PauliString>> = vec![
+            // Wrong shape: 3 strings.
+            ["IX", "IY", "XZ"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect(),
+            // Wrong width: strings on 3 qubits for a 2-mode problem.
+            ["IIX", "IIY", "IXZ", "IYZ"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect(),
+            // Right shape, commuting pair (XX vs YY).
+            ["XX", "YY", "ZI", "IZ"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect(),
+        ];
+        for bad in bad_hints {
+            let config = DescentConfig {
+                phase_hint: Some(bad.clone()),
+                bk_phase_hint: true,
+                ..DescentConfig::default()
+            };
+            let outcome = solve_optimal(&problem, &config);
+            assert!(outcome.hint_rejected, "hint {bad:?} must be rejected");
+            assert_eq!(outcome.weight(), Some(6), "BK fallback still certifies");
+            assert!(outcome.optimal_proved);
+        }
+        // No hint at all: nothing to reject.
+        let outcome = solve_optimal(&problem, &DescentConfig::default());
+        assert!(!outcome.hint_rejected);
     }
 
     #[test]

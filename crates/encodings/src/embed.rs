@@ -1,0 +1,290 @@
+//! Cross-size embedding: lifting an `N`-mode encoding to `N + 1` modes.
+//!
+//! An optimal `N`-mode Majorana encoding is a legal sub-structure of the
+//! `N + 1`-mode problem: tensor a fresh qubit onto the system, extend every
+//! existing string with identity there, and synthesize the two Majorana
+//! operators of the new mode Jordan-Wigner-style — a "parity tail" on the
+//! old qubits followed by `X` (respectively `Y`) on the new one.
+//!
+//! For Jordan-Wigner the tail is `Z⊗…⊗Z`; for an *arbitrary* valid
+//! encoding the correct generalization is the phase-free product of all
+//! `2N` existing strings (the fermionic parity operator up to phase,
+//! [`parity_string`]). Each old string anticommutes with that product —
+//! it anticommutes with the other `2N − 1` factors and commutes with
+//! itself, an odd count — so the lifted set anticommutes pairwise, and it
+//! is the *only* string with that property (the old strings span the full
+//! symplectic space), making the embedding canonical. Algebraic
+//! independence and the XY-pair vacuum condition survive the lift as
+//! well: the two new rows are the only ones touching the new qubit's
+//! symplectic columns, and the new pair holds an `(X, Y)` index there.
+//!
+//! The lift is what makes **warm-start transfer across problem sizes**
+//! sound: the lifted encoding is a *feasible* solution of the larger
+//! problem, so its weight may seed a shared incumbent bound and its
+//! strings may seed solver phases without ever mis-certifying optimality.
+
+use crate::validate::{algebraically_independent, all_anticommute};
+use pauli::{PauliString, PhasedString};
+use std::fmt;
+
+/// Why an embedding was refused. All variants mean the *input* was not a
+/// valid encoding (or cannot grow): the lift itself never fails on a
+/// valid one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbedError {
+    /// The string list was empty.
+    Empty,
+    /// `strings.len() != 2 * num_qubits` (not an `N`-mode encoding).
+    ShapeMismatch {
+        /// Number of strings given.
+        strings: usize,
+        /// Qubit count of the strings.
+        qubits: usize,
+    },
+    /// Some pair of input strings commutes.
+    NotAnticommuting,
+    /// The input rows are GF(2)-dependent (some subset multiplies to
+    /// identity) — the "seam" validation: a dependent input would lift to
+    /// a dependent output.
+    NotIndependent,
+    /// The target width exceeds the 128-qubit string representation.
+    TooWide,
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::Empty => write!(f, "no Majorana strings given"),
+            EmbedError::ShapeMismatch { strings, qubits } => write!(
+                f,
+                "{strings} strings on {qubits} qubits is not a 2N-on-N encoding"
+            ),
+            EmbedError::NotAnticommuting => write!(f, "input strings do not all anticommute"),
+            EmbedError::NotIndependent => {
+                write!(f, "input strings are GF(2) algebraically dependent")
+            }
+            EmbedError::TooWide => write!(f, "embedding would exceed 128 qubits"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+/// The phase-free product of all strings — for a valid `N`-mode encoding,
+/// the fermionic parity operator up to phase. It anticommutes with every
+/// individual Majorana string, which is exactly what the new mode's
+/// "Jordan-Wigner tail" must do.
+pub fn parity_string(strings: &[PauliString]) -> PauliString {
+    let n = strings.first().map_or(0, PauliString::num_qubits);
+    strings
+        .iter()
+        .fold(PauliString::identity(n), |acc, s| acc.mul_unphased(s))
+}
+
+/// Checks that `strings` form a valid `N`-mode encoding shape for the
+/// lift: `2N` strings on `N` qubits, pairwise anticommuting,
+/// algebraically independent.
+fn check_seam(strings: &[PauliString]) -> Result<(), EmbedError> {
+    if strings.is_empty() {
+        return Err(EmbedError::Empty);
+    }
+    let qubits = strings[0].num_qubits();
+    if strings.len() != 2 * qubits || strings.iter().any(|s| s.num_qubits() != qubits) {
+        return Err(EmbedError::ShapeMismatch {
+            strings: strings.len(),
+            qubits,
+        });
+    }
+    if qubits + 1 > 128 {
+        return Err(EmbedError::TooWide);
+    }
+    let phased: Vec<PhasedString> = strings.iter().cloned().map(PhasedString::from).collect();
+    if !all_anticommute(&phased) {
+        return Err(EmbedError::NotAnticommuting);
+    }
+    if !algebraically_independent(&phased) {
+        return Err(EmbedError::NotIndependent);
+    }
+    Ok(())
+}
+
+/// Lifts a valid `N`-mode encoding (as plain strings, the SAT pipeline's
+/// and solution cache's working form) to `N + 1` modes.
+///
+/// The output is `2(N + 1)` strings on `N + 1` qubits: the inputs
+/// extended with identity on the new (highest-index) qubit, followed by
+/// the new mode's pair `P·X_N` and `P·Y_N` with `P` the
+/// [`parity_string`] of the inputs.
+///
+/// # Errors
+///
+/// Rejects inputs that are not a valid encoding (see [`EmbedError`]);
+/// the seam validation runs in polynomial time (pairwise anticommutation
+/// plus one GF(2) rank computation).
+pub fn embed_one_mode(strings: &[PauliString]) -> Result<Vec<PauliString>, EmbedError> {
+    check_seam(strings)?;
+    Ok(embed_step_unchecked(strings))
+}
+
+/// Iterated [`embed_one_mode`]: lifts an `M`-mode encoding to
+/// `target_modes ≥ M` modes. The seam is validated once; each subsequent
+/// lift of an already-valid output cannot fail (width permitting).
+///
+/// # Errors
+///
+/// Same as [`embed_one_mode`]; additionally [`EmbedError::ShapeMismatch`]
+/// when `target_modes` is *smaller* than the input's mode count (there is
+/// no inverse lift).
+pub fn embed_to(
+    strings: &[PauliString],
+    target_modes: usize,
+) -> Result<Vec<PauliString>, EmbedError> {
+    check_seam(strings)?;
+    let modes = strings[0].num_qubits();
+    if target_modes < modes {
+        return Err(EmbedError::ShapeMismatch {
+            strings: strings.len(),
+            qubits: target_modes,
+        });
+    }
+    if target_modes > 128 {
+        return Err(EmbedError::TooWide);
+    }
+    let mut out = strings.to_vec();
+    for _ in modes..target_modes {
+        // Re-running the seam check per step would be wasted work: the
+        // lift of a valid encoding is valid (module docs).
+        out = embed_step_unchecked(&out);
+    }
+    Ok(out)
+}
+
+/// One lift without re-validating (the caller holds a validity proof).
+fn embed_step_unchecked(strings: &[PauliString]) -> Vec<PauliString> {
+    let n = strings[0].num_qubits();
+    let new_bit: u128 = 1 << n;
+    let parity = parity_string(strings);
+    // Identity-extend the old strings (their masks carry over; the new
+    // qubit's bits stay clear)...
+    let mut out: Vec<PauliString> = strings
+        .iter()
+        .map(|s| PauliString::from_masks(n + 1, s.x_mask(), s.z_mask()))
+        .collect();
+    // ...then the new mode's pair: parity tail + X on the new qubit
+    // (x bit), and parity tail + Y (x and z bits).
+    out.push(PauliString::from_masks(
+        n + 1,
+        parity.x_mask() | new_bit,
+        parity.z_mask(),
+    ));
+    out.push(PauliString::from_masks(
+        n + 1,
+        parity.x_mask() | new_bit,
+        parity.z_mask() | new_bit,
+    ));
+    debug_assert!({
+        let phased: Vec<PhasedString> = out.iter().cloned().map(PhasedString::from).collect();
+        all_anticommute(&phased) && algebraically_independent(&phased)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{preserves_vacuum, validate_strings, xy_pair_condition};
+    use crate::weight::majorana_weight;
+    use crate::{Encoding, LinearEncoding, TernaryTreeEncoding};
+
+    fn plain(strings: &[PhasedString]) -> Vec<PauliString> {
+        strings.iter().map(|p| p.string().clone()).collect()
+    }
+
+    #[test]
+    fn jw_lift_is_jw() {
+        // Embedding JW(N) must reproduce JW(N+1) exactly: the parity
+        // product of the JW Majoranas is Z⊗…⊗Z.
+        for n in 1..=5 {
+            let lifted = embed_one_mode(&plain(&LinearEncoding::jordan_wigner(n).majoranas()))
+                .expect("JW is valid");
+            assert_eq!(
+                lifted,
+                plain(&LinearEncoding::jordan_wigner(n + 1).majoranas()),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifted_bk_is_valid_and_vacuum_preserving() {
+        for n in 1..=6 {
+            let base = plain(&LinearEncoding::bravyi_kitaev(n).majoranas());
+            let lifted = embed_one_mode(&base).expect("BK is valid");
+            assert_eq!(lifted.len(), 2 * (n + 1));
+            let phased: Vec<PhasedString> =
+                lifted.iter().cloned().map(PhasedString::from).collect();
+            let report = validate_strings(&phased);
+            assert!(report.is_valid(), "n={n}: {report:?}");
+            assert!(xy_pair_condition(&phased), "n={n}");
+            assert!(preserves_vacuum(&phased), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lift_weight_is_old_plus_the_two_new_strings() {
+        for n in 2..=5 {
+            let base = plain(&TernaryTreeEncoding::new(n).majoranas());
+            let lifted = embed_one_mode(&base).expect("ternary tree is valid");
+            let old: Vec<PhasedString> = base.iter().cloned().map(PhasedString::from).collect();
+            let new: Vec<PhasedString> = lifted.iter().cloned().map(PhasedString::from).collect();
+            let parity_weight = parity_string(&base).weight();
+            assert_eq!(
+                majorana_weight(&new),
+                majorana_weight(&old) + 2 * (parity_weight + 1),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn embed_to_reaches_the_target_and_refuses_shrinking() {
+        let base = plain(&LinearEncoding::jordan_wigner(2).majoranas());
+        let lifted = embed_to(&base, 5).unwrap();
+        assert_eq!(lifted.len(), 10);
+        assert_eq!(lifted[0].num_qubits(), 5);
+        assert_eq!(embed_to(&base, 2).unwrap(), base, "no-op lift");
+        assert!(matches!(
+            embed_to(&base, 1),
+            Err(EmbedError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn seam_validation_rejects_invalid_inputs() {
+        let s = |list: &[&str]| -> Vec<PauliString> {
+            list.iter().map(|t| t.parse().unwrap()).collect()
+        };
+        assert_eq!(embed_one_mode(&[]), Err(EmbedError::Empty));
+        // 3 strings on 2 qubits: not 2N-on-N.
+        assert!(matches!(
+            embed_one_mode(&s(&["IX", "IY", "XZ"])),
+            Err(EmbedError::ShapeMismatch { .. })
+        ));
+        // XX and YY commute.
+        assert_eq!(
+            embed_one_mode(&s(&["XX", "YY", "ZI", "IZ"])),
+            Err(EmbedError::NotAnticommuting)
+        );
+        // Anticommuting but dependent: X·Y·Z = iI on one qubit... build a
+        // dependent anticommuting set? On 2 qubits {XI, YI, ZX, ZY}:
+        // pairwise anticommute? XI·YI anticommute; XI·ZX anticommute (X vs
+        // Z on qubit 1... count anticommuting sites: site1 X vs Z = anti,
+        // site0 I vs X = commute → odd → anticommute). Product of all
+        // four: (X·Y·Z)⊗(I·I·X·Y) = (iZ·Z)⊗(iZ) ∝ I⊗Z ≠ I — independent
+        // after all. Use the rank check directly via a genuinely dependent
+        // set instead: {XI, YI, ZI, IX} (XY Z on qubit 1 multiply to ∝I).
+        // That set is not fully anticommuting, so it trips the earlier
+        // check — which is fine: the seam rejects it either way.
+        assert!(embed_one_mode(&s(&["XI", "YI", "ZI", "IX"])).is_err());
+    }
+}

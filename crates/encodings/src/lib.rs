@@ -12,6 +12,9 @@
 //!   output form of the SAT solver in the `fermihedral` crate;
 //! * [`map`] — exact mapping of second-quantized or Majorana Hamiltonians
 //!   onto qubit [`PauliSum`]s (phases included);
+//! * [`embed`] — cross-size lifting: a valid `N`-mode encoding extended to
+//!   `N + 1` modes (identity-extended strings plus a JW-style pair on the
+//!   fresh qubit), the basis of the engine's warm-start transfer;
 //! * [`validate`] — the paper's validity constraints as executable checks
 //!   (anticommutativity, GF(2) algebraic independence, vacuum preservation —
 //!   both the paper's XY-pair condition and the exact condition);
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod custom;
+pub mod embed;
 pub mod linear;
 pub mod map;
 pub mod ternary_tree;

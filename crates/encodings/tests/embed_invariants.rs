@@ -1,0 +1,149 @@
+//! Property tests: cross-size embedding preserves the Majorana algebra.
+//!
+//! For random *valid* `N`-mode encodings (`N ≤ 5`) the lifted `N + 1`-mode
+//! encoding must pass the full validity battery — pairwise
+//! anticommutation and GF(2) algebraic independence — and its total
+//! Majorana weight must equal the old weight plus the weight of the two
+//! synthesized strings.
+//!
+//! Random valid encodings are drawn from the GF(2) linear-encoding family
+//! (random invertible matrices built from elementary row operations on
+//! the identity, keeping each step only when [`LinearEncoding::new`]
+//! accepts it) composed with a random pair permutation — diverse
+//! structures, all provably valid by construction.
+
+use encodings::embed::{embed_one_mode, embed_to, parity_string};
+use encodings::validate::{algebraically_independent, all_anticommute};
+use encodings::weight::majorana_weight;
+use encodings::{Encoding, LinearEncoding, MajoranaEncoding};
+use mathkit::gf2::BitMatrix;
+use pauli::{PauliString, PhasedString};
+use proptest::prelude::*;
+
+/// One elementary row operation on an `n × n` GF(2) matrix.
+#[derive(Debug, Clone, Copy)]
+struct RowOp {
+    from: usize,
+    to: usize,
+    swap: bool,
+}
+
+fn apply(matrix: &BitMatrix, op: RowOp, n: usize) -> BitMatrix {
+    let (from, to) = (op.from % n, op.to % n);
+    let mut out = matrix.clone();
+    if from == to {
+        return out;
+    }
+    for c in 0..n {
+        let (a, b) = (matrix.get(from, c), matrix.get(to, c));
+        if op.swap {
+            out.set(from, c, b);
+            out.set(to, c, a);
+        } else {
+            out.set(to, c, a ^ b);
+        }
+    }
+    out
+}
+
+/// Builds a random valid encoding: start from the identity (Jordan-
+/// Wigner), apply elementary row operations keeping only those the
+/// linear-encoding engine accepts (row ops preserve invertibility; the
+/// engine additionally rejects odd update/parity overlaps), then permute
+/// the Majorana pairs.
+fn random_valid_encoding(n: usize, ops: &[RowOp], perm_seed: u64) -> Vec<PauliString> {
+    let mut matrix = BitMatrix::identity(n);
+    for &op in ops {
+        let candidate = apply(&matrix, op, n);
+        if LinearEncoding::new("step", candidate.clone()).is_some() {
+            matrix = candidate;
+        }
+    }
+    let linear = LinearEncoding::new("rand", matrix).expect("every kept step was valid");
+    // Fisher-Yates over the modes with a splitmix-style generator.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = perm_seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    let enc = MajoranaEncoding::new("rand", linear.majoranas())
+        .expect("linear encodings are well-formed")
+        .permuted_pairs(&perm);
+    enc.majoranas().iter().map(|p| p.string().clone()).collect()
+}
+
+fn phased(strings: &[PauliString]) -> Vec<PhasedString> {
+    strings.iter().cloned().map(PhasedString::from).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn lift_preserves_the_majorana_algebra(
+        n in 1usize..=5,
+        raw_ops in proptest::collection::vec((0usize..5, 0usize..5, any::<bool>()), 0..20),
+        perm_seed in any::<u64>(),
+    ) {
+        let ops: Vec<RowOp> = raw_ops
+            .iter()
+            .map(|&(from, to, swap)| RowOp { from, to, swap })
+            .collect();
+        let base = random_valid_encoding(n, &ops, perm_seed);
+        // The generator's promise, asserted so a generator bug cannot
+        // silently weaken the property.
+        prop_assert!(all_anticommute(&phased(&base)), "generator produced an invalid base");
+        prop_assert!(algebraically_independent(&phased(&base)));
+
+        let lifted = embed_one_mode(&base).expect("valid inputs always lift");
+        prop_assert_eq!(lifted.len(), 2 * (n + 1));
+        prop_assert!(lifted.iter().all(|s| s.num_qubits() == n + 1));
+
+        // Algebra preserved: anticommutation and algebraic independence.
+        let lifted_phased = phased(&lifted);
+        prop_assert!(all_anticommute(&lifted_phased), "lift broke anticommutation");
+        prop_assert!(
+            algebraically_independent(&lifted_phased),
+            "lift broke algebraic independence"
+        );
+
+        // The old strings survive unchanged (identity-extended).
+        for (old, new) in base.iter().zip(&lifted) {
+            prop_assert_eq!(old.x_mask(), new.x_mask());
+            prop_assert_eq!(old.z_mask(), new.z_mask());
+            prop_assert_eq!(new.get(n), pauli::Pauli::I);
+        }
+
+        // Weight bookkeeping: lifted = old + the two synthesized strings,
+        // each of weight parity + 1.
+        let parity_weight = parity_string(&base).weight();
+        prop_assert_eq!(
+            majorana_weight(&lifted_phased),
+            majorana_weight(&phased(&base)) + 2 * (parity_weight + 1)
+        );
+        prop_assert_eq!(lifted[2 * n].weight(), parity_weight + 1);
+        prop_assert_eq!(lifted[2 * n + 1].weight(), parity_weight + 1);
+    }
+
+    #[test]
+    fn iterated_lift_equals_single_lifts(
+        n in 1usize..=4,
+        extra in 1usize..=3,
+        raw_ops in proptest::collection::vec((0usize..4, 0usize..4, any::<bool>()), 0..12),
+        perm_seed in any::<u64>(),
+    ) {
+        let ops: Vec<RowOp> = raw_ops
+            .iter()
+            .map(|&(from, to, swap)| RowOp { from, to, swap })
+            .collect();
+        let base = random_valid_encoding(n, &ops, perm_seed);
+        let mut by_steps = base.clone();
+        for _ in 0..extra {
+            by_steps = embed_one_mode(&by_steps).expect("valid at every step");
+        }
+        prop_assert_eq!(embed_to(&base, n + extra).unwrap(), by_steps);
+    }
+}

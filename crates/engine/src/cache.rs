@@ -10,6 +10,12 @@
 //!
 //! Writes go through a temp file + rename, so a crashed writer never
 //! leaves a torn entry; a corrupt or unreadable entry is treated as a miss.
+//!
+//! A companion [`SizeIndex`] groups entries *across mode counts* by their
+//! problem family (same objective, constraints, and Hamiltonian shape),
+//! powering the engine's cross-size warm-start transfer: a cached `M`-mode
+//! optimum embeds into the `N > M`-mode search as a feasible starting
+//! point ([`encodings::embed`]).
 
 use crate::fingerprint::Fingerprint;
 use crate::json::{self, obj, Value};
@@ -32,6 +38,9 @@ pub struct CacheCounters {
     pub hit_optimal: u64,
     /// Lookups that found a best-so-far entry usable as a warm start.
     pub hit_warm_start: u64,
+    /// Same-size lookups that missed but were answered by embedding a
+    /// cached *smaller*-mode solution ([`SizeIndex`]) as a warm start.
+    pub hit_cross_size: u64,
     /// Lookups that found nothing (or a torn/mismatched entry).
     pub misses: u64,
     /// Entries written (including upgrades of existing entries).
@@ -44,6 +53,7 @@ pub struct CacheCounters {
 struct CounterCells {
     hit_optimal: AtomicU64,
     hit_warm_start: AtomicU64,
+    hit_cross_size: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     evictions: AtomicU64,
@@ -106,10 +116,18 @@ impl SolutionCache {
         CacheCounters {
             hit_optimal: self.counters.hit_optimal.load(Ordering::Relaxed),
             hit_warm_start: self.counters.hit_warm_start.load(Ordering::Relaxed),
+            hit_cross_size: self.counters.hit_cross_size.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             stores: self.counters.stores.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records that a same-size miss was answered by embedding a smaller
+    /// cached solution. Counted by the engine (which owns the embedding),
+    /// surfaced alongside the other traffic counters.
+    pub fn note_cross_size_hit(&self) {
+        self.counters.hit_cross_size.fetch_add(1, Ordering::Relaxed);
     }
 
     fn path_for(&self, fp: &Fingerprint) -> PathBuf {
@@ -259,6 +277,32 @@ impl SolutionCache {
         }
     }
 
+    /// Deletes an entry the caller found to be invalid (strings failing
+    /// validation for the fingerprinted problem). Leaving such a file in
+    /// place would be worse than a plain miss: its — possibly understated
+    /// — weight makes [`store_if_better`](Self::store_if_better) refuse
+    /// every genuine later result, a permanent cache miss.
+    ///
+    /// Runs under the same per-fingerprint lock as the compare-and-store
+    /// path, so it never interleaves with a write in progress. A writer
+    /// that fully replaced the entry between the caller's read and this
+    /// call still loses its file — a benign race: deleting a good entry
+    /// only costs the next compile a re-solve, while keeping a poisoned
+    /// one costs every future compile, forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-file failures; a missing entry file is not an
+    /// error.
+    pub fn invalidate(&self, fp: &Fingerprint) -> io::Result<()> {
+        let _lock = LockFile::acquire(self.dir.join(format!(".{}.lock", fp.to_hex())))?;
+        match fs::remove_file(self.path_for(fp)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Stores only when `entry` improves on the current content: better
     /// weight, or equal weight with optimality newly proved. Returns
     /// whether a write happened.
@@ -286,6 +330,142 @@ impl SolutionCache {
                 Ok(true)
             }
         }
+    }
+}
+
+/// Schema version of the size-index files; bump to invalidate them.
+const INDEX_VERSION: usize = 1;
+
+/// Cross-fingerprint index of the cache by mode count.
+///
+/// A solution-cache lookup is exact: a 5-mode problem misses even when
+/// the 4-mode instance of the *same family* (same objective, constraint
+/// toggles, Hamiltonian shape — the [`size_key`](crate::fingerprint::size_key))
+/// sits fully solved next to it. This index closes that gap: one file
+/// per size-key (`size-<sha256>.index` in the cache directory, an
+/// extension the byte-cap eviction ignores) mapping mode counts to entry
+/// fingerprints, so the engine can find the largest cached `M < N`
+/// solution and lift it into the `N`-mode search
+/// ([`encodings::embed`]) as a warm start.
+///
+/// Index entries are hints, not truths: an entry may point at an evicted
+/// or torn cache file (eviction does not rewrite indexes), so consumers
+/// re-resolve through [`SolutionCache::peek`] and skip dangling entries.
+/// Writes use the same temp-file + rename + per-key flock discipline as
+/// the cache itself.
+#[derive(Debug, Clone)]
+pub struct SizeIndex {
+    dir: PathBuf,
+}
+
+impl SizeIndex {
+    /// An index over a cache directory (typically
+    /// [`SolutionCache::dir`]). No I/O happens until the first record or
+    /// lookup.
+    pub fn open(dir: impl Into<PathBuf>) -> SizeIndex {
+        SizeIndex { dir: dir.into() }
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        let digest = crate::fingerprint::sha256(key.as_bytes());
+        let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+        self.dir.join(format!("size-{hex}.index"))
+    }
+
+    fn lock_path_for(&self, key: &str) -> PathBuf {
+        let digest = crate::fingerprint::sha256(key.as_bytes());
+        let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+        self.dir.join(format!(".size-{hex}.lock"))
+    }
+
+    /// Parses an index file into its `(modes, fingerprint)` entries.
+    /// Missing, torn, or schema-mismatched files — and individual
+    /// malformed entries — read as empty/absent.
+    fn read_entries(&self, key: &str) -> Vec<(usize, Fingerprint)> {
+        let Ok(text) = fs::read_to_string(self.path_for(key)) else {
+            return Vec::new();
+        };
+        let Ok(doc) = json::parse(&text) else {
+            return Vec::new();
+        };
+        if doc.get("version").and_then(Value::as_usize) != Some(INDEX_VERSION) {
+            return Vec::new();
+        }
+        let Some(Value::Obj(entries)) = doc.get("entries") else {
+            return Vec::new();
+        };
+        let mut out: Vec<(usize, Fingerprint)> = entries
+            .iter()
+            .filter_map(|(modes, fp)| {
+                Some((
+                    modes.parse::<usize>().ok().filter(|&m| m > 0)?,
+                    Fingerprint::from_hex(fp.as_str()?)?,
+                ))
+            })
+            .collect();
+        out.sort_unstable_by_key(|(modes, _)| *modes);
+        out
+    }
+
+    /// Records that `problem`'s solution is cached under `fp`.
+    /// Read-modify-write under a per-key advisory lock; a no-op when the
+    /// entry is already present and identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures from the write path (a missing or
+    /// torn existing index is *not* an error — it is rebuilt).
+    pub fn record(
+        &self,
+        problem: &fermihedral::EncodingProblem,
+        fp: &Fingerprint,
+    ) -> io::Result<bool> {
+        let key = crate::fingerprint::size_key(problem);
+        let modes = problem.num_modes();
+        let _lock = LockFile::acquire(self.lock_path_for(&key))?;
+        let mut entries = self.read_entries(&key);
+        match entries.iter_mut().find(|(m, _)| *m == modes) {
+            Some((_, existing)) if existing == fp => return Ok(false),
+            Some((_, existing)) => *existing = *fp,
+            None => entries.push((modes, *fp)),
+        }
+        entries.sort_unstable_by_key(|(m, _)| *m);
+        let doc = obj([
+            ("version", Value::Num(INDEX_VERSION as f64)),
+            ("key", Value::Str(key.clone())),
+            (
+                "entries",
+                Value::Obj(
+                    entries
+                        .iter()
+                        .map(|(m, f)| (m.to_string(), Value::Str(f.to_hex())))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let nonce = WRITE_NONCE.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".size.{}.{}.tmp", std::process::id(), nonce));
+        fs::write(&tmp, doc.to_json())?;
+        fs::rename(&tmp, self.path_for(&key))?;
+        Ok(true)
+    }
+
+    /// The indexed fingerprints of the problem's family with mode count
+    /// strictly below the problem's, **largest first** — the order a
+    /// warm-start probe wants to try embeddings in. Entries may dangle
+    /// (point at evicted files); resolve each via
+    /// [`SolutionCache::peek`].
+    pub fn fingerprints_below(
+        &self,
+        problem: &fermihedral::EncodingProblem,
+    ) -> Vec<(usize, Fingerprint)> {
+        let key = crate::fingerprint::size_key(problem);
+        let mut entries = self.read_entries(&key);
+        entries.retain(|(m, _)| *m < problem.num_modes());
+        entries.reverse();
+        entries
     }
 }
 
@@ -653,6 +833,129 @@ mod tests {
             "writers stalled on inert lock litter: {:?}",
             started.elapsed()
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_index_records_and_looks_up_below() {
+        let dir = tmp_dir("size-index");
+        fs::create_dir_all(&dir).unwrap();
+        let index = SizeIndex::open(&dir);
+        let problems: Vec<_> = (2..=5usize)
+            .map(|n| EncodingProblem::full_sat(n, Objective::MajoranaWeight))
+            .collect();
+        for p in &problems {
+            assert!(index.record(p, &fingerprint(p)).unwrap());
+            // Idempotent: identical re-record writes nothing.
+            assert!(!index.record(p, &fingerprint(p)).unwrap());
+        }
+        // Largest-first, strictly below.
+        let below = index.fingerprints_below(&problems[3]); // N=5
+        assert_eq!(
+            below.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+            vec![4, 3, 2]
+        );
+        assert_eq!(below[0].1, fingerprint(&problems[2]));
+        // Nothing below the smallest.
+        assert!(index.fingerprints_below(&problems[0]).is_empty());
+        // A different family (constraint toggle) sees none of these.
+        let other = EncodingProblem::new(5, Objective::MajoranaWeight);
+        assert!(index.fingerprints_below(&other).is_empty());
+        // No lock or temp litter.
+        let litter: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().to_string();
+                name.ends_with(".tmp") || name.ends_with(".lock")
+            })
+            .collect();
+        assert!(litter.is_empty(), "leftover files: {litter:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_index_tolerates_missing_torn_and_mismatched_files() {
+        let dir = tmp_dir("size-index-torn");
+        fs::create_dir_all(&dir).unwrap();
+        let index = SizeIndex::open(&dir);
+        let problem = EncodingProblem::full_sat(4, Objective::MajoranaWeight);
+        let key = crate::fingerprint::size_key(&problem);
+
+        // Missing: empty, not an error.
+        assert!(index.fingerprints_below(&problem).is_empty());
+
+        // Torn (half-written JSON): read as empty, and `record` rebuilds it.
+        fs::write(index.path_for(&key), "{\"version\": 1, \"entr").unwrap();
+        assert!(index.fingerprints_below(&problem).is_empty());
+        let small = EncodingProblem::full_sat(3, Objective::MajoranaWeight);
+        assert!(index.record(&small, &fingerprint(&small)).unwrap());
+        assert_eq!(index.fingerprints_below(&problem).len(), 1);
+
+        // Schema mismatch (future version): whole file reads as empty.
+        let current = fs::read_to_string(index.path_for(&key)).unwrap();
+        fs::write(
+            index.path_for(&key),
+            current.replace("\"version\": 1", "\"version\": 99"),
+        )
+        .unwrap();
+        assert!(index.fingerprints_below(&problem).is_empty());
+
+        // Individually malformed entries are skipped, valid ones survive.
+        let doc = obj([
+            ("version", Value::Num(INDEX_VERSION as f64)),
+            (
+                "entries",
+                Value::Obj(
+                    [
+                        ("3".to_string(), Value::Str(fingerprint(&small).to_hex())),
+                        ("zero".to_string(), Value::Str("ab".repeat(32))),
+                        ("0".to_string(), Value::Str("ab".repeat(32))),
+                        ("2".to_string(), Value::Str("not-hex".into())),
+                        ("1".to_string(), Value::Num(7.0)),
+                    ]
+                    .into_iter()
+                    .collect(),
+                ),
+            ),
+        ]);
+        fs::write(index.path_for(&key), doc.to_json()).unwrap();
+        let below = index.fingerprints_below(&problem);
+        assert_eq!(below, vec![(3, fingerprint(&small))]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_index_entries_may_dangle_after_eviction() {
+        // Eviction deletes cache entry files without rewriting indexes;
+        // the index keeps listing the fingerprint, and resolving it
+        // through the cache simply misses. Consumers (the engine's
+        // warm-start probe) skip such dangling entries.
+        let dir = tmp_dir("size-index-dangle");
+        let cache = SolutionCache::open(&dir).unwrap();
+        let index = SizeIndex::open(&dir);
+        let small = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+        let fp = fingerprint(&small);
+        cache.store(&fp, &entry(6, true)).unwrap();
+        index.record(&small, &fp).unwrap();
+
+        // Evict by hand (what the byte cap does).
+        fs::remove_file(cache.path_for(&fp)).unwrap();
+
+        let larger = EncodingProblem::full_sat(3, Objective::MajoranaWeight);
+        let below = index.fingerprints_below(&larger);
+        assert_eq!(below, vec![(2, fp)], "index still lists the entry");
+        assert!(
+            cache.peek(&below[0].1).is_none(),
+            "resolution through the cache misses"
+        );
+        // Index files themselves are never byte-cap eviction fodder:
+        // they don't carry the .json entry extension.
+        let survives = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".index"));
+        assert!(survives);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -84,6 +84,28 @@ pub fn fingerprint(problem: &EncodingProblem) -> Fingerprint {
     Fingerprint(sha256(canonical_form(problem).as_bytes()))
 }
 
+/// The problem's *size-key*: its [`canonical_form`] with the mode count
+/// stripped. Two problems share a size-key exactly when they differ only
+/// in mode count — the condition under which a cached smaller solution
+/// embeds into the larger problem ([`encodings::embed`]) as a feasible
+/// warm start. The constraint toggles stay in the key (a vacuum-free
+/// solution need not satisfy a vacuum-constrained problem), and so does
+/// the Hamiltonian-dependent monomial multiset (its indices must be legal
+/// in both sizes *and* describe the same objective).
+pub fn size_key(problem: &EncodingProblem) -> String {
+    let canonical = canonical_form(problem);
+    let mut out = String::with_capacity(canonical.len());
+    out.push_str("fermihedral-sizekey-v1");
+    for field in canonical.split('|').skip(1) {
+        if field.starts_with("modes=") {
+            continue;
+        }
+        out.push('|');
+        out.push_str(field);
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // SHA-256 (FIPS 180-4). Self-contained: the container has no crates.io
 // access, and a cache key needs collision resistance, not speed.
@@ -243,6 +265,37 @@ mod tests {
                 assert_ne!(prints[i], prints[j], "fingerprints {i} and {j} collide");
             }
         }
+    }
+
+    #[test]
+    fn size_key_ignores_modes_but_nothing_else() {
+        use fermihedral::Objective::MajoranaWeight;
+        let small = EncodingProblem::full_sat(3, MajoranaWeight);
+        let large = EncodingProblem::full_sat(6, MajoranaWeight);
+        assert_eq!(size_key(&small), size_key(&large));
+        assert_ne!(
+            fingerprint(&small),
+            fingerprint(&large),
+            "same key, distinct fingerprints"
+        );
+        // Constraint toggles and objective changes break the key.
+        assert_ne!(
+            size_key(&small),
+            size_key(&EncodingProblem::new(3, MajoranaWeight))
+        );
+        assert_ne!(
+            size_key(&small),
+            size_key(&EncodingProblem::full_sat(3, MajoranaWeight).with_vacuum_condition(false))
+        );
+        assert_ne!(
+            size_key(&small),
+            size_key(&EncodingProblem::full_sat(
+                3,
+                fermihedral::Objective::HamiltonianWeight(vec![MajoranaMonomial::from_sorted(
+                    vec![0, 1]
+                )])
+            ))
+        );
     }
 
     #[test]

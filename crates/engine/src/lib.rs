@@ -22,7 +22,12 @@
 //!   by a SHA-256 [`fingerprint`](fingerprint::fingerprint) of the problem
 //!   (modes, constraints, objective, Hamiltonian-term multiset). Repeat
 //!   compilations of the same model are served in microseconds; budget-
-//!   terminated best-so-far entries warm-start the next attempt.
+//!   terminated best-so-far entries warm-start the next attempt; and a
+//!   cross-size index ([`cache::SizeIndex`]) transfers cached *smaller*
+//!   optima into larger searches by lifting them one mode at a time
+//!   (`encodings::embed`) — a feasible opening incumbent plus solver
+//!   phase hints, so repeat traffic on growing systems stops paying the
+//!   full SAT price.
 //! * [`report::EngineReport`] records a per-worker timeline of every run
 //!   (who improved what, when; who proved the floor; who got cancelled),
 //!   serializable to JSON for the benchmark harness.
@@ -51,12 +56,15 @@ pub mod service;
 /// re-exported under its historical `engine::json` path.
 pub use jsonkit as json;
 
-pub use cache::{CacheCounters, CacheEntry, SolutionCache};
-pub use fingerprint::{fingerprint, Fingerprint};
+pub use cache::{CacheCounters, CacheEntry, SizeIndex, SolutionCache};
+pub use fingerprint::{fingerprint, size_key, Fingerprint};
 pub use portfolio::{
-    compile, compile_bridged, compile_with, default_portfolio, partition_strategies, BaselineKind,
-    ClauseSharing, EngineConfig, EngineOutcome, RaceBridge, Strategy,
+    compile, compile_bridged, compile_with, cross_size_warm_start, default_portfolio,
+    partition_strategies, BaselineKind, ClauseSharing, EngineConfig, EngineOutcome, RaceBridge,
+    Strategy,
 };
 pub use problemio::{problem_from_json, problem_to_json};
-pub use report::{CacheStatus, EngineReport, EventKind, ShardReport, WorkerEvent, WorkerReport};
+pub use report::{
+    CacheStatus, EngineReport, EventKind, ShardReport, WarmStartReport, WorkerEvent, WorkerReport,
+};
 pub use service::Engine;

@@ -25,14 +25,18 @@
 //! never makes the race slower than a single lane: excess lanes queue,
 //! and a queued lane whose race was decided exits without work.
 
-use crate::cache::{CacheCounters, CacheEntry, SolutionCache};
+use crate::cache::{CacheCounters, CacheEntry, SizeIndex, SolutionCache};
 use crate::fingerprint::{fingerprint, Fingerprint};
-use crate::report::{CacheStatus, EngineReport, EventKind, WorkerEvent, WorkerReport};
+use crate::report::{
+    CacheStatus, EngineReport, EventKind, WarmStartReport, WorkerEvent, WorkerReport,
+};
+use encodings::embed::embed_to;
 use encodings::validate::validate_strings;
 use encodings::weight::structure_weight;
 use encodings::{Encoding, LinearEncoding, MajoranaEncoding, TernaryTreeEncoding};
 use fermihedral::descent::{
-    solve_optimal_instance, BestEncoding, DescentConfig, SharedBound, StepResult,
+    bravyi_kitaev_bound, solve_optimal_instance, BestEncoding, DescentConfig, SharedBound,
+    StepResult,
 };
 use fermihedral::{anneal_pairing, AnnealConfig, EncodingInstance, EncodingProblem, Objective};
 use pauli::{PauliString, PhasedString};
@@ -210,6 +214,13 @@ pub struct EngineConfig {
     /// least-recently-written entries down to this size. `None` = grow
     /// without bound.
     pub cache_byte_cap: Option<u64>,
+    /// Caller-supplied warm-start encoding for *this* problem (`2N`
+    /// strings on `N` qubits) — the shard coordinator broadcasts its
+    /// (possibly cross-size-embedded) cache findings to workers through
+    /// this field. Validated and re-measured before use; an invalid hint
+    /// is ignored. A same-size cache entry, when one exists, wins over
+    /// this hint.
+    pub warm_hint: Option<Vec<PauliString>>,
     /// Maximum *heavy* lanes (SAT descent, annealing) running
     /// concurrently; `None` sizes to [`std::thread::available_parallelism`].
     /// Instant lanes (baselines) always run immediately. Excess heavy
@@ -479,13 +490,77 @@ fn compile_inner(
         CacheStatus::Disabled
     };
     let mut warm_start: Option<CacheEntry> = None;
+    let mut warm_report: Option<WarmStartReport> = None;
     if let Some(cache) = &cache {
         if let Some(entry) = cache.lookup(&fp) {
-            if entry.optimal {
-                return serve_from_cache(fp, entry, started, cache.counters());
+            // Trust boundary: re-validate and re-measure before the entry
+            // may short-circuit the run or seed the shared bound — a
+            // torn-but-parsable (or lying) file that understates its
+            // weight could otherwise fake an optimality certificate at a
+            // weight its strings never had.
+            match validated_hint_entry(problem, Some(&entry.strings), &entry.strategy) {
+                // An optimal claim is served only when the strings also
+                // measure at the claimed weight; a weight mismatch means
+                // the file lies, and its (valid, feasible) strings are
+                // demoted to a warm start below.
+                Some(checked) if entry.optimal && checked.weight == entry.weight => {
+                    return serve_from_cache(fp, entry, started, cache.counters());
+                }
+                Some(checked) => {
+                    if checked.weight != entry.weight {
+                        // The file lies about its weight; an understated
+                        // one would make store_if_better refuse this
+                        // run's genuine result forever. Delete it — the
+                        // run's tail re-stores the corrected truth.
+                        let _ = cache.invalidate(&fp);
+                    }
+                    cache_status = CacheStatus::HitWarmStart;
+                    warm_report = Some(WarmStartReport {
+                        source: "cache-entry".into(),
+                        from_modes: None,
+                        weight: checked.weight,
+                    });
+                    warm_start = Some(checked);
+                }
+                // Invalid strings: a miss — and the poison file must go,
+                // for the same store_if_better reason.
+                None => {
+                    let _ = cache.invalidate(&fp);
+                }
             }
-            cache_status = CacheStatus::HitWarmStart;
+        }
+    }
+    // A caller-supplied hint (the shard coordinator's broadcast) fills a
+    // same-size miss; the exact entry above, when present, is at least as
+    // good.
+    if warm_start.is_none() {
+        if let Some(entry) = validated_hint_entry(problem, config.warm_hint.as_deref(), "warm-hint")
+        {
+            warm_report = Some(WarmStartReport {
+                source: "config".into(),
+                from_modes: None,
+                weight: entry.weight,
+            });
             warm_start = Some(entry);
+        }
+    }
+    // Cross-size transfer (ROADMAP warm-start item): on a same-size miss,
+    // look for the largest cached smaller-mode solution of the same
+    // problem family and lift it into this search. The lifted encoding is
+    // a *feasible* solution, so seeding the shared bound with its weight
+    // is sound.
+    if warm_start.is_none() {
+        if let Some(cache) = &cache {
+            if let Some((entry, from_modes)) = cross_size_warm_start(cache, problem) {
+                cache.note_cross_size_hit();
+                cache_status = CacheStatus::HitCrossSize;
+                warm_report = Some(WarmStartReport {
+                    source: "cross-size".into(),
+                    from_modes: Some(from_modes),
+                    weight: entry.weight,
+                });
+                warm_start = Some(entry);
+            }
         }
     }
 
@@ -558,6 +633,16 @@ fn compile_inner(
             &format!("cache[{}]", entry.strategy),
         );
     }
+    // The warm incumbent always seeds the shared bound (a feasible
+    // solution is a sound upper bound), but its *strings* only displace
+    // the lanes' Bravyi-Kitaev phase hint when they open strictly below
+    // the BK bound — at small mode counts BK is itself near-optimal, and
+    // swapping its phases for a heavier embedded encoding measurably
+    // slows the descent.
+    let warm_hint_strings = warm_start
+        .as_ref()
+        .filter(|e| e.weight < bravyi_kitaev_bound(problem))
+        .map(|e| e.strings.clone());
 
     if let Some(hook) = bridge_hook {
         hook(RaceBridge {
@@ -595,7 +680,7 @@ fn compile_inner(
                 let incumbent = &incumbent;
                 let instance = instance.as_ref();
                 let slots = &slots;
-                let warm = warm_start.as_ref().map(|e| e.strings.clone());
+                let warm = warm_hint_strings.clone();
                 let lane_handle = lane_handle.clone();
                 scope.spawn(move || {
                     let report = match strategy {
@@ -670,8 +755,11 @@ fn compile_inner(
             optimal: optimal_proved,
             strategy: winner.clone().unwrap_or_default(),
         };
-        // Cache write failure must not fail the compilation.
+        // Cache write failure must not fail the compilation; the same
+        // goes for the cross-size index (it is a hint layer over the
+        // entries, rebuilt on the next successful record).
         let _ = cache.store_if_better(&fp, &entry);
+        let _ = SizeIndex::open(cache.dir()).record(problem, &fp);
     }
 
     EngineOutcome {
@@ -684,10 +772,83 @@ fn compile_inner(
             cache: cache_status,
             cache_counters: cache.map(SolutionCache::counters).unwrap_or_default(),
             winner,
+            warm_start: warm_report,
             workers,
             shards: Vec::new(),
         },
     }
+}
+
+/// Wraps warm-start strings (a cache entry's, or a caller-supplied hint
+/// that crossed a process boundary) as a cache-entry-shaped incumbent,
+/// or discards them: only the right shape for *this* problem, satisfying
+/// its enabled constraints, is trusted, and the weight is re-measured
+/// locally — never taken from the source's claim.
+fn validated_hint_entry(
+    problem: &EncodingProblem,
+    hint: Option<&[PauliString]>,
+    strategy: &str,
+) -> Option<CacheEntry> {
+    let strings = hint?;
+    if strings.len() != 2 * problem.num_modes()
+        || strings
+            .iter()
+            .any(|s| s.num_qubits() != problem.num_modes())
+    {
+        return None;
+    }
+    let phased: Vec<PhasedString> = strings.iter().cloned().map(PhasedString::from).collect();
+    if !satisfies_problem(problem, &phased) {
+        return None;
+    }
+    Some(CacheEntry {
+        strings: strings.to_vec(),
+        weight: measure(problem, &phased),
+        optimal: false,
+        strategy: strategy.to_string(),
+    })
+}
+
+/// Probes the cross-size index for the largest cached `M < N` solution of
+/// the problem's family and lifts it to `N` modes. Dangling index entries
+/// (evicted files), failed lifts, and lifted encodings that violate the
+/// problem's constraints are all skipped — the next-smaller size gets its
+/// chance. Returns the lifted entry (weight re-measured under the
+/// problem's objective, never marked optimal) and the source mode count.
+///
+/// [`compile`] runs this automatically on a same-size miss; the shard
+/// coordinator calls it directly because it owns the cache for its
+/// workers and broadcasts the lifted strings in the `Job` frame.
+pub fn cross_size_warm_start(
+    cache: &SolutionCache,
+    problem: &EncodingProblem,
+) -> Option<(CacheEntry, usize)> {
+    let index = SizeIndex::open(cache.dir());
+    for (from_modes, fp) in index.fingerprints_below(problem) {
+        let Some(entry) = cache.peek(&fp) else {
+            continue; // evicted since it was indexed
+        };
+        let Ok(lifted) = embed_to(&entry.strings, problem.num_modes()) else {
+            continue; // torn or foreign entry: not a valid encoding
+        };
+        let phased: Vec<PhasedString> = lifted.iter().cloned().map(PhasedString::from).collect();
+        if !satisfies_problem(problem, &phased) {
+            continue;
+        }
+        let weight = measure(problem, &phased);
+        return Some((
+            CacheEntry {
+                strings: lifted,
+                weight,
+                // The *embedded* encoding is feasible, not optimal: the
+                // larger problem usually admits lighter solutions.
+                optimal: false,
+                strategy: format!("embed[{}->{}]", from_modes, problem.num_modes()),
+            },
+            from_modes,
+        ));
+    }
+    None
 }
 
 /// Report for a heavy lane whose race was decided before it got a slot.
@@ -731,6 +892,7 @@ fn serve_from_cache(
             cache: CacheStatus::HitOptimal,
             cache_counters,
             winner: Some(format!("cache[{}]", entry.strategy)),
+            warm_start: None,
             workers: Vec::new(),
             shards: Vec::new(),
         },
@@ -779,7 +941,14 @@ fn run_descent_lane(
     if let Some(floor) = outcome.proved_floor {
         incumbent.prove_floor(floor);
     }
-    let mut events = Vec::with_capacity(outcome.steps.len());
+    let mut events = Vec::with_capacity(outcome.steps.len() + 1);
+    if outcome.hint_rejected {
+        // The hint is applied (or refused) before the first solver call.
+        events.push(WorkerEvent {
+            at: started_at,
+            kind: EventKind::HintRejected,
+        });
+    }
     let mut clock = started_at;
     for step in &outcome.steps {
         clock += step.elapsed;
@@ -1018,5 +1187,48 @@ fn run_anneal_lane(
         clauses_imported: 0,
         clauses_promoted: 0,
         shard: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fermihedral::Objective;
+
+    #[test]
+    fn descent_lane_logs_a_rejected_hint() {
+        // The engine's own warm-start paths validate hints before they
+        // reach a lane, so this exercises the defense-in-depth directly:
+        // a shape-correct but invalid hint must be rejected by the
+        // descent (BK fallback applies) and logged as a worker event.
+        let problem = EncodingProblem::full_sat(2, Objective::MajoranaWeight);
+        let instance = problem.build();
+        let incumbent = Incumbent::new(CancelToken::new(), 1);
+        let bad: Vec<PauliString> = ["XX", "YY", "ZI", "IZ"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let report = run_descent_lane(
+            &instance,
+            &EngineConfig::default(),
+            DescentLaneSpec {
+                seed: 1,
+                random_branch: 0.0,
+                bk_phase_hint: true,
+                restart: sat::RestartPolicyKind::default(),
+                clause_exchange: None,
+            },
+            Some(bad),
+            &incumbent,
+            Instant::now(),
+            "lane".into(),
+        );
+        assert_eq!(
+            report.events.first().map(|e| e.kind),
+            Some(EventKind::HintRejected),
+            "the rejection is logged before any solver step: {:?}",
+            report.events
+        );
+        assert_eq!(report.final_weight, Some(6), "BK fallback still certifies");
     }
 }

@@ -16,6 +16,10 @@ pub enum CacheStatus {
     /// A best-so-far (non-optimal) entry was found and used as the
     /// portfolio's warm start; the solvers still ran.
     HitWarmStart,
+    /// The same-size lookup missed, but a *smaller*-mode solution of the
+    /// same family was found through the [`crate::cache::SizeIndex`] and
+    /// embedded as the warm start; the solvers still ran.
+    HitCrossSize,
 }
 
 impl CacheStatus {
@@ -25,6 +29,7 @@ impl CacheStatus {
             CacheStatus::Miss => "miss",
             CacheStatus::HitOptimal => "hit-optimal",
             CacheStatus::HitWarmStart => "hit-warm-start",
+            CacheStatus::HitCrossSize => "hit-cross-size",
         }
     }
 }
@@ -53,6 +58,9 @@ pub enum EventKind {
     /// An annealing lane adopted a strictly better shared incumbent (of
     /// this weight) as its next starting point.
     Reseeded(usize),
+    /// The lane's explicit phase hint failed validation and was rejected
+    /// (the lane fell back to the Bravyi-Kitaev hint when configured).
+    HintRejected,
 }
 
 impl EventKind {
@@ -63,6 +71,7 @@ impl EventKind {
             EventKind::BudgetExhausted => "budget-exhausted",
             EventKind::Cancelled => "cancelled",
             EventKind::Reseeded(_) => "reseeded",
+            EventKind::HintRejected => "hint-rejected",
         }
     }
 
@@ -81,6 +90,7 @@ impl EventKind {
             ("reseeded", Some(w)) => EventKind::Reseeded(w),
             ("budget-exhausted", _) => EventKind::BudgetExhausted,
             ("cancelled", _) => EventKind::Cancelled,
+            ("hint-rejected", _) => EventKind::HintRejected,
             _ => return None,
         })
     }
@@ -153,6 +163,38 @@ impl ShardReport {
     }
 }
 
+/// How a run's opening incumbent was obtained before any lane ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmStartReport {
+    /// Where the starting encoding came from: `"cache-entry"` (same-size
+    /// best-so-far entry), `"cross-size"` (a smaller cached optimum
+    /// lifted through [`encodings::embed`]), or `"config"` (a
+    /// caller-supplied hint, e.g. the shard coordinator's broadcast).
+    pub source: String,
+    /// Mode count of the source solution when it differs from the
+    /// problem's (cross-size transfer).
+    pub from_modes: Option<usize>,
+    /// Weight of the (possibly embedded) starting encoding under the
+    /// problem's own objective — the race's opening incumbent.
+    pub weight: usize,
+}
+
+impl WarmStartReport {
+    /// Machine-readable form (also embedded in the server's compile
+    /// response as the `warm_start` field).
+    pub fn to_json(&self) -> Value {
+        obj([
+            ("source", Value::Str(self.source.clone())),
+            (
+                "from_modes",
+                self.from_modes
+                    .map_or(Value::Null, |m| Value::Num(m as f64)),
+            ),
+            ("weight", Value::Num(self.weight as f64)),
+        ])
+    }
+}
+
 /// The full run report.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
@@ -167,6 +209,11 @@ pub struct EngineReport {
     pub cache_counters: CacheCounters,
     /// Strategy name that produced the returned encoding.
     pub winner: Option<String>,
+    /// The warm start the race opened with, when one was found (a
+    /// same-size best-so-far entry, an embedded smaller solution, or a
+    /// caller-supplied hint). `None` for cold runs and optimal cache
+    /// hits.
+    pub warm_start: Option<WarmStartReport>,
     /// Per-worker timelines (empty on a cache hit).
     pub workers: Vec<WorkerReport>,
     /// Per-worker-process bridge traffic for sharded runs (empty for
@@ -196,6 +243,10 @@ impl EngineReport {
                         "hit_warm_start",
                         Value::Num(self.cache_counters.hit_warm_start as f64),
                     ),
+                    (
+                        "hit_cross_size",
+                        Value::Num(self.cache_counters.hit_cross_size as f64),
+                    ),
                     ("misses", Value::Num(self.cache_counters.misses as f64)),
                     ("stores", Value::Num(self.cache_counters.stores as f64)),
                     (
@@ -207,6 +258,12 @@ impl EngineReport {
             (
                 "winner",
                 self.winner.clone().map_or(Value::Null, Value::Str),
+            ),
+            (
+                "warm_start",
+                self.warm_start
+                    .as_ref()
+                    .map_or(Value::Null, WarmStartReport::to_json),
             ),
             (
                 "workers",
@@ -325,6 +382,11 @@ mod tests {
                 ..CacheCounters::default()
             },
             winner: Some("sat-descent[seed=1]".into()),
+            warm_start: Some(WarmStartReport {
+                source: "cross-size".into(),
+                from_modes: Some(3),
+                weight: 20,
+            }),
             workers: vec![WorkerReport {
                 strategy: "sat-descent[seed=1]".into(),
                 started_at: Duration::ZERO,
@@ -361,6 +423,10 @@ mod tests {
         let text = report.to_json().to_json();
         let parsed = crate::json::parse(&text).unwrap();
         assert_eq!(parsed.get("cache").unwrap().as_str(), Some("miss"));
+        let warm = parsed.get("warm_start").unwrap();
+        assert_eq!(warm.get("source").unwrap().as_str(), Some("cross-size"));
+        assert_eq!(warm.get("from_modes").unwrap().as_usize(), Some(3));
+        assert_eq!(warm.get("weight").unwrap().as_usize(), Some(20));
         let counters = parsed.get("cache_counters").unwrap();
         assert_eq!(counters.get("misses").unwrap().as_usize(), Some(1));
         assert_eq!(counters.get("evictions").unwrap().as_usize(), Some(0));
@@ -402,6 +468,7 @@ mod tests {
             cache: CacheStatus::Disabled,
             cache_counters: CacheCounters::default(),
             winner: None,
+            warm_start: None,
             workers: vec![WorkerReport {
                 strategy: "s".into(),
                 started_at: Duration::ZERO,

@@ -112,7 +112,7 @@ pub fn compile_response(
     coalesced: bool,
     elapsed: Duration,
 ) -> Value {
-    let (weight, strings, winner, from_cache) = match outcome {
+    let (weight, strings, winner, from_cache, warm_start) = match outcome {
         Some(o) => (
             o.weight().map_or(Value::Null, |w| Value::Num(w as f64)),
             o.best.as_ref().map_or(Value::Null, |b| {
@@ -125,8 +125,12 @@ pub fn compile_response(
             }),
             o.report.winner.clone().map_or(Value::Null, Value::Str),
             o.from_cache,
+            o.report
+                .warm_start
+                .as_ref()
+                .map_or(Value::Null, |w| w.to_json()),
         ),
-        None => (Value::Null, Value::Null, Value::Null, false),
+        None => (Value::Null, Value::Null, Value::Null, false, Value::Null),
     };
     obj([
         ("fingerprint", Value::Str(fingerprint_hex.to_string())),
@@ -139,6 +143,10 @@ pub fn compile_response(
         ("strings", strings),
         ("winner", winner),
         ("from_cache", Value::Bool(from_cache)),
+        // How the race was warm-started (`null` for cold runs): source
+        // ("cache-entry" | "cross-size" | "config"), the source's mode
+        // count for cross-size transfer, and the opening incumbent weight.
+        ("warm_start", warm_start),
         ("coalesced", Value::Bool(coalesced)),
         (
             "elapsed_ms",
@@ -270,5 +278,8 @@ mod tests {
         assert_eq!(parsed.get("optimal").unwrap().as_bool(), Some(false));
         assert_eq!(parsed.get("coalesced").unwrap().as_bool(), Some(true));
         assert!(parsed.get("weight").unwrap().as_f64().is_none());
+        // The warm_start field is always present (null without one), so
+        // clients can rely on the schema.
+        assert!(matches!(parsed.get("warm_start"), Some(Value::Null)));
     }
 }

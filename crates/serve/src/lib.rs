@@ -517,6 +517,8 @@ fn cache_entry_response(
             Value::Bool(entry.optimal && matches!(status, CompileStatus::Optimal)),
         );
         fields.insert("from_cache".into(), Value::Bool(true));
+        // Cache-entry responses never ran a race, so no warm start.
+        fields.insert("warm_start".into(), Value::Null);
         fields.insert("coalesced".into(), Value::Bool(false));
         fields.insert(
             "elapsed_ms".into(),

@@ -30,8 +30,9 @@
 
 use crate::proto::{Job, ShardResult};
 use engine::{
-    compile_with, default_portfolio, fingerprint, partition_strategies, CacheEntry, CacheStatus,
-    EngineConfig, EngineOutcome, EngineReport, ShardReport, SolutionCache, Strategy, WorkerReport,
+    compile_with, cross_size_warm_start, default_portfolio, fingerprint, partition_strategies,
+    CacheEntry, CacheStatus, EngineConfig, EngineOutcome, EngineReport, ShardReport, SolutionCache,
+    Strategy, WarmStartReport, WorkerReport,
 };
 use fermihedral::descent::BestEncoding;
 use fermihedral::{EncodingProblem, Objective};
@@ -139,29 +140,78 @@ pub fn compile_sharded_with(
         CacheStatus::Disabled
     };
     let mut warm_start: Option<CacheEntry> = None;
+    let mut warm_report: Option<WarmStartReport> = None;
     if let Some(cache) = cache {
         if let Some(entry) = cache.lookup(&fp) {
-            if entry.optimal {
-                return EngineOutcome {
-                    best: Some(BestEncoding {
-                        strings: entry.strings.clone(),
-                        weight: entry.weight,
-                    }),
-                    optimal_proved: true,
-                    from_cache: true,
-                    report: EngineReport {
-                        fingerprint: fp.to_hex(),
-                        total_elapsed: started.elapsed(),
-                        cache: CacheStatus::HitOptimal,
-                        cache_counters: cache.counters(),
-                        winner: Some(format!("cache[{}]", entry.strategy)),
-                        workers: Vec::new(),
-                        shards: Vec::new(),
-                    },
-                };
+            // Trust boundary, mirroring the in-process engine: the entry
+            // is re-validated and re-measured before its weight may steer
+            // the race (a lying weight below the true optimum would make
+            // every worker go UNSAT and "certify" a non-encoding), and an
+            // optimal claim is only served when the strings measure at
+            // the claimed weight.
+            let valid = entry.strings.len() == 2 * problem.num_modes()
+                && validates(problem, &entry.strings);
+            if valid {
+                let measured = measure_weight(problem, &entry.strings);
+                if entry.optimal && measured == entry.weight {
+                    return EngineOutcome {
+                        best: Some(BestEncoding {
+                            strings: entry.strings.clone(),
+                            weight: entry.weight,
+                        }),
+                        optimal_proved: true,
+                        from_cache: true,
+                        report: EngineReport {
+                            fingerprint: fp.to_hex(),
+                            total_elapsed: started.elapsed(),
+                            cache: CacheStatus::HitOptimal,
+                            cache_counters: cache.counters(),
+                            winner: Some(format!("cache[{}]", entry.strategy)),
+                            warm_start: None,
+                            workers: Vec::new(),
+                            shards: Vec::new(),
+                        },
+                    };
+                }
+                if measured != entry.weight {
+                    // A lying weight (understated, in particular) would
+                    // make store_if_better refuse this run's genuine
+                    // result forever; the tail re-stores the truth.
+                    let _ = cache.invalidate(&fp);
+                }
+                cache_status = CacheStatus::HitWarmStart;
+                warm_report = Some(WarmStartReport {
+                    source: "cache-entry".into(),
+                    from_modes: None,
+                    weight: measured,
+                });
+                warm_start = Some(CacheEntry {
+                    strings: entry.strings,
+                    weight: measured,
+                    optimal: false,
+                    strategy: entry.strategy,
+                });
+            } else {
+                // A poison file would also block store_if_better from
+                // ever recording this run's genuine result: delete it.
+                let _ = cache.invalidate(&fp);
             }
-            cache_status = CacheStatus::HitWarmStart;
-            warm_start = Some(entry);
+        }
+        if warm_start.is_none() {
+            if let Some((entry, from_modes)) = cross_size_warm_start(cache, problem) {
+                // Cross-size transfer: the coordinator owns the cache, so
+                // it is the one that lifts a smaller cached optimum and
+                // hands the embedded encoding to every worker (strings in
+                // the Job frame, weight as the opening Bound broadcast).
+                cache.note_cross_size_hit();
+                cache_status = CacheStatus::HitCrossSize;
+                warm_report = Some(WarmStartReport {
+                    source: "cross-size".into(),
+                    from_modes: Some(from_modes),
+                    weight: entry.weight,
+                });
+                warm_start = Some(entry);
+            }
         }
     }
 
@@ -222,6 +272,7 @@ pub fn compile_sharded_with(
     }
     outcome.report.fingerprint = fp.to_hex();
     outcome.report.cache = cache_status;
+    outcome.report.warm_start = warm_report;
     outcome.report.total_elapsed = started.elapsed();
     if let (Some(cache), Some(best)) = (cache, &outcome.best) {
         let entry = CacheEntry {
@@ -231,6 +282,9 @@ pub fn compile_sharded_with(
             strategy: outcome.report.winner.clone().unwrap_or_default(),
         };
         let _ = cache.store_if_better(&fp, &entry);
+        // Feed the cross-size index so *larger* problems of this family
+        // can warm-start from this run's result.
+        let _ = engine::SizeIndex::open(cache.dir()).record(problem, &fp);
         outcome.report.cache_counters = cache.counters();
     }
     outcome
@@ -308,6 +362,7 @@ impl Race {
                 persist_on_budget: config.persist_on_budget,
                 clause_sharing: config.clause_sharing,
                 max_concurrency: config.max_concurrency,
+                warm_hint: warm_start.map(|e| e.strings.clone()),
             });
             let mut report = ShardReport {
                 shard,
@@ -705,6 +760,7 @@ impl Race {
                 cache: CacheStatus::Disabled, // filled by the caller
                 cache_counters: Default::default(),
                 winner,
+                warm_start: None, // filled by the caller
                 workers,
                 shards,
             },

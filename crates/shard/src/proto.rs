@@ -44,6 +44,12 @@ pub struct Job {
     pub clause_sharing: ClauseSharing,
     /// Heavy-lane concurrency cap inside this worker.
     pub max_concurrency: Option<usize>,
+    /// Warm-start encoding for the job's problem (`2N` strings), found by
+    /// the coordinator in its cache — a same-size best-so-far entry or a
+    /// smaller optimum lifted through `encodings::embed`. Workers
+    /// re-validate and re-measure it before seeding their race (the bytes
+    /// crossed a process boundary).
+    pub warm_hint: Option<Vec<PauliString>>,
 }
 
 impl Job {
@@ -58,6 +64,7 @@ impl Job {
             clause_sharing: self.clause_sharing,
             cache_dir: None,
             cache_byte_cap: None,
+            warm_hint: self.warm_hint.clone(),
             max_concurrency: self.max_concurrency,
             shards: 0,
         }
@@ -106,6 +113,12 @@ impl Job {
                 "max_concurrency",
                 self.max_concurrency
                     .map_or(Value::Null, |c| Value::Num(c as f64)),
+            ),
+            (
+                "warm_hint",
+                self.warm_hint.as_ref().map_or(Value::Null, |strings| {
+                    Value::Arr(strings.iter().map(|s| Value::Str(s.to_string())).collect())
+                }),
             ),
         ])
         .to_json()
@@ -181,6 +194,21 @@ impl Job {
             max_concurrency: match doc.get("max_concurrency") {
                 None | Some(Value::Null) => None,
                 Some(v) => Some(v.as_usize().ok_or("\"max_concurrency\" mistyped")?),
+            },
+            warm_hint: match doc.get("warm_hint") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_arr()
+                        .ok_or("\"warm_hint\" mistyped")?
+                        .iter()
+                        .map(|s| {
+                            s.as_str()
+                                .ok_or("non-string warm-hint entry")?
+                                .parse::<PauliString>()
+                                .map_err(|_| "unparseable warm-hint Pauli string")
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
             },
         })
     }
@@ -493,6 +521,7 @@ mod tests {
             persist_on_budget: true,
             clause_sharing: ClauseSharing::default(),
             max_concurrency: Some(2),
+            warm_hint: None,
         }
     }
 
@@ -500,6 +529,7 @@ mod tests {
     fn job_round_trips() {
         let job = sample_job();
         let back = Job::from_bytes(&job.to_bytes()).expect("parses");
+        assert_eq!(back.warm_hint, None);
         assert_eq!(back.shard, job.shard);
         assert_eq!(back.total_shards, job.total_shards);
         assert_eq!(back.fingerprint, job.fingerprint);
@@ -523,6 +553,23 @@ mod tests {
             }
             _ => panic!("anneal lane lost"),
         }
+    }
+
+    #[test]
+    fn warm_hint_round_trips() {
+        let mut job = sample_job();
+        job.warm_hint = Some(vec![
+            "IIX".parse().unwrap(),
+            "IIY".parse().unwrap(),
+            "ZXZ".parse().unwrap(),
+        ]);
+        let back = Job::from_bytes(&job.to_bytes()).expect("parses");
+        assert_eq!(back.warm_hint, job.warm_hint);
+        assert_eq!(back.engine_config().warm_hint, job.warm_hint);
+        // A corrupted hint fails loudly instead of seeding garbage.
+        let text = String::from_utf8(job.to_bytes()).unwrap();
+        let bad = text.replace("ZXZ", "Z?Z");
+        assert!(Job::from_bytes(bad.as_bytes()).is_err());
     }
 
     #[test]

@@ -183,6 +183,57 @@ fn sigkilled_worker_degrades_the_race_not_the_result() {
     );
 }
 
+#[test]
+fn sharded_race_warm_starts_from_a_smaller_cached_optimum() {
+    // Cross-size transfer through the coordinator: with the N=3 optimum
+    // cached, a sharded N=4 compile must find it in the size index,
+    // embed it, broadcast the hint to both workers in the Job frame, and
+    // still certify the true optimum.
+    let dir = std::env::temp_dir().join(format!(
+        "fermihedral-shard-warm-test-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let seed = compile(
+        &EncodingProblem::full_sat(3, Objective::MajoranaWeight),
+        &EngineConfig {
+            cache_dir: Some(dir.clone()),
+            total_timeout: Some(Duration::from_secs(120)),
+            ..EngineConfig::default()
+        },
+    );
+    assert!(seed.optimal_proved, "seed N=3 must certify");
+
+    let problem = EncodingProblem::full_sat(4, Objective::MajoranaWeight);
+    let cache = engine::SolutionCache::open(&dir).unwrap();
+    let outcome = compile_sharded_with(
+        &problem,
+        &sharded_config(2, Duration::from_secs(120)),
+        Some(&cache),
+        None,
+        &options(),
+    );
+    assert_valid_optimum(&problem, &outcome, "warm sharded N=4");
+    assert_eq!(outcome.weight(), Some(16), "the N=4 full-SAT optimum");
+    assert_eq!(outcome.report.cache, engine::CacheStatus::HitCrossSize);
+    let warm = outcome
+        .report
+        .warm_start
+        .as_ref()
+        .expect("coordinator must report the cross-size warm start");
+    assert_eq!(warm.source, "cross-size");
+    assert_eq!(warm.from_modes, Some(3));
+    assert_eq!(cache.counters().hit_cross_size, 1);
+    // The N=4 result was stored and indexed, so an N=5 probe would now
+    // see it as the largest smaller size.
+    let n5 = EncodingProblem::full_sat(5, Objective::MajoranaWeight);
+    assert_eq!(
+        engine::cross_size_warm_start(&cache, &n5).map(|(_, m)| m),
+        Some(4)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The N=5 full-SAT certificate takes hours-scale SAT time (the paper
 /// solves it offline); run explicitly with
 /// `cargo test -p fermihedral-shard -- --ignored differential_full_sat_n5`.
