@@ -168,7 +168,7 @@ fn main() {
     // Final server-side metrics snapshot over HTTP.
     let (_, server_metrics) = Client::connect(addr)
         .expect("metrics connect")
-        .request("GET", "/metrics", None)
+        .request("GET", "/metrics?format=json", None)
         .expect("metrics");
     handle.shutdown();
     handle.join();

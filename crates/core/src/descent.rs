@@ -404,9 +404,40 @@ pub fn solve_optimal_instance(
         // assumption literal — a bound beyond the totalizer — exports
         // unconditionally valid clauses).
         solver.set_bound_tag((!assumptions.is_empty()).then_some(bound));
+        let stats_before = solver.stats();
+        let mut bound_span = telemetry::span("descent.bound");
         let call_start = Instant::now();
         let result = solver.solve_with_assumptions(&assumptions);
         let elapsed = call_start.elapsed();
+        if bound_span.active() {
+            let after = solver.stats();
+            bound_span.attr("bound", bound as u64);
+            bound_span.attr(
+                "outcome",
+                match &result {
+                    sat::SolveResult::Sat(_) => "sat",
+                    sat::SolveResult::Unsat => "unsat",
+                    sat::SolveResult::Unknown => "budget_exceeded",
+                    sat::SolveResult::Interrupted => "cancelled",
+                },
+            );
+            bound_span.attr(
+                "exported_clauses",
+                after.exported_clauses - stats_before.exported_clauses,
+            );
+            bound_span.attr(
+                "imported_clauses",
+                after.imported_clauses - stats_before.imported_clauses,
+            );
+            bound_span.attr(
+                "promoted_clauses",
+                after.promoted_clauses - stats_before.promoted_clauses,
+            );
+            bound_span.attr(
+                "imported_reasons",
+                after.imported_reasons - stats_before.imported_reasons,
+            );
+        }
 
         match result {
             sat::SolveResult::Sat(model) => {

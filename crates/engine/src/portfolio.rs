@@ -333,6 +333,7 @@ impl Incumbent {
     /// publisher (it finished first).
     fn publish(&self, encoding: BestEncoding, strategy: &str) {
         self.bound.tighten(encoding.weight);
+        let weight = encoding.weight;
         let mut slot = self.best.lock().unwrap();
         let better = slot
             .as_ref()
@@ -341,6 +342,15 @@ impl Incumbent {
             *slot = Some((encoding, strategy.to_string()));
         }
         drop(slot);
+        if better && telemetry::global().is_enabled() {
+            telemetry::instant(
+                "engine.improved",
+                vec![
+                    telemetry::attr("weight", weight as u64),
+                    telemetry::attr("strategy", strategy),
+                ],
+            );
+        }
         self.check_optimal();
     }
 
@@ -348,6 +358,9 @@ impl Incumbent {
     /// incumbent.
     fn prove_floor(&self, floor: usize) {
         self.floor.fetch_max(floor, Ordering::Relaxed);
+        if telemetry::global().is_enabled() {
+            telemetry::instant("engine.floor", vec![telemetry::attr("floor", floor as u64)]);
+        }
         self.check_optimal();
     }
 
@@ -361,7 +374,14 @@ impl Incumbent {
             // No encoding below `floor` exists, and we hold one *at* it:
             // the race is decided.
             if best.weight == floor {
+                let decided = !self.cancel.is_cancelled();
                 self.cancel.cancel();
+                if decided && telemetry::global().is_enabled() {
+                    telemetry::instant(
+                        "engine.race_decided",
+                        vec![telemetry::attr("weight", floor as u64)],
+                    );
+                }
             }
         }
     }
@@ -482,6 +502,9 @@ fn compile_inner(
 ) -> EngineOutcome {
     let started = Instant::now();
     let fp = fingerprint(problem);
+    let mut race_span = telemetry::span("engine.race");
+    race_span.attr("modes", problem.num_modes() as u64);
+    race_span.attr("fingerprint", fp.to_hex());
 
     // ---- Cache probe -----------------------------------------------------
     let mut cache_status = if cache.is_some() {
@@ -683,6 +706,7 @@ fn compile_inner(
                 let warm = warm_hint_strings.clone();
                 let lane_handle = lane_handle.clone();
                 scope.spawn(move || {
+                    let mut lane_span = telemetry::span("engine.lane");
                     let report = match strategy {
                         Strategy::SatDescent {
                             seed,
@@ -727,6 +751,22 @@ fn compile_inner(
                         }
                     };
                     incumbent.active_lanes.fetch_sub(1, Ordering::Relaxed);
+                    if lane_span.active() {
+                        lane_span.attr("strategy", report.strategy.as_str());
+                        if let Some(w) = report.final_weight {
+                            lane_span.attr("final_weight", w as u64);
+                        }
+                        if let Some(f) = report.proved_floor {
+                            lane_span.attr("proved_floor", f as u64);
+                        }
+                        lane_span.attr("cancelled", report.cancelled);
+                        lane_span.attr("conflicts", report.conflicts);
+                        lane_span.attr("imported_reasons", report.imported_reasons);
+                    }
+                    drop(lane_span);
+                    // Lane threads end here; hand their buffered spans to
+                    // the registry while the thread is still alive.
+                    telemetry::flush();
                     report
                 })
             })
@@ -747,6 +787,19 @@ fn compile_inner(
         None => (None, None),
     };
     let optimal_proved = floor != 0 && best.as_ref().is_some_and(|b| b.weight == floor);
+
+    if race_span.active() {
+        race_span.attr("lanes", strategies.len() as u64);
+        if let Some(b) = &best {
+            race_span.attr("weight", b.weight as u64);
+        }
+        if let Some(w) = &winner {
+            race_span.attr("winner", w.as_str());
+        }
+        race_span.attr("optimal_proved", optimal_proved);
+    }
+    drop(race_span);
+    telemetry::flush();
 
     if let (Some(cache), Some(best)) = (&cache, &best) {
         let entry = CacheEntry {
@@ -869,6 +922,7 @@ fn skipped_lane(name: String, engine_start: Instant) -> WorkerReport {
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
+        imported_reasons: 0,
         shard: None,
     }
 }
@@ -972,6 +1026,7 @@ fn run_descent_lane(
         clauses_exported: outcome.solver_stats.exported_clauses,
         clauses_imported: outcome.solver_stats.imported_clauses,
         clauses_promoted: outcome.solver_stats.promoted_clauses,
+        imported_reasons: outcome.solver_stats.imported_reasons,
         shard: None,
     }
 }
@@ -1037,6 +1092,7 @@ fn run_baseline_lane(
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
+        imported_reasons: 0,
         shard: None,
     }
 }
@@ -1186,6 +1242,7 @@ fn run_anneal_lane(
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
+        imported_reasons: 0,
         shard: None,
     }
 }

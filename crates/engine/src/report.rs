@@ -121,6 +121,10 @@ pub struct WorkerReport {
     pub clauses_imported: u64,
     /// Imports first deferred by their bound tag, admitted later.
     pub clauses_promoted: u64,
+    /// Times an imported clause became a propagation reason in this lane —
+    /// the usefulness signal behind the import counters (an import that
+    /// never propagates was not worth shipping).
+    pub imported_reasons: u64,
     /// Worker process this lane ran in, for sharded runs (`None` = the
     /// coordinating process itself).
     pub shard: Option<usize>,
@@ -299,6 +303,7 @@ impl WorkerReport {
             ("clauses_exported", Value::Num(w.clauses_exported as f64)),
             ("clauses_imported", Value::Num(w.clauses_imported as f64)),
             ("clauses_promoted", Value::Num(w.clauses_promoted as f64)),
+            ("imported_reasons", Value::Num(w.imported_reasons as f64)),
             (
                 "shard",
                 w.shard.map_or(Value::Null, |v| Value::Num(v as f64)),
@@ -361,6 +366,12 @@ impl WorkerReport {
             clauses_exported: doc.get("clauses_exported")?.as_usize()? as u64,
             clauses_imported: doc.get("clauses_imported")?.as_usize()? as u64,
             clauses_promoted: doc.get("clauses_promoted")?.as_usize()? as u64,
+            // Tolerant: reports written before this counter existed parse
+            // as zero rather than failing the merge.
+            imported_reasons: doc
+                .get("imported_reasons")
+                .and_then(Value::as_usize)
+                .unwrap_or(0) as u64,
             shard: doc.get("shard").and_then(Value::as_usize),
         })
     }
@@ -408,6 +419,7 @@ mod tests {
                 clauses_exported: 17,
                 clauses_imported: 5,
                 clauses_promoted: 2,
+                imported_reasons: 3,
                 shard: Some(1),
             }],
             shards: vec![ShardReport {
@@ -481,6 +493,7 @@ mod tests {
                 clauses_exported: 0,
                 clauses_imported: 0,
                 clauses_promoted: 0,
+                imported_reasons: 0,
                 shard: None,
             }],
             shards: Vec::new(),

@@ -109,12 +109,19 @@ pub struct SolverStats {
     /// Imports that were first deferred by their bound tag and admitted
     /// once this solver's own bound caught up.
     pub promoted_clauses: u64,
+    /// Times an *imported* clause became the reason of a propagation —
+    /// the per-lane usefulness signal adaptive exchange filtering needs
+    /// (a clause that never propagates was not worth shipping).
+    pub imported_reasons: u64,
 }
 
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
     learnt: bool,
+    /// Whether this clause arrived through the clause exchange (tracked so
+    /// propagation can count which imports actually fire as reasons).
+    imported: bool,
     lbd: u32,
     activity: f64,
 }
@@ -444,6 +451,7 @@ impl Solver {
                 self.attach_clause(Clause {
                     lits: simplified,
                     learnt: false,
+                    imported: false,
                     lbd: 0,
                     activity: 0.0,
                 });
@@ -460,6 +468,8 @@ impl Solver {
     /// then means "unsatisfiable together with the assumptions".
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         let start = Instant::now();
+        let mut span = telemetry::span("sat.solve");
+        let stats_at_entry = self.stats;
         let budget_end = self.conflict_budget.map(|b| self.stats.conflicts + b);
         self.cancel_until(0);
         if self.unsat {
@@ -566,6 +576,44 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        if span.active() {
+            let elapsed = start.elapsed();
+            let conflicts = self.stats.conflicts - stats_at_entry.conflicts;
+            span.attr(
+                "result",
+                match &result {
+                    SolveResult::Sat(_) => "sat",
+                    SolveResult::Unsat => "unsat",
+                    SolveResult::Unknown => "unknown",
+                    SolveResult::Interrupted => "interrupted",
+                },
+            );
+            span.attr("conflicts", conflicts);
+            span.attr(
+                "propagations",
+                self.stats.propagations - stats_at_entry.propagations,
+            );
+            span.attr("restarts", self.stats.restarts - stats_at_entry.restarts);
+            span.attr(
+                "learnt_clauses",
+                self.stats.learnt_clauses - stats_at_entry.learnt_clauses,
+            );
+            span.attr(
+                "imported_clauses",
+                self.stats.imported_clauses - stats_at_entry.imported_clauses,
+            );
+            span.attr(
+                "imported_reasons",
+                self.stats.imported_reasons - stats_at_entry.imported_reasons,
+            );
+            span.attr(
+                "conflicts_per_sec",
+                conflicts as f64 / elapsed.as_secs_f64().max(1e-9),
+            );
+            if let Some(tag) = self.bound_tag {
+                span.attr("bound_tag", tag);
+            }
+        }
         result
     }
 
@@ -668,6 +716,7 @@ impl Solver {
                 self.attach_clause(Clause {
                     lits,
                     learnt: true,
+                    imported: true,
                     lbd: clause.lbd,
                     activity: self.clause_inc,
                 });
@@ -773,6 +822,9 @@ impl Solver {
                     self.qhead = self.trail.len();
                     conflict = Some(w.cref);
                 } else {
+                    if self.clauses[cref].imported {
+                        self.stats.imported_reasons += 1;
+                    }
                     self.unchecked_enqueue(first, Some(w.cref));
                 }
                 if conflict.is_some() {
@@ -901,6 +953,7 @@ impl Solver {
         let cref = self.attach_clause(Clause {
             lits: clause,
             learnt: true,
+            imported: false,
             lbd,
             activity: self.clause_inc,
         });

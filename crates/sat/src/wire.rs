@@ -34,7 +34,9 @@ use std::io::{self, Read, Write};
 
 /// Protocol version; bump on any incompatible frame change. A worker
 /// whose [`Frame::Hello`] names a different version is rejected.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version 2 added the [`Frame::Trace`] span-batch frame.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame body (tag + payload), chosen to fit any
 /// realistic job/result payload while keeping a corrupt length prefix
@@ -121,6 +123,11 @@ pub enum Frame {
     /// Worker → coordinator, terminal frame: the shard's outcome, as an
     /// opaque payload (the shard crate owns the schema).
     Result(Vec<u8>),
+    /// Worker → coordinator: a batch of telemetry spans recorded on the
+    /// worker, as an opaque payload (the telemetry crate owns the
+    /// schema). Best-effort — a coordinator may ignore it, and a worker
+    /// only ships it when the job asked for tracing.
+    Trace(Vec<u8>),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -130,12 +137,28 @@ const TAG_BOUND: u8 = 4;
 const TAG_FLOOR: u8 = 5;
 const TAG_CANCEL: u8 = 6;
 const TAG_RESULT: u8 = 7;
+const TAG_TRACE: u8 = 8;
 
 /// `bound_tag` presence flags in a clause payload.
 const BOUND_TAG_ABSENT: u8 = 0;
 const BOUND_TAG_PRESENT: u8 = 1;
 
 impl Frame {
+    /// Stable lower-case name of the frame type, for per-type wire
+    /// metrics (`wire_frames_total{type="clause",...}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Job(_) => "job",
+            Frame::Clause(_) => "clause",
+            Frame::Bound(_) => "bound",
+            Frame::Floor(_) => "floor",
+            Frame::Cancel => "cancel",
+            Frame::Result(_) => "result",
+            Frame::Trace(_) => "trace",
+        }
+    }
+
     /// Appends the encoded frame (length prefix included) to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         let start = out.len();
@@ -178,6 +201,10 @@ impl Frame {
             Frame::Cancel => out.push(TAG_CANCEL),
             Frame::Result(payload) => {
                 out.push(TAG_RESULT);
+                out.extend_from_slice(payload);
+            }
+            Frame::Trace(payload) => {
+                out.push(TAG_TRACE);
                 out.extend_from_slice(payload);
             }
         }
@@ -278,6 +305,7 @@ impl Frame {
             TAG_FLOOR => Frame::Floor(r.u64()?),
             TAG_CANCEL => Frame::Cancel,
             TAG_RESULT => return Ok(Frame::Result(body[1..].to_vec())),
+            TAG_TRACE => return Ok(Frame::Trace(body[1..].to_vec())),
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -369,6 +397,16 @@ impl From<WireError> for FrameIoError {
 ///
 /// Stream failures and malformed frames; see [`FrameIoError`].
 pub fn read_frame(stream: &mut impl Read) -> Result<Option<Frame>, FrameIoError> {
+    Ok(read_frame_counted(stream)?.map(|(frame, _)| frame))
+}
+
+/// [`read_frame`], plus the number of wire bytes the frame occupied
+/// (length prefix included) — the input for per-direction byte metrics.
+///
+/// # Errors
+///
+/// Same as [`read_frame`].
+pub fn read_frame_counted(stream: &mut impl Read) -> Result<Option<(Frame, usize)>, FrameIoError> {
     let mut prefix = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
@@ -395,7 +433,7 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Option<Frame>, FrameIoError>
     }
     let mut body = vec![0u8; body_len];
     stream.read_exact(&mut body)?;
-    Ok(Some(Frame::decode_body(&body)?))
+    Ok(Some((Frame::decode_body(&body)?, 4 + body_len)))
 }
 
 /// Writes one frame to a blocking stream (no flush; callers batch).
@@ -444,6 +482,7 @@ mod tests {
             Frame::Floor(64),
             Frame::Cancel,
             Frame::Result(b"{\"weight\":64}".to_vec()),
+            Frame::Trace(b"{\"events\":[]}".to_vec()),
         ]
     }
 
@@ -540,5 +579,25 @@ mod tests {
         let mut whole: &[u8] = &bytes;
         assert_eq!(read_frame(&mut whole).unwrap(), Some(Frame::Bound(9)));
         assert!(matches!(read_frame(&mut whole), Ok(None)));
+    }
+
+    #[test]
+    fn counted_reader_reports_wire_bytes() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            let mut stream: &[u8] = &bytes;
+            let (got, n) = read_frame_counted(&mut stream).unwrap().unwrap();
+            assert_eq!(got, frame);
+            assert_eq!(n, bytes.len(), "counted size covers prefix + body");
+        }
+    }
+
+    #[test]
+    fn frame_kinds_are_distinct() {
+        let mut kinds: Vec<&str> = sample_frames().iter().map(Frame::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        // Eight distinct frame types (the sample set repeats Clause).
+        assert_eq!(kinds.len(), 8);
     }
 }

@@ -47,6 +47,25 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, Value)> {
+        let (status, text) = self.request_text(method, path, body)?;
+        let value = jsonkit::parse(&text)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not JSON"))?;
+        Ok((status, value))
+    }
+
+    /// As [`request`](Client::request), but returns the raw body text —
+    /// for endpoints that don't speak JSON (the Prometheus `/metrics`
+    /// exposition).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `InvalidData` on malformed HTTP.
+    pub fn request_text(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
         let body = body.unwrap_or_default();
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: fermihedral\r\nContent-Length: {}\r\n\r\n",
@@ -54,7 +73,7 @@ impl Client {
         );
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body.as_bytes())?;
-        self.read_response()
+        self.read_response_text()
     }
 
     /// Writes raw bytes (malformed-request tests) and reads the response.
@@ -64,10 +83,13 @@ impl Client {
     /// As [`request`](Client::request).
     pub fn raw(&mut self, bytes: &[u8]) -> io::Result<(u16, Value)> {
         self.stream.write_all(bytes)?;
-        self.read_response()
+        let (status, text) = self.read_response_text()?;
+        let value = jsonkit::parse(&text)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not JSON"))?;
+        Ok((status, value))
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, Value)> {
+    fn read_response_text(&mut self) -> io::Result<(u16, String)> {
         let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
         let head_end = loop {
             if let Some(p) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -108,7 +130,6 @@ impl Client {
         let body = self.carry[body_start..body_start + content_length].to_vec();
         self.carry.drain(..body_start + content_length);
         let text = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
-        let value = jsonkit::parse(&text).map_err(|_| bad("response body is not JSON"))?;
-        Ok((status, value))
+        Ok((status, text))
     }
 }

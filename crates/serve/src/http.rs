@@ -30,6 +30,8 @@ pub struct Request {
     pub method: String,
     /// Decoded path, query string stripped.
     pub path: String,
+    /// The raw query string (without the `?`), when one was sent.
+    pub query: Option<String>,
     /// Header name/value pairs, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The `Content-Length` body (empty when none was sent).
@@ -45,6 +47,16 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the query string contains the exact `key=value` pair
+    /// (`&`-separated; no percent-decoding — the server's own query
+    /// parameters never need it).
+    pub fn query_has(&self, key: &str, value: &str) -> bool {
+        self.query.as_deref().is_some_and(|q| {
+            q.split('&')
+                .any(|pair| pair.split_once('=') == Some((key, value)))
+        })
     }
 }
 
@@ -198,7 +210,7 @@ impl HttpConn {
             Some(c) if c == "keep-alive" => true,
             _ => version == "HTTP/1.1",
         };
-        let (path, _query) = match target.split_once('?') {
+        let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p.to_string(), Some(q.to_string())),
             None => (target, None),
         };
@@ -206,6 +218,7 @@ impl HttpConn {
         Ok(Request {
             method,
             path,
+            query,
             headers,
             body,
             keep_alive,
@@ -302,6 +315,19 @@ impl Response {
             status,
             content_type: "application/json",
             body: value.to_json().into_bytes(),
+            keep_alive: true,
+            retry_after: None,
+            allow: None,
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition uses the versioned
+    /// text content type).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type,
+            body: body.into_bytes(),
             keep_alive: true,
             retry_after: None,
             allow: None,

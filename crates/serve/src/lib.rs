@@ -25,9 +25,17 @@
 //!   the queue (shedding unstarted jobs with `503`), and joins every
 //!   thread.
 //!
+//! * **Observability** — every compile request records a `serve.request`
+//!   root span with queue-wait/solve/serialization child spans beneath the
+//!   engine's own race/lane spans; the last trace per fingerprint is
+//!   retrievable as Chrome trace JSON via `GET /v1/trace/<fingerprint>`
+//!   (and written to [`ServeConfig::trace_dir`] when set). `GET /metrics`
+//!   serves Prometheus text exposition by default and the JSON snapshot
+//!   under `?format=json`.
+//!
 //! Endpoints: `POST /v1/compile`, `GET /v1/solution/<fingerprint>`,
-//! `GET /healthz`, `GET /metrics`. See [`api`] for the JSON schema and the
-//! README for `curl` examples.
+//! `GET /v1/trace/<fingerprint>`, `GET /healthz`, `GET /metrics`. See
+//! [`api`] for the JSON schema and the README for `curl` examples.
 
 pub mod api;
 pub mod client;
@@ -45,10 +53,12 @@ use engine::{fingerprint, Engine, EngineConfig, Fingerprint};
 use jsonkit::{obj, Value};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::TraceStore;
 
 /// Extra wall-clock a connection thread waits beyond its request deadline
 /// for the solve worker to hand back the (deadline-bounded) outcome.
@@ -57,6 +67,10 @@ const RESULT_GRACE: Duration = Duration::from_millis(500);
 /// Poll interval of the non-blocking accept loop and of idle keep-alive
 /// connections (both check the shutdown flag at this cadence).
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How many per-fingerprint traces the in-memory store retains for
+/// `GET /v1/trace/<fingerprint>` (oldest-inserted evicted first).
+const TRACE_STORE_CAPACITY: usize = 64;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -80,6 +94,9 @@ pub struct ServeConfig {
     pub max_modes: usize,
     /// Keep-alive idle timeout before the server closes a connection.
     pub keep_alive_idle: Duration,
+    /// When set, each compile request's merged trace is also written to
+    /// `<trace_dir>/<fingerprint>.trace.json` as a Chrome trace document.
+    pub trace_dir: Option<PathBuf>,
     /// Engine template: portfolio, budgets, cache directory.
     pub engine: EngineConfig,
 }
@@ -96,6 +113,7 @@ impl Default for ServeConfig {
             max_body_bytes: 1024 * 1024,
             max_modes: 8,
             keep_alive_idle: Duration::from_secs(30),
+            trace_dir: None,
             engine: EngineConfig::default(),
         }
     }
@@ -108,6 +126,7 @@ struct Shared {
     metrics: Metrics,
     queue: JobQueue,
     coalescer: Coalescer,
+    trace_store: TraceStore,
     shutdown: AtomicBool,
     started: Instant,
     local_addr: SocketAddr,
@@ -155,14 +174,7 @@ impl ServerHandle {
         }
         // Connection threads are detached; wait for their counted exits.
         let deadline = Instant::now() + Duration::from_secs(15);
-        while self
-            .shared
-            .metrics
-            .connections_active
-            .load(Ordering::Relaxed)
-            > 0
-            && Instant::now() < deadline
-        {
+        while self.shared.metrics.connections_active.get() > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
     }
@@ -179,10 +191,19 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
 
+    // The server always records: per-request traces back the
+    // /v1/trace endpoint, and (when solves are sharded) the same
+    // registry merges worker span batches arriving over the bridge.
+    telemetry::global().enable();
+    if let Some(dir) = &config.trace_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
     let shared = Arc::new(Shared {
         queue: JobQueue::new(config.queue_capacity),
         coalescer: Coalescer::default(),
         metrics: Metrics::default(),
+        trace_store: TraceStore::new(TRACE_STORE_CAPACITY),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         local_addr,
@@ -232,12 +253,12 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 
 fn dispatch_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let metrics = &shared.metrics;
-    let active = metrics.connections_active.load(Ordering::Relaxed);
-    if active >= shared.config.max_connections as u64 {
+    let active = metrics.connections_active.get();
+    if active >= shared.config.max_connections as i64 {
         // Over the connection cap: shed with 503 without spawning. The
         // write runs under the socket timeout, so a slow client cannot
         // stall the accept loop for long.
-        metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+        metrics.connections_shed.inc();
         metrics.record_response(503);
         let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
         let mut conn = HttpConn::new(stream);
@@ -246,22 +267,16 @@ fn dispatch_connection(shared: &Arc<Shared>, stream: TcpStream) {
         let _ = conn.write_response(&response);
         return;
     }
-    metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+    metrics.connections_active.add(1);
     let conn_shared = shared.clone();
     let result = std::thread::Builder::new()
         .name("serve-conn".into())
         .spawn(move || {
             connection_loop(&conn_shared, stream);
-            conn_shared
-                .metrics
-                .connections_active
-                .fetch_sub(1, Ordering::Relaxed);
+            conn_shared.metrics.connections_active.add(-1);
         });
     if result.is_err() {
-        shared
-            .metrics
-            .connections_active
-            .fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.connections_active.add(-1);
     }
 }
 
@@ -283,7 +298,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
         match conn.read_request(shared.config.max_body_bytes) {
             Ok(request) => {
                 idle_since = Instant::now();
-                shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.http_requests.inc();
                 let mut response = handle_request(shared, &request);
                 response.keep_alive &= request.keep_alive && !shared.is_shutdown();
                 shared.metrics.record_response(response.status);
@@ -299,7 +314,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
             Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
             Err(fatal) => {
                 if let Some(response) = fatal.response() {
-                    shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.http_requests.inc();
                     shared.metrics.record_response(response.status);
                     let mut response = response;
                     response.keep_alive = false;
@@ -318,16 +333,19 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
 fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(shared),
-        ("GET", "/metrics") => handle_metrics(shared),
+        ("GET", "/metrics") => handle_metrics(shared, request),
         ("POST", "/v1/compile") => handle_compile(shared, &request.body),
         ("GET", path) if path.starts_with("/v1/solution/") => {
             handle_solution(shared, &path["/v1/solution/".len()..])
+        }
+        ("GET", path) if path.starts_with("/v1/trace/") => {
+            handle_trace(shared, &path["/v1/trace/".len()..])
         }
         (_, "/healthz" | "/metrics") => {
             Response::error(405, "method not allowed").with_allow("GET")
         }
         (_, "/v1/compile") => Response::error(405, "method not allowed").with_allow("POST"),
-        (_, path) if path.starts_with("/v1/solution/") => {
+        (_, path) if path.starts_with("/v1/solution/") || path.starts_with("/v1/trace/") => {
             Response::error(405, "method not allowed").with_allow("GET")
         }
         _ => Response::error(404, "no such endpoint"),
@@ -348,16 +366,41 @@ fn handle_healthz(shared: &Arc<Shared>) -> Response {
     )
 }
 
-fn handle_metrics(shared: &Arc<Shared>) -> Response {
-    let doc = shared.metrics.to_json(
+fn handle_metrics(shared: &Arc<Shared>, request: &Request) -> Response {
+    if request.query_has("format", "json") {
+        let doc = shared.metrics.to_json(
+            shared.started.elapsed(),
+            shared.is_shutdown(),
+            shared.queue.len(),
+            shared.queue.capacity(),
+            shared.coalescer.len(),
+            shared.engine.cache_counters(),
+        );
+        return Response::json(200, &doc);
+    }
+    let text = shared.metrics.to_prometheus(
         shared.started.elapsed(),
         shared.is_shutdown(),
         shared.queue.len(),
         shared.queue.capacity(),
         shared.coalescer.len(),
         shared.engine.cache_counters(),
+        telemetry::global().metrics(),
     );
-    Response::json(200, &doc)
+    Response::text(200, "text/plain; version=0.0.4; charset=utf-8", text)
+}
+
+fn handle_trace(shared: &Arc<Shared>, fingerprint_hex: &str) -> Response {
+    if Fingerprint::from_hex(fingerprint_hex).is_none() {
+        return Response::error(400, "fingerprint must be 64 hex characters");
+    }
+    match shared.trace_store.get(fingerprint_hex) {
+        Some(events) => {
+            let doc = telemetry::chrome::trace_document(&events, telemetry::global().dropped());
+            Response::json(200, &doc)
+        }
+        None => Response::error(404, "no retained trace for this fingerprint"),
+    }
 }
 
 fn handle_solution(shared: &Arc<Shared>, fingerprint_hex: &str) -> Response {
@@ -390,6 +433,63 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let deadline_at = t0 + deadline;
     let fp = fingerprint(&problem);
     let key = fp.to_hex();
+
+    // Root span for this request; the queue-wait and solve spans the
+    // worker records nest under it by timestamp containment.
+    let mut request_span = telemetry::span("serve.request");
+    request_span.attr("fingerprint", key.clone());
+    let response = compile_flow(
+        shared,
+        problem,
+        &fp,
+        &key,
+        deadline_at,
+        t0,
+        &mut request_span,
+    );
+    if request_span.active() {
+        request_span.attr("status", response.status as u64);
+    }
+    drop(request_span);
+    // Everything this request's solve recorded is in the registry by now
+    // (the worker flushes before completing the cell); file it under this
+    // fingerprint for GET /v1/trace.
+    capture_trace(shared, &key);
+    response
+}
+
+/// Moves the registry's drained events into the per-fingerprint trace
+/// store (and the trace directory, when configured). Completed spans of
+/// an *overlapping* solve land in whichever request drains first — traces
+/// are diagnostics, not accounting.
+fn capture_trace(shared: &Arc<Shared>, key: &str) {
+    telemetry::flush();
+    let registry = telemetry::global();
+    let events = registry.drain();
+    if events.is_empty() {
+        return;
+    }
+    shared.trace_store.append(key, events);
+    if let Some(dir) = &shared.config.trace_dir {
+        if let Some(stored) = shared.trace_store.get(key) {
+            let json = telemetry::chrome::trace_json(&stored, registry.dropped());
+            let _ = std::fs::write(dir.join(format!("{key}.trace.json")), json);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_flow(
+    shared: &Arc<Shared>,
+    problem: fermihedral::EncodingProblem,
+    fp: &Fingerprint,
+    key: &str,
+    deadline_at: Instant,
+    t0: Instant,
+    request_span: &mut telemetry::SpanGuard,
+) -> Response {
+    let fp = *fp;
+    let key = key.to_string();
     let metrics = &shared.metrics;
 
     // Fast path: a proven-optimal cache entry answers without queueing —
@@ -400,7 +500,7 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
     // solve. Fast-path hits are surfaced as `solves.cache_fast_path`.
     if let Some(entry) = shared.engine.peek(&fp) {
         if entry.optimal {
-            metrics.cache_fast_path.fetch_add(1, Ordering::Relaxed);
+            metrics.cache_fast_path.inc();
             let doc = cache_entry_response(&key, &entry, CompileStatus::Optimal, t0.elapsed());
             metrics.compile_latency.record(t0.elapsed());
             return Response::json(200, &doc);
@@ -414,20 +514,22 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
     // followers just wait on the cell (extending its deadline to cover
     // their own).
     let (cell, leader) = shared.coalescer.join(&key, deadline_at);
+    request_span.attr("coalesced", !leader);
     if leader {
         let job = Job {
             key: key.clone(),
             problem,
             deadline_at,
+            enqueued_at: Instant::now(),
             cell: cell.clone(),
         };
         match shared.queue.try_push(job) {
             Ok(()) => {
-                metrics.jobs_enqueued.fetch_add(1, Ordering::Relaxed);
+                metrics.jobs_enqueued.inc();
                 metrics.bump();
             }
             Err(PushError::Full(_)) => {
-                metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                metrics.queue_rejections.inc();
                 metrics.bump();
                 // Unregister and fail any follower that joined the cell in
                 // the window — they asked for the same overloaded queue.
@@ -450,7 +552,7 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
             }
         }
     } else {
-        metrics.coalesced_requests.fetch_add(1, Ordering::Relaxed);
+        metrics.coalesced_requests.inc();
     }
 
     let response = match cell.wait_until(deadline_at + RESULT_GRACE) {
@@ -468,8 +570,11 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
             } else {
                 CompileStatus::BestEffort
             };
+            let serialize_span = telemetry::span("serve.serialize");
             let doc = api::compile_response(&key, status, Some(&outcome), !leader, t0.elapsed());
-            Response::json(200, &doc)
+            let response = Response::json(200, &doc);
+            drop(serialize_span);
+            response
         }
         Some(SolveResult::Shed { status, reason }) => {
             Response::error(status, &reason).with_retry_after(1)
@@ -536,7 +641,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     let metrics = &shared.metrics;
     while let Some(job) = shared.queue.pop() {
         if shared.is_shutdown() {
-            metrics.solves_shed.fetch_add(1, Ordering::Relaxed);
+            metrics.solves_shed.inc();
             metrics.bump();
             shared.coalescer.finish(
                 &job.key,
@@ -547,9 +652,28 @@ fn worker_loop(shared: &Arc<Shared>) {
             );
             continue;
         }
-        metrics.solves_started.fetch_add(1, Ordering::Relaxed);
-        metrics.active_solves.fetch_add(1, Ordering::Relaxed);
+        metrics.solves_started.inc();
+        metrics.active_solves.add(1);
         metrics.bump();
+        // Queue-wait breakdown: the histogram always, plus a span whose
+        // start is back-dated to admission time so it lines up under the
+        // request's root span in the trace.
+        let wait = job.enqueued_at.elapsed();
+        metrics.queue_wait.record(wait);
+        let registry = telemetry::global();
+        if registry.is_enabled() {
+            let wait_us = wait.as_micros() as u64;
+            registry.push_batch(vec![telemetry::Event {
+                name: "serve.queue_wait".into(),
+                kind: telemetry::EventKind::Complete { dur_us: wait_us },
+                ts_us: registry.now_us().saturating_sub(wait_us),
+                pid: std::process::id(),
+                tid: telemetry::current_tid(),
+                attrs: vec![telemetry::attr("fingerprint", job.key.clone())],
+            }]);
+        }
+        let mut solve_span = telemetry::span("serve.solve");
+        solve_span.attr("fingerprint", job.key.clone());
         // Followers that attached before this point may have extended the
         // cell's deadline beyond the admitting request's. A job that sat
         // in the queue past its deadline still runs, but with the minimum
@@ -583,11 +707,21 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let timed_out = !outcome.optimal_proved && Instant::now() >= deadline_at;
         let cancelled = !outcome.optimal_proved && shared.is_shutdown();
-        if timed_out {
-            metrics.solves_timed_out.fetch_add(1, Ordering::Relaxed);
+        if solve_span.active() {
+            solve_span.attr("sharded", shared.config.engine.shards >= 2);
+            solve_span.attr("optimal", outcome.optimal_proved);
+            solve_span.attr("timed_out", timed_out);
+            solve_span.attr("cancelled", cancelled);
         }
-        metrics.solves_completed.fetch_add(1, Ordering::Relaxed);
-        metrics.active_solves.fetch_sub(1, Ordering::Relaxed);
+        drop(solve_span);
+        // Hand this worker's spans to the registry *before* completing the
+        // cell, so the waiting request's trace capture sees them.
+        telemetry::flush();
+        if timed_out {
+            metrics.solves_timed_out.inc();
+        }
+        metrics.solves_completed.inc();
+        metrics.active_solves.add(-1);
         metrics.bump();
         shared.coalescer.finish(
             &job.key,

@@ -59,6 +59,8 @@ OPTIONS:
     --shards N                shard each solve across N worker processes
                               (default 0 = in-process; needs the
                               fermihedral-shard binary on the usual paths)
+    --trace-dir PATH          write each request's Chrome trace JSON to
+                              PATH/<fingerprint>.trace.json
     --watch-stdin             also shut down when stdin reaches EOF
     --help                    this text
 ";
@@ -91,6 +93,7 @@ fn parse_flags() -> Flags {
                     "--max-deadline-ms",
                     "--max-modes",
                     "--shards",
+                    "--trace-dir",
                 ];
                 if !known.contains(&name) {
                     eprintln!("unknown flag {name}\n\n{USAGE}");
@@ -155,6 +158,7 @@ fn main() {
         default_deadline: Duration::from_millis(flags.get_num("default-deadline-ms", 10_000)),
         max_deadline: Duration::from_millis(flags.get_num("max-deadline-ms", 120_000)),
         max_modes: flags.get_num("max-modes", 8) as usize,
+        trace_dir: flags.get("trace-dir").map(Into::into),
         engine,
         ..ServeConfig::default()
     };

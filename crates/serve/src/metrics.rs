@@ -1,113 +1,100 @@
 //! Server-lifetime counters and latency histograms for `GET /metrics`.
 //!
-//! Everything is lock-free atomics: the metrics endpoint must stay cheap
-//! and safe to hit while every worker is busy.
+//! Built on the unified [`telemetry`] primitives — [`Counter`], [`Gauge`],
+//! [`Histogram`] — so the server, the shard coordinator's wire meters, and
+//! the bench binaries all record and render through the same types. The
+//! endpoint serves Prometheus text exposition by default
+//! ([`Metrics::to_prometheus`]) and the historical JSON snapshot under
+//! `?format=json` ([`Metrics::to_json`]).
 
 use engine::CacheCounters;
 use jsonkit::{obj, Value};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+use telemetry::{Counter, Gauge, Histogram, PromText};
 
 /// Histogram bucket upper bounds, in milliseconds. The final implicit
-/// bucket is `+inf`.
+/// bucket is `+inf`. Bounds are *inclusive*: an observation equal to a
+/// bound lands in that bucket (at microsecond precision — see
+/// [`telemetry::Histogram::record_us`]).
 pub const LATENCY_BUCKETS_MS: [u64; 14] = [
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000,
 ];
 
-/// A fixed-bucket latency histogram.
-#[derive(Debug, Default)]
-pub struct Histogram {
-    counts: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
-    sum_us: AtomicU64,
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn record(&self, elapsed: Duration) {
-        let ms = elapsed.as_millis() as u64;
-        let bucket = LATENCY_BUCKETS_MS
-            .iter()
-            .position(|&bound| ms <= bound)
-            .unwrap_or(LATENCY_BUCKETS_MS.len());
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
-        self.sum_us
-            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
-    }
-
-    /// Total observation count.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Cumulative-bucket JSON form (`le` bounds like Prometheus).
-    pub fn to_json(&self) -> Value {
-        let mut cumulative = 0u64;
-        let mut buckets = Vec::new();
-        for (i, bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
-            cumulative += self.counts[i].load(Ordering::Relaxed);
-            buckets.push(obj([
-                ("le_ms", Value::Num(*bound as f64)),
-                ("count", Value::Num(cumulative as f64)),
-            ]));
-        }
-        cumulative += self.counts[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
-        buckets.push(obj([
-            ("le_ms", Value::Str("inf".into())),
-            ("count", Value::Num(cumulative as f64)),
-        ]));
-        obj([
-            ("buckets", Value::Arr(buckets)),
-            ("count", Value::Num(cumulative as f64)),
-            (
-                "sum_ms",
-                Value::Num(self.sum_us.load(Ordering::Relaxed) as f64 / 1_000.0),
-            ),
-        ])
-    }
+fn latency_histogram() -> Histogram {
+    let bounds_us: Vec<u64> = LATENCY_BUCKETS_MS.iter().map(|ms| ms * 1_000).collect();
+    Histogram::new(&bounds_us)
 }
 
 /// All server counters. Gauges that belong to other subsystems (queue
 /// depth, in-flight groups, cache counters) are passed into
-/// [`Metrics::to_json`] by the caller.
-#[derive(Debug, Default)]
+/// [`Metrics::to_json`] / [`Metrics::to_prometheus`] by the caller.
+#[derive(Debug)]
 pub struct Metrics {
     /// Requests read off connections (any endpoint).
-    pub http_requests: AtomicU64,
+    pub http_requests: Counter,
     /// Responses by status class.
-    pub responses_2xx: AtomicU64,
+    pub responses_2xx: Counter,
     /// 4xx responses.
-    pub responses_4xx: AtomicU64,
+    pub responses_4xx: Counter,
     /// 5xx responses.
-    pub responses_5xx: AtomicU64,
+    pub responses_5xx: Counter,
     /// Compile requests rejected because the admission queue was full.
-    pub queue_rejections: AtomicU64,
+    pub queue_rejections: Counter,
     /// Connections turned away at the accept loop (connection cap).
-    pub connections_shed: AtomicU64,
+    pub connections_shed: Counter,
     /// Live connection count.
-    pub connections_active: AtomicU64,
+    pub connections_active: Gauge,
     /// Compile requests that attached to an identical in-flight solve.
-    pub coalesced_requests: AtomicU64,
+    pub coalesced_requests: Counter,
     /// Compile requests answered from the optimal-entry cache fast path.
-    pub cache_fast_path: AtomicU64,
+    pub cache_fast_path: Counter,
     /// Engine solves started by workers.
-    pub solves_started: AtomicU64,
+    pub solves_started: Counter,
     /// Engine solves finished (any status).
-    pub solves_completed: AtomicU64,
+    pub solves_completed: Counter,
     /// Solves that hit their request deadline before proving optimality.
-    pub solves_timed_out: AtomicU64,
+    pub solves_timed_out: Counter,
     /// Queued jobs dropped by shutdown draining.
-    pub solves_shed: AtomicU64,
+    pub solves_shed: Counter,
     /// Solves currently running in a worker.
-    pub active_solves: AtomicU64,
+    pub active_solves: Gauge,
     /// Compile jobs admitted to the queue (leaders only).
-    pub jobs_enqueued: AtomicU64,
+    pub jobs_enqueued: Counter,
     /// End-to-end latency of `POST /v1/compile` requests.
     pub compile_latency: Histogram,
     /// Latency of `GET /v1/solution/<fp>` lookups.
     pub lookup_latency: Histogram,
+    /// Time admitted jobs spent queued before a worker picked them up.
+    pub queue_wait: Histogram,
     /// Change signal backing [`wait_for`](Metrics::wait_for).
     change: ChangeSignal,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            http_requests: Counter::default(),
+            responses_2xx: Counter::default(),
+            responses_4xx: Counter::default(),
+            responses_5xx: Counter::default(),
+            queue_rejections: Counter::default(),
+            connections_shed: Counter::default(),
+            connections_active: Gauge::default(),
+            coalesced_requests: Counter::default(),
+            cache_fast_path: Counter::default(),
+            solves_started: Counter::default(),
+            solves_completed: Counter::default(),
+            solves_timed_out: Counter::default(),
+            solves_shed: Counter::default(),
+            active_solves: Gauge::default(),
+            jobs_enqueued: Counter::default(),
+            compile_latency: latency_histogram(),
+            lookup_latency: latency_histogram(),
+            queue_wait: latency_histogram(),
+            change: ChangeSignal::default(),
+        }
+    }
 }
 
 /// Generation counter + condvar pair: every counter transition the
@@ -160,10 +147,11 @@ impl Metrics {
             400..=499 => &self.responses_4xx,
             _ => &self.responses_5xx,
         }
-        .fetch_add(1, Ordering::Relaxed);
+        .inc();
     }
 
-    /// The full `/metrics` document. Externally owned gauges are arguments.
+    /// The `/metrics?format=json` document. Externally owned gauges are
+    /// arguments.
     pub fn to_json(
         &self,
         uptime: Duration,
@@ -173,7 +161,7 @@ impl Metrics {
         inflight_groups: usize,
         cache: CacheCounters,
     ) -> Value {
-        let n = |a: &AtomicU64| Value::Num(a.load(Ordering::Relaxed) as f64);
+        let n = |c: &Counter| Value::Num(c.get() as f64);
         obj([
             ("uptime_ms", Value::Num(uptime.as_millis() as f64)),
             ("shutting_down", Value::Bool(shutting_down)),
@@ -189,7 +177,7 @@ impl Metrics {
             (
                 "connections",
                 obj([
-                    ("active", n(&self.connections_active)),
+                    ("active", Value::Num(self.connections_active.get() as f64)),
                     ("shed", n(&self.connections_shed)),
                 ]),
             ),
@@ -209,7 +197,7 @@ impl Metrics {
                     ("completed", n(&self.solves_completed)),
                     ("timed_out", n(&self.solves_timed_out)),
                     ("shed", n(&self.solves_shed)),
-                    ("active", n(&self.active_solves)),
+                    ("active", Value::Num(self.active_solves.get() as f64)),
                     ("inflight_groups", Value::Num(inflight_groups as f64)),
                     ("coalesced_requests", n(&self.coalesced_requests)),
                     ("cache_fast_path", n(&self.cache_fast_path)),
@@ -231,9 +219,166 @@ impl Metrics {
                 obj([
                     ("compile_ms", self.compile_latency.to_json()),
                     ("lookup_ms", self.lookup_latency.to_json()),
+                    ("queue_wait_ms", self.queue_wait.to_json()),
                 ]),
             ),
         ])
+    }
+
+    /// The default `/metrics` document: Prometheus text exposition.
+    /// Counters carry the `_total` suffix, histograms are
+    /// seconds-valued `_seconds` families, and every family gets exactly
+    /// one `# TYPE` header. `extra` is the process-wide
+    /// [`telemetry::MetricSet`] (wire-frame counters when solves are
+    /// sharded, bridge latency, …), appended after the curated server
+    /// families.
+    #[allow(clippy::too_many_arguments)]
+    pub fn to_prometheus(
+        &self,
+        uptime: Duration,
+        shutting_down: bool,
+        queue_depth: usize,
+        queue_capacity: usize,
+        inflight_groups: usize,
+        cache: CacheCounters,
+        extra: &telemetry::MetricSet,
+    ) -> String {
+        let mut w = PromText::new();
+        w.gauge(
+            "serve_uptime_seconds",
+            "Seconds since the server started",
+            uptime.as_secs() as i64,
+        );
+        w.gauge(
+            "serve_shutting_down",
+            "1 while graceful shutdown is in progress",
+            i64::from(shutting_down),
+        );
+        w.counter(
+            "serve_http_requests_total",
+            "Requests read off connections (any endpoint)",
+            self.http_requests.get(),
+        );
+        w.counter(
+            "serve_responses_total{class=\"2xx\"}",
+            "Responses by status class",
+            self.responses_2xx.get(),
+        );
+        w.counter(
+            "serve_responses_total{class=\"4xx\"}",
+            "",
+            self.responses_4xx.get(),
+        );
+        w.counter(
+            "serve_responses_total{class=\"5xx\"}",
+            "",
+            self.responses_5xx.get(),
+        );
+        w.gauge(
+            "serve_connections_active",
+            "Live connections",
+            self.connections_active.get(),
+        );
+        w.counter(
+            "serve_connections_shed_total",
+            "Connections turned away at the connection cap",
+            self.connections_shed.get(),
+        );
+        w.gauge(
+            "serve_queue_depth",
+            "Admitted jobs not yet claimed by a worker",
+            queue_depth as i64,
+        );
+        w.gauge(
+            "serve_queue_capacity",
+            "Admission queue capacity",
+            queue_capacity as i64,
+        );
+        w.counter(
+            "serve_jobs_enqueued_total",
+            "Compile jobs admitted to the queue (leaders only)",
+            self.jobs_enqueued.get(),
+        );
+        w.counter(
+            "serve_queue_rejections_total",
+            "Compile requests rejected by a full queue",
+            self.queue_rejections.get(),
+        );
+        w.counter(
+            "serve_solves_total{outcome=\"started\"}",
+            "Engine solves by lifecycle stage",
+            self.solves_started.get(),
+        );
+        w.counter(
+            "serve_solves_total{outcome=\"completed\"}",
+            "",
+            self.solves_completed.get(),
+        );
+        w.counter(
+            "serve_solves_total{outcome=\"timed_out\"}",
+            "",
+            self.solves_timed_out.get(),
+        );
+        w.counter(
+            "serve_solves_total{outcome=\"shed\"}",
+            "",
+            self.solves_shed.get(),
+        );
+        w.gauge(
+            "serve_active_solves",
+            "Solves currently running in a worker",
+            self.active_solves.get(),
+        );
+        w.gauge(
+            "serve_inflight_groups",
+            "Distinct fingerprints with an in-flight solve",
+            inflight_groups as i64,
+        );
+        w.counter(
+            "serve_coalesced_requests_total",
+            "Requests that attached to an identical in-flight solve",
+            self.coalesced_requests.get(),
+        );
+        w.counter(
+            "serve_cache_fast_path_total",
+            "Requests answered from the optimal-entry cache fast path",
+            self.cache_fast_path.get(),
+        );
+        w.counter(
+            "serve_cache_hits_total{kind=\"optimal\"}",
+            "Solution-cache hits by kind",
+            cache.hit_optimal,
+        );
+        w.counter(
+            "serve_cache_hits_total{kind=\"warm_start\"}",
+            "",
+            cache.hit_warm_start,
+        );
+        w.counter(
+            "serve_cache_hits_total{kind=\"cross_size\"}",
+            "",
+            cache.hit_cross_size,
+        );
+        w.counter("serve_cache_misses_total", "", cache.misses);
+        w.counter("serve_cache_stores_total", "", cache.stores);
+        w.counter("serve_cache_evictions_total", "", cache.evictions);
+        w.histogram(
+            "serve_compile_latency_seconds",
+            "End-to-end POST /v1/compile latency",
+            &self.compile_latency,
+        );
+        w.histogram(
+            "serve_lookup_latency_seconds",
+            "GET /v1/solution lookup latency",
+            &self.lookup_latency,
+        );
+        w.histogram(
+            "serve_queue_wait_seconds",
+            "Time admitted jobs waited for a solve worker",
+            &self.queue_wait,
+        );
+        extra.render_prometheus(&mut w);
+        w.finish()
     }
 }
 
@@ -243,7 +388,7 @@ mod tests {
 
     #[test]
     fn histogram_buckets_are_cumulative() {
-        let h = Histogram::default();
+        let h = latency_histogram();
         h.record(Duration::from_millis(0));
         h.record(Duration::from_millis(3));
         h.record(Duration::from_millis(40));
@@ -264,9 +409,22 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_are_inclusive() {
+        // A 1.000ms observation belongs in le=1, and 2.5ms in le=5 — the
+        // old as_millis-truncating histogram filed 2.5ms under le=2.
+        let h = latency_histogram();
+        h.record(Duration::from_micros(1_000));
+        h.record(Duration::from_micros(2_500));
+        let cumulative = h.cumulative_counts();
+        assert_eq!(cumulative[0], 1, "1ms lands in le=1 inclusively");
+        assert_eq!(cumulative[1], 1, "2.5ms must not land in le=2");
+        assert_eq!(cumulative[2], 2, "2.5ms lands in le=5");
+    }
+
+    #[test]
     fn metrics_json_shape() {
         let m = Metrics::default();
-        m.http_requests.fetch_add(3, Ordering::Relaxed);
+        m.http_requests.add(3);
         m.record_response(200);
         m.record_response(429);
         m.record_response(503);
@@ -298,5 +456,42 @@ mod tests {
                 .as_usize(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = Metrics::default();
+        m.http_requests.add(2);
+        m.record_response(200);
+        m.compile_latency.record(Duration::from_millis(3));
+        let extra = telemetry::MetricSet::new();
+        extra
+            .counter("wire_frames_total{type=\"clause\",dir=\"rx\"}")
+            .add(5);
+        let text = m.to_prometheus(
+            Duration::from_secs(10),
+            false,
+            0,
+            64,
+            0,
+            CacheCounters::default(),
+            &extra,
+        );
+        assert!(text.contains("# TYPE serve_http_requests_total counter"));
+        assert!(text.contains("serve_http_requests_total 2"));
+        assert!(text.contains("serve_responses_total{class=\"2xx\"} 1"));
+        // One TYPE header per family even with labeled series.
+        assert_eq!(text.matches("# TYPE serve_responses_total").count(), 1);
+        assert!(text.contains("# TYPE serve_compile_latency_seconds histogram"));
+        assert!(text.contains("serve_compile_latency_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("serve_compile_latency_seconds_count 1"));
+        // The process-wide set is appended.
+        assert!(text.contains("wire_frames_total{type=\"clause\",dir=\"rx\"} 5"));
+        // Every sample line parses as `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value {value:?}");
+        }
     }
 }

@@ -21,6 +21,9 @@ pub struct Job {
     pub problem: EncodingProblem,
     /// Absolute deadline of the admitting request.
     pub deadline_at: Instant,
+    /// When the job entered the queue (feeds the queue-wait histogram
+    /// and the `serve.queue_wait` trace span).
+    pub enqueued_at: Instant,
     /// The coalescing cell to complete.
     pub cell: Arc<InFlight>,
 }
@@ -131,6 +134,7 @@ mod tests {
             key: key.into(),
             problem: EncodingProblem::new(2, Objective::MajoranaWeight),
             deadline_at: Instant::now() + Duration::from_secs(1),
+            enqueued_at: Instant::now(),
             cell: crate::coalesce::Coalescer::default()
                 .join("x", Instant::now() + Duration::from_secs(1))
                 .0,

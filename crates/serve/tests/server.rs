@@ -13,7 +13,6 @@ use serve::client::Client;
 use serve::{start, ServeConfig, ServerHandle};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -134,7 +133,7 @@ fn acceptance_eight_concurrent_clients() {
         weights.windows(2).all(|w| w[0] == w[1]),
         "all clients must see the same optimum: {weights:?}"
     );
-    let (status, metrics) = get(addr, "/metrics");
+    let (status, metrics) = get(addr, "/metrics?format=json");
     assert_eq!(status, 200);
     let solves = metrics.get("solves").unwrap();
     assert_eq!(
@@ -204,13 +203,12 @@ fn acceptance_eight_concurrent_clients() {
     );
 
     // ---- Phase D: queue overflow sheds with 429, accept loop stays live -
-    let solves_before = handle.metrics().solves_started.load(Ordering::Relaxed);
+    let solves_before = handle.metrics().solves_started.get();
     let occupier =
         std::thread::spawn(move || post_compile(addr, r#"{"modes": 7, "deadline_ms": 5000}"#));
     // Block until the occupier actually holds the (only) solve worker.
     wait_metric(&handle, "occupier reaches the worker", |m| {
-        m.solves_started.load(Ordering::Relaxed) > solves_before
-            && m.active_solves.load(Ordering::Relaxed) >= 1
+        m.solves_started.get() > solves_before && m.active_solves.get() >= 1
     });
     let distinct_bodies = [
         r#"{"modes": 4, "deadline_ms": 5000}"#,
@@ -227,7 +225,7 @@ fn acceptance_eight_concurrent_clients() {
         // loop must still answer instantly. Wait for the overflow itself
         // (first 429 recorded), not a guessed interval.
         wait_metric(&handle, "queue overflow sheds a request", |m| {
-            m.queue_rejections.load(Ordering::Relaxed) >= 1
+            m.queue_rejections.get() >= 1
         });
         let t0 = Instant::now();
         let (status, _) = get(addr, "/healthz");
@@ -256,7 +254,7 @@ fn acceptance_eight_concurrent_clients() {
     assert_eq!(status, 200);
     assert_valid_encoding(&doc, 7);
 
-    let (_, metrics) = get(addr, "/metrics");
+    let (_, metrics) = get(addr, "/metrics?format=json");
     assert!(
         metrics
             .get("queue")
@@ -302,12 +300,12 @@ fn graceful_shutdown_cancels_inflight_and_sheds_queued() {
     let inflight =
         std::thread::spawn(move || post_compile(addr, r#"{"modes": 7, "deadline_ms": 60000}"#));
     wait_metric(&handle, "in-flight solve occupies the worker", |m| {
-        m.active_solves.load(Ordering::Relaxed) >= 1
+        m.active_solves.get() >= 1
     });
     let queued =
         std::thread::spawn(move || post_compile(addr, r#"{"modes": 6, "deadline_ms": 60000}"#));
     wait_metric(&handle, "second job admitted to the queue", |m| {
-        m.jobs_enqueued.load(Ordering::Relaxed) >= 2
+        m.jobs_enqueued.get() >= 2
     });
 
     shutdown_and_join(&handle);
@@ -402,7 +400,7 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
     let (status, doc) = client.request("GET", "/healthz", None).unwrap();
     assert_eq!(status, 200);
     assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
-    let (status, _) = client.request("GET", "/metrics", None).unwrap();
+    let (status, _) = client.request("GET", "/metrics?format=json", None).unwrap();
     assert_eq!(status, 200);
     let (status, doc) = client
         .request("POST", "/v1/compile", Some(r#"{"modes": 2}"#))
@@ -412,7 +410,7 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
     assert_valid_encoding(&doc, 2);
 
     // Metrics saw all three requests on the single connection.
-    let (_, metrics) = client.request("GET", "/metrics", None).unwrap();
+    let (_, metrics) = client.request("GET", "/metrics?format=json", None).unwrap();
     assert!(
         metrics
             .get("http")
@@ -424,6 +422,99 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
             >= 4
     );
     shutdown_and_join(&handle);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: Prometheus exposition, per-request traces, trace files
+// ---------------------------------------------------------------------------
+
+#[test]
+fn observability_prometheus_metrics_and_trace_endpoint() {
+    let trace_dir = tmp_cache("traces");
+    let handle = start(ServeConfig {
+        trace_dir: Some(trace_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let (status, doc) = post_compile(addr, r#"{"modes": 3, "deadline_ms": 60000}"#);
+    assert_eq!(status, 200, "{}", doc.to_json());
+    let fingerprint = doc
+        .get("fingerprint")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // ---- Prometheus text exposition is the default /metrics format ------
+    let (status, text) = connect(addr)
+        .request_text("GET", "/metrics", None)
+        .expect("scrape");
+    assert_eq!(status, 200);
+    for family in [
+        "# TYPE serve_http_requests_total counter",
+        "# TYPE serve_connections_active gauge",
+        "# TYPE serve_compile_latency_seconds histogram",
+        "# TYPE serve_solves_total counter",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in:\n{text}");
+    }
+    // Every non-comment line is `name{labels} value` with a numeric value.
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value in line: {line}"
+        );
+    }
+    assert!(
+        text.contains("serve_compile_latency_seconds_bucket{le=\"+Inf\"}"),
+        "histogram must end with a +Inf bucket"
+    );
+
+    // ---- Per-request trace retrieval ------------------------------------
+    let (status, trace) = get(addr, &format!("/v1/trace/{fingerprint}"));
+    assert_eq!(status, 200, "{}", trace.to_json());
+    let events = trace
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("trace document carries traceEvents");
+    assert!(!events.is_empty(), "trace must contain spans");
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(
+        span_names.contains(&"serve.request"),
+        "root request span missing: {span_names:?}"
+    );
+    assert!(
+        span_names.contains(&"serve.solve"),
+        "solve span missing: {span_names:?}"
+    );
+
+    // Unknown fingerprint → 404; non-hex → 400.
+    let (status, _) = get(addr, &format!("/v1/trace/{}", "0".repeat(64)));
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/v1/trace/not-hex");
+    assert_eq!(status, 400);
+
+    // ---- --trace-dir wrote a parseable Chrome trace file ----------------
+    let path = trace_dir.join(format!("{fingerprint}.trace.json"));
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("trace file {} not written: {e}", path.display()));
+    let (parsed, _dropped) = telemetry::chrome::parse_trace_json(&json).expect("trace file parses");
+    assert!(
+        parsed.iter().any(|e| e.name == "serve.request"),
+        "trace file must contain the request span"
+    );
+
+    shutdown_and_join(&handle);
+    let _ = std::fs::remove_dir_all(&trace_dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -463,7 +554,7 @@ fn sharded_server_certifies_like_the_in_process_one() {
     );
     assert_valid_encoding(&doc, 3);
 
-    let (_, metrics) = get(addr, "/metrics");
+    let (_, metrics) = get(addr, "/metrics?format=json");
     assert_eq!(
         metrics
             .get("solves")

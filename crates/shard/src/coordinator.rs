@@ -37,7 +37,7 @@ use engine::{
 use fermihedral::descent::BestEncoding;
 use fermihedral::{EncodingProblem, Objective};
 use pauli::PhasedString;
-use sat::wire::{read_frame, write_frame, Frame, RemoteClause};
+use sat::wire::{read_frame_counted, Frame, RemoteClause};
 use sat::CancelToken;
 use std::io::Write;
 use std::path::PathBuf;
@@ -132,6 +132,15 @@ pub fn compile_sharded_with(
     }
     let started = Instant::now();
     let fp = fingerprint(problem);
+
+    // Coordinator root span: the whole sharded race, cache probe to
+    // cache store. Worker spans arriving in Trace frames are shifted
+    // onto this process's timeline, so in Perfetto this span visually
+    // contains every worker lane.
+    let mut race_span = telemetry::span("shard.race");
+    race_span.attr("shards", config.shards as u64);
+    race_span.attr("modes", problem.num_modes() as u64);
+    race_span.attr("fingerprint", fp.to_hex());
 
     // ---- Cache probe (the coordinator owns the cache) -------------------
     let mut cache_status = if cache.is_some() {
@@ -287,14 +296,62 @@ pub fn compile_sharded_with(
         let _ = engine::SizeIndex::open(cache.dir()).record(problem, &fp);
         outcome.report.cache_counters = cache.counters();
     }
+    if race_span.active() {
+        if let Some(best) = &outcome.best {
+            race_span.attr("weight", best.weight as u64);
+        }
+        race_span.attr("optimal_proved", outcome.optimal_proved);
+        race_span.attr(
+            "dead_shards",
+            outcome.report.shards.iter().filter(|s| s.dead).count() as u64,
+        );
+    }
+    drop(race_span);
+    telemetry::flush();
     outcome
 }
 
-/// One event from a worker's reader thread.
+/// One event from a worker's reader thread. Frames carry their arrival
+/// time so the event loop can report its own forwarding latency.
 enum Event {
-    Frame(usize, Frame),
+    Frame(usize, Frame, Instant),
     /// EOF or a read error: the worker is gone (clean or not).
     Gone(usize),
+}
+
+/// Per-direction wire telemetry: frame counts by type and total bytes,
+/// recorded into the process-wide metric set. Counter handles are cached
+/// per reader/writer thread so the hot path never re-resolves names.
+struct WireMeter {
+    dir: &'static str,
+    bytes: std::sync::Arc<telemetry::Counter>,
+    frames: Vec<(&'static str, std::sync::Arc<telemetry::Counter>)>,
+}
+
+impl WireMeter {
+    fn new(dir: &'static str) -> WireMeter {
+        WireMeter {
+            dir,
+            bytes: telemetry::global()
+                .metrics()
+                .counter(&format!("wire_bytes_total{{dir=\"{dir}\"}}")),
+            frames: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, kind: &'static str, bytes: usize) {
+        self.bytes.add(bytes as u64);
+        if let Some((_, counter)) = self.frames.iter().find(|(k, _)| *k == kind) {
+            counter.inc();
+            return;
+        }
+        let counter = telemetry::global().metrics().counter(&format!(
+            "wire_frames_total{{type=\"{kind}\",dir=\"{}\"}}",
+            self.dir
+        ));
+        counter.inc();
+        self.frames.push((kind, counter));
+    }
 }
 
 /// Per-worker outgoing queue depth. Frames beyond it are dropped
@@ -363,6 +420,9 @@ impl Race {
                 clause_sharing: config.clause_sharing,
                 max_concurrency: config.max_concurrency,
                 warm_hint: warm_start.map(|e| e.strings.clone()),
+                // Recording on in this process → ask workers to record
+                // too, under the run's fingerprint as the context id.
+                trace_id: telemetry::global().is_enabled().then(|| fp_hex.to_string()),
             });
             let mut report = ShardReport {
                 shard,
@@ -387,10 +447,13 @@ impl Race {
                     let tx = tx.clone();
                     std::thread::spawn(move || {
                         let mut stdout = stdout;
+                        let mut meter = WireMeter::new("rx");
                         loop {
-                            match read_frame(&mut stdout) {
-                                Ok(Some(frame)) => {
-                                    if tx.send(Event::Frame(shard, frame)).is_err() {
+                            match read_frame_counted(&mut stdout) {
+                                Ok(Some((frame, bytes))) => {
+                                    meter.record(frame.kind(), bytes);
+                                    if tx.send(Event::Frame(shard, frame, Instant::now())).is_err()
+                                    {
                                         return;
                                     }
                                 }
@@ -407,8 +470,12 @@ impl Race {
                     let (wtx, wrx) = mpsc::sync_channel::<Frame>(WRITER_QUEUE);
                     std::thread::spawn(move || {
                         let mut stdin = stdin;
+                        let mut meter = WireMeter::new("tx");
                         while let Ok(frame) = wrx.recv() {
-                            if write_frame(&mut stdin, &frame)
+                            let bytes = frame.to_bytes();
+                            meter.record(frame.kind(), bytes.len());
+                            if stdin
+                                .write_all(&bytes)
                                 .and_then(|()| stdin.flush())
                                 .is_err()
                             {
@@ -495,6 +562,12 @@ impl Race {
         let mut floor = 0usize;
         let mut floor_claims: Vec<usize> = Vec::new();
         let mut cancel_sent_at: Option<Instant> = None;
+        // Time from a frame's arrival off the pipe to the event loop
+        // picking it up — the bridge's own forwarding latency.
+        let forward_latency = telemetry::global().metrics().histogram(
+            "bridge_forward_latency",
+            &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000],
+        );
 
         loop {
             // All workers accounted for (result, death, or clean exit)?
@@ -529,8 +602,11 @@ impl Race {
                 Err(mpsc::RecvTimeoutError::Timeout) => continue,
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             };
+            if let Event::Frame(_, _, received_at) = &event {
+                forward_latency.record(received_at.elapsed());
+            }
             match event {
-                Event::Frame(shard, Frame::Hello { protocol, .. }) => {
+                Event::Frame(shard, Frame::Hello { protocol, .. }, _) => {
                     if protocol != sat::wire::PROTOCOL_VERSION {
                         eprintln!(
                             "fermihedral-shard: worker {shard} speaks protocol {protocol}, \
@@ -551,7 +627,7 @@ impl Race {
                         }
                     }
                 }
-                Event::Frame(shard, Frame::Clause(RemoteClause { clause, .. })) => {
+                Event::Frame(shard, Frame::Clause(RemoteClause { clause, .. }), _) => {
                     self.workers[shard].report.clauses_sent += 1;
                     // After Cancel, workers stop reading their stdin;
                     // forwarding into an undrained pipe could stall this
@@ -570,7 +646,7 @@ impl Race {
                         }
                     }
                 }
-                Event::Frame(shard, Frame::Bound(weight)) => {
+                Event::Frame(shard, Frame::Bound(weight), _) => {
                     self.workers[shard].report.bounds_sent += 1;
                     let weight = weight as usize;
                     if weight < best_bound {
@@ -590,7 +666,7 @@ impl Race {
                         }
                     }
                 }
-                Event::Frame(_, Frame::Floor(f)) => {
+                Event::Frame(_, Frame::Floor(f), _) => {
                     floor = floor.max(f as usize);
                     floor_claims.push(f as usize);
                     if floor != 0 && best_bound <= floor && cancel_sent_at.is_none() {
@@ -599,7 +675,7 @@ impl Race {
                         cancel_sent_at = Some(Instant::now());
                     }
                 }
-                Event::Frame(shard, Frame::Result(payload)) => {
+                Event::Frame(shard, Frame::Result(payload), _) => {
                     match ShardResult::from_bytes(&payload) {
                         Ok(result) => {
                             if let Some(f) = result.proved_floor {
@@ -626,7 +702,31 @@ impl Race {
                         }
                     }
                 }
-                Event::Frame(_, _) => {} // Job/Cancel from a worker: ignore
+                Event::Frame(shard, Frame::Trace(payload), _) => {
+                    // Span batches are best-effort diagnostics: a torn
+                    // batch from a killed worker is logged and dropped,
+                    // never allowed to fail the race.
+                    let registry = telemetry::global();
+                    match std::str::from_utf8(&payload)
+                        .map_err(|_| "not UTF-8".to_string())
+                        .and_then(telemetry::chrome::TraceBatch::from_json)
+                    {
+                        Ok(mut batch) => {
+                            // Workers report their *cumulative* drop count;
+                            // keep the latest per shard, don't sum.
+                            registry
+                                .metrics()
+                                .gauge(&format!("trace_worker_dropped{{shard=\"{shard}\"}}"))
+                                .set(batch.dropped as i64);
+                            batch.shift_onto(registry.epoch_wall_us());
+                            registry.inject(batch.events);
+                        }
+                        Err(e) => eprintln!(
+                            "fermihedral-shard: worker {shard} sent a bad trace batch: {e}"
+                        ),
+                    }
+                }
+                Event::Frame(_, _, _) => {} // Job/Cancel from a worker: ignore
                 Event::Gone(shard) => {
                     self.workers[shard].gone = true;
                     self.workers[shard].tx = None;

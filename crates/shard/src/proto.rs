@@ -50,6 +50,10 @@ pub struct Job {
     /// re-validate and re-measure it before seeding their race (the bytes
     /// crossed a process boundary).
     pub warm_hint: Option<Vec<PauliString>>,
+    /// Trace context id of the coordinator's recording session. `Some`
+    /// asks the worker to record telemetry spans and ship them back in
+    /// `Trace` frames tagged with this id; `None` keeps recording off.
+    pub trace_id: Option<String>,
 }
 
 impl Job {
@@ -119,6 +123,10 @@ impl Job {
                 self.warm_hint.as_ref().map_or(Value::Null, |strings| {
                     Value::Arr(strings.iter().map(|s| Value::Str(s.to_string())).collect())
                 }),
+            ),
+            (
+                "trace_id",
+                self.trace_id.clone().map_or(Value::Null, Value::Str),
             ),
         ])
         .to_json()
@@ -210,6 +218,11 @@ impl Job {
                         .collect::<Result<Vec<_>, _>>()?,
                 ),
             },
+            // Tolerant: jobs written before tracing existed mean "off".
+            trace_id: doc
+                .get("trace_id")
+                .and_then(Value::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -522,6 +535,7 @@ mod tests {
             clause_sharing: ClauseSharing::default(),
             max_concurrency: Some(2),
             warm_hint: None,
+            trace_id: Some("fp-1234".into()),
         }
     }
 
@@ -530,6 +544,7 @@ mod tests {
         let job = sample_job();
         let back = Job::from_bytes(&job.to_bytes()).expect("parses");
         assert_eq!(back.warm_hint, None);
+        assert_eq!(back.trace_id, job.trace_id);
         assert_eq!(back.shard, job.shard);
         assert_eq!(back.total_shards, job.total_shards);
         assert_eq!(back.fingerprint, job.fingerprint);
@@ -553,6 +568,18 @@ mod tests {
             }
             _ => panic!("anneal lane lost"),
         }
+    }
+
+    #[test]
+    fn job_without_trace_id_parses_as_off() {
+        // Jobs from a pre-tracing coordinator omit the field entirely.
+        let text = String::from_utf8(sample_job().to_bytes()).unwrap();
+        let mut doc = jsonkit::parse(&text).unwrap();
+        if let Value::Obj(fields) = &mut doc {
+            fields.remove("trace_id");
+        }
+        let back = Job::from_bytes(doc.to_json().as_bytes()).expect("parses");
+        assert_eq!(back.trace_id, None);
     }
 
     #[test]

@@ -32,6 +32,11 @@ use std::time::Duration;
 /// Pump tick: how often outgoing clauses/bounds are flushed.
 const PUMP_INTERVAL: Duration = Duration::from_millis(5);
 
+/// Pump ticks between `Trace` frame shipments (~every 250 ms): span
+/// batches are diagnostics, not race-critical traffic, so they ride a
+/// much slower cadence than clauses and bounds.
+const TRACE_EVERY_TICKS: u32 = 50;
+
 /// Runs the worker protocol over arbitrary streams (the binary passes
 /// stdin/stdout; tests can pass pipes in-process). Returns a process
 /// exit code: `0` on a clean run — including a cancelled one — and
@@ -79,6 +84,13 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
         );
         return 3;
     }
+
+    // The coordinator's trace id turns span recording on for this whole
+    // process; batches ship back over the pump loop below.
+    if job.trace_id.is_some() {
+        telemetry::global().enable();
+    }
+    let trace_id = job.trace_id.clone();
 
     let config = job.engine_config();
     let problem = job.problem.clone();
@@ -145,6 +157,7 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
         let mut last_bound_sent = usize::MAX;
         let mut last_floor_sent = 0usize;
         let mut outbox: Vec<sat::SharedClause> = Vec::new();
+        let mut ticks = 0u32;
         let outcome = loop {
             match done_rx.recv_timeout(PUMP_INTERVAL) {
                 Ok(outcome) => break outcome,
@@ -171,6 +184,12 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
                 // down so the scope can join.
                 bridge.cancel.cancel();
             }
+            ticks += 1;
+            if ticks.is_multiple_of(TRACE_EVERY_TICKS) {
+                if let Some(id) = &trace_id {
+                    let _ = pump_trace(shard, id, &mut output);
+                }
+            }
         };
 
         // Final flush (bounds/floors the race published on its way out),
@@ -184,6 +203,11 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
             &mut outbox,
             &mut output,
         );
+        // The race is over and its lane threads have flushed their spans;
+        // ship the tail so the coordinator's timeline is complete.
+        if let Some(id) = &trace_id {
+            let _ = pump_trace(shard, id, &mut output);
+        }
         let result = ShardResult {
             weight: outcome.weight(),
             strings: outcome.best.as_ref().map(|b| b.strings.clone()),
@@ -256,4 +280,27 @@ fn pump_once(
         output.flush()?;
     }
     Ok(())
+}
+
+/// Drains the process's recorded spans and ships them as one `Trace`
+/// frame. Timestamps stay on this process's monotonic epoch; the batch
+/// carries the epoch's wall-clock anchor so the coordinator can shift
+/// them onto its own timeline.
+fn pump_trace(shard: usize, trace_id: &str, output: &mut impl Write) -> io::Result<()> {
+    let registry = telemetry::global();
+    telemetry::flush();
+    let events = registry.drain();
+    if events.is_empty() {
+        return Ok(());
+    }
+    let batch = telemetry::chrome::TraceBatch {
+        pid: std::process::id(),
+        shard: shard as u32,
+        trace_id: trace_id.to_string(),
+        epoch_wall_us: registry.epoch_wall_us(),
+        dropped: registry.dropped(),
+        events,
+    };
+    write_frame(output, &Frame::Trace(batch.to_json().into_bytes()))?;
+    output.flush()
 }

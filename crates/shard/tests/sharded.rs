@@ -184,6 +184,81 @@ fn sigkilled_worker_degrades_the_race_not_the_result() {
 }
 
 #[test]
+fn killed_worker_partial_trace_merges_without_panicking() {
+    // Telemetry on in the coordinator process: every Job frame carries a
+    // trace id, the workers record spans and ship them back in Trace
+    // frames — and one worker is killed mid-race (frozen at spawn, then
+    // SIGKILL'd, as in `sigkilled_worker_degrades_the_race_not_the_result`),
+    // so its trace is partial at best and may be cut mid-frame. The
+    // coordinator must merge whatever did arrive and never panic on the
+    // missing tail.
+    let registry = telemetry::global();
+    registry.enable();
+
+    let problem = EncodingProblem::full_sat(4, Objective::MajoranaWeight);
+    let victim = 2usize;
+    let hook = Arc::new(move |shard: usize, pid: u32| {
+        if shard != victim {
+            return;
+        }
+        let _ = std::process::Command::new("kill")
+            .args(["-STOP", &pid.to_string()])
+            .status();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            let _ = std::process::Command::new("kill")
+                .args(["-KILL", &pid.to_string()])
+                .status();
+        });
+    });
+    let outcome = compile_sharded_with(
+        &problem,
+        &sharded_config(3, Duration::from_secs(120)),
+        None,
+        None,
+        &ShardOptions {
+            worker_bin: Some(worker_bin()),
+            spawn_hook: Some(hook),
+        },
+    );
+    registry.disable();
+    telemetry::flush();
+
+    // The survivor still certifies the optimum.
+    assert_valid_optimum(&problem, &outcome, "traced degraded race");
+    assert!(
+        outcome.report.shards[victim].dead,
+        "killed worker must be flagged dead: {:?}",
+        outcome.report.shards
+    );
+
+    // The merged timeline has the coordinator's root span, and every
+    // worker event was rebased onto the coordinator's clock.
+    let events = registry.drain();
+    let coordinator_pid = std::process::id();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "shard.race" && e.pid == coordinator_pid),
+        "coordinator root span missing from the merged trace"
+    );
+    // The survivor ran to completion, so its lane spans must have made
+    // it across the bridge. (The victim's partial batches may or may
+    // not have landed before the kill — that part is best-effort.)
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "engine.lane" && e.pid != coordinator_pid),
+        "surviving worker's lane spans missing from the merged trace"
+    );
+    // Cross-process wire telemetry was recorded on the way.
+    assert!(
+        registry.metrics().counter_sum("wire_frames_total") > 0,
+        "wire frame counters must be nonzero after a sharded race"
+    );
+}
+
+#[test]
 fn sharded_race_warm_starts_from_a_smaller_cached_optimum() {
     // Cross-size transfer through the coordinator: with the N=3 optimum
     // cached, a sharded N=4 compile must find it in the size index,

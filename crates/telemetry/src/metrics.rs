@@ -1,0 +1,421 @@
+//! The unified metrics layer: counters, gauges, fixed-bucket histograms, a
+//! named [`MetricSet`], and Prometheus text exposition ([`PromText`]).
+//!
+//! These types supersede the one-off structs `serve::metrics` grew: the
+//! server's `/metrics` endpoint, the shard coordinator's wire-frame
+//! counters, and the bench binaries all record through the same three
+//! primitives and render through the same writer.
+//!
+//! Histograms bucket at **microsecond precision**: an observation equal to
+//! a bucket's upper bound lands *in* that bucket, and one strictly above
+//! it lands in the next — `Duration::as_millis` truncation (which filed a
+//! 2.5 ms observation under `le=2`) is deliberately not used.
+
+use jsonkit::{obj, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket duration histogram. Bounds are *inclusive* upper edges
+/// in microseconds; the final implicit bucket is `+Inf`.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds_us: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given (ascending) microsecond upper bounds.
+    pub fn new(bounds_us: &[u64]) -> Histogram {
+        debug_assert!(bounds_us.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds_us: bounds_us.to_vec(),
+            counts: (0..=bounds_us.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket upper bounds, in microseconds.
+    pub fn bounds_us(&self) -> &[u64] {
+        &self.bounds_us
+    }
+
+    /// Records one observation at microsecond precision: a value equal to
+    /// an upper bound lands in that bucket, one strictly above it in the
+    /// next.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(elapsed.as_micros() as u64);
+    }
+
+    /// Records a raw microsecond observation.
+    pub fn record_us(&self, us: u64) {
+        let bucket = self
+            .bounds_us
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(self.bounds_us.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, *cumulative* (Prometheus `le` semantics), with
+    /// the `+Inf` bucket last.
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                total += c.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+
+    /// Cumulative-bucket JSON form (`le_ms` bounds, matching the served
+    /// JSON snapshot's historical shape).
+    pub fn to_json(&self) -> Value {
+        let cumulative = self.cumulative_counts();
+        let mut buckets = Vec::new();
+        for (bound_us, count) in self.bounds_us.iter().zip(&cumulative) {
+            buckets.push(obj([
+                ("le_ms", Value::Num(*bound_us as f64 / 1_000.0)),
+                ("count", Value::Num(*count as f64)),
+            ]));
+        }
+        let total = *cumulative.last().unwrap_or(&0);
+        buckets.push(obj([
+            ("le_ms", Value::Str("inf".into())),
+            ("count", Value::Num(total as f64)),
+        ]));
+        obj([
+            ("buckets", Value::Arr(buckets)),
+            ("count", Value::Num(total as f64)),
+            ("sum_ms", Value::Num(self.sum_us() as f64 / 1_000.0)),
+        ])
+    }
+}
+
+/// A named, process-lifetime set of metrics. Registration is
+/// get-or-create under a mutex (rare); the returned `Arc`s are then
+/// updated lock-free. Names may carry Prometheus labels inline:
+/// `wire_frames_total{type="clause",dir="rx"}`.
+#[derive(Debug, Default)]
+pub struct MetricSet {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> MetricSet {
+        MetricSet::default()
+    }
+
+    /// The counter `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram `name` (bounds apply on first creation only).
+    pub fn histogram(&self, name: &str, bounds_us: &[u64]) -> Arc<Histogram> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds_us)))
+            .clone()
+    }
+
+    /// Snapshot of every counter as `(name, value)`.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Sum of every counter whose name starts with `prefix` (labels
+    /// included in the match).
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v.get())
+            .sum()
+    }
+
+    /// JSON snapshot of the whole set.
+    pub fn to_json(&self) -> Value {
+        let counters: BTreeMap<String, Value> = self
+            .counter_values()
+            .into_iter()
+            .map(|(k, v)| (k, Value::Num(v as f64)))
+            .collect();
+        let gauges: BTreeMap<String, Value> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Num(v.get() as f64)))
+            .collect();
+        let histograms: BTreeMap<String, Value> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect();
+        obj([
+            ("counters", Value::Obj(counters)),
+            ("gauges", Value::Obj(gauges)),
+            ("histograms", Value::Obj(histograms)),
+        ])
+    }
+
+    /// Renders the whole set into a [`PromText`] writer (no help text —
+    /// callers with curated metrics render them individually instead).
+    pub fn render_prometheus(&self, w: &mut PromText) {
+        for (name, value) in self.counter_values() {
+            w.counter(&name, "", value);
+        }
+        for (name, gauge) in self.gauges.lock().unwrap().iter() {
+            w.gauge(name, "", gauge.get());
+        }
+        for (name, histogram) in self.histograms.lock().unwrap().iter() {
+            w.histogram(name, "", histogram);
+        }
+    }
+}
+
+/// Prometheus text-exposition writer: `# HELP`/`# TYPE` headers (once per
+/// metric family), `_total`-suffixed counters, `_seconds` histograms with
+/// cumulative `le` buckets and a `+Inf` terminator.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    typed: BTreeMap<String, &'static str>,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn base_name(name: &str) -> &str {
+        name.split('{').next().unwrap_or(name)
+    }
+
+    fn header(&mut self, base: &str, kind: &'static str, help: &str) {
+        if self.typed.insert(base.to_string(), kind).is_none() {
+            if !help.is_empty() {
+                self.out.push_str(&format!("# HELP {base} {help}\n"));
+            }
+            self.out.push_str(&format!("# TYPE {base} {kind}\n"));
+        }
+    }
+
+    /// One counter sample. `name` may carry inline labels.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(Self::base_name(name), "counter", help);
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// One gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: i64) {
+        self.header(Self::base_name(name), "gauge", help);
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// A full histogram family: `_bucket` series (seconds-valued `le`,
+    /// cumulative, `+Inf` last), `_sum` (seconds), `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, histogram: &Histogram) {
+        let base = Self::base_name(name).to_string();
+        self.header(&base, "histogram", help);
+        let cumulative = histogram.cumulative_counts();
+        for (bound_us, count) in histogram.bounds_us().iter().zip(&cumulative) {
+            let le = *bound_us as f64 / 1e6;
+            self.out
+                .push_str(&format!("{base}_bucket{{le=\"{le}\"}} {count}\n"));
+        }
+        let total = *cumulative.last().unwrap_or(&0);
+        self.out
+            .push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {total}\n"));
+        self.out
+            .push_str(&format!("{base}_sum {}\n", histogram.sum_us() as f64 / 1e6));
+        self.out.push_str(&format!("{base}_count {total}\n"));
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_at_microsecond_precision() {
+        // Bounds: 1ms, 2ms, 5ms (in µs).
+        let h = Histogram::new(&[1_000, 2_000, 5_000]);
+        h.record(Duration::from_micros(1_000)); // == 1ms  -> bucket 0
+        h.record(Duration::from_micros(1_001)); // > 1ms   -> bucket 1
+        h.record(Duration::from_micros(2_000)); // == 2ms  -> bucket 1
+        h.record(Duration::from_micros(2_500)); // 2.5ms   -> bucket 2 (the
+                                                // as_millis-truncation bug filed this under le=2)
+        h.record(Duration::from_micros(5_001)); // > 5ms   -> +Inf
+        assert_eq!(h.cumulative_counts(), vec![1, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_us(), 1_000 + 1_001 + 2_000 + 2_500 + 5_001);
+    }
+
+    #[test]
+    fn histogram_json_is_cumulative() {
+        let h = Histogram::new(&[1_000, 5_000]);
+        h.record(Duration::from_millis(0));
+        h.record(Duration::from_millis(3));
+        h.record(Duration::from_secs(120));
+        let json = h.to_json();
+        let buckets = json.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets[0].get("count").unwrap().as_usize(), Some(1));
+        assert_eq!(buckets[1].get("count").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            buckets.last().unwrap().get("count").unwrap().as_usize(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let mut w = PromText::new();
+        w.counter("app_requests_total", "requests seen", 7);
+        w.counter("wire_frames_total{type=\"clause\",dir=\"rx\"}", "", 3);
+        w.counter("wire_frames_total{type=\"bound\",dir=\"tx\"}", "", 2);
+        w.gauge("app_active", "live now", -1);
+        let h = Histogram::new(&[1_000, 1_000_000]);
+        h.record(Duration::from_micros(500));
+        h.record(Duration::from_secs(2));
+        w.histogram("app_latency_seconds", "end to end", &h);
+        let text = w.finish();
+
+        assert!(text.contains("# TYPE app_requests_total counter"));
+        assert!(text.contains("app_requests_total 7"));
+        // One TYPE line per family, not per labeled series.
+        assert_eq!(text.matches("# TYPE wire_frames_total").count(), 1);
+        assert!(text.contains("wire_frames_total{type=\"clause\",dir=\"rx\"} 3"));
+        assert!(text.contains("# TYPE app_active gauge"));
+        assert!(text.contains("app_active -1"));
+        assert!(text.contains("# TYPE app_latency_seconds histogram"));
+        assert!(text.contains("app_latency_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("app_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("app_latency_seconds_count 2"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value {value:?}");
+        }
+    }
+
+    #[test]
+    fn metric_set_get_or_create_and_snapshot() {
+        let set = MetricSet::new();
+        set.counter("a_total").add(2);
+        set.counter("a_total").inc();
+        set.gauge("g").set(5);
+        set.histogram("h_seconds", &[1_000]).record_us(10);
+        assert_eq!(set.counter("a_total").get(), 3);
+        assert_eq!(set.counter_sum("a_"), 3);
+        let json = set.to_json();
+        assert_eq!(
+            json.get("counters")
+                .unwrap()
+                .get("a_total")
+                .unwrap()
+                .as_usize(),
+            Some(3)
+        );
+        let mut w = PromText::new();
+        set.render_prometheus(&mut w);
+        let text = w.finish();
+        assert!(text.contains("a_total 3"));
+        assert!(text.contains("g 5"));
+        assert!(text.contains("h_seconds_count 1"));
+    }
+}

@@ -63,7 +63,9 @@ fn main() {
     println!("GET /v1/solution/<fp>     -> {status}");
 
     // Metrics: queue, coalescing, cache counters, latency histograms.
-    let (_, metrics) = client.request("GET", "/metrics", None).expect("metrics");
+    let (_, metrics) = client
+        .request("GET", "/metrics?format=json", None)
+        .expect("metrics");
     let solves = metrics.get("solves").unwrap();
     let cache = metrics.get("cache").unwrap();
     println!(

@@ -19,6 +19,8 @@
 //!   processes bridged by the `sat::wire` clause/bound protocol.
 //! * [`serve`] — the long-running compilation server: HTTP endpoints,
 //!   request queueing and coalescing, deadlines, graceful shutdown.
+//! * [`telemetry`] — structured tracing and metrics: span recorders, the
+//!   process registry, Chrome-trace export, Prometheus exposition.
 //! * [`jsonkit`] — the dependency-free JSON tree/writer/parser they share.
 //! * [`circuit`] — Pauli-evolution circuit synthesis and optimization.
 //! * [`qsim`] — noisy state-vector simulation and energy measurement.
@@ -36,3 +38,4 @@ pub use qsim;
 pub use sat;
 pub use serve;
 pub use shard;
+pub use telemetry;
