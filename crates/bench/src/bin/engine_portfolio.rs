@@ -53,16 +53,25 @@ use engine::{compile, BaselineKind, ClauseSharing, EngineConfig, Strategy};
 use fermihedral::{EncodingProblem, Objective};
 use fermihedral_bench::args::Args;
 use fermihedral_bench::report::Table;
-use sat::RestartPolicyKind;
+use sat::{ExportLbd, RestartPolicyKind};
 use std::time::Instant;
 
 fn descent_lanes() -> Vec<Strategy> {
+    // Export-LBD bounds are diversified like the engine's default
+    // portfolio: one lane starts tight, one at the solver default, one
+    // loose — each adapts within its own band from observed import
+    // usefulness.
     vec![
         Strategy::SatDescent {
             seed: 1,
             random_branch: 0.0,
             bk_phase_hint: true,
             restart: RestartPolicyKind::Luby { unit: 128 },
+            export_lbd: ExportLbd {
+                floor: 2,
+                initial: 3,
+                ceiling: 6,
+            },
         },
         Strategy::SatDescent {
             seed: 2,
@@ -72,12 +81,18 @@ fn descent_lanes() -> Vec<Strategy> {
                 initial: 100,
                 factor: 1.5,
             },
+            export_lbd: ExportLbd::default(),
         },
         Strategy::SatDescent {
             seed: 3,
             random_branch: 0.1,
             bk_phase_hint: false,
             restart: RestartPolicyKind::Fixed { interval: 512 },
+            export_lbd: ExportLbd {
+                floor: 3,
+                initial: 6,
+                ceiling: 12,
+            },
         },
     ]
 }
@@ -95,6 +110,15 @@ struct Cell {
     /// Imported clauses that later became propagation reasons — the
     /// "did sharing actually steer the search" signal, summed over lanes.
     imported_reasons: u64,
+    /// Unit propagations summed over lanes — with `conflicts`, the raw
+    /// search-throughput signal of the flat-arena hot path.
+    propagations: u64,
+    /// Conflicts per wall-clock second — the cross-commit regression
+    /// metric the deterministic `descent-n4-gate` cell is gated on.
+    conflicts_per_sec: f64,
+    /// The highest adapted export-LBD threshold any lane ended at (0
+    /// when no SAT lane ran or sharing was off).
+    adapted_export_lbd: u32,
     /// Learnt clauses that crossed the coordinator's process bridge
     /// (nonzero only for sharded runs).
     bridge_clauses: u64,
@@ -108,6 +132,7 @@ struct Cell {
 }
 
 fn cell_of(outcome: &engine::EngineOutcome, label: &str, modes: usize, seconds: f64) -> Cell {
+    let conflicts: u64 = outcome.report.workers.iter().map(|w| w.conflicts).sum();
     Cell {
         modes,
         strategy: label.to_string(),
@@ -115,7 +140,7 @@ fn cell_of(outcome: &engine::EngineOutcome, label: &str, modes: usize, seconds: 
         weight: outcome.weight(),
         optimal: outcome.optimal_proved,
         from_cache: outcome.from_cache,
-        conflicts: outcome.report.workers.iter().map(|w| w.conflicts).sum(),
+        conflicts,
         clauses_exported: outcome
             .report
             .workers
@@ -134,6 +159,19 @@ fn cell_of(outcome: &engine::EngineOutcome, label: &str, modes: usize, seconds: 
             .iter()
             .map(|w| w.imported_reasons)
             .sum(),
+        propagations: outcome.report.workers.iter().map(|w| w.propagations).sum(),
+        conflicts_per_sec: if seconds > 0.0 {
+            conflicts as f64 / seconds
+        } else {
+            0.0
+        },
+        adapted_export_lbd: outcome
+            .report
+            .workers
+            .iter()
+            .map(|w| w.adapted_export_lbd)
+            .max()
+            .unwrap_or(0),
         bridge_clauses: outcome
             .report
             .shards
@@ -203,9 +241,12 @@ fn main() {
         "optimal",
         "cache",
         "conflicts",
+        "props",
+        "cps",
         "exp",
         "imp",
         "reasons",
+        "lbd",
         "bridge",
         "warm",
     ]);
@@ -328,6 +369,24 @@ fn main() {
         }
     }
 
+    // Solver-throughput regression gate: the deterministic seed-1 lane
+    // alone at N=4 (no sharing, no cache, fixed Luby restarts — the run
+    // is bit-reproducible, so its conflict count is a constant and the
+    // only noise is wall clock). `--check` requires the certified
+    // optimum (weight 16) and a conflicts-per-second floor far below
+    // what the flat-arena hot path delivers, so only a gross hot-path
+    // regression trips it on a noisy CI host.
+    let gate_cell = {
+        let problem = EncodingProblem::full_sat(4, Objective::MajoranaWeight);
+        let config = EngineConfig {
+            strategies: vec![descent_lanes().swap_remove(0)],
+            total_timeout: Some(timeout),
+            ..EngineConfig::default()
+        };
+        run(&problem, &config, "descent-n4-gate", 4)
+    };
+    cells.push(gate_cell);
+
     for cell in &cells {
         table.row(&[
             cell.modes.to_string(),
@@ -337,9 +396,16 @@ fn main() {
             cell.optimal.to_string(),
             if cell.from_cache { "hit" } else { "-" }.to_string(),
             cell.conflicts.to_string(),
+            cell.propagations.to_string(),
+            format!("{:.0}", cell.conflicts_per_sec),
             cell.clauses_exported.to_string(),
             cell.clauses_imported.to_string(),
             cell.imported_reasons.to_string(),
+            if cell.adapted_export_lbd == 0 {
+                "-".into()
+            } else {
+                cell.adapted_export_lbd.to_string()
+            },
             cell.bridge_clauses.to_string(),
             cell.warm_from_modes
                 .map_or("-".into(), |m| format!("embed{m}")),
@@ -373,6 +439,12 @@ fn main() {
                             ("clauses_exported", Value::Num(c.clauses_exported as f64)),
                             ("clauses_imported", Value::Num(c.clauses_imported as f64)),
                             ("imported_reasons", Value::Num(c.imported_reasons as f64)),
+                            ("propagations", Value::Num(c.propagations as f64)),
+                            ("conflicts_per_sec", Value::Num(c.conflicts_per_sec)),
+                            (
+                                "adapted_export_lbd",
+                                Value::Num(c.adapted_export_lbd as f64),
+                            ),
                             ("bridge_clauses", Value::Num(c.bridge_clauses as f64)),
                             ("dead_shards", Value::Num(c.dead_shards as f64)),
                             (
@@ -499,6 +571,20 @@ fn main() {
         }
     }
 
+    let gate = cells
+        .iter()
+        .find(|c| c.strategy == "descent-n4-gate")
+        .expect("the gate cell always runs");
+    println!(
+        "N=4 gate: weight {:?} optimal {} in {:.4}s — {} conflicts ({:.0}/s), {} propagations",
+        gate.weight,
+        gate.optimal,
+        gate.seconds,
+        gate.conflicts,
+        gate.conflicts_per_sec,
+        gate.propagations
+    );
+
     let _ = std::fs::remove_dir_all(&cache_dir);
 
     // CI gate: every portfolio run (sharing on, off, and sharded) must
@@ -556,6 +642,22 @@ fn main() {
                     ));
                 }
             }
+        }
+        // Solver-throughput gate: the deterministic N=4 single lane must
+        // certify weight 16 and sustain a conservative conflicts-per-
+        // second floor (the flat-arena hot path measures an order of
+        // magnitude above it on an idle host).
+        const GATE_MIN_CPS: f64 = 2000.0;
+        if gate.weight != Some(16) || !gate.optimal {
+            failures.push(format!(
+                "descent-n4-gate: weight {:?} optimal {} (want certified 16)",
+                gate.weight, gate.optimal
+            ));
+        } else if gate.conflicts_per_sec < GATE_MIN_CPS {
+            failures.push(format!(
+                "descent-n4-gate: {:.0} conflicts/s under the {GATE_MIN_CPS} floor",
+                gate.conflicts_per_sec
+            ));
         }
         // Trace gate: the written trace must parse back, carry at least
         // one `engine.lane` span per descent lane, span more than one

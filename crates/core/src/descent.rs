@@ -136,6 +136,12 @@ pub struct DescentConfig {
     /// the bound they assumed and importers defer looser-bound clauses
     /// until their own descent catches up.
     pub clause_exchange: Option<sat::LaneHandle>,
+    /// Bounds for the solver's adaptive export-LBD filter. `None` keeps
+    /// whatever the exchange context configures (its own bounds when
+    /// `clause_exchange` is set, the solver default otherwise); `Some`
+    /// overrides them per lane, which is how portfolio lanes start tight
+    /// or loose.
+    pub export_lbd: Option<sat::ExportLbd>,
 }
 
 impl Default for DescentConfig {
@@ -155,6 +161,7 @@ impl Default for DescentConfig {
             random_branch: 0.0,
             restart_policy: None,
             clause_exchange: None,
+            export_lbd: None,
         }
     }
 }
@@ -332,6 +339,11 @@ pub fn solve_optimal_instance(
     }
     if let Some(handle) = &config.clause_exchange {
         solver.set_clause_exchange(Some(handle.clone()));
+    }
+    if let Some(bounds) = config.export_lbd {
+        // After set_clause_exchange: the lane override beats the bounds
+        // adopted from the exchange context.
+        solver.set_export_lbd(bounds);
     }
     // Hint precedence: an explicit, *validated* hint beats the BK hint;
     // an invalid explicit hint is rejected (and reported) rather than
@@ -680,7 +692,7 @@ mod tests {
         let ctx = sat::SharedContext::new(
             2,
             sat::ExchangeConfig {
-                lbd_threshold: u32::MAX,
+                export_lbd: sat::ExportLbd::fixed(u32::MAX),
                 max_shared_len: usize::MAX,
                 capacity_per_lane: 1 << 14,
             },

@@ -41,7 +41,8 @@ use fermihedral::descent::{
 use fermihedral::{anneal_pairing, AnnealConfig, EncodingInstance, EncodingProblem, Objective};
 use pauli::{PauliString, PhasedString};
 use sat::{
-    CancelToken, ExchangeConfig, LaneHandle, RemoteExchange, RestartPolicyKind, SharedContext,
+    CancelToken, ExchangeConfig, ExportLbd, LaneHandle, RemoteExchange, RestartPolicyKind,
+    SharedContext,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -92,6 +93,10 @@ pub enum Strategy {
         bk_phase_hint: bool,
         /// The lane's restart schedule (also its clause-import cadence).
         restart: RestartPolicyKind,
+        /// Bounds for the lane's adaptive export-LBD filter (floor /
+        /// starting threshold / ceiling). Lanes diversify by starting
+        /// tighter or looser; `ExportLbd::fixed` pins a lane.
+        export_lbd: ExportLbd,
     },
     /// Simulated-annealing pair assignment on a classical base encoding.
     /// Falls back to publishing the base encoding itself under the
@@ -116,10 +121,14 @@ impl Strategy {
                 random_branch,
                 bk_phase_hint,
                 restart,
+                export_lbd,
             } => format!(
-                "sat-descent[seed={seed},rb={random_branch},bk={},rs={}]",
+                "sat-descent[seed={seed},rb={random_branch},bk={},rs={},lbd={}..{}..{}]",
                 *bk_phase_hint as u8,
-                restart.label()
+                restart.label(),
+                export_lbd.floor,
+                export_lbd.initial,
+                export_lbd.ceiling,
             ),
             Strategy::Anneal { base, .. } => format!("anneal[{}]", base.name()),
             Strategy::Baseline(kind) => format!("baseline[{}]", kind.name()),
@@ -140,6 +149,13 @@ pub fn default_portfolio(problem: &EncodingProblem) -> Vec<Strategy> {
             random_branch: 0.0,
             bk_phase_hint: true,
             restart: RestartPolicyKind::Luby { unit: 128 },
+            // Tight lane: exports only low-glue clauses unless imports
+            // prove useful.
+            export_lbd: ExportLbd {
+                floor: 2,
+                initial: 3,
+                ceiling: 6,
+            },
         },
         Strategy::SatDescent {
             seed: 2,
@@ -149,12 +165,19 @@ pub fn default_portfolio(problem: &EncodingProblem) -> Vec<Strategy> {
                 initial: 100,
                 factor: 1.5,
             },
+            export_lbd: ExportLbd::default(),
         },
         Strategy::SatDescent {
             seed: 3,
             random_branch: 0.1,
             bk_phase_hint: false,
             restart: RestartPolicyKind::Fixed { interval: 512 },
+            // Loose lane: shares generously from the start.
+            export_lbd: ExportLbd {
+                floor: 3,
+                initial: 6,
+                ceiling: 12,
+            },
         },
         Strategy::Baseline(BaselineKind::TernaryTree),
         Strategy::Baseline(BaselineKind::BravyiKitaev),
@@ -713,6 +736,7 @@ fn compile_inner(
                             random_branch,
                             bk_phase_hint,
                             restart,
+                            export_lbd,
                         } => {
                             if !slots.acquire(&incumbent.cancel) {
                                 incumbent.active_lanes.fetch_sub(1, Ordering::Relaxed);
@@ -726,6 +750,7 @@ fn compile_inner(
                                     random_branch: *random_branch,
                                     bk_phase_hint: *bk_phase_hint,
                                     restart: *restart,
+                                    export_lbd: *export_lbd,
                                     clause_exchange: lane_handle,
                                 },
                                 warm,
@@ -919,10 +944,12 @@ fn skipped_lane(name: String, engine_start: Instant) -> WorkerReport {
         proved_floor: None,
         cancelled: true,
         conflicts: 0,
+        propagations: 0,
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
         imported_reasons: 0,
+        adapted_export_lbd: 0,
         shard: None,
     }
 }
@@ -959,6 +986,7 @@ struct DescentLaneSpec {
     random_branch: f64,
     bk_phase_hint: bool,
     restart: RestartPolicyKind,
+    export_lbd: ExportLbd,
     clause_exchange: Option<LaneHandle>,
 }
 
@@ -982,6 +1010,7 @@ fn run_descent_lane(
         random_branch: spec.random_branch,
         bk_phase_hint: spec.bk_phase_hint,
         restart_policy: Some(spec.restart),
+        export_lbd: Some(spec.export_lbd),
         clause_exchange: spec.clause_exchange,
         phase_hint: warm_start,
         ..DescentConfig::default()
@@ -1023,10 +1052,12 @@ fn run_descent_lane(
         proved_floor: outcome.proved_floor,
         cancelled: outcome.cancelled,
         conflicts: outcome.solver_stats.conflicts,
+        propagations: outcome.solver_stats.propagations,
         clauses_exported: outcome.solver_stats.exported_clauses,
         clauses_imported: outcome.solver_stats.imported_clauses,
         clauses_promoted: outcome.solver_stats.promoted_clauses,
         imported_reasons: outcome.solver_stats.imported_reasons,
+        adapted_export_lbd: outcome.solver_stats.adapted_export_lbd,
         shard: None,
     }
 }
@@ -1089,10 +1120,12 @@ fn run_baseline_lane(
         proved_floor: None,
         cancelled: false,
         conflicts: 0,
+        propagations: 0,
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
         imported_reasons: 0,
+        adapted_export_lbd: 0,
         shard: None,
     }
 }
@@ -1239,10 +1272,12 @@ fn run_anneal_lane(
         proved_floor: None,
         cancelled,
         conflicts: 0,
+        propagations: 0,
         clauses_exported: 0,
         clauses_imported: 0,
         clauses_promoted: 0,
         imported_reasons: 0,
+        adapted_export_lbd: 0,
         shard: None,
     }
 }
@@ -1273,6 +1308,7 @@ mod tests {
                 random_branch: 0.0,
                 bk_phase_hint: true,
                 restart: sat::RestartPolicyKind::default(),
+                export_lbd: ExportLbd::default(),
                 clause_exchange: None,
             },
             Some(bad),

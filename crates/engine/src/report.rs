@@ -125,6 +125,11 @@ pub struct WorkerReport {
     /// the usefulness signal behind the import counters (an import that
     /// never propagates was not worth shipping).
     pub imported_reasons: u64,
+    /// Unit propagations this lane performed (0 for non-SAT lanes).
+    pub propagations: u64,
+    /// Where the lane's adaptive export-LBD threshold ended up (0 for
+    /// non-SAT lanes).
+    pub adapted_export_lbd: u32,
     /// Worker process this lane ran in, for sharded runs (`None` = the
     /// coordinating process itself).
     pub shard: Option<usize>,
@@ -304,6 +309,11 @@ impl WorkerReport {
             ("clauses_imported", Value::Num(w.clauses_imported as f64)),
             ("clauses_promoted", Value::Num(w.clauses_promoted as f64)),
             ("imported_reasons", Value::Num(w.imported_reasons as f64)),
+            ("propagations", Value::Num(w.propagations as f64)),
+            (
+                "adapted_export_lbd",
+                Value::Num(w.adapted_export_lbd as f64),
+            ),
             (
                 "shard",
                 w.shard.map_or(Value::Null, |v| Value::Num(v as f64)),
@@ -372,6 +382,14 @@ impl WorkerReport {
                 .get("imported_reasons")
                 .and_then(Value::as_usize)
                 .unwrap_or(0) as u64,
+            propagations: doc
+                .get("propagations")
+                .and_then(Value::as_usize)
+                .unwrap_or(0) as u64,
+            adapted_export_lbd: doc
+                .get("adapted_export_lbd")
+                .and_then(Value::as_usize)
+                .unwrap_or(0) as u32,
             shard: doc.get("shard").and_then(Value::as_usize),
         })
     }
@@ -420,6 +438,8 @@ mod tests {
                 clauses_imported: 5,
                 clauses_promoted: 2,
                 imported_reasons: 3,
+                propagations: 1234,
+                adapted_export_lbd: 5,
                 shard: Some(1),
             }],
             shards: vec![ShardReport {
@@ -494,6 +514,8 @@ mod tests {
                 clauses_imported: 0,
                 clauses_promoted: 0,
                 imported_reasons: 0,
+                propagations: 0,
+                adapted_export_lbd: 0,
                 shard: None,
             }],
             shards: Vec::new(),

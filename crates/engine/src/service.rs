@@ -173,6 +173,7 @@ mod tests {
                     random_branch: 0.0,
                     bk_phase_hint: true,
                     restart: sat::RestartPolicyKind::default(),
+                    export_lbd: sat::ExportLbd::default(),
                 },
                 Strategy::Baseline(BaselineKind::BravyiKitaev),
             ],

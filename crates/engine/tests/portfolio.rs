@@ -5,7 +5,7 @@ use engine::{compile, BaselineKind, ClauseSharing, EngineConfig, EngineOutcome, 
 use fermihedral::descent::{solve_optimal, DescentConfig};
 use fermihedral::{AnnealConfig, EncodingProblem, Objective};
 use fermion::MajoranaMonomial;
-use sat::{ExchangeConfig, RestartPolicyKind};
+use sat::{ExchangeConfig, ExportLbd, RestartPolicyKind};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -25,6 +25,7 @@ fn three_descent_lanes() -> Vec<Strategy> {
             random_branch: 0.0,
             bk_phase_hint: true,
             restart: RestartPolicyKind::default(),
+            export_lbd: ExportLbd::default(),
         },
         Strategy::SatDescent {
             seed: 7,
@@ -34,12 +35,14 @@ fn three_descent_lanes() -> Vec<Strategy> {
                 initial: 64,
                 factor: 1.3,
             },
+            export_lbd: ExportLbd::default(),
         },
         Strategy::SatDescent {
             seed: 13,
             random_branch: 0.15,
             bk_phase_hint: false,
             restart: RestartPolicyKind::Fixed { interval: 128 },
+            export_lbd: ExportLbd::default(),
         },
     ]
 }
@@ -214,12 +217,14 @@ fn total_timeout_cancels_a_hopeless_run_promptly() {
                 random_branch: 0.0,
                 bk_phase_hint: true,
                 restart: RestartPolicyKind::default(),
+                export_lbd: ExportLbd::default(),
             },
             Strategy::SatDescent {
                 seed: 2,
                 random_branch: 0.1,
                 bk_phase_hint: false,
                 restart: RestartPolicyKind::Fixed { interval: 256 },
+                export_lbd: ExportLbd::default(),
             },
             Strategy::Baseline(BaselineKind::BravyiKitaev),
         ],
@@ -343,6 +348,7 @@ fn anneal_lane_does_not_idle_out_the_timeout() {
                 random_branch: 0.0,
                 bk_phase_hint: true,
                 restart: RestartPolicyKind::default(),
+                export_lbd: ExportLbd::default(),
             },
             Strategy::Baseline(BaselineKind::BravyiKitaev),
             Strategy::Anneal {
@@ -432,7 +438,7 @@ fn clause_sharing_on_exchanges_clauses_and_stays_optimal() {
         clause_sharing: ClauseSharing {
             enabled: true,
             exchange: ExchangeConfig {
-                lbd_threshold: u32::MAX,
+                export_lbd: ExportLbd::fixed(u32::MAX),
                 max_shared_len: usize::MAX,
                 capacity_per_lane: 1 << 14,
             },

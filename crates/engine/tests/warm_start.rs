@@ -6,7 +6,7 @@
 use engine::{compile, CacheStatus, EngineConfig, EngineOutcome, EventKind, Strategy};
 use fermihedral::{EncodingProblem, Objective};
 use pauli::PauliString;
-use sat::RestartPolicyKind;
+use sat::{ExportLbd, RestartPolicyKind};
 use std::path::PathBuf;
 use std::str::FromStr;
 use std::time::Duration;
@@ -27,6 +27,7 @@ fn descent_lanes() -> Vec<Strategy> {
             random_branch: 0.0,
             bk_phase_hint: true,
             restart: RestartPolicyKind::default(),
+            export_lbd: ExportLbd::default(),
         },
         Strategy::SatDescent {
             seed: 2,
@@ -36,12 +37,14 @@ fn descent_lanes() -> Vec<Strategy> {
                 initial: 100,
                 factor: 1.5,
             },
+            export_lbd: ExportLbd::default(),
         },
         Strategy::SatDescent {
             seed: 3,
             random_branch: 0.1,
             bk_phase_hint: false,
             restart: RestartPolicyKind::Fixed { interval: 512 },
+            export_lbd: ExportLbd::default(),
         },
     ]
 }

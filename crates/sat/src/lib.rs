@@ -35,6 +35,8 @@
 //! }
 //! ```
 
+mod arena;
+mod bitset;
 pub mod cancel;
 pub mod card;
 pub mod cnf;
@@ -44,6 +46,7 @@ pub mod restart;
 pub mod shared;
 pub mod solver;
 pub mod types;
+mod watch;
 pub mod wire;
 
 pub use cancel::CancelToken;
@@ -52,7 +55,9 @@ pub use cnf::Cnf;
 pub use restart::{
     FixedRestarts, GeometricRestarts, LubyRestarts, RestartPolicy, RestartPolicyKind,
 };
-pub use shared::{ExchangeConfig, LaneHandle, RemoteExchange, SharedClause, SharedContext};
+pub use shared::{
+    ExchangeConfig, ExportLbd, LaneHandle, RemoteExchange, SharedClause, SharedContext,
+};
 pub use solver::{Model, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};
 pub use wire::{Frame, FrameIoError, RemoteClause, WireError};

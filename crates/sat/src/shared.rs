@@ -38,12 +38,64 @@ use crate::types::Lit;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Bounds for a lane's adaptive export-LBD threshold.
+///
+/// Each solver starts exporting clauses with glue at most `initial` and
+/// then adapts Glucose-style: when its imported clauses keep firing as
+/// propagation reasons (sharing is pulling its weight) the lane loosens
+/// its threshold toward `ceiling` to ship more; when imports sit unused
+/// it tightens toward `floor` to ship only the best. Portfolio lanes
+/// diversify by starting from different bounds
+/// (`engine::Strategy::SatDescent` carries them per lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportLbd {
+    /// The controller never tightens below this glue.
+    pub floor: u32,
+    /// Starting export threshold.
+    pub initial: u32,
+    /// The controller never loosens above this glue.
+    pub ceiling: u32,
+}
+
+impl Default for ExportLbd {
+    fn default() -> Self {
+        ExportLbd {
+            floor: 2,
+            initial: 4,
+            ceiling: 8,
+        }
+    }
+}
+
+impl ExportLbd {
+    /// A degenerate range: the threshold is pinned to `threshold` and the
+    /// controller has no room to adapt (the pre-adaptive behaviour).
+    pub fn fixed(threshold: u32) -> ExportLbd {
+        ExportLbd {
+            floor: threshold,
+            initial: threshold,
+            ceiling: threshold,
+        }
+    }
+
+    /// The bounds with `floor ≤ initial ≤ ceiling` enforced.
+    pub fn normalized(self) -> ExportLbd {
+        let ceiling = self.ceiling.max(self.floor);
+        ExportLbd {
+            floor: self.floor,
+            initial: self.initial.clamp(self.floor, ceiling),
+            ceiling,
+        }
+    }
+}
+
 /// Eligibility and capacity knobs for a [`SharedContext`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExchangeConfig {
-    /// Clauses with LBD (glue) at most this are exported. Units and
-    /// binaries are always exported regardless.
-    pub lbd_threshold: u32,
+    /// Per-lane adaptive export-threshold bounds: clauses with LBD (glue)
+    /// at most the lane's *current* threshold are exported (units and
+    /// binaries always are). Replaces the old hard-coded `lbd_threshold`.
+    pub export_lbd: ExportLbd,
     /// Clauses longer than this are never exported, whatever their LBD.
     pub max_shared_len: usize,
     /// Ring-buffer slots per lane inbox; a full inbox overwrites oldest.
@@ -53,7 +105,7 @@ pub struct ExchangeConfig {
 impl Default for ExchangeConfig {
     fn default() -> Self {
         ExchangeConfig {
-            lbd_threshold: 4,
+            export_lbd: ExportLbd::default(),
             max_shared_len: 32,
             capacity_per_lane: 512,
         }
@@ -264,17 +316,45 @@ impl LaneHandle {
         self.lane
     }
 
-    /// Whether a clause of this size and glue qualifies for export.
-    pub fn eligible(&self, len: usize, lbd: u32) -> bool {
-        let cfg = &self.inner.config;
-        len >= 1 && (len <= 2 || (lbd <= cfg.lbd_threshold && len <= cfg.max_shared_len))
+    /// The context's export-LBD bounds (floor/initial/ceiling), which an
+    /// adaptive solver adopts when it connects.
+    pub fn export_bounds(&self) -> ExportLbd {
+        self.inner.config.export_lbd
     }
 
-    /// Exports a learnt clause to every other lane (a copy per recipient).
-    /// Returns `false` — without publishing — when the clause is
-    /// ineligible or there are no peers.
+    /// Whether a clause of this size and glue qualifies for export under
+    /// the configured *initial* threshold (adaptive lanes pass their
+    /// current threshold to [`eligible_at`](Self::eligible_at) instead).
+    pub fn eligible(&self, len: usize, lbd: u32) -> bool {
+        self.eligible_at(len, lbd, self.inner.config.export_lbd.initial)
+    }
+
+    /// Whether a clause of this size and glue qualifies for export under
+    /// a caller-supplied LBD threshold.
+    pub fn eligible_at(&self, len: usize, lbd: u32, lbd_threshold: u32) -> bool {
+        let cfg = &self.inner.config;
+        len >= 1 && (len <= 2 || (lbd <= lbd_threshold && len <= cfg.max_shared_len))
+    }
+
+    /// Exports a learnt clause to every other lane (a copy per recipient)
+    /// under the configured initial threshold. Returns `false` — without
+    /// publishing — when the clause is ineligible or there are no peers.
     pub fn export(&self, lits: &[Lit], lbd: u32, bound_tag: Option<usize>) -> bool {
-        if !self.eligible(lits.len(), lbd) || self.inner.lanes.len() < 2 {
+        self.export_at(lits, lbd, bound_tag, self.inner.config.export_lbd.initial)
+    }
+
+    /// Exports under a caller-supplied LBD threshold — the entry point for
+    /// solvers running the adaptive controller, which own their current
+    /// threshold and move it within the configured
+    /// [`ExportLbd`] bounds.
+    pub fn export_at(
+        &self,
+        lits: &[Lit],
+        lbd: u32,
+        bound_tag: Option<usize>,
+        lbd_threshold: u32,
+    ) -> bool {
+        if !self.eligible_at(lits.len(), lbd, lbd_threshold) || self.inner.lanes.len() < 2 {
             return false;
         }
         for (peer, inbox) in self.inner.lanes.iter().enumerate() {
@@ -353,14 +433,17 @@ impl RemoteExchange {
     }
 
     /// Delivers a clause received from another process to every local
-    /// lane. Applies the local eligibility filter (a misconfigured peer
-    /// cannot flood the lanes with clauses they would never export) and
-    /// returns `false` without publishing when the clause fails it.
+    /// lane. Applies the local eligibility filter at the configured
+    /// export-LBD *ceiling* — the loosest threshold any adaptive remote
+    /// lane could legitimately have been exporting under — so a
+    /// misconfigured peer cannot flood the lanes with clauses no lane
+    /// would ever export. Returns `false` without publishing when the
+    /// clause fails the filter.
     pub fn inject(&self, lits: &[Lit], lbd: u32, bound_tag: Option<usize>) -> bool {
         let cfg = &self.inner.config;
         let len = lits.len();
         let eligible =
-            len >= 1 && (len <= 2 || (lbd <= cfg.lbd_threshold && len <= cfg.max_shared_len));
+            len >= 1 && (len <= 2 || (lbd <= cfg.export_lbd.ceiling && len <= cfg.max_shared_len));
         if !eligible {
             return false;
         }
@@ -423,7 +506,7 @@ mod tests {
         let ctx = SharedContext::new(
             2,
             ExchangeConfig {
-                lbd_threshold: 3,
+                export_lbd: ExportLbd::fixed(3),
                 max_shared_len: 4,
                 capacity_per_lane: 8,
             },
@@ -438,6 +521,47 @@ mod tests {
         assert!(!h.eligible(5, 1));
         // Empty clauses are never exchanged.
         assert!(!h.eligible(0, 0));
+        // An adaptive lane's own (looser/tighter) threshold wins.
+        assert!(h.eligible_at(3, 4, 4));
+        assert!(!h.eligible_at(3, 3, 2));
+    }
+
+    #[test]
+    fn export_lbd_bounds_normalize() {
+        let b = ExportLbd {
+            floor: 3,
+            initial: 9,
+            ceiling: 6,
+        }
+        .normalized();
+        assert_eq!((b.floor, b.initial, b.ceiling), (3, 6, 6));
+        let f = ExportLbd::fixed(5);
+        assert_eq!((f.floor, f.initial, f.ceiling), (5, 5, 5));
+    }
+
+    #[test]
+    fn export_at_overrides_config_threshold() {
+        let ctx = SharedContext::new(
+            2,
+            ExchangeConfig {
+                export_lbd: ExportLbd {
+                    floor: 2,
+                    initial: 3,
+                    ceiling: 8,
+                },
+                ..ExchangeConfig::default()
+            },
+        );
+        let h = ctx.handle(0);
+        assert_eq!(h.export_bounds().ceiling, 8);
+        // LBD 5 fails the initial threshold but passes a loosened one.
+        let c = lits(&[1, 2, 3]);
+        assert!(!h.export(&c, 5, None));
+        assert!(h.export_at(&c, 5, None, 6));
+        let mut got = Vec::new();
+        ctx.handle(1).drain_into(&mut got);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].lbd, 5);
     }
 
     #[test]
@@ -528,7 +652,7 @@ mod tests {
         let (_ctx, remote) = SharedContext::with_bridge(
             1,
             ExchangeConfig {
-                lbd_threshold: 2,
+                export_lbd: ExportLbd::fixed(2),
                 max_shared_len: 4,
                 capacity_per_lane: 8,
             },

@@ -3,10 +3,13 @@
 //! Architecture follows MiniSat [Eén & Sörensson 2003] with the now-standard
 //! refinements the paper's solvers (Kissat/CaDiCaL) also build on:
 //!
-//! * two-watched-literal propagation with blocking literals,
+//! * clause storage in a flat arena ([`crate::arena`]): one contiguous
+//!   `u32` buffer, garbage-collected in place at `reduce_db` time,
+//! * two-watched-literal propagation with blocking literals over flat
+//!   per-literal watcher segments ([`crate::watch`]),
 //! * first-UIP conflict analysis with clause minimization,
 //! * exponential VSIDS variable activities with an indexed max-heap,
-//! * phase saving,
+//! * phase saving (word-packed, as are the analysis marks),
 //! * Luby-sequence restarts,
 //! * glue-(LBD-)aware learnt-clause database reduction,
 //! * incremental solving under assumptions, which the Fermihedral descent
@@ -14,15 +17,21 @@
 //!   rebuilding the formula,
 //! * pluggable restart schedules ([`crate::restart`]) — Luby by default,
 //!   geometric/fixed for portfolio diversity — and
-//! * learnt-clause exchange with portfolio peers ([`crate::shared`]):
-//!   eligible clauses are exported as they are learnt, and foreign
-//!   clauses are imported at solve-call starts and restart boundaries.
+//! * adaptive learnt-clause exchange with portfolio peers
+//!   ([`crate::shared`]): eligible clauses are exported as they are
+//!   learnt under a per-lane LBD threshold that the solver tightens or
+//!   loosens (Glucose-style) from the observed usefulness of what it
+//!   imports; foreign clauses are imported at solve-call starts and
+//!   restart boundaries.
 
+use crate::arena::{CRef, ClauseArena};
+use crate::bitset::BitSet;
 use crate::cnf::Cnf;
 use crate::heap::ActivityHeap;
 use crate::restart::{RestartPolicy, DEFAULT_RESTARTS};
-use crate::shared::{LaneHandle, SharedClause};
+use crate::shared::{ExportLbd, LaneHandle, SharedClause};
 use crate::types::{LBool, Lit, Var};
+use crate::watch::{WatchLists, Watcher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -62,17 +71,17 @@ impl SolveResult {
     }
 }
 
-/// A satisfying assignment.
+/// A satisfying assignment (word-packed, one bit per variable).
 #[derive(Debug, Clone)]
 pub struct Model {
-    values: Vec<bool>,
+    values: BitSet,
 }
 
 impl Model {
     /// Value of a variable (false for variables beyond the model, which can
     /// only be variables never mentioned in any clause).
     pub fn value(&self, v: Var) -> bool {
-        self.values.get(v.index()).copied().unwrap_or(false)
+        v.index() < self.values.len() && self.values.get(v.index())
     }
 
     /// Value of a literal under the model.
@@ -80,9 +89,9 @@ impl Model {
         l.eval(self.value(l.var()))
     }
 
-    /// The raw assignment, indexed by variable.
-    pub fn values(&self) -> &[bool] {
-        &self.values
+    /// The assignment unpacked into one `bool` per variable.
+    pub fn values(&self) -> Vec<bool> {
+        self.values.to_vec()
     }
 }
 
@@ -101,6 +110,8 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Learnt clauses deleted by database reductions.
     pub deleted_clauses: u64,
+    /// Learnt-clause database reductions (arena garbage collections).
+    pub db_reductions: u64,
     /// Learnt clauses exported to the clause exchange
     /// ([`Solver::set_clause_exchange`]).
     pub exported_clauses: u64,
@@ -110,34 +121,31 @@ pub struct SolverStats {
     /// once this solver's own bound caught up.
     pub promoted_clauses: u64,
     /// Times an *imported* clause became the reason of a propagation —
-    /// the per-lane usefulness signal adaptive exchange filtering needs
-    /// (a clause that never propagates was not worth shipping).
+    /// the per-lane usefulness signal the adaptive exchange filter feeds
+    /// on (a clause that never propagates was not worth shipping).
     pub imported_reasons: u64,
-}
-
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    /// Whether this clause arrived through the clause exchange (tracked so
-    /// propagation can count which imports actually fire as reasons).
-    imported: bool,
-    lbd: u32,
-    activity: f64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Watcher {
-    cref: u32,
-    blocker: Lit,
+    /// The current adaptive export-LBD threshold (0 when the solver was
+    /// never connected to an exchange).
+    pub adapted_export_lbd: u32,
 }
 
 const VAR_DECAY: f64 = 0.95;
-const CLAUSE_DECAY: f64 = 0.999;
+const CLAUSE_DECAY: f32 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
+/// Clause activities are f32 (they live in one arena word), so they
+/// rescale at a much lower ceiling than the f64 variable activities.
+const CLAUSE_RESCALE_LIMIT: f32 = 1e20;
 /// Imports deferred by their bound tag are parked here; beyond the cap the
 /// oldest are discarded (sharing is best-effort).
 const PENDING_IMPORT_CAP: usize = 4096;
+/// The adaptive export filter re-evaluates after this many fresh imports.
+const ADAPT_WINDOW: u64 = 16;
+/// Imported-clause usefulness (reasons per import) at or above which the
+/// export threshold loosens — peers' clauses are pulling their weight, so
+/// ship more of ours.
+const ADAPT_LOOSEN_RATE: f64 = 0.20;
+/// Usefulness below which the export threshold tightens.
+const ADAPT_TIGHTEN_RATE: f64 = 0.05;
 
 /// The CDCL solver.
 ///
@@ -161,12 +169,12 @@ const PENDING_IMPORT_CAP: usize = 4096;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<Watcher>>,
+    arena: ClauseArena,
+    watches: WatchLists,
 
     assign: Vec<LBool>,
     level: Vec<u32>,
-    reason: Vec<Option<u32>>,
+    reason: Vec<Option<CRef>>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -174,18 +182,22 @@ pub struct Solver {
     activity: Vec<f64>,
     var_inc: f64,
     heap: ActivityHeap,
-    saved_phase: Vec<bool>,
+    saved_phase: BitSet,
 
-    clause_inc: f64,
+    clause_inc: f32,
     max_learnts: f64,
 
-    seen: Vec<bool>,
+    seen: BitSet,
     unsat: bool,
 
     // Incremental clause-population counters (the database filter scans
     // they replace were O(db) per conflict).
     n_problem_clauses: usize,
     n_learnt_clauses: usize,
+
+    /// Reused simplification buffer for `add_clause` and the import path
+    /// (no per-clause allocation on either).
+    scratch: Vec<Lit>,
 
     stats: SolverStats,
     conflict_budget: Option<u64>,
@@ -198,6 +210,15 @@ pub struct Solver {
     shared: Option<LaneHandle>,
     bound_tag: Option<usize>,
     pending_imports: Vec<SharedClause>,
+
+    /// Bounds the adaptive export filter moves within.
+    export_lbd: ExportLbd,
+    /// The current (adapted) export-LBD threshold.
+    export_lbd_now: u32,
+    /// Import/reason counters at the last adaptation, so each window
+    /// judges only fresh traffic.
+    adapt_imports_mark: u64,
+    adapt_reasons_mark: u64,
 }
 
 impl Default for Solver {
@@ -209,9 +230,10 @@ impl Default for Solver {
 impl Solver {
     /// An empty solver.
     pub fn new() -> Solver {
+        let export_lbd = ExportLbd::default();
         Solver {
-            clauses: Vec::new(),
-            watches: Vec::new(),
+            arena: ClauseArena::new(),
+            watches: WatchLists::new(),
             assign: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -221,13 +243,14 @@ impl Solver {
             activity: Vec::new(),
             var_inc: 1.0,
             heap: ActivityHeap::new(),
-            saved_phase: Vec::new(),
+            saved_phase: BitSet::new(),
             clause_inc: 1.0,
             max_learnts: 0.0,
-            seen: Vec::new(),
+            seen: BitSet::new(),
             unsat: false,
             n_problem_clauses: 0,
             n_learnt_clauses: 0,
+            scratch: Vec::new(),
             stats: SolverStats::default(),
             conflict_budget: None,
             timeout: None,
@@ -238,6 +261,10 @@ impl Solver {
             shared: None,
             bound_tag: None,
             pending_imports: Vec::new(),
+            export_lbd,
+            export_lbd_now: export_lbd.initial,
+            adapt_imports_mark: 0,
+            adapt_reasons_mark: 0,
         }
     }
 
@@ -260,8 +287,7 @@ impl Solver {
         self.activity.push(0.0);
         self.saved_phase.push(false);
         self.seen.push(false);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        self.watches.grow_to(2 * self.assign.len());
         self.heap.grow(self.assign.len());
         v
     }
@@ -315,12 +341,37 @@ impl Solver {
     /// are exported as they are learnt, and foreign clauses are imported
     /// at every solve-call start and restart boundary. `None` disconnects.
     ///
+    /// Connecting adopts the context's [`ExportLbd`] bounds and resets the
+    /// adaptive threshold to their initial value (override with
+    /// [`set_export_lbd`](Self::set_export_lbd) afterwards).
+    ///
     /// All participating solvers must be loaded with the *same formula
     /// under the same variable numbering*; imported clauses join the
     /// learnt database (and are subject to its reduction policy).
     pub fn set_clause_exchange(&mut self, handle: Option<LaneHandle>) {
+        if let Some(h) = &handle {
+            self.set_export_lbd(h.export_bounds());
+        }
         self.shared = handle;
         self.pending_imports.clear();
+        self.adapt_imports_mark = self.stats.imported_clauses;
+        self.adapt_reasons_mark = self.stats.imported_reasons;
+    }
+
+    /// Sets the bounds the adaptive export filter moves within and resets
+    /// the current threshold to `bounds.initial`. Lanes diversify by
+    /// starting from different bounds; `ExportLbd::fixed(t)` pins the
+    /// threshold (disabling adaptation).
+    pub fn set_export_lbd(&mut self, bounds: ExportLbd) {
+        let b = bounds.normalized();
+        self.export_lbd = b;
+        self.export_lbd_now = b.initial;
+        self.stats.adapted_export_lbd = b.initial;
+    }
+
+    /// The current (adapted) export-LBD threshold.
+    pub fn adapted_export_lbd(&self) -> u32 {
+        self.export_lbd_now
     }
 
     /// Declares the assumption context for exported clauses: descent
@@ -368,11 +419,11 @@ impl Solver {
     /// workers genuinely different initial trajectories.
     pub fn randomize_phases(&mut self, seed: u64) {
         let mut state = scramble_seed(seed);
-        for ph in &mut self.saved_phase {
+        for v in 0..self.saved_phase.len() {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            *ph = state & 1 == 1;
+            self.saved_phase.set(v, state & 1 == 1);
         }
     }
 
@@ -397,7 +448,7 @@ impl Solver {
     /// the first solution search toward it.
     pub fn set_phase(&mut self, v: Var, phase: bool) {
         assert!(v.index() < self.num_vars(), "unallocated variable");
-        self.saved_phase[v.index()] = phase;
+        self.saved_phase.set(v.index(), phase);
     }
 
     /// Adds `amount` to a variable's branching activity. Combined with
@@ -421,42 +472,55 @@ impl Solver {
         if self.unsat {
             return;
         }
-        let mut c: Vec<Lit> = lits.into_iter().collect();
+        let mut c = std::mem::take(&mut self.scratch);
+        c.clear();
+        c.extend(lits);
         if let Some(max_var) = c.iter().map(|l| l.var().index()).max() {
             self.reserve_vars(max_var + 1);
         }
-        c.sort_unstable();
-        c.dedup();
-        // Tautology / root simplification.
-        let mut simplified = Vec::with_capacity(c.len());
-        for (i, &l) in c.iter().enumerate() {
-            if i + 1 < c.len() && c[i + 1] == !l {
-                return; // contains l and ¬l
-            }
-            match self.value(l) {
-                LBool::True => return,    // satisfied at root
-                LBool::False => continue, // drop root-false literal
-                LBool::Undef => simplified.push(l),
-            }
-        }
-        match simplified.len() {
-            0 => self.unsat = true,
-            1 => {
-                self.unchecked_enqueue(simplified[0], None);
-                if self.propagate().is_some() {
-                    self.unsat = true;
+        if !self.simplify_at_root(&mut c) {
+            match c.len() {
+                0 => self.unsat = true,
+                1 => {
+                    self.unchecked_enqueue(c[0], None);
+                    if self.propagate().is_some() {
+                        self.unsat = true;
+                    }
+                }
+                _ => {
+                    self.attach_clause(&c, false, false, 0, 0.0);
                 }
             }
-            _ => {
-                self.attach_clause(Clause {
-                    lits: simplified,
-                    learnt: false,
-                    imported: false,
-                    lbd: 0,
-                    activity: 0.0,
-                });
+        }
+        self.scratch = c;
+    }
+
+    /// Root-level clause simplification, in place: sorts, merges
+    /// duplicates, and drops root-false literals. Returns `true` when the
+    /// clause should be discarded entirely (tautology, or satisfied at
+    /// root). Both `add_clause` and the import path run their shared
+    /// scratch buffer through here.
+    fn simplify_at_root(&self, buf: &mut Vec<Lit>) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        buf.sort_unstable();
+        buf.dedup();
+        let mut keep = 0usize;
+        for i in 0..buf.len() {
+            let l = buf[i];
+            if i + 1 < buf.len() && buf[i + 1] == !l {
+                return true; // contains l and ¬l
+            }
+            match self.value(l) {
+                LBool::True => return true, // satisfied at root, forever
+                LBool::False => {}          // root-false literal drops out
+                LBool::Undef => {
+                    buf[keep] = l;
+                    keep += 1;
+                }
             }
         }
+        buf.truncate(keep);
+        false
     }
 
     /// Solves the formula with no assumptions.
@@ -495,7 +559,8 @@ impl Solver {
             return SolveResult::Unsat;
         }
         if self.max_learnts == 0.0 {
-            self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+            self.max_learnts =
+                ((self.n_problem_clauses + self.n_learnt_clauses) as f64 / 3.0).max(1000.0);
         }
 
         self.restart.reset();
@@ -560,14 +625,11 @@ impl Solver {
                     }
                     PickResult::AssumptionConflict => break SolveResult::Unsat,
                     PickResult::AllAssigned => {
-                        let values = self
-                            .assign
-                            .iter()
-                            .zip(&self.saved_phase)
-                            .map(|(a, &ph)| match a {
+                        let values = (0..self.assign.len())
+                            .map(|v| match self.assign[v] {
                                 LBool::True => true,
                                 LBool::False => false,
-                                LBool::Undef => ph,
+                                LBool::Undef => self.saved_phase.get(v),
                             })
                             .collect();
                         break SolveResult::Sat(Model { values });
@@ -610,6 +672,9 @@ impl Solver {
                 "conflicts_per_sec",
                 conflicts as f64 / elapsed.as_secs_f64().max(1e-9),
             );
+            if self.shared.is_some() {
+                span.attr("export_lbd", self.export_lbd_now as u64);
+            }
             if let Some(tag) = self.bound_tag {
                 span.attr("bound_tag", tag);
             }
@@ -633,26 +698,37 @@ impl Solver {
         self.n_learnt_clauses
     }
 
-    fn attach_clause(&mut self, clause: Clause) -> u32 {
-        debug_assert!(clause.lits.len() >= 2);
-        if clause.learnt {
+    fn attach_clause(
+        &mut self,
+        lits: &[Lit],
+        learnt: bool,
+        imported: bool,
+        lbd: u32,
+        activity: f32,
+    ) -> CRef {
+        debug_assert!(lits.len() >= 2);
+        if learnt {
             self.n_learnt_clauses += 1;
         } else {
             self.n_problem_clauses += 1;
         }
-        let cref = self.clauses.len() as u32;
-        let w0 = clause.lits[0];
-        let w1 = clause.lits[1];
-        self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
-        self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
-        self.clauses.push(clause);
+        let cref = self.arena.alloc(lits, learnt, imported, lbd);
+        if activity != 0.0 {
+            self.arena.set_activity(cref, activity);
+        }
+        let (w0, w1) = (lits[0], lits[1]);
+        self.watches
+            .push((!w0).code(), Watcher { cref, blocker: w1 });
+        self.watches
+            .push((!w1).code(), Watcher { cref, blocker: w0 });
         cref
     }
 
     // ----- clause exchange ----------------------------------------------
 
     /// Drains the exchange inbox (and the locally deferred backlog) into
-    /// the learnt database. Must be called at decision level 0.
+    /// the learnt database, then lets the adaptive export filter judge the
+    /// fresh traffic. Must be called at decision level 0.
     fn import_shared_clauses(&mut self) {
         if self.shared.is_none() && self.pending_imports.is_empty() {
             return;
@@ -671,6 +747,34 @@ impl Solver {
         for clause in fresh {
             self.integrate_import(clause, false);
         }
+        self.adapt_export_threshold();
+    }
+
+    /// Moves the export-LBD threshold one step within its bounds, judged
+    /// by how often the last window of imports actually propagated
+    /// (Glucose-style usefulness feedback): peers sending useful clauses
+    /// earn looser exports from us; useless traffic tightens them.
+    fn adapt_export_threshold(&mut self) {
+        let imports = self.stats.imported_clauses - self.adapt_imports_mark;
+        if imports < ADAPT_WINDOW {
+            return;
+        }
+        let reasons = self.stats.imported_reasons - self.adapt_reasons_mark;
+        let rate = reasons as f64 / imports as f64;
+        if rate >= ADAPT_LOOSEN_RATE {
+            self.export_lbd_now = self
+                .export_lbd_now
+                .saturating_add(1)
+                .min(self.export_lbd.ceiling);
+        } else if rate < ADAPT_TIGHTEN_RATE {
+            self.export_lbd_now = self
+                .export_lbd_now
+                .saturating_sub(1)
+                .max(self.export_lbd.floor);
+        }
+        self.adapt_imports_mark = self.stats.imported_clauses;
+        self.adapt_reasons_mark = self.stats.imported_reasons;
+        self.stats.adapted_export_lbd = self.export_lbd_now;
     }
 
     /// Files one foreign clause: defers it when its bound tag is looser
@@ -694,38 +798,23 @@ impl Solver {
         }
         // Root-level simplification (we are at decision level 0, so every
         // assigned variable is root-fixed).
-        let mut lits: Vec<Lit> = Vec::with_capacity(clause.lits.len());
-        for &l in &clause.lits {
-            match self.value(l) {
-                LBool::True => return,    // already satisfied forever
-                LBool::False => continue, // root-false literal drops out
-                LBool::Undef => lits.push(l),
+        let mut lits = std::mem::take(&mut self.scratch);
+        lits.clear();
+        lits.extend_from_slice(&clause.lits);
+        if !self.simplify_at_root(&mut lits) {
+            match lits.len() {
+                0 => self.unsat = true,
+                1 => self.unchecked_enqueue(lits[0], None),
+                _ => {
+                    self.attach_clause(&lits, true, true, clause.lbd, self.clause_inc);
+                }
+            }
+            self.stats.imported_clauses += 1;
+            if was_deferred {
+                self.stats.promoted_clauses += 1;
             }
         }
-        lits.sort_unstable();
-        lits.dedup();
-        for i in 0..lits.len().saturating_sub(1) {
-            if lits[i + 1] == !lits[i] {
-                return; // tautology (defensive; learnt clauses aren't)
-            }
-        }
-        match lits.len() {
-            0 => self.unsat = true,
-            1 => self.unchecked_enqueue(lits[0], None),
-            _ => {
-                self.attach_clause(Clause {
-                    lits,
-                    learnt: true,
-                    imported: true,
-                    lbd: clause.lbd,
-                    activity: self.clause_inc,
-                });
-            }
-        }
-        self.stats.imported_clauses += 1;
-        if was_deferred {
-            self.stats.promoted_clauses += 1;
-        }
+        self.scratch = lits;
     }
 
     /// Whether a clause derived under `tag` is admissible under our own
@@ -738,101 +827,119 @@ impl Solver {
         }
     }
 
-    /// Offers a freshly learnt clause to the exchange.
+    /// Offers a freshly learnt clause to the exchange, under the current
+    /// adaptive threshold.
     fn export_learnt(&mut self, lits: &[Lit], lbd: u32) {
         if let Some(handle) = &self.shared {
-            if handle.export(lits, lbd, self.bound_tag) {
+            if handle.export_at(lits, lbd, self.bound_tag, self.export_lbd_now) {
                 self.stats.exported_clauses += 1;
             }
         }
     }
 
-    fn unchecked_enqueue(&mut self, l: Lit, from: Option<u32>) {
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<CRef>) {
         debug_assert_eq!(self.value(l), LBool::Undef);
         let v = l.var().index();
         self.assign[v] = LBool::from_bool(l.is_positive());
         self.level[v] = self.decision_level() as u32;
         self.reason[v] = from;
-        self.saved_phase[v] = l.is_positive();
+        self.saved_phase.set(v, l.is_positive());
         self.trail.push(l);
     }
 
     /// Unit propagation; returns the conflicting clause reference if any.
-    fn propagate(&mut self) -> Option<u32> {
+    ///
+    /// Watcher lists are scanned by index with a kept-prefix compaction.
+    /// In-loop pushes only ever target *other* literals' segments (a
+    /// replacement watch is the negation of a non-false literal, and `!p`
+    /// is false), so `p`'s segment never moves under the scan.
+    fn propagate(&mut self) -> Option<CRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let pcode = p.code();
+            let false_lit = !p;
 
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let n = self.watches.len_of(pcode);
             let mut kept = 0usize;
             let mut i = 0usize;
             let mut conflict = None;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
+            'watchers: while i < n {
+                let w = self.watches.get(pcode, i);
                 i += 1;
                 // Fast path: blocker already true.
                 if self.value(w.blocker) == LBool::True {
-                    ws[kept] = w;
+                    self.watches.set(pcode, kept, w);
                     kept += 1;
                     continue;
                 }
-                let cref = w.cref as usize;
-                let false_lit = !p;
+                let cref = w.cref;
                 // Normalize: watched false literal at position 1.
-                if self.clauses[cref].lits[0] == false_lit {
-                    self.clauses[cref].lits.swap(0, 1);
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
                 }
-                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
-                let first = self.clauses[cref].lits[0];
+                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
+                let first = self.arena.lit(cref, 0);
                 if first != w.blocker && self.value(first) == LBool::True {
-                    ws[kept] = Watcher {
-                        cref: w.cref,
-                        blocker: first,
-                    };
+                    self.watches.set(
+                        pcode,
+                        kept,
+                        Watcher {
+                            cref,
+                            blocker: first,
+                        },
+                    );
                     kept += 1;
                     continue;
                 }
                 // Search replacement watch.
-                let len = self.clauses[cref].lits.len();
+                let len = self.arena.len(cref);
                 for k in 2..len {
-                    if self.value(self.clauses[cref].lits[k]) != LBool::False {
-                        self.clauses[cref].lits.swap(1, k);
-                        let new_watch = self.clauses[cref].lits[1];
-                        self.watches[(!new_watch).code()].push(Watcher {
-                            cref: w.cref,
-                            blocker: first,
-                        });
+                    if self.value(self.arena.lit(cref, k)) != LBool::False {
+                        self.arena.swap_lits(cref, 1, k);
+                        let new_watch = self.arena.lit(cref, 1);
+                        self.watches.push(
+                            (!new_watch).code(),
+                            Watcher {
+                                cref,
+                                blocker: first,
+                            },
+                        );
                         continue 'watchers;
                     }
                 }
                 // No replacement: unit or conflict.
-                ws[kept] = Watcher {
-                    cref: w.cref,
-                    blocker: first,
-                };
+                self.watches.set(
+                    pcode,
+                    kept,
+                    Watcher {
+                        cref,
+                        blocker: first,
+                    },
+                );
                 kept += 1;
                 if self.value(first) == LBool::False {
                     // Conflict: keep remaining watchers and bail out.
-                    while i < ws.len() {
-                        ws[kept] = ws[i];
+                    while i < n {
+                        let rest = self.watches.get(pcode, i);
+                        self.watches.set(pcode, kept, rest);
                         kept += 1;
                         i += 1;
                     }
                     self.qhead = self.trail.len();
-                    conflict = Some(w.cref);
+                    conflict = Some(cref);
                 } else {
-                    if self.clauses[cref].imported {
+                    if self.arena.is_imported(cref) {
                         self.stats.imported_reasons += 1;
                     }
-                    self.unchecked_enqueue(first, Some(w.cref));
+                    self.unchecked_enqueue(first, Some(cref));
                 }
                 if conflict.is_some() {
                     break;
                 }
             }
-            ws.truncate(kept);
-            self.watches[p.code()] = ws;
+            self.watches.truncate(pcode, kept);
             if conflict.is_some() {
                 return conflict;
             }
@@ -842,12 +949,12 @@ impl Solver {
 
     /// First-UIP conflict analysis. Returns (learnt clause with asserting
     /// literal first, backtrack level, LBD).
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize, u32) {
+    fn analyze(&mut self, confl: CRef) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = Vec::with_capacity(8);
         let mut to_clear: Vec<usize> = Vec::new();
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
-        let mut confl = confl as usize;
+        let mut confl = confl;
         let mut index = self.trail.len();
         let current_level = self.decision_level() as u32;
 
@@ -855,11 +962,11 @@ impl Solver {
             {
                 self.bump_clause(confl);
                 let start = usize::from(p.is_some());
-                for pos in start..self.clauses[confl].lits.len() {
-                    let q = self.clauses[confl].lits[pos];
+                for pos in start..self.arena.len(confl) {
+                    let q = self.arena.lit(confl, pos);
                     let v = q.var().index();
-                    if !self.seen[v] && self.level[v] > 0 {
-                        self.seen[v] = true;
+                    if !self.seen.get(v) && self.level[v] > 0 {
+                        self.seen.set(v, true);
                         to_clear.push(v);
                         self.bump_var(v);
                         if self.level[v] >= current_level {
@@ -873,18 +980,18 @@ impl Solver {
             // Walk the trail backwards to the next marked literal.
             loop {
                 index -= 1;
-                if self.seen[self.trail[index].var().index()] {
+                if self.seen.get(self.trail[index].var().index()) {
                     break;
                 }
             }
             let pl = self.trail[index];
-            self.seen[pl.var().index()] = false;
+            self.seen.set(pl.var().index(), false);
             counter -= 1;
             p = Some(pl);
             if counter == 0 {
                 break;
             }
-            confl = self.reason[pl.var().index()].expect("non-decision has a reason") as usize;
+            confl = self.reason[pl.var().index()].expect("non-decision has a reason");
         }
         let uip = !p.expect("conflict analysis found a UIP");
 
@@ -899,7 +1006,7 @@ impl Solver {
         clause.extend(minimized);
 
         for v in to_clear {
-            self.seen[v] = false;
+            self.seen.set(v, false);
         }
 
         // Backtrack level: highest level among non-UIP literals.
@@ -932,10 +1039,9 @@ impl Solver {
         let Some(r) = self.reason[v] else {
             return false;
         };
-        let clause = &self.clauses[r as usize];
-        clause.lits.iter().skip(1).all(|&l| {
+        self.arena.lits(r).skip(1).all(|l| {
             let lv = l.var().index();
-            self.level[lv] == 0 || self.seen[lv]
+            self.level[lv] == 0 || self.seen.get(lv)
         })
     }
 
@@ -950,13 +1056,7 @@ impl Solver {
             return;
         }
         let asserting = clause[0];
-        let cref = self.attach_clause(Clause {
-            lits: clause,
-            learnt: true,
-            imported: false,
-            lbd,
-            activity: self.clause_inc,
-        });
+        let cref = self.attach_clause(&clause, true, false, lbd, self.clause_inc);
         self.unchecked_enqueue(asserting, Some(cref));
     }
 
@@ -990,17 +1090,15 @@ impl Solver {
         self.heap.update(v, &self.activity);
     }
 
-    fn bump_clause(&mut self, cref: usize) {
-        let c = &mut self.clauses[cref];
-        if !c.learnt {
+    fn bump_clause(&mut self, cref: CRef) {
+        if !self.arena.is_learnt(cref) {
             return;
         }
-        c.activity += self.clause_inc;
-        if c.activity > RESCALE_LIMIT {
-            for cl in &mut self.clauses {
-                cl.activity *= 1.0 / RESCALE_LIMIT;
-            }
-            self.clause_inc *= 1.0 / RESCALE_LIMIT;
+        let a = self.arena.activity(cref) + self.clause_inc;
+        self.arena.set_activity(cref, a);
+        if a > CLAUSE_RESCALE_LIMIT {
+            self.arena.scale_activities(1.0 / CLAUSE_RESCALE_LIMIT);
+            self.clause_inc /= CLAUSE_RESCALE_LIMIT;
         }
     }
 
@@ -1010,68 +1108,50 @@ impl Solver {
     }
 
     /// Deletes roughly half of the learnt clauses, preferring high-LBD,
-    /// low-activity ones. Clauses that are reasons for current assignments
-    /// are kept.
+    /// low-activity ones, then compacts the arena in place and remaps
+    /// every outstanding reference (reasons and watchers). Clauses that
+    /// are reasons for current assignments are kept.
     fn reduce_db(&mut self) {
+        self.stats.db_reductions += 1;
         self.max_learnts *= 1.15;
 
-        // Rank learnt clauses.
-        let mut ranked: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| self.clauses[i].learnt && self.clauses[i].lits.len() > 2)
+        // Rank learnt clauses (binaries are kept unconditionally).
+        let mut ranked: Vec<CRef> = self
+            .arena
+            .iter()
+            .filter(|&c| self.arena.is_learnt(c) && self.arena.len(c) > 2)
             .collect();
         ranked.sort_by(|&a, &b| {
-            let ca = &self.clauses[a];
-            let cb = &self.clauses[b];
-            ca.lbd
-                .cmp(&cb.lbd)
-                .then(cb.activity.partial_cmp(&ca.activity).unwrap())
+            self.arena.lbd(a).cmp(&self.arena.lbd(b)).then(
+                self.arena
+                    .activity(b)
+                    .partial_cmp(&self.arena.activity(a))
+                    .unwrap(),
+            )
         });
         let keep_from_ranked = ranked.len() / 2;
-        let mut drop_flags = vec![false; self.clauses.len()];
-        for &i in ranked.iter().skip(keep_from_ranked) {
-            if !self.is_locked(i) {
-                drop_flags[i] = true;
+        for &c in ranked.iter().skip(keep_from_ranked) {
+            if !self.is_locked(c) {
+                self.arena.mark_dead(c);
                 self.stats.deleted_clauses += 1;
                 self.n_learnt_clauses -= 1;
             }
         }
 
-        // Compact, remapping references.
-        let mut remap: Vec<u32> = vec![u32::MAX; self.clauses.len()];
-        let mut new_clauses = Vec::with_capacity(self.clauses.len());
-        for (i, c) in self.clauses.drain(..).enumerate() {
-            if !drop_flags[i] {
-                remap[i] = new_clauses.len() as u32;
-                new_clauses.push(c);
-            }
-        }
-        self.clauses = new_clauses;
+        // Compact the arena and remap references through the GC map.
+        let map = self.arena.collect();
         for r in self.reason.iter_mut() {
             if let Some(old) = *r {
-                *r = Some(remap[old as usize]);
-                debug_assert_ne!(remap[old as usize], u32::MAX, "reason clause deleted");
+                *r = Some(map.lookup(old).expect("reason clause survived collection"));
             }
         }
-        // Rebuild watches.
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for (i, c) in self.clauses.iter().enumerate() {
-            let (w0, w1) = (c.lits[0], c.lits[1]);
-            self.watches[(!w0).code()].push(Watcher {
-                cref: i as u32,
-                blocker: w1,
-            });
-            self.watches[(!w1).code()].push(Watcher {
-                cref: i as u32,
-                blocker: w0,
-            });
-        }
+        self.watches.retain_map(|c| map.lookup(c));
+        self.watches.rebuild();
     }
 
-    fn is_locked(&self, cref: usize) -> bool {
-        let first = self.clauses[cref].lits[0];
-        self.value(first) == LBool::True && self.reason[first.var().index()] == Some(cref as u32)
+    fn is_locked(&self, cref: CRef) -> bool {
+        let first = self.arena.lit(cref, 0);
+        self.value(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
     }
 
     fn pick_next(&mut self, assumptions: &[Lit]) -> PickResult {
@@ -1092,7 +1172,7 @@ impl Solver {
                 for _ in 0..8 {
                     let v = (self.next_random() % self.assign.len() as u64) as usize;
                     if self.assign[v] == LBool::Undef {
-                        return PickResult::Decision(Var::new(v).lit(self.saved_phase[v]));
+                        return PickResult::Decision(Var::new(v).lit(self.saved_phase.get(v)));
                     }
                 }
                 // All eight draws hit assigned variables; fall through to
@@ -1102,7 +1182,7 @@ impl Solver {
         // Heuristic decision.
         while let Some(v) = self.heap.pop(&self.activity) {
             if self.assign[v] == LBool::Undef {
-                return PickResult::Decision(Var::new(v).lit(self.saved_phase[v]));
+                return PickResult::Decision(Var::new(v).lit(self.saved_phase.get(v)));
             }
         }
         // Nothing left in the heap: confirm all variables assigned.
@@ -1117,9 +1197,75 @@ impl Solver {
                 .heap
                 .pop(&self.activity)
                 .expect("unassigned variable exists");
-            return PickResult::Decision(Var::new(v).lit(self.saved_phase[v]));
+            return PickResult::Decision(Var::new(v).lit(self.saved_phase.get(v)));
         }
         PickResult::AllAssigned
+    }
+
+    // ----- test-only inspection -----------------------------------------
+
+    /// Test hook: pins the reduce-db trigger low to force collections.
+    #[cfg(test)]
+    fn set_max_learnts_for_test(&mut self, v: f64) {
+        self.max_learnts = v;
+    }
+
+    /// Test hook: recounts the database by a full arena scan, to check the
+    /// incremental counters against.
+    #[cfg(test)]
+    fn db_counts_by_scan(&self) -> (usize, usize) {
+        let mut problem = 0;
+        let mut learnt = 0;
+        for c in self.arena.iter() {
+            if self.arena.is_learnt(c) {
+                learnt += 1;
+            } else {
+                problem += 1;
+            }
+        }
+        (problem, learnt)
+    }
+
+    /// Test hook: asserts the cross-structure invariants that arena GC
+    /// must preserve — every watcher and reason references a live clause,
+    /// watch lists sit on the negations of the first two literals, and
+    /// every clause is watched exactly twice.
+    #[cfg(test)]
+    fn check_integrity(&self) {
+        use std::collections::HashMap;
+        assert_eq!(self.decision_level(), 0, "integrity checks run at root");
+        let mut live: HashMap<CRef, (Lit, Lit)> = HashMap::new();
+        for c in self.arena.iter() {
+            assert!(self.arena.len(c) >= 2, "arena clause too short");
+            for l in self.arena.lits(c) {
+                assert!(l.var().index() < self.num_vars(), "literal out of range");
+            }
+            live.insert(c, (self.arena.lit(c, 0), self.arena.lit(c, 1)));
+        }
+        let mut watch_count: HashMap<CRef, usize> = HashMap::new();
+        for code in 0..self.watches.num_lits() {
+            let watched = !Lit::from_code(code);
+            for w in self.watches.iter_list(code) {
+                let (w0, w1) = *live.get(&w.cref).expect("watcher references a live clause");
+                assert!(
+                    watched == w0 || watched == w1,
+                    "watch list holds a non-watched literal"
+                );
+                *watch_count.entry(w.cref).or_default() += 1;
+            }
+        }
+        for &c in live.keys() {
+            assert_eq!(
+                watch_count.get(&c).copied().unwrap_or(0),
+                2,
+                "clause must be watched exactly twice"
+            );
+        }
+        for r in &self.reason {
+            if let Some(c) = *r {
+                assert!(live.contains_key(&c), "reason references a dead clause");
+            }
+        }
     }
 }
 
@@ -1240,7 +1386,7 @@ mod tests {
         let SolveResult::Sat(m) = Solver::from_cnf(&cnf).solve() else {
             panic!()
         };
-        assert!(cnf.eval(m.values()));
+        assert!(cnf.eval(&m.values()));
     }
 
     #[test]
@@ -1301,7 +1447,7 @@ mod tests {
             });
             match result {
                 SolveResult::Sat(m) => {
-                    assert!(cnf.eval(m.values()), "round {round}: bad model");
+                    assert!(cnf.eval(&m.values()), "round {round}: bad model");
                     assert!(brute, "round {round}: solver SAT but brute UNSAT");
                 }
                 SolveResult::Unsat => assert!(!brute, "round {round}: solver UNSAT but brute SAT"),
@@ -1328,7 +1474,7 @@ mod tests {
         }
         let mut s = Solver::from_cnf(&cnf);
         if let SolveResult::Sat(m) = s.solve() {
-            assert!(cnf.eval(m.values()));
+            assert!(cnf.eval(&m.values()));
         }
         // Either answer is legitimate; soundness is what we checked above.
     }
@@ -1413,7 +1559,7 @@ mod tests {
             s.randomize_phases(round as u64 + 99);
             match s.solve() {
                 SolveResult::Sat(m) => {
-                    assert!(cnf.eval(m.values()), "round {round}: bad model");
+                    assert!(cnf.eval(&m.values()), "round {round}: bad model");
                     assert!(brute, "round {round}: solver SAT but brute UNSAT");
                 }
                 SolveResult::Unsat => assert!(!brute, "round {round}: solver UNSAT but brute SAT"),
@@ -1444,10 +1590,7 @@ mod tests {
             s.set_random_branch(0.9);
             s.randomize_phases(seed);
             let result = s.solve();
-            (
-                result.model().map(|m| m.values().to_vec()),
-                s.stats().decisions,
-            )
+            (result.model().map(|m| m.values()), s.stats().decisions)
         };
         // Seeds 2 and 3 specifically: a naive `seed | 1` state fix-up
         // aliases this adjacent even/odd pair onto one stream.
@@ -1458,14 +1601,13 @@ mod tests {
 
     #[test]
     fn clause_counters_stay_incremental() {
-        // num_clauses/learnt_count must match a full database scan after
-        // heavy learning and reductions (they are now O(1) counters).
+        // num_clauses/learnt_count must match a full arena scan after
+        // heavy learning and reductions (they are O(1) counters).
         let cnf = pigeonhole(7, 6);
         let mut s = Solver::from_cnf(&cnf);
         assert_eq!(s.num_clauses(), cnf.num_clauses());
         assert!(s.solve().is_unsat());
-        let problem = s.clauses.iter().filter(|c| !c.learnt).count();
-        let learnt = s.clauses.iter().filter(|c| c.learnt).count();
+        let (problem, learnt) = s.db_counts_by_scan();
         assert_eq!(s.num_clauses(), problem);
         assert_eq!(s.learnt_count(), learnt);
     }
@@ -1486,6 +1628,125 @@ mod tests {
         if fixed.stats().conflicts >= 16 {
             assert!(fixed.stats().restarts > geo.stats().restarts);
         }
+    }
+
+    #[test]
+    fn gc_compaction_keeps_watchers_and_reasons_consistent() {
+        // Force many arena collections on a conflict-heavy instance and
+        // re-check the cross-structure invariants after every chunk: every
+        // reason and watcher must survive each sliding compaction remap.
+        let cnf = pigeonhole(7, 6);
+        let mut s = Solver::from_cnf(&cnf);
+        s.set_max_learnts_for_test(40.0);
+        s.set_conflict_budget(Some(500));
+        let mut verdict = None;
+        for _ in 0..1000 {
+            match s.solve() {
+                SolveResult::Unknown => s.check_integrity(),
+                SolveResult::Unsat => {
+                    verdict = Some(());
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(verdict.is_some(), "PHP(7,6) must be refuted");
+        s.check_integrity();
+        assert!(
+            s.stats().db_reductions >= 2,
+            "test must exercise repeated collections, got {}",
+            s.stats().db_reductions
+        );
+    }
+
+    #[test]
+    fn adaptive_export_threshold_moves_within_bounds() {
+        use crate::shared::{ExchangeConfig, SharedContext};
+        let cfg = ExchangeConfig {
+            export_lbd: ExportLbd {
+                floor: 1,
+                initial: 3,
+                ceiling: 6,
+            },
+            ..ExchangeConfig::default()
+        };
+
+        // Tightening: imports that never propagate. Each foreign binary
+        // contains the root-false literal ¬x1, so it simplifies to a root
+        // unit on arrival — counted as an import, enqueued without a
+        // clause reference, and therefore never an imported *reason*.
+        let ctx = SharedContext::new(2, cfg);
+        let h0 = ctx.handle(0);
+        let mut s = Solver::new();
+        s.reserve_vars(60);
+        s.add_clause([lit(1)]);
+        s.set_clause_exchange(Some(ctx.handle(1)));
+        assert_eq!(s.adapted_export_lbd(), 3, "starts at the initial bound");
+        let mut next_var = 2i64;
+        let mut useless_batch = |s: &mut Solver| {
+            for _ in 0..16 {
+                assert!(h0.export(&[lit(-1), lit(next_var)], 2, None));
+                next_var += 1;
+            }
+            assert!(s.solve().is_sat());
+        };
+        useless_batch(&mut s);
+        assert_eq!(s.adapted_export_lbd(), 2, "useless imports tighten");
+        useless_batch(&mut s);
+        assert_eq!(s.adapted_export_lbd(), 1);
+        useless_batch(&mut s);
+        assert_eq!(s.adapted_export_lbd(), 1, "clamped at the floor");
+        assert_eq!(s.stats().adapted_export_lbd, 1);
+
+        // Loosening: imports that fire as reasons. Under the assumption
+        // x1, every imported binary ¬x1 ∨ b_k propagates b_k with the
+        // imported clause as reason, so each window sees a high
+        // usefulness rate once the previous batch has propagated.
+        let ctx = SharedContext::new(2, cfg);
+        let h0 = ctx.handle(0);
+        let mut s = Solver::new();
+        s.reserve_vars(120);
+        s.set_clause_exchange(Some(ctx.handle(1)));
+        let mut next_var = 2i64;
+        let mut useful_batch = |s: &mut Solver| {
+            for _ in 0..16 {
+                assert!(h0.export(&[lit(-1), lit(next_var)], 2, None));
+                next_var += 1;
+            }
+            assert!(s.solve_with_assumptions(&[lit(1)]).is_sat());
+            s.adapted_export_lbd()
+        };
+        // The first batch adapts before anything has propagated (rate 0),
+        // tightening once; from then on every window is all-useful.
+        assert_eq!(useful_batch(&mut s), 2);
+        assert_eq!(useful_batch(&mut s), 3, "useful imports loosen");
+        assert_eq!(useful_batch(&mut s), 4);
+        assert_eq!(useful_batch(&mut s), 5);
+        assert_eq!(useful_batch(&mut s), 6);
+        assert_eq!(useful_batch(&mut s), 6, "clamped at the ceiling");
+        assert_eq!(s.stats().adapted_export_lbd, 6);
+    }
+
+    #[test]
+    fn pinned_export_lbd_never_moves() {
+        use crate::shared::{ExchangeConfig, SharedContext};
+        let ctx = SharedContext::new(
+            2,
+            ExchangeConfig {
+                export_lbd: ExportLbd::fixed(4),
+                ..ExchangeConfig::default()
+            },
+        );
+        let h0 = ctx.handle(0);
+        let mut s = Solver::new();
+        s.reserve_vars(40);
+        s.add_clause([lit(1)]);
+        s.set_clause_exchange(Some(ctx.handle(1)));
+        for k in 2..=33i64 {
+            assert!(h0.export(&[lit(-1), lit(k)], 2, None));
+        }
+        assert!(s.solve().is_sat());
+        assert_eq!(s.adapted_export_lbd(), 4, "fixed bounds pin the filter");
     }
 
     #[test]
@@ -1561,7 +1822,7 @@ mod tests {
         let ctx = SharedContext::new(
             2,
             ExchangeConfig {
-                lbd_threshold: u32::MAX,
+                export_lbd: ExportLbd::fixed(u32::MAX),
                 max_shared_len: usize::MAX,
                 capacity_per_lane: 1 << 14,
             },
@@ -1604,7 +1865,7 @@ mod tests {
             // Share everything: no LBD/length filter, aggressive restarts
             // so the exporter drains/learns at every opportunity.
             let ctx = SharedContext::new(2, ExchangeConfig {
-                lbd_threshold: u32::MAX,
+                export_lbd: ExportLbd::fixed(u32::MAX),
                 max_shared_len: usize::MAX,
                 capacity_per_lane: 4096,
             });
@@ -1619,7 +1880,7 @@ mod tests {
             for (label, verdict) in [("exporter", &exporter_verdict), ("importer", &importer_verdict)] {
                 match (verdict, &solo) {
                     (SolveResult::Sat(m), SolveResult::Sat(_)) => {
-                        prop_assert!(cnf.eval(m.values()), "{label}: bad model");
+                        prop_assert!(cnf.eval(&m.values()), "{label}: bad model");
                     }
                     (SolveResult::Unsat, SolveResult::Unsat) => {}
                     other => prop_assert!(false, "{label}: verdict mismatch {other:?}"),
@@ -1648,13 +1909,51 @@ mod tests {
             });
             match result {
                 SolveResult::Sat(m) => {
-                    prop_assert!(cnf.eval(m.values()));
+                    prop_assert!(cnf.eval(&m.values()));
                     prop_assert!(brute);
                 }
                 SolveResult::Unsat => prop_assert!(!brute),
                 SolveResult::Unknown | SolveResult::Interrupted => {
                     prop_assert!(false, "unexpected Unknown/Interrupted")
                 }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        // Differential test of the arena under constant GC pressure: with
+        // the reduce-db trigger pinned near zero and aggressive restarts,
+        // the solver collects the arena many times per solve, and must
+        // still agree with brute force (and keep its references intact).
+        #[test]
+        fn prop_arena_gc_preserves_verdicts(
+            nvars in 4usize..11,
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((0usize..11, any::<bool>()), 1..4), 5..60)
+        ) {
+            use crate::restart::FixedRestarts;
+            let mut cnf = Cnf::new();
+            cnf.new_vars(nvars);
+            for c in &clauses {
+                cnf.add_clause(c.iter().map(|&(v, pol)| Var::new(v % nvars).lit(pol)));
+            }
+            let mut s = Solver::from_cnf(&cnf);
+            s.set_max_learnts_for_test(4.0);
+            s.set_restart_policy(Box::new(FixedRestarts::new(4)));
+            let result = s.solve();
+            s.check_integrity();
+            let brute = (0u64..1 << nvars).any(|mask| {
+                let assignment: Vec<bool> = (0..nvars).map(|i| mask >> i & 1 == 1).collect();
+                cnf.eval(&assignment)
+            });
+            match result {
+                SolveResult::Sat(m) => {
+                    prop_assert!(cnf.eval(&m.values()), "bad model under GC pressure");
+                    prop_assert!(brute);
+                }
+                SolveResult::Unsat => prop_assert!(!brute, "false UNSAT under GC pressure"),
+                other => prop_assert!(false, "unexpected {other:?}"),
             }
         }
     }

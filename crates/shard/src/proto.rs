@@ -16,7 +16,7 @@ use engine::{ClauseSharing, EngineConfig, Strategy, WorkerReport};
 use fermihedral::{AnnealConfig, EncodingProblem};
 use jsonkit::{obj, Value};
 use pauli::PauliString;
-use sat::{ExchangeConfig, RestartPolicyKind};
+use sat::{ExchangeConfig, ExportLbd, RestartPolicyKind};
 use std::time::Duration;
 
 /// A work assignment for one shard: the problem, this shard's lanes, and
@@ -100,8 +100,16 @@ impl Job {
                 obj([
                     ("enabled", Value::Bool(self.clause_sharing.enabled)),
                     (
-                        "lbd_threshold",
-                        Value::Num(self.clause_sharing.exchange.lbd_threshold as f64),
+                        "export_lbd_floor",
+                        Value::Num(self.clause_sharing.exchange.export_lbd.floor as f64),
+                    ),
+                    (
+                        "export_lbd_initial",
+                        Value::Num(self.clause_sharing.exchange.export_lbd.initial as f64),
+                    ),
+                    (
+                        "export_lbd_ceiling",
+                        Value::Num(self.clause_sharing.exchange.export_lbd.ceiling as f64),
                     ),
                     (
                         "max_shared_len",
@@ -194,7 +202,11 @@ impl Job {
                     .and_then(Value::as_bool)
                     .ok_or("clause_sharing field \"enabled\" missing")?,
                 exchange: ExchangeConfig {
-                    lbd_threshold: sharing_usize("lbd_threshold")? as u32,
+                    export_lbd: ExportLbd {
+                        floor: sharing_usize("export_lbd_floor")? as u32,
+                        initial: sharing_usize("export_lbd_initial")? as u32,
+                        ceiling: sharing_usize("export_lbd_ceiling")? as u32,
+                    },
                     max_shared_len: sharing_usize("max_shared_len")?,
                     capacity_per_lane: sharing_usize("capacity_per_lane")?,
                 },
@@ -418,12 +430,16 @@ fn strategy_json(strategy: &Strategy) -> Value {
             random_branch,
             bk_phase_hint,
             restart,
+            export_lbd,
         } => obj([
             ("kind", Value::Str("sat-descent".into())),
             ("seed", u64_json(*seed)),
             ("random_branch", Value::Num(*random_branch)),
             ("bk_phase_hint", Value::Bool(*bk_phase_hint)),
             ("restart", restart_json(*restart)),
+            ("export_lbd_floor", Value::Num(export_lbd.floor as f64)),
+            ("export_lbd_initial", Value::Num(export_lbd.initial as f64)),
+            ("export_lbd_ceiling", Value::Num(export_lbd.ceiling as f64)),
         ]),
         Strategy::Anneal { base, schedule } => obj([
             ("kind", Value::Str("anneal".into())),
@@ -462,6 +478,22 @@ fn strategy_from_json(doc: &Value) -> Result<Strategy, String> {
                 .and_then(Value::as_bool)
                 .ok_or("strategy \"bk_phase_hint\" missing")?,
             restart: restart_from_json(doc.get("restart").ok_or("strategy \"restart\" missing")?)?,
+            export_lbd: {
+                // Tolerant: jobs written before adaptive export bounds
+                // existed fall back to the solver default.
+                let d = ExportLbd::default();
+                let bound = |name: &str, fallback: u32| {
+                    doc.get(name)
+                        .and_then(Value::as_usize)
+                        .map_or(fallback, |v| v as u32)
+                };
+                ExportLbd {
+                    floor: bound("export_lbd_floor", d.floor),
+                    initial: bound("export_lbd_initial", d.initial),
+                    ceiling: bound("export_lbd_ceiling", d.ceiling),
+                }
+                .normalized()
+            },
         }),
         Some("anneal") => Ok(Strategy::Anneal {
             base: baseline_from_name(
@@ -521,6 +553,11 @@ mod tests {
                     restart: RestartPolicyKind::Geometric {
                         initial: 100,
                         factor: 1.5,
+                    },
+                    export_lbd: ExportLbd {
+                        floor: 2,
+                        initial: 5,
+                        ceiling: 9,
                     },
                 },
                 Strategy::Anneal {
