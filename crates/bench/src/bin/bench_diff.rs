@@ -1,0 +1,304 @@
+//! **CI regression sentinel** — diffs a fresh `BENCH_engine.json`
+//! against the committed baseline and validates structured JSON log
+//! lines against the sink schema.
+//!
+//! Two independent checks, combinable in one invocation:
+//!
+//! * `--baseline OLD.json --fresh NEW.json` compares the deterministic
+//!   `descent-n4-gate` cell (the seed-1 single SAT-descent lane at N=4 —
+//!   bit-reproducible conflict count, so conflicts-per-second is the
+//!   cleanest cross-commit throughput signal). Fails when the fresh run
+//!   lost the optimality certificate, changed the certified weight, or
+//!   regressed conflicts/sec by more than `--max-regress` (default 0.25).
+//! * `--logs LOG.jsonl` parses every line of a JSON-sink capture
+//!   (`FERMIHEDRAL_LOG=... --log-json 2> LOG.jsonl`) and validates it
+//!   against the log schema: `ts`, `ts_us`, `level`, `target`, `msg`,
+//!   `pid`, `tid` always present with the right types; `span` and
+//!   `fields` optional but typed when present.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff --baseline BENCH_engine.json --fresh /tmp/fresh.json
+//! bench_diff --logs serve.jsonl
+//! bench_diff --baseline a.json --fresh b.json --logs serve.jsonl --max-regress 0.30
+//! ```
+//!
+//! Exits 0 when every requested check passes, 1 with a line per failure
+//! otherwise.
+
+use fermihedral_bench::args::Args;
+use jsonkit::Value;
+
+const GATE_CELL: &str = "descent-n4-gate";
+
+/// Extracts the gate cell from a parsed `BENCH_engine.json` document.
+fn gate_cell(doc: &Value) -> Result<&Value, String> {
+    doc.get("cells")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "no `cells` array".to_string())?
+        .iter()
+        .find(|c| c.get("strategy").and_then(Value::as_str) == Some(GATE_CELL))
+        .ok_or_else(|| format!("no `{GATE_CELL}` cell — regenerate the file with engine_portfolio"))
+}
+
+/// Compares the fresh gate cell against the baseline one. Returns the
+/// list of regressions (empty = pass).
+fn diff_gate(baseline: &Value, fresh: &Value, max_regress: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let (base, new) = match (gate_cell(baseline), gate_cell(fresh)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (b, n) => {
+            if let Err(e) = b {
+                failures.push(format!("baseline: {e}"));
+            }
+            if let Err(e) = n {
+                failures.push(format!("fresh: {e}"));
+            }
+            return failures;
+        }
+    };
+
+    let optimal = |c: &Value| c.get("optimal").and_then(Value::as_bool).unwrap_or(false);
+    if optimal(base) && !optimal(new) {
+        failures.push(format!(
+            "{GATE_CELL}: lost the optimality certificate (baseline had it)"
+        ));
+    }
+    let weight = |c: &Value| c.get("weight").and_then(Value::as_usize);
+    if optimal(base) && optimal(new) && weight(base) != weight(new) {
+        failures.push(format!(
+            "{GATE_CELL}: certified weight changed {:?} -> {:?}",
+            weight(base),
+            weight(new)
+        ));
+    }
+    let cps = |c: &Value| c.get("conflicts_per_sec").and_then(Value::as_f64);
+    match (cps(base), cps(new)) {
+        (Some(b), Some(n)) if b > 0.0 => {
+            let floor = b * (1.0 - max_regress);
+            if n < floor {
+                failures.push(format!(
+                    "{GATE_CELL}: {n:.0} conflicts/s is a {:.0}% regression from the \
+                     baseline's {b:.0} (floor {floor:.0} at --max-regress {max_regress})",
+                    (1.0 - n / b) * 100.0
+                ));
+            }
+        }
+        (Some(_), Some(_)) => {} // degenerate zero baseline: nothing to gate on
+        (b, n) => failures.push(format!(
+            "{GATE_CELL}: conflicts_per_sec missing (baseline {b:?}, fresh {n:?})"
+        )),
+    }
+    failures
+}
+
+/// Validates one JSON-sink log line against the schema documented on
+/// `telemetry::log::format_json_line`.
+fn validate_log_line(line: &str) -> Result<(), String> {
+    let doc = jsonkit::parse(line).map_err(|_| "not valid JSON".to_string())?;
+    for key in ["ts", "level", "target", "msg"] {
+        let value = doc
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("`{key}` missing or not a string"))?;
+        if key != "msg" && value.is_empty() {
+            return Err(format!("`{key}` is empty"));
+        }
+    }
+    let ts = doc.get("ts").and_then(Value::as_str).unwrap_or_default();
+    if !ts.ends_with('Z') || !ts.contains('T') {
+        return Err(format!("`ts` is not RFC 3339 UTC: {ts:?}"));
+    }
+    let level = doc.get("level").and_then(Value::as_str).unwrap_or_default();
+    if !["trace", "debug", "info", "warn", "error"].contains(&level) {
+        return Err(format!("unknown `level` {level:?}"));
+    }
+    for key in ["ts_us", "pid", "tid"] {
+        if doc.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("`{key}` missing or not a number"));
+        }
+    }
+    if let Some(span) = doc.get("span") {
+        if span.as_f64().is_none() {
+            return Err("`span` present but not a number".to_string());
+        }
+    }
+    if let Some(fields) = doc.get("fields") {
+        match fields {
+            Value::Obj(kv) if !kv.is_empty() => {}
+            _ => return Err("`fields` present but not a nonempty object".to_string()),
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole capture; returns per-line failures (1-indexed).
+fn validate_log_file(text: &str) -> Vec<String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .filter_map(|(i, line)| {
+            validate_log_line(line)
+                .err()
+                .map(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+fn read_json(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    jsonkit::parse(&text).map_err(|e| format!("{path}: not valid JSON ({e:?})"))
+}
+
+fn main() {
+    let args = Args::parse(&["baseline", "fresh", "logs", "max-regress"]);
+    let max_regress = args.get_f64("max-regress", 0.25);
+    let mut failures: Vec<String> = Vec::new();
+    let mut checks = 0usize;
+
+    if let (Some(baseline), Some(fresh)) = (args.get_str("baseline"), args.get_str("fresh")) {
+        checks += 1;
+        match (read_json(baseline), read_json(fresh)) {
+            (Ok(base), Ok(new)) => {
+                let diffs = diff_gate(&base, &new, max_regress);
+                if diffs.is_empty() {
+                    let cps = gate_cell(&new)
+                        .ok()
+                        .and_then(|c| c.get("conflicts_per_sec").and_then(Value::as_f64))
+                        .unwrap_or(0.0);
+                    println!("gate: {GATE_CELL} ok ({cps:.0} conflicts/s, within {max_regress} of baseline)");
+                }
+                failures.extend(diffs);
+            }
+            (base, new) => {
+                failures.extend(base.err());
+                failures.extend(new.err());
+            }
+        }
+    }
+
+    if let Some(logs) = args.get_str("logs") {
+        checks += 1;
+        match std::fs::read_to_string(logs) {
+            Ok(text) => {
+                let lines = text.lines().filter(|l| !l.trim().is_empty()).count();
+                let bad = validate_log_file(&text);
+                if bad.is_empty() {
+                    println!("logs: {lines} JSON log lines conform to the schema");
+                } else {
+                    failures.extend(bad.into_iter().map(|e| format!("{logs}: {e}")));
+                }
+            }
+            Err(e) => failures.push(format!("{logs}: {e}")),
+        }
+    }
+
+    if checks == 0 {
+        eprintln!("bench_diff: nothing to do — pass --baseline OLD --fresh NEW and/or --logs FILE");
+        std::process::exit(2);
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(optimal: bool, weight: f64, cps: f64) -> Value {
+        jsonkit::parse(&format!(
+            r#"{{"cells": [
+                {{"strategy": "portfolio", "optimal": true, "weight": 11, "conflicts_per_sec": 1.0}},
+                {{"strategy": "descent-n4-gate", "optimal": {optimal},
+                  "weight": {weight}, "conflicts_per_sec": {cps}}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn gate_within_tolerance_passes() {
+        let base = bench_doc(true, 16.0, 10_000.0);
+        let fresh = bench_doc(true, 16.0, 8_000.0);
+        assert_eq!(diff_gate(&base, &fresh, 0.25), Vec::<String>::new());
+    }
+
+    #[test]
+    fn gate_regression_and_lost_certificate_fail() {
+        let base = bench_doc(true, 16.0, 10_000.0);
+        let slow = bench_doc(true, 16.0, 7_000.0);
+        let diffs = diff_gate(&base, &slow, 0.25);
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].contains("regression"), "{diffs:?}");
+
+        let uncertified = bench_doc(false, 16.0, 20_000.0);
+        let diffs = diff_gate(&base, &uncertified, 0.25);
+        assert!(
+            diffs.iter().any(|d| d.contains("optimality certificate")),
+            "{diffs:?}"
+        );
+
+        let wrong_weight = bench_doc(true, 18.0, 10_000.0);
+        let diffs = diff_gate(&base, &wrong_weight, 0.25);
+        assert!(
+            diffs.iter().any(|d| d.contains("weight changed")),
+            "{diffs:?}"
+        );
+    }
+
+    #[test]
+    fn missing_gate_cell_fails_loudly() {
+        let base = bench_doc(true, 16.0, 10_000.0);
+        let empty = jsonkit::parse(r#"{"cells": []}"#).unwrap();
+        let diffs = diff_gate(&base, &empty, 0.25);
+        assert!(
+            diffs.iter().any(|d| d.contains("descent-n4-gate")),
+            "{diffs:?}"
+        );
+    }
+
+    #[test]
+    fn log_schema_accepts_real_lines_and_rejects_malformed_ones() {
+        let good = telemetry::log::format_json_line(
+            1_754_700_000_123_456,
+            telemetry::Level::Info,
+            "serve.access",
+            "request",
+            7,
+            3,
+            &[("status".into(), telemetry::AttrValue::U64(200))],
+        );
+        assert_eq!(validate_log_line(&good), Ok(()));
+        let bare = telemetry::log::format_json_line(
+            1_754_700_000_123_456,
+            telemetry::Level::Warn,
+            "shard.coordinator",
+            "worker died mid-race; degrading to survivors",
+            0,
+            1,
+            &[],
+        );
+        assert_eq!(validate_log_line(&bare), Ok(()));
+
+        assert!(validate_log_line("not json").is_err());
+        assert!(validate_log_line(r#"{"ts": "x", "level": "info"}"#).is_err());
+        assert!(
+            validate_log_line(
+                r#"{"ts": "2026-08-09T00:00:00.000000Z", "ts_us": 1, "level": "loud",
+                   "target": "t", "msg": "m", "pid": 1, "tid": 1}"#
+            )
+            .is_err(),
+            "unknown level must fail"
+        );
+
+        let capture = format!("{good}\n\n{bare}\nnot json\n");
+        let bad = validate_log_file(&capture);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].starts_with("line 4:"), "{bad:?}");
+    }
+}

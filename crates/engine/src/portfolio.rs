@@ -528,6 +528,12 @@ fn compile_inner(
     let mut race_span = telemetry::span("engine.race");
     race_span.attr("modes", problem.num_modes() as u64);
     race_span.attr("fingerprint", fp.to_hex());
+    telemetry::log_debug!(
+        "engine.race",
+        "race starting",
+        modes = problem.num_modes(),
+        fingerprint = fp.to_hex(),
+    );
 
     // ---- Cache probe -----------------------------------------------------
     let mut cache_status = if cache.is_some() {
@@ -823,6 +829,16 @@ fn compile_inner(
         }
         race_span.attr("optimal_proved", optimal_proved);
     }
+    telemetry::log_info!(
+        "engine.race",
+        "race finished",
+        lanes = strategies.len(),
+        weight = best.as_ref().map(|b| b.weight as u64).unwrap_or(0),
+        winner = winner.clone().unwrap_or_default(),
+        optimal = optimal_proved,
+        floor = floor,
+        elapsed_ms = started.elapsed().as_millis() as u64,
+    );
     drop(race_span);
     telemetry::flush();
 

@@ -97,6 +97,55 @@ impl Value {
         out
     }
 
+    /// Serializes on one line with no whitespace — the form JSON-lines
+    /// sinks (structured logs, flight-recorder checkpoints) require,
+    /// where a literal newline would split one record into two.
+    pub fn to_json_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) if !n.is_finite() => out.push_str("null"),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -422,6 +471,20 @@ mod tests {
     }
 
     #[test]
+    fn compact_form_is_single_line_and_round_trips() {
+        let doc = obj([
+            ("msg", Value::Str("line\nbreak \"q\"".into())),
+            ("n", Value::Num(4.0)),
+            ("arr", Value::Arr(vec![Value::Null, Value::Bool(true)])),
+            ("nested", obj([("f", Value::Num(0.5))])),
+        ]);
+        let line = doc.to_json_compact();
+        assert!(!line.contains('\n'), "compact output must be one line");
+        assert!(!line.contains(": "), "no pretty-print separators");
+        assert_eq!(parse(&line).unwrap(), doc);
+    }
+
+    #[test]
     fn integers_render_without_fraction() {
         assert_eq!(Value::Num(6.0).to_json(), "6");
         assert_eq!(Value::Num(2.5).to_json(), "2.5");
@@ -571,6 +634,10 @@ mod tests {
         fn serialize_parse_round_trips(value in ArbValue { max_depth: 4 }) {
             let text = value.to_json();
             let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+            prop_assert_eq!(&back, &value);
+            let compact = value.to_json_compact();
+            prop_assert!(!compact.contains('\n'));
+            let back = parse(&compact).unwrap_or_else(|e| panic!("{e}\n---\n{compact}"));
             prop_assert_eq!(back, value);
         }
 

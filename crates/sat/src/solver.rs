@@ -599,6 +599,13 @@ impl Solver {
                 if conflicts_until_restart == 0 {
                     self.stats.restarts += 1;
                     conflicts_until_restart = self.restart.next_interval();
+                    telemetry::log_trace!(
+                        "sat.solver",
+                        "restart",
+                        restarts = self.stats.restarts,
+                        conflicts = self.stats.conflicts,
+                        next_interval = conflicts_until_restart,
+                    );
                     self.cancel_until(0);
                     // Restart boundary: drain the clause-exchange inbox.
                     self.import_shared_clauses();
@@ -774,6 +781,15 @@ impl Solver {
         }
         self.adapt_imports_mark = self.stats.imported_clauses;
         self.adapt_reasons_mark = self.stats.imported_reasons;
+        if self.export_lbd_now != self.stats.adapted_export_lbd {
+            telemetry::log_trace!(
+                "sat.solver",
+                "export threshold adapted",
+                export_lbd = self.export_lbd_now as u64,
+                reason_rate = rate,
+                window_imports = imports,
+            );
+        }
         self.stats.adapted_export_lbd = self.export_lbd_now;
     }
 
@@ -1139,6 +1155,15 @@ impl Solver {
         }
 
         // Compact the arena and remap references through the GC map.
+        telemetry::log_debug!(
+            "sat.solver",
+            "clause database reduced",
+            reductions = self.stats.db_reductions,
+            ranked = ranked.len(),
+            kept = keep_from_ranked,
+            deleted_total = self.stats.deleted_clauses,
+            max_learnts = self.max_learnts,
+        );
         let map = self.arena.collect();
         for r in self.reason.iter_mut() {
             if let Some(old) = *r {

@@ -35,8 +35,9 @@ use std::io::{self, Read, Write};
 /// Protocol version; bump on any incompatible frame change. A worker
 /// whose [`Frame::Hello`] names a different version is rejected.
 ///
-/// Version 2 added the [`Frame::Trace`] span-batch frame.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 2 added the [`Frame::Trace`] span-batch frame. Version 3
+/// added the [`Frame::BlackBox`] flight-recorder checkpoint frame.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on a frame body (tag + payload), chosen to fit any
 /// realistic job/result payload while keeping a corrupt length prefix
@@ -128,6 +129,13 @@ pub enum Frame {
     /// schema). Best-effort — a coordinator may ignore it, and a worker
     /// only ships it when the job asked for tracing.
     Trace(Vec<u8>),
+    /// Worker → coordinator: a flight-recorder checkpoint (the worker's
+    /// last log events and span closures plus its job context), as an
+    /// opaque payload (the shard crate owns the schema). Always-on and
+    /// best-effort: the coordinator keeps only the latest checkpoint
+    /// per worker, and turns it into a post-mortem bundle if the worker
+    /// dies or breaks protocol.
+    BlackBox(Vec<u8>),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -138,6 +146,7 @@ const TAG_FLOOR: u8 = 5;
 const TAG_CANCEL: u8 = 6;
 const TAG_RESULT: u8 = 7;
 const TAG_TRACE: u8 = 8;
+const TAG_BLACKBOX: u8 = 9;
 
 /// `bound_tag` presence flags in a clause payload.
 const BOUND_TAG_ABSENT: u8 = 0;
@@ -156,6 +165,7 @@ impl Frame {
             Frame::Cancel => "cancel",
             Frame::Result(_) => "result",
             Frame::Trace(_) => "trace",
+            Frame::BlackBox(_) => "blackbox",
         }
     }
 
@@ -205,6 +215,10 @@ impl Frame {
             }
             Frame::Trace(payload) => {
                 out.push(TAG_TRACE);
+                out.extend_from_slice(payload);
+            }
+            Frame::BlackBox(payload) => {
+                out.push(TAG_BLACKBOX);
                 out.extend_from_slice(payload);
             }
         }
@@ -306,6 +320,7 @@ impl Frame {
             TAG_CANCEL => Frame::Cancel,
             TAG_RESULT => return Ok(Frame::Result(body[1..].to_vec())),
             TAG_TRACE => return Ok(Frame::Trace(body[1..].to_vec())),
+            TAG_BLACKBOX => return Ok(Frame::BlackBox(body[1..].to_vec())),
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -483,6 +498,7 @@ mod tests {
             Frame::Cancel,
             Frame::Result(b"{\"weight\":64}".to_vec()),
             Frame::Trace(b"{\"events\":[]}".to_vec()),
+            Frame::BlackBox(b"{\"records\":[]}".to_vec()),
         ]
     }
 
@@ -597,7 +613,7 @@ mod tests {
         let mut kinds: Vec<&str> = sample_frames().iter().map(Frame::kind).collect();
         kinds.sort_unstable();
         kinds.dedup();
-        // Eight distinct frame types (the sample set repeats Clause).
-        assert_eq!(kinds.len(), 8);
+        // Nine distinct frame types (the sample set repeats Clause).
+        assert_eq!(kinds.len(), 9);
     }
 }

@@ -10,6 +10,9 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Response headers, lowercase-named, in wire order.
+pub type Headers = Vec<(String, String)>;
+
 /// A keep-alive connection to the server.
 #[derive(Debug)]
 pub struct Client {
@@ -76,6 +79,38 @@ impl Client {
         self.read_response_text()
     }
 
+    /// As [`request`](Client::request), but sends caller-supplied extra
+    /// headers and returns the response headers alongside the JSON body —
+    /// for tests that assert on `x-request-id` echoing.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `InvalidData` when the response is not
+    /// well-formed HTTP carrying JSON.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<(u16, Headers, Value)> {
+        let body = body.unwrap_or_default();
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: fermihedral\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        let (status, headers, text) = self.read_response()?;
+        let value = jsonkit::parse(&text)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not JSON"))?;
+        Ok((status, headers, value))
+    }
+
     /// Writes raw bytes (malformed-request tests) and reads the response.
     ///
     /// # Errors
@@ -90,6 +125,11 @@ impl Client {
     }
 
     fn read_response_text(&mut self) -> io::Result<(u16, String)> {
+        let (status, _headers, text) = self.read_response()?;
+        Ok((status, text))
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Headers, String)> {
         let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
         let head_end = loop {
             if let Some(p) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -110,13 +150,17 @@ impl Client {
             .and_then(|l| l.split(' ').nth(1))
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("bad status line"))?;
-        let content_length: usize = head
+        let headers: Vec<(String, String)> = head
             .lines()
-            .find_map(|l| {
+            .skip(1)
+            .filter_map(|l| {
                 let (name, value) = l.split_once(':')?;
-                name.eq_ignore_ascii_case("content-length")
-                    .then(|| value.trim().parse().ok())?
+                Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
             })
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find_map(|(name, value)| (name == "content-length").then(|| value.parse().ok())?)
             .ok_or_else(|| bad("missing Content-Length"))?;
         let body_start = head_end + 4;
         while self.carry.len() < body_start + content_length {
@@ -130,6 +174,6 @@ impl Client {
         let body = self.carry[body_start..body_start + content_length].to_vec();
         self.carry.drain(..body_start + content_length);
         let text = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
-        Ok((status, text))
+        Ok((status, headers, text))
     }
 }

@@ -282,6 +282,9 @@ impl HttpConn {
         if let Some(allow) = response.allow {
             head.push_str(&format!("Allow: {allow}\r\n"));
         }
+        for (name, value) in &response.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(&response.body)?;
@@ -306,6 +309,10 @@ pub struct Response {
     pub retry_after: Option<u32>,
     /// Optional `Allow` header (405 responses).
     pub allow: Option<&'static str>,
+    /// Additional headers appended verbatim (`x-request-id`, …). Names
+    /// and values must already be header-safe; the server only puts its
+    /// own sanitized values here.
+    pub extra_headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -318,6 +325,7 @@ impl Response {
             keep_alive: true,
             retry_after: None,
             allow: None,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -331,6 +339,7 @@ impl Response {
             keep_alive: true,
             retry_after: None,
             allow: None,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -351,6 +360,13 @@ impl Response {
     /// Adds an `Allow` header (builder style).
     pub fn with_allow(mut self, allow: &'static str) -> Response {
         self.allow = Some(allow);
+        self
+    }
+
+    /// Appends an extra response header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.extra_headers
+            .push((name.to_string(), value.to_string()));
         self
     }
 }

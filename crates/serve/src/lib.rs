@@ -30,12 +30,18 @@
 //!   engine's own race/lane spans; the last trace per fingerprint is
 //!   retrievable as Chrome trace JSON via `GET /v1/trace/<fingerprint>`
 //!   (and written to [`ServeConfig::trace_dir`] when set). `GET /metrics`
-//!   serves Prometheus text exposition by default and the JSON snapshot
-//!   under `?format=json`.
+//!   serves Prometheus text exposition (including `build_info` and
+//!   `process_uptime_seconds`) by default and the JSON snapshot under
+//!   `?format=json`. Every request gets a correlation id — the client's
+//!   `x-request-id` or a minted `<pid>-<seq>` — echoed as a response
+//!   header, attached to the root span, and stamped on the structured
+//!   `serve.access` log line; those Info events also land in the always-on
+//!   flight recorder, served live via `GET /v1/flightrecorder`.
 //!
 //! Endpoints: `POST /v1/compile`, `GET /v1/solution/<fingerprint>`,
-//! `GET /v1/trace/<fingerprint>`, `GET /healthz`, `GET /metrics`. See
-//! [`api`] for the JSON schema and the README for `curl` examples.
+//! `GET /v1/trace/<fingerprint>`, `GET /v1/flightrecorder`, `GET /healthz`,
+//! `GET /metrics`. See [`api`] for the JSON schema and the README for
+//! `curl` examples.
 
 pub mod api;
 pub mod client;
@@ -54,7 +60,7 @@ use jsonkit::{obj, Value};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -71,6 +77,32 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// How many per-fingerprint traces the in-memory store retains for
 /// `GET /v1/trace/<fingerprint>` (oldest-inserted evicted first).
 const TRACE_STORE_CAPACITY: usize = 64;
+
+/// Request-id sequence (`<pid hex>-<seq hex>`); process-unique, cheap,
+/// and grep-friendly across the access log, span attributes, and the
+/// flight recorder.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The request's correlation id: an `x-request-id` the client sent
+/// (sanitized — it is echoed into a response header and log fields), or
+/// a freshly minted `<pid hex>-<seq hex>`.
+fn request_id(request: &Request) -> String {
+    if let Some(id) = request.header("x-request-id") {
+        let clean: String = id
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_' || *c == '.')
+            .take(64)
+            .collect();
+        if !clean.is_empty() {
+            return clean;
+        }
+    }
+    format!(
+        "{:x}-{:08x}",
+        std::process::id(),
+        NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+    )
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -299,9 +331,23 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(request) => {
                 idle_since = Instant::now();
                 shared.metrics.http_requests.inc();
-                let mut response = handle_request(shared, &request);
+                let rid = request_id(&request);
+                let t0 = Instant::now();
+                let mut response = handle_request(shared, &request, &rid);
+                response
+                    .extra_headers
+                    .push(("x-request-id".into(), rid.clone()));
                 response.keep_alive &= request.keep_alive && !shared.is_shutdown();
                 shared.metrics.record_response(response.status);
+                telemetry::log_info!(
+                    "serve.access",
+                    "request",
+                    method = request.method.clone(),
+                    path = request.path.clone(),
+                    status = response.status as u64,
+                    elapsed_ms = (t0.elapsed().as_micros() as f64) / 1_000.0,
+                    request_id = rid,
+                );
                 if conn.write_response(&response).is_err() || !response.keep_alive {
                     return;
                 }
@@ -330,18 +376,19 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
 // Routing
 // ---------------------------------------------------------------------------
 
-fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
+fn handle_request(shared: &Arc<Shared>, request: &Request, rid: &str) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(shared),
         ("GET", "/metrics") => handle_metrics(shared, request),
-        ("POST", "/v1/compile") => handle_compile(shared, &request.body),
+        ("GET", "/v1/flightrecorder") => handle_flightrecorder(),
+        ("POST", "/v1/compile") => handle_compile(shared, &request.body, rid),
         ("GET", path) if path.starts_with("/v1/solution/") => {
             handle_solution(shared, &path["/v1/solution/".len()..])
         }
         ("GET", path) if path.starts_with("/v1/trace/") => {
             handle_trace(shared, &path["/v1/trace/".len()..])
         }
-        (_, "/healthz" | "/metrics") => {
+        (_, "/healthz" | "/metrics" | "/v1/flightrecorder") => {
             Response::error(405, "method not allowed").with_allow("GET")
         }
         (_, "/v1/compile") => Response::error(405, "method not allowed").with_allow("POST"),
@@ -353,6 +400,7 @@ fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
 }
 
 fn handle_healthz(shared: &Arc<Shared>) -> Response {
+    let build = telemetry::build_info();
     Response::json(
         200,
         &obj([
@@ -362,7 +410,27 @@ fn handle_healthz(shared: &Arc<Shared>) -> Response {
                 Value::Num(shared.started.elapsed().as_millis() as f64),
             ),
             ("shutting_down", Value::Bool(shared.is_shutdown())),
+            (
+                "build",
+                obj([
+                    ("git_hash", Value::Str(build.git_hash.to_string())),
+                    ("rustc", Value::Str(build.rustc.to_string())),
+                    ("profile", Value::Str(build.profile.to_string())),
+                ]),
+            ),
         ]),
+    )
+}
+
+/// `GET /v1/flightrecorder`: the process's always-on bounded ring of
+/// recent log events and span closures — the same payload a dying shard
+/// worker checkpoints into its post-mortem, served live for *this*
+/// process. Request ids from the access log appear here, so a client
+/// can follow its own `x-request-id` into the server's recent history.
+fn handle_flightrecorder() -> Response {
+    Response::json(
+        200,
+        &telemetry::recorder::recorder().snapshot().to_json_value(),
     )
 }
 
@@ -420,7 +488,7 @@ fn handle_solution(shared: &Arc<Shared>, fingerprint_hex: &str) -> Response {
 // The compile flow
 // ---------------------------------------------------------------------------
 
-fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
+fn handle_compile(shared: &Arc<Shared>, body: &[u8], rid: &str) -> Response {
     let t0 = Instant::now();
     let parsed = match api::parse_compile_request(body, shared.config.max_modes) {
         Ok(parsed) => parsed,
@@ -435,9 +503,20 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let key = fp.to_hex();
 
     // Root span for this request; the queue-wait and solve spans the
-    // worker records nest under it by timestamp containment.
+    // worker records nest under it by timestamp containment. The
+    // request id rides both the span and the compile log event, so a
+    // trace, the access log, and the flight recorder all correlate.
     let mut request_span = telemetry::span("serve.request");
     request_span.attr("fingerprint", key.clone());
+    request_span.attr("request_id", rid);
+    telemetry::log_info!(
+        "serve.compile",
+        "compile admitted",
+        fingerprint = key.clone(),
+        modes = problem.num_modes(),
+        deadline_ms = deadline.as_millis() as u64,
+        request_id = rid,
+    );
     let response = compile_flow(
         shared,
         problem,

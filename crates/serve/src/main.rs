@@ -61,18 +61,26 @@ OPTIONS:
                               fermihedral-shard binary on the usual paths)
     --trace-dir PATH          write each request's Chrome trace JSON to
                               PATH/<fingerprint>.trace.json
+    --log-level LEVEL         stderr log floor: trace|debug|info|warn|error
+                              (overrides FERMIHEDRAL_LOG's default level)
+    --log-json                emit stderr logs as JSON lines instead of text
     --watch-stdin             also shut down when stdin reaches EOF
     --help                    this text
+
+Set FERMIHEDRAL_LOG (e.g. `info,serve.access=debug`) for per-target
+filtering; `--log-level` only overrides the default level.
 ";
 
 struct Flags {
     values: Vec<(String, String)>,
     watch_stdin: bool,
+    log_json: bool,
 }
 
 fn parse_flags() -> Flags {
     let mut values = Vec::new();
     let mut watch_stdin = false;
+    let mut log_json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -81,6 +89,7 @@ fn parse_flags() -> Flags {
                 std::process::exit(0);
             }
             "--watch-stdin" => watch_stdin = true,
+            "--log-json" => log_json = true,
             name if name.starts_with("--") => {
                 let known = [
                     "--addr",
@@ -94,19 +103,35 @@ fn parse_flags() -> Flags {
                     "--max-modes",
                     "--shards",
                     "--trace-dir",
+                    "--log-level",
                 ];
                 if !known.contains(&name) {
-                    eprintln!("unknown flag {name}\n\n{USAGE}");
+                    telemetry::log_error!(
+                        "serve.cli",
+                        "unknown flag",
+                        flag = name,
+                        hint = "run with --help for usage",
+                    );
                     std::process::exit(2);
                 }
                 let Some(value) = args.next() else {
-                    eprintln!("flag {name} needs a value\n\n{USAGE}");
+                    telemetry::log_error!(
+                        "serve.cli",
+                        "flag needs a value",
+                        flag = name,
+                        hint = "run with --help for usage",
+                    );
                     std::process::exit(2);
                 };
                 values.push((name.trim_start_matches("--").to_string(), value));
             }
             other => {
-                eprintln!("unexpected argument {other:?}\n\n{USAGE}");
+                telemetry::log_error!(
+                    "serve.cli",
+                    "unexpected argument",
+                    argument = other,
+                    hint = "run with --help for usage",
+                );
                 std::process::exit(2);
             }
         }
@@ -114,6 +139,7 @@ fn parse_flags() -> Flags {
     Flags {
         values,
         watch_stdin,
+        log_json,
     }
 }
 
@@ -128,7 +154,12 @@ impl Flags {
     fn get_num(&self, name: &str, default: u64) -> u64 {
         self.get(name).map_or(default, |v| {
             v.parse().unwrap_or_else(|_| {
-                eprintln!("--{name} expects an integer, got {v:?}");
+                telemetry::log_error!(
+                    "serve.cli",
+                    "flag expects an integer",
+                    flag = format!("--{name}"),
+                    value = v,
+                );
                 std::process::exit(2);
             })
         })
@@ -137,14 +168,35 @@ impl Flags {
 
 fn main() {
     install_signal_handlers();
+    // Early init so flag-parse errors already go through the structured
+    // logger; re-initialised below once --log-level/--log-json are known.
+    telemetry::log::init_from_env();
     let flags = parse_flags();
+    let log_level = flags.get("log-level").map(|v| {
+        v.parse::<telemetry::log::Level>().unwrap_or_else(|()| {
+            telemetry::log_error!(
+                "serve.cli",
+                "bad flag value",
+                flag = "--log-level",
+                value = v,
+                expected = "trace|debug|info|warn|error",
+            );
+            std::process::exit(2);
+        })
+    });
+    telemetry::log::init(log_level, flags.log_json);
 
     let engine = EngineConfig {
         shards: flags.get_num("shards", 0) as usize,
         cache_dir: flags.get("cache-dir").map(Into::into),
         cache_byte_cap: flags.get("cache-byte-cap").map(|v| {
             v.parse().unwrap_or_else(|_| {
-                eprintln!("--cache-byte-cap expects an integer, got {v:?}");
+                telemetry::log_error!(
+                    "serve.cli",
+                    "flag expects an integer",
+                    flag = "--cache-byte-cap",
+                    value = v,
+                );
                 std::process::exit(2);
             })
         }),
@@ -166,7 +218,7 @@ fn main() {
     let handle = match serve::start(config) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("failed to start server: {e}");
+            telemetry::log_error!("serve", "failed to start server", error = e.to_string(),);
             std::process::exit(1);
         }
     };
@@ -175,6 +227,7 @@ fn main() {
         "fermihedral-serve listening on http://{}",
         handle.local_addr()
     );
+    telemetry::log_info!("serve", "listening", addr = handle.local_addr().to_string(),);
 
     if flags.watch_stdin {
         std::thread::spawn(|| {
@@ -193,8 +246,11 @@ fn main() {
     while !SHUTDOWN_REQUESTED.load(Ordering::Relaxed) {
         std::thread::sleep(Duration::from_millis(50));
     }
-    eprintln!("shutting down: cancelling in-flight solves, draining the queue");
+    telemetry::log_info!(
+        "serve",
+        "shutting down: cancelling in-flight solves, draining the queue",
+    );
     handle.shutdown();
     handle.join();
-    eprintln!("shut down cleanly");
+    telemetry::log_info!("serve", "shut down cleanly",);
 }

@@ -244,6 +244,20 @@ impl Metrics {
         extra: &telemetry::MetricSet,
     ) -> String {
         let mut w = PromText::new();
+        let build = telemetry::build_info();
+        w.gauge(
+            &format!(
+                "build_info{{git_hash=\"{}\",rustc=\"{}\",profile=\"{}\"}}",
+                build.git_hash, build.rustc, build.profile
+            ),
+            "Build identity (constant 1; the labels carry the information)",
+            1,
+        );
+        w.gauge(
+            "process_uptime_seconds",
+            "Seconds since this process initialized telemetry",
+            telemetry::global().uptime_seconds() as i64,
+        );
         w.gauge(
             "serve_uptime_seconds",
             "Seconds since the server started",
@@ -480,6 +494,11 @@ mod tests {
         assert!(text.contains("# TYPE serve_http_requests_total counter"));
         assert!(text.contains("serve_http_requests_total 2"));
         assert!(text.contains("serve_responses_total{class=\"2xx\"} 1"));
+        // Build identity and process uptime ride every exposition.
+        assert!(text.contains("# TYPE build_info gauge"));
+        assert!(text.contains("build_info{git_hash=\""));
+        assert!(text.contains("} 1\n"));
+        assert!(text.contains("# TYPE process_uptime_seconds gauge"));
         // One TYPE header per family even with labeled series.
         assert_eq!(text.matches("# TYPE serve_responses_total").count(), 1);
         assert!(text.contains("# TYPE serve_compile_latency_seconds histogram"));

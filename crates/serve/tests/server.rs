@@ -518,6 +518,110 @@ fn observability_prometheus_metrics_and_trace_endpoint() {
 }
 
 // ---------------------------------------------------------------------------
+// Observability: request ids, flight recorder, build info
+// ---------------------------------------------------------------------------
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn request_ids_flight_recorder_and_build_info() {
+    let handle = start(ServeConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+    let mut client = connect(addr);
+
+    // Every response carries an x-request-id; absent a client id the
+    // server mints one.
+    let (status, headers, _) = client
+        .request_with_headers("GET", "/healthz", None, &[])
+        .expect("GET /healthz");
+    assert_eq!(status, 200);
+    let minted = header(&headers, "x-request-id").expect("server must mint a request id");
+    assert!(!minted.is_empty());
+
+    // A well-formed client-supplied id is echoed verbatim.
+    let (_, headers, _) = client
+        .request_with_headers("GET", "/healthz", None, &[("x-request-id", "test-abc.123")])
+        .expect("GET with id");
+    assert_eq!(header(&headers, "x-request-id"), Some("test-abc.123"));
+
+    // A hostile id is sanitised before echoing (no spaces, no markup).
+    let (_, headers, _) = client
+        .request_with_headers(
+            "GET",
+            "/healthz",
+            None,
+            &[("x-request-id", "evil id<script>!")],
+        )
+        .expect("GET with hostile id");
+    let echoed = header(&headers, "x-request-id").expect("still echoes an id");
+    assert!(
+        echoed
+            .chars()
+            .all(|c| { c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' }),
+        "unsanitised echo: {echoed:?}"
+    );
+
+    // /healthz exposes build provenance.
+    let (status, doc) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let build = doc
+        .get("build")
+        .unwrap_or_else(|| panic!("healthz carries no build object: {}", doc.to_json()));
+    for key in ["git_hash", "rustc", "profile"] {
+        assert!(
+            build.get(key).and_then(Value::as_str).is_some(),
+            "build object missing {key}: {}",
+            doc.to_json()
+        );
+    }
+
+    // A compile tagged with a client request id lands in the flight
+    // recorder: the admission event carries the id.
+    let (status, headers, doc) = client
+        .request_with_headers(
+            "POST",
+            "/v1/compile",
+            Some(r#"{"modes": 2, "deadline_ms": 60000}"#),
+            &[("x-request-id", "fr-walkthrough-0001")],
+        )
+        .expect("POST /v1/compile");
+    assert_eq!(status, 200, "{}", doc.to_json());
+    assert_eq!(
+        header(&headers, "x-request-id"),
+        Some("fr-walkthrough-0001")
+    );
+
+    let (status, snapshot) = get(addr, "/v1/flightrecorder");
+    assert_eq!(status, 200);
+    assert!(snapshot.get("written").and_then(Value::as_usize).unwrap() >= 1);
+    assert!(snapshot.get("capacity").and_then(Value::as_usize).unwrap() >= 1);
+    let records = snapshot
+        .get("records")
+        .and_then(Value::as_arr)
+        .expect("snapshot carries records");
+    assert!(!records.is_empty(), "flight recorder must not be empty");
+    let admitted = records.iter().any(|r| {
+        r.get("target").and_then(Value::as_str) == Some("serve.compile")
+            && r.get("fields")
+                .and_then(|f| f.get("request_id"))
+                .and_then(Value::as_str)
+                == Some("fr-walkthrough-0001")
+    });
+    assert!(
+        admitted,
+        "compile admission with the client request id must be in the ring: {}",
+        snapshot.to_json()
+    );
+
+    shutdown_and_join(&handle);
+}
+
+// ---------------------------------------------------------------------------
 // Sharded compilation behind the server front-end
 // ---------------------------------------------------------------------------
 

@@ -27,8 +27,18 @@
 //! reports an encoding that fails validation is marked **dead** in
 //! [`engine::ShardReport`] and the race degrades to the survivors — a
 //! SIGKILL'd worker must never take the whole compilation down.
+//!
+//! # Post-mortems
+//!
+//! Workers checkpoint their flight-recorder ring over `BlackBox` frames
+//! (always on, best-effort, latest-wins). When a worker dies and a
+//! post-mortem directory is configured ([`ShardOptions::postmortem_dir`]
+//! or `FERMIHEDRAL_POSTMORTEM_DIR`), the coordinator folds the last
+//! checkpoint, the job context, the wire counters, and the reaped exit
+//! status into `<dir>/postmortem-<shard>.json` — the corpse's own last
+//! words, available even though its stderr died with it.
 
-use crate::proto::{Job, ShardResult};
+use crate::proto::{BlackBoxCheckpoint, Job, ShardResult};
 use engine::{
     compile_with, cross_size_warm_start, default_portfolio, fingerprint, partition_strategies,
     CacheEntry, CacheStatus, EngineConfig, EngineOutcome, EngineReport, ShardReport, SolutionCache,
@@ -36,11 +46,12 @@ use engine::{
 };
 use fermihedral::descent::BestEncoding;
 use fermihedral::{EncodingProblem, Objective};
+use jsonkit::{obj, Value};
 use pauli::PhasedString;
 use sat::wire::{read_frame_counted, Frame, RemoteClause};
 use sat::CancelToken;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -66,6 +77,11 @@ pub struct ShardOptions {
     /// Called with `(shard, pid)` for every spawned worker — the
     /// fault-injection tests use this to SIGKILL a worker mid-race.
     pub spawn_hook: Option<Arc<dyn Fn(usize, u32) + Send + Sync>>,
+    /// Directory for `postmortem-<shard>.json` bundles, written for
+    /// every worker that dies or breaks protocol. `None` falls back to
+    /// the `FERMIHEDRAL_POSTMORTEM_DIR` environment variable; unset
+    /// both and no bundles are written.
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for ShardOptions {
@@ -73,6 +89,7 @@ impl std::fmt::Debug for ShardOptions {
         f.debug_struct("ShardOptions")
             .field("worker_bin", &self.worker_bin)
             .field("spawn_hook", &self.spawn_hook.is_some())
+            .field("postmortem_dir", &self.postmortem_dir)
             .finish()
     }
 }
@@ -232,10 +249,22 @@ pub fn compile_sharded_with(
     };
     let parts = partition_strategies(&strategies, config.shards);
     let Some(worker_bin) = options.worker_bin.clone().or_else(default_worker_bin) else {
-        eprintln!("fermihedral-shard: worker binary not found; racing in-process instead");
+        telemetry::log_warn!(
+            "shard.coordinator",
+            "worker binary not found; racing in-process instead",
+            shards = config.shards,
+        );
         return compile_with(problem, config, cache, external_cancel);
     };
 
+    telemetry::log_info!(
+        "shard.coordinator",
+        "race started",
+        shards = parts.len(),
+        modes = problem.num_modes(),
+        lanes = strategies.len(),
+        fingerprint = fp.to_hex(),
+    );
     let race = Race::launch(
         problem,
         config,
@@ -252,7 +281,11 @@ pub fn compile_sharded_with(
     // asked for a compilation, not an obituary: race in-process instead,
     // keeping the dead-shard forensics in the report.
     if outcome.best.is_none() && outcome.report.shards.iter().all(|s| s.dead) {
-        eprintln!("fermihedral-shard: every worker died; racing in-process instead");
+        telemetry::log_warn!(
+            "shard.coordinator",
+            "every worker died; racing in-process instead",
+            shards = outcome.report.shards.len(),
+        );
         let dead_shards = std::mem::take(&mut outcome.report.shards);
         // No cache handle: this function's tail owns the probe/store;
         // the external cancel still aborts the fallback race promptly.
@@ -306,6 +339,14 @@ pub fn compile_sharded_with(
             outcome.report.shards.iter().filter(|s| s.dead).count() as u64,
         );
     }
+    telemetry::log_info!(
+        "shard.coordinator",
+        "race finished",
+        weight = outcome.best.as_ref().map(|b| b.weight as u64).unwrap_or(0),
+        optimal = outcome.optimal_proved,
+        dead_shards = outcome.report.shards.iter().filter(|s| s.dead).count(),
+        elapsed_ms = started.elapsed().as_millis() as u64,
+    );
     drop(race_span);
     telemetry::flush();
     outcome
@@ -373,6 +414,11 @@ struct Worker {
     jobbed: bool,
     /// The worker's stdout reached EOF (clean exit or crash).
     gone: bool,
+    /// Latest `BlackBox` checkpoint payload — each shipment replaces
+    /// the last, so a death always leaves the freshest ring behind.
+    black_box: Option<Vec<u8>>,
+    /// Exit status as reaped (`None` until reap, or if reaping failed).
+    exit_status: Option<String>,
 }
 
 impl Worker {
@@ -391,6 +437,8 @@ struct Race {
     jobs: Vec<Job>,
     /// Cache warm-start weight, broadcast as the opening bound.
     initial_bound: Option<usize>,
+    /// Where post-mortem bundles for dead workers are written.
+    postmortem_dir: Option<PathBuf>,
 }
 
 impl Race {
@@ -490,10 +538,17 @@ impl Race {
                         result: None,
                         jobbed: false,
                         gone: false,
+                        black_box: None,
+                        exit_status: None,
                     });
                 }
                 Err(e) => {
-                    eprintln!("fermihedral-shard: spawning worker {shard}: {e}");
+                    telemetry::log_error!(
+                        "shard.coordinator",
+                        "spawning worker failed",
+                        shard = shard,
+                        error = e.to_string(),
+                    );
                     report.dead = true;
                     workers.push(Worker {
                         child: None,
@@ -502,6 +557,8 @@ impl Race {
                         result: None,
                         jobbed: false,
                         gone: true,
+                        black_box: None,
+                        exit_status: None,
                     });
                 }
             }
@@ -511,6 +568,10 @@ impl Race {
             events,
             jobs,
             initial_bound: warm_start.map(|e| e.weight),
+            postmortem_dir: options
+                .postmortem_dir
+                .clone()
+                .or_else(|| std::env::var_os("FERMIHEDRAL_POSTMORTEM_DIR").map(PathBuf::from)),
         }
     }
 
@@ -608,10 +669,12 @@ impl Race {
             match event {
                 Event::Frame(shard, Frame::Hello { protocol, .. }, _) => {
                     if protocol != sat::wire::PROTOCOL_VERSION {
-                        eprintln!(
-                            "fermihedral-shard: worker {shard} speaks protocol {protocol}, \
-                             coordinator speaks {}; dropping it",
-                            sat::wire::PROTOCOL_VERSION
+                        telemetry::log_error!(
+                            "shard.coordinator",
+                            "protocol mismatch; dropping worker",
+                            shard = shard,
+                            worker_protocol = protocol,
+                            coordinator_protocol = sat::wire::PROTOCOL_VERSION,
                         );
                         self.workers[shard].kill();
                         continue;
@@ -697,7 +760,12 @@ impl Race {
                             }
                         }
                         Err(e) => {
-                            eprintln!("fermihedral-shard: worker {shard} sent a bad result: {e}");
+                            telemetry::log_error!(
+                                "shard.coordinator",
+                                "worker sent a bad result; marking it dead",
+                                shard = shard,
+                                error = e,
+                            );
                             self.workers[shard].report.dead = true;
                         }
                     }
@@ -721,10 +789,21 @@ impl Race {
                             batch.shift_onto(registry.epoch_wall_us());
                             registry.inject(batch.events);
                         }
-                        Err(e) => eprintln!(
-                            "fermihedral-shard: worker {shard} sent a bad trace batch: {e}"
-                        ),
+                        Err(e) => {
+                            telemetry::log_warn!(
+                                "shard.coordinator",
+                                "worker sent a bad trace batch; dropping it",
+                                shard = shard,
+                                error = e,
+                            );
+                        }
                     }
+                }
+                Event::Frame(shard, Frame::BlackBox(payload), _) => {
+                    // Always-on checkpoint: keep only the latest — the
+                    // whole ring rides every shipment, so older payloads
+                    // are strict subsets of newer ones.
+                    self.workers[shard].black_box = Some(payload);
                 }
                 Event::Frame(_, _, _) => {} // Job/Cancel from a worker: ignore
                 Event::Gone(shard) => {
@@ -736,6 +815,11 @@ impl Race {
                     // verdict is deferred to its exit status at reap
                     // time (clean 0 = wind-down, anything else = death).
                     if self.workers[shard].result.is_none() && cancel_sent_at.is_none() {
+                        telemetry::log_warn!(
+                            "shard.coordinator",
+                            "worker died mid-race; degrading to survivors",
+                            shard = shard,
+                        );
                         self.workers[shard].report.dead = true;
                     }
                 }
@@ -762,6 +846,7 @@ impl Race {
                     }
                 }
             };
+            worker.exit_status = status.map(|s| s.to_string());
             // No result and not a clean exit 0: the worker died (was
             // signalled, crashed, or had to be killed), whenever that
             // happened relative to the Cancel broadcast.
@@ -770,7 +855,114 @@ impl Race {
             }
         }
 
+        if let Some(dir) = self.postmortem_dir.clone() {
+            self.write_postmortems(&dir);
+        }
+
         self.merge(started, &floor_claims, problem)
+    }
+
+    /// Writes `postmortem-<shard>.json` for every dead worker: its last
+    /// checkpointed flight-recorder ring (if any checkpoint made it over
+    /// the wire), job context, wire counters, and exit status — enough
+    /// to explain the corpse without reproducing the race.
+    fn write_postmortems(&self, dir: &Path) {
+        if !self.workers.iter().any(|w| w.report.dead) {
+            return;
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            telemetry::log_error!(
+                "shard.coordinator",
+                "creating post-mortem directory failed",
+                dir = dir.display().to_string(),
+                error = e.to_string(),
+            );
+            return;
+        }
+        for worker in &self.workers {
+            if !worker.report.dead {
+                continue;
+            }
+            let shard = worker.report.shard;
+            // The checkpoint is worker-reported; a torn payload from a
+            // mid-write kill must not lose the coordinator-side context.
+            let flight_recorder = worker
+                .black_box
+                .as_deref()
+                .and_then(|bytes| BlackBoxCheckpoint::from_bytes(bytes).ok())
+                .map(|c| c.flight_recorder)
+                .unwrap_or(Value::Null);
+            let job = &self.jobs[shard];
+            let bundle = obj([
+                ("shard", Value::Num(shard as f64)),
+                ("protocol", Value::Num(sat::wire::PROTOCOL_VERSION as f64)),
+                (
+                    "exit_status",
+                    worker
+                        .exit_status
+                        .clone()
+                        .map(Value::Str)
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "job",
+                    obj([
+                        ("fingerprint", Value::Str(job.fingerprint.clone())),
+                        ("modes", Value::Num(job.problem.num_modes() as f64)),
+                        ("total_shards", Value::Num(job.total_shards as f64)),
+                        (
+                            "lanes",
+                            Value::Arr(
+                                job.strategies
+                                    .iter()
+                                    .map(|s| Value::Str(s.name()))
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ),
+                (
+                    "wire",
+                    obj([
+                        (
+                            "clauses_sent",
+                            Value::Num(worker.report.clauses_sent as f64),
+                        ),
+                        (
+                            "clauses_received",
+                            Value::Num(worker.report.clauses_received as f64),
+                        ),
+                        ("bounds_sent", Value::Num(worker.report.bounds_sent as f64)),
+                        (
+                            "bounds_received",
+                            Value::Num(worker.report.bounds_received as f64),
+                        ),
+                    ]),
+                ),
+                ("flight_recorder", flight_recorder),
+            ]);
+            let path = dir.join(format!("postmortem-{shard}.json"));
+            match std::fs::write(&path, bundle.to_json()) {
+                Ok(()) => {
+                    telemetry::log_warn!(
+                        "shard.coordinator",
+                        "post-mortem written",
+                        shard = shard,
+                        path = path.display().to_string(),
+                        exit_status = worker.exit_status.clone().unwrap_or_default(),
+                    );
+                }
+                Err(e) => {
+                    telemetry::log_error!(
+                        "shard.coordinator",
+                        "writing post-mortem failed",
+                        shard = shard,
+                        path = path.display().to_string(),
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
     }
 
     /// Merges shard results into one engine outcome plus the *accepted*
@@ -804,9 +996,11 @@ impl Race {
                 let valid =
                     strings.len() == 2 * problem.num_modes() && validates(problem, &strings);
                 if !valid {
-                    eprintln!(
-                        "fermihedral-shard: worker {shard} claimed an invalid encoding; \
-                         marking it dead"
+                    telemetry::log_error!(
+                        "shard.coordinator",
+                        "worker claimed an invalid encoding; marking it dead",
+                        shard = shard,
+                        claimed_weight = claimed,
                     );
                     shards[shard].dead = true;
                     continue;
@@ -816,9 +1010,12 @@ impl Race {
                 // optimality certificate.
                 let weight = measure_weight(problem, &strings);
                 if weight != claimed {
-                    eprintln!(
-                        "fermihedral-shard: worker {shard} claimed weight {claimed}, \
-                         measured {weight}; using the measurement"
+                    telemetry::log_warn!(
+                        "shard.coordinator",
+                        "claimed weight disagrees with measurement; using the measurement",
+                        shard = shard,
+                        claimed = claimed,
+                        measured = weight,
                     );
                 }
                 let better = best.as_ref().is_none_or(|(b, _)| weight < b.weight);

@@ -45,5 +45,5 @@ pub use coordinator::{
     compile_sharded, compile_sharded_with, default_worker_bin, measure_weight, ShardOptions,
     WORKER_BIN,
 };
-pub use proto::{Job, ShardResult};
+pub use proto::{BlackBoxCheckpoint, Job, ShardResult};
 pub use worker::run_worker;

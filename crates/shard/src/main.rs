@@ -8,10 +8,10 @@
 //! * `fermihedral-shard --modes N --shards S [...]` — a coordinator CLI
 //!   that compiles one problem sharded and prints a JSON summary.
 
-use engine::EngineConfig;
+use engine::{EngineConfig, SolutionCache};
 use fermihedral::{EncodingProblem, Objective};
 use jsonkit::{obj, Value};
-use shard::{compile_sharded, run_worker};
+use shard::{compile_sharded_with, run_worker, ShardOptions};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -27,10 +27,14 @@ OPTIONS:
     --timeout SECS   wall-clock budget (default 60)
     --no-full-sat    drop the algebraic-independence clause set
     --cache-dir P    persistent solution cache directory
+    --postmortem-dir P  write postmortem-<shard>.json for dead workers
     --help           this text
+
+Structured log verbosity/format come from FERMIHEDRAL_LOG (see README).
 ";
 
 fn main() {
+    telemetry::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("worker") {
         let shard = flag_value(&args, "--shard")
@@ -66,7 +70,16 @@ fn main() {
         cache_dir: flag_value(&args, "--cache-dir").map(Into::into),
         ..EngineConfig::default()
     };
-    let outcome = compile_sharded(&problem, &config);
+    let cache = config
+        .cache_dir
+        .as_ref()
+        .and_then(|dir| SolutionCache::open(dir).ok())
+        .map(|c| c.with_byte_cap(config.cache_byte_cap));
+    let options = ShardOptions {
+        postmortem_dir: flag_value(&args, "--postmortem-dir").map(Into::into),
+        ..ShardOptions::default()
+    };
+    let outcome = compile_sharded_with(&problem, &config, cache.as_ref(), None, &options);
     let doc = obj([
         ("modes", Value::Num(modes as f64)),
         ("shards", Value::Num(shards as f64)),

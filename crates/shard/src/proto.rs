@@ -336,6 +336,80 @@ impl ShardResult {
     }
 }
 
+/// A worker's flight-recorder checkpoint, carried in the `BlackBox`
+/// frame: enough context to explain a corpse without its stderr. The
+/// worker ships one right after parsing its job (so even an early kill
+/// leaves the job context behind), then periodically, then once more
+/// before its terminal `Result`; the coordinator keeps only the latest
+/// per worker and folds it into `postmortem-<shard>.json` when the
+/// worker dies or breaks protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlackBoxCheckpoint {
+    /// The reporting worker's shard index.
+    pub shard: usize,
+    /// Fingerprint of the problem the worker was racing.
+    pub fingerprint: String,
+    /// Mode count of that problem.
+    pub modes: usize,
+    /// Lane names assigned to this shard.
+    pub lanes: Vec<String>,
+    /// The worker's [`telemetry::recorder::Snapshot`] as JSON (opaque
+    /// here: the telemetry crate owns the record schema).
+    pub flight_recorder: Value,
+}
+
+impl BlackBoxCheckpoint {
+    /// Serializes to the `BlackBox` frame payload (compact: checkpoints
+    /// ride the pump loop alongside clause traffic).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        obj([
+            ("shard", Value::Num(self.shard as f64)),
+            ("fingerprint", Value::Str(self.fingerprint.clone())),
+            ("modes", Value::Num(self.modes as f64)),
+            (
+                "lanes",
+                Value::Arr(self.lanes.iter().cloned().map(Value::Str).collect()),
+            ),
+            ("flight_recorder", self.flight_recorder.clone()),
+        ])
+        .to_json_compact()
+        .into_bytes()
+    }
+
+    /// Parses a `BlackBox` frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming what was malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<BlackBoxCheckpoint, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "checkpoint is not UTF-8".to_string())?;
+        let doc = jsonkit::parse(text).map_err(|e| format!("checkpoint: {e}"))?;
+        Ok(BlackBoxCheckpoint {
+            shard: doc
+                .get("shard")
+                .and_then(Value::as_usize)
+                .ok_or("checkpoint field \"shard\" missing or mistyped")?,
+            fingerprint: doc
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .ok_or("checkpoint field \"fingerprint\" missing")?
+                .to_string(),
+            modes: doc
+                .get("modes")
+                .and_then(Value::as_usize)
+                .ok_or("checkpoint field \"modes\" missing or mistyped")?,
+            lanes: doc
+                .get("lanes")
+                .and_then(Value::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            flight_recorder: doc.get("flight_recorder").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Problem and strategy (de)serialization
 // ---------------------------------------------------------------------------
@@ -683,5 +757,29 @@ mod tests {
         for cut in [1, bytes.len() / 2, bytes.len() - 1] {
             assert!(Job::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn black_box_checkpoint_round_trips() {
+        let checkpoint = BlackBoxCheckpoint {
+            shard: 2,
+            fingerprint: "deadbeef".into(),
+            modes: 4,
+            lanes: vec!["sat-descent[seed=1]".into(), "anneal[bk]".into()],
+            flight_recorder: obj([
+                ("written", Value::Num(7.0)),
+                ("records", Value::Arr(vec![])),
+            ]),
+        };
+        let back = BlackBoxCheckpoint::from_bytes(&checkpoint.to_bytes()).expect("parses");
+        assert_eq!(back, checkpoint);
+        // Torn payloads (a worker can be SIGKILL'd mid-write) must fail
+        // structured, never panic.
+        let bytes = checkpoint.to_bytes();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(BlackBoxCheckpoint::from_bytes(&bytes[..cut]).is_err());
+        }
+        assert!(BlackBoxCheckpoint::from_bytes(b"{}").is_err());
+        assert!(BlackBoxCheckpoint::from_bytes(&[0xFF, 0xFE]).is_err());
     }
 }

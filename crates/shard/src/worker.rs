@@ -14,14 +14,21 @@
 //!      incumbent, `Cancel` → raise the race's token), and
 //!    * a **pump** loop streams outgoing traffic (drained exports as
 //!      `Clause` frames, incumbent improvements as `Bound`, UNSAT floors
-//!      as `Floor`);
+//!      as `Floor`, and periodic flight-recorder checkpoints as
+//!      `BlackBox` — the raw material for the coordinator's post-mortem
+//!      bundles);
 //! 4. send a terminal `Result` and exit.
+//!
+//! A panic hook routes any panic through the structured logger before
+//! the default backtrace, so the panic message rides the last `BlackBox`
+//! checkpoint into the coordinator's post-mortem instead of dying with
+//! the process's stderr.
 //!
 //! Coordinator death is handled like cancellation: stdin EOF (or any
 //! broken-pipe write) raises the race's cancel token, so an orphaned
 //! worker never burns CPU for a race nobody is waiting on.
 
-use crate::proto::{Job, ShardResult};
+use crate::proto::{BlackBoxCheckpoint, Job, ShardResult};
 use engine::{compile_bridged, RaceBridge};
 use sat::wire::{read_frame, write_frame, Frame, RemoteClause, PROTOCOL_VERSION};
 use std::io::{self, Read, Write};
@@ -37,11 +44,46 @@ const PUMP_INTERVAL: Duration = Duration::from_millis(5);
 /// much slower cadence than clauses and bounds.
 const TRACE_EVERY_TICKS: u32 = 50;
 
+/// Pump ticks between `BlackBox` checkpoints (~every 200 ms). Unlike
+/// traces these are always on: each shipment replaces the previous one
+/// on the coordinator's side, so the cost is one bounded frame, not an
+/// ever-growing log.
+const BLACKBOX_EVERY_TICKS: u32 = 40;
+
+/// Routes panics through the structured logger (so they land in the
+/// flight recorder and reach the coordinator with the next checkpoint —
+/// or the post-mortem, if there is no next checkpoint), then defers to
+/// the previous hook for the usual stderr backtrace.
+fn install_panic_hook(shard: usize) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let location = info
+            .location()
+            .map(|l| format!("{}:{}", l.file(), l.line()))
+            .unwrap_or_else(|| "unknown".to_string());
+        telemetry::log_error!(
+            "shard.worker",
+            "worker panicked",
+            shard = shard,
+            panic = payload,
+            location = location,
+        );
+        previous(info);
+    }));
+}
+
 /// Runs the worker protocol over arbitrary streams (the binary passes
 /// stdin/stdout; tests can pass pipes in-process). Returns a process
 /// exit code: `0` on a clean run — including a cancelled one — and
 /// nonzero on protocol violations.
 pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: impl Write) -> i32 {
+    install_panic_hook(shard);
     let hello = Frame::Hello {
         shard: shard as u32,
         protocol: PROTOCOL_VERSION,
@@ -59,7 +101,7 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
         Ok(Some(Frame::Job(payload))) => match Job::from_bytes(&payload) {
             Ok(job) => job,
             Err(e) => {
-                eprintln!("[shard {shard}] bad job: {e}");
+                telemetry::log_error!("shard.worker", "bad job", shard = shard, error = e);
                 return 2;
             }
         },
@@ -68,22 +110,47 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
         // protocol violation.
         Ok(Some(Frame::Cancel)) | Ok(None) => return 0,
         Ok(Some(other)) => {
-            eprintln!("[shard {shard}] expected Job, got {other:?}");
+            telemetry::log_error!(
+                "shard.worker",
+                "protocol violation: expected Job",
+                shard = shard,
+                got = other.kind(),
+            );
             return 2;
         }
         Err(e) => {
-            eprintln!("[shard {shard}] reading job: {e}");
+            telemetry::log_error!(
+                "shard.worker",
+                "reading job failed",
+                shard = shard,
+                error = e.to_string(),
+            );
             return 2;
         }
     };
     let local_fp = engine::fingerprint(&job.problem).to_hex();
     if local_fp != job.fingerprint {
-        eprintln!(
-            "[shard {shard}] fingerprint mismatch: job says {}, parsed problem is {local_fp}",
-            job.fingerprint
+        telemetry::log_error!(
+            "shard.worker",
+            "fingerprint mismatch",
+            shard = shard,
+            job_fingerprint = job.fingerprint.clone(),
+            parsed_fingerprint = local_fp,
         );
         return 3;
     }
+    telemetry::log_info!(
+        "shard.worker",
+        "job accepted",
+        shard = shard,
+        total_shards = job.total_shards,
+        modes = job.problem.num_modes(),
+        lanes = job.strategies.len(),
+        fingerprint = job.fingerprint.clone(),
+    );
+    // First checkpoint right away: even a worker killed milliseconds into
+    // the race leaves its job context behind for the post-mortem.
+    let _ = pump_blackbox(&job, &mut output);
 
     // The coordinator's trace id turns span recording on for this whole
     // process; batches ship back over the pump loop below.
@@ -163,9 +230,11 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
                 Ok(outcome) => break outcome,
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    // The race thread panicked. The scope will re-raise
-                    // its panic on exit; the coordinator sees the
-                    // non-zero death and degrades.
+                    // The race thread panicked. The panic hook has
+                    // already logged it into the ring; ship one last
+                    // checkpoint so the coordinator's post-mortem shows
+                    // the panic, then let the scope re-raise on exit.
+                    let _ = pump_blackbox(&job, &mut output);
                     return 4;
                 }
             }
@@ -190,6 +259,9 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
                     let _ = pump_trace(shard, id, &mut output);
                 }
             }
+            if ticks.is_multiple_of(BLACKBOX_EVERY_TICKS) {
+                let _ = pump_blackbox(&job, &mut output);
+            }
         };
 
         // Final flush (bounds/floors the race published on its way out),
@@ -208,6 +280,14 @@ pub fn run_worker(shard: usize, input: impl Read + Send + 'static, mut output: i
         if let Some(id) = &trace_id {
             let _ = pump_trace(shard, id, &mut output);
         }
+        telemetry::log_info!(
+            "shard.worker",
+            "race finished",
+            shard = shard,
+            weight = outcome.weight().map(|w| w as u64).unwrap_or(0),
+            optimal = outcome.optimal_proved,
+        );
+        let _ = pump_blackbox(&job, &mut output);
         let result = ShardResult {
             weight: outcome.weight(),
             strings: outcome.best.as_ref().map(|b| b.strings.clone()),
@@ -302,5 +382,21 @@ fn pump_trace(shard: usize, trace_id: &str, output: &mut impl Write) -> io::Resu
         events,
     };
     write_frame(output, &Frame::Trace(batch.to_json().into_bytes()))?;
+    output.flush()
+}
+
+/// Ships the worker's current flight-recorder ring as one `BlackBox`
+/// checkpoint. Best-effort by design: a failed write means the
+/// coordinator is gone, and the pump loop's own write failure handling
+/// will notice on the next clause/bound attempt.
+fn pump_blackbox(job: &Job, output: &mut impl Write) -> io::Result<()> {
+    let checkpoint = BlackBoxCheckpoint {
+        shard: job.shard,
+        fingerprint: job.fingerprint.clone(),
+        modes: job.problem.num_modes(),
+        lanes: job.strategies.iter().map(|s| s.name()).collect(),
+        flight_recorder: telemetry::recorder::recorder().snapshot().to_json_value(),
+    };
+    write_frame(output, &Frame::BlackBox(checkpoint.to_bytes()))?;
     output.flush()
 }

@@ -24,7 +24,7 @@ fn worker_bin() -> PathBuf {
 fn options() -> ShardOptions {
     ShardOptions {
         worker_bin: Some(worker_bin()),
-        spawn_hook: None,
+        ..ShardOptions::default()
     }
 }
 
@@ -152,6 +152,7 @@ fn sigkilled_worker_degrades_the_race_not_the_result() {
         &ShardOptions {
             worker_bin: Some(worker_bin()),
             spawn_hook: Some(hook),
+            ..ShardOptions::default()
         },
     );
 
@@ -181,6 +182,140 @@ fn sigkilled_worker_degrades_the_race_not_the_result() {
         report.workers.iter().all(|w| w.shard != Some(victim)),
         "a dead shard reports no lane timelines"
     );
+}
+
+/// One attempt of the post-mortem scenario: SIGKILL the victim
+/// `delay_ms` into the race, then check that the coordinator wrote a
+/// complete bundle. Returns `Err` when the kill landed outside the
+/// victim's vulnerable window (before job acceptance, or after its
+/// result) — the caller retries with a different delay.
+fn postmortem_attempt(dir: &std::path::Path, delay_ms: u64) -> Result<(), String> {
+    let _ = std::fs::remove_dir_all(dir);
+    let problem = EncodingProblem::full_sat(4, Objective::MajoranaWeight);
+    let victim = 2usize;
+    // No SIGSTOP here: the victim must *run* long enough to accept its
+    // job and ship the immediate first checkpoint (~10 ms in), so the
+    // kill is delayed into the middle of the ~500 ms N=4 race.
+    let hook = Arc::new(move |shard: usize, pid: u32| {
+        if shard != victim {
+            return;
+        }
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+            let _ = std::process::Command::new("kill")
+                .args(["-KILL", &pid.to_string()])
+                .status();
+        });
+    });
+    let outcome = compile_sharded_with(
+        &problem,
+        &sharded_config(3, Duration::from_secs(120)),
+        None,
+        None,
+        &ShardOptions {
+            worker_bin: Some(worker_bin()),
+            spawn_hook: Some(hook),
+            postmortem_dir: Some(dir.to_path_buf()),
+        },
+    );
+
+    // The race itself must still certify — kill timing cannot change
+    // that, so this is a hard assert, not a retryable condition.
+    assert_valid_optimum(&problem, &outcome, "postmortem race");
+
+    if !outcome.report.shards[victim].dead {
+        return Err(format!(
+            "kill at {delay_ms}ms landed after the victim's result; not dead: {:?}",
+            outcome.report.shards
+        ));
+    }
+
+    // The bundle: one file, named after the dead shard.
+    let path = dir.join(format!("postmortem-{victim}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("missing post-mortem bundle {}: {e}", path.display()))?;
+    let bundle = jsonkit::parse(&text).expect("post-mortem bundle must be valid JSON");
+    assert_eq!(bundle.get("shard").and_then(|v| v.as_usize()), Some(victim));
+    let exit = bundle
+        .get("exit_status")
+        .and_then(|v| v.as_str())
+        .expect("a reaped SIGKILL must leave an exit status");
+    assert!(
+        exit.contains('9') || exit.to_lowercase().contains("kill"),
+        "exit status should name the kill signal, got {exit:?}"
+    );
+    let job = bundle.get("job").expect("job context");
+    assert_eq!(
+        job.get("fingerprint").and_then(|v| v.as_str()),
+        Some(outcome.report.fingerprint.as_str()),
+        "job context must carry the race's fingerprint"
+    );
+    assert_eq!(job.get("modes").and_then(|v| v.as_usize()), Some(4));
+    assert!(
+        !job.get("lanes")
+            .and_then(|v| v.as_arr())
+            .unwrap_or(&[])
+            .is_empty(),
+        "job context must name the victim's lanes"
+    );
+    // The payload of the tentpole: the victim's last checkpointed
+    // flight-recorder ring, with its "job accepted" event intact. A kill
+    // that lands before the first checkpoint crossed the pipe leaves
+    // `flight_recorder: null` — retryable, the window was missed.
+    let records = bundle
+        .get("flight_recorder")
+        .and_then(|v| v.get("records"))
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| {
+            format!("kill at {delay_ms}ms beat the first checkpoint; no ring in the bundle")
+        })?;
+    assert!(!records.is_empty(), "checkpointed ring must not be empty");
+    assert!(
+        records.iter().any(|r| {
+            r.get("msg").and_then(|v| v.as_str()) == Some("job accepted")
+                && r.get("target").and_then(|v| v.as_str()) == Some("shard.worker")
+        }),
+        "the victim's job-acceptance event must survive in the bundle"
+    );
+
+    // No bundles for the survivors.
+    for shard in 0..3 {
+        if shard != victim {
+            assert!(
+                !dir.join(format!("postmortem-{shard}.json")).exists(),
+                "live shard {shard} must not get a post-mortem"
+            );
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn sigkilled_worker_leaves_a_postmortem_bundle() {
+    // The black-box pipeline end to end: the worker checkpoints its
+    // flight-recorder ring over BlackBox frames from the moment it
+    // accepts its job, so a SIGKILL — no unwinding, no final flush —
+    // must still leave a postmortem-<shard>.json with its last
+    // checkpointed events, the job context, and the kill signal.
+    //
+    // The kill must land between job acceptance (~10 ms) and the
+    // victim's result (~500 ms locally, longer on loaded CI); a miss on
+    // either side is detected and retried at a different delay.
+    let dir = std::env::temp_dir().join(format!(
+        "fermihedral-shard-postmortem-test-{}",
+        std::process::id()
+    ));
+    let mut last_miss = String::new();
+    for delay_ms in [150, 250, 100, 400] {
+        match postmortem_attempt(&dir, delay_ms) {
+            Ok(()) => {
+                std::fs::remove_dir_all(&dir).unwrap();
+                return;
+            }
+            Err(miss) => last_miss = miss,
+        }
+    }
+    panic!("no kill delay hit the vulnerable window; last miss: {last_miss}");
 }
 
 #[test]
@@ -219,6 +354,7 @@ fn killed_worker_partial_trace_merges_without_panicking() {
         &ShardOptions {
             worker_bin: Some(worker_bin()),
             spawn_hook: Some(hook),
+            ..ShardOptions::default()
         },
     );
     registry.disable();
@@ -336,7 +472,7 @@ fn coordinator_survives_a_missing_worker_binary() {
         None,
         &ShardOptions {
             worker_bin: Some(PathBuf::from("/nonexistent/fermihedral-shard")),
-            spawn_hook: None,
+            ..ShardOptions::default()
         },
     );
     assert!(outcome.optimal_proved, "degraded run must still certify");

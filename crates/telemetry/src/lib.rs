@@ -33,18 +33,35 @@
 //! its own timeline ([`chrome::TraceBatch::shift_onto`]), so a `--shards 2`
 //! race exports one merged trace with coordinator and worker spans aligned.
 //!
+//! # Logs and the flight recorder
+//!
+//! Tracing is opt-in; diagnostics are not. [`log`] provides leveled,
+//! structured key=value events (filtered by `FERMIHEDRAL_LOG`, rendered
+//! as text or JSON lines on stderr), and [`recorder`] keeps an always-on
+//! bounded ring of the last N `Info`+ events and span closures — the
+//! black box a shard worker checkpoints over the wire and a post-mortem
+//! bundle is built from. Log events carry the innermost open span's id
+//! ([`current_span_id`]), joining the two surfaces.
+//!
 //! # Overhead
 //!
-//! With recording disabled (the default) the instrumentation cost is one
-//! relaxed atomic load per span; `engine_portfolio --trace-out` measures
-//! the enabled-vs-disabled delta on the deterministic N=4 descent cell and
-//! prints it (the acceptance bar is <2%).
+//! With trace recording disabled (the default) a span costs one id
+//! allocation, a thread-local push/pop, and one bounded-ring write at
+//! close — nanoseconds, paid only at span granularity (per solve, per
+//! lane, per request), never per conflict. Filtered-out `Debug`/`Trace`
+//! log events cost one atomic load. `engine_portfolio --trace-out`
+//! measures the trace-enabled-vs-disabled delta on the deterministic N=4
+//! descent cell and prints it (the acceptance bar is <2%).
 
 pub mod chrome;
+pub mod log;
 pub mod metrics;
+pub mod recorder;
 pub mod store;
 
+pub use log::{Filter, Level};
 pub use metrics::{Counter, Gauge, Histogram, MetricSet, PromText};
+pub use recorder::FlightRecorder;
 pub use store::TraceStore;
 
 use std::cell::RefCell;
@@ -100,6 +117,30 @@ impl From<&str> for AttrValue {
 impl From<String> for AttrValue {
     fn from(v: String) -> AttrValue {
         AttrValue::Str(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> AttrValue {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> AttrValue {
+        AttrValue::I64(v as i64)
+    }
+}
+
+impl AttrValue {
+    /// The JSON form (used by the log sink, the flight recorder, and
+    /// the Chrome exporter).
+    pub fn to_json_value(&self) -> jsonkit::Value {
+        match self {
+            AttrValue::I64(v) => jsonkit::Value::Num(*v as f64),
+            AttrValue::U64(v) => jsonkit::Value::Num(*v as f64),
+            AttrValue::F64(v) => jsonkit::Value::Num(*v),
+            AttrValue::Str(v) => jsonkit::Value::Str(v.clone()),
+            AttrValue::Bool(v) => jsonkit::Value::Bool(*v),
+        }
     }
 }
 
@@ -219,6 +260,13 @@ impl Registry {
     /// epoch — the anchor cross-process merges align on.
     pub fn epoch_wall_us(&self) -> u64 {
         self.epoch_wall_us
+    }
+
+    /// Seconds since this registry was created. For the global registry
+    /// that is process start (modulo lazy first use), exported as the
+    /// `process_uptime_seconds` gauge.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
     }
 
     /// Events dropped because a buffer or the retention cap was full.
@@ -409,14 +457,35 @@ pub fn current_tid() -> u64 {
     tid
 }
 
+/// Process-unique span ids, starting at 1 (0 means "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The stack of open span ids on this thread; the top is what log
+    /// events correlate against.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span's id on this thread (0 if none). Log events
+/// capture it so a line can be joined to its trace span.
+pub fn current_span_id() -> u64 {
+    SPAN_STACK
+        .try_with(|stack| stack.borrow().last().copied().unwrap_or(0))
+        .unwrap_or(0)
+}
+
 /// An in-flight span. Created by [`span`]; records one `Complete` event on
 /// drop. Attributes added while the span is open travel with it.
 ///
-/// When recording is disabled the guard is inert: no allocation, no
-/// recording, and `attr` is a no-op.
+/// Every guard carries a process-unique [`id`](SpanGuard::id) and pushes
+/// it on the thread's span stack, and its closure always lands in the
+/// [`recorder`] ring — the flight recorder works with tracing off. The
+/// *trace* event (with attributes) is only recorded when the registry is
+/// enabled; a disabled guard skips allocation and `attr` is a no-op.
 #[must_use = "a span measures the scope holding it"]
 pub struct SpanGuard {
     name: &'static str,
+    id: u64,
     start_us: u64,
     attrs: Vec<(String, AttrValue)>,
     active: bool,
@@ -430,24 +499,39 @@ impl SpanGuard {
         }
     }
 
-    /// Whether this guard is recording (false when telemetry is off).
+    /// Whether this guard is recording a trace event (false when
+    /// telemetry is off; the flight-recorder closure happens regardless).
     pub fn active(&self) -> bool {
         self.active
+    }
+
+    /// This span's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        let registry = global();
+        let end_us = registry.now_us();
+        let dur_us = end_us.saturating_sub(self.start_us);
+        // Unwind this id from the thread's stack. Guards nearly always
+        // drop in LIFO order; `rposition` also survives a guard moved
+        // across an early return holding younger spans open.
+        let _ = SPAN_STACK.try_with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(at) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(at);
+            }
+        });
+        recorder::record_span_close(self.name, self.start_us, dur_us, self.id);
         if !self.active {
             return;
         }
-        let registry = global();
-        let end_us = registry.now_us();
         let event = Event {
             name: self.name.to_string(),
-            kind: EventKind::Complete {
-                dur_us: end_us.saturating_sub(self.start_us),
-            },
+            kind: EventKind::Complete { dur_us },
             ts_us: self.start_us,
             pid: 0,
             tid: 0,
@@ -460,19 +544,14 @@ impl Drop for SpanGuard {
 /// Opens a span; the returned guard records it when dropped.
 pub fn span(name: &'static str) -> SpanGuard {
     let registry = global();
-    if !registry.is_enabled() {
-        return SpanGuard {
-            name,
-            start_us: 0,
-            attrs: Vec::new(),
-            active: false,
-        };
-    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let _ = SPAN_STACK.try_with(|stack| stack.borrow_mut().push(id));
     SpanGuard {
         name,
+        id,
         start_us: registry.now_us(),
         attrs: Vec::new(),
-        active: true,
+        active: registry.is_enabled(),
     }
 }
 
@@ -504,6 +583,32 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t0 = Instant::now();
     let out = f();
     (out, t0.elapsed())
+}
+
+/// Build provenance baked in at compile time (see `build.rs`). Every
+/// field degrades to `"unknown"` rather than failing the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Short git commit hash of the workspace at build time.
+    pub git_hash: &'static str,
+    /// `rustc --version` of the compiling toolchain.
+    pub rustc: &'static str,
+    /// `"release"` or `"debug"`.
+    pub profile: &'static str,
+}
+
+/// This binary's build provenance — exported as the Prometheus
+/// `build_info` gauge and in the `/healthz` body.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        git_hash: env!("FERMIHEDRAL_GIT_HASH"),
+        rustc: env!("FERMIHEDRAL_RUSTC_VERSION"),
+        profile: if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    }
 }
 
 #[cfg(test)]
@@ -578,5 +683,28 @@ mod tests {
         let a = LocalBuffer::new(&r);
         let b = LocalBuffer::new(&r);
         assert_ne!(a.tid(), b.tid());
+    }
+
+    #[test]
+    fn span_ids_nest_and_unwind() {
+        assert_eq!(current_span_id(), 0);
+        let outer = span("test.outer");
+        assert_eq!(current_span_id(), outer.id());
+        {
+            let inner = span("test.inner");
+            assert_ne!(inner.id(), outer.id());
+            assert_eq!(current_span_id(), inner.id());
+        }
+        assert_eq!(current_span_id(), outer.id());
+        let outer_id = outer.id();
+        drop(outer);
+        assert_eq!(current_span_id(), 0);
+
+        // Even with tracing disabled, the closure reached the black box.
+        let snap = recorder::recorder().snapshot();
+        assert!(snap.records.iter().any(|r| matches!(
+            &r.kind,
+            recorder::RecordKind::SpanClose { name, .. } if name == "test.outer"
+        ) && r.span_id == outer_id));
     }
 }

@@ -1,0 +1,330 @@
+//! The always-on flight recorder: a bounded, lock-free-on-the-write-path
+//! ring that retains the last N diagnostic records per process.
+//!
+//! Tracing ([`crate::span`]) is opt-in and high-volume; the recorder is
+//! the opposite — always on, tiny, and deliberately lossy. Every log
+//! event at `Info` or above and every span closure lands here, so when a
+//! process dies (a SIGKILL'd shard worker, a wedged server) the last few
+//! hundred things it did are recoverable:
+//!
+//! * shard workers checkpoint their ring over `Frame::BlackBox` so the
+//!   coordinator can write a post-mortem bundle for a corpse;
+//! * `serve` exposes the live ring at `GET /v1/flightrecorder`;
+//! * a panic hook logs the panic, which lands in the ring before the
+//!   final checkpoint ships.
+//!
+//! # Write path
+//!
+//! A writer claims a sequence number with one `fetch_add`, then
+//! `try_lock`s the slot the sequence maps to. If another writer holds
+//! that slot the record is *dropped and counted* — never block a solver
+//! thread on diagnostics. Overwriting an old record on wraparound is the
+//! ring working as designed and is **not** counted as a drop; the drop
+//! counter means "a record that should be in the ring is not".
+
+use crate::{AttrValue, Level};
+use jsonkit::{obj, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default ring capacity: enough to hold the closing minutes of a race
+/// (restarts, GC, bounds, the job context) without mattering to RSS.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// What one flight-recorder record describes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordKind {
+    /// A structured log event (level ≥ [`Level::Info`]).
+    Log {
+        /// Severity.
+        level: Level,
+        /// Dot-namespaced subsystem (`shard.worker`, `serve.http`, …).
+        target: String,
+        /// Human-readable message.
+        msg: String,
+        /// Structured key=value fields.
+        fields: Vec<(String, AttrValue)>,
+    },
+    /// A span that closed (mirrors the trace `Complete` event).
+    SpanClose {
+        /// Span name (`sat.solve`, `engine.lane`, …).
+        name: String,
+        /// Span duration in microseconds.
+        dur_us: u64,
+    },
+}
+
+/// One record in the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Monotonic per-process sequence number, assigned by the recorder.
+    pub seq: u64,
+    /// Microseconds since the process's monotonic epoch.
+    pub ts_us: u64,
+    /// Recorder thread id (0 when unknown).
+    pub tid: u64,
+    /// Innermost open span when the record was made (0 = none).
+    pub span_id: u64,
+    /// The payload.
+    pub kind: RecordKind,
+}
+
+/// A point-in-time copy of the ring, ordered by sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Total records ever written (claimed sequence numbers).
+    pub written: u64,
+    /// Records lost to slot contention (see module docs — wraparound
+    /// overwrites are *not* drops).
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: usize,
+    /// Surviving records, sorted by `seq` ascending.
+    pub records: Vec<Record>,
+}
+
+/// The bounded diagnostic ring. See the module docs for the write-path
+/// contract.
+pub struct FlightRecorder {
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+    slots: Vec<Mutex<Option<Record>>>,
+}
+
+impl FlightRecorder {
+    /// A ring holding at most `capacity` records.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever written.
+    pub fn written(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to slot contention.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Appends one record (its `seq` is assigned here). Never blocks: a
+    /// contended slot drops the record and bumps the counter.
+    pub fn record(&self, mut record: Record) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Ok(mut held) => {
+                // A slower writer from a *previous* lap must never clobber
+                // a newer record that already landed here.
+                if held.as_ref().is_none_or(|old| old.seq < seq) {
+                    *held = Some(record);
+                }
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copies the ring. Taken rarely (a checkpoint, a dump endpoint, a
+    /// post-mortem); writers racing the snapshot at worst drop into the
+    /// counter, so the invariant
+    /// `records.len() ≥ min(written, capacity) − dropped` holds.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut records: Vec<Record> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().ok().and_then(|held| held.clone()))
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        Snapshot {
+            written: self.written(),
+            dropped: self.dropped(),
+            capacity: self.capacity(),
+            records,
+        }
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a JSON object — the payload of a
+    /// `BlackBox` frame, the body of `GET /v1/flightrecorder`, and the
+    /// `flight_recorder` section of a post-mortem bundle.
+    pub fn to_json_value(&self) -> Value {
+        obj([
+            ("pid", Value::Num(std::process::id() as f64)),
+            ("written", Value::Num(self.written as f64)),
+            ("dropped", Value::Num(self.dropped as f64)),
+            ("capacity", Value::Num(self.capacity as f64)),
+            (
+                "records",
+                Value::Arr(self.records.iter().map(record_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn record_to_json(record: &Record) -> Value {
+    let mut fields = vec![
+        ("seq", Value::Num(record.seq as f64)),
+        ("ts_us", Value::Num(record.ts_us as f64)),
+        ("tid", Value::Num(record.tid as f64)),
+    ];
+    if record.span_id != 0 {
+        fields.push(("span", Value::Num(record.span_id as f64)));
+    }
+    match &record.kind {
+        RecordKind::Log {
+            level,
+            target,
+            msg,
+            fields: kv,
+        } => {
+            fields.push(("kind", Value::Str("log".into())));
+            fields.push(("level", Value::Str(level.as_str().into())));
+            fields.push(("target", Value::Str(target.clone())));
+            fields.push(("msg", Value::Str(msg.clone())));
+            if !kv.is_empty() {
+                fields.push((
+                    "fields",
+                    Value::Obj(
+                        kv.iter()
+                            .map(|(k, v)| (k.clone(), v.to_json_value()))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        RecordKind::SpanClose { name, dur_us } => {
+            fields.push(("kind", Value::Str("span".into())));
+            fields.push(("name", Value::Str(name.clone())));
+            fields.push(("dur_us", Value::Num(*dur_us as f64)));
+        }
+    }
+    obj(fields)
+}
+
+static GLOBAL_RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-wide flight recorder (created on first use with
+/// [`DEFAULT_CAPACITY`]).
+pub fn recorder() -> &'static FlightRecorder {
+    GLOBAL_RECORDER.get_or_init(|| FlightRecorder::new(DEFAULT_CAPACITY))
+}
+
+/// Records a span closure into the global ring (called by `SpanGuard`'s
+/// drop — spans land in the black box even when tracing is disabled).
+pub(crate) fn record_span_close(name: &str, ts_us: u64, dur_us: u64, span_id: u64) {
+    recorder().record(Record {
+        seq: 0,
+        ts_us,
+        tid: crate::current_tid(),
+        span_id,
+        kind: RecordKind::SpanClose {
+            name: name.to_string(),
+            dur_us,
+        },
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_record(i: u64) -> Record {
+        Record {
+            seq: 0,
+            ts_us: i,
+            tid: 1,
+            span_id: 0,
+            kind: RecordKind::Log {
+                level: Level::Info,
+                target: "test".into(),
+                msg: format!("event {i}"),
+                fields: vec![("i".into(), AttrValue::U64(i))],
+            },
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_records_in_order() {
+        let ring = FlightRecorder::new(8);
+        for i in 0..27u64 {
+            ring.record(log_record(i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.written, 27);
+        assert_eq!(snap.dropped, 0, "single-threaded writes never contend");
+        let seqs: Vec<u64> = snap.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (19..27).collect::<Vec<_>>(), "last capacity seqs");
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let ring = FlightRecorder::new(4);
+        ring.record(log_record(0));
+        ring.record(Record {
+            seq: 0,
+            ts_us: 5,
+            tid: 2,
+            span_id: 7,
+            kind: RecordKind::SpanClose {
+                name: "sat.solve".into(),
+                dur_us: 1234,
+            },
+        });
+        let text = ring.snapshot().to_json_value().to_json_compact();
+        let parsed = jsonkit::parse(&text).expect("snapshot must be valid JSON");
+        assert_eq!(parsed.get("written").unwrap().as_usize(), Some(2));
+        let records = parsed.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].get("kind").unwrap().as_str(), Some("log"));
+        assert_eq!(records[0].get("msg").unwrap().as_str(), Some("event 0"));
+        assert_eq!(records[1].get("kind").unwrap().as_str(), Some("span"));
+        assert_eq!(records[1].get("span").unwrap().as_usize(), Some(7));
+        assert_eq!(records[1].get("dur_us").unwrap().as_usize(), Some(1234));
+    }
+
+    #[test]
+    fn concurrent_writers_lose_at_most_the_drop_counter() {
+        let ring = std::sync::Arc::new(FlightRecorder::new(64));
+        let threads = 8;
+        let per_thread = 500u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let ring = ring.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        ring.record(log_record(t * per_thread + i));
+                    }
+                });
+            }
+        });
+        let snap = ring.snapshot();
+        assert_eq!(snap.written, threads * per_thread);
+        let floor = (snap.written.min(snap.capacity as u64)).saturating_sub(snap.dropped);
+        assert!(
+            snap.records.len() as u64 >= floor,
+            "ring lost more than it admitted: {} records, {} dropped",
+            snap.records.len(),
+            snap.dropped
+        );
+        // Sequence numbers are unique and sorted.
+        let seqs: Vec<u64> = snap.records.iter().map(|r| r.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(seqs, sorted);
+    }
+}

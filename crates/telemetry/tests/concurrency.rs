@@ -87,6 +87,114 @@ fn pressure_drops_are_counted_not_silent() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Flight recorder: the always-on bounded ring behind post-mortems.
+// ---------------------------------------------------------------------------
+
+use telemetry::recorder::{FlightRecorder, Record, RecordKind};
+
+fn ring_record(thread: u64, seq: u64) -> Record {
+    Record {
+        seq: 0,
+        ts_us: seq,
+        tid: thread,
+        span_id: 0,
+        kind: RecordKind::Log {
+            level: telemetry::Level::Info,
+            target: "hammer".into(),
+            msg: format!("t{thread} e{seq}"),
+            fields: vec![("seq".into(), telemetry::AttrValue::U64(seq))],
+        },
+    }
+}
+
+/// `threads` writers, with a concurrent snapshotter racing them (that is
+/// what produces `try_lock` contention), then a final quiesced snapshot.
+fn hammer_ring(threads: u64, per_thread: u64, capacity: usize) -> telemetry::recorder::Snapshot {
+    let ring = FlightRecorder::new(capacity);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let ring = &ring;
+            handles.push(scope.spawn(move || {
+                for seq in 0..per_thread {
+                    ring.record(ring_record(t, seq));
+                }
+            }));
+        }
+        let ring = &ring;
+        scope.spawn(move || {
+            let _ = ring.snapshot();
+        });
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+    ring.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_never_loses_more_than_its_drop_counter(
+        threads in 1u64..8,
+        per_thread in 1u64..3_000,
+        capacity in 1usize..1_024,
+    ) {
+        let snap = hammer_ring(threads, per_thread, capacity);
+        prop_assert_eq!(snap.written, threads * per_thread);
+        // Every slot the writers reached holds a record unless all its
+        // writers were counted as dropped: the ring may not lose more
+        // than the drop counter admits.
+        let reached = snap.written.min(snap.capacity as u64);
+        prop_assert!(
+            snap.records.len() as u64 + snap.dropped >= reached,
+            "{} records + {} dropped < {} slots reached",
+            snap.records.len(),
+            snap.dropped,
+            reached
+        );
+        // Wraparound preserves ordering: seqs are unique and ascending,
+        // and none claims a write that never happened.
+        let seqs: Vec<u64> = snap.records.iter().map(|r| r.seq).collect();
+        prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(seqs.iter().all(|&s| s < snap.written));
+        // A record older than the last `capacity` writes can survive only
+        // when every later writer lapped onto its slot dropped on
+        // contention — so stale survivors are bounded by the drop counter.
+        let oldest_possible = snap.written.saturating_sub(snap.capacity as u64);
+        let stale = seqs.iter().filter(|&&s| s < oldest_possible).count() as u64;
+        prop_assert!(
+            stale <= snap.dropped,
+            "{} records predate the last {} writes but only {} drops were counted",
+            stale,
+            snap.capacity,
+            snap.dropped
+        );
+    }
+}
+
+#[test]
+fn single_writer_wraparound_is_lossless_and_ordered() {
+    // One writer can never contend with itself: after 5 laps the ring
+    // holds exactly the last `capacity` records, in write order.
+    let capacity = 32u64;
+    let ring = FlightRecorder::new(capacity as usize);
+    for seq in 0..5 * capacity + 7 {
+        ring.record(ring_record(0, seq));
+    }
+    let snap = ring.snapshot();
+    assert_eq!(snap.dropped, 0);
+    let seqs: Vec<u64> = snap.records.iter().map(|r| r.seq).collect();
+    let expected: Vec<u64> = (4 * capacity + 7..5 * capacity + 7).collect();
+    assert_eq!(seqs, expected);
+    // And the payloads rode along with their seqs.
+    for record in &snap.records {
+        assert_eq!(record.ts_us, record.seq, "payload/seq pairing survived");
+    }
+}
+
 #[test]
 fn distinct_threads_get_distinct_tids() {
     let registry = Registry::new();
