@@ -142,6 +142,39 @@ pub struct DescentConfig {
     /// overrides them per lane, which is how portfolio lanes start tight
     /// or loose.
     pub export_lbd: Option<sat::ExportLbd>,
+    /// Live witness publication: invoked with every *improved* encoding
+    /// the moment the solver hands back its model, while the descent
+    /// keeps running. `shared_bound` ships only the weight; anyone
+    /// racing across a crash boundary needs the strings to travel too,
+    /// or a killed worker takes its incumbent to the grave while the
+    /// weight it already broadcast steers everyone else below a witness
+    /// nobody holds.
+    pub on_improve: Option<ImproveHook>,
+}
+
+/// A cloneable callback receiving each improved [`BestEncoding`] live
+/// (see [`DescentConfig::on_improve`]). Wrapped so `DescentConfig` can
+/// stay `Debug + Clone`.
+#[derive(Clone)]
+pub struct ImproveHook(Arc<dyn Fn(&BestEncoding) + Send + Sync>);
+
+impl ImproveHook {
+    /// Wraps a callback; it runs on the descent thread, so keep it
+    /// cheap (store-and-signal, not recompute).
+    pub fn new(hook: impl Fn(&BestEncoding) + Send + Sync + 'static) -> ImproveHook {
+        ImproveHook(Arc::new(hook))
+    }
+
+    /// Invokes the callback.
+    pub fn call(&self, best: &BestEncoding) {
+        (self.0)(best)
+    }
+}
+
+impl std::fmt::Debug for ImproveHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ImproveHook(..)")
+    }
 }
 
 impl Default for DescentConfig {
@@ -162,6 +195,7 @@ impl Default for DescentConfig {
             restart_policy: None,
             clause_exchange: None,
             export_lbd: None,
+            on_improve: None,
         }
     }
 }
@@ -484,6 +518,9 @@ pub fn solve_optimal_instance(
                 best = Some(BestEncoding { strings, weight });
                 if let Some(shared) = &config.shared_bound {
                     shared.tighten(weight);
+                }
+                if let Some(hook) = &config.on_improve {
+                    hook.call(best.as_ref().expect("just set"));
                 }
             }
             sat::SolveResult::Unsat => {

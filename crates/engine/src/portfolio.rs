@@ -35,8 +35,8 @@ use encodings::validate::validate_strings;
 use encodings::weight::structure_weight;
 use encodings::{Encoding, LinearEncoding, MajoranaEncoding, TernaryTreeEncoding};
 use fermihedral::descent::{
-    bravyi_kitaev_bound, solve_optimal_instance, BestEncoding, DescentConfig, SharedBound,
-    StepResult,
+    bravyi_kitaev_bound, solve_optimal_instance, BestEncoding, DescentConfig, ImproveHook,
+    SharedBound, StepResult,
 };
 use fermihedral::{anneal_pairing, AnnealConfig, EncodingInstance, EncodingProblem, Objective};
 use pauli::{PauliString, PhasedString};
@@ -324,10 +324,15 @@ impl EngineOutcome {
     }
 }
 
-/// Shared state the workers race on.
+/// Shared state the workers race on. Cloning shares the same race —
+/// every field is a handle — so long-lived callbacks (e.g. a descent
+/// lane's live [`core::descent::ImproveHook`]) can own one.
+#[derive(Clone)]
 struct Incumbent {
     bound: SharedBound,
-    best: Mutex<Option<(BestEncoding, String)>>,
+    /// Shared with the [`RaceBridge`] so a cross-process pump can ship
+    /// the incumbent *encoding* (not just its weight) to the coordinator.
+    best: Arc<Mutex<Option<(BestEncoding, String)>>>,
     /// Strongest UNSAT floor proved so far (0 = none: a weight-0 encoding
     /// is impossible, so floor 0 carries no information). Shared with the
     /// [`RaceBridge`] so a cross-process pump can forward floor proofs.
@@ -336,7 +341,7 @@ struct Incumbent {
     /// Lanes still running. Lets a lane that *waits* on the others (the
     /// re-seeding annealer) stop waiting once it is the last one standing,
     /// instead of idling out the whole timeout.
-    active_lanes: AtomicUsize,
+    active_lanes: Arc<AtomicUsize>,
 }
 
 impl Incumbent {
@@ -345,10 +350,10 @@ impl Incumbent {
     fn new(cancel: CancelToken, lanes: usize) -> Incumbent {
         Incumbent {
             bound: SharedBound::new(),
-            best: Mutex::new(None),
+            best: Arc::new(Mutex::new(None)),
             floor: Arc::new(AtomicUsize::new(0)),
             cancel,
-            active_lanes: AtomicUsize::new(lanes),
+            active_lanes: Arc::new(AtomicUsize::new(lanes)),
         }
     }
 
@@ -443,6 +448,12 @@ pub struct RaceBridge {
     /// Clause bridge into the local exchange. `None` when the race has no
     /// descent lane or clause sharing is disabled.
     pub remote: Option<RemoteExchange>,
+    /// Live view of the best *local* encoding (and the lane that found
+    /// it). A pump that announces an improved [`bound`](RaceBridge::bound)
+    /// should ship these strings with it: a weight whose witness exists
+    /// only in this process dies with it, and a race that was steered
+    /// below a lost witness ends floor-met but artifact-less.
+    pub best: Arc<Mutex<Option<(BestEncoding, String)>>>,
 }
 
 /// [`compile`] with a cross-process bridge attached: `on_start` receives
@@ -702,6 +713,7 @@ fn compile_inner(
             cancel: incumbent.cancel.clone(),
             floor: incumbent.floor.clone(),
             remote: remote_exchange,
+            best: incumbent.best.clone(),
         });
     }
 
@@ -1016,12 +1028,22 @@ fn run_descent_lane(
     name: String,
 ) -> WorkerReport {
     let started_at = engine_start.elapsed();
+    // Publish improvements *live*, not just at lane end: the shared
+    // bound already travels instantly, and the witness strings must
+    // keep pace with it — a sharded race whose worker dies mid-descent
+    // would otherwise hold a bound without the encoding behind it.
+    let live_publish = {
+        let incumbent = incumbent.clone();
+        let lane = name.clone();
+        ImproveHook::new(move |best: &BestEncoding| incumbent.publish(best.clone(), &lane))
+    };
     let descent_config = DescentConfig {
         conflict_budget: config.conflict_budget_per_call,
         persist_on_budget: config.persist_on_budget,
         total_timeout: config.total_timeout.map(|t| t.saturating_sub(started_at)),
         cancel: Some(incumbent.cancel.clone()),
         shared_bound: Some(incumbent.bound.clone()),
+        on_improve: Some(live_publish),
         solver_seed: Some(spec.seed),
         random_branch: spec.random_branch,
         bk_phase_hint: spec.bk_phase_hint,

@@ -152,6 +152,13 @@ pub struct ShardReport {
     pub bounds_sent: u64,
     /// Incumbent-bound frames forwarded into this shard.
     pub bounds_received: u64,
+    /// Frames dropped on the way *to* this shard because its bounded
+    /// outbox was full (a slow peer sheds best-effort traffic instead
+    /// of stalling the race).
+    pub frames_dropped: u64,
+    /// Times a fleet worker re-attached to this shard id mid-race
+    /// (always 0 for pipe workers, which cannot reconnect).
+    pub rejoins: u64,
     /// True when the worker process died (or broke protocol) before
     /// reporting a result; the race degrades to the surviving shards.
     pub dead: bool,
@@ -167,6 +174,8 @@ impl ShardReport {
             ("clauses_received", Value::Num(self.clauses_received as f64)),
             ("bounds_sent", Value::Num(self.bounds_sent as f64)),
             ("bounds_received", Value::Num(self.bounds_received as f64)),
+            ("frames_dropped", Value::Num(self.frames_dropped as f64)),
+            ("rejoins", Value::Num(self.rejoins as f64)),
             ("dead", Value::Bool(self.dead)),
         ])
     }
@@ -449,6 +458,8 @@ mod tests {
                 clauses_received: 7,
                 bounds_sent: 2,
                 bounds_received: 1,
+                frames_dropped: 0,
+                rejoins: 0,
                 dead: false,
             }],
         };

@@ -9,7 +9,7 @@ use sat::wire::{Frame, RemoteClause, WireError};
 use sat::{SharedClause, Var};
 
 fn round_trip(frame: &Frame) {
-    let bytes = frame.to_bytes();
+    let bytes = frame.to_bytes().expect("well-formed frame encodes");
     let (decoded, used) = Frame::decode(&bytes).expect("well-formed frame decodes");
     assert_eq!(&decoded, frame);
     assert_eq!(used, bytes.len(), "decode must consume the whole frame");
@@ -74,7 +74,7 @@ proptest! {
         lits in proptest::collection::vec((0usize..100, any::<bool>()), 1..12),
     ) {
         let frame = clause_frame(shard, 0, lbd, None, &lits);
-        let bytes = frame.to_bytes();
+        let bytes = frame.to_bytes().expect("encodes");
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         prop_assert!(cut < bytes.len());
         match Frame::decode(&bytes[..cut]) {
@@ -99,7 +99,7 @@ proptest! {
             1 => Frame::Bound(value),
             _ => Frame::Result(value.to_le_bytes().to_vec()),
         };
-        let mut bytes = frame.to_bytes();
+        let mut bytes = frame.to_bytes().expect("encodes");
         let at = ((bytes.len() as f64) * flip_at_fraction) as usize;
         bytes[at] ^= flip_bits;
         // Any outcome is acceptable except a panic: the flip may still
@@ -114,7 +114,7 @@ proptest! {
         let frames: Vec<Frame> = bounds.iter().map(|&b| Frame::Bound(b)).collect();
         let mut buf = Vec::new();
         for f in &frames {
-            f.encode(&mut buf);
+            f.encode(&mut buf).expect("encodes");
         }
         let mut at = 0;
         for expected in &frames {

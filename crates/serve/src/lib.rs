@@ -131,6 +131,11 @@ pub struct ServeConfig {
     pub trace_dir: Option<PathBuf>,
     /// Engine template: portfolio, budgets, cache directory.
     pub engine: EngineConfig,
+    /// When set, bind a [`shard::FleetServer`] on this address and
+    /// drive solves over registered TCP workers (multi-host sharding)
+    /// instead of local threads or pipe workers. With no workers
+    /// registered, solves degrade to the in-process engine.
+    pub fleet_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +152,7 @@ impl Default for ServeConfig {
             keep_alive_idle: Duration::from_secs(30),
             trace_dir: None,
             engine: EngineConfig::default(),
+            fleet_addr: None,
         }
     }
 }
@@ -162,6 +168,9 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     local_addr: SocketAddr,
+    /// Multi-host transport, bound when [`ServeConfig::fleet_addr`] is
+    /// set: solves race over whatever workers are registered.
+    fleet: Option<shard::FleetServer>,
 }
 
 impl Shared {
@@ -231,6 +240,21 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         std::fs::create_dir_all(dir)?;
     }
 
+    let fleet = match &config.fleet_addr {
+        Some(addr) => Some(shard::FleetServer::bind(
+            addr,
+            shard::FleetOptions {
+                // A serve fleet never blocks a request waiting for
+                // workers: race whoever is registered right now, degrade
+                // in-process when nobody is.
+                min_peers: 0,
+                join_timeout: Duration::ZERO,
+                ..shard::FleetOptions::default()
+            },
+        )?),
+        None => None,
+    };
+
     let shared = Arc::new(Shared {
         queue: JobQueue::new(config.queue_capacity),
         coalescer: Coalescer::default(),
@@ -240,6 +264,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         started: Instant::now(),
         local_addr,
         engine,
+        fleet,
         config,
     });
 
@@ -763,7 +788,21 @@ fn worker_loop(shared: &Arc<Shared>) {
         let remaining = deadline_at
             .saturating_duration_since(Instant::now())
             .max(Duration::from_millis(1));
-        let outcome = if shared.config.engine.shards >= 2 {
+        let outcome = if let Some(fleet) = &shared.fleet {
+            // Multi-host compilation: the race runs over whatever TCP
+            // workers are registered with the fleet server right now
+            // (none → in-process fallback inside the fleet coordinator).
+            let mut config = shared.engine.config().clone();
+            config.total_timeout =
+                Some(config.total_timeout.map_or(remaining, |t| t.min(remaining)));
+            shard::compile_fleet_with(
+                &job.problem,
+                &config,
+                shared.engine.cache(),
+                Some(&job.cell.cancel),
+                fleet,
+            )
+        } else if shared.config.engine.shards >= 2 {
             // Sharded compilation: the same deadline and cancellation
             // semantics, but lanes race in `fermihedral-shard worker`
             // processes bridged by the coordinator (see crates/shard).
@@ -788,6 +827,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         let cancelled = !outcome.optimal_proved && shared.is_shutdown();
         if solve_span.active() {
             solve_span.attr("sharded", shared.config.engine.shards >= 2);
+            solve_span.attr("fleet", shared.fleet.is_some());
             solve_span.attr("optimal", outcome.optimal_proved);
             solve_span.attr("timed_out", timed_out);
             solve_span.attr("cancelled", cancelled);

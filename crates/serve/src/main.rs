@@ -59,6 +59,9 @@ OPTIONS:
     --shards N                shard each solve across N worker processes
                               (default 0 = in-process; needs the
                               fermihedral-shard binary on the usual paths)
+    --fleet HOST:PORT         listen for `fermihedral-shard worker
+                              --connect` TCP workers and race solves
+                              across them (multi-host; overrides --shards)
     --trace-dir PATH          write each request's Chrome trace JSON to
                               PATH/<fingerprint>.trace.json
     --log-level LEVEL         stderr log floor: trace|debug|info|warn|error
@@ -102,6 +105,7 @@ fn parse_flags() -> Flags {
                     "--max-deadline-ms",
                     "--max-modes",
                     "--shards",
+                    "--fleet",
                     "--trace-dir",
                     "--log-level",
                 ];
@@ -212,6 +216,7 @@ fn main() {
         max_modes: flags.get_num("max-modes", 8) as usize,
         trace_dir: flags.get("trace-dir").map(Into::into),
         engine,
+        fleet_addr: flags.get("fleet").map(Into::into),
         ..ServeConfig::default()
     };
 

@@ -147,6 +147,66 @@ pub fn compile_sharded_with(
         // cache traffic must land on the shared counters.
         return compile_with(problem, config, cache, external_cancel);
     }
+    let Some(worker_bin) = options.worker_bin.clone().or_else(default_worker_bin) else {
+        telemetry::log_warn!(
+            "shard.coordinator",
+            "worker binary not found; racing in-process instead",
+            shards = config.shards,
+        );
+        return compile_with(problem, config, cache, external_cancel);
+    };
+    compile_cached_race(
+        problem,
+        config,
+        cache,
+        external_cancel,
+        config.shards,
+        |fp_hex, strategies, warm_start, started| {
+            let parts = partition_strategies(strategies, config.shards);
+            telemetry::log_info!(
+                "shard.coordinator",
+                "race started",
+                shards = parts.len(),
+                modes = problem.num_modes(),
+                lanes = strategies.len(),
+                fingerprint = fp_hex,
+            );
+            let race = Race::launch(
+                problem,
+                config,
+                &parts,
+                fp_hex,
+                &worker_bin,
+                options,
+                warm_start,
+            );
+            race.run(started, config.total_timeout, external_cancel, problem)
+        },
+    )
+}
+
+/// The cache-aware wrapper shared by every race transport (pipe workers
+/// here, the TCP fleet in [`crate::fleet`]): probes the cache
+/// (validated optimal hit → early return, same-size or cross-size warm
+/// start otherwise), runs the supplied race, contains total loss by
+/// falling back to the in-process engine, applies the warm-start
+/// incumbent to the merged result, and stores the winner back.
+///
+/// The race closure receives the problem fingerprint, the resolved lane
+/// strategies, the warm-start entry (strings seed the Job frames, the
+/// weight opens the bound), and the race's start instant; it returns
+/// the merged outcome plus the accepted UNSAT floor.
+pub(crate) fn compile_cached_race<F>(
+    problem: &EncodingProblem,
+    config: &EngineConfig,
+    cache: Option<&SolutionCache>,
+    external_cancel: Option<&CancelToken>,
+    shards_hint: usize,
+    race: F,
+) -> EngineOutcome
+where
+    F: FnOnce(&str, &[Strategy], Option<&CacheEntry>, Instant) -> (EngineOutcome, usize),
+{
     let started = Instant::now();
     let fp = fingerprint(problem);
 
@@ -155,7 +215,7 @@ pub fn compile_sharded_with(
     // onto this process's timeline, so in Perfetto this span visually
     // contains every worker lane.
     let mut race_span = telemetry::span("shard.race");
-    race_span.attr("shards", config.shards as u64);
+    race_span.attr("shards", shards_hint as u64);
     race_span.attr("modes", problem.num_modes() as u64);
     race_span.attr("fingerprint", fp.to_hex());
 
@@ -241,40 +301,13 @@ pub fn compile_sharded_with(
         }
     }
 
-    // ---- Partition lanes and spawn workers ------------------------------
+    // ---- Run the race over whatever transport the caller brought --------
     let strategies = if config.strategies.is_empty() {
         default_portfolio(problem)
     } else {
         config.strategies.clone()
     };
-    let parts = partition_strategies(&strategies, config.shards);
-    let Some(worker_bin) = options.worker_bin.clone().or_else(default_worker_bin) else {
-        telemetry::log_warn!(
-            "shard.coordinator",
-            "worker binary not found; racing in-process instead",
-            shards = config.shards,
-        );
-        return compile_with(problem, config, cache, external_cancel);
-    };
-
-    telemetry::log_info!(
-        "shard.coordinator",
-        "race started",
-        shards = parts.len(),
-        modes = problem.num_modes(),
-        lanes = strategies.len(),
-        fingerprint = fp.to_hex(),
-    );
-    let race = Race::launch(
-        problem,
-        config,
-        &parts,
-        &fp.to_hex(),
-        &worker_bin,
-        options,
-        warm_start.as_ref(),
-    );
-    let (mut outcome, floor) = race.run(started, config.total_timeout, external_cancel, problem);
+    let (mut outcome, floor) = race(&fp.to_hex(), &strategies, warm_start.as_ref(), started);
 
     // Total-loss containment: every worker died (or never spawned — a
     // missing binary lands here too) before reporting anything. The user
@@ -360,39 +393,54 @@ enum Event {
     Gone(usize),
 }
 
-/// Per-direction wire telemetry: frame counts by type and total bytes,
-/// recorded into the process-wide metric set. Counter handles are cached
-/// per reader/writer thread so the hot path never re-resolves names.
-struct WireMeter {
+/// Per-direction, per-peer wire telemetry: frame counts by type and
+/// total bytes, recorded into the process-wide metric set. Counter
+/// handles are cached per reader/writer thread so the hot path never
+/// re-resolves names. (Aggregate gates sum by name prefix, so the peer
+/// label refines without breaking them.)
+pub(crate) struct WireMeter {
     dir: &'static str,
+    peer: usize,
     bytes: std::sync::Arc<telemetry::Counter>,
     frames: Vec<(&'static str, std::sync::Arc<telemetry::Counter>)>,
 }
 
 impl WireMeter {
-    fn new(dir: &'static str) -> WireMeter {
+    pub(crate) fn new(dir: &'static str, peer: usize) -> WireMeter {
         WireMeter {
             dir,
-            bytes: telemetry::global()
-                .metrics()
-                .counter(&format!("wire_bytes_total{{dir=\"{dir}\"}}")),
+            peer,
+            bytes: telemetry::global().metrics().counter(&format!(
+                "wire_bytes_total{{dir=\"{dir}\",peer=\"{peer}\"}}"
+            )),
             frames: Vec::new(),
         }
     }
 
-    fn record(&mut self, kind: &'static str, bytes: usize) {
+    pub(crate) fn record(&mut self, kind: &'static str, bytes: usize) {
         self.bytes.add(bytes as u64);
         if let Some((_, counter)) = self.frames.iter().find(|(k, _)| *k == kind) {
             counter.inc();
             return;
         }
         let counter = telemetry::global().metrics().counter(&format!(
-            "wire_frames_total{{type=\"{kind}\",dir=\"{}\"}}",
-            self.dir
+            "wire_frames_total{{type=\"{kind}\",dir=\"{}\",peer=\"{}\"}}",
+            self.dir, self.peer
         ));
         counter.inc();
         self.frames.push((kind, counter));
     }
+}
+
+/// Counter for frames shed at a peer's full outbox: the price of never
+/// letting one slow peer head-of-line-block the race.
+pub(crate) fn wire_dropped_counter(
+    dir: &'static str,
+    peer: usize,
+) -> std::sync::Arc<telemetry::Counter> {
+    telemetry::global().metrics().counter(&format!(
+        "wire_frames_dropped_total{{dir=\"{dir}\",peer=\"{peer}\"}}"
+    ))
 }
 
 /// Per-worker outgoing queue depth. Frames beyond it are dropped
@@ -419,6 +467,8 @@ struct Worker {
     black_box: Option<Vec<u8>>,
     /// Exit status as reaped (`None` until reap, or if reaping failed).
     exit_status: Option<String>,
+    /// Telemetry counter for frames shed at this worker's full outbox.
+    dropped: std::sync::Arc<telemetry::Counter>,
 }
 
 impl Worker {
@@ -495,7 +545,7 @@ impl Race {
                     let tx = tx.clone();
                     std::thread::spawn(move || {
                         let mut stdout = stdout;
-                        let mut meter = WireMeter::new("rx");
+                        let mut meter = WireMeter::new("rx", shard);
                         loop {
                             match read_frame_counted(&mut stdout) {
                                 Ok(Some((frame, bytes))) => {
@@ -518,9 +568,24 @@ impl Race {
                     let (wtx, wrx) = mpsc::sync_channel::<Frame>(WRITER_QUEUE);
                     std::thread::spawn(move || {
                         let mut stdin = stdin;
-                        let mut meter = WireMeter::new("tx");
+                        let mut meter = WireMeter::new("tx", shard);
                         while let Ok(frame) = wrx.recv() {
-                            let bytes = frame.to_bytes();
+                            let bytes = match frame.to_bytes() {
+                                Ok(bytes) => bytes,
+                                Err(e) => {
+                                    // Encode-time cap enforcement: shed the
+                                    // oversized best-effort frame instead of
+                                    // letting the peer tear down the link.
+                                    telemetry::log_warn!(
+                                        "shard.coordinator",
+                                        "dropping unencodable frame",
+                                        shard = shard,
+                                        kind = frame.kind(),
+                                        error = e.to_string(),
+                                    );
+                                    continue;
+                                }
+                            };
                             meter.record(frame.kind(), bytes.len());
                             if stdin
                                 .write_all(&bytes)
@@ -540,6 +605,7 @@ impl Race {
                         gone: false,
                         black_box: None,
                         exit_status: None,
+                        dropped: wire_dropped_counter("tx", shard),
                     });
                 }
                 Err(e) => {
@@ -559,6 +625,7 @@ impl Race {
                         gone: true,
                         black_box: None,
                         exit_status: None,
+                        dropped: wire_dropped_counter("tx", shard),
                     });
                 }
             }
@@ -586,7 +653,11 @@ impl Race {
         };
         match tx.try_send(frame.clone()) {
             Ok(()) => true,
-            Err(mpsc::TrySendError::Full(_)) => false,
+            Err(mpsc::TrySendError::Full(_)) => {
+                worker.report.frames_dropped += 1;
+                worker.dropped.inc();
+                false
+            }
             Err(mpsc::TrySendError::Disconnected(_)) => {
                 worker.tx = None;
                 false
@@ -622,6 +693,9 @@ impl Race {
         // encoding — see `merge`.
         let mut floor = 0usize;
         let mut floor_claims: Vec<usize> = Vec::new();
+        // Best encoding shipped over the wire alongside a Bound
+        // improvement — survives its finder's death; see `merge`.
+        let mut wire_best: Option<WireIncumbent> = None;
         let mut cancel_sent_at: Option<Instant> = None;
         // Time from a frame's arrival off the pipe to the event loop
         // picking it up — the bridge's own forwarding latency.
@@ -805,6 +879,9 @@ impl Race {
                     // are strict subsets of newer ones.
                     self.workers[shard].black_box = Some(payload);
                 }
+                Event::Frame(shard, Frame::Incumbent(payload), _) => {
+                    record_wire_incumbent(&mut wire_best, problem, shard, &payload);
+                }
                 Event::Frame(_, _, _) => {} // Job/Cancel from a worker: ignore
                 Event::Gone(shard) => {
                     self.workers[shard].gone = true;
@@ -859,7 +936,7 @@ impl Race {
             self.write_postmortems(&dir);
         }
 
-        self.merge(started, &floor_claims, problem)
+        self.merge(started, &floor_claims, wire_best, problem)
     }
 
     /// Writes `postmortem-<shard>.json` for every dead worker: its last
@@ -884,106 +961,133 @@ impl Race {
                 continue;
             }
             let shard = worker.report.shard;
-            // The checkpoint is worker-reported; a torn payload from a
-            // mid-write kill must not lose the coordinator-side context.
-            let flight_recorder = worker
-                .black_box
-                .as_deref()
-                .and_then(|bytes| BlackBoxCheckpoint::from_bytes(bytes).ok())
-                .map(|c| c.flight_recorder)
-                .unwrap_or(Value::Null);
-            let job = &self.jobs[shard];
-            let bundle = obj([
-                ("shard", Value::Num(shard as f64)),
-                ("protocol", Value::Num(sat::wire::PROTOCOL_VERSION as f64)),
-                (
-                    "exit_status",
-                    worker
-                        .exit_status
-                        .clone()
-                        .map(Value::Str)
-                        .unwrap_or(Value::Null),
-                ),
-                (
-                    "job",
-                    obj([
-                        ("fingerprint", Value::Str(job.fingerprint.clone())),
-                        ("modes", Value::Num(job.problem.num_modes() as f64)),
-                        ("total_shards", Value::Num(job.total_shards as f64)),
-                        (
-                            "lanes",
-                            Value::Arr(
-                                job.strategies
-                                    .iter()
-                                    .map(|s| Value::Str(s.name()))
-                                    .collect(),
-                            ),
-                        ),
-                    ]),
-                ),
-                (
-                    "wire",
-                    obj([
-                        (
-                            "clauses_sent",
-                            Value::Num(worker.report.clauses_sent as f64),
-                        ),
-                        (
-                            "clauses_received",
-                            Value::Num(worker.report.clauses_received as f64),
-                        ),
-                        ("bounds_sent", Value::Num(worker.report.bounds_sent as f64)),
-                        (
-                            "bounds_received",
-                            Value::Num(worker.report.bounds_received as f64),
-                        ),
-                    ]),
-                ),
-                ("flight_recorder", flight_recorder),
-            ]);
-            let path = dir.join(format!("postmortem-{shard}.json"));
-            match std::fs::write(&path, bundle.to_json()) {
-                Ok(()) => {
-                    telemetry::log_warn!(
-                        "shard.coordinator",
-                        "post-mortem written",
-                        shard = shard,
-                        path = path.display().to_string(),
-                        exit_status = worker.exit_status.clone().unwrap_or_default(),
-                    );
-                }
-                Err(e) => {
-                    telemetry::log_error!(
-                        "shard.coordinator",
-                        "writing post-mortem failed",
-                        shard = shard,
-                        path = path.display().to_string(),
-                        error = e.to_string(),
-                    );
-                }
-            }
+            write_postmortem_bundle(
+                dir,
+                shard,
+                worker.exit_status.as_deref(),
+                &self.jobs[shard],
+                &worker.report,
+                worker.black_box.as_deref(),
+            );
         }
     }
 
-    /// Merges shard results into one engine outcome plus the *accepted*
-    /// UNSAT floor. Validates any claimed best encoding, and only trusts
-    /// floor claims consistent with it — a corrupt worker must not be
-    /// able to poison the cache or the caller. (A floor *equal* to the
-    /// validated optimum is accepted on the worker's word: an UNSAT
-    /// proof cannot be cheaply re-checked, and workers are this
-    /// repository's own binary — the same trust extended to an
-    /// in-process thread. The defense here is against corruption and
-    /// provable lies, not a fully Byzantine peer.)
+    /// [`merge_results`] over this race's seats.
     fn merge(
         self,
         started: Instant,
         floor_claims: &[usize],
+        wire_best: Option<WireIncumbent>,
         problem: &EncodingProblem,
     ) -> (EngineOutcome, usize) {
+        let initial_bound = self.initial_bound;
+        let mut seats: Vec<SeatOutcome> = self
+            .workers
+            .into_iter()
+            .map(|w| SeatOutcome {
+                report: w.report,
+                result: w.result,
+            })
+            .collect();
+        graft_wire_incumbent(&mut seats, wire_best);
+        merge_results(started, floor_claims, problem, initial_bound, seats)
+    }
+}
+
+/// One shard's contribution to a race, as the merge step sees it —
+/// transport-agnostic (pipe workers and fleet peers both end here).
+pub(crate) struct SeatOutcome {
+    pub(crate) report: ShardReport,
+    pub(crate) result: Option<ShardResult>,
+}
+
+/// The lightest validated wire-shipped incumbent of a race: measured
+/// weight, the encoding, the lane that found it, and the shard that
+/// shipped it.
+pub(crate) type WireIncumbent = (usize, Vec<pauli::PauliString>, String, usize);
+
+/// Folds an `Incumbent` frame into the race's best wire-shipped witness.
+/// Validates and re-measures before trusting anything — this payload
+/// exists precisely because its sender may die, so it must stand on its
+/// own at merge time.
+pub(crate) fn record_wire_incumbent(
+    wire_best: &mut Option<WireIncumbent>,
+    problem: &EncodingProblem,
+    shard: usize,
+    payload: &[u8],
+) {
+    let update = match crate::proto::IncumbentUpdate::from_bytes(payload) {
+        Ok(update) => update,
+        Err(e) => {
+            telemetry::log_warn!(
+                "shard.coordinator",
+                "worker sent a bad incumbent; dropping it",
+                shard = shard,
+                error = e,
+            );
+            return;
+        }
+    };
+    if update.strings.len() != 2 * problem.num_modes() || !validates(problem, &update.strings) {
+        telemetry::log_warn!(
+            "shard.coordinator",
+            "worker shipped an invalid incumbent encoding; dropping it",
+            shard = shard,
+            claimed_weight = update.weight,
+        );
+        return;
+    }
+    let weight = measure_weight(problem, &update.strings);
+    if wire_best.as_ref().is_none_or(|(w, ..)| weight < *w) {
+        telemetry::log_debug!(
+            "shard.coordinator",
+            "wire incumbent recorded",
+            shard = shard,
+            weight = weight,
+        );
+        *wire_best = Some((weight, update.strings, update.winner, shard));
+    }
+}
+
+/// Grafts the race's best wire-shipped incumbent into its owner's seat
+/// before the merge, so an artifact whose finder died (taking the only
+/// `Result`-borne copy with it) still competes — without it, a race
+/// steered below a lost witness ends floor-met but uncertified.
+pub(crate) fn graft_wire_incumbent(seats: &mut [SeatOutcome], wire_best: Option<WireIncumbent>) {
+    let Some((weight, strings, winner, shard)) = wire_best else {
+        return;
+    };
+    let Some(seat) = seats.iter_mut().find(|s| s.report.shard == shard) else {
+        return;
+    };
+    let result = seat.result.get_or_insert_with(ShardResult::default);
+    if result.weight.is_none_or(|w| weight < w) {
+        result.weight = Some(weight);
+        result.strings = Some(strings);
+        result.winner = Some(winner);
+    }
+}
+
+/// Merges shard results into one engine outcome plus the *accepted*
+/// UNSAT floor. Validates any claimed best encoding, and only trusts
+/// floor claims consistent with it — a corrupt worker must not be able
+/// to poison the cache or the caller. (A floor *equal* to the validated
+/// optimum is accepted on the worker's word: an UNSAT proof cannot be
+/// cheaply re-checked, and workers are this repository's own binary —
+/// the same trust extended to an in-process thread. The defense here is
+/// against corruption and provable lies, not a fully Byzantine peer.)
+pub(crate) fn merge_results(
+    started: Instant,
+    floor_claims: &[usize],
+    problem: &EncodingProblem,
+    initial_bound: Option<usize>,
+    seats: Vec<SeatOutcome>,
+) -> (EngineOutcome, usize) {
+    {
         let mut best: Option<(BestEncoding, String)> = None;
         let mut workers: Vec<WorkerReport> = Vec::new();
         let mut shards: Vec<ShardReport> = Vec::new();
-        for (shard, worker) in self.workers.into_iter().enumerate() {
+        for (shard, worker) in seats.into_iter().enumerate() {
             shards.push(worker.report);
             let Some(result) = worker.result else {
                 continue;
@@ -1035,7 +1139,7 @@ impl Race {
         // validated best, or failing that the warm-start cache entry —
         // claims a real encoding is impossible: a provable lie; discard
         // it. The strongest remaining claim is the accepted floor.
-        let reference = best.as_ref().map(|b| b.weight).or(self.initial_bound);
+        let reference = best.as_ref().map(|b| b.weight).or(initial_bound);
         let floor = reference
             .map(|r| {
                 floor_claims
@@ -1063,6 +1167,88 @@ impl Race {
             },
         };
         (outcome, floor)
+    }
+}
+
+/// Writes one `postmortem-<shard>.json` bundle: the worker's last
+/// checkpointed flight-recorder ring (if any checkpoint made it over
+/// the wire), job context, wire counters, and exit status
+/// (`None` = a remote fleet peer, whose exit status is unknowable).
+/// Shared by the pipe coordinator and the TCP fleet.
+pub(crate) fn write_postmortem_bundle(
+    dir: &Path,
+    shard: usize,
+    exit_status: Option<&str>,
+    job: &Job,
+    report: &ShardReport,
+    black_box: Option<&[u8]>,
+) {
+    // The checkpoint is worker-reported; a torn payload from a
+    // mid-write kill must not lose the coordinator-side context.
+    let flight_recorder = black_box
+        .and_then(|bytes| BlackBoxCheckpoint::from_bytes(bytes).ok())
+        .map(|c| c.flight_recorder)
+        .unwrap_or(Value::Null);
+    let bundle = obj([
+        ("shard", Value::Num(shard as f64)),
+        ("protocol", Value::Num(sat::wire::PROTOCOL_VERSION as f64)),
+        (
+            "exit_status",
+            exit_status
+                .map(|s| Value::Str(s.to_string()))
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "job",
+            obj([
+                ("fingerprint", Value::Str(job.fingerprint.clone())),
+                ("modes", Value::Num(job.problem.num_modes() as f64)),
+                ("total_shards", Value::Num(job.total_shards as f64)),
+                (
+                    "lanes",
+                    Value::Arr(
+                        job.strategies
+                            .iter()
+                            .map(|s| Value::Str(s.name()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "wire",
+            obj([
+                ("clauses_sent", Value::Num(report.clauses_sent as f64)),
+                (
+                    "clauses_received",
+                    Value::Num(report.clauses_received as f64),
+                ),
+                ("bounds_sent", Value::Num(report.bounds_sent as f64)),
+                ("bounds_received", Value::Num(report.bounds_received as f64)),
+            ]),
+        ),
+        ("flight_recorder", flight_recorder),
+    ]);
+    let path = dir.join(format!("postmortem-{shard}.json"));
+    match std::fs::write(&path, bundle.to_json()) {
+        Ok(()) => {
+            telemetry::log_warn!(
+                "shard.coordinator",
+                "post-mortem written",
+                shard = shard,
+                path = path.display().to_string(),
+                exit_status = exit_status.unwrap_or("remote"),
+            );
+        }
+        Err(e) => {
+            telemetry::log_error!(
+                "shard.coordinator",
+                "writing post-mortem failed",
+                shard = shard,
+                path = path.display().to_string(),
+                error = e.to_string(),
+            );
+        }
     }
 }
 

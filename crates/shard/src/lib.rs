@@ -38,6 +38,7 @@
 //! exposed for the `fermihedral-shard worker` subcommand).
 
 pub mod coordinator;
+pub mod fleet;
 pub mod proto;
 pub mod worker;
 
@@ -45,5 +46,6 @@ pub use coordinator::{
     compile_sharded, compile_sharded_with, default_worker_bin, measure_weight, ShardOptions,
     WORKER_BIN,
 };
-pub use proto::{BlackBoxCheckpoint, Job, ShardResult};
-pub use worker::run_worker;
+pub use fleet::{compile_fleet_with, FleetOptions, FleetServer};
+pub use proto::{BlackBoxCheckpoint, IncumbentUpdate, Job, ShardResult};
+pub use worker::{run_worker, run_worker_fleet, FleetWorkerOptions};

@@ -1,17 +1,26 @@
 //! The `fermihedral-shard` binary.
 //!
-//! Two modes:
+//! Four modes:
 //!
 //! * `fermihedral-shard worker --shard N` — the worker protocol on
 //!   stdin/stdout. Spawned by a coordinator (the library, `serve
 //!   --shards N`, or the bench harness); not meant for direct use.
-//! * `fermihedral-shard --modes N --shards S [...]` — a coordinator CLI
-//!   that compiles one problem sharded and prints a JSON summary.
+//! * `fermihedral-shard worker --connect ADDR [--shard N]` — a TCP
+//!   fleet worker: registers with a listening coordinator, serves jobs,
+//!   and reconnects (reclaiming its shard id) when the link drops.
+//! * `fermihedral-shard coordinate --listen ADDR [...]` — a fleet
+//!   coordinator: waits for registered workers, races one problem
+//!   across them, and prints a JSON summary.
+//! * `fermihedral-shard [OPTIONS]` — a coordinator CLI that compiles
+//!   one problem sharded over local pipe workers.
 
 use engine::{EngineConfig, SolutionCache};
 use fermihedral::{EncodingProblem, Objective};
 use jsonkit::{obj, Value};
-use shard::{compile_sharded_with, run_worker, ShardOptions};
+use shard::{
+    compile_fleet_with, compile_sharded_with, run_worker, run_worker_fleet, FleetOptions,
+    FleetServer, FleetWorkerOptions, ShardOptions,
+};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -19,11 +28,17 @@ fermihedral-shard: multi-process sharded compilation
 
 USAGE:
     fermihedral-shard worker --shard N      (internal: worker protocol on stdin/stdout)
-    fermihedral-shard [OPTIONS]             (coordinator CLI)
+    fermihedral-shard worker --connect ADDR [--shard N]
+                                            (TCP fleet worker; --shard reclaims a seat)
+    fermihedral-shard coordinate --listen ADDR [OPTIONS]
+                                            (TCP fleet coordinator)
+    fermihedral-shard [OPTIONS]             (pipe coordinator CLI)
 
 OPTIONS:
     --modes N        problem size (default 4)
-    --shards S       worker processes (default 2)
+    --shards S       worker processes (default 2; pipe mode only)
+    --min-peers N    fleet: wait for N registered workers (default 1)
+    --join-timeout SECS  fleet: how long to wait for them (default 30)
     --timeout SECS   wall-clock budget (default 60)
     --no-full-sat    drop the algebraic-independence clause set
     --cache-dir P    persistent solution cache directory
@@ -37,6 +52,13 @@ fn main() {
     telemetry::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("worker") {
+        if let Some(addr) = flag_value(&args, "--connect") {
+            let options = FleetWorkerOptions {
+                shard: flag_value(&args, "--shard").and_then(|v| v.parse().ok()),
+                ..FleetWorkerOptions::default()
+            };
+            std::process::exit(run_worker_fleet(addr, &options));
+        }
         let shard = flag_value(&args, "--shard")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0usize);
@@ -47,6 +69,18 @@ fn main() {
         print!("{USAGE}");
         return;
     }
+
+    let fleet_addr = if args.first().map(String::as_str) == Some("coordinate") {
+        match flag_value(&args, "--listen") {
+            Some(addr) => Some(addr.to_string()),
+            None => {
+                eprintln!("coordinate requires --listen ADDR");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
 
     let modes: usize = flag_value(&args, "--modes")
         .and_then(|v| v.parse().ok())
@@ -75,11 +109,38 @@ fn main() {
         .as_ref()
         .and_then(|dir| SolutionCache::open(dir).ok())
         .map(|c| c.with_byte_cap(config.cache_byte_cap));
-    let options = ShardOptions {
-        postmortem_dir: flag_value(&args, "--postmortem-dir").map(Into::into),
-        ..ShardOptions::default()
+    let postmortem_dir = flag_value(&args, "--postmortem-dir").map(Into::into);
+
+    let outcome = if let Some(addr) = fleet_addr {
+        let options = FleetOptions {
+            min_peers: flag_value(&args, "--min-peers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+            join_timeout: Duration::from_secs_f64(
+                flag_value(&args, "--join-timeout")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(30.0),
+            ),
+            postmortem_dir,
+            ..FleetOptions::default()
+        };
+        let server = match FleetServer::bind(&addr, options) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("binding {addr} failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        // A stable line for scripts to wait on before launching workers.
+        println!("fermihedral-shard listening on {}", server.local_addr());
+        compile_fleet_with(&problem, &config, cache.as_ref(), None, &server)
+    } else {
+        let options = ShardOptions {
+            postmortem_dir,
+            ..ShardOptions::default()
+        };
+        compile_sharded_with(&problem, &config, cache.as_ref(), None, &options)
     };
-    let outcome = compile_sharded_with(&problem, &config, cache.as_ref(), None, &options);
     let doc = obj([
         ("modes", Value::Num(modes as f64)),
         ("shards", Value::Num(shards as f64)),

@@ -410,6 +410,80 @@ impl BlackBoxCheckpoint {
     }
 }
 
+/// An improved incumbent *with its witness*, carried in the `Incumbent`
+/// frame alongside the weight-only `Bound` broadcast. The coordinator
+/// keeps the lightest validated one per race, so the artifact behind a
+/// bound announcement survives its finder's death (a SIGKILL'd worker
+/// otherwise takes the only copy of the encoding with it, after its
+/// bound already steered every surviving lane below re-finding it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncumbentUpdate {
+    /// Measured total Pauli weight of `strings`.
+    pub weight: usize,
+    /// The encoding itself (`2N` strings on `N` qubits).
+    pub strings: Vec<PauliString>,
+    /// Lane name that produced it (diagnostics / winner attribution).
+    pub winner: String,
+}
+
+impl IncumbentUpdate {
+    /// Serializes to the `Incumbent` frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        obj([
+            ("weight", Value::Num(self.weight as f64)),
+            (
+                "strings",
+                Value::Arr(
+                    self.strings
+                        .iter()
+                        .map(|s| Value::Str(s.to_string()))
+                        .collect(),
+                ),
+            ),
+            ("winner", Value::Str(self.winner.clone())),
+        ])
+        .to_json_compact()
+        .into_bytes()
+    }
+
+    /// Parses an `Incumbent` frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming what was malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<IncumbentUpdate, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "incumbent is not UTF-8".to_string())?;
+        let doc = jsonkit::parse(text).map_err(|e| format!("incumbent: {e}"))?;
+        let strings = doc
+            .get("strings")
+            .and_then(Value::as_arr)
+            .ok_or("incumbent field \"strings\" missing or mistyped")?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .ok_or("non-string Pauli entry")?
+                    .parse::<PauliString>()
+                    .map_err(|_| "unparseable Pauli string")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if strings.is_empty() {
+            return Err("incumbent carries no strings".to_string());
+        }
+        Ok(IncumbentUpdate {
+            weight: doc
+                .get("weight")
+                .and_then(Value::as_usize)
+                .ok_or("incumbent field \"weight\" missing or mistyped")?,
+            strings,
+            winner: doc
+                .get("winner")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Problem and strategy (de)serialization
 // ---------------------------------------------------------------------------
@@ -781,5 +855,29 @@ mod tests {
         }
         assert!(BlackBoxCheckpoint::from_bytes(b"{}").is_err());
         assert!(BlackBoxCheckpoint::from_bytes(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn incumbent_update_round_trips() {
+        let update = IncumbentUpdate {
+            weight: 16,
+            strings: ["XXII", "ZIII", "YXII", "IZII"]
+                .iter()
+                .map(|s| s.parse::<PauliString>().expect("valid Pauli"))
+                .collect(),
+            winner: "sat-descent[seed=1]".into(),
+        };
+        let back = IncumbentUpdate::from_bytes(&update.to_bytes()).expect("parses");
+        assert_eq!(back, update);
+        // Torn payloads must fail structured, never panic.
+        let bytes = update.to_bytes();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(IncumbentUpdate::from_bytes(&bytes[..cut]).is_err());
+        }
+        assert!(IncumbentUpdate::from_bytes(b"{}").is_err());
+        assert!(
+            IncumbentUpdate::from_bytes(br#"{"weight":16,"strings":[],"winner":""}"#).is_err(),
+            "an incumbent with no strings is meaningless"
+        );
     }
 }
