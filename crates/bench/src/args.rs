@@ -56,7 +56,7 @@ impl Args {
                     .join(" ")
             );
             // Boolean-style flags take no value.
-            if matches!(name, "csv" | "verbose" | "check" | "warm-start") {
+            if matches!(name, "csv" | "verbose" | "check" | "warm-start" | "tenants") {
                 flags.push(name.to_string());
                 continue;
             }

@@ -9,18 +9,27 @@
 //! pay for real portfolio solves, everything after rides the coalescer and
 //! the solution cache.
 //!
-//! Usage: `serve_loadgen [--clients 8] [--requests 40] [--workers 2] [--out BENCH_serve.json] [--check]`
+//! Usage: `serve_loadgen [--clients 8] [--requests 40] [--workers 2] [--out BENCH_serve.json] [--tenants] [--check]`
+//!
+//! `--tenants` switches to the multi-tenant scenario: the server runs
+//! keyed with a `heavy` and a `light` tenant, heavy clients mix batch
+//! compiles into their flood, and the trajectory file gains per-tenant
+//! latency percentiles — the fairness numbers the scheduler is judged by.
 //!
 //! `--check` exits non-zero unless every request succeeded (2xx) and the
-//! returned encodings validate — the CI smoke gate.
+//! returned encodings validate — the CI smoke gate. Under `--tenants` it
+//! additionally gates the light tenant's p99: fair scheduling means the
+//! light tenant never queues behind the heavy flood.
 
 use engine::json::{obj, Value};
 use fermihedral_bench::args::Args;
 use serve::client::Client;
+use serve::tenant::TenantConfig;
 use serve::ServeConfig;
 use std::time::{Duration, Instant};
 
 struct Sample {
+    tenant: &'static str,
     status: u16,
     from_cache: bool,
     coalesced: bool,
@@ -64,6 +73,25 @@ fn validate_strings(doc: &Value, modes: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates every solved entry of a batch response.
+fn validate_batch(doc: &Value) -> Result<(), String> {
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("batch response has no entries")?;
+    for entry in entries {
+        if entry.get("status").and_then(Value::as_str) == Some("skipped") {
+            continue;
+        }
+        let modes = entry
+            .get("modes")
+            .and_then(Value::as_usize)
+            .ok_or("batch entry has no modes")?;
+        validate_strings(entry, modes)?;
+    }
+    Ok(())
+}
+
 fn main() {
     let args = Args::parse(&[
         "clients",
@@ -71,6 +99,7 @@ fn main() {
         "workers",
         "queue-capacity",
         "out",
+        "tenants",
         "check",
     ]);
     let clients = args.get_usize("clients", 8);
@@ -81,14 +110,27 @@ fn main() {
         .get_str("out")
         .unwrap_or("BENCH_serve.json")
         .to_string();
+    let tenanted = args.get_bool("tenants");
     let check = args.get_bool("check");
 
     let cache_dir =
         std::env::temp_dir().join(format!("fermihedral-serve-loadgen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_dir);
+    // Quotas are deliberately generous: the scenario measures *scheduling*
+    // fairness (DRR interleaving), not admission control, so nothing
+    // should bounce with 429.
+    let tenant_configs = if tenanted {
+        vec![
+            TenantConfig::parse("heavy:heavy-key:4:64").expect("heavy spec"),
+            TenantConfig::parse("light:light-key:4:64").expect("light spec"),
+        ]
+    } else {
+        Vec::new()
+    };
     let handle = serve::start(ServeConfig {
         solve_workers: workers,
         queue_capacity,
+        tenants: tenant_configs,
         engine: engine::EngineConfig {
             cache_dir: Some(cache_dir.clone()),
             ..engine::EngineConfig::default()
@@ -97,7 +139,10 @@ fn main() {
     })
     .expect("server start");
     let addr = handle.local_addr();
-    println!("loadgen: {clients} clients x {requests} requests against {addr}");
+    println!(
+        "loadgen: {clients} clients x {requests} requests against {addr}{}",
+        if tenanted { " (multi-tenant)" } else { "" }
+    );
 
     // The popular-problem mix: mostly N=2, a slice of N=3 (both certify
     // fast and then serve from cache), occasionally a Hamiltonian-shaped
@@ -124,27 +169,59 @@ fn main() {
         }
     };
 
+    // Multi-tenant roles: even clients are the heavy tenant (full mix
+    // plus periodic batch compiles), odd clients the light tenant (one
+    // small popular problem). Open mode keeps every client identical.
+    let role = |c: usize| -> (&'static str, Option<&'static str>) {
+        if !tenanted {
+            ("open", None)
+        } else if c.is_multiple_of(2) {
+            ("heavy", Some("heavy-key"))
+        } else {
+            ("light", Some("light-key"))
+        }
+    };
+    const BATCH_BODY: &str = r#"{"modes": [2, 3], "deadline_ms": 60000}"#;
+
     let bench_started = Instant::now();
     let results: Vec<Vec<Sample>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
+                    let (tenant, key) = role(c);
                     let mut conn = Client::connect(addr).expect("connect");
+                    if let Some(key) = key {
+                        conn = conn.with_api_key(key);
+                    }
                     let mut samples = Vec::with_capacity(requests);
                     for r in 0..requests {
-                        let (modes, body) = pick(c, r);
+                        // Every 4th heavy request is a batch compile.
+                        let batch = tenant == "heavy" && r % 4 == 3;
+                        let (modes, path, body) = if batch {
+                            (0, "/v1/compile-batch", BATCH_BODY)
+                        } else if tenant == "light" {
+                            (bodies[0].0, "/v1/compile", bodies[0].1)
+                        } else {
+                            let (modes, body) = pick(c, r);
+                            (modes, "/v1/compile", body)
+                        };
                         let t0 = Instant::now();
-                        let (status, doc) = conn
-                            .request("POST", "/v1/compile", Some(body))
-                            .expect("request");
+                        let (status, doc) =
+                            conn.request("POST", path, Some(body)).expect("request");
                         let elapsed = t0.elapsed();
                         if check && status == 200 {
-                            if let Err(why) = validate_strings(&doc, modes) {
-                                eprintln!("client {c} request {r}: {why}");
+                            let validated = if batch {
+                                validate_batch(&doc)
+                            } else {
+                                validate_strings(&doc, modes)
+                            };
+                            if let Err(why) = validated {
+                                eprintln!("client {c} ({tenant}) request {r}: {why}");
                                 std::process::exit(1);
                             }
                         }
                         samples.push(Sample {
+                            tenant,
                             status,
                             from_cache: doc
                                 .get("from_cache")
@@ -194,6 +271,44 @@ fn main() {
         ms(*latencies.last().unwrap_or(&Duration::ZERO)),
     );
 
+    // Per-tenant percentile breakdown — the fairness evidence.
+    let tenant_names: Vec<&'static str> = if tenanted {
+        vec!["heavy", "light"]
+    } else {
+        Vec::new()
+    };
+    let mut tenant_stats: Vec<(&'static str, usize, usize, Vec<Duration>)> = Vec::new();
+    for name in &tenant_names {
+        let mine: Vec<&&Sample> = samples.iter().filter(|s| s.tenant == *name).collect();
+        let mut lat: Vec<Duration> = mine.iter().map(|s| s.elapsed).collect();
+        lat.sort_unstable();
+        let ok = mine.iter().filter(|s| s.status == 200).count();
+        println!(
+            "loadgen: tenant {name}: {ok}/{} ok, p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms",
+            mine.len(),
+            ms(percentile(&lat, 0.50)),
+            ms(percentile(&lat, 0.90)),
+            ms(percentile(&lat, 0.99)),
+        );
+        tenant_stats.push((name, mine.len(), ok, lat));
+    }
+
+    let tenant_fields: std::collections::BTreeMap<String, Value> = tenant_stats
+        .iter()
+        .map(|(name, total, ok, lat)| {
+            (
+                (*name).to_string(),
+                obj([
+                    ("total", Value::Num(*total as f64)),
+                    ("ok", Value::Num(*ok as f64)),
+                    ("p50_ms", Value::Num(ms(percentile(lat, 0.50)))),
+                    ("p90_ms", Value::Num(ms(percentile(lat, 0.90)))),
+                    ("p99_ms", Value::Num(ms(percentile(lat, 0.99)))),
+                ]),
+            )
+        })
+        .collect();
+
     let doc = obj([
         (
             "config",
@@ -202,8 +317,10 @@ fn main() {
                 ("requests_per_client", Value::Num(requests as f64)),
                 ("solve_workers", Value::Num(workers as f64)),
                 ("queue_capacity", Value::Num(queue_capacity as f64)),
+                ("tenanted", Value::Bool(tenanted)),
             ]),
         ),
+        ("tenants", Value::Obj(tenant_fields)),
         ("wall_seconds", Value::Num(wall.as_secs_f64())),
         ("throughput_rps", Value::Num(throughput)),
         (
@@ -235,5 +352,23 @@ fn main() {
     if check && ok != total {
         eprintln!("loadgen --check: {} of {total} requests failed", total - ok);
         std::process::exit(1);
+    }
+    if check && tenanted {
+        // Fair scheduling: the light tenant's tail must stay bounded even
+        // while the heavy tenant floods compiles and batches. The bound is
+        // deliberately loose (one portfolio solve plus generous queueing
+        // slack) — it catches starvation, not jitter.
+        let light_p99 = tenant_stats
+            .iter()
+            .find(|(name, ..)| *name == "light")
+            .map(|(_, _, _, lat)| percentile(lat, 0.99))
+            .unwrap_or(Duration::ZERO);
+        if light_p99 > Duration::from_secs(30) {
+            eprintln!(
+                "loadgen --check: light tenant p99 {:.2}ms exceeds the 30s starvation bound",
+                ms(light_p99)
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -103,12 +103,45 @@ impl Engine {
         deadline: Option<Duration>,
         cancel: Option<&CancelToken>,
     ) -> EngineOutcome {
+        self.compile_with_deadline_hinted(problem, deadline, cancel, None)
+    }
+
+    /// [`compile_with_deadline`](Self::compile_with_deadline) with an
+    /// explicit warm-start hint (a validated encoding for this problem's
+    /// size, e.g. the lifted optimum of the previous entry in a batch).
+    ///
+    /// Note the engine's warm-start precedence: a same-size cache entry
+    /// wins over the hint, and the hint wins over the cache's own
+    /// cross-size probe — so on a cache-backed engine callers chasing
+    /// `HitCrossSize` provenance should pass `None` and let the
+    /// [`SizeIndex`](crate::cache::SizeIndex) path run.
+    pub fn compile_with_deadline_hinted(
+        &self,
+        problem: &EncodingProblem,
+        deadline: Option<Duration>,
+        cancel: Option<&CancelToken>,
+        warm_hint: Option<Vec<pauli::PauliString>>,
+    ) -> EngineOutcome {
         let mut config = self.config.clone();
         config.total_timeout = match (config.total_timeout, deadline) {
             (Some(t), Some(d)) => Some(t.min(d)),
             (t, d) => t.or(d),
         };
+        if warm_hint.is_some() {
+            config.warm_hint = warm_hint;
+        }
         compile_with(problem, &config, self.cache.as_ref(), cancel)
+    }
+
+    /// Cached smaller same-family relatives of `problem`, largest first —
+    /// the [`SizeIndex`](crate::cache::SizeIndex) read path, exposed so a
+    /// batch scheduler can see which sizes already have warm-start
+    /// material before choosing a solve order. Empty without a cache.
+    pub fn size_relatives(&self, problem: &EncodingProblem) -> Vec<(usize, Fingerprint)> {
+        match &self.cache {
+            Some(cache) => crate::cache::SizeIndex::open(cache.dir()).fingerprints_below(problem),
+            None => Vec::new(),
+        }
     }
 }
 

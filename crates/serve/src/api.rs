@@ -79,6 +79,84 @@ pub fn parse_compile_request(body: &[u8], max_modes: usize) -> Result<CompileReq
     Ok(CompileRequest { problem, deadline })
 }
 
+/// A parsed batch compile request: one problem family at several sizes.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// Per-size problems, sorted ascending by mode count (the warm-start
+    /// chain order) and deduplicated.
+    pub problems: Vec<EncodingProblem>,
+    /// Whole-batch deadline; `None` uses the server default.
+    pub deadline: Option<Duration>,
+}
+
+/// Parses and validates a `POST /v1/compile-batch` body.
+///
+/// The schema is [`parse_compile_request`]'s with one change: `modes` is
+/// an **array** of sizes. All entries share the family fields (objective,
+/// flags) — one family by construction, which is what makes small→large
+/// scheduling a warm-start chain rather than a coincidence.
+///
+/// # Errors
+///
+/// A human-readable message (answered as 400) naming the offending field.
+pub fn parse_batch_request(body: &[u8], max_modes: usize) -> Result<BatchRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = jsonkit::parse(text).map_err(|e| e.to_string())?;
+    let Value::Obj(fields) = &doc else {
+        return Err("body must be a JSON object".into());
+    };
+    for key in fields.keys() {
+        if !KNOWN_FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    let Some(Value::Arr(raw_sizes)) = doc.get("modes") else {
+        return Err("\"modes\" must be an array of sizes in a batch request".into());
+    };
+    if raw_sizes.is_empty() {
+        return Err("\"modes\" must name at least one size".into());
+    }
+    let mut sizes = Vec::with_capacity(raw_sizes.len());
+    for v in raw_sizes {
+        let n = v
+            .as_usize()
+            .filter(|&n| n >= 1)
+            .ok_or("every batch size must be a positive integer")?;
+        if n > max_modes {
+            return Err(format!("batch size {n} exceeds the {max_modes}-mode limit"));
+        }
+        sizes.push(n);
+    }
+    // Small→large is the whole point of batching: each solve warm-starts
+    // from its smaller sibling.
+    sizes.sort_unstable();
+    sizes.dedup();
+
+    let mut problems = Vec::with_capacity(sizes.len());
+    for size in sizes {
+        let mut entry = fields.clone();
+        entry.insert("modes".into(), Value::Num(size as f64));
+        entry.remove("deadline_ms");
+        problems.push(engine::problem_from_json(
+            &Value::Obj(entry),
+            Some(max_modes),
+        )?);
+    }
+
+    let deadline = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => {
+            let ms = v
+                .as_usize()
+                .filter(|&ms| ms > 0)
+                .ok_or("\"deadline_ms\" must be a positive integer")?;
+            Some(Duration::from_millis(ms as u64))
+        }
+    };
+
+    Ok(BatchRequest { problems, deadline })
+}
+
 /// Terminal status of a compile request, serialized into the response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompileStatus {

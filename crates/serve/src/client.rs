@@ -18,6 +18,7 @@ pub type Headers = Vec<(String, String)>;
 pub struct Client {
     stream: TcpStream,
     carry: Vec<u8>,
+    api_key: Option<String>,
 }
 
 impl Client {
@@ -34,7 +35,16 @@ impl Client {
         Ok(Client {
             stream,
             carry: Vec::new(),
+            api_key: None,
         })
+    }
+
+    /// Attaches a tenant API key, sent as `x-api-key` on every
+    /// subsequent request from this connection.
+    #[must_use]
+    pub fn with_api_key(mut self, key: &str) -> Client {
+        self.api_key = Some(key.to_string());
+        self
     }
 
     /// Sends one request (with `Content-Length`, even when empty) and
@@ -70,10 +80,14 @@ impl Client {
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
         let body = body.unwrap_or_default();
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: fermihedral\r\nContent-Length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: fermihedral\r\nContent-Length: {}\r\n",
             body.len()
         );
+        if let Some(key) = &self.api_key {
+            head.push_str(&format!("x-api-key: {key}\r\n"));
+        }
+        head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body.as_bytes())?;
         self.read_response_text()
@@ -99,6 +113,9 @@ impl Client {
             "{method} {path} HTTP/1.1\r\nHost: fermihedral\r\nContent-Length: {}\r\n",
             body.len()
         );
+        if let Some(key) = &self.api_key {
+            head.push_str(&format!("x-api-key: {key}\r\n"));
+        }
         for (name, value) in extra_headers {
             head.push_str(&format!("{name}: {value}\r\n"));
         }

@@ -110,22 +110,32 @@ impl ReadError {
 
 /// A connection wrapper carrying read-ahead bytes between requests
 /// (pipelined keep-alive requests over-read into `carry`).
+///
+/// Generic over the transport so the parser is property-testable against
+/// in-memory streams (`tests/http_fuzz.rs`); production code always uses
+/// the `TcpStream` default.
 #[derive(Debug)]
-pub struct HttpConn {
-    stream: TcpStream,
+pub struct HttpConn<S: Read + Write = TcpStream> {
+    stream: S,
     carry: Vec<u8>,
     /// Set when the first byte of an in-progress request arrived.
     reading_since: Option<Instant>,
 }
 
-impl HttpConn {
+impl<S: Read + Write> HttpConn<S> {
     /// Wraps a connected stream (the caller configures socket timeouts).
-    pub fn new(stream: TcpStream) -> HttpConn {
+    pub fn new(stream: S) -> HttpConn<S> {
         HttpConn {
             stream,
             carry: Vec::new(),
             reading_since: None,
         }
+    }
+
+    /// The underlying transport — property tests inspect the bytes an
+    /// in-memory stream captured.
+    pub fn stream(&self) -> &S {
+        &self.stream
     }
 
     /// Reads one request, honoring `max_body`.
@@ -182,6 +192,17 @@ impl HttpConn {
         };
         if header("transfer-encoding").is_some() {
             return Err(ReadError::Unsupported("Transfer-Encoding"));
+        }
+        // Conflicting Content-Length values are a request-smuggling vector
+        // (RFC 9112 §6.3): reject duplicates outright rather than picking
+        // one.
+        if headers
+            .iter()
+            .filter(|(k, _)| k == "content-length")
+            .count()
+            > 1
+        {
+            return Err(ReadError::Malformed("duplicate Content-Length".into()));
         }
         let content_length = match header("content-length") {
             Some(v) => v
@@ -376,6 +397,7 @@ pub fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
@@ -402,7 +424,9 @@ mod tests {
 
     #[test]
     fn status_texts_cover_the_emitted_codes() {
-        for code in [200, 400, 404, 405, 408, 411, 413, 429, 431, 500, 501, 503] {
+        for code in [
+            200, 400, 401, 404, 405, 408, 411, 413, 429, 431, 500, 501, 503,
+        ] {
             assert_ne!(status_text(code), "Response", "missing text for {code}");
         }
     }

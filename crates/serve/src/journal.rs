@@ -1,0 +1,406 @@
+//! Crash-replayable request journal.
+//!
+//! A server restart used to forget every admitted-but-unfinished compile:
+//! clients saw connection resets and the work was simply lost. With
+//! `--journal-dir` set, the server appends one newline-framed JSON record
+//! per admitted compile/batch entry and one per completion; on startup it
+//! replays the directory, re-admitting every record that has no matching
+//! completion, so a SIGKILL'd server finishes its pending work and
+//! rebuilds its coalescing map (replayed jobs flow through the normal
+//! admission queue and [`Coalescer`](crate::coalesce::Coalescer)).
+//!
+//! ## Framing and crash tolerance
+//!
+//! Records are length-checked *and* newline-framed: each line is
+//! `<json>\n` where the object carries its own `"len"` of the JSON text.
+//! A SIGKILL can tear the final line (partial write); replay verifies
+//! both frames — a line without a trailing newline, with a length
+//! mismatch, or with unparseable JSON is **skipped and counted**, never
+//! an error. Everything before the torn tail was written with a single
+//! `write_all` under a lock, so at most the last line of a segment can be
+//! damaged.
+//!
+//! ## Compaction and idempotency
+//!
+//! Startup replay is also a checkpoint: the pending set is rewritten into
+//! a fresh segment (tmp + rename) and old segments are deleted. Replay is
+//! a pure fold over the records ([`reduce`]) — admits insert (first one
+//! wins, so double-journaling a key cannot double-solve), completions
+//! remove — which makes double replay idempotent by construction: the
+//! second pass sees the compacted segment and produces the same pending
+//! set.
+
+use jsonkit::{obj, Value};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One replayable record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A compile (or batch-entry) admitted to the queue.
+    Admit(PendingJob),
+    /// The job with this fingerprint finished (any terminal status).
+    Done {
+        /// Fingerprint hex of the finished job.
+        key: String,
+    },
+}
+
+/// An admitted job awaiting completion — what replay hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingJob {
+    /// Fingerprint hex (the coalescing key).
+    pub key: String,
+    /// Tenant name the job was accounted to.
+    pub tenant: String,
+    /// The problem document (the [`engine::problem_from_json`] schema).
+    pub problem: Value,
+    /// The admitting request's deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Batch correlation id when the job arrived via `/v1/compile-batch`.
+    pub batch: Option<String>,
+}
+
+/// What a replay scan found.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// Admitted records with no matching completion, admission order.
+    pub pending: Vec<PendingJob>,
+    /// Records replayed in total (admits + dones across all segments).
+    pub records: usize,
+    /// Torn / truncated / garbage lines skipped.
+    pub skipped: usize,
+    /// Journal segment files scanned.
+    pub segments: usize,
+}
+
+fn record_to_json(record: &Record) -> Value {
+    match record {
+        Record::Admit(job) => {
+            let mut fields: Vec<(&str, Value)> = vec![
+                ("kind", Value::Str("admit".into())),
+                ("key", Value::Str(job.key.clone())),
+                ("tenant", Value::Str(job.tenant.clone())),
+                ("deadline_ms", Value::Num(job.deadline_ms as f64)),
+                ("problem", job.problem.clone()),
+            ];
+            if let Some(batch) = &job.batch {
+                fields.push(("batch", Value::Str(batch.clone())));
+            }
+            obj(fields)
+        }
+        Record::Done { key } => obj([
+            ("kind", Value::Str("done".into())),
+            ("key", Value::Str(key.clone())),
+        ]),
+    }
+}
+
+fn record_from_json(doc: &Value) -> Option<Record> {
+    let kind = doc.get("kind")?.as_str()?;
+    let key = doc.get("key")?.as_str()?.to_string();
+    match kind {
+        "done" => Some(Record::Done { key }),
+        "admit" => Some(Record::Admit(PendingJob {
+            key,
+            tenant: doc
+                .get("tenant")
+                .and_then(Value::as_str)
+                .unwrap_or(crate::tenant::ANONYMOUS)
+                .to_string(),
+            problem: doc.get("problem")?.clone(),
+            deadline_ms: doc.get("deadline_ms").and_then(Value::as_usize)? as u64,
+            batch: doc.get("batch").and_then(Value::as_str).map(str::to_string),
+        })),
+        _ => None,
+    }
+}
+
+/// Serializes one record into its double-framed line: the JSON object is
+/// wrapped as `{"len": <bytes of payload>, "rec": <payload>}\n`.
+pub fn frame(record: &Record) -> String {
+    let payload = record_to_json(record).to_json_compact();
+    format!(
+        "{}\n",
+        obj([
+            ("len", Value::Num(payload.len() as f64)),
+            ("rec", jsonkit::parse(&payload).expect("round-trip")),
+        ])
+        .to_json_compact()
+    )
+}
+
+/// Parses one journal line. `None` when the line is torn, truncated, or
+/// garbage — the caller counts and skips it.
+pub fn parse_line(line: &str) -> Option<Record> {
+    let doc = jsonkit::parse(line.trim_end()).ok()?;
+    let declared = doc.get("len").and_then(Value::as_usize)?;
+    let payload = doc.get("rec")?;
+    // The length frame detects a *valid-JSON-prefix* tear: a truncated
+    // line that still parses (e.g. a nested object that happened to
+    // close early) re-serializes shorter than the writer declared.
+    if payload.to_json_compact().len() != declared {
+        return None;
+    }
+    record_from_json(payload)
+}
+
+/// Parses a whole segment's bytes. Damaged lines (including a torn final
+/// line without `\n`) are skipped and counted, never fatal.
+pub fn parse_segment(bytes: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut skipped = 0;
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            // Torn tail: bytes after the last newline are a partial write.
+            skipped += 1;
+            break;
+        };
+        let line = &rest[..nl];
+        rest = &rest[nl + 1..];
+        if line.is_empty() {
+            continue;
+        }
+        match std::str::from_utf8(line).ok().and_then(parse_line) {
+            Some(record) => records.push(record),
+            None => skipped += 1,
+        }
+    }
+    (records, skipped)
+}
+
+/// Folds records into the pending set: admits insert (first admit of a
+/// key wins — re-journaling is harmless), completions remove. This is the
+/// whole replay semantics; it is pure so the crash-tolerance proptests
+/// can drive it directly.
+pub fn reduce(records: &[Record]) -> Vec<PendingJob> {
+    let mut pending: Vec<PendingJob> = Vec::new();
+    for record in records {
+        match record {
+            Record::Admit(job) => {
+                if !pending.iter().any(|p| p.key == job.key) {
+                    pending.push(job.clone());
+                }
+            }
+            Record::Done { key } => pending.retain(|p| &p.key != key),
+        }
+    }
+    pending
+}
+
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("segment-") && n.ends_with(".journal"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    // Zero-padded sequence numbers: lexical order == admission order.
+    files.sort();
+    files
+}
+
+fn next_segment_seq(files: &[PathBuf]) -> u64 {
+    files
+        .iter()
+        .filter_map(|p| {
+            p.file_name()?
+                .to_str()?
+                .strip_prefix("segment-")?
+                .strip_suffix(".journal")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .map_or(0, |n| n + 1)
+}
+
+/// The append side of the journal. One per server; appends are serialized
+/// under a mutex and written with a single `write_all` each, so a crash
+/// can tear at most the final line.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens the journal directory: replays existing segments, compacts
+    /// the pending set into a fresh segment, deletes the old ones, and
+    /// returns the writer plus the replay report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory/segment creation failures (a server asked to
+    /// journal must not silently run without one). Damaged *records* are
+    /// never an error.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<(Journal, ReplayReport)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let old = segment_files(&dir);
+        let mut report = ReplayReport {
+            segments: old.len(),
+            ..ReplayReport::default()
+        };
+        let mut records = Vec::new();
+        for path in &old {
+            let bytes = fs::read(path).unwrap_or_default();
+            let (mut parsed, skipped) = parse_segment(&bytes);
+            report.records += parsed.len();
+            report.skipped += skipped;
+            records.append(&mut parsed);
+        }
+        report.pending = reduce(&records);
+
+        // Checkpoint: pending admits become the entire new segment.
+        let seq = next_segment_seq(&old);
+        let path = dir.join(format!("segment-{seq:010}.journal"));
+        let tmp = dir.join(format!("segment-{seq:010}.journal.tmp"));
+        {
+            let mut out = File::create(&tmp)?;
+            for job in &report.pending {
+                out.write_all(frame(&Record::Admit(job.clone())).as_bytes())?;
+            }
+            out.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        for stale in &old {
+            let _ = fs::remove_file(stale);
+        }
+
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+                path,
+            },
+            report,
+        ))
+    }
+
+    /// The active segment's path (tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record. Append failures are returned, not panicked —
+    /// the server degrades to journal-less for that record and logs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn append(&self, record: &Record) -> io::Result<()> {
+        let line = frame(record);
+        let mut file = self.file.lock().unwrap();
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admit(key: &str, modes: usize) -> Record {
+        Record::Admit(PendingJob {
+            key: key.to_string(),
+            tenant: "t".into(),
+            problem: obj([("modes", Value::Num(modes as f64))]),
+            deadline_ms: 1000,
+            batch: None,
+        })
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fermihedral-journal-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        for record in [
+            admit("aa", 3),
+            Record::Done { key: "aa".into() },
+            Record::Admit(PendingJob {
+                key: "bb".into(),
+                tenant: "acme".into(),
+                problem: obj([("modes", Value::Num(2.0))]),
+                deadline_ms: 250,
+                batch: Some("batch-1".into()),
+            }),
+        ] {
+            let line = frame(&record);
+            assert!(line.ends_with('\n'));
+            assert_eq!(parse_line(&line).as_ref(), Some(&record));
+        }
+    }
+
+    #[test]
+    fn torn_tail_and_garbage_are_skipped() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(frame(&admit("aa", 2)).as_bytes());
+        bytes.extend_from_slice(b"not json at all\n");
+        bytes.extend_from_slice(frame(&admit("bb", 3)).as_bytes());
+        // Torn final line: first half of a valid frame, no newline.
+        let torn = frame(&admit("cc", 4));
+        bytes.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
+
+        let (records, skipped) = parse_segment(&bytes);
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 2);
+        let pending = reduce(&records);
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].key, "aa");
+    }
+
+    #[test]
+    fn reduce_removes_done_and_dedupes_admits() {
+        let records = vec![
+            admit("aa", 2),
+            admit("bb", 3),
+            admit("aa", 2), // duplicate admit: first one wins
+            Record::Done { key: "bb".into() },
+            Record::Done { key: "zz".into() }, // unknown done: no-op
+        ];
+        let pending = reduce(&records);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].key, "aa");
+    }
+
+    #[test]
+    fn open_compacts_and_double_replay_is_idempotent() {
+        let dir = tmp_dir("compact");
+        {
+            let (journal, report) = Journal::open(&dir).unwrap();
+            assert!(report.pending.is_empty());
+            journal.append(&admit("aa", 2)).unwrap();
+            journal.append(&admit("bb", 3)).unwrap();
+            journal.append(&Record::Done { key: "aa".into() }).unwrap();
+        }
+        // First replay: bb pending, old segment compacted away.
+        let (journal, report) = Journal::open(&dir).unwrap();
+        assert_eq!(report.pending.len(), 1);
+        assert_eq!(report.pending[0].key, "bb");
+        assert_eq!(segment_files(&dir).len(), 1);
+        drop(journal);
+        // Second replay of the compacted state: identical pending set.
+        let (_journal, again) = Journal::open(&dir).unwrap();
+        assert_eq!(again.pending.len(), 1);
+        assert_eq!(again.pending[0].key, "bb");
+        assert_eq!(again.skipped, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -47,14 +47,18 @@ pub mod api;
 pub mod client;
 pub mod coalesce;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod queue;
+pub mod tenant;
 
 use crate::api::{CompileRequest, CompileStatus};
 use crate::coalesce::{Coalescer, SolveResult};
 use crate::http::{HttpConn, ReadError, Request, Response};
+use crate::journal::{Journal, PendingJob, Record};
 use crate::metrics::Metrics;
-use crate::queue::{Job, JobQueue, PushError};
+use crate::queue::{FairQueue, Job, PushError};
+use crate::tenant::{Tenant, TenantConfig, TenantRegistry};
 use engine::{fingerprint, Engine, EngineConfig, Fingerprint};
 use jsonkit::{obj, Value};
 use std::io;
@@ -136,6 +140,13 @@ pub struct ServeConfig {
     /// instead of local threads or pipe workers. With no workers
     /// registered, solves degrade to the in-process engine.
     pub fleet_addr: Option<String>,
+    /// Configured tenants. Empty = open mode (every request maps to the
+    /// anonymous tenant with unbounded quotas — the pre-tenancy
+    /// behavior). Non-empty = compile endpoints require an API key.
+    pub tenants: Vec<TenantConfig>,
+    /// When set, admitted compile/batch jobs and their completions are
+    /// journaled here and replayed on startup (see [`journal`]).
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -153,6 +164,8 @@ impl Default for ServeConfig {
             trace_dir: None,
             engine: EngineConfig::default(),
             fleet_addr: None,
+            tenants: Vec::new(),
+            journal_dir: None,
         }
     }
 }
@@ -162,8 +175,10 @@ struct Shared {
     config: ServeConfig,
     engine: Engine,
     metrics: Metrics,
-    queue: JobQueue,
+    queue: FairQueue,
     coalescer: Coalescer,
+    tenants: TenantRegistry,
+    journal: Option<Journal>,
     trace_store: TraceStore,
     shutdown: AtomicBool,
     started: Instant,
@@ -227,6 +242,15 @@ impl ServerHandle {
 ///
 /// Propagates bind failures and cache-directory failures.
 pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    let tenants = TenantRegistry::new(&config.tenants)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let (journal, replay) = match &config.journal_dir {
+        Some(dir) => {
+            let (journal, report) = Journal::open(dir)?;
+            (Some(journal), Some(report))
+        }
+        None => (None, None),
+    };
     let engine = Engine::new(config.engine.clone())?;
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
@@ -256,9 +280,11 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     };
 
     let shared = Arc::new(Shared {
-        queue: JobQueue::new(config.queue_capacity),
+        queue: FairQueue::new(config.queue_capacity),
         coalescer: Coalescer::default(),
         metrics: Metrics::default(),
+        tenants,
+        journal,
         trace_store: TraceStore::new(TRACE_STORE_CAPACITY),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
@@ -267,6 +293,13 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         fleet,
         config,
     });
+
+    // Re-admit journaled-but-unfinished work before accepting traffic:
+    // the restarted server finishes what its predecessor was killed
+    // holding, and the coalescing map covers those fingerprints again.
+    if let Some(report) = replay {
+        replay_pending(&shared, report);
+    }
 
     let mut threads = Vec::new();
     for worker in 0..shared.config.solve_workers.max(1) {
@@ -406,7 +439,14 @@ fn handle_request(shared: &Arc<Shared>, request: &Request, rid: &str) -> Respons
         ("GET", "/healthz") => handle_healthz(shared),
         ("GET", "/metrics") => handle_metrics(shared, request),
         ("GET", "/v1/flightrecorder") => handle_flightrecorder(),
-        ("POST", "/v1/compile") => handle_compile(shared, &request.body, rid),
+        ("POST", "/v1/compile") => match authenticate(shared, request) {
+            Ok(tenant) => handle_compile(shared, &request.body, rid, &tenant),
+            Err(response) => response,
+        },
+        ("POST", "/v1/compile-batch") => match authenticate(shared, request) {
+            Ok(tenant) => handle_batch(shared, &request.body, rid, &tenant),
+            Err(response) => response,
+        },
         ("GET", path) if path.starts_with("/v1/solution/") => {
             handle_solution(shared, &path["/v1/solution/".len()..])
         }
@@ -416,12 +456,140 @@ fn handle_request(shared: &Arc<Shared>, request: &Request, rid: &str) -> Respons
         (_, "/healthz" | "/metrics" | "/v1/flightrecorder") => {
             Response::error(405, "method not allowed").with_allow("GET")
         }
-        (_, "/v1/compile") => Response::error(405, "method not allowed").with_allow("POST"),
+        (_, "/v1/compile" | "/v1/compile-batch") => {
+            Response::error(405, "method not allowed").with_allow("POST")
+        }
         (_, path) if path.starts_with("/v1/solution/") || path.starts_with("/v1/trace/") => {
             Response::error(405, "method not allowed").with_allow("GET")
         }
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+/// The request's API key: `x-api-key` verbatim, or `authorization` with a
+/// case-insensitive `Bearer ` prefix stripped.
+fn request_api_key(request: &Request) -> Option<&str> {
+    if let Some(key) = request.header("x-api-key") {
+        return Some(key);
+    }
+    let auth = request.header("authorization")?.trim();
+    match auth.get(..7) {
+        Some(prefix) if prefix.eq_ignore_ascii_case("bearer ") => Some(auth[7..].trim()),
+        _ => Some(auth),
+    }
+}
+
+/// Maps a compile/batch request to its tenant, or to the 401 that refuses
+/// it. Open mode (no configured tenants) always succeeds.
+fn authenticate(shared: &Arc<Shared>, request: &Request) -> Result<Arc<Tenant>, Response> {
+    match shared.tenants.authenticate(request_api_key(request)) {
+        Ok(tenant) => Ok(tenant.clone()),
+        Err(e) => {
+            shared.metrics.auth_failures.inc();
+            shared.metrics.bump();
+            Err(Response::error(401, e.message()))
+        }
+    }
+}
+
+/// Appends one record to the journal when one is configured. An append
+/// failure degrades that record to journal-less (logged), never panics.
+fn journal_append(shared: &Shared, record: &Record) {
+    if let Some(journal) = &shared.journal {
+        match journal.append(record) {
+            Ok(()) => shared.metrics.journal_appends.inc(),
+            Err(e) => telemetry::log_warn!(
+                "serve.journal",
+                "journal append failed",
+                error = e.to_string(),
+            ),
+        }
+    }
+}
+
+/// Re-admits journaled-but-unfinished jobs through the normal queue +
+/// coalescer (so their fingerprints coalesce exactly like live traffic).
+/// Runs before the workers start; jobs solve as soon as they spawn.
+fn replay_pending(shared: &Arc<Shared>, report: journal::ReplayReport) {
+    let metrics = &shared.metrics;
+    metrics.journal_skipped.add(report.skipped as u64);
+    let pending = report.pending.len();
+    for job in report.pending {
+        let Ok(problem) = engine::problem_from_json(&job.problem, Some(shared.config.max_modes))
+        else {
+            // A record from a newer schema (or hand-edited): retire it so
+            // it does not replay forever.
+            journal_append(
+                shared,
+                &Record::Done {
+                    key: job.key.clone(),
+                },
+            );
+            continue;
+        };
+        let fp = fingerprint(&problem);
+        let key = fp.to_hex();
+        if key != job.key {
+            journal_append(
+                shared,
+                &Record::Done {
+                    key: job.key.clone(),
+                },
+            );
+            continue;
+        }
+        // Already solved to optimality (the crash happened after the
+        // store but before the completion record): just retire it.
+        if shared.engine.peek(&fp).is_some_and(|e| e.optimal) {
+            journal_append(shared, &Record::Done { key });
+            continue;
+        }
+        let deadline = Duration::from_millis(job.deadline_ms).min(shared.config.max_deadline);
+        let deadline_at = Instant::now() + deadline;
+        let (cell, leader) = shared.coalescer.join(&key, deadline_at);
+        if !leader {
+            continue; // duplicate pending key, already re-admitted
+        }
+        let tenant = shared.tenants.by_name(&job.tenant).clone();
+        let push = shared.queue.try_push(Job {
+            key: key.clone(),
+            problem,
+            deadline_at,
+            enqueued_at: Instant::now(),
+            cell,
+            tenant,
+            warm_hint: None,
+            journaled: true,
+        });
+        match push {
+            Ok(()) => {
+                metrics.journal_replayed.inc();
+                metrics.jobs_enqueued.inc();
+            }
+            Err(_) => {
+                // Queue or quota full at startup: leave the record pending
+                // for the *next* restart rather than losing it.
+                shared.coalescer.finish(
+                    &key,
+                    SolveResult::Shed {
+                        status: 503,
+                        reason: "journal replay deferred".into(),
+                    },
+                );
+            }
+        }
+    }
+    if pending > 0 || report.skipped > 0 {
+        telemetry::log_info!(
+            "serve.journal",
+            "journal replayed",
+            pending = pending as u64,
+            re_admitted = metrics.journal_replayed.get(),
+            skipped_lines = report.skipped as u64,
+            segments = report.segments as u64,
+        );
+    }
+    metrics.bump();
 }
 
 fn handle_healthz(shared: &Arc<Shared>) -> Response {
@@ -468,6 +636,7 @@ fn handle_metrics(shared: &Arc<Shared>, request: &Request) -> Response {
             shared.queue.capacity(),
             shared.coalescer.len(),
             shared.engine.cache_counters(),
+            shared.tenants.all(),
         );
         return Response::json(200, &doc);
     }
@@ -478,6 +647,7 @@ fn handle_metrics(shared: &Arc<Shared>, request: &Request) -> Response {
         shared.queue.capacity(),
         shared.coalescer.len(),
         shared.engine.cache_counters(),
+        shared.tenants.all(),
         telemetry::global().metrics(),
     );
     Response::text(200, "text/plain; version=0.0.4; charset=utf-8", text)
@@ -513,7 +683,7 @@ fn handle_solution(shared: &Arc<Shared>, fingerprint_hex: &str) -> Response {
 // The compile flow
 // ---------------------------------------------------------------------------
 
-fn handle_compile(shared: &Arc<Shared>, body: &[u8], rid: &str) -> Response {
+fn handle_compile(shared: &Arc<Shared>, body: &[u8], rid: &str, tenant: &Arc<Tenant>) -> Response {
     let t0 = Instant::now();
     let parsed = match api::parse_compile_request(body, shared.config.max_modes) {
         Ok(parsed) => parsed,
@@ -549,6 +719,8 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8], rid: &str) -> Response {
         &key,
         deadline_at,
         t0,
+        tenant,
+        None,
         &mut request_span,
     );
     if request_span.active() {
@@ -560,6 +732,290 @@ fn handle_compile(shared: &Arc<Shared>, body: &[u8], rid: &str) -> Response {
     // fingerprint for GET /v1/trace.
     capture_trace(shared, &key);
     response
+}
+
+// ---------------------------------------------------------------------------
+// The batch compile flow
+// ---------------------------------------------------------------------------
+
+/// `POST /v1/compile-batch`: one problem family at many sizes, solved
+/// small→large so every entry warm-starts from its smaller sibling — on a
+/// cache-backed engine through the [`engine::SizeIndex`] (cross-size
+/// provenance in each entry's `warm_start` field), on a cache-less engine
+/// through an explicitly chained, [`encodings::embed`]-lifted hint from
+/// the previous entry's best encoding.
+///
+/// The whole batch runs under one deadline; entries the deadline starves
+/// are reported `"status": "skipped"` and the batch answers
+/// `"status": "partial"`. Every entry is journaled at admission, so a
+/// crash mid-batch replays exactly the unfinished tail.
+fn handle_batch(shared: &Arc<Shared>, body: &[u8], rid: &str, tenant: &Arc<Tenant>) -> Response {
+    let t0 = Instant::now();
+    let parsed = match api::parse_batch_request(body, shared.config.max_modes) {
+        Ok(parsed) => parsed,
+        Err(message) => return Response::error(400, &message),
+    };
+    if shared.is_shutdown() {
+        return Response::error(503, "shutting down").with_retry_after(1);
+    }
+    let deadline = parsed
+        .deadline
+        .unwrap_or(shared.config.default_deadline)
+        .min(shared.config.max_deadline);
+    let deadline_at = t0 + deadline;
+    let batch_id = format!("batch-{rid}");
+    let metrics = &shared.metrics;
+    metrics.batches.inc();
+
+    let mut batch_span = telemetry::span("serve.batch");
+    batch_span.attr("batch", batch_id.clone());
+    batch_span.attr("request_id", rid);
+    batch_span.attr("entries", parsed.problems.len() as u64);
+    batch_span.attr("tenant", tenant.name.clone());
+
+    // Fingerprint everything up front, then journal every entry before
+    // the first solve: a SIGKILL anywhere in the loop leaves admit
+    // records for exactly the entries that still owe a completion.
+    let entries: Vec<(fermihedral::EncodingProblem, Fingerprint, String)> = parsed
+        .problems
+        .into_iter()
+        .map(|p| {
+            let fp = fingerprint(&p);
+            let key = fp.to_hex();
+            (p, fp, key)
+        })
+        .collect();
+    for (problem, _fp, key) in &entries {
+        journal_append(
+            shared,
+            &Record::Admit(PendingJob {
+                key: key.clone(),
+                tenant: tenant.name.clone(),
+                problem: engine::problem_to_json(problem),
+                deadline_ms: deadline.as_millis() as u64,
+                batch: Some(batch_id.clone()),
+            }),
+        );
+    }
+    telemetry::log_info!(
+        "serve.batch",
+        "batch admitted",
+        batch = batch_id.clone(),
+        entries = entries.len() as u64,
+        tenant = tenant.name.clone(),
+        deadline_ms = deadline.as_millis() as u64,
+        request_id = rid,
+    );
+
+    let mut results: Vec<Value> = Vec::with_capacity(entries.len());
+    let mut warm_starts = 0u64;
+    let mut cross_size = 0u64;
+    let mut complete = true;
+    // The chain link for cache-less engines: the previous (smaller)
+    // entry's best strings, lifted to the next size at use.
+    let mut prev_best: Option<Vec<pauli::PauliString>> = None;
+    for (problem, fp, key) in entries {
+        let modes = problem.num_modes();
+        let entry_t0 = Instant::now();
+        let annotate = |mut doc: Value| -> Value {
+            if let Value::Obj(fields) = &mut doc {
+                fields.insert("modes".into(), Value::Num(modes as f64));
+            }
+            doc
+        };
+        if entry_t0 >= deadline_at {
+            // Deadline starved this entry; it was *answered* (as
+            // skipped), so retire its journal record — replaying it
+            // after a restart would resurrect work the client was
+            // already told did not happen.
+            complete = false;
+            journal_append(shared, &Record::Done { key: key.clone() });
+            results.push(annotate(skipped_entry_response(&key)));
+            continue;
+        }
+        metrics.batch_entries.inc();
+
+        // Cache fast path, mirroring the solo flow.
+        if let Some(entry) = shared.engine.peek(&fp) {
+            if entry.optimal {
+                metrics.cache_fast_path.inc();
+                journal_append(shared, &Record::Done { key: key.clone() });
+                prev_best = Some(entry.strings.clone());
+                let doc =
+                    cache_entry_response(&key, &entry, CompileStatus::Optimal, entry_t0.elapsed());
+                results.push(annotate(doc));
+                continue;
+            }
+        }
+
+        // Cache-less chaining: lift the previous best to this size and
+        // hand it to the engine as a config hint. With a cache, the
+        // engine's own SizeIndex probe supplies the (provenance-carrying)
+        // cross-size warm start, and a hint would mask it.
+        let warm_hint = if shared.engine.cache().is_none() {
+            prev_best
+                .take()
+                .and_then(|strings| encodings::embed::embed_to(&strings, modes).ok())
+        } else {
+            None
+        };
+
+        let (cell, leader) = shared.coalescer.join(&key, deadline_at);
+        if leader {
+            let job = Job {
+                key: key.clone(),
+                problem,
+                deadline_at,
+                enqueued_at: Instant::now(),
+                cell: cell.clone(),
+                tenant: tenant.clone(),
+                warm_hint,
+                journaled: shared.journal.is_some(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => {
+                    metrics.jobs_enqueued.inc();
+                    metrics.bump();
+                }
+                Err(error) => {
+                    journal_append(shared, &Record::Done { key: key.clone() });
+                    let (status, reason) = match error {
+                        PushError::TenantFull(_) => {
+                            tenant.quota_rejections.inc();
+                            metrics.tenant_rejections.inc();
+                            (
+                                429,
+                                format!(
+                                    "tenant {:?} queue quota ({}) exhausted",
+                                    tenant.name, tenant.max_queued
+                                ),
+                            )
+                        }
+                        PushError::Full(_) => {
+                            metrics.queue_rejections.inc();
+                            (429, "compile queue full".to_string())
+                        }
+                        PushError::Closed(_) => (503, "shutting down".to_string()),
+                    };
+                    metrics.bump();
+                    shared
+                        .coalescer
+                        .finish(&key, SolveResult::Shed { status, reason });
+                }
+            }
+        } else {
+            metrics.coalesced_requests.inc();
+        }
+
+        match cell.wait_until(deadline_at + RESULT_GRACE) {
+            Some(SolveResult::Done {
+                outcome,
+                timed_out,
+                cancelled,
+            }) => {
+                let status = if outcome.optimal_proved {
+                    CompileStatus::Optimal
+                } else if cancelled {
+                    CompileStatus::Cancelled
+                } else if timed_out {
+                    CompileStatus::DeadlineExceeded
+                } else {
+                    CompileStatus::BestEffort
+                };
+                if !matches!(status, CompileStatus::Optimal | CompileStatus::BestEffort) {
+                    complete = false;
+                }
+                if let Some(ws) = &outcome.report.warm_start {
+                    warm_starts += 1;
+                    if ws.source == "cross-size" {
+                        cross_size += 1;
+                        metrics.batch_warm_starts.inc();
+                    }
+                }
+                prev_best = outcome.best.as_ref().map(|b| b.strings.clone());
+                let doc = api::compile_response(
+                    &key,
+                    status,
+                    Some(&outcome),
+                    !leader,
+                    entry_t0.elapsed(),
+                );
+                results.push(annotate(doc));
+            }
+            Some(SolveResult::Shed { status, reason }) => {
+                complete = false;
+                prev_best = None;
+                let doc = obj([
+                    ("fingerprint", Value::Str(key.clone())),
+                    ("status", Value::Str("shed".into())),
+                    ("error", Value::Str(reason)),
+                    ("http_status", Value::Num(status as f64)),
+                ]);
+                results.push(annotate(doc));
+            }
+            None => {
+                complete = false;
+                prev_best = None;
+                let doc = match shared.engine.peek(&fp) {
+                    Some(entry) => cache_entry_response(
+                        &key,
+                        &entry,
+                        CompileStatus::DeadlineExceeded,
+                        entry_t0.elapsed(),
+                    ),
+                    None => api::compile_response(
+                        &key,
+                        CompileStatus::DeadlineExceeded,
+                        None,
+                        !leader,
+                        entry_t0.elapsed(),
+                    ),
+                };
+                results.push(annotate(doc));
+            }
+        }
+        capture_trace(shared, &key);
+    }
+
+    batch_span.attr("complete", complete);
+    batch_span.attr("warm_starts", warm_starts);
+    batch_span.attr("cross_size_warm_starts", cross_size);
+    drop(batch_span);
+    metrics.bump();
+    Response::json(
+        200,
+        &obj([
+            ("batch", Value::Str(batch_id)),
+            (
+                "status",
+                Value::Str(if complete { "complete" } else { "partial" }.into()),
+            ),
+            ("entries", Value::Arr(results)),
+            ("warm_starts", Value::Num(warm_starts as f64)),
+            ("cross_size_warm_starts", Value::Num(cross_size as f64)),
+            (
+                "elapsed_ms",
+                Value::Num((t0.elapsed().as_micros() as f64) / 1_000.0),
+            ),
+        ]),
+    )
+}
+
+/// Batch-entry body for an entry the batch deadline starved before its
+/// solve could even be enqueued.
+fn skipped_entry_response(key: &str) -> Value {
+    obj([
+        ("fingerprint", Value::Str(key.to_string())),
+        ("status", Value::Str("skipped".into())),
+        ("optimal", Value::Bool(false)),
+        ("weight", Value::Null),
+        ("strings", Value::Null),
+        ("winner", Value::Null),
+        ("from_cache", Value::Bool(false)),
+        ("warm_start", Value::Null),
+        ("coalesced", Value::Bool(false)),
+        ("elapsed_ms", Value::Num(0.0)),
+    ])
 }
 
 /// Moves the registry's drained events into the per-fingerprint trace
@@ -590,6 +1046,8 @@ fn compile_flow(
     key: &str,
     deadline_at: Instant,
     t0: Instant,
+    tenant: &Arc<Tenant>,
+    warm_hint: Option<Vec<pauli::PauliString>>,
     request_span: &mut telemetry::SpanGuard,
 ) -> Response {
     let fp = *fp;
@@ -620,39 +1078,82 @@ fn compile_flow(
     let (cell, leader) = shared.coalescer.join(&key, deadline_at);
     request_span.attr("coalesced", !leader);
     if leader {
+        // The admit record is journaled *before* the push: a crash in
+        // the window between them replays a job the queue never held,
+        // which the replay's cache probe and coalescing de-duplicate.
+        let admit = shared.journal.as_ref().map(|_| {
+            Record::Admit(PendingJob {
+                key: key.clone(),
+                tenant: tenant.name.clone(),
+                problem: engine::problem_to_json(&problem),
+                deadline_ms: deadline_at.saturating_duration_since(t0).as_millis() as u64,
+                batch: None,
+            })
+        });
+        let journaled = admit.is_some();
+        if let Some(record) = &admit {
+            journal_append(shared, record);
+        }
         let job = Job {
             key: key.clone(),
             problem,
             deadline_at,
             enqueued_at: Instant::now(),
             cell: cell.clone(),
+            tenant: tenant.clone(),
+            warm_hint,
+            journaled,
         };
         match shared.queue.try_push(job) {
             Ok(()) => {
                 metrics.jobs_enqueued.inc();
                 metrics.bump();
             }
-            Err(PushError::Full(_)) => {
-                metrics.queue_rejections.inc();
-                metrics.bump();
-                // Unregister and fail any follower that joined the cell in
-                // the window — they asked for the same overloaded queue.
-                shared.coalescer.finish(
-                    &key,
-                    SolveResult::Shed {
-                        status: 429,
-                        reason: "compile queue full".into(),
-                    },
-                );
-            }
-            Err(PushError::Closed(_)) => {
-                shared.coalescer.finish(
-                    &key,
-                    SolveResult::Shed {
-                        status: 503,
-                        reason: "shutting down".into(),
-                    },
-                );
+            Err(error) => {
+                // The job never ran: retire its admit record right away.
+                if journaled {
+                    journal_append(shared, &Record::Done { key: key.clone() });
+                }
+                match error {
+                    PushError::TenantFull(_) => {
+                        tenant.quota_rejections.inc();
+                        metrics.tenant_rejections.inc();
+                        metrics.bump();
+                        shared.coalescer.finish(
+                            &key,
+                            SolveResult::Shed {
+                                status: 429,
+                                reason: format!(
+                                    "tenant {:?} queue quota ({}) exhausted",
+                                    tenant.name, tenant.max_queued
+                                ),
+                            },
+                        );
+                    }
+                    PushError::Full(_) => {
+                        metrics.queue_rejections.inc();
+                        metrics.bump();
+                        // Unregister and fail any follower that joined the
+                        // cell in the window — they asked for the same
+                        // overloaded queue.
+                        shared.coalescer.finish(
+                            &key,
+                            SolveResult::Shed {
+                                status: 429,
+                                reason: "compile queue full".into(),
+                            },
+                        );
+                    }
+                    PushError::Closed(_) => {
+                        shared.coalescer.finish(
+                            &key,
+                            SolveResult::Shed {
+                                status: 503,
+                                reason: "shutting down".into(),
+                            },
+                        );
+                    }
+                }
             }
         }
     } else {
@@ -754,6 +1255,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                     reason: "shutting down".into(),
                 },
             );
+            // No completion record: a journaled job shed by shutdown
+            // stays pending and replays when the server comes back.
+            shared.queue.job_finished(&job.tenant);
             continue;
         }
         metrics.solves_started.inc();
@@ -817,10 +1321,15 @@ fn worker_loop(shared: &Arc<Shared>) {
                 &shard::ShardOptions::default(),
             )
         } else {
-            shared.engine.compile_with_deadline(
+            // The chained warm hint only reaches the in-process path: the
+            // fleet/shard coordinators run their own cache-backed warm
+            // start, and a batch on a cache-backed engine relies on the
+            // SizeIndex for provenance anyway (see Engine docs).
+            shared.engine.compile_with_deadline_hinted(
                 &job.problem,
                 Some(remaining),
                 Some(&job.cell.cancel),
+                job.warm_hint.clone(),
             )
         };
         let timed_out = !outcome.optimal_proved && Instant::now() >= deadline_at;
@@ -842,6 +1351,16 @@ fn worker_loop(shared: &Arc<Shared>) {
         metrics.solves_completed.inc();
         metrics.active_solves.add(-1);
         metrics.bump();
+        // Completion record first: once the cell is finished a client can
+        // observe the result, and an observed result must never replay.
+        if job.journaled && !cancelled {
+            journal_append(
+                shared,
+                &Record::Done {
+                    key: job.key.clone(),
+                },
+            );
+        }
         shared.coalescer.finish(
             &job.key,
             SolveResult::Done {
@@ -850,5 +1369,6 @@ fn worker_loop(shared: &Arc<Shared>) {
                 cancelled,
             },
         );
+        shared.queue.job_finished(&job.tenant);
     }
 }

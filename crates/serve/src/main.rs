@@ -64,6 +64,14 @@ OPTIONS:
                               across them (multi-host; overrides --shards)
     --trace-dir PATH          write each request's Chrome trace JSON to
                               PATH/<fingerprint>.trace.json
+    --journal-dir PATH        append admitted compile/batch jobs to a
+                              crash-replayable journal; on startup, replay
+                              and finish whatever a previous process was
+                              killed holding
+    --tenant SPEC             add a tenant: name:key[:max_in_flight[:max_queued]]
+                              (repeatable; once any tenant is configured,
+                              compile endpoints require an API key via
+                              `authorization: Bearer <key>` or `x-api-key`)
     --log-level LEVEL         stderr log floor: trace|debug|info|warn|error
                               (overrides FERMIHEDRAL_LOG's default level)
     --log-json                emit stderr logs as JSON lines instead of text
@@ -107,6 +115,8 @@ fn parse_flags() -> Flags {
                     "--shards",
                     "--fleet",
                     "--trace-dir",
+                    "--journal-dir",
+                    "--tenant",
                     "--log-level",
                 ];
                 if !known.contains(&name) {
@@ -152,6 +162,14 @@ impl Flags {
         self.values
             .iter()
             .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of a repeatable flag, in order (`--tenant`).
+    fn get_all<'s>(&'s self, name: &'s str) -> impl Iterator<Item = &'s str> + 's {
+        self.values
+            .iter()
+            .filter(move |(k, _)| k == name)
             .map(|(_, v)| v.as_str())
     }
 
@@ -217,6 +235,22 @@ fn main() {
         trace_dir: flags.get("trace-dir").map(Into::into),
         engine,
         fleet_addr: flags.get("fleet").map(Into::into),
+        journal_dir: flags.get("journal-dir").map(Into::into),
+        tenants: flags
+            .get_all("tenant")
+            .map(|spec| {
+                serve::tenant::TenantConfig::parse(spec).unwrap_or_else(|e| {
+                    telemetry::log_error!(
+                        "serve.cli",
+                        "bad tenant spec",
+                        spec = spec,
+                        error = e,
+                        expected = "name:key[:max_in_flight[:max_queued]]",
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
         ..ServeConfig::default()
     };
 

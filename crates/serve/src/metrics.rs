@@ -7,9 +7,10 @@
 //! ([`Metrics::to_prometheus`]) and the historical JSON snapshot under
 //! `?format=json` ([`Metrics::to_json`]).
 
+use crate::tenant::Tenant;
 use engine::CacheCounters;
 use jsonkit::{obj, Value};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use telemetry::{Counter, Gauge, Histogram, PromText};
 
@@ -61,6 +62,23 @@ pub struct Metrics {
     pub active_solves: Gauge,
     /// Compile jobs admitted to the queue (leaders only).
     pub jobs_enqueued: Counter,
+    /// Compile/batch requests refused with 401 (missing or unknown key).
+    pub auth_failures: Counter,
+    /// Jobs bounced off a *tenant's own* quota with 429 (the global
+    /// queue was not full).
+    pub tenant_rejections: Counter,
+    /// `POST /v1/compile-batch` requests admitted.
+    pub batches: Counter,
+    /// Individual batch entries solved (or served from cache).
+    pub batch_entries: Counter,
+    /// Batch entries whose race opened from a cross-size warm start.
+    pub batch_warm_starts: Counter,
+    /// Journaled jobs re-admitted by startup replay.
+    pub journal_replayed: Counter,
+    /// Torn/garbage journal lines skipped during replay.
+    pub journal_skipped: Counter,
+    /// Records appended to the journal since startup.
+    pub journal_appends: Counter,
     /// End-to-end latency of `POST /v1/compile` requests.
     pub compile_latency: Histogram,
     /// Latency of `GET /v1/solution/<fp>` lookups.
@@ -89,6 +107,14 @@ impl Default for Metrics {
             solves_shed: Counter::default(),
             active_solves: Gauge::default(),
             jobs_enqueued: Counter::default(),
+            auth_failures: Counter::default(),
+            tenant_rejections: Counter::default(),
+            batches: Counter::default(),
+            batch_entries: Counter::default(),
+            batch_warm_starts: Counter::default(),
+            journal_replayed: Counter::default(),
+            journal_skipped: Counter::default(),
+            journal_appends: Counter::default(),
             compile_latency: latency_histogram(),
             lookup_latency: latency_histogram(),
             queue_wait: latency_histogram(),
@@ -151,7 +177,9 @@ impl Metrics {
     }
 
     /// The `/metrics?format=json` document. Externally owned gauges are
-    /// arguments.
+    /// arguments; `tenants` is the registry's tenant list (anonymous
+    /// last).
+    #[allow(clippy::too_many_arguments)]
     pub fn to_json(
         &self,
         uptime: Duration,
@@ -160,8 +188,33 @@ impl Metrics {
         queue_capacity: usize,
         inflight_groups: usize,
         cache: CacheCounters,
+        tenants: &[Arc<Tenant>],
     ) -> Value {
         let n = |c: &Counter| Value::Num(c.get() as f64);
+        let quota = |q: usize| {
+            if q == usize::MAX {
+                Value::Null
+            } else {
+                Value::Num(q as f64)
+            }
+        };
+        let tenant_fields: std::collections::BTreeMap<String, Value> = tenants
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    obj([
+                        ("admitted", n(&t.admitted)),
+                        ("completed", n(&t.completed)),
+                        ("quota_rejections", n(&t.quota_rejections)),
+                        ("queued", Value::Num(t.queued.get() as f64)),
+                        ("in_flight", Value::Num(t.in_flight.get() as f64)),
+                        ("max_in_flight", quota(t.max_in_flight)),
+                        ("max_queued", quota(t.max_queued)),
+                    ]),
+                )
+            })
+            .collect();
         obj([
             ("uptime_ms", Value::Num(uptime.as_millis() as f64)),
             ("shutting_down", Value::Bool(shutting_down)),
@@ -215,6 +268,30 @@ impl Metrics {
                 ]),
             ),
             (
+                "batch",
+                obj([
+                    ("batches", n(&self.batches)),
+                    ("entries", n(&self.batch_entries)),
+                    ("warm_starts", n(&self.batch_warm_starts)),
+                ]),
+            ),
+            (
+                "journal",
+                obj([
+                    ("replayed", n(&self.journal_replayed)),
+                    ("skipped_lines", n(&self.journal_skipped)),
+                    ("appends", n(&self.journal_appends)),
+                ]),
+            ),
+            (
+                "auth",
+                obj([
+                    ("failures", n(&self.auth_failures)),
+                    ("tenant_rejections", n(&self.tenant_rejections)),
+                ]),
+            ),
+            ("tenants", Value::Obj(tenant_fields)),
+            (
                 "latency",
                 obj([
                     ("compile_ms", self.compile_latency.to_json()),
@@ -241,6 +318,7 @@ impl Metrics {
         queue_capacity: usize,
         inflight_groups: usize,
         cache: CacheCounters,
+        tenants: &[Arc<Tenant>],
         extra: &telemetry::MetricSet,
     ) -> String {
         let mut w = PromText::new();
@@ -386,6 +464,77 @@ impl Metrics {
             "GET /v1/solution lookup latency",
             &self.lookup_latency,
         );
+        w.counter(
+            "serve_auth_failures_total",
+            "Compile/batch requests refused with 401",
+            self.auth_failures.get(),
+        );
+        w.counter(
+            "serve_tenant_rejections_total",
+            "Jobs bounced off a tenant's own quota with 429",
+            self.tenant_rejections.get(),
+        );
+        w.counter(
+            "serve_batches_total",
+            "POST /v1/compile-batch requests admitted",
+            self.batches.get(),
+        );
+        w.counter(
+            "serve_batch_entries_total",
+            "Batch entries solved or served from cache",
+            self.batch_entries.get(),
+        );
+        w.counter(
+            "serve_batch_warm_starts_total",
+            "Batch entries opened from a cross-size warm start",
+            self.batch_warm_starts.get(),
+        );
+        w.counter(
+            "serve_journal_replayed_total",
+            "Journaled jobs re-admitted by startup replay",
+            self.journal_replayed.get(),
+        );
+        w.counter(
+            "serve_journal_skipped_lines_total",
+            "Torn or garbage journal lines skipped during replay",
+            self.journal_skipped.get(),
+        );
+        w.counter(
+            "serve_journal_appends_total",
+            "Records appended to the journal since startup",
+            self.journal_appends.get(),
+        );
+        for (i, t) in tenants.iter().enumerate() {
+            let label = |family: &str| format!("{family}{{tenant=\"{}\"}}", t.name);
+            // One TYPE header per family: only the first tenant carries
+            // the help text (PromText deduplicates headers by family).
+            let help = |text: &'static str| if i == 0 { text } else { "" };
+            w.counter(
+                &label("serve_tenant_admitted_total"),
+                help("Jobs admitted to the queue, per tenant"),
+                t.admitted.get(),
+            );
+            w.counter(
+                &label("serve_tenant_completed_total"),
+                help("Jobs whose solve finished, per tenant"),
+                t.completed.get(),
+            );
+            w.counter(
+                &label("serve_tenant_quota_rejections_total"),
+                help("Requests bounced off the tenant's own quota with 429"),
+                t.quota_rejections.get(),
+            );
+            w.gauge(
+                &label("serve_tenant_queued"),
+                help("Jobs waiting in the tenant's queue slice"),
+                t.queued.get(),
+            );
+            w.gauge(
+                &label("serve_tenant_in_flight"),
+                help("Tenant jobs currently running in a solve worker"),
+                t.in_flight.get(),
+            );
+        }
         w.histogram(
             "serve_queue_wait_seconds",
             "Time admitted jobs waited for a solve worker",
@@ -449,6 +598,7 @@ mod tests {
             64,
             1,
             CacheCounters::default(),
+            &[],
         );
         let text = doc.to_json();
         let parsed = jsonkit::parse(&text).unwrap();
@@ -489,6 +639,7 @@ mod tests {
             64,
             0,
             CacheCounters::default(),
+            &[],
             &extra,
         );
         assert!(text.contains("# TYPE serve_http_requests_total counter"));

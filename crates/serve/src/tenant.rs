@@ -1,0 +1,331 @@
+//! Per-tenant identity, quotas, and traffic accounting.
+//!
+//! Fermihedral workloads arrive as *families* owned by someone: a chemistry
+//! group sweeping one Hamiltonian across mode counts, a device team tuning
+//! one encoding family per chip. Once more than one of them shares a
+//! server, a single global admission queue lets the heaviest client starve
+//! everyone else. This module gives each client a **tenant**: an API key,
+//! a bounded slice of the queue (`max_queued`), a bounded slice of the
+//! solve workers (`max_in_flight`), and its own counters for `/metrics`.
+//!
+//! Configuration is static ([`ServeConfig::tenants`](crate::ServeConfig));
+//! with no tenants configured the server runs **open**: every request maps
+//! to the built-in anonymous tenant with effectively unlimited quotas, and
+//! the keyless request/response surface is byte-for-byte what it was
+//! before tenancy existed. The moment at least one tenant is configured,
+//! compile endpoints require a key (`authorization: Bearer <key>` or
+//! `x-api-key: <key>`); read-only endpoints stay open.
+
+use std::sync::Arc;
+use telemetry::{Counter, Gauge};
+
+/// Reserved name of the built-in tenant serving keyless traffic (open
+/// mode) and journal replay. Not routable by API key.
+pub const ANONYMOUS: &str = "anonymous";
+
+/// Static configuration of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name: a metrics label and log field, so keep it short and
+    /// `[a-zA-Z0-9_-]`-clean.
+    pub name: String,
+    /// The API key presented as `authorization: Bearer <key>` or
+    /// `x-api-key: <key>`. Compared in full; an empty key is invalid.
+    pub api_key: String,
+    /// Solves of this tenant allowed to run concurrently in workers.
+    pub max_in_flight: usize,
+    /// Jobs of this tenant allowed to sit in the admission queue. Beyond
+    /// it the tenant's own overflow answers `429` — the global queue is
+    /// untouched.
+    pub max_queued: usize,
+}
+
+impl TenantConfig {
+    /// Parses the CLI form `name:key[:max_in_flight[:max_queued]]`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming what is wrong with the spec.
+    pub fn parse(spec: &str) -> Result<TenantConfig, String> {
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or_default().trim();
+        let key = parts.next().unwrap_or_default().trim();
+        if name.is_empty() || key.is_empty() {
+            return Err(format!(
+                "tenant spec {spec:?} must be name:key[:max_in_flight[:max_queued]]"
+            ));
+        }
+        if name == ANONYMOUS {
+            return Err(format!("tenant name {ANONYMOUS:?} is reserved"));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("tenant name {name:?} must be [a-zA-Z0-9_-]"));
+        }
+        let num = |field: &str, value: Option<&str>, default: usize| -> Result<usize, String> {
+            match value {
+                None | Some("") => Ok(default),
+                Some(v) => v
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("tenant {name}: {field} {v:?} is not an integer")),
+            }
+        };
+        let max_in_flight = num("max_in_flight", parts.next(), 1)?.max(1);
+        let max_queued = num("max_queued", parts.next(), 8)?;
+        if parts.next().is_some() {
+            return Err(format!("tenant spec {spec:?} has trailing fields"));
+        }
+        Ok(TenantConfig {
+            name: name.to_string(),
+            api_key: key.to_string(),
+            max_in_flight,
+            max_queued,
+        })
+    }
+}
+
+/// Live state and counters of one tenant. Shared between connection
+/// threads (admission), the fair queue (scheduling), and the metrics
+/// endpoint (rendering).
+#[derive(Debug)]
+pub struct Tenant {
+    /// Tenant name (metrics label).
+    pub name: String,
+    /// API key; empty for the anonymous tenant (not key-routable).
+    pub api_key: String,
+    /// Concurrent-solve quota.
+    pub max_in_flight: usize,
+    /// Queued-job quota.
+    pub max_queued: usize,
+    /// Compile/batch-entry jobs admitted to the queue.
+    pub admitted: Counter,
+    /// Jobs whose solve finished (any status).
+    pub completed: Counter,
+    /// Requests bounced off this tenant's own quota with `429`.
+    pub quota_rejections: Counter,
+    /// Jobs currently waiting in this tenant's queue slice.
+    pub queued: Gauge,
+    /// Jobs currently running in a solve worker.
+    pub in_flight: Gauge,
+}
+
+impl Tenant {
+    fn new(config: &TenantConfig) -> Tenant {
+        Tenant {
+            name: config.name.clone(),
+            api_key: config.api_key.clone(),
+            max_in_flight: config.max_in_flight.max(1),
+            max_queued: config.max_queued,
+            admitted: Counter::default(),
+            completed: Counter::default(),
+            quota_rejections: Counter::default(),
+            queued: Gauge::default(),
+            in_flight: Gauge::default(),
+        }
+    }
+
+    fn anonymous() -> Tenant {
+        Tenant::new(&TenantConfig {
+            name: ANONYMOUS.into(),
+            api_key: String::new(),
+            // Effectively unbounded: open-mode admission control is the
+            // global queue capacity, exactly as before tenancy existed.
+            max_in_flight: usize::MAX,
+            max_queued: usize::MAX,
+        })
+    }
+}
+
+/// Why a request could not be mapped to a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// Tenants are configured and the request carried no key.
+    MissingKey,
+    /// The presented key matches no tenant.
+    UnknownKey,
+}
+
+impl AuthError {
+    /// The 401 error-body message.
+    pub fn message(self) -> &'static str {
+        match self {
+            AuthError::MissingKey => {
+                "this server requires an API key (authorization: Bearer <key> or x-api-key)"
+            }
+            AuthError::UnknownKey => "unknown API key",
+        }
+    }
+}
+
+/// The fixed tenant set: every configured tenant plus the anonymous one.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    tenants: Vec<Arc<Tenant>>,
+    /// Index of the anonymous tenant in `tenants`.
+    anonymous: usize,
+    /// True when at least one real tenant is configured — compile
+    /// endpoints then require a key.
+    keyed: bool,
+}
+
+impl TenantRegistry {
+    /// Builds the registry; duplicate names or keys are a config error.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the duplicate.
+    pub fn new(configs: &[TenantConfig]) -> Result<TenantRegistry, String> {
+        let mut tenants: Vec<Arc<Tenant>> = Vec::with_capacity(configs.len() + 1);
+        for config in configs {
+            if config.name == ANONYMOUS {
+                return Err(format!("tenant name {ANONYMOUS:?} is reserved"));
+            }
+            if config.api_key.is_empty() {
+                return Err(format!("tenant {:?} has an empty api key", config.name));
+            }
+            if tenants.iter().any(|t| t.name == config.name) {
+                return Err(format!("duplicate tenant name {:?}", config.name));
+            }
+            if tenants.iter().any(|t| t.api_key == config.api_key) {
+                return Err(format!("tenants share an api key ({:?})", config.name));
+            }
+            tenants.push(Arc::new(Tenant::new(config)));
+        }
+        let keyed = !tenants.is_empty();
+        tenants.push(Arc::new(Tenant::anonymous()));
+        Ok(TenantRegistry {
+            anonymous: tenants.len() - 1,
+            tenants,
+            keyed,
+        })
+    }
+
+    /// All tenants, anonymous last (metrics rendering order).
+    pub fn all(&self) -> &[Arc<Tenant>] {
+        &self.tenants
+    }
+
+    /// The anonymous tenant (open mode, journal replay).
+    pub fn anonymous(&self) -> &Arc<Tenant> {
+        &self.tenants[self.anonymous]
+    }
+
+    /// True when compile endpoints require a key.
+    pub fn requires_key(&self) -> bool {
+        self.keyed
+    }
+
+    /// Maps a request's credentials to a tenant. `key` is the value of
+    /// `x-api-key`, or of `authorization` with any `Bearer ` prefix
+    /// already stripped by the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError`] → 401. Open mode (no tenants configured) never errors.
+    pub fn authenticate(&self, key: Option<&str>) -> Result<&Arc<Tenant>, AuthError> {
+        if !self.keyed {
+            return Ok(self.anonymous());
+        }
+        let key = key.map(str::trim).filter(|k| !k.is_empty());
+        match key {
+            None => Err(AuthError::MissingKey),
+            Some(k) => self
+                .tenants
+                .iter()
+                .find(|t| !t.api_key.is_empty() && t.api_key == k)
+                .ok_or(AuthError::UnknownKey),
+        }
+    }
+
+    /// Looks a tenant up by name (journal replay re-attaches completion
+    /// accounting to the recorded tenant; a renamed/removed tenant falls
+    /// back to anonymous).
+    pub fn by_name(&self, name: &str) -> &Arc<Tenant> {
+        self.tenants
+            .iter()
+            .find(|t| t.name == name)
+            .unwrap_or_else(|| self.anonymous())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_cli_specs() {
+        let t = TenantConfig::parse("acme:s3cret").unwrap();
+        assert_eq!(t.name, "acme");
+        assert_eq!(t.api_key, "s3cret");
+        assert_eq!(t.max_in_flight, 1);
+        assert_eq!(t.max_queued, 8);
+
+        let t = TenantConfig::parse("lab-2:k:3:16").unwrap();
+        assert_eq!(t.max_in_flight, 3);
+        assert_eq!(t.max_queued, 16);
+
+        for bad in [
+            "",
+            "noname",
+            ":key",
+            "name:",
+            "anonymous:key",
+            "sp ace:key",
+            "a:k:x",
+            "a:k:1:2:3",
+        ] {
+            assert!(TenantConfig::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn open_mode_maps_everything_to_anonymous() {
+        let reg = TenantRegistry::new(&[]).unwrap();
+        assert!(!reg.requires_key());
+        let t = reg.authenticate(None).unwrap();
+        assert_eq!(t.name, ANONYMOUS);
+        // Even a random key maps to anonymous in open mode.
+        let t = reg.authenticate(Some("whatever")).unwrap();
+        assert_eq!(t.name, ANONYMOUS);
+    }
+
+    #[test]
+    fn keyed_mode_authenticates_and_rejects() {
+        let reg = TenantRegistry::new(&[
+            TenantConfig::parse("a:key-a:2:4").unwrap(),
+            TenantConfig::parse("b:key-b").unwrap(),
+        ])
+        .unwrap();
+        assert!(reg.requires_key());
+        assert_eq!(reg.authenticate(Some("key-a")).unwrap().name, "a");
+        assert_eq!(reg.authenticate(Some(" key-b ")).unwrap().name, "b");
+        assert_eq!(reg.authenticate(None).unwrap_err(), AuthError::MissingKey);
+        assert_eq!(
+            reg.authenticate(Some("")).unwrap_err(),
+            AuthError::MissingKey
+        );
+        assert_eq!(
+            reg.authenticate(Some("nope")).unwrap_err(),
+            AuthError::UnknownKey
+        );
+        assert_eq!(reg.by_name("a").name, "a");
+        assert_eq!(reg.by_name("missing").name, ANONYMOUS);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates() {
+        assert!(TenantRegistry::new(&[
+            TenantConfig::parse("a:k1").unwrap(),
+            TenantConfig::parse("a:k2").unwrap(),
+        ])
+        .is_err());
+        assert!(TenantRegistry::new(&[
+            TenantConfig::parse("a:k").unwrap(),
+            TenantConfig::parse("b:k").unwrap(),
+        ])
+        .is_err());
+    }
+}

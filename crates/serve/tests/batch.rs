@@ -1,0 +1,243 @@
+//! Differential test: `POST /v1/compile-batch` against sequential solo
+//! compiles.
+//!
+//! A batch of one family at sizes 2..4 must certify exactly the weights
+//! three solo `/v1/compile` requests certify (optimal weights are unique,
+//! so warm-start chaining may only change *how fast* a certificate
+//! arrives, never *which* one), and the batch must report at least one
+//! cross-size warm start — the SizeIndex chain is the whole point of
+//! scheduling small→large. The solo path itself is locked down too: a
+//! keyless single request still answers with exactly the legacy response
+//! schema, byte-for-byte stable across identical requests.
+
+use jsonkit::Value;
+use serve::client::Client;
+use serve::{start, ServeConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const SIZES: [usize; 3] = [2, 3, 4];
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fermihedral-batch-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server(cache_dir: &Path) -> ServerHandle {
+    start(ServeConfig {
+        solve_workers: 1,
+        max_deadline: Duration::from_secs(120),
+        engine: engine::EngineConfig {
+            cache_dir: Some(cache_dir.to_path_buf()),
+            ..engine::EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Value) {
+    Client::connect(addr)
+        .expect("connect")
+        .request("POST", path, Some(body))
+        .expect("POST")
+}
+
+fn shutdown(handle: &ServerHandle) {
+    handle.shutdown();
+    let t0 = Instant::now();
+    handle.join();
+    assert!(t0.elapsed() < Duration::from_secs(15), "join hung");
+}
+
+/// The solo `/v1/compile` response schema as shipped before batching —
+/// exactly these keys, no more, no fewer.
+const LEGACY_KEYS: [&str; 10] = [
+    "coalesced",
+    "elapsed_ms",
+    "fingerprint",
+    "from_cache",
+    "optimal",
+    "status",
+    "strings",
+    "warm_start",
+    "weight",
+    "winner",
+];
+
+fn without_elapsed(doc: &Value) -> Value {
+    let mut doc = doc.clone();
+    if let Value::Obj(fields) = &mut doc {
+        fields.remove("elapsed_ms");
+    }
+    doc
+}
+
+#[test]
+fn batch_certifies_the_same_weights_as_sequential_solo_compiles() {
+    // ---- Solo baseline: three sequential compiles on their own server --
+    let solo_cache = tmp_dir("solo");
+    let solo = server(&solo_cache);
+    let solo_addr = solo.local_addr();
+    let mut solo_weights = Vec::new();
+    for modes in SIZES {
+        let (status, doc) = post(
+            solo_addr,
+            "/v1/compile",
+            &format!(r#"{{"modes": {modes}, "deadline_ms": 110000}}"#),
+        );
+        assert_eq!(status, 200, "{}", doc.to_json());
+        assert_eq!(
+            doc.get("status").unwrap().as_str(),
+            Some("optimal"),
+            "solo size {modes} must certify: {}",
+            doc.to_json()
+        );
+        // The fresh-solve solo schema is locked to exactly the legacy
+        // keys — batching must not perturb the single-compile contract.
+        let Value::Obj(fields) = &doc else {
+            panic!("compile response must be an object")
+        };
+        let keys: Vec<&str> = fields.keys().map(String::as_str).collect();
+        assert_eq!(keys, LEGACY_KEYS, "solo response schema changed");
+        solo_weights.push(doc.get("weight").unwrap().as_usize().unwrap());
+    }
+
+    // Identical repeat requests (cache fast path both times) answer
+    // byte-for-byte identically, modulo only the elapsed clock.
+    let (_, first) = post(solo_addr, "/v1/compile", r#"{"modes": 2}"#);
+    let (_, second) = post(solo_addr, "/v1/compile", r#"{"modes": 2}"#);
+    assert_eq!(first.get("from_cache").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        without_elapsed(&first).to_json(),
+        without_elapsed(&second).to_json(),
+        "identical solo requests must serialize identically"
+    );
+    shutdown(&solo);
+
+    // ---- Batch: same family, one request, fresh cache ------------------
+    let batch_cache = tmp_dir("batch");
+    let batch = server(&batch_cache);
+    let batch_addr = batch.local_addr();
+    let (status, doc) = post(
+        batch_addr,
+        "/v1/compile-batch",
+        r#"{"modes": [4, 2, 3], "deadline_ms": 110000}"#,
+    );
+    assert_eq!(status, 200, "{}", doc.to_json());
+    assert_eq!(
+        doc.get("status").unwrap().as_str(),
+        Some("complete"),
+        "{}",
+        doc.to_json()
+    );
+    let entries = doc.get("entries").and_then(Value::as_arr).unwrap();
+    assert_eq!(entries.len(), SIZES.len());
+
+    let mut batch_weights = Vec::new();
+    for (entry, modes) in entries.iter().zip(SIZES) {
+        assert_eq!(
+            entry.get("modes").unwrap().as_usize(),
+            Some(modes),
+            "entries must come back sorted small→large: {}",
+            doc.to_json()
+        );
+        assert_eq!(
+            entry.get("status").unwrap().as_str(),
+            Some("optimal"),
+            "batch entry {modes} must certify: {}",
+            entry.to_json()
+        );
+        batch_weights.push(entry.get("weight").unwrap().as_usize().unwrap());
+    }
+    assert_eq!(
+        batch_weights, solo_weights,
+        "batch and solo must certify identical optimal weights"
+    );
+
+    // The chain really chained: at least one entry was warm-started from
+    // a smaller sibling through the SizeIndex.
+    let cross_size = doc
+        .get("cross_size_warm_starts")
+        .unwrap()
+        .as_usize()
+        .unwrap();
+    assert!(
+        cross_size >= 1,
+        "no cross-size warm start in batch: {}",
+        doc.to_json()
+    );
+    let warm_sources: Vec<&str> = entries
+        .iter()
+        .filter_map(|e| e.get("warm_start"))
+        .filter_map(|w| w.get("source"))
+        .filter_map(Value::as_str)
+        .collect();
+    assert!(
+        warm_sources.contains(&"cross-size"),
+        "some entry must carry cross-size warm-start provenance: {}",
+        doc.to_json()
+    );
+    assert_eq!(
+        batch.metrics().batch_warm_starts.get() as usize,
+        cross_size,
+        "metrics must agree with the response"
+    );
+    assert!(batch.metrics().batches.get() >= 1);
+    assert!(batch.metrics().batch_entries.get() >= SIZES.len() as u64);
+
+    // Repeating the batch is all cache fast path — still complete, still
+    // the same weights.
+    let (status, again) = post(
+        batch_addr,
+        "/v1/compile-batch",
+        r#"{"modes": [4, 2, 3], "deadline_ms": 110000}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(again.get("status").unwrap().as_str(), Some("complete"));
+    let repeat_weights: Vec<usize> = again
+        .get("entries")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|e| e.get("weight").unwrap().as_usize().unwrap())
+        .collect();
+    assert_eq!(repeat_weights, batch_weights);
+
+    shutdown(&batch);
+    let _ = std::fs::remove_dir_all(&solo_cache);
+    let _ = std::fs::remove_dir_all(&batch_cache);
+}
+
+#[test]
+fn batch_requests_are_validated() {
+    let handle = start(ServeConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+    for (body, needle) in [
+        (r#"{"modes": 3}"#, "array"),
+        (r#"{"modes": []}"#, "at least one"),
+        (r#"{"modes": [0]}"#, "positive"),
+        (r#"{"modes": [99]}"#, "limit"),
+        (r#"{"modes": [2], "bogus": 1}"#, "unknown field"),
+    ] {
+        let (status, doc) = post(addr, "/v1/compile-batch", body);
+        assert_eq!(status, 400, "{body}: {}", doc.to_json());
+        let error = doc.get("error").unwrap().as_str().unwrap();
+        assert!(
+            error.contains(needle),
+            "{body}: error {error:?} should mention {needle:?}"
+        );
+    }
+    // Wrong method gets 405 with Allow.
+    let (status, _) = Client::connect(addr)
+        .unwrap()
+        .request("GET", "/v1/compile-batch", None)
+        .unwrap();
+    assert_eq!(status, 405);
+    shutdown(&handle);
+}

@@ -1,0 +1,288 @@
+//! Property tests for the `serve::http` request parser.
+//!
+//! `HttpConn` is generic over its transport precisely so these tests can
+//! drive it with in-memory streams: arbitrary bytes (optionally torn into
+//! tiny read chunks) must never panic, every error that still warrants a
+//! response must serialize as a well-formed `HTTP/1.1` status line, and
+//! well-formed requests must survive hostile-but-legal formatting —
+//! random header casing, optional whitespace, and arbitrary chunk splits.
+//! The smuggling-adjacent inputs are pinned to their specific statuses:
+//! duplicate `Content-Length` → 400, oversized bodies → 413,
+//! `Transfer-Encoding` → 501.
+
+use proptest::prelude::*;
+use serve::http::{HttpConn, ReadError};
+use std::io::{Read, Write};
+
+/// An in-memory transport: serves a fixed byte script in `chunk`-sized
+/// reads (simulating TCP segmentation), then clean EOF; collects every
+/// written response byte.
+struct MemStream {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+    written: Vec<u8>,
+}
+
+impl MemStream {
+    fn new(data: Vec<u8>, chunk: usize) -> MemStream {
+        MemStream {
+            data,
+            pos: 0,
+            chunk: chunk.max(1),
+            written: Vec::new(),
+        }
+    }
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self
+            .chunk
+            .min(buf.len())
+            .min(self.data.len().saturating_sub(self.pos));
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.written.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+const MAX_BODY: usize = 4096;
+
+/// Statuses `ReadError::response` can legally produce.
+const ERROR_STATUSES: [u16; 6] = [400, 408, 411, 413, 431, 501];
+
+/// Drains a connection: parses requests until the stream errors out,
+/// asserting every error response is a well-formed HTTP/1.1 reply.
+/// Returns the number of requests parsed before the stream died.
+fn drain(conn: &mut HttpConn<MemStream>) -> usize {
+    let mut parsed = 0;
+    loop {
+        match conn.read_request(MAX_BODY) {
+            Ok(request) => {
+                assert!(!request.method.is_empty());
+                assert!(request.path.starts_with('/'));
+                assert_eq!(request.method, request.method.to_uppercase());
+                parsed += 1;
+                // Requests consume bytes, so this loop terminates; guard
+                // against a parser bug yielding empty requests forever.
+                assert!(parsed <= 10_000, "parser yielded requests without input");
+            }
+            Err(error) => {
+                check_error_response(conn, &error);
+                return parsed;
+            }
+        }
+    }
+}
+
+/// Whatever the error, responding must work and look like HTTP.
+fn check_error_response(conn: &mut HttpConn<MemStream>, error: &ReadError) {
+    if let Some(response) = error.response() {
+        assert!(
+            ERROR_STATUSES.contains(&response.status),
+            "unexpected error status {} for {error:?}",
+            response.status
+        );
+        conn.write_response(&response).expect("in-memory write");
+        let written = &conn.stream().written;
+        let text = std::str::from_utf8(written).expect("response head is ASCII");
+        assert!(
+            text.starts_with(&format!("HTTP/1.1 {} ", response.status)),
+            "malformed status line: {text:?}"
+        );
+        assert!(text.contains("\r\ncontent-length: ") || text.contains("\r\nContent-Length: "));
+        assert!(text.contains("\r\n\r\n"), "head never terminated: {text:?}");
+    }
+}
+
+/// Applies a casing mask to an ASCII string (hostile-but-legal header
+/// names: `content-length`, `CONTENT-LENGTH`, `cOnTeNt-LeNgTh`, …).
+fn recase(text: &str, mask: &[bool]) -> String {
+    text.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if mask.get(i).copied().unwrap_or(false) {
+                c.to_ascii_uppercase()
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Arbitrary bytes, arbitrary segmentation: never a panic, and any
+    // response-worthy error writes a well-formed reply.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        data in proptest::collection::vec(0u8..=255, 0..512),
+        chunk in 1usize..64,
+    ) {
+        let mut conn = HttpConn::new(MemStream::new(data, chunk));
+        drain(&mut conn);
+    }
+
+    // Arbitrary *text* seeded with HTTP-ish fragments finds parser edges
+    // raw bytes rarely reach (split_once(':'), request-line token counts).
+    #[test]
+    fn arbitrary_header_text_never_panics(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(0x20u8..0x7f, 0..40),
+            0..8,
+        ),
+        chunk in 1usize..32,
+    ) {
+        let mut data = b"GET / HTTP/1.1\r\n".to_vec();
+        for line in &lines {
+            data.extend_from_slice(line);
+            data.extend_from_slice(b"\r\n");
+        }
+        data.extend_from_slice(b"\r\n");
+        let mut conn = HttpConn::new(MemStream::new(data, chunk));
+        drain(&mut conn);
+    }
+
+    // A well-formed request parses correctly no matter the header casing,
+    // optional value whitespace, or how the bytes are segmented.
+    #[test]
+    fn well_formed_requests_survive_casing_whitespace_and_splits(
+        method_tag in 0u8..2,
+        casing in proptest::collection::vec(any::<bool>(), 16),
+        pad_left in 0usize..4,
+        pad_right in 0usize..4,
+        body in proptest::collection::vec(0u8..=255, 0..128),
+        chunk in 1usize..32,
+        keep_alive_tag in 0u8..3,
+    ) {
+        let method = if method_tag == 0 { "POST" } else { "put" };
+        let mut data = format!("{method} /v1/compile?trace=1 HTTP/1.1\r\n").into_bytes();
+        data.extend_from_slice(
+            format!(
+                "{}:{}{}{}\r\n",
+                recase("content-length", &casing),
+                " ".repeat(pad_left),
+                body.len(),
+                " ".repeat(pad_right),
+            )
+            .as_bytes(),
+        );
+        data.extend_from_slice(format!("{}: fermihedral\r\n", recase("host", &casing)).as_bytes());
+        match keep_alive_tag {
+            0 => data.extend_from_slice(b"Connection: close\r\n"),
+            1 => data.extend_from_slice(b"CONNECTION: Keep-Alive\r\n"),
+            _ => {}
+        }
+        data.extend_from_slice(b"\r\n");
+        data.extend_from_slice(&body);
+
+        let mut conn = HttpConn::new(MemStream::new(data, chunk));
+        let request = conn.read_request(MAX_BODY).expect("well-formed request parses");
+        prop_assert_eq!(request.method.as_str(), method.to_uppercase());
+        prop_assert_eq!(request.path.as_str(), "/v1/compile");
+        prop_assert_eq!(request.query.as_deref(), Some("trace=1"));
+        prop_assert!(request.query_has("trace", "1"));
+        prop_assert_eq!(&request.body, &body);
+        prop_assert_eq!(request.header("host"), Some("fermihedral"));
+        prop_assert_eq!(request.keep_alive, keep_alive_tag != 0);
+        // The connection is reusable after a parsed request: EOF now
+        // reads as a clean close, not an error with a response.
+        match conn.read_request(MAX_BODY) {
+            Err(ReadError::Closed) => {}
+            other => prop_assert!(false, "expected clean close, got {other:?}"),
+        }
+    }
+
+    // Duplicate Content-Length is a smuggling vector: always 400, even
+    // when the copies agree, whatever their casing.
+    #[test]
+    fn duplicate_content_length_is_rejected(
+        casing_a in proptest::collection::vec(any::<bool>(), 16),
+        casing_b in proptest::collection::vec(any::<bool>(), 16),
+        len_a in 0usize..100,
+        len_b in 0usize..100,
+        chunk in 1usize..32,
+    ) {
+        let data = format!(
+            "POST /v1/compile HTTP/1.1\r\n{}: {len_a}\r\n{}: {len_b}\r\n\r\n",
+            recase("content-length", &casing_a),
+            recase("content-length", &casing_b),
+        );
+        let mut conn = HttpConn::new(MemStream::new(data.into_bytes(), chunk));
+        let error = conn.read_request(MAX_BODY).expect_err("duplicate CL must fail");
+        let response = error.response().expect("400 carries a response");
+        prop_assert_eq!(response.status, 400);
+        check_error_response(&mut conn, &error);
+    }
+
+    // A declared body over the server's limit → 413 before any body read.
+    #[test]
+    fn oversized_bodies_are_rejected(
+        over in 1usize..10_000,
+        chunk in 1usize..32,
+    ) {
+        let data = format!(
+            "POST /v1/compile HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + over
+        );
+        let mut conn = HttpConn::new(MemStream::new(data.into_bytes(), chunk));
+        let error = conn.read_request(MAX_BODY).expect_err("oversize must fail");
+        let response = error.response().expect("413 carries a response");
+        prop_assert_eq!(response.status, 413);
+    }
+
+    // Transfer-Encoding in any casing, any value → 501 (this server only
+    // speaks Content-Length framing).
+    #[test]
+    fn transfer_encoding_is_refused(
+        casing in proptest::collection::vec(any::<bool>(), 18),
+        value_tag in 0u8..3,
+        chunk in 1usize..32,
+    ) {
+        let value = match value_tag {
+            0 => "chunked",
+            1 => "gzip, chunked",
+            _ => "identity",
+        };
+        let data = format!(
+            "POST /v1/compile HTTP/1.1\r\n{}: {value}\r\nContent-Length: 0\r\n\r\n",
+            recase("transfer-encoding", &casing),
+        );
+        let mut conn = HttpConn::new(MemStream::new(data.into_bytes(), chunk));
+        let error = conn.read_request(MAX_BODY).expect_err("TE must fail");
+        let response = error.response().expect("501 carries a response");
+        prop_assert_eq!(response.status, 501);
+    }
+
+    // Torn requests (cut anywhere, then EOF) never panic and never parse:
+    // either a clean close (cut before the first byte) or 400.
+    #[test]
+    fn truncated_requests_fail_cleanly(
+        cut in 0usize..64,
+        chunk in 1usize..16,
+    ) {
+        let full = b"POST /v1/compile HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let cut = cut.min(full.len().saturating_sub(1));
+        let mut conn = HttpConn::new(MemStream::new(full[..cut].to_vec(), chunk));
+        match conn.read_request(MAX_BODY) {
+            Ok(request) => prop_assert!(false, "truncated request parsed: {request:?}"),
+            Err(ReadError::Closed) => prop_assert_eq!(cut, 0, "only an empty stream closes cleanly"),
+            Err(error) => {
+                let response = error.response().expect("torn request warrants a response");
+                prop_assert_eq!(response.status, 400);
+            }
+        }
+    }
+}
